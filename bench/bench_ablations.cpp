@@ -1,0 +1,115 @@
+// Ablations over the Performance-Envelope design choices DESIGN.md calls
+// out:
+//   1. clustered PE vs single hull (the paper's own Fig 1 motivation)
+//   2. cross-trial hull intersection vs 5% centroid-distance outlier trim
+//   3. IOU-drop k selection vs fixed k
+//   4. per-trial clustering + matching vs pooled clustering
+//   5. sampling period sensitivity (5 / 10 / 20 RTTs per sample)
+//
+// Each ablation is evaluated on its ability to separate a known-deviant
+// implementation (quiche CUBIC) from a known-conformant one (msquic
+// CUBIC): a good metric scores the conformant stack high and the deviant
+// low; the gap is the discriminative power.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+namespace {
+
+struct Clouds {
+  std::vector<conformance::TrialPoints> ref, good, bad;
+};
+
+double conf(const conformance::PerformanceEnvelope& a,
+            const conformance::PerformanceEnvelope& b) {
+  return conformance::conformance(a, b);
+}
+
+void report(const std::string& name, double good, double bad,
+            CsvWriter& csv) {
+  std::cout << "  " << name << ": conformant=" << fmt(good)
+            << " deviant=" << fmt(bad) << " gap=" << fmt(good - bad) << "\n";
+  csv.row(std::vector<std::string>{name, fmt(good, 4), fmt(bad, 4),
+                                   fmt(good - bad, 4)});
+}
+
+} // namespace
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto& ref = reg.reference(stacks::CcaType::kCubic);
+  const auto* good_impl = reg.find("msquic", stacks::CcaType::kCubic);
+  const auto* bad_impl = reg.find("quiche", stacks::CcaType::kCubic);
+  const auto cfg = default_config(1.0);
+
+  std::cout << "PE design ablations (" << cfg.net.describe()
+            << "; conformant = msquic CUBIC, deviant = quiche CUBIC)\n\n";
+
+  Clouds clouds;
+  clouds.ref = harness::run_pair(ref, ref, cfg).points_a;
+  clouds.good = harness::run_pair(*good_impl, ref, cfg).points_a;
+  clouds.bad = harness::run_pair(*bad_impl, ref, cfg).points_a;
+
+  CsvWriter csv(csv_path("ablations"),
+                {"variant", "conformant_conf", "deviant_conf", "gap"});
+
+  // 1+2. The paper's enhanced definition (clustered + intersection).
+  {
+    const auto pr = conformance::build_pe(clouds.ref);
+    const auto pg = conformance::build_pe(clouds.good);
+    const auto pb = conformance::build_pe(clouds.bad);
+    report("clustered+intersection (paper)", conf(pr, pg), conf(pr, pb), csv);
+  }
+  // Single hull + 5% trim (the IMC'22 definition).
+  {
+    const auto pr = conformance::build_pe_old(clouds.ref);
+    const auto pg = conformance::build_pe_old(clouds.good);
+    const auto pb = conformance::build_pe_old(clouds.bad);
+    report("single hull + 5% trim (old)", conf(pr, pg), conf(pr, pb), csv);
+  }
+  // 3. Fixed k instead of IOU-drop selection.
+  for (const int k : {1, 2, 4}) {
+    const auto pr = conformance::build_pe_fixed_k(clouds.ref, k);
+    const auto pg = conformance::build_pe_fixed_k(clouds.good, k);
+    const auto pb = conformance::build_pe_fixed_k(clouds.bad, k);
+    report("fixed k=" + std::to_string(k), conf(pr, pg), conf(pr, pb), csv);
+  }
+  // 4a. Cross-trial quorum: strict intersection (the paper) vs tolerant
+  // coverage regions.
+  for (const double q : {1.0, 0.8, 0.6}) {
+    conformance::PeConfig qc;
+    qc.trial_quorum = q;
+    const auto pr = conformance::build_pe(clouds.ref, qc);
+    const auto pg = conformance::build_pe(clouds.good, qc);
+    const auto pb = conformance::build_pe(clouds.bad, qc);
+    report("trial quorum " + fmt(q, 1), conf(pr, pg), conf(pr, pb), csv);
+  }
+  // 4b. Pooled clustering instead of per-trial + matching.
+  {
+    conformance::PeConfig pooled;
+    pooled.per_trial_clustering = false;
+    const auto pr = conformance::build_pe(clouds.ref, pooled);
+    const auto pg = conformance::build_pe(clouds.good, pooled);
+    const auto pb = conformance::build_pe(clouds.bad, pooled);
+    report("pooled clustering", conf(pr, pg), conf(pr, pb), csv);
+  }
+  // 5. Sampling-period sensitivity: rebuild the clouds with different
+  // sampling periods.
+  for (const int rtts : {5, 10, 20}) {
+    harness::ExperimentConfig scfg = cfg;
+    scfg.sampling.rtts_per_sample = rtts;
+    const auto cr = harness::run_pair(ref, ref, scfg).points_a;
+    const auto cg = harness::run_pair(*good_impl, ref, scfg).points_a;
+    const auto cb = harness::run_pair(*bad_impl, ref, scfg).points_a;
+    const auto pr = conformance::build_pe(cr);
+    const auto pg = conformance::build_pe(cg);
+    const auto pb = conformance::build_pe(cb);
+    report("sampling " + std::to_string(rtts) + " RTTs", conf(pr, pg),
+           conf(pr, pb), csv);
+  }
+
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

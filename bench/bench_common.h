@@ -1,0 +1,130 @@
+#pragma once
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Every bench prints the rows/series of its paper counterpart and writes
+// a CSV next to the binary (./bench_out/<name>.csv) that a plotting
+// script can consume. Paper-fidelity parameters (120 s runs, 5 trials)
+// are the default; set QB_FAST=1 for a quick smoke pass.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "util/csv.h"
+
+namespace quicbench::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("QB_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+// The paper's default network (§4: representative plots use 10 ms RTT,
+// 20 Mbps; fairness experiments use 50 ms RTT).
+inline harness::ExperimentConfig default_config(double buffer_bdp,
+                                                Rate bw = rate::mbps(20),
+                                                Time rtt = time::ms(10)) {
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = bw;
+  cfg.net.base_rtt = rtt;
+  cfg.net.buffer_bdp = buffer_bdp;
+  if (fast_mode()) {
+    cfg.duration = time::sec(30);
+    cfg.trials = 2;
+  } else {
+    cfg.duration = time::sec(120);  // the paper's flow duration
+    cfg.trials = 5;                 // the paper's trial count
+  }
+  return cfg;
+}
+
+inline std::string out_dir() {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out";
+}
+
+inline std::string csv_path(const std::string& bench_name) {
+  return out_dir() + "/" + bench_name + ".csv";
+}
+
+// Reference PEs (reference vs itself) are reused by every implementation
+// sharing a CCA and network config: cache them.
+class RefPairCache {
+ public:
+  const harness::PairResult& get(const stacks::Implementation& ref,
+                                 const harness::ExperimentConfig& cfg) {
+    const std::string key =
+        ref.display + "|" + cfg.net.describe() + "|" +
+        std::to_string(time::to_sec(cfg.duration)) + "|" +
+        std::to_string(cfg.trials) + "|" + std::to_string(cfg.seed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+    }
+    harness::PairResult pr = harness::run_pair(ref, ref, cfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.emplace(key, std::move(pr)).first->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, harness::PairResult> cache_;
+};
+
+// Conformance of `test` given a cached reference pair.
+inline conformance::ConformanceReport conformance_cell(
+    const stacks::Implementation& test, const stacks::Implementation& ref,
+    const harness::ExperimentConfig& cfg, RefPairCache& cache,
+    const conformance::PeConfig& pe_cfg = {}) {
+  const harness::PairResult& ref_pair = cache.get(ref, cfg);
+  const harness::PairResult test_pair = harness::run_pair(test, ref, cfg);
+  return conformance::evaluate(ref_pair.points_a, test_pair.points_a,
+                               pe_cfg);
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  return harness::format_double(v, precision);
+}
+
+// Shared driver for the "PEs across buffer sizes" figures (7, 8, 9, 10):
+// plot the test implementation's PE against the reference PE for each
+// buffer depth and report Conf / Conf-T / Δ per panel.
+inline void pe_across_buffers(const std::string& figure,
+                              const stacks::Implementation& test,
+                              const stacks::Implementation& ref,
+                              const std::vector<double>& buffers,
+                              const std::string& csv_name) {
+  std::cout << figure << ": Performance Envelopes for " << test.display
+            << " across buffer sizes\n\n";
+  RefPairCache cache;
+  std::vector<conformance::ConformanceReport> reports(buffers.size());
+  harness::parallel_for(static_cast<int>(buffers.size()), [&](int i) {
+    const auto cfg = default_config(buffers[static_cast<std::size_t>(i)]);
+    reports[static_cast<std::size_t>(i)] =
+        conformance_cell(test, ref, cfg, cache);
+  });
+
+  CsvWriter csv(csv_path(csv_name),
+                {"buffer_bdp", "conformance", "conformance_t", "delta_tput",
+                 "delta_delay"});
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const auto& rep = reports[i];
+    std::cout << harness::render_pe_plot(
+        fmt(buffers[i], 1) + " BDP buffer:  Conf=" + fmt(rep.conformance) +
+            "  Conf-T=" + fmt(rep.conformance_t) +
+            "  d-tput=" + fmt(rep.delta_tput_mbps) +
+            "  d-delay=" + fmt(rep.delta_delay_ms),
+        rep.ref_pe, rep.test_pe);
+    std::cout << '\n';
+    csv.row({buffers[i], rep.conformance, rep.conformance_t,
+             rep.delta_tput_mbps, rep.delta_delay_ms});
+  }
+  std::cout << "CSV: " << csv.path() << "\n";
+}
+
+} // namespace quicbench::bench

@@ -1,0 +1,132 @@
+// Extension (§6, "Transitivity"): the paper reports that relative
+// performance is transitive *within* a CCA but not *across* CCAs — e.g.
+// lsquic CUBIC beats msquic CUBIC and msquic CUBIC beats chromium BBR,
+// yet lsquic CUBIC does not beat chromium BBR in deep buffers.
+//
+// This bench builds the full dominance relation from pairwise bandwidth
+// shares and counts transitivity violations (triples i>j, j>k but not
+// i>k), separately for intra-CCA and cross-CCA triples, in shallow and
+// deep buffers.
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+namespace {
+
+struct Impl {
+  const stacks::Implementation* impl;
+};
+
+} // namespace
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  // The population used for the paper's transitivity observation: all
+  // CUBIC and BBR implementations (kernel included).
+  std::vector<const stacks::Implementation*> impls;
+  for (const auto* i : reg.with_cca(stacks::CcaType::kCubic, true)) {
+    impls.push_back(i);
+  }
+  for (const auto* i : reg.with_cca(stacks::CcaType::kBbr, true)) {
+    impls.push_back(i);
+  }
+  const int n = static_cast<int>(impls.size());
+
+  CsvWriter csv(csv_path("ext_transitivity"),
+                {"buffer_bdp", "scope", "triples", "violations",
+                 "violation_rate"});
+
+  for (const double buf : {1.0, 5.0}) {
+    harness::ExperimentConfig cfg =
+        default_config(buf, rate::mbps(20), time::ms(50));
+    if (!fast_mode()) {
+      cfg.duration = time::sec(60);  // n^2 pairs: keep the sweep tractable
+      cfg.trials = 3;
+    }
+
+    std::vector<std::vector<double>> share(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), 0.5));
+    std::vector<std::pair<int, int>> jobs;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) jobs.push_back({i, j});
+    }
+    harness::parallel_for(static_cast<int>(jobs.size()), [&](int idx) {
+      const auto [i, j] = jobs[static_cast<std::size_t>(idx)];
+      const auto pr = harness::run_pair(*impls[static_cast<std::size_t>(i)],
+                                        *impls[static_cast<std::size_t>(j)],
+                                        cfg);
+      share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          pr.share_a;
+      share[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          pr.share_b;
+    });
+
+    // beats(i, j): i takes a clearly larger share (5% margin).
+    const auto beats = [&](int i, int j) {
+      return share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] >
+             0.55;
+    };
+    const auto same_cca = [&](int i, int j) {
+      return impls[static_cast<std::size_t>(i)]->cca ==
+             impls[static_cast<std::size_t>(j)]->cca;
+    };
+
+    long intra_triples = 0, intra_viol = 0;
+    long cross_triples = 0, cross_viol = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        for (int k = 0; k < n; ++k) {
+          if (i == j || j == k || i == k) continue;
+          if (!beats(i, j) || !beats(j, k)) continue;
+          const bool intra = same_cca(i, j) && same_cca(j, k);
+          const bool violated = !beats(i, k);
+          if (intra) {
+            ++intra_triples;
+            intra_viol += violated;
+          } else {
+            ++cross_triples;
+            cross_viol += violated;
+            if (violated && cross_viol <= 5) {
+              std::cout << "  cross-CCA violation (" << fmt(buf, 0)
+                        << " BDP): "
+                        << impls[static_cast<std::size_t>(i)]->display
+                        << " > "
+                        << impls[static_cast<std::size_t>(j)]->display
+                        << " > "
+                        << impls[static_cast<std::size_t>(k)]->display
+                        << " but not transitively\n";
+            }
+          }
+        }
+      }
+    }
+
+    const auto rate_of = [](long v, long t) {
+      return t > 0 ? static_cast<double>(v) / static_cast<double>(t) : 0.0;
+    };
+    std::cout << fmt(buf, 0) << " BDP buffer:\n"
+              << "  intra-CCA: " << intra_viol << "/" << intra_triples
+              << " violations (" << fmt(rate_of(intra_viol, intra_triples))
+              << ")\n"
+              << "  cross-CCA: " << cross_viol << "/" << cross_triples
+              << " violations (" << fmt(rate_of(cross_viol, cross_triples))
+              << ")\n\n";
+    csv.row(std::vector<std::string>{
+        fmt(buf, 1), "intra", std::to_string(intra_triples),
+        std::to_string(intra_viol),
+        fmt(rate_of(intra_viol, intra_triples), 4)});
+    csv.row(std::vector<std::string>{
+        fmt(buf, 1), "cross", std::to_string(cross_triples),
+        std::to_string(cross_viol),
+        fmt(rate_of(cross_viol, cross_triples), 4)});
+  }
+  std::cout << "Expected (paper §6): intra-CCA dominance is (nearly) "
+               "transitive; cross-CCA dominance is not.\nCSV: "
+            << csv.path() << "\n";
+  return 0;
+}

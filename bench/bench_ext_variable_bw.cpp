@@ -1,0 +1,81 @@
+// Extension (§4.1 caveat): the paper normalizes buffers by the BDP over
+// "relatively stable network profiles" and explicitly warns the trend
+// "may not hold in networks with highly volatile bandwidth variations,
+// like 5G networks". With the Mahimahi-style trace-driven bottleneck we
+// can test exactly that: conformance of representative implementations
+// over (a) a constant-rate delivery trace (sanity: matches the fixed
+// link) and (b) a volatile random-walk trace with the same average rate.
+
+#include "bench_common.h"
+#include "netsim/tracelink.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  struct Target {
+    const char* stack;
+    stacks::CcaType cca;
+  };
+  const std::vector<Target> targets{
+      {"msquic", stacks::CcaType::kCubic},   // conformant baseline
+      {"quiche", stacks::CcaType::kCubic},   // deviant
+      {"mvfst", stacks::CcaType::kBbr},      // deviant (rate-based)
+      {"chromium", stacks::CcaType::kBbr},   // conformant (rate-based)
+  };
+
+  // 20 Mbps average in both regimes.
+  Rng trace_rng(2024);
+  const auto stable = netsim::traces::constant_rate(rate::mbps(20));
+  const auto volatile_trace = netsim::traces::random_walk(
+      rate::mbps(6), rate::mbps(40), time::ms(200), time::sec(4), trace_rng);
+  const double volatile_mbps = rate::to_mbps(
+      rate_of(static_cast<Bytes>(volatile_trace.size()) * 1500,
+              time::sec(4)));
+
+  std::cout << "Conformance under volatile bandwidth (trace-driven "
+               "bottleneck, 10 ms RTT, 1 BDP buffer)\n"
+            << "volatile trace average: " << fmt(volatile_mbps)
+            << " Mbps\n\n";
+
+  CsvWriter csv(csv_path("ext_variable_bw"),
+                {"impl", "regime", "conformance", "conformance_t",
+                 "delta_tput"});
+  std::vector<std::vector<std::string>> table;
+  for (const auto& t : targets) {
+    const auto* impl = reg.find(t.stack, t.cca);
+    const auto& ref = reg.reference(t.cca);
+    for (const bool volatile_bw : {false, true}) {
+      harness::ExperimentConfig cfg = default_config(1.0);
+      if (!fast_mode()) {
+        cfg.duration = time::sec(60);
+        cfg.trials = 3;
+      }
+      cfg.net.trace_opportunities = volatile_bw ? volatile_trace : stable;
+      cfg.net.trace_period = volatile_bw ? time::sec(4) : time::sec(1);
+      cfg.net.bandwidth =
+          volatile_bw ? rate::mbps(volatile_mbps) : rate::mbps(20);
+
+      const auto ref_pair = harness::run_pair(ref, ref, cfg);
+      const auto test_pair = harness::run_pair(*impl, ref, cfg);
+      const auto rep =
+          conformance::evaluate(ref_pair.points_a, test_pair.points_a);
+      const char* regime = volatile_bw ? "volatile" : "stable";
+      table.push_back({impl->display, regime, fmt(rep.conformance),
+                       fmt(rep.conformance_t), fmt(rep.delta_tput_mbps)});
+      csv.row(std::vector<std::string>{impl->display, regime,
+                                       fmt(rep.conformance, 4),
+                                       fmt(rep.conformance_t, 4),
+                                       fmt(rep.delta_tput_mbps, 4)});
+    }
+  }
+  std::cout << harness::render_table(
+      {"Implementation", "regime", "Conf", "Conf-T", "d-tput"}, table);
+  std::cout << "\nExpected: stable-trace results match the fixed-link "
+               "heatmap; under volatile bandwidth even conformant "
+               "implementations lose conformance (the paper's caveat) "
+               "while the deviants' ordering is preserved.\nCSV: "
+            << csv.path() << "\n";
+  return 0;
+}

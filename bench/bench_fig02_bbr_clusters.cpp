@@ -1,0 +1,42 @@
+// Figure 2: kernel TCP BBR's Performance Envelope has two natural
+// clusters, corresponding to the ProbeBW phase (high throughput, higher
+// delay) and the ProbeRTT phase (throughput dips while draining).
+//
+// Expected: the k-selection picks k = 2 and the two cluster centroids are
+// separated primarily along the throughput axis.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto& ref = reg.reference(stacks::CcaType::kBbr);
+
+  harness::ExperimentConfig cfg = default_config(1.0);
+  std::cout << "Figure 2: natural clusters of kernel BBR's PE ("
+            << cfg.net.describe() << ")\n\n";
+
+  const auto pair = harness::run_pair(ref, ref, cfg);
+  const auto curve = conformance::iou_curve(pair.points_a);
+  const int k = conformance::select_k(curve);
+  const auto pe = conformance::build_pe_fixed_k(pair.points_a, k);
+
+  std::cout << "R(k): ";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::cout << "k=" << i + 1 << ":" << fmt(curve[i]) << "  ";
+  }
+  std::cout << "\nselected k = " << k << "\n\n";
+  std::cout << harness::render_pe_plot("kernel BBR PE (self-competition)",
+                                       pe, conformance::PerformanceEnvelope{});
+  std::cout << "\nclusters:\n";
+  for (const auto& c : pe.cluster_centroids) {
+    std::cout << "  (" << fmt(c.x) << " ms, " << fmt(c.y) << " Mbps)\n";
+  }
+
+  CsvWriter csv(csv_path("fig02"), {"delay_ms", "tput_mbps"});
+  for (const auto& p : pe.all_points) csv.row({p.x, p.y});
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

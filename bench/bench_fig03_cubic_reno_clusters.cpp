@@ -1,0 +1,48 @@
+// Figure 3: clusters for CUBIC and Reno are less distinct than BBR's and
+// tend to form around different throughput levels (the flows trade the
+// bandwidth share as their sawtooths interleave).
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+namespace {
+
+void show(const char* title, const stacks::Implementation& ref,
+          CsvWriter& csv, const std::string& label) {
+  const auto cfg = default_config(1.0);
+  const auto pair = harness::run_pair(ref, ref, cfg);
+  const auto curve = conformance::iou_curve(pair.points_a);
+  const int k = conformance::select_k(curve);
+  const auto pe = conformance::build_pe_fixed_k(pair.points_a, k);
+
+  std::cout << title << ": selected k = " << k << ", R(k) = ";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::cout << fmt(curve[i]) << (i + 1 < curve.size() ? ", " : "\n");
+  }
+  std::cout << harness::render_pe_plot(title, pe,
+                                       conformance::PerformanceEnvelope{});
+  std::cout << "cluster centroids (delay ms, tput Mbps):\n";
+  for (const auto& c : pe.cluster_centroids) {
+    std::cout << "  (" << fmt(c.x) << ", " << fmt(c.y) << ")\n";
+  }
+  std::cout << '\n';
+  for (const auto& p : pe.all_points) {
+    csv.row(std::vector<std::string>{label, fmt(p.x, 4), fmt(p.y, 4)});
+  }
+}
+
+} // namespace
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  std::cout << "Figure 3: natural clusters for loss-based CCAs ("
+            << default_config(1.0).net.describe() << ")\n\n";
+  CsvWriter csv(csv_path("fig03"), {"cca", "delay_ms", "tput_mbps"});
+  show("(a) TCP CUBIC", reg.reference(stacks::CcaType::kCubic), csv,
+       "cubic");
+  show("(b) TCP Reno", reg.reference(stacks::CcaType::kReno), csv, "reno");
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

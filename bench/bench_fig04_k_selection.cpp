@@ -1,0 +1,43 @@
+// Figure 4: determining k, the number of clusters for a Performance
+// Envelope. R(k) — the share of data points retained inside the
+// cross-trial-intersected PE (IOU) — is strictly decreasing in k and
+// drops most steeply right after the "natural" number of clusters; the k
+// before the steepest drop is selected.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto cfg = default_config(1.0);
+  std::cout << "Figure 4: IOU-based selection of k (" << cfg.net.describe()
+            << ")\n\n";
+
+  CsvWriter csv(csv_path("fig04"), {"cca", "k", "iou"});
+  for (const auto cca : {stacks::CcaType::kBbr, stacks::CcaType::kCubic,
+                         stacks::CcaType::kReno}) {
+    const auto& ref = reg.reference(cca);
+    const auto pair = harness::run_pair(ref, ref, cfg);
+    conformance::PeConfig pe_cfg;
+    pe_cfg.max_k = 8;
+    const auto curve = conformance::iou_curve(pair.points_a, pe_cfg);
+    const int k = conformance::select_k(curve);
+
+    std::cout << ref.display << ":\n  k : ";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      std::cout << i + 1 << "      ";
+    }
+    std::cout << "\n  R : ";
+    for (const double r : curve) std::cout << fmt(r) << "   ";
+    std::cout << "\n  selected k = " << k << "\n\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      csv.row(std::vector<std::string>{stacks::to_string(cca),
+                                       std::to_string(i + 1),
+                                       fmt(curve[i], 4)});
+    }
+  }
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

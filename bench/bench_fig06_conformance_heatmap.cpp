@@ -1,0 +1,80 @@
+// Figure 6: conformance of every (stack, CCA) implementation against its
+// kernel reference, in deep (5 BDP) and shallow (1 BDP) buffers at
+// 10 ms RTT / 20 Mbps.
+//
+// Expected shape: most implementations conformant (> 0.5) at 1 BDP with
+// the Table 3 deviants in the red zone; everything substantially worse at
+// 5 BDP.
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const std::vector<stacks::CcaType> ccas{
+      stacks::CcaType::kCubic, stacks::CcaType::kBbr, stacks::CcaType::kReno};
+
+  // Collect all QUIC implementations, grouped by CCA.
+  struct Cell {
+    const stacks::Implementation* impl;
+    double buffer_bdp;
+    double conformance = -1;
+  };
+  std::vector<Cell> cells;
+  for (const double buf : {5.0, 1.0}) {
+    for (const auto cca : ccas) {
+      for (const auto* impl : reg.with_cca(cca, /*include_reference=*/false)) {
+        cells.push_back({impl, buf});
+      }
+    }
+  }
+
+  RefPairCache cache;
+  // Warm the per-(cca, buffer) reference pairs sequentially to avoid
+  // duplicate work, then fan out.
+  for (const double buf : {5.0, 1.0}) {
+    for (const auto cca : ccas) {
+      cache.get(reg.reference(cca), default_config(buf));
+    }
+  }
+  harness::parallel_for(static_cast<int>(cells.size()), [&](int i) {
+    Cell& cell = cells[static_cast<std::size_t>(i)];
+    const auto cfg = default_config(cell.buffer_bdp);
+    const auto rep = conformance_cell(*cell.impl, reg.reference(cell.impl->cca),
+                                      cfg, cache);
+    cell.conformance = rep.conformance;
+  });
+
+  CsvWriter csv(csv_path("fig06"),
+                {"stack", "cca", "buffer_bdp", "conformance"});
+  for (const double buf : {5.0, 1.0}) {
+    std::vector<std::string> row_labels;
+    std::vector<std::vector<double>> values;
+    for (const auto cca : ccas) {
+      for (const auto* impl : reg.with_cca(cca, false)) {
+        double conf = -1;
+        for (const auto& cell : cells) {
+          if (cell.impl == impl && cell.buffer_bdp == buf) {
+            conf = cell.conformance;
+          }
+        }
+        row_labels.push_back(impl->display);
+        values.push_back({conf});
+        csv.row(std::vector<std::string>{impl->stack,
+                                         stacks::to_string(cca),
+                                         fmt(buf, 1), fmt(conf, 4)});
+      }
+    }
+    std::cout << harness::render_heatmap(
+        "Figure 6" + std::string(buf == 5.0 ? "a" : "b") + ": conformance, " +
+            fmt(buf, 1) + " BDP buffer (10 ms RTT, 20 Mbps)",
+        row_labels, {"conf"}, values);
+    std::cout << '\n';
+  }
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

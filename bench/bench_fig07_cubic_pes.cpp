@@ -1,0 +1,23 @@
+// Figure 7: Performance Envelopes of the non-conformant CUBIC
+// implementations (neqo, quiche, xquic) across bottleneck buffer sizes.
+// Expected: neqo sits below/left of the reference (starved by its
+// flow-control cap), quiche above (rollback keeps its cwnd high), xquic
+// mostly overlapping but offset in delay (no HyStart).
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto& ref = reg.reference(stacks::CcaType::kCubic);
+  const std::vector<double> buffers{0.5, 1.0, 3.0, 5.0};
+  for (const char* stack : {"neqo", "quiche", "xquic"}) {
+    const auto* impl = reg.find(stack, stacks::CcaType::kCubic);
+    pe_across_buffers(std::string("Figure 7 (") + stack + " CUBIC)", *impl,
+                      ref, buffers, std::string("fig07_") + stack);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 8: Performance Envelopes for xquic Reno across buffer sizes —
+// the sole non-conformant Reno implementation; the CCA itself is
+// compliant, the offset comes from the stack (send-loop batching and
+// conservative pacing), so expect a translated-but-similar PE
+// (high Conformance-T, negative Δ-tput / Δ-delay).
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto* impl = reg.find("xquic", stacks::CcaType::kReno);
+  pe_across_buffers("Figure 8 (xquic Reno)", *impl,
+                    reg.reference(stacks::CcaType::kReno),
+                    {0.5, 1.0, 3.0, 5.0}, "fig08_xquic_reno");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 9: Performance Envelopes for mvfst BBR (1, 3, 5 BDP buffers).
+// Paper: Conf ~0 at every depth but Conf-T ~0.7, with a large positive
+// Δ-tput at 1 BDP (the 1.2x pacing-rate scale lets it take bandwidth
+// from the reference flow) that shrinks in deeper buffers.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto* impl = reg.find("mvfst", stacks::CcaType::kBbr);
+  pe_across_buffers("Figure 9 (mvfst BBR)", *impl,
+                    reg.reference(stacks::CcaType::kBbr), {1.0, 3.0, 5.0},
+                    "fig09_mvfst_bbr");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 10: Performance Envelopes for xquic BBR (1, 3, 5 BDP buffers).
+// Paper: low conformance that degrades further in deep buffers (the 2.5
+// cwnd gain keeps 25% more data in flight, which costs ever more delay
+// as the buffer deepens), with positive Δ-tput.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto* impl = reg.find("xquic", stacks::CcaType::kBbr);
+  pe_across_buffers("Figure 10 (xquic BBR)", *impl,
+                    reg.reference(stacks::CcaType::kBbr), {1.0, 3.0, 5.0},
+                    "fig10_xquic_bbr");
+  return 0;
+}

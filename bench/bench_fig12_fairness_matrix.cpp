@@ -1,0 +1,79 @@
+// Figure 12: intra-CCA fairness. Pairwise bandwidth shares for all
+// implementations of the same CCA (kernel TCP included) competing over a
+// 20 Mbps / 50 ms RTT / 1 BDP bottleneck. Cell (row, col) is the row
+// implementation's share T_row / (T_row + T_col).
+//
+// Expected: the Table 3 deviants (chromium/quiche/xquic CUBIC, mvfst and
+// xquic BBR) push rows above 0.5 against conformant peers; neqo rows sit
+// far below; lsquic CUBIC shows mild aggression despite its high
+// conformance.
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+namespace {
+
+void matrix_for(stacks::CcaType cca, CsvWriter& csv) {
+  const auto& reg = stacks::Registry::instance();
+  const auto impls = reg.with_cca(cca, /*include_reference=*/true);
+  const int n = static_cast<int>(impls.size());
+
+  harness::ExperimentConfig cfg =
+      default_config(1.0, rate::mbps(20), time::ms(50));
+
+  // Unordered pairs including self-pairings; shares fill both triangles.
+  struct Job {
+    int i, j;
+  };
+  std::vector<Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) jobs.push_back({i, j});
+  }
+  std::vector<std::vector<double>> share(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), -1));
+  harness::parallel_for(static_cast<int>(jobs.size()), [&](int idx) {
+    const auto [i, j] = jobs[static_cast<std::size_t>(idx)];
+    const auto pr = harness::run_pair(
+        *impls[static_cast<std::size_t>(i)],
+        *impls[static_cast<std::size_t>(j)], cfg);
+    share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+        pr.share_a;
+    share[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+        pr.share_b;
+  });
+
+  std::vector<std::string> labels;
+  for (const auto* impl : impls) labels.push_back(impl->stack);
+  std::cout << harness::render_heatmap(
+      "Figure 12 (" + stacks::to_string(cca) +
+          "): row implementation's bandwidth share vs column",
+      labels, labels, share, 7, 2);
+  std::cout << '\n';
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      csv.row(std::vector<std::string>{
+          stacks::to_string(cca), impls[static_cast<std::size_t>(i)]->stack,
+          impls[static_cast<std::size_t>(j)]->stack,
+          fmt(share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+              4)});
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Figure 12: throughput shares for competing implementations "
+            << "of the same CCA (20 Mbps, 50 ms RTT, 1 BDP)\n\n";
+  CsvWriter csv(csv_path("fig12"), {"cca", "row", "col", "row_share"});
+  matrix_for(stacks::CcaType::kCubic, csv);
+  matrix_for(stacks::CcaType::kBbr, csv);
+  matrix_for(stacks::CcaType::kReno, csv);
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 13: different implementations of CUBIC and BBR competing, in
+// shallow (1 BDP) and deep (5 BDP) buffers. Cell value = the BBR
+// implementation's bandwidth share (1.0 means BBR starves CUBIC).
+//
+// Expected (classic inter-CCA results): BBR columns win nearly everywhere
+// in shallow buffers; CUBIC rows win in deep buffers — except that the
+// low-conformance implementations subvert this: xquic CUBIC holds its own
+// against BBR even in shallow buffers, and xquic/mvfst BBR beat CUBIC
+// even in deep buffers.
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto cubics = reg.with_cca(stacks::CcaType::kCubic, true);
+  const auto bbrs = reg.with_cca(stacks::CcaType::kBbr, true);
+
+  std::cout << "Figure 13: CUBIC (rows) vs BBR (columns) — cell = BBR's "
+            << "bandwidth share (20 Mbps, 50 ms RTT)\n\n";
+  CsvWriter csv(csv_path("fig13"),
+                {"buffer_bdp", "cubic", "bbr", "bbr_share"});
+
+  for (const double buf : {1.0, 5.0}) {
+    harness::ExperimentConfig cfg =
+        default_config(buf, rate::mbps(20), time::ms(50));
+    const int nc = static_cast<int>(cubics.size());
+    const int nb = static_cast<int>(bbrs.size());
+    std::vector<std::vector<double>> share(
+        static_cast<std::size_t>(nc),
+        std::vector<double>(static_cast<std::size_t>(nb), -1));
+    harness::parallel_for(nc * nb, [&](int idx) {
+      const int i = idx / nb;
+      const int j = idx % nb;
+      const auto pr = harness::run_pair(
+          *bbrs[static_cast<std::size_t>(j)],
+          *cubics[static_cast<std::size_t>(i)], cfg);
+      share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          pr.share_a;  // the BBR flow's share
+    });
+
+    std::vector<std::string> rows, cols;
+    for (const auto* c : cubics) rows.push_back(c->stack);
+    for (const auto* b : bbrs) cols.push_back(b->stack);
+    std::cout << harness::render_heatmap(
+        "(" + std::string(buf == 1.0 ? "a" : "b") + ") " + fmt(buf, 0) +
+            " BDP buffer — BBR share per cell",
+        rows, cols, share);
+    std::cout << '\n';
+    for (int i = 0; i < nc; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        csv.row(std::vector<std::string>{
+            fmt(buf, 1), cubics[static_cast<std::size_t>(i)]->stack,
+            bbrs[static_cast<std::size_t>(j)]->stack,
+            fmt(share[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)],
+                4)});
+      }
+    }
+  }
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 14: xquic BBR's conformance before and after reducing its cwnd
+// gain from 2.5 to the RFC-recommended 2 (a 2-line fix, Table 4).
+// Expected: a modest but clear improvement in conformance, with Δ-tput
+// moving toward 0.
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto* broken = reg.find("xquic", stacks::CcaType::kBbr);
+  const auto fixed = stacks::fixed_variant(*broken);
+  const auto& ref = reg.reference(stacks::CcaType::kBbr);
+
+  const auto cfg = default_config(1.0);
+  std::cout << "Figure 14: fixing xquic BBR (cwnd gain 2.5 -> 2.0), "
+            << cfg.net.describe() << "\n\n";
+
+  RefPairCache cache;
+  cache.get(ref, cfg);
+  conformance::ConformanceReport before, after;
+  harness::parallel_for(2, [&](int i) {
+    if (i == 0) before = conformance_cell(*broken, ref, cfg, cache);
+    else after = conformance_cell(*fixed, ref, cfg, cache);
+  });
+
+  for (const auto* rep : {&before, &after}) {
+    std::cout << harness::render_pe_plot(
+        std::string(rep == &before ? "(a) original (cwnd gain 2.5)"
+                                   : "(b) modified (cwnd gain 2.0)") +
+            ":  Conf=" + fmt(rep->conformance) +
+            "  Conf-T=" + fmt(rep->conformance_t) +
+            "  d-tput=" + fmt(rep->delta_tput_mbps),
+        rep->ref_pe, rep->test_pe);
+    std::cout << '\n';
+  }
+  std::cout << "conformance before = " << fmt(before.conformance)
+            << ", after = " << fmt(after.conformance) << "\n";
+
+  CsvWriter csv(csv_path("fig14"),
+                {"variant", "conformance", "conformance_t", "delta_tput",
+                 "delta_delay"});
+  csv.row(std::vector<std::string>{"original", fmt(before.conformance, 4),
+                                   fmt(before.conformance_t, 4),
+                                   fmt(before.delta_tput_mbps, 4),
+                                   fmt(before.delta_delay_ms, 4)});
+  csv.row(std::vector<std::string>{"fixed", fmt(after.conformance, 4),
+                                   fmt(after.conformance_t, 4),
+                                   fmt(after.delta_tput_mbps, 4),
+                                   fmt(after.delta_delay_ms, 4)});
+  std::cout << "CSV: " << csv.path() << "\n";
+  return 0;
+}

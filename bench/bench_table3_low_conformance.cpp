@@ -1,0 +1,72 @@
+// Table 3: summary of low-conformant implementations at a 1 BDP buffer
+// (20 Mbps, 10 ms RTT). For each implementation the paper flags, print
+// Conformance-old (IMC'22 single hull), Conformance (clustered),
+// Conformance-T and the translation hints (Δ-tput, Δ-delay).
+//
+// Expected shapes (paper values in brackets):
+//   chromium CUBIC  moderate conf, higher conf-T, +Δ-tput   [0.6/0.74/+3]
+//   neqo     CUBIC  ~zero conf, high conf-T, -Δ-tput/-Δ-delay [0/0.62/-6/-5]
+//   quiche   CUBIC  ~zero conf, mid conf-T, +Δ-tput          [0.08/0.55/+5.5]
+//   xquic    CUBIC  mid conf, mid conf-T, -Δ-delay           [0.55/0.64/0/-5]
+//   mvfst    BBR    ~zero conf, high conf-T, +Δ-tput         [0/0.7/+9]
+//   xquic    BBR    low conf, higher conf-T, +Δ-tput         [0.15/0.42/+4]
+//   xquic    Reno   low conf, high conf-T, -Δ-tput/-Δ-delay  [0.38/0.81/-4/-3]
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  struct Row {
+    const char* stack;
+    stacks::CcaType cca;
+  };
+  const std::vector<Row> rows{
+      {"chromium", stacks::CcaType::kCubic},
+      {"neqo", stacks::CcaType::kCubic},
+      {"quiche", stacks::CcaType::kCubic},
+      {"xquic", stacks::CcaType::kCubic},
+      {"mvfst", stacks::CcaType::kBbr},
+      {"xquic", stacks::CcaType::kBbr},
+      {"xquic", stacks::CcaType::kReno},
+  };
+
+  const harness::ExperimentConfig cfg = default_config(1.0);
+  std::cout << "Table 3: low-conformant implementations (1 BDP buffer, "
+            << cfg.net.describe() << ")\n\n";
+
+  RefPairCache cache;
+  std::vector<conformance::ConformanceReport> reports(rows.size());
+  harness::parallel_for(static_cast<int>(rows.size()), [&](int i) {
+    const auto& row = rows[static_cast<std::size_t>(i)];
+    const auto* impl = reg.find(row.stack, row.cca);
+    reports[static_cast<std::size_t>(i)] =
+        conformance_cell(*impl, reg.reference(row.cca), cfg, cache);
+  });
+
+  CsvWriter csv(csv_path("table3"),
+                {"stack", "cca", "conf_old", "conf", "conf_t", "delta_tput",
+                 "delta_delay"});
+  std::vector<std::vector<std::string>> table;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& rep = reports[i];
+    const std::string cca = stacks::to_string(rows[i].cca);
+    table.push_back({rows[i].stack, cca, fmt(rep.conformance_old),
+                     fmt(rep.conformance), fmt(rep.conformance_t),
+                     fmt(rep.delta_tput_mbps) + " Mbps",
+                     fmt(rep.delta_delay_ms) + " ms"});
+    csv.row(std::vector<std::string>{
+        rows[i].stack, cca, fmt(rep.conformance_old, 4),
+        fmt(rep.conformance, 4), fmt(rep.conformance_t, 4),
+        fmt(rep.delta_tput_mbps, 4), fmt(rep.delta_delay_ms, 4)});
+  }
+  std::cout << harness::render_table(
+      {"Stack", "Type", "Conf-old", "Conf", "Conf-T", "d-tput", "d-delay"},
+      table);
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// CCA picker: the paper's §6 "Extending the Performance Envelope to
+// other applications" idea, implemented. An application states the
+// operating region it wants on the delay-throughput plane (e.g.
+// live-streaming wants low delay, bulk download wants high throughput);
+// we compute the PEs of the three kernel CCAs over the given network and
+// pick the one whose envelope overlaps the desired region the most.
+//
+//   cca_picker lowlatency|bulk|balanced [bandwidth_mbps] [rtt_ms] [buf_bdp]
+
+#include <iostream>
+#include <string>
+
+#include "geom/geom.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace quicbench;
+
+namespace {
+
+// Desired region as a rectangle on the (delay ms, tput Mbps) plane.
+geom::Polygon desired_region(const std::string& profile, double bw_mbps,
+                             double base_rtt_ms, double max_delay_ms) {
+  const double fair = bw_mbps / 2;  // two flows share the link
+  double d_lo = base_rtt_ms, d_hi = max_delay_ms;
+  double t_lo = 0, t_hi = bw_mbps;
+  if (profile == "lowlatency") {
+    // At most ~40% queueing headroom over the base RTT.
+    d_hi = base_rtt_ms + 0.4 * (max_delay_ms - base_rtt_ms);
+    t_lo = 0.5 * fair;  // still want a usable rate
+  } else if (profile == "bulk") {
+    t_lo = 0.9 * fair;  // throughput first, delay irrelevant
+  } else {  // balanced
+    d_hi = base_rtt_ms + 0.7 * (max_delay_ms - base_rtt_ms);
+    t_lo = 0.7 * fair;
+  }
+  return {{d_lo, t_lo}, {d_hi, t_lo}, {d_hi, t_hi}, {d_lo, t_hi}};
+}
+
+// Share of an implementation's PE points that land in the desired region.
+double region_score(const conformance::PerformanceEnvelope& pe,
+                    const geom::Polygon& region) {
+  if (pe.all_points.empty()) return 0;
+  std::size_t in = 0;
+  for (const auto& p : pe.all_points) {
+    if (geom::point_in_convex(region, p)) ++in;
+  }
+  return static_cast<double>(in) / static_cast<double>(pe.all_points.size());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string profile = argc > 1 ? argv[1] : "lowlatency";
+  const double bw = argc > 2 ? std::atof(argv[2]) : 20;
+  const double rtt = argc > 3 ? std::atof(argv[3]) : 10;
+  const double buf = argc > 4 ? std::atof(argv[4]) : 3.0;
+
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(bw);
+  cfg.net.base_rtt = time::from_ms(rtt);
+  cfg.net.buffer_bdp = buf;
+  cfg.duration = time::sec(60);
+  cfg.trials = 3;
+
+  // Worst-case standing queue delay on this path.
+  const double max_delay_ms = rtt * (1.0 + buf);
+  const geom::Polygon region = desired_region(profile, bw, rtt, max_delay_ms);
+
+  std::cout << "cca_picker: application profile '" << profile << "' on "
+            << cfg.net.describe() << "\n"
+            << "desired region: delay [" << region[0].x << ", "
+            << region[1].x << "] ms, tput >= " << region[0].y << " Mbps\n\n";
+
+  const auto& reg = stacks::Registry::instance();
+  std::string best;
+  double best_score = -1;
+  for (const auto cca : {stacks::CcaType::kCubic, stacks::CcaType::kBbr,
+                         stacks::CcaType::kReno}) {
+    const auto& impl = reg.reference(cca);
+    const auto pair = harness::run_pair(impl, impl, cfg);
+    const auto pe = conformance::build_pe(pair.points_a);
+    const double score = region_score(pe, region);
+    const geom::Point c = geom::points_centroid(pe.all_points);
+    std::cout << "  " << stacks::to_string(cca) << ": score "
+              << harness::format_double(score) << "  (PE centroid "
+              << harness::format_double(c.x) << " ms, "
+              << harness::format_double(c.y) << " Mbps, k=" << pe.k << ")\n";
+    if (score > best_score) {
+      best_score = score;
+      best = stacks::to_string(cca);
+    }
+  }
+  std::cout << "\nRecommendation: " << best << " (overlap "
+            << harness::format_double(best_score) << ")\n";
+  return 0;
+}

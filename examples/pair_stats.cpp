@@ -1,0 +1,72 @@
+// Run one A-vs-B pairing and print per-flow throughput, shares and sender
+// statistics. Useful for debugging fairness questions before trusting the
+// bigger fairness matrices.
+//
+//   pair_stats <stackA> <ccaA> <stackB> <ccaB> [buffer_bdp] [secs]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace quicbench;
+
+namespace {
+
+stacks::CcaType parse_cca(const std::string& s) {
+  if (s == "cubic") return stacks::CcaType::kCubic;
+  if (s == "bbr") return stacks::CcaType::kBbr;
+  if (s == "reno") return stacks::CcaType::kReno;
+  std::cerr << "unknown cca " << s << "\n";
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::cerr << "usage: pair_stats <stackA> <ccaA> <stackB> <ccaB> "
+                 "[buffer_bdp] [secs]\n";
+    return 1;
+  }
+  const auto& reg = stacks::Registry::instance();
+  const auto* a = reg.find(argv[1], parse_cca(argv[2]));
+  const auto* b = reg.find(argv[3], parse_cca(argv[4]));
+  if (a == nullptr || b == nullptr) {
+    std::cerr << "implementation not found\n";
+    return 1;
+  }
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(20);
+  cfg.net.base_rtt = time::ms(10);
+  cfg.net.buffer_bdp = argc > 5 ? std::atof(argv[5]) : 1.0;
+  cfg.duration = time::sec(argc > 6 ? std::atoi(argv[6]) : 60);
+  cfg.trials = 3;
+
+  std::cout << a->display << " vs " << b->display << " @ "
+            << cfg.net.describe() << "\n";
+  for (int t = 0; t < cfg.trials; ++t) {
+    const auto tr = harness::run_trial(*a, *b, cfg,
+                                       static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 2; ++i) {
+      const auto& f = tr.flow[i];
+      std::cout << "  trial " << t << " flow " << i << " ("
+                << (i == 0 ? a->display : b->display) << "): "
+                << harness::format_double(rate::to_mbps(f.avg_throughput))
+                << " Mbps  sent=" << f.sender_stats.packets_sent
+                << " losses=" << f.sender_stats.losses_detected
+                << " events=" << f.sender_stats.loss_events
+                << " retx=" << f.sender_stats.retransmissions
+                << " spurious=" << f.sender_stats.spurious_losses
+                << " ptos=" << f.sender_stats.ptos_fired << "\n";
+    }
+  }
+  const auto pr = harness::run_pair(*a, *b, cfg);
+  std::cout << "mean: " << harness::format_double(pr.tput_a_mbps) << " vs "
+            << harness::format_double(pr.tput_b_mbps)
+            << " Mbps   share_a=" << harness::format_double(pr.share_a)
+            << "\n";
+  return 0;
+}

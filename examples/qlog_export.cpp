@@ -1,0 +1,95 @@
+// qlog export: run one flow of a chosen implementation against the
+// kernel reference and dump a qlog (draft-ietf-quic-qlog) JSON event
+// trace for the test flow — loadable in qvis, the visualization tool the
+// QUIC community (and the speciation study this paper builds on) uses to
+// inspect real stacks.
+//
+//   qlog_export [stack] [cca] [out.qlog] [secs]
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cca/cubic.h"
+#include "harness/experiment.h"
+#include "netsim/topology.h"
+#include "trace/qlog.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+using namespace quicbench;
+
+int main(int argc, char** argv) {
+  const std::string stack = argc > 1 ? argv[1] : "quiche";
+  const std::string cca_name = argc > 2 ? argv[2] : "cubic";
+  const std::string out = argc > 3 ? argv[3] : "flow.qlog";
+  const int secs = argc > 4 ? std::atoi(argv[4]) : 20;
+
+  stacks::CcaType type = stacks::CcaType::kCubic;
+  if (cca_name == "bbr") type = stacks::CcaType::kBbr;
+  else if (cca_name == "reno") type = stacks::CcaType::kReno;
+
+  const auto& reg = stacks::Registry::instance();
+  const auto* impl = reg.find(stack, type);
+  if (impl == nullptr) {
+    std::cerr << "unknown implementation\n";
+    return 1;
+  }
+  const auto& ref = reg.reference(type);
+
+  netsim::Simulator sim;
+  netsim::DumbbellConfig dc;
+  dc.bandwidth = rate::mbps(20);
+  dc.base_rtt = time::ms(10);
+  dc.buffer_bytes = bdp_bytes(dc.bandwidth, dc.base_rtt);
+  netsim::Dumbbell db(sim, dc, 2);
+
+  trace::QlogWriter qlog(impl->display + " vs " + ref.display,
+                         stacks::to_string(type));
+
+  std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
+  std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
+  Rng master(7);
+  for (int i = 0; i < 2; ++i) {
+    const stacks::Implementation& im = (i == 0) ? *impl : ref;
+    auto recv = std::make_unique<transport::ReceiverEndpoint>(
+        sim, i, im.profile.receiver, db.reverse_in(i));
+    auto send = std::make_unique<transport::SenderEndpoint>(
+        sim, i, im.profile.sender, im.make_cca(), db.forward_in(),
+        master.fork(static_cast<std::uint64_t>(i)));
+    if (i == 0) {
+      send->set_packet_sent_callback(
+          [&qlog](Time t, std::uint64_t pn, Bytes size, bool retx) {
+            qlog.packet_sent(t, pn, size, retx);
+          });
+      send->set_packet_lost_callback([&qlog](Time t, std::uint64_t pn) {
+        qlog.packet_lost(t, pn);
+      });
+      send->set_cwnd_callback(
+          [&qlog, s = send.get()](Time t, Bytes cwnd, Bytes inflight) {
+            qlog.metrics_updated(t, cwnd, inflight, s->rtt().smoothed());
+          });
+      recv->set_packet_callback(
+          [&qlog](Time t, std::uint64_t pn, Bytes size) {
+            qlog.packet_received(t, pn, size);
+          });
+    }
+    db.attach_receiver(i, recv.get());
+    db.attach_sender_ack_sink(i, send.get());
+    send->start(0);
+    receivers.push_back(std::move(recv));
+    senders.push_back(std::move(send));
+  }
+
+  sim.run_until(time::sec(secs));
+
+  if (!qlog.write_file(out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << qlog.event_count() << " events to " << out
+            << " (" << impl->display << ", " << secs << " s, "
+            << senders[0]->stats().packets_sent << " packets sent, "
+            << senders[0]->stats().losses_detected << " losses)\n";
+  return 0;
+}

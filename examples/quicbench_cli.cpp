@@ -1,0 +1,243 @@
+// quicbench_cli: the command-line orchestrator, equivalent in spirit to
+// the paper's QUICbench tool. Subcommands:
+//
+//   list                                   implementations of Table 1
+//   conformance <stack> <cca>              the §3 pipeline + hints
+//   fairness <stackA> <ccaA> <stackB> <ccaB>   bandwidth shares
+//   heatmap <cca>                          conformance across all stacks
+//   pe <stack> <cca>                       dump the PE point cloud as CSV
+//
+// Common options (after the subcommand arguments):
+//   --bw <mbps>  --rtt <ms>  --buf <bdp>  --secs <s>  --trials <n>
+//   --seed <n>   --csv <path>
+//
+// Examples:
+//   quicbench_cli conformance quiche cubic --buf 1 --secs 120 --trials 5
+//   quicbench_cli fairness lsquic cubic tcp cubic --rtt 50
+//   quicbench_cli heatmap bbr --buf 5
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "util/csv.h"
+
+using namespace quicbench;
+
+namespace {
+
+struct Options {
+  double bw_mbps = 20;
+  double rtt_ms = 10;
+  double buf_bdp = 1.0;
+  int secs = 60;
+  int trials = 5;
+  std::uint64_t seed = 42;
+  std::string csv;
+};
+
+std::optional<stacks::CcaType> parse_cca(const std::string& s) {
+  if (s == "cubic") return stacks::CcaType::kCubic;
+  if (s == "bbr") return stacks::CcaType::kBbr;
+  if (s == "reno") return stacks::CcaType::kReno;
+  return std::nullopt;
+}
+
+Options parse_options(const std::vector<std::string>& args,
+                      std::size_t from) {
+  Options opt;
+  for (std::size_t i = from; i + 1 < args.size() + 1; ++i) {
+    const auto next = [&](double& out) {
+      if (i + 1 < args.size()) out = std::atof(args[++i].c_str());
+    };
+    if (i >= args.size()) break;
+    if (args[i] == "--bw") next(opt.bw_mbps);
+    else if (args[i] == "--rtt") next(opt.rtt_ms);
+    else if (args[i] == "--buf") next(opt.buf_bdp);
+    else if (args[i] == "--secs") {
+      double v = opt.secs;
+      next(v);
+      opt.secs = static_cast<int>(v);
+    } else if (args[i] == "--trials") {
+      double v = opt.trials;
+      next(v);
+      opt.trials = static_cast<int>(v);
+    } else if (args[i] == "--seed") {
+      double v = 0;
+      next(v);
+      opt.seed = static_cast<std::uint64_t>(v);
+    } else if (args[i] == "--csv" && i + 1 < args.size()) {
+      opt.csv = args[++i];
+    }
+  }
+  return opt;
+}
+
+harness::ExperimentConfig to_config(const Options& o) {
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(o.bw_mbps);
+  cfg.net.base_rtt = time::from_ms(o.rtt_ms);
+  cfg.net.buffer_bdp = o.buf_bdp;
+  cfg.duration = time::sec(o.secs);
+  cfg.trials = o.trials;
+  cfg.seed = o.seed;
+  return cfg;
+}
+
+const stacks::Implementation* find_or_die(const std::string& stack,
+                                          const std::string& cca) {
+  const auto type = parse_cca(cca);
+  if (!type.has_value()) {
+    std::cerr << "unknown CCA '" << cca << "'\n";
+    std::exit(1);
+  }
+  const auto* impl = stacks::Registry::instance().find(stack, *type);
+  if (impl == nullptr) {
+    std::cerr << "no implementation '" << stack << " " << cca
+              << "' (try: quicbench_cli list)\n";
+    std::exit(1);
+  }
+  return impl;
+}
+
+int cmd_list() {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& impl : stacks::Registry::instance().all()) {
+    rows.push_back({impl.stack, stacks::to_string(impl.cca),
+                    impl.is_reference ? "reference" : "",
+                    impl.profile.sender.describe()});
+  }
+  std::cout << harness::render_table({"stack", "cca", "", "profile"}, rows);
+  return 0;
+}
+
+int cmd_conformance(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::cerr << "usage: quicbench_cli conformance <stack> <cca> [opts]\n";
+    return 1;
+  }
+  const auto* impl = find_or_die(args[1], args[2]);
+  const Options opt = parse_options(args, 3);
+  const auto cfg = to_config(opt);
+  const auto& ref = stacks::Registry::instance().reference(impl->cca);
+
+  std::cout << impl->display << " vs " << ref.display << " on "
+            << cfg.net.describe() << "\n";
+  const auto rep = harness::measure_conformance(*impl, ref, cfg);
+  std::cout << harness::render_pe_plot("Performance Envelopes", rep.ref_pe,
+                                       rep.test_pe);
+  std::cout << "Conformance   = " << harness::format_double(rep.conformance)
+            << "\nConformance-T = "
+            << harness::format_double(rep.conformance_t)
+            << "\nDelta-tput    = "
+            << harness::format_double(rep.delta_tput_mbps)
+            << " Mbps\nDelta-delay   = "
+            << harness::format_double(rep.delta_delay_ms) << " ms\n";
+  if (!opt.csv.empty()) {
+    CsvWriter csv(opt.csv, {"metric", "value"});
+    csv.row(std::vector<std::string>{
+        "conformance", harness::format_double(rep.conformance, 4)});
+    csv.row(std::vector<std::string>{
+        "conformance_t", harness::format_double(rep.conformance_t, 4)});
+    csv.row(std::vector<std::string>{
+        "delta_tput_mbps", harness::format_double(rep.delta_tput_mbps, 4)});
+    csv.row(std::vector<std::string>{
+        "delta_delay_ms", harness::format_double(rep.delta_delay_ms, 4)});
+    std::cout << "wrote " << opt.csv << "\n";
+  }
+  return 0;
+}
+
+int cmd_fairness(const std::vector<std::string>& args) {
+  if (args.size() < 5) {
+    std::cerr << "usage: quicbench_cli fairness <stackA> <ccaA> <stackB> "
+                 "<ccaB> [opts]\n";
+    return 1;
+  }
+  const auto* a = find_or_die(args[1], args[2]);
+  const auto* b = find_or_die(args[3], args[4]);
+  const Options opt = parse_options(args, 5);
+  const auto cfg = to_config(opt);
+  const auto pr = harness::run_pair(*a, *b, cfg);
+  std::cout << a->display << ": " << harness::format_double(pr.tput_a_mbps)
+            << " Mbps (share " << harness::format_double(pr.share_a)
+            << ")\n"
+            << b->display << ": " << harness::format_double(pr.tput_b_mbps)
+            << " Mbps (share " << harness::format_double(pr.share_b)
+            << ")\n";
+  return 0;
+}
+
+int cmd_heatmap(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr << "usage: quicbench_cli heatmap <cca> [opts]\n";
+    return 1;
+  }
+  const auto type = parse_cca(args[1]);
+  if (!type.has_value()) {
+    std::cerr << "unknown CCA\n";
+    return 1;
+  }
+  const Options opt = parse_options(args, 2);
+  const auto cfg = to_config(opt);
+  const auto& reg = stacks::Registry::instance();
+  const auto& ref = reg.reference(*type);
+  const auto ref_pair = harness::run_pair(ref, ref, cfg);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> values;
+  for (const auto* impl : reg.with_cca(*type, false)) {
+    const auto test_pair = harness::run_pair(*impl, ref, cfg);
+    const auto rep =
+        conformance::evaluate(ref_pair.points_a, test_pair.points_a);
+    labels.push_back(impl->display);
+    values.push_back({rep.conformance, rep.conformance_t});
+  }
+  std::cout << harness::render_heatmap(
+      "conformance heatmap (" + cfg.net.describe() + ")", labels,
+      {"conf", "confT"}, values);
+  return 0;
+}
+
+int cmd_pe(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::cerr << "usage: quicbench_cli pe <stack> <cca> [opts]\n";
+    return 1;
+  }
+  const auto* impl = find_or_die(args[1], args[2]);
+  const Options opt = parse_options(args, 3);
+  const auto cfg = to_config(opt);
+  const auto& ref = stacks::Registry::instance().reference(impl->cca);
+  const auto pair = harness::run_pair(*impl, ref, cfg);
+  const auto pe = conformance::build_pe(pair.points_a);
+
+  const std::string path = opt.csv.empty() ? "pe_points.csv" : opt.csv;
+  CsvWriter csv(path, {"delay_ms", "tput_mbps"});
+  for (const auto& p : pe.all_points) csv.row({p.x, p.y});
+  std::cout << "k=" << pe.k << " hulls=" << pe.hulls.size()
+            << " iou=" << harness::format_double(pe.iou) << "\nwrote "
+            << pe.all_points.size() << " points to " << path << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: quicbench_cli "
+                 "list|conformance|fairness|heatmap|pe ...\n";
+    return 1;
+  }
+  if (args[0] == "list") return cmd_list();
+  if (args[0] == "conformance") return cmd_conformance(args);
+  if (args[0] == "fairness") return cmd_fairness(args);
+  if (args[0] == "heatmap") return cmd_heatmap(args);
+  if (args[0] == "pe") return cmd_pe(args);
+  std::cerr << "unknown subcommand '" << args[0] << "'\n";
+  return 1;
+}

@@ -1,0 +1,120 @@
+// Quickstart: measure the conformance of one QUIC CCA implementation
+// against its Linux-kernel reference, exactly like the paper's §3
+// methodology, and print the Performance Envelopes plus all metrics.
+//
+//   quickstart [stack] [cca] [buffer_bdp] [duration_sec] [trials]
+//   e.g.: quickstart quiche cubic 1.0 120 5
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace quicbench;
+
+int main(int argc, char** argv) {
+  const std::string stack = argc > 1 ? argv[1] : "msquic";
+  const std::string cca_name = argc > 2 ? argv[2] : "cubic";
+  const double buffer_bdp = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const int duration_sec = argc > 4 ? std::atoi(argv[4]) : 60;
+  const int trials = argc > 5 ? std::atoi(argv[5]) : 5;
+
+  stacks::CcaType type;
+  if (cca_name == "cubic") {
+    type = stacks::CcaType::kCubic;
+  } else if (cca_name == "bbr") {
+    type = stacks::CcaType::kBbr;
+  } else if (cca_name == "reno") {
+    type = stacks::CcaType::kReno;
+  } else {
+    std::cerr << "unknown CCA '" << cca_name << "' (cubic|bbr|reno)\n";
+    return 1;
+  }
+
+  const auto& registry = stacks::Registry::instance();
+  // "fixed:<stack>" selects the Table 4 fixed variant.
+  stacks::Implementation fixed_storage;
+  const stacks::Implementation* test = nullptr;
+  if (stack.rfind("fixed:", 0) == 0) {
+    const auto* base = registry.find(stack.substr(6), type);
+    if (base != nullptr) {
+      if (auto fixed = stacks::fixed_variant(*base); fixed.has_value()) {
+        fixed_storage = *fixed;
+        test = &fixed_storage;
+      }
+    }
+  } else {
+    test = registry.find(stack, type);
+  }
+  if (test == nullptr) {
+    std::cerr << "no implementation '" << stack << " " << cca_name
+              << "' (see Table 1)\navailable stacks:\n";
+    for (const auto& impl : registry.all()) {
+      std::cerr << "  " << impl.display << '\n';
+    }
+    return 1;
+  }
+  const stacks::Implementation& ref = registry.reference(type);
+
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(20);
+  cfg.net.base_rtt = time::ms(10);
+  cfg.net.buffer_bdp = buffer_bdp;
+  cfg.duration = time::sec(duration_sec);
+  cfg.trials = trials;
+
+  std::cout << "== QUICbench-cpp quickstart ==\n"
+            << "test:      " << test->display << "\n"
+            << "reference: " << ref.display << "\n"
+            << "network:   " << cfg.net.describe() << "\n"
+            << "duration:  " << duration_sec << " s x " << trials
+            << " trials\n\n";
+
+  const auto rep = harness::measure_conformance(*test, ref, cfg);
+
+  std::cout << harness::render_pe_plot("Performance Envelopes", rep.ref_pe,
+                                       rep.test_pe)
+            << '\n';
+
+  const auto pe_info = [](const char* name,
+                          const conformance::PerformanceEnvelope& pe) {
+    const geom::Point c = geom::points_centroid(pe.all_points);
+    std::cout << name << ": k=" << pe.k << " hulls=" << pe.hulls.size()
+              << " points=" << pe.all_points.size()
+              << " iou=" << harness::format_double(pe.iou)
+              << " centroid=(" << harness::format_double(c.x) << " ms, "
+              << harness::format_double(c.y) << " Mbps)\n";
+    for (const auto& cc : pe.cluster_centroids) {
+      std::cout << "    cluster @ (" << harness::format_double(cc.x)
+                << " ms, " << harness::format_double(cc.y) << " Mbps)\n";
+    }
+  };
+  pe_info("reference PE", rep.ref_pe);
+  pe_info("test PE     ", rep.test_pe);
+
+  std::cout << "\nConformance      = "
+            << harness::format_double(rep.conformance) << "\n"
+            << "Conformance-old  = "
+            << harness::format_double(rep.conformance_old) << "\n"
+            << "Conformance-T    = "
+            << harness::format_double(rep.conformance_t) << "\n"
+            << "Delta-throughput = "
+            << harness::format_double(rep.delta_tput_mbps) << " Mbps\n"
+            << "Delta-delay      = "
+            << harness::format_double(rep.delta_delay_ms) << " ms\n";
+
+  if (rep.conformance < 0.5 && rep.conformance_t > rep.conformance + 0.15) {
+    std::cout << "\nHint: high Conformance-T suggests simple parameter "
+                 "tuning could fix this implementation.\n";
+    if (rep.delta_tput_mbps > 1 && std::abs(rep.delta_delay_ms) < 2) {
+      std::cout << "Positive delta-tput with flat delay points at an "
+                   "overdriven sending rate (pacing gain).\n";
+    } else if (rep.delta_tput_mbps > 1 && rep.delta_delay_ms > 1) {
+      std::cout << "Positive delta-tput and delta-delay point at an "
+                   "oversized cwnd (cwnd gain).\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Tune advisor: the workflow the paper proposes for CCA developers (§3.3,
+// §5). Configure a custom QUIC CUBIC or BBR with your own parameters,
+// measure Conformance / Conformance-T against the kernel reference, and
+// get a hint about which knob is off.
+//
+//   tune_advisor cubic [beta] [c] [hystart 0|1] [emulated_flows]
+//   tune_advisor bbr   [cwnd_gain] [pacing_scale]
+//
+// Examples:
+//   tune_advisor cubic 0.85 0.4 1 2     # chromium-like (2 emulated flows)
+//   tune_advisor bbr 2.5 1.0            # xquic-like cwnd gain
+//   tune_advisor bbr 2.0 1.2            # mvfst-like hot pacer
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace quicbench;
+
+int main(int argc, char** argv) {
+  const std::string cca = argc > 1 ? argv[1] : "cubic";
+  const auto& reg = stacks::Registry::instance();
+
+  stacks::Implementation custom;
+  stacks::CcaType type;
+  if (cca == "cubic") {
+    type = stacks::CcaType::kCubic;
+    custom = *reg.find("msquic", type);  // a conformant baseline profile
+    custom.display = "custom cubic";
+    if (argc > 2) custom.cubic.beta = std::atof(argv[2]);
+    if (argc > 3) custom.cubic.c = std::atof(argv[3]);
+    if (argc > 4) custom.cubic.hystart = std::atoi(argv[4]) != 0;
+    if (argc > 5) custom.cubic.emulated_flows = std::atoi(argv[5]);
+    std::cout << "custom CUBIC: beta=" << custom.cubic.beta
+              << " C=" << custom.cubic.c
+              << " hystart=" << custom.cubic.hystart
+              << " emulated_flows=" << custom.cubic.emulated_flows << "\n";
+  } else if (cca == "bbr") {
+    type = stacks::CcaType::kBbr;
+    custom = *reg.find("lsquic", type);
+    custom.profile = transport::default_quic_profile();
+    custom.display = "custom bbr";
+    if (argc > 2) custom.bbr.cwnd_gain = std::atof(argv[2]);
+    if (argc > 3) custom.bbr.pacing_rate_scale = std::atof(argv[3]);
+    std::cout << "custom BBR: cwnd_gain=" << custom.bbr.cwnd_gain
+              << " pacing_scale=" << custom.bbr.pacing_rate_scale << "\n";
+  } else {
+    std::cerr << "usage: tune_advisor cubic|bbr [params...]\n";
+    return 1;
+  }
+
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(20);
+  cfg.net.base_rtt = time::ms(10);
+  cfg.net.buffer_bdp = 1.0;
+  cfg.duration = time::sec(60);
+  cfg.trials = 5;
+
+  const auto rep =
+      harness::measure_conformance(custom, reg.reference(type), cfg);
+
+  std::cout << "\nConformance   = " << harness::format_double(rep.conformance)
+            << "\nConformance-T = "
+            << harness::format_double(rep.conformance_t)
+            << "\nDelta-tput    = "
+            << harness::format_double(rep.delta_tput_mbps) << " Mbps"
+            << "\nDelta-delay   = "
+            << harness::format_double(rep.delta_delay_ms) << " ms\n\n";
+
+  // The paper's diagnosis matrix (§3.3).
+  if (rep.conformance >= 0.5) {
+    std::cout << "Verdict: conformant. Ship it.\n";
+    return 0;
+  }
+  std::cout << "Verdict: LOW conformance.\n";
+  if (rep.conformance_t > rep.conformance + 0.15) {
+    std::cout << "Conformance-T is much higher: a parameter-tuning fix is "
+                 "likely.\n";
+    const bool tput_up = rep.delta_tput_mbps > 1.0;
+    const bool tput_down = rep.delta_tput_mbps < -1.0;
+    const bool delay_up = rep.delta_delay_ms > 1.0;
+    if (tput_up && delay_up) {
+      std::cout << "  +tput and +delay: the cwnd is oversized — check "
+                   "cwnd gain / emulated flows / beta.\n";
+    } else if (tput_up) {
+      std::cout << "  +tput with flat delay: the sending rate is "
+                   "overdriven — check the pacing gain/rate scale.\n";
+    } else if (tput_down) {
+      std::cout << "  -tput: the implementation undershoots — check flow "
+                   "control limits, pacing, or missing HyStart.\n";
+    }
+  } else {
+    std::cout << "Conformance-T is also low: the PE shape itself differs — "
+                 "look for algorithmic or stack-level differences, not "
+                 "parameters.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench binaries drop into bench_out/.
+
+Usage:
+    python3 scripts/plot_bench.py bench_out/           # everything found
+    python3 scripts/plot_bench.py bench_out/fig05.csv  # one file
+
+Produces PNGs next to each CSV. Requires matplotlib + pandas.
+"""
+import sys
+from pathlib import Path
+
+import pandas as pd
+import matplotlib
+
+matplotlib.use("Agg")
+import matplotlib.pyplot as plt  # noqa: E402
+
+
+def plot_fig05(df, out):
+    fig, ax1 = plt.subplots(figsize=(6, 4))
+    ax1.plot(df.cwnd_gain, df.conformance, "o-", label="Conformance")
+    ax1.plot(df.cwnd_gain, df.conformance_t, "s--", label="Conformance-T")
+    ax1.set_xlabel("cwnd gain")
+    ax1.set_ylabel("conformance")
+    ax1.axvline(2.0, color="grey", ls=":")
+    ax1.legend()
+    ax1.set_title("Fig 5: modified kernel BBR")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_points(df, out, title):
+    fig, ax = plt.subplots(figsize=(6, 4))
+    if "cca" in df.columns:
+        for cca, gr in df.groupby("cca"):
+            ax.scatter(gr.delay_ms, gr.tput_mbps, s=4, label=cca)
+        ax.legend()
+    else:
+        ax.scatter(df.delay_ms, df.tput_mbps, s=4)
+    ax.set_xlabel("delay (ms)")
+    ax.set_ylabel("throughput (Mbps)")
+    ax.set_title(title)
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_heat(df, out, title, index, columns, values):
+    pivot = df.pivot_table(index=index, columns=columns, values=values)
+    fig, ax = plt.subplots(figsize=(1 + 0.5 * len(pivot.columns),
+                                    1 + 0.3 * len(pivot.index)))
+    im = ax.imshow(pivot.values, vmin=0, vmax=1, cmap="RdYlGn")
+    ax.set_xticks(range(len(pivot.columns)), pivot.columns, rotation=90)
+    ax.set_yticks(range(len(pivot.index)), pivot.index)
+    fig.colorbar(im)
+    ax.set_title(title)
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_cwnd(df, out):
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for variant, gr in df.groupby("variant"):
+        ax.plot(gr.t_sec, gr.cwnd_bytes / 1448, label=variant, lw=0.8)
+    ax.set_xlabel("time (s)")
+    ax.set_ylabel("cwnd (segments)")
+    ax.legend()
+    ax.set_title("Fig 15: quiche CUBIC cwnd, original vs fixed")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def handle(path: Path):
+    df = pd.read_csv(path)
+    out = path.with_suffix(".png")
+    name = path.stem
+    try:
+        if name == "fig05":
+            plot_fig05(df, out)
+        elif name in ("fig02", "fig03"):
+            plot_points(df, out, name)
+        elif name == "fig06":
+            plot_heat(df, out, "Fig 6 conformance",
+                      df.stack + " " + df.cca if False else "stack",
+                      "buffer_bdp", "conformance")
+        elif name == "fig12":
+            for cca, gr in df.groupby("cca"):
+                plot_heat(gr, path.with_name(f"fig12_{cca}.png"),
+                          f"Fig 12 ({cca}) row share", "row", "col",
+                          "row_share")
+        elif name == "fig13":
+            for buf, gr in df.groupby("buffer_bdp"):
+                plot_heat(gr, path.with_name(f"fig13_{buf}.png"),
+                          f"Fig 13 BBR share ({buf} BDP)", "cubic", "bbr",
+                          "bbr_share")
+        elif name == "fig15_cwnd":
+            plot_cwnd(df, out)
+        else:
+            return f"skip {name} (no plotter)"
+        return f"wrote {out}"
+    except Exception as exc:  # pragma: no cover - best effort tooling
+        return f"failed {name}: {exc}"
+
+
+def main():
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("bench_out")
+    files = [target] if target.is_file() else sorted(target.glob("*.csv"))
+    for f in files:
+        print(handle(f))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+#include "cca/bbr.h"
+
+#include <algorithm>
+
+namespace quicbench::cca {
+
+constexpr double Bbr::kPacingGainCycle[8];
+
+Bbr::Bbr(BbrConfig cfg)
+    : cfg_(cfg),
+      pacing_gain_(cfg.startup_gain),
+      cwnd_gain_(cfg.startup_gain),
+      btl_bw_filter_(cfg.btlbw_window_rounds),
+      cwnd_(cfg.mss * cfg.initial_cwnd_packets) {}
+
+Rate Bbr::btl_bw() const {
+  return btl_bw_filter_.empty() ? 0.0 : btl_bw_filter_.get();
+}
+
+Bytes Bbr::bdp_bytes_est(double gain) const {
+  if (btl_bw_filter_.empty() || rt_prop_ == time::kInfinite) {
+    return cfg_.mss * cfg_.initial_cwnd_packets;
+  }
+  const double bdp = btl_bw() / 8.0 * time::to_sec(rt_prop_);
+  return static_cast<Bytes>(gain * bdp);
+}
+
+void Bbr::on_packet_sent(const SentPacketEvent&) {}
+
+void Bbr::update_round(const AckEvent& ev) {
+  new_round_ = false;
+  if (!round_started_ || ev.largest_newly_acked >= round_end_pn_) {
+    round_end_pn_ = ev.largest_sent_pn;
+    round_started_ = true;
+    // Freeze the round counter in ProbeRTT: with the window collapsed to
+    // 4 packets, "rounds" fly by at RTT granularity and would expire the
+    // whole 10-round bandwidth filter during a single 200 ms dwell
+    // (visible at small RTTs), leaving the flow starved on exit.
+    if (mode_ != Mode::kProbeRtt) ++round_count_;
+    new_round_ = true;
+    loss_in_round_ = false;
+  }
+}
+
+void Bbr::update_filters(const AckEvent& ev) {
+  // During ProbeRTT the only estimate being refreshed is rt_prop; the
+  // throttled delivery rate says nothing about the bottleneck.
+  if (mode_ != Mode::kProbeRtt && ev.rate_valid &&
+      (!ev.rate_app_limited || ev.delivery_rate > btl_bw())) {
+    btl_bw_filter_.update(static_cast<long long>(round_count_),
+                          ev.delivery_rate);
+    btl_bw_filter_.set_window(cfg_.btlbw_window_rounds);
+    btl_bw_filter_.expire(static_cast<long long>(round_count_));
+  }
+
+  if (ev.rtt > 0) {
+    rt_prop_expired_ = ev.now > rt_prop_stamp_ + cfg_.probe_rtt_interval;
+    if (ev.rtt <= rt_prop_ || rt_prop_expired_) {
+      rt_prop_ = ev.rtt;
+      rt_prop_stamp_ = ev.now;
+    }
+  }
+}
+
+void Bbr::check_full_pipe() {
+  if (filled_pipe_ || !new_round_) return;
+  if (btl_bw() >= full_bw_ * 1.25) {
+    full_bw_ = btl_bw();
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= 3) filled_pipe_ = true;
+}
+
+void Bbr::check_drain(const AckEvent& ev) {
+  if (mode_ == Mode::kStartup && filled_pipe_) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = cfg_.drain_gain;
+    cwnd_gain_ = cfg_.startup_gain;
+  }
+  if (mode_ == Mode::kDrain && ev.bytes_in_flight <= bdp_bytes_est(1.0)) {
+    mode_ = Mode::kProbeBw;
+    cycle_index_ = 0;
+    cycle_stamp_ = ev.now;
+    pacing_gain_ = kPacingGainCycle[0];
+    cwnd_gain_ = cfg_.cwnd_gain;
+  }
+}
+
+void Bbr::update_probe_bw_cycle(const AckEvent& ev) {
+  if (mode_ != Mode::kProbeBw) return;
+  const Time elapsed = ev.now - cycle_stamp_;
+  const double gain = kPacingGainCycle[cycle_index_];
+  bool advance = false;
+  if (gain == 1.0) {
+    advance = elapsed > rt_prop_;
+  } else if (gain > 1.0) {
+    // Stay in the probing phase until we have actually filled the pipe to
+    // gain x BDP or seen losses, but at least one RTprop.
+    advance = elapsed > rt_prop_ &&
+              (loss_in_round_ ||
+               ev.bytes_in_flight >= bdp_bytes_est(gain));
+  } else {
+    // Drain phase of the cycle: leave as soon as the queue is gone.
+    advance = elapsed > rt_prop_ || ev.bytes_in_flight <= bdp_bytes_est(1.0);
+  }
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % 8;
+    cycle_stamp_ = ev.now;
+    pacing_gain_ = kPacingGainCycle[cycle_index_];
+  }
+}
+
+void Bbr::check_probe_rtt(const AckEvent& ev) {
+  if (mode_ != Mode::kProbeRtt && rt_prop_expired_ && filled_pipe_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_ = cwnd_;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_stamp_ = -1;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    const Bytes probe_cwnd = cfg_.mss * cfg_.min_cwnd_packets;
+    if (probe_rtt_done_stamp_ < 0 && ev.bytes_in_flight <= probe_cwnd) {
+      probe_rtt_done_stamp_ = ev.now + cfg_.probe_rtt_duration;
+      probe_rtt_round_done_ = false;
+      probe_rtt_round_end_ = ev.largest_sent_pn;
+    }
+    if (probe_rtt_done_stamp_ >= 0) {
+      if (ev.largest_newly_acked >= probe_rtt_round_end_) {
+        probe_rtt_round_done_ = true;
+      }
+      if (probe_rtt_round_done_ && ev.now >= probe_rtt_done_stamp_) {
+        rt_prop_stamp_ = ev.now;
+        cwnd_ = std::max(cwnd_, prior_cwnd_);
+        if (filled_pipe_) {
+          mode_ = Mode::kProbeBw;
+          cycle_index_ = 0;
+          cycle_stamp_ = ev.now;
+          pacing_gain_ = kPacingGainCycle[0];
+          cwnd_gain_ = cfg_.cwnd_gain;
+        } else {
+          mode_ = Mode::kStartup;
+          pacing_gain_ = cfg_.startup_gain;
+          cwnd_gain_ = cfg_.startup_gain;
+        }
+      }
+    }
+  }
+}
+
+void Bbr::update_cwnd(const AckEvent& ev) {
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_ = cfg_.mss * cfg_.min_cwnd_packets;
+    return;
+  }
+  const Bytes target = bdp_bytes_est(cwnd_gain_);
+  if (filled_pipe_) {
+    cwnd_ = std::min(cwnd_ + ev.bytes_acked, target);
+  } else {
+    // Startup: grow unconditionally (slow-start-like).
+    cwnd_ += ev.bytes_acked;
+  }
+  cwnd_ = std::max(cwnd_, cfg_.mss * cfg_.min_cwnd_packets);
+}
+
+void Bbr::on_ack(const AckEvent& ev) {
+  update_round(ev);
+  update_filters(ev);
+  check_full_pipe();
+  check_drain(ev);
+  update_probe_bw_cycle(ev);
+  check_probe_rtt(ev);
+  update_cwnd(ev);
+}
+
+void Bbr::on_loss(const LossEvent& ev) {
+  // BBRv1 is loss-agnostic apart from noting losses for the ProbeBW cycle
+  // advance and collapsing on persistent congestion.
+  loss_in_round_ = true;
+  if (ev.is_persistent_congestion) {
+    cwnd_ = cfg_.mss * cfg_.min_cwnd_packets;
+  }
+}
+
+Bytes Bbr::cwnd() const { return cwnd_; }
+
+std::optional<Rate> Bbr::pacing_rate() const {
+  if (btl_bw_filter_.empty() || rt_prop_ == time::kInfinite) {
+    // No estimates yet: stay window-limited (burst out the initial cwnd).
+    return std::nullopt;
+  }
+  return pacing_gain_ * btl_bw() * cfg_.pacing_rate_scale;
+}
+
+} // namespace quicbench::cca

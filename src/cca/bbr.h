@@ -1,0 +1,99 @@
+#pragma once
+// BBR v1 (Cardwell et al., 2017) with the Startup / Drain / ProbeBW /
+// ProbeRTT state machine, a 10-round windowed-max bottleneck-bandwidth
+// filter and a 10-second windowed-min RTprop filter.
+//
+// Variant knobs reproduce the deviations the paper documents:
+//  - `cwnd_gain` (kernel default 2.0; xquic ships 2.5, §5 / Fig 14)
+//  - `pacing_rate_scale` (mvfst multiplies its final sending rate by
+//    ~1.2x, §4.1.2 / Table 4)
+
+#include "cca/cca.h"
+#include "util/stats.h"
+
+namespace quicbench::cca {
+
+struct BbrConfig {
+  Bytes mss = 1448;
+  int initial_cwnd_packets = 10;
+  int min_cwnd_packets = 4;
+
+  double cwnd_gain = 2.0;
+  double pacing_rate_scale = 1.0;  // stack-level scaling of the final rate
+
+  double startup_gain = 2.885;  // 2 / ln(2)
+  double drain_gain = 1.0 / 2.885;
+  Time probe_rtt_interval = time::sec(10);
+  Time probe_rtt_duration = time::ms(200);
+  Time min_rtt_window = time::sec(10);
+  int btlbw_window_rounds = 10;
+};
+
+class Bbr : public CongestionController {
+ public:
+  explicit Bbr(BbrConfig cfg);
+
+  void on_packet_sent(const SentPacketEvent& ev) override;
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  Bytes cwnd() const override;
+  std::optional<Rate> pacing_rate() const override;
+  bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  std::string name() const override { return "bbr"; }
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  Mode mode() const { return mode_; }
+  Rate btl_bw() const;
+  Time rt_prop() const { return rt_prop_; }
+  bool filled_pipe() const { return filled_pipe_; }
+  int probe_bw_phase() const { return cycle_index_; }
+
+ private:
+  Bytes bdp_bytes_est(double gain) const;
+  void update_round(const AckEvent& ev);
+  void update_filters(const AckEvent& ev);
+  void check_full_pipe();
+  void check_drain(const AckEvent& ev);
+  void update_probe_bw_cycle(const AckEvent& ev);
+  void check_probe_rtt(const AckEvent& ev);
+  void update_cwnd(const AckEvent& ev);
+
+  BbrConfig cfg_;
+  Mode mode_ = Mode::kStartup;
+
+  double pacing_gain_;
+  double cwnd_gain_;
+
+  stats::WindowedMax<double> btl_bw_filter_;  // bits/sec, windowed by round
+  Time rt_prop_ = time::kInfinite;
+  Time rt_prop_stamp_ = 0;
+  bool rt_prop_expired_ = false;
+
+  // Round counting via packet numbers.
+  std::uint64_t round_end_pn_ = 0;
+  bool round_started_ = false;
+  std::uint64_t round_count_ = 0;
+  bool new_round_ = false;
+
+  // Startup full-pipe detection.
+  bool filled_pipe_ = false;
+  Rate full_bw_ = 0;
+  int full_bw_count_ = 0;
+
+  // ProbeBW gain cycling.
+  int cycle_index_ = 0;
+  Time cycle_stamp_ = 0;
+  bool loss_in_round_ = false;
+
+  // ProbeRTT.
+  Time probe_rtt_done_stamp_ = -1;
+  bool probe_rtt_round_done_ = false;
+  std::uint64_t probe_rtt_round_end_ = 0;
+
+  Bytes cwnd_;
+  Bytes prior_cwnd_ = 0;
+
+  static constexpr double kPacingGainCycle[8] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+};
+
+} // namespace quicbench::cca

@@ -1,0 +1,107 @@
+#pragma once
+// Congestion-controller interface shared by the kernel-reference CCAs
+// (NewReno, CUBIC, BBR) and all per-stack QUIC variants.
+//
+// The transport feeds the controller three kinds of events — sends, acks
+// and losses — and polls it for the congestion window and (optionally) a
+// pacing rate. The event structs carry the delivery-rate bookkeeping BBR
+// needs, so controllers stay stateless with respect to the transport's
+// internals.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/units.h"
+
+namespace quicbench::cca {
+
+// Per-packet info captured at send time.
+struct SentPacketEvent {
+  Time now = 0;
+  std::uint64_t pn = 0;
+  Bytes size = 0;
+  Bytes bytes_in_flight = 0;  // including this packet
+  bool is_retransmission = false;
+  bool app_limited = false;
+};
+
+// One call per processed ACK frame (which may newly ack several packets).
+struct AckEvent {
+  Time now = 0;
+  Bytes bytes_acked = 0;       // newly acked by this frame
+  Bytes bytes_in_flight = 0;   // after removing acked packets
+  Time rtt = 0;                // latest RTT sample (0 if none this frame)
+  Time smoothed_rtt = 0;
+  Time min_rtt = 0;            // transport-global minimum
+  std::uint64_t largest_newly_acked = 0;
+  Time largest_newly_acked_sent_time = 0;
+  std::uint64_t largest_sent_pn = 0;  // highest pn sent so far (round tracking)
+
+  // Delivery-rate sample (BBR-style), valid when `rate_valid`.
+  bool rate_valid = false;
+  Rate delivery_rate = 0;
+  bool rate_app_limited = false;
+};
+
+struct LossEvent {
+  Time now = 0;
+  Bytes bytes_lost = 0;
+  Bytes bytes_in_flight = 0;  // after removing lost packets
+  std::uint64_t largest_lost_pn = 0;
+  Time largest_lost_sent_time = 0;
+  bool is_persistent_congestion = false;
+};
+
+// A packet previously declared lost was later acknowledged.
+struct SpuriousLossEvent {
+  Time now = 0;
+  std::uint64_t pn = 0;
+  Bytes bytes = 0;
+  Time sent_time = 0;  // when the spuriously-marked packet was sent
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void on_packet_sent(const SentPacketEvent&) {}
+  virtual void on_ack(const AckEvent& ev) = 0;
+  virtual void on_loss(const LossEvent& ev) = 0;
+  virtual void on_spurious_loss(const SpuriousLossEvent&) {}
+
+  // Congestion window in bytes. The transport never sends beyond it
+  // (except PTO probes).
+  virtual Bytes cwnd() const = 0;
+
+  // Pacing rate in bits/sec, or nullopt for pure ack-clocked (window
+  // limited) sending.
+  virtual std::optional<Rate> pacing_rate() const { return std::nullopt; }
+
+  virtual bool in_slow_start() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+using CcaFactory = std::unique_ptr<CongestionController> (*)();
+
+// Helper shared by loss-based CCAs: one cwnd reduction per congestion
+// event ("round"), keyed by the send time of the lost packet relative to
+// the start of the current recovery episode (QUIC RFC 9002 semantics,
+// equivalent to TCP's once-per-window rule).
+class RecoveryEpochTracker {
+ public:
+  // Returns true if this loss starts a new congestion event.
+  bool on_congestion_event(Time now, Time lost_sent_time) {
+    if (lost_sent_time <= recovery_start_) return false;
+    recovery_start_ = now;
+    return true;
+  }
+  Time recovery_start() const { return recovery_start_; }
+  void reset() { recovery_start_ = -1; }
+
+ private:
+  Time recovery_start_ = -1;
+};
+
+} // namespace quicbench::cca

@@ -1,0 +1,244 @@
+#include "cca/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace quicbench::cca {
+
+namespace {
+constexpr double kSecPerNs = 1e-9;
+}
+
+Cubic::Cubic(CubicConfig cfg)
+    : cfg_(cfg),
+      cwnd_(cfg.mss * cfg.initial_cwnd_packets),
+      ssthresh_(std::numeric_limits<Bytes>::max()) {}
+
+bool Cubic::in_slow_start() const { return phase_ != Phase::kAvoidance; }
+
+double Cubic::effective_beta() const {
+  // chromium-style emulated connections: beta_hat = (n - 1 + beta) / n.
+  const double n = static_cast<double>(std::max(cfg_.emulated_flows, 1));
+  return (n - 1.0 + cfg_.beta) / n;
+}
+
+double Cubic::aimd_alpha() const {
+  // TCP-friendly additive increase; chromium scales by n^2.
+  const double n = static_cast<double>(std::max(cfg_.emulated_flows, 1));
+  const double b = effective_beta();
+  return 3.0 * n * n * (1.0 - b) / (1.0 + b);
+}
+
+void Cubic::hystart_round_start(std::uint64_t largest_sent_pn) {
+  last_round_min_rtt_ = current_round_min_rtt_;
+  current_round_min_rtt_ = time::kInfinite;
+  rtt_sample_count_ = 0;
+  round_end_pn_ = largest_sent_pn;
+  round_open_ = true;
+  round_start_time_ = -1;  // stamped by the first ack of the round
+  if (phase_ == Phase::kCss) {
+    ++css_rounds_;
+    if (css_rounds_ >= kCssRounds) {
+      // CSS confirmed the delay increase: leave slow start for good.
+      enter_avoidance_from(cwnd_);
+    }
+  }
+}
+
+void Cubic::hystart_on_ack(const AckEvent& ev) {
+  if (!cfg_.hystart) return;
+  if (!round_open_ || ev.largest_newly_acked >= round_end_pn_) {
+    hystart_round_start(ev.largest_sent_pn);
+  }
+  if (ev.rtt <= 0) return;
+  if (round_start_time_ < 0) round_start_time_ = ev.now;
+  current_round_min_rtt_ = std::min(current_round_min_rtt_, ev.rtt);
+  delay_min_ = std::min(delay_min_, ev.rtt);
+  ++rtt_sample_count_;
+
+  if (cfg_.classic_hystart) {
+    // Kernel-style HyStart: two detectors, immediate exit to CA.
+    if (phase_ != Phase::kSlowStart) return;
+    // (1) ACK train: consecutive closely-spaced acks spanning at least
+    // half the minimum RTT mean the pipe is full.
+    if (cfg_.hystart_ack_train) {
+      if (last_ack_time_ >= 0 && ev.now - last_ack_time_ <= time::ms(2) &&
+          round_start_time_ >= 0 &&
+          ev.now - round_start_time_ >= delay_min_ / 2 &&
+          delay_min_ != time::kInfinite) {
+        last_ack_time_ = ev.now;
+        enter_avoidance_from(cwnd_);
+        return;
+      }
+    }
+    last_ack_time_ = ev.now;
+    // (2) Delay increase, after enough samples in the round.
+    if (rtt_sample_count_ >= kHystartMinRttSamples &&
+        delay_min_ != time::kInfinite) {
+      const Time eta =
+          std::clamp<Time>(delay_min_ / 8, time::ms(4), time::ms(16));
+      if (current_round_min_rtt_ >= delay_min_ + eta) {
+        enter_avoidance_from(cwnd_);
+      }
+    }
+    return;
+  }
+
+  // HyStart++ (RFC 9406): delay detector moves to a conservative
+  // slow-start phase first.
+  if (phase_ == Phase::kSlowStart &&
+      rtt_sample_count_ >= kHystartMinRttSamples &&
+      last_round_min_rtt_ != time::kInfinite) {
+    const Time eta = std::clamp<Time>(last_round_min_rtt_ / 8, time::ms(4),
+                                      time::ms(16));
+    if (current_round_min_rtt_ >= last_round_min_rtt_ + eta) {
+      css_baseline_min_rtt_ = last_round_min_rtt_;
+      phase_ = Phase::kCss;
+      css_rounds_ = 0;
+    }
+  } else if (phase_ == Phase::kCss &&
+             current_round_min_rtt_ < css_baseline_min_rtt_) {
+    // Delay increase proved transient: resume standard slow start.
+    phase_ = Phase::kSlowStart;
+  }
+}
+
+void Cubic::enter_avoidance_from(Bytes at_cwnd) {
+  phase_ = Phase::kAvoidance;
+  ssthresh_ = std::min(ssthresh_, at_cwnd);
+  epoch_start_ = -1;
+  if (w_max_ <= 0.0) {
+    w_max_ = static_cast<double>(at_cwnd) / static_cast<double>(cfg_.mss);
+  }
+}
+
+void Cubic::on_ack(const AckEvent& ev) {
+  // RFC 8312bis spurious-congestion classifier: if a full round trip has
+  // passed since the last backoff without a further congestion event,
+  // deem the event spurious and undo it.
+  if (cfg_.spurious_loss_rollback && pre_backoff_.valid &&
+      !rolled_back_current_ && last_backoff_time_ >= 0 &&
+      ev.now >= last_backoff_time_ + 2 * ev.smoothed_rtt) {
+    rollback();
+  }
+  switch (phase_) {
+    case Phase::kSlowStart:
+      cwnd_ += ev.bytes_acked;
+      hystart_on_ack(ev);
+      if (cwnd_ >= ssthresh_) enter_avoidance_from(cwnd_);
+      break;
+    case Phase::kCss:
+      cwnd_ += ev.bytes_acked / kCssGrowthDivisor;
+      hystart_on_ack(ev);
+      if (cwnd_ >= ssthresh_) enter_avoidance_from(cwnd_);
+      break;
+    case Phase::kAvoidance:
+      cubic_update(ev);
+      break;
+  }
+}
+
+void Cubic::cubic_update(const AckEvent& ev) {
+  const double mss = static_cast<double>(cfg_.mss);
+  const double cwnd_seg = static_cast<double>(cwnd_) / mss;
+
+  if (epoch_start_ < 0) {
+    epoch_start_ = ev.now;
+    if (cwnd_seg < w_max_) {
+      k_ = std::cbrt((w_max_ - cwnd_seg) / cfg_.c);
+    } else {
+      k_ = 0.0;
+      w_max_ = cwnd_seg;
+    }
+    w_est_ = cwnd_seg;
+    ca_accumulator_ = 0.0;
+  }
+
+  // Target window one RTT ahead, per RFC 8312.
+  const double t =
+      static_cast<double>(ev.now - epoch_start_ + ev.smoothed_rtt) * kSecPerNs;
+  const double w_cubic = cfg_.c * std::pow(t - k_, 3.0) + w_max_;
+
+  // TCP-friendly region estimate (segments).
+  if (cfg_.tcp_friendly) {
+    w_est_ += aimd_alpha() * static_cast<double>(ev.bytes_acked) /
+              static_cast<double>(cwnd_);
+  }
+
+  double target_seg = w_cubic;
+  if (cfg_.tcp_friendly && w_est_ > target_seg) target_seg = w_est_;
+
+  if (target_seg > cwnd_seg) {
+    // Grow toward the target proportionally to bytes acked, capped at
+    // one increment per two acked bytes (ABC-style safety cap).
+    double grow_bytes = (target_seg - cwnd_seg) / cwnd_seg *
+                        static_cast<double>(ev.bytes_acked);
+    grow_bytes =
+        std::min(grow_bytes, static_cast<double>(ev.bytes_acked) / 2.0);
+    ca_accumulator_ += grow_bytes;
+    if (ca_accumulator_ >= 1.0) {
+      const auto inc = static_cast<Bytes>(ca_accumulator_);
+      cwnd_ += inc;
+      ca_accumulator_ -= static_cast<double>(inc);
+    }
+  }
+}
+
+void Cubic::on_loss(const LossEvent& ev) {
+  const Bytes min_cwnd = cfg_.mss * cfg_.min_cwnd_packets;
+  const double mss = static_cast<double>(cfg_.mss);
+
+  if (ev.is_persistent_congestion) {
+    epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time);
+    ssthresh_ = std::max<Bytes>(
+        static_cast<Bytes>(static_cast<double>(cwnd_) * effective_beta()),
+        min_cwnd);
+    cwnd_ = min_cwnd;
+    w_max_ = 0.0;
+    epoch_start_ = -1;
+    phase_ = Phase::kSlowStart;
+    pre_backoff_.valid = false;
+    return;
+  }
+
+  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) return;
+
+  // Snapshot for a possible RFC 8312bis rollback.
+  pre_backoff_ = Snapshot{cwnd_, ssthresh_, w_max_, k_, epoch_start_, true};
+  last_backoff_time_ = ev.now;
+  rolled_back_current_ = false;
+
+  const double cwnd_seg = static_cast<double>(cwnd_) / mss;
+  if (cfg_.fast_convergence && cwnd_seg < w_max_) {
+    w_max_ = cwnd_seg * (2.0 - effective_beta()) / 2.0;
+  } else {
+    w_max_ = cwnd_seg;
+  }
+  cwnd_ = std::max<Bytes>(
+      static_cast<Bytes>(static_cast<double>(cwnd_) * effective_beta()),
+      min_cwnd);
+  ssthresh_ = cwnd_;
+  epoch_start_ = -1;
+  phase_ = Phase::kAvoidance;
+}
+
+void Cubic::on_spurious_loss(const SpuriousLossEvent& ev) {
+  if (!cfg_.spurious_loss_rollback) return;
+  if (!pre_backoff_.valid || rolled_back_current_) return;
+  // The packet must have been sent before the most recent backoff, i.e. it
+  // was part of the congestion event we are about to undo.
+  if (ev.sent_time > last_backoff_time_) return;
+  rollback();
+}
+
+void Cubic::rollback() {
+  cwnd_ = std::max(cwnd_, pre_backoff_.cwnd);
+  ssthresh_ = pre_backoff_.ssthresh;
+  w_max_ = pre_backoff_.w_max;
+  k_ = pre_backoff_.k;
+  epoch_start_ = -1;  // recompute K against the restored w_max
+  rolled_back_current_ = true;
+}
+
+} // namespace quicbench::cca

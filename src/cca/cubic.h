@@ -1,0 +1,126 @@
+#pragma once
+// CUBIC congestion control per RFC 8312 / the Linux kernel structure, with
+//  - HyStart++ (RFC 9406) delay-based slow-start exit (toggleable — the
+//    paper shows xquic CUBIC omits it, §5 "Missing Mechanism"),
+//  - optional emulated-connections scaling (chromium's CUBIC emulates
+//    2 flows by default, §5 Table 4),
+//  - optional RFC 8312bis spurious-loss rollback (quiche enables it, the
+//    kernel does not; disabling it fixed quiche's conformance, Fig 15).
+
+#include "cca/cca.h"
+
+namespace quicbench::cca {
+
+struct CubicConfig {
+  Bytes mss = 1448;
+  int initial_cwnd_packets = 10;
+  int min_cwnd_packets = 2;
+
+  double c = 0.4;           // cubic scaling constant (segments/sec^3)
+  double beta = 0.7;        // multiplicative-decrease factor
+  bool fast_convergence = true;
+  bool tcp_friendly = true;
+
+  // Number of emulated flows (chromium: 2). Scales beta and the
+  // TCP-friendly additive-increase term the way chromium's
+  // cubic_bytes.cc does.
+  int emulated_flows = 1;
+
+  bool hystart = true;  // HyStart++ (RFC 9406)
+  // Classic kernel HyStart (delay detector with immediate exit to
+  // congestion avoidance) instead of HyStart++'s conservative phase.
+  // Linux 5.13 — the paper's reference — ships the classic variant;
+  // HyStart++ is what the QUIC stacks that implement HyStart use.
+  bool classic_hystart = false;
+  // Classic HyStart's second detector. On a clean simulated path every
+  // ack-clocked burst is a perfect "train", so the detector exits slow
+  // start at a tiny cwnd on high-BDP paths (the very misfire that
+  // motivated HyStart++); real links break trains with ack-compression
+  // noise. Off by default, available for studying that behaviour.
+  bool hystart_ack_train = false;
+
+  // RFC 8312bis §4.9 spurious-congestion handling (quiche enables it, the
+  // kernel does not). Two triggers roll back the most recent reduction:
+  //  - Eifel-style: a packet declared lost in the event is later acked
+  //    (genuinely spurious loss), and
+  //  - the classifier heuristic: delivery resumes with no further
+  //    congestion event for a full round trip after the backoff. On a
+  //    droptail bottleneck almost every ordinary overflow passes this
+  //    test, so the implementation keeps undoing its backoffs — the
+  //    +Δ-throughput / flat-delay signature of Table 3.
+  bool spurious_loss_rollback = false;
+};
+
+class Cubic : public CongestionController {
+ public:
+  explicit Cubic(CubicConfig cfg);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_spurious_loss(const SpuriousLossEvent& ev) override;
+  Bytes cwnd() const override { return cwnd_; }
+  bool in_slow_start() const override;
+  std::string name() const override { return "cubic"; }
+
+  Bytes ssthresh() const { return ssthresh_; }
+  double w_max_segments() const { return w_max_; }
+  bool in_css() const { return phase_ == Phase::kCss; }
+
+ private:
+  enum class Phase { kSlowStart, kCss, kAvoidance };
+
+  double effective_beta() const;
+  double aimd_alpha() const;
+  void enter_avoidance_from(Bytes at_cwnd);
+  void on_congestion_event(const LossEvent& ev);
+  void cubic_update(const AckEvent& ev);
+  void rollback();
+  void hystart_round_start(std::uint64_t largest_sent_pn);
+  void hystart_on_ack(const AckEvent& ev);
+
+  CubicConfig cfg_;
+  Bytes cwnd_;
+  Bytes ssthresh_;
+  Phase phase_ = Phase::kSlowStart;
+
+  // --- cubic state (w_max, K in segments / seconds, kernel-style) ---
+  double w_max_ = 0.0;
+  double k_ = 0.0;
+  Time epoch_start_ = -1;
+  double ca_accumulator_ = 0.0;
+  double w_est_ = 0.0;  // TCP-friendly estimate (segments)
+
+  // --- HyStart / HyStart++ state ---
+  std::uint64_t round_end_pn_ = 0;
+  bool round_open_ = false;
+  Time current_round_min_rtt_ = time::kInfinite;
+  Time last_round_min_rtt_ = time::kInfinite;
+  int rtt_sample_count_ = 0;
+  int css_rounds_ = 0;
+  Time css_baseline_min_rtt_ = time::kInfinite;
+  // classic ACK-train detector
+  Time round_start_time_ = -1;
+  Time last_ack_time_ = -1;
+  Time delay_min_ = time::kInfinite;
+
+  // --- spurious rollback state ---
+  struct Snapshot {
+    Bytes cwnd = 0;
+    Bytes ssthresh = 0;
+    double w_max = 0.0;
+    double k = 0.0;
+    Time epoch_start = -1;
+    bool valid = false;
+  };
+  Snapshot pre_backoff_;
+  Time last_backoff_time_ = -1;
+  bool rolled_back_current_ = false;
+
+  RecoveryEpochTracker epoch_;
+
+  static constexpr int kHystartMinRttSamples = 8;
+  static constexpr int kCssRounds = 5;
+  static constexpr int kCssGrowthDivisor = 4;
+};
+
+} // namespace quicbench::cca

@@ -1,0 +1,45 @@
+#include "cca/reno.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace quicbench::cca {
+
+Reno::Reno(RenoConfig cfg)
+    : cfg_(cfg),
+      cwnd_(cfg.mss * cfg.initial_cwnd_packets),
+      ssthresh_(std::numeric_limits<Bytes>::max()) {}
+
+void Reno::on_ack(const AckEvent& ev) {
+  if (in_slow_start()) {
+    cwnd_ += ev.bytes_acked;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_ + (cwnd_ - ssthresh_) / 2;
+    return;
+  }
+  // Congestion avoidance: +1 MSS per cwnd's worth of acked bytes.
+  ca_accumulator_ += cfg_.ai_scale * static_cast<double>(cfg_.mss) *
+                     static_cast<double>(ev.bytes_acked) /
+                     static_cast<double>(cwnd_);
+  if (ca_accumulator_ >= 1.0) {
+    const auto inc = static_cast<Bytes>(ca_accumulator_);
+    cwnd_ += inc;
+    ca_accumulator_ -= static_cast<double>(inc);
+  }
+}
+
+void Reno::on_loss(const LossEvent& ev) {
+  const Bytes min_cwnd = cfg_.mss * cfg_.min_cwnd_packets;
+  if (ev.is_persistent_congestion) {
+    ssthresh_ = std::max<Bytes>(
+        static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta), min_cwnd);
+    cwnd_ = min_cwnd;
+    epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time);
+    return;
+  }
+  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) return;
+  ssthresh_ = std::max<Bytes>(
+      static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta), min_cwnd);
+  cwnd_ = ssthresh_;
+}
+
+} // namespace quicbench::cca

@@ -1,0 +1,40 @@
+#pragma once
+// NewReno congestion control (bytes-based, appropriate-byte-counting),
+// matching the Linux kernel / RFC 9002 Reno behaviour: slow start doubles
+// per RTT, congestion avoidance adds one MSS per RTT, multiplicative
+// decrease halves the window once per congestion event.
+
+#include "cca/cca.h"
+
+namespace quicbench::cca {
+
+struct RenoConfig {
+  Bytes mss = 1448;
+  int initial_cwnd_packets = 10;
+  int min_cwnd_packets = 2;
+  double beta = 0.5;  // multiplicative-decrease factor
+  // Stack-artifact hook: scale the additive increase (1.0 = standard).
+  double ai_scale = 1.0;
+};
+
+class Reno : public CongestionController {
+ public:
+  explicit Reno(RenoConfig cfg);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  Bytes cwnd() const override { return cwnd_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "reno"; }
+
+  Bytes ssthresh() const { return ssthresh_; }
+
+ private:
+  RenoConfig cfg_;
+  Bytes cwnd_;
+  Bytes ssthresh_;
+  double ca_accumulator_ = 0.0;  // fractional cwnd growth in CA
+  RecoveryEpochTracker epoch_;
+};
+
+} // namespace quicbench::cca

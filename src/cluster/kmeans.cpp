@@ -1,0 +1,223 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace quicbench::cluster {
+
+using geom::Point;
+
+namespace {
+
+double sqdist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(pts[rng.uniform_int(pts.size())]);
+  std::vector<double> d2(pts.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Point& c : centroids) best = std::min(best, sqdist(pts[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = pts.size() - 1;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(pts[pick]);
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(std::span<const Point> pts, std::vector<Point> centroids,
+                   int max_iters) {
+  const std::size_t n = pts.size();
+  const int k = static_cast<int>(centroids.size());
+  KMeansResult res;
+  res.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double bestd = sqdist(pts[i], centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        const double d = sqdist(pts[i], centroids[static_cast<std::size_t>(c)]);
+        if (d < bestd) {
+          bestd = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<Point> sums(static_cast<std::size_t>(k));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(res.assignment[i]);
+      sums[c].x += pts[i].x;
+      sums[c].y += pts[i].y;
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (counts[ci] == 0) {
+        // Empty cluster: reseat on the point farthest from its centroid.
+        std::size_t far = 0;
+        double fard = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = sqdist(
+              pts[i], centroids[static_cast<std::size_t>(res.assignment[i])]);
+          if (d > fard) {
+            fard = d;
+            far = i;
+          }
+        }
+        centroids[ci] = pts[far];
+      } else {
+        centroids[ci] = {sums[ci].x / counts[ci], sums[ci].y / counts[ci]};
+      }
+    }
+  }
+
+  res.inertia = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    res.inertia +=
+        sqdist(pts[i], centroids[static_cast<std::size_t>(res.assignment[i])]);
+  }
+  res.centroids = std::move(centroids);
+  return res;
+}
+
+} // namespace
+
+KMeansResult kmeans(std::span<const Point> pts, int k, Rng& rng,
+                    const KMeansConfig& cfg) {
+  KMeansResult best;
+  if (pts.empty() || k <= 0) return best;
+
+  // Clamp k to the number of distinct points.
+  std::vector<Point> distinct(pts.begin(), pts.end());
+  std::sort(distinct.begin(), distinct.end(),
+            [](const Point& a, const Point& b) {
+              return a.x != b.x ? a.x < b.x : a.y < b.y;
+            });
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  k = std::min<int>(k, static_cast<int>(distinct.size()));
+  if (k <= 0) return best;
+
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(cfg.restarts, 1); ++r) {
+    KMeansResult cand =
+        lloyd(pts, kmeanspp_seed(pts, k, rng), cfg.max_iters);
+    if (cand.inertia < best.inertia) best = std::move(cand);
+  }
+  return best;
+}
+
+std::vector<int> match_clusters(std::span<const Point> ref,
+                                std::span<const Point> cand) {
+  const int k = static_cast<int>(ref.size());
+  std::vector<int> out(static_cast<std::size_t>(k), -1);
+  if (cand.empty() || k == 0) return out;
+
+  if (k <= 7 && cand.size() <= 7 && ref.size() <= cand.size()) {
+    // Exact: try all assignments of candidate indices to ref slots.
+    std::vector<int> idx(cand.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end());
+    double best_cost = std::numeric_limits<double>::max();
+    do {
+      double cost = 0;
+      for (int i = 0; i < k; ++i) {
+        cost += geom::distance(ref[static_cast<std::size_t>(i)],
+                               cand[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        for (int i = 0; i < k; ++i) out[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i)];
+      }
+    } while (std::next_permutation(idx.begin(), idx.end()));
+    return out;
+  }
+
+  // Greedy fallback: repeatedly take the globally closest (ref, cand) pair.
+  std::vector<bool> ref_used(ref.size(), false), cand_used(cand.size(), false);
+  for (std::size_t round = 0; round < std::min(ref.size(), cand.size());
+       ++round) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (ref_used[i]) continue;
+      for (std::size_t j = 0; j < cand.size(); ++j) {
+        if (cand_used[j]) continue;
+        const double d = geom::distance(ref[i], cand[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    ref_used[bi] = true;
+    cand_used[bj] = true;
+    out[bi] = static_cast<int>(bj);
+  }
+  return out;
+}
+
+Normalizer Normalizer::fit(std::span<const Point> points) {
+  Normalizer n;
+  if (points.empty()) return n;
+  for (const Point& p : points) {
+    n.mean_x += p.x;
+    n.mean_y += p.y;
+  }
+  n.mean_x /= static_cast<double>(points.size());
+  n.mean_y /= static_cast<double>(points.size());
+  double vx = 0, vy = 0;
+  for (const Point& p : points) {
+    vx += (p.x - n.mean_x) * (p.x - n.mean_x);
+    vy += (p.y - n.mean_y) * (p.y - n.mean_y);
+  }
+  n.std_x = std::sqrt(vx / static_cast<double>(points.size()));
+  n.std_y = std::sqrt(vy / static_cast<double>(points.size()));
+  if (n.std_x < 1e-12) n.std_x = 1;
+  if (n.std_y < 1e-12) n.std_y = 1;
+  return n;
+}
+
+std::vector<Point> Normalizer::apply_all(std::span<const Point> pts) const {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) out.push_back(apply(p));
+  return out;
+}
+
+} // namespace quicbench::cluster

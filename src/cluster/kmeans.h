@@ -1,0 +1,50 @@
+#pragma once
+// k-means clustering (Hartigan-Wong-style Lloyd iterations with kmeans++
+// seeding and restarts) for grouping (delay, throughput) samples before
+// convex-hull construction (§3.2, "One convex hull is not enough"), plus
+// the cross-trial cluster matching used to intersect corresponding hulls.
+
+#include <span>
+#include <vector>
+
+#include "geom/geom.h"
+#include "util/rng.h"
+
+namespace quicbench::cluster {
+
+struct KMeansResult {
+  std::vector<int> assignment;          // cluster index per input point
+  std::vector<geom::Point> centroids;   // k centroids
+  double inertia = 0;                   // sum of squared distances
+};
+
+struct KMeansConfig {
+  int restarts = 5;
+  int max_iters = 100;
+};
+
+// Standard k-means. k is clamped to the number of distinct points; the
+// result's centroids.size() reports the effective k.
+KMeansResult kmeans(std::span<const geom::Point> points, int k, Rng& rng,
+                    const KMeansConfig& cfg = {});
+
+// Match `centroids` to `ref_centroids` one-to-one, minimising total
+// distance (exact for k <= 7, greedy beyond). Returns m where m[i] is the
+// index in `centroids` assigned to ref cluster i, or -1 when `centroids`
+// has fewer entries.
+std::vector<int> match_clusters(std::span<const geom::Point> ref_centroids,
+                                std::span<const geom::Point> centroids);
+
+// Mean/stddev normalisation so clustering is insensitive to the differing
+// units of the two axes (ms vs Mbps).
+struct Normalizer {
+  double mean_x = 0, mean_y = 0, std_x = 1, std_y = 1;
+
+  static Normalizer fit(std::span<const geom::Point> points);
+  geom::Point apply(const geom::Point& p) const {
+    return {(p.x - mean_x) / std_x, (p.y - mean_y) / std_y};
+  }
+  std::vector<geom::Point> apply_all(std::span<const geom::Point> pts) const;
+};
+
+} // namespace quicbench::cluster

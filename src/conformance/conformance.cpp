@@ -1,0 +1,237 @@
+#include "conformance/conformance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quicbench::conformance {
+
+using geom::Point;
+using geom::Polygon;
+
+namespace {
+
+// Axis-aligned bounding boxes as a cheap reject before the exact
+// point-in-polygon test; the quorum regions can make PEs hold dozens of
+// polygons.
+struct BoxedPe {
+  const PerformanceEnvelope* pe;
+  struct Box {
+    double min_x, max_x, min_y, max_y;
+  };
+  std::vector<Box> boxes;
+
+  explicit BoxedPe(const PerformanceEnvelope& p) : pe(&p) {
+    boxes.reserve(p.hulls.size());
+    for (const auto& h : p.hulls) {
+      Box b{1e300, -1e300, 1e300, -1e300};
+      for (const auto& v : h) {
+        b.min_x = std::min(b.min_x, v.x);
+        b.max_x = std::max(b.max_x, v.x);
+        b.min_y = std::min(b.min_y, v.y);
+        b.max_y = std::max(b.max_y, v.y);
+      }
+      boxes.push_back(b);
+    }
+  }
+
+  bool contains(const Point& p) const {
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      const Box& b = boxes[i];
+      if (p.x < b.min_x || p.x > b.max_x || p.y < b.min_y || p.y > b.max_y) {
+        continue;
+      }
+      if (geom::point_in_convex(pe->hulls[i], p)) return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+double conformance(const PerformanceEnvelope& ref,
+                   const PerformanceEnvelope& test) {
+  const std::size_t total = ref.all_points.size() + test.all_points.size();
+  if (total == 0) return 0;
+  const BoxedPe bref(ref), btest(test);
+  std::size_t in_overlap = 0;
+  for (const auto& p : ref.all_points) {
+    if (bref.contains(p) && btest.contains(p)) ++in_overlap;
+  }
+  for (const auto& p : test.all_points) {
+    if (bref.contains(p) && btest.contains(p)) ++in_overlap;
+  }
+  return static_cast<double>(in_overlap) / static_cast<double>(total);
+}
+
+PerformanceEnvelope translate_pe(const PerformanceEnvelope& pe, double dx,
+                                 double dy) {
+  PerformanceEnvelope out = pe;
+  for (auto& h : out.hulls) h = geom::translate(h, dx, dy);
+  for (auto& p : out.all_points) {
+    p.x += dx;
+    p.y += dy;
+  }
+  for (auto& c : out.cluster_centroids) {
+    c.x += dx;
+    c.y += dy;
+  }
+  return out;
+}
+
+namespace {
+
+// Evaluate conformance with `test` translated by (dx, dy), on point
+// subsets chosen by `stride` (1 = exact). Membership of each side's own
+// points in its own (untranslated) envelope is precomputed by the caller.
+double conformance_translated(const BoxedPe& ref, const BoxedPe& test,
+                              std::span<const Point> ref_pts_in_ref,
+                              std::span<const Point> test_pts_in_test,
+                              std::size_t total, double dx, double dy,
+                              std::size_t stride) {
+  if (total == 0) return 0;
+  std::size_t in_overlap = 0;
+  for (std::size_t i = 0; i < ref_pts_in_ref.size(); i += stride) {
+    const Point& p = ref_pts_in_ref[i];
+    if (test.contains({p.x - dx, p.y - dy})) ++in_overlap;
+  }
+  for (std::size_t i = 0; i < test_pts_in_test.size(); i += stride) {
+    const Point& p = test_pts_in_test[i];
+    if (ref.contains({p.x + dx, p.y + dy})) ++in_overlap;
+  }
+  return static_cast<double>(in_overlap * stride) /
+         static_cast<double>(total);
+}
+
+void data_range(const PerformanceEnvelope& a, const PerformanceEnvelope& b,
+                double& range_x, double& range_y) {
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  const auto scan = [&](const std::vector<Point>& pts) {
+    for (const auto& p : pts) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  };
+  scan(a.all_points);
+  scan(b.all_points);
+  range_x = std::max(max_x - min_x, 1e-6);
+  range_y = std::max(max_y - min_y, 1e-6);
+}
+
+} // namespace
+
+TranslationResult best_translation(const PerformanceEnvelope& ref,
+                                   const PerformanceEnvelope& test,
+                                   const TranslationSearchConfig& cfg) {
+  TranslationResult best;
+
+  const BoxedPe bref(ref), btest(test);
+  const std::size_t total = ref.all_points.size() + test.all_points.size();
+
+  // A point can only ever be in the overlap if it is inside its own
+  // envelope; precompute those subsets (translation-invariant).
+  std::vector<Point> ref_in_ref, test_in_test;
+  for (const auto& p : ref.all_points) {
+    if (bref.contains(p)) ref_in_ref.push_back(p);
+  }
+  for (const auto& p : test.all_points) {
+    if (btest.contains(p)) test_in_test.push_back(p);
+  }
+
+  // Search on a subsample for speed; re-score exactly at the end.
+  const std::size_t stride =
+      std::max<std::size_t>(1, (ref_in_ref.size() + test_in_test.size()) /
+                                   2000);
+  const auto score = [&](double dx, double dy) {
+    return conformance_translated(bref, btest, ref_in_ref, test_in_test,
+                                  total, dx, dy, stride);
+  };
+
+  best.conformance_t = score(0, 0);
+
+  // Candidate translations: align every test centroid onto every ref
+  // centroid, plus the overall centroid alignment.
+  std::vector<std::pair<double, double>> candidates{{0.0, 0.0}};
+  for (const auto& rc : ref.cluster_centroids) {
+    for (const auto& tc : test.cluster_centroids) {
+      candidates.emplace_back(rc.x - tc.x, rc.y - tc.y);
+    }
+  }
+  const Point ref_c = geom::points_centroid(ref.all_points);
+  const Point test_c = geom::points_centroid(test.all_points);
+  candidates.emplace_back(ref_c.x - test_c.x, ref_c.y - test_c.y);
+
+  for (const auto& [dx, dy] : candidates) {
+    const double c = score(dx, dy);
+    if (c > best.conformance_t) {
+      best.conformance_t = c;
+      best.dx_delay_ms = dx;
+      best.dy_tput_mbps = dy;
+    }
+  }
+
+  // Coarse-to-fine grid refinement around the best candidate.
+  double range_x = 0, range_y = 0;
+  data_range(ref, test, range_x, range_y);
+  double span_x = range_x * cfg.grid_span_frac;
+  double span_y = range_y * cfg.grid_span_frac;
+  const int steps = std::max(cfg.grid_steps / 2, 2);
+  for (int level = 0; level < 3; ++level) {
+    const double cx = best.dx_delay_ms;
+    const double cy = best.dy_tput_mbps;
+    for (int ix = -steps; ix <= steps; ++ix) {
+      for (int iy = -steps; iy <= steps; ++iy) {
+        if (ix == 0 && iy == 0) continue;
+        const double dx = cx + span_x * ix / steps;
+        const double dy = cy + span_y * iy / steps;
+        const double c = score(dx, dy);
+        if (c > best.conformance_t) {
+          best.conformance_t = c;
+          best.dx_delay_ms = dx;
+          best.dy_tput_mbps = dy;
+        }
+      }
+    }
+    span_x /= steps;
+    span_y /= steps;
+  }
+
+  // Exact score at the chosen translation (and at identity, which must
+  // remain a lower bound).
+  const double exact = conformance_translated(
+      bref, btest, ref_in_ref, test_in_test, total, best.dx_delay_ms,
+      best.dy_tput_mbps, 1);
+  const double identity = conformance_translated(bref, btest, ref_in_ref,
+                                                 test_in_test, total, 0, 0,
+                                                 1);
+  if (identity >= exact) {
+    best.conformance_t = identity;
+    best.dx_delay_ms = 0;
+    best.dy_tput_mbps = 0;
+  } else {
+    best.conformance_t = exact;
+  }
+  return best;
+}
+
+ConformanceReport evaluate(std::span<const TrialPoints> ref_trials,
+                           std::span<const TrialPoints> test_trials,
+                           const PeConfig& cfg) {
+  ConformanceReport rep;
+  rep.ref_pe = build_pe(ref_trials, cfg);
+  rep.test_pe = build_pe(test_trials, cfg);
+  rep.conformance = conformance(rep.ref_pe, rep.test_pe);
+
+  const PerformanceEnvelope ref_old = build_pe_old(ref_trials);
+  const PerformanceEnvelope test_old = build_pe_old(test_trials);
+  rep.conformance_old = conformance(ref_old, test_old);
+
+  const TranslationResult tr = best_translation(rep.ref_pe, rep.test_pe);
+  rep.conformance_t = std::max(tr.conformance_t, rep.conformance);
+  rep.delta_tput_mbps = tr.delta_tput_mbps();
+  rep.delta_delay_ms = tr.delta_delay_ms();
+  return rep;
+}
+
+} // namespace quicbench::conformance

@@ -1,0 +1,64 @@
+#pragma once
+// The conformance metrics of §3.1/§3.3:
+//
+//   Conformance   = (# points in the overlap of the two PEs)
+//                   / (total # points in both PEs)
+//   Conformance-T = the maximum conformance achievable by translating the
+//                   test PE (and its points) on the delay-throughput plane
+//   (Δ-throughput, Δ-delay) = the test implementation's systematic offset
+//                   from the reference, i.e. minus the optimal translation.
+
+#include "conformance/pe.h"
+
+namespace quicbench::conformance {
+
+// Conformance between a reference PE and a test PE. A point is "in the
+// overlap" when it lies inside both envelopes.
+double conformance(const PerformanceEnvelope& ref,
+                   const PerformanceEnvelope& test);
+
+struct TranslationResult {
+  double conformance_t = 0;
+  // Translation applied to the *test* PE to maximise the overlap.
+  double dx_delay_ms = 0;
+  double dy_tput_mbps = 0;
+  // The implementation's offset from the reference: Δ = -translation.
+  double delta_delay_ms() const { return -dx_delay_ms; }
+  double delta_tput_mbps() const { return -dy_tput_mbps; }
+};
+
+struct TranslationSearchConfig {
+  // Local grid refinement around the best centroid-alignment candidate.
+  int grid_steps = 8;          // +/- steps per axis
+  double grid_span_frac = 0.5; // span as a fraction of the data range
+};
+
+// Find the translation of `test` maximising conformance. Candidates are
+// all pairings of ref/test cluster centroids, refined by a local grid.
+TranslationResult best_translation(const PerformanceEnvelope& ref,
+                                   const PerformanceEnvelope& test,
+                                   const TranslationSearchConfig& cfg = {});
+
+// Translate a PE (hulls, points, centroids) by (dx, dy).
+PerformanceEnvelope translate_pe(const PerformanceEnvelope& pe, double dx,
+                                 double dy);
+
+// Everything the paper reports per implementation (Tables 3 and 4).
+struct ConformanceReport {
+  double conformance = 0;      // new (clustered) definition
+  double conformance_old = 0;  // IMC'22 single-hull definition
+  double conformance_t = 0;
+  double delta_tput_mbps = 0;
+  double delta_delay_ms = 0;
+  PerformanceEnvelope ref_pe;
+  PerformanceEnvelope test_pe;
+};
+
+// Full evaluation given per-trial point clouds for the reference
+// implementation (self-competition) and the test implementation
+// (competing against the reference).
+ConformanceReport evaluate(std::span<const TrialPoints> ref_trials,
+                           std::span<const TrialPoints> test_trials,
+                           const PeConfig& cfg = {});
+
+} // namespace quicbench::conformance

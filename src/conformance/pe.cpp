@@ -1,0 +1,336 @@
+#include "conformance/pe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace quicbench::conformance {
+
+using cluster::KMeansResult;
+using cluster::Normalizer;
+using geom::Point;
+using geom::Polygon;
+
+namespace {
+
+std::vector<Point> pool(std::span<const TrialPoints> trials) {
+  std::vector<Point> all;
+  for (const auto& t : trials) all.insert(all.end(), t.begin(), t.end());
+  return all;
+}
+
+// Region covered by at least `q_count` of `hulls`: the union of all
+// q_count-sized subset intersections (exact). Subset regions fully
+// contained in an already-kept region are pruned.
+std::vector<Polygon> quorum_region(const std::vector<Polygon>& hulls,
+                                   int q_count) {
+  const int m = static_cast<int>(hulls.size());
+  std::vector<Polygon> regions;
+  if (m == 0 || q_count <= 0) return regions;
+  q_count = std::min(q_count, m);
+  if (q_count == m) {
+    Polygon inter = geom::intersect_all(hulls);
+    if (inter.size() >= 3) regions.push_back(std::move(inter));
+    return regions;
+  }
+
+  const auto contained_in = [](const Polygon& a, const Polygon& b) {
+    for (const auto& v : a) {
+      if (!geom::point_in_convex(b, v, 1e-7)) return false;
+    }
+    return true;
+  };
+
+  // Enumerate combinations of size q_count.
+  std::vector<int> idx(static_cast<std::size_t>(q_count));
+  for (int i = 0; i < q_count; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    std::vector<Polygon> subset;
+    subset.reserve(static_cast<std::size_t>(q_count));
+    for (const int i : idx) subset.push_back(hulls[static_cast<std::size_t>(i)]);
+    Polygon inter = geom::intersect_all(subset);
+    if (inter.size() >= 3) {
+      bool redundant = false;
+      for (const auto& kept : regions) {
+        if (contained_in(inter, kept)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) {
+        // Drop previously-kept regions that this one subsumes.
+        std::erase_if(regions, [&](const Polygon& kept) {
+          return contained_in(kept, inter);
+        });
+        regions.push_back(std::move(inter));
+      }
+    }
+    // Next combination.
+    int pos = q_count - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == m - q_count + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < q_count; ++j) {
+      idx[static_cast<std::size_t>(j)] =
+          idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return regions;
+}
+
+// Pooled-clustering construction: one k-means over all trials' points,
+// then per-trial hulls per cluster, intersected across trials.
+void build_pooled(std::span<const TrialPoints> trials, int k,
+                  const PeConfig& cfg, const Normalizer& norm,
+                  PerformanceEnvelope& pe) {
+  Rng rng(cfg.seed);
+  const std::vector<Point> npts =
+      cfg.normalize ? norm.apply_all(pe.all_points)
+                    : std::vector<Point>(pe.all_points.begin(),
+                                         pe.all_points.end());
+  const KMeansResult km = cluster::kmeans(npts, k, rng, cfg.kmeans);
+  const int eff_k = static_cast<int>(km.centroids.size());
+  pe.k = eff_k;
+
+  // Per-trial, per-cluster member points (original space).
+  const std::size_t n_trials = trials.size();
+  std::vector<std::vector<std::vector<Point>>> members(
+      n_trials, std::vector<std::vector<Point>>(
+                    static_cast<std::size_t>(eff_k)));
+  std::size_t idx = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    for (const Point& p : trials[t]) {
+      members[t][static_cast<std::size_t>(km.assignment[idx++])].push_back(p);
+    }
+  }
+
+  const std::size_t total_points = pe.all_points.size();
+  for (int c = 0; c < eff_k; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    // Intersect the hulls of the trials that actually visited this
+    // cluster; trials with too few points there impose no constraint.
+    std::vector<Polygon> hulls;
+    std::size_t cluster_points = 0;
+    for (std::size_t t = 0; t < n_trials; ++t) {
+      cluster_points += members[t][ci].size();
+      if (members[t][ci].size() >= 3) {
+        Polygon h = geom::convex_hull(members[t][ci]);
+        if (h.size() >= 3) hulls.push_back(std::move(h));
+      }
+    }
+    if (hulls.empty()) continue;
+    if (static_cast<double>(cluster_points) <
+        cfg.min_cluster_share * static_cast<double>(total_points)) {
+      continue;
+    }
+    const int q_count = std::max(
+        1, static_cast<int>(std::ceil(cfg.trial_quorum *
+                                      static_cast<double>(n_trials))));
+    if (static_cast<int>(hulls.size()) < q_count) continue;
+    std::vector<Polygon> regions = quorum_region(hulls, q_count);
+    if (regions.empty()) continue;
+    // Centroid of the cluster's points, original units.
+    std::vector<Point> all_members;
+    for (std::size_t t = 0; t < n_trials; ++t) {
+      all_members.insert(all_members.end(), members[t][ci].begin(),
+                         members[t][ci].end());
+    }
+    pe.cluster_centroids.push_back(geom::points_centroid(all_members));
+    for (auto& r : regions) pe.hulls.push_back(std::move(r));
+  }
+}
+
+// Literal per-trial construction from the paper: cluster each trial
+// independently, match clusters across trials by centroid proximity,
+// intersect matched hulls. Noisier; kept for the ablation study.
+void build_per_trial(std::span<const TrialPoints> trials, int k,
+                     const PeConfig& cfg, const Normalizer& norm,
+                     PerformanceEnvelope& pe) {
+  Rng rng(cfg.seed);
+
+  struct TrialClusters {
+    KMeansResult km;                    // normalised space
+    std::vector<Polygon> hulls;         // original space
+    std::vector<Point> centroids_orig;  // original space
+  };
+  std::vector<TrialClusters> per_trial;
+  per_trial.reserve(trials.size());
+
+  for (const auto& t : trials) {
+    TrialClusters tc;
+    const std::vector<Point> npts =
+        cfg.normalize ? norm.apply_all(t)
+                      : std::vector<Point>(t.begin(), t.end());
+    tc.km = cluster::kmeans(npts, k, rng, cfg.kmeans);
+    const int eff_k = static_cast<int>(tc.km.centroids.size());
+    tc.hulls.resize(static_cast<std::size_t>(eff_k));
+    tc.centroids_orig.resize(static_cast<std::size_t>(eff_k));
+    std::vector<std::vector<Point>> members(static_cast<std::size_t>(eff_k));
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      members[static_cast<std::size_t>(tc.km.assignment[i])].push_back(t[i]);
+    }
+    for (int c = 0; c < eff_k; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      tc.hulls[ci] = geom::convex_hull(members[ci]);
+      tc.centroids_orig[ci] = geom::points_centroid(members[ci]);
+    }
+    per_trial.push_back(std::move(tc));
+  }
+
+  const TrialClusters& ref = per_trial.front();
+  const int eff_k = static_cast<int>(ref.km.centroids.size());
+  pe.k = eff_k;
+
+  // Match every trial's clusters against the first trial once.
+  std::vector<std::vector<int>> matches(per_trial.size());
+  for (std::size_t t = 1; t < per_trial.size(); ++t) {
+    matches[t] = cluster::match_clusters(ref.km.centroids,
+                                         per_trial[t].km.centroids);
+  }
+
+  const std::size_t total_points = pe.all_points.size();
+  for (int c = 0; c < eff_k; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    std::vector<Polygon> to_intersect;
+    if (ref.hulls[ci].size() >= 3) to_intersect.push_back(ref.hulls[ci]);
+    for (std::size_t t = 1; t < per_trial.size(); ++t) {
+      const int j = matches[t][ci];
+      if (j >= 0 &&
+          per_trial[t].hulls[static_cast<std::size_t>(j)].size() >= 3) {
+        to_intersect.push_back(
+            per_trial[t].hulls[static_cast<std::size_t>(j)]);
+      }
+    }
+    // Quorum: enough trials must have seen this cluster; the rest impose
+    // no constraint (e.g. a trial whose ProbeRTT dip fell outside the
+    // truncated window).
+    const bool dbg = std::getenv("QB_PE_DEBUG") != nullptr;
+    const int q_count = std::max(
+        1, static_cast<int>(std::ceil(
+               cfg.trial_quorum * static_cast<double>(per_trial.size()))));
+    if (static_cast<int>(to_intersect.size()) < q_count) {
+      if (dbg) std::fprintf(stderr, "PE dbg: cluster %d quorum fail (%zu)\n",
+                            c, to_intersect.size());
+      continue;
+    }
+    std::vector<Polygon> regions = quorum_region(to_intersect, q_count);
+    if (regions.empty()) {
+      if (dbg) {
+        std::fprintf(stderr, "PE dbg: cluster %d empty quorum region of "
+                             "%zu hulls\n",
+                     c, to_intersect.size());
+      }
+      continue;
+    }
+    std::size_t inside = 0;
+    for (const auto& p : pe.all_points) {
+      for (const auto& r : regions) {
+        if (geom::point_in_convex(r, p)) {
+          ++inside;
+          break;
+        }
+      }
+    }
+    if (static_cast<double>(inside) <
+        cfg.min_cluster_share * static_cast<double>(total_points)) {
+      if (dbg) std::fprintf(stderr, "PE dbg: cluster %d share fail (%zu)\n",
+                            c, inside);
+      continue;
+    }
+    for (auto& r : regions) pe.hulls.push_back(std::move(r));
+    pe.cluster_centroids.push_back(ref.centroids_orig[ci]);
+  }
+}
+
+} // namespace
+
+PerformanceEnvelope build_pe_fixed_k(std::span<const TrialPoints> trials,
+                                     int k, const PeConfig& cfg) {
+  PerformanceEnvelope pe;
+  pe.all_points = pool(trials);
+  if (pe.all_points.empty() || trials.empty()) return pe;
+
+  const Normalizer norm =
+      cfg.normalize ? Normalizer::fit(pe.all_points) : Normalizer{};
+  if (cfg.per_trial_clustering) {
+    build_per_trial(trials, k, cfg, norm, pe);
+  } else {
+    build_pooled(trials, k, cfg, norm, pe);
+  }
+
+  pe.iou = pe.all_points.empty()
+               ? 0.0
+               : static_cast<double>(pe.points_inside()) /
+                     static_cast<double>(pe.all_points.size());
+  return pe;
+}
+
+std::vector<double> iou_curve(std::span<const TrialPoints> trials,
+                              const PeConfig& cfg) {
+  // The selection curve always uses the paper's strict all-trials
+  // intersection: that is what makes R(k) drop steeply once k exceeds
+  // the natural cluster count (per-trial clusterings stop agreeing).
+  // The robust quorum region would mask the signal.
+  PeConfig strict = cfg;
+  strict.trial_quorum = 1.0;
+  std::vector<double> curve;
+  for (int k = 1; k <= cfg.max_k; ++k) {
+    curve.push_back(build_pe_fixed_k(trials, k, strict).iou);
+  }
+  return curve;
+}
+
+int select_k(std::span<const double> iou, double min_drop) {
+  if (iou.size() <= 1) return 1;
+  // R(k) is (approximately) decreasing; the "natural" k is the one right
+  // before the steepest drop. If no drop is pronounced, the cloud has no
+  // cluster structure: keep k = 1.
+  int best_k = 1;
+  double best_drop = min_drop;
+  for (std::size_t k = 0; k + 1 < iou.size(); ++k) {
+    const double drop = iou[k] - iou[k + 1];
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_k = static_cast<int>(k) + 1;  // 1-based
+    }
+  }
+  return best_k;
+}
+
+PerformanceEnvelope build_pe(std::span<const TrialPoints> trials,
+                             const PeConfig& cfg) {
+  const std::vector<double> curve = iou_curve(trials, cfg);
+  return build_pe_fixed_k(trials, select_k(curve, cfg.min_iou_drop), cfg);
+}
+
+PerformanceEnvelope build_pe_old(std::span<const TrialPoints> trials,
+                                 double outlier_fraction) {
+  PerformanceEnvelope pe;
+  std::vector<Point> all = pool(trials);
+  pe.all_points = all;
+  if (all.empty()) return pe;
+  pe.k = 1;
+
+  const Point c = geom::points_centroid(all);
+  std::sort(all.begin(), all.end(), [&c](const Point& a, const Point& b) {
+    return geom::distance(a, c) < geom::distance(b, c);
+  });
+  const auto keep = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(all.size()) * (1.0 - outlier_fraction)));
+  all.resize(std::max<std::size_t>(keep, 1));
+
+  Polygon hull = geom::convex_hull(all);
+  if (hull.size() >= 3) {
+    pe.cluster_centroids.push_back(geom::polygon_centroid(hull));
+    pe.hulls.push_back(std::move(hull));
+  }
+  pe.iou = static_cast<double>(pe.points_inside()) /
+           static_cast<double>(pe.all_points.size());
+  return pe;
+}
+
+} // namespace quicbench::conformance

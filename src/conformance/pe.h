@@ -1,0 +1,97 @@
+#pragma once
+// Performance Envelope (PE) construction, §3.1–3.2.
+//
+// A PE summarises the (delay, throughput) behaviour of a CCA
+// implementation competing against the reference flow. The enhanced
+// definition used in the paper:
+//   1. run multiple trials, each yielding a point cloud;
+//   2. cluster the points with k-means (k chosen by the IOU-drop rule);
+//   3. per trial, build one convex hull per cluster;
+//   4. match clusters across trials by centroid proximity and intersect
+//      the corresponding hulls — the intersection step replaces ad-hoc
+//      outlier trimming;
+//   5. the PE is the resulting set of convex hulls.
+
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "geom/geom.h"
+
+namespace quicbench::conformance {
+
+struct PerformanceEnvelope {
+  int k = 0;                                 // number of clusters used
+  std::vector<geom::Polygon> hulls;          // final (intersected) hulls
+  std::vector<geom::Point> cluster_centroids;  // pooled, original units
+  std::vector<geom::Point> all_points;       // pooled across trials
+  double iou = 0;  // R: share of pooled points retained inside the PE
+
+  bool contains(const geom::Point& p) const {
+    for (const auto& h : hulls) {
+      if (geom::point_in_convex(h, p)) return true;
+    }
+    return false;
+  }
+
+  std::size_t points_inside() const {
+    std::size_t n = 0;
+    for (const auto& p : all_points) {
+      if (contains(p)) ++n;
+    }
+    return n;
+  }
+};
+
+struct PeConfig {
+  int max_k = 6;
+  cluster::KMeansConfig kmeans;
+  bool normalize = true;   // z-score axes before clustering
+  std::uint64_t seed = 7;  // clustering is randomised but seeded
+  // Minimum share of pooled points a cluster must hold to produce a hull
+  // (guards against one-off stragglers forming fake clusters; BBR's
+  // ProbeRTT cluster holds ~2% of samples, so the floor sits below that).
+  double min_cluster_share = 0.01;
+  // Cluster each trial independently and match clusters by centroid (the
+  // paper's construction — the steep R(k) drop past the natural k comes
+  // precisely from per-trial clustering disagreeing there). The pooled
+  // alternative clusters all trials at once; kept for the ablation.
+  bool per_trial_clustering = true;
+  // Robust cross-trial combination: the final region for a cluster is
+  // the area covered by at least ceil(quorum x trials) of the per-trial
+  // hulls (computed exactly as the union of all quorum-sized subset
+  // intersections). quorum = 1.0 is the paper's strict all-trials
+  // intersection; the 0.6 default tolerates one or two outlier trials
+  // (e.g. a BBR trial that spent most of its run on the losing side of
+  // the ProbeRTT bandwidth seesaw). Ablated in bench_ablations.
+  double trial_quorum = 0.6;
+  // k grows past 1 only when R(k) drops by at least this much somewhere.
+  double min_iou_drop = 0.06;
+};
+
+// Point cloud of one trial.
+using TrialPoints = std::vector<geom::Point>;
+
+// Build a PE with a fixed number of clusters.
+PerformanceEnvelope build_pe_fixed_k(std::span<const TrialPoints> trials,
+                                     int k, const PeConfig& cfg = {});
+
+// R(k) for k = 1..max_k: the information-retained curve of Figure 4.
+std::vector<double> iou_curve(std::span<const TrialPoints> trials,
+                              const PeConfig& cfg = {});
+
+// Pick the "natural" k: the k immediately before the steepest drop of
+// R(k) (§3.2, "How many clusters is enough?"). Drops smaller than
+// `min_drop` are treated as noise (no structure -> k = 1).
+int select_k(std::span<const double> iou, double min_drop = 0.06);
+
+// Full pipeline: compute the IOU curve, select k, build the PE.
+PerformanceEnvelope build_pe(std::span<const TrialPoints> trials,
+                             const PeConfig& cfg = {});
+
+// The earlier (IMC'22) definition: pool everything, drop the 5% of points
+// farthest from the centroid, take a single convex hull.
+PerformanceEnvelope build_pe_old(std::span<const TrialPoints> trials,
+                                 double outlier_fraction = 0.05);
+
+} // namespace quicbench::conformance

@@ -1,0 +1,162 @@
+#include "geom/geom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quicbench::geom {
+
+double cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+Polygon convex_hull(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  Polygon hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+double signed_area(const Polygon& poly) {
+  if (poly.size() < 3) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 0, n = poly.size(); i < n; ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % n];
+    area += a.x * b.y - b.x * a.y;
+  }
+  return area / 2.0;
+}
+
+double polygon_area(const Polygon& poly) { return std::abs(signed_area(poly)); }
+
+Point polygon_centroid(const Polygon& poly) {
+  if (poly.empty()) return {};
+  if (poly.size() < 3) {
+    Point c;
+    for (const Point& p : poly) {
+      c.x += p.x;
+      c.y += p.y;
+    }
+    c.x /= static_cast<double>(poly.size());
+    c.y /= static_cast<double>(poly.size());
+    return c;
+  }
+  const double a = signed_area(poly);
+  if (std::abs(a) < 1e-30) return points_centroid(poly);
+  Point c;
+  for (std::size_t i = 0, n = poly.size(); i < n; ++i) {
+    const Point& p = poly[i];
+    const Point& q = poly[(i + 1) % n];
+    const double w = p.x * q.y - q.x * p.y;
+    c.x += (p.x + q.x) * w;
+    c.y += (p.y + q.y) * w;
+  }
+  c.x /= 6.0 * a;
+  c.y /= 6.0 * a;
+  return c;
+}
+
+Point points_centroid(std::span<const Point> points) {
+  Point c;
+  if (points.empty()) return c;
+  for (const Point& p : points) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  c.x /= static_cast<double>(points.size());
+  c.y /= static_cast<double>(points.size());
+  return c;
+}
+
+bool point_in_convex(const Polygon& poly, const Point& p, double eps) {
+  if (poly.size() < 3) return false;
+  for (std::size_t i = 0, n = poly.size(); i < n; ++i) {
+    if (cross(poly[i], poly[(i + 1) % n], p) < -eps) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Intersection of segment (a,b) with the infinite line through (c,d).
+Point line_intersection(const Point& a, const Point& b, const Point& c,
+                        const Point& d) {
+  const double a1 = b.y - a.y;
+  const double b1 = a.x - b.x;
+  const double c1 = a1 * a.x + b1 * a.y;
+  const double a2 = d.y - c.y;
+  const double b2 = c.x - d.x;
+  const double c2 = a2 * c.x + b2 * c.y;
+  const double det = a1 * b2 - a2 * b1;
+  if (std::abs(det) < 1e-30) return a;  // parallel: degenerate, return a
+  return {(b2 * c1 - b1 * c2) / det, (a1 * c2 - a2 * c1) / det};
+}
+
+} // namespace
+
+Polygon clip_convex(const Polygon& subject, const Polygon& clip) {
+  if (subject.size() < 3 || clip.size() < 3) return {};
+  Polygon output = subject;
+  for (std::size_t i = 0, n = clip.size(); i < n && !output.empty(); ++i) {
+    const Point& ca = clip[i];
+    const Point& cb = clip[(i + 1) % n];
+    Polygon input;
+    input.swap(output);
+    for (std::size_t j = 0, m = input.size(); j < m; ++j) {
+      const Point& cur = input[j];
+      const Point& prev = input[(j + m - 1) % m];
+      const bool cur_in = cross(ca, cb, cur) >= 0;
+      const bool prev_in = cross(ca, cb, prev) >= 0;
+      if (cur_in) {
+        if (!prev_in) output.push_back(line_intersection(prev, cur, ca, cb));
+        output.push_back(cur);
+      } else if (prev_in) {
+        output.push_back(line_intersection(prev, cur, ca, cb));
+      }
+    }
+  }
+  if (output.size() < 3 || polygon_area(output) < 1e-12) return {};
+  return output;
+}
+
+Polygon translate(const Polygon& poly, double dx, double dy) {
+  Polygon out = poly;
+  for (Point& p : out) {
+    p.x += dx;
+    p.y += dy;
+  }
+  return out;
+}
+
+Polygon intersect_all(std::span<const Polygon> polys) {
+  if (polys.empty()) return {};
+  Polygon acc = polys.front();
+  for (std::size_t i = 1; i < polys.size(); ++i) {
+    acc = clip_convex(acc, polys[i]);
+    if (acc.empty()) return {};
+  }
+  return acc;
+}
+
+} // namespace quicbench::geom

@@ -1,0 +1,58 @@
+#pragma once
+// Computational geometry for Performance Envelopes: convex hulls (Andrew
+// monotone chain), polygon area (shoelace), convex-convex intersection
+// (Sutherland–Hodgman) and point-in-polygon tests.
+//
+// Convention: polygons are convex, counter-clockwise, no repeated first
+// vertex. A polygon with fewer than 3 vertices is degenerate (area 0); all
+// operations handle degenerate inputs by returning empty/false/0 results.
+
+#include <span>
+#include <vector>
+
+namespace quicbench::geom {
+
+struct Point {
+  double x = 0;  // delay (ms) on the PE plane
+  double y = 0;  // throughput (Mbps) on the PE plane
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+using Polygon = std::vector<Point>;
+
+// Cross product of (b-a) x (c-a); >0 means c is left of a->b.
+double cross(const Point& a, const Point& b, const Point& c);
+
+// Convex hull, CCW, starting from the lowest-then-leftmost point.
+// Collinear points on the hull boundary are dropped. Fewer than 3 distinct
+// non-collinear input points yield a degenerate polygon (size < 3).
+Polygon convex_hull(std::vector<Point> points);
+
+// Signed area is positive for CCW polygons; `polygon_area` returns the
+// absolute value.
+double signed_area(const Polygon& poly);
+double polygon_area(const Polygon& poly);
+
+Point polygon_centroid(const Polygon& poly);
+Point points_centroid(std::span<const Point> points);
+
+// True if p lies inside or on the boundary (within eps) of the convex CCW
+// polygon. Degenerate polygons contain nothing.
+bool point_in_convex(const Polygon& poly, const Point& p, double eps = 1e-9);
+
+// Intersection of two convex polygons (Sutherland–Hodgman, clipping
+// `subject` against `clip`). Result is convex CCW; empty when disjoint or
+// when either input is degenerate.
+Polygon clip_convex(const Polygon& subject, const Polygon& clip);
+
+Polygon translate(const Polygon& poly, double dx, double dy);
+
+// Intersect a sequence of convex polygons (used to combine per-trial hulls
+// into the final PE). Empty input or any empty intermediate yields empty.
+Polygon intersect_all(std::span<const Polygon> polys);
+
+// Euclidean distance.
+double distance(const Point& a, const Point& b);
+
+} // namespace quicbench::geom

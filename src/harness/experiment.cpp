@@ -1,0 +1,155 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netsim/topology.h"
+#include "transport/receiver.h"
+
+namespace quicbench::harness {
+
+using netsim::Dumbbell;
+using netsim::DumbbellConfig;
+using netsim::Simulator;
+using stacks::Implementation;
+
+Bytes NetworkConfig::buffer_bytes() const {
+  const Bytes bdp = bdp_bytes(bandwidth, base_rtt);
+  const auto buf = static_cast<Bytes>(static_cast<double>(bdp) * buffer_bdp);
+  return std::max<Bytes>(buf, 3000);  // at least a couple of packets
+}
+
+std::string NetworkConfig::describe() const {
+  std::ostringstream os;
+  os << rate::to_mbps(bandwidth) << " Mbps, " << time::to_ms(base_rtt)
+     << " ms RTT, " << buffer_bdp << " BDP buffer";
+  return os.str();
+}
+
+TrialResult run_trial(const Implementation& a, const Implementation& b,
+                      const ExperimentConfig& cfg,
+                      std::uint64_t trial_index) {
+  Simulator sim;
+  Rng master(cfg.seed * 0x9E3779B97F4A7C15ULL + trial_index * 1000003ULL + 1);
+  Rng jitter_rng = master.fork(1);
+
+  DumbbellConfig dc;
+  dc.bandwidth = cfg.net.bandwidth;
+  dc.base_rtt = cfg.net.base_rtt;
+  dc.buffer_bytes = cfg.net.buffer_bytes();
+  dc.path_jitter = std::max(cfg.net.base_jitter, cfg.net.path_jitter);
+  dc.jitter_allows_reorder = cfg.net.jitter_reorder;
+  dc.trace_opportunities = cfg.net.trace_opportunities;
+  dc.trace_period = cfg.net.trace_period;
+
+  Dumbbell db(sim, dc, 2, &jitter_rng);
+
+  TrialResult result;
+  std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
+  std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
+
+  for (int i = 0; i < 2; ++i) {
+    const Implementation& impl = (i == 0) ? a : b;
+    auto receiver = std::make_unique<transport::ReceiverEndpoint>(
+        sim, i, impl.profile.receiver, db.reverse_in(i));
+    auto sender = std::make_unique<transport::SenderEndpoint>(
+        sim, i, impl.profile.sender, impl.make_cca(), db.forward_in(),
+        master.fork(static_cast<std::uint64_t>(10 + i)));
+
+    trace::FlowTrace& tr = result.flow[i].trace;
+    receiver->set_delivery_callback(
+        [&tr](Time now, Bytes payload, Time) {
+          tr.record_delivery(now, payload);
+        });
+    sender->set_rtt_callback(
+        [&tr](Time now, Time rtt) { tr.record_rtt(now, rtt); });
+    if (cfg.record_cwnd) {
+      sender->set_cwnd_callback([&tr](Time now, Bytes cwnd, Bytes inflight) {
+        tr.record_cwnd(now, cwnd, inflight);
+      });
+    }
+
+    db.attach_receiver(i, receiver.get());
+    db.attach_sender_ack_sink(i, sender.get());
+    receivers.push_back(std::move(receiver));
+    senders.push_back(std::move(sender));
+  }
+
+  std::unique_ptr<netsim::CrossTrafficSource> cross;
+  if (cfg.net.cross_traffic_rate > 0) {
+    cross = std::make_unique<netsim::CrossTrafficSource>(
+        sim, db.forward_in(), cfg.net.cross_traffic_rate, 1200,
+        cfg.net.cross_on, cfg.net.cross_off, master.fork(99));
+    cross->start();
+  }
+
+  senders[0]->start(0);
+  Time offset = 0;
+  if (cfg.flow_b_start >= 0) {
+    offset = cfg.flow_b_start;
+  } else if (cfg.start_spread > 0) {
+    offset = static_cast<Time>(master.uniform() *
+                               static_cast<double>(cfg.start_spread));
+  }
+  senders[1]->start(offset);
+
+  sim.run_until(cfg.duration);
+
+  for (int i = 0; i < 2; ++i) {
+    FlowResult& fr = result.flow[i];
+    fr.points = trace::sample_series(fr.trace, cfg.duration,
+                                     cfg.net.base_rtt, cfg.sampling);
+    const Time t0 = static_cast<Time>(static_cast<double>(cfg.duration) *
+                                      cfg.sampling.truncate_fraction);
+    fr.avg_throughput =
+        trace::average_throughput(fr.trace, t0, cfg.duration - t0);
+    fr.sender_stats = senders[static_cast<std::size_t>(i)]->stats();
+    if (!cfg.record_cwnd) fr.trace.cwnd_samples.clear();
+  }
+  return result;
+}
+
+PairResult run_pair(const Implementation& a, const Implementation& b,
+                    const ExperimentConfig& cfg) {
+  PairResult pr;
+  double sum_a = 0, sum_b = 0;
+  for (int t = 0; t < cfg.trials; ++t) {
+    TrialResult trial = run_trial(a, b, cfg, static_cast<std::uint64_t>(t));
+    conformance::TrialPoints pa, pb;
+    for (const auto& p : trial.flow[0].points) {
+      pa.push_back({p.delay_ms, p.tput_mbps});
+    }
+    for (const auto& p : trial.flow[1].points) {
+      pb.push_back({p.delay_ms, p.tput_mbps});
+    }
+    pr.points_a.push_back(std::move(pa));
+    pr.points_b.push_back(std::move(pb));
+    sum_a += rate::to_mbps(trial.flow[0].avg_throughput);
+    sum_b += rate::to_mbps(trial.flow[1].avg_throughput);
+    if (cfg.record_cwnd) pr.trials.push_back(std::move(trial));
+  }
+  pr.tput_a_mbps = sum_a / cfg.trials;
+  pr.tput_b_mbps = sum_b / cfg.trials;
+  const double total = pr.tput_a_mbps + pr.tput_b_mbps;
+  pr.share_a = total > 0 ? pr.tput_a_mbps / total : 0;
+  pr.share_b = total > 0 ? pr.tput_b_mbps / total : 0;
+  return pr;
+}
+
+conformance::ConformanceReport measure_conformance(
+    const Implementation& test, const Implementation& reference,
+    const ExperimentConfig& cfg, const conformance::PeConfig& pe_cfg) {
+  // Reference PE: reference vs itself, observed in the test position.
+  const PairResult ref_pair = run_pair(reference, reference, cfg);
+  // Test PE: test implementation vs the reference flow.
+  const PairResult test_pair = run_pair(test, reference, cfg);
+  return conformance::evaluate(ref_pair.points_a, test_pair.points_a,
+                               pe_cfg);
+}
+
+std::vector<conformance::TrialPoints> test_position_clouds(
+    const PairResult& pair) {
+  return pair.points_a;
+}
+
+} // namespace quicbench::harness

@@ -1,0 +1,108 @@
+#pragma once
+// Experiment harness: wires two Implementations into a dumbbell, runs
+// multi-trial experiments and produces the point clouds / bandwidth
+// shares everything else consumes. This is the C++ equivalent of the
+// paper's QUICbench orchestration (§3.4).
+//
+// Trials differ through the seeded randomness real testbeds exhibit: a
+// small non-reordering path jitter and a randomised start offset for the
+// second flow.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.h"
+#include "stacks/registry.h"
+#include "trace/trace.h"
+#include "transport/sender.h"
+#include "util/units.h"
+
+namespace quicbench::harness {
+
+struct NetworkConfig {
+  Rate bandwidth = rate::mbps(20);
+  Time base_rtt = time::ms(10);
+  double buffer_bdp = 1.0;  // droptail buffer in BDP multiples
+
+  // Baseline testbed noise (keeps repeated trials distinct, as on real
+  // hardware). Non-reordering.
+  Time base_jitter = time::us(250);
+
+  // "In the wild" extras (Fig 11): heavier jitter and on/off cross
+  // traffic sharing the bottleneck.
+  Time path_jitter = 0;
+  bool jitter_reorder = false;
+  Rate cross_traffic_rate = 0;
+  Time cross_on = time::ms(200);
+  Time cross_off = time::ms(800);
+
+  // Mahimahi-style delivery trace; when non-empty it replaces the
+  // fixed-rate bottleneck and `bandwidth` is only used for BDP/buffer
+  // sizing (set it to the trace's average rate).
+  std::vector<Time> trace_opportunities;
+  Time trace_period = 0;
+
+  Bytes buffer_bytes() const;
+  std::string describe() const;
+};
+
+struct ExperimentConfig {
+  NetworkConfig net;
+  Time duration = time::sec(120);
+  int trials = 5;
+  std::uint64_t seed = 42;
+  trace::SamplingConfig sampling;
+  // Second flow starts within [0, start_spread) of the first, or at the
+  // exact offset `flow_b_start` when that is >= 0 (late-start studies).
+  Time start_spread = time::ms(20);
+  Time flow_b_start = -1;
+  bool record_cwnd = false;
+};
+
+struct FlowResult {
+  std::vector<trace::DTPoint> points;
+  Rate avg_throughput = 0;  // over the truncated steady-state interval
+  transport::SenderStats sender_stats;
+  trace::FlowTrace trace;  // full trace (cwnd series etc.)
+};
+
+struct TrialResult {
+  FlowResult flow[2];
+};
+
+// One trial: implementation `a` (flow 0) vs `b` (flow 1).
+TrialResult run_trial(const stacks::Implementation& a,
+                      const stacks::Implementation& b,
+                      const ExperimentConfig& cfg, std::uint64_t trial_index);
+
+struct PairResult {
+  // Per-trial PE point clouds, flow 0 = a, flow 1 = b.
+  std::vector<conformance::TrialPoints> points_a;
+  std::vector<conformance::TrialPoints> points_b;
+  double tput_a_mbps = 0;  // mean across trials
+  double tput_b_mbps = 0;
+  double share_a = 0;  // Ta / (Ta + Tb)
+  double share_b = 0;
+  std::vector<TrialResult> trials;  // retained when cfg.record_cwnd
+};
+
+PairResult run_pair(const stacks::Implementation& a,
+                    const stacks::Implementation& b,
+                    const ExperimentConfig& cfg);
+
+// The paper's conformance pipeline (§3.1): the test implementation's PE
+// comes from `test` competing with the kernel reference; the reference PE
+// comes from the reference competing with itself. Both PEs describe the
+// flow in the "test position" (flow 0).
+conformance::ConformanceReport measure_conformance(
+    const stacks::Implementation& test,
+    const stacks::Implementation& reference, const ExperimentConfig& cfg,
+    const conformance::PeConfig& pe_cfg = {});
+
+// Raw per-trial clouds for one side of a pairing (helper for benches that
+// need the clouds themselves, e.g. the PE figures).
+std::vector<conformance::TrialPoints> test_position_clouds(
+    const PairResult& pair);
+
+} // namespace quicbench::harness

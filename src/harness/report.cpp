@@ -1,0 +1,168 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+namespace quicbench::harness {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int width, int precision) {
+  std::ostringstream os;
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  label_w = std::max<std::size_t>(label_w, 4);
+
+  os << title << '\n';
+  os << std::string(label_w, ' ') << " |";
+  for (const auto& c : col_labels) {
+    os << std::setw(width) << c.substr(0, static_cast<std::size_t>(width) - 1);
+  }
+  os << '\n';
+  os << std::string(label_w, '-') << "-+"
+     << std::string(col_labels.size() * static_cast<std::size_t>(width), '-')
+     << '\n';
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    os << std::setw(static_cast<int>(label_w)) << row_labels[r] << " |";
+    for (std::size_t c = 0; c < col_labels.size(); ++c) {
+      const double v =
+          r < values.size() && c < values[r].size() ? values[r][c] : NAN;
+      if (std::isnan(v)) {
+        os << std::setw(width) << "-";
+      } else {
+        os << std::setw(width) << format_double(v, precision);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t i = 0; i < header.size(); ++i) widths[i] = header[i].size();
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ')
+         << '|';
+    }
+    os << '\n';
+  };
+  emit_row(header);
+  os << '|';
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    os << std::string(widths[i] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows) emit_row(row);
+  return os.str();
+}
+
+std::string render_pe_plot(const std::string& title,
+                           const conformance::PerformanceEnvelope& ref,
+                           const conformance::PerformanceEnvelope& test,
+                           int cols, int rows) {
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  const auto scan = [&](const std::vector<geom::Point>& pts) {
+    for (const auto& p : pts) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  };
+  scan(ref.all_points);
+  scan(test.all_points);
+  if (min_x > max_x) return title + "\n(no data)\n";
+  const double pad_x = std::max((max_x - min_x) * 0.05, 1e-6);
+  const double pad_y = std::max((max_y - min_y) * 0.05, 1e-6);
+  min_x -= pad_x;
+  max_x += pad_x;
+  min_y -= pad_y;
+  max_y += pad_y;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols),
+                                            ' '));
+  const auto place = [&](const geom::Point& p, char ch) {
+    const int cx = static_cast<int>((p.x - min_x) / (max_x - min_x) *
+                                    (cols - 1));
+    const int cy = static_cast<int>((p.y - min_y) / (max_y - min_y) *
+                                    (rows - 1));
+    const auto r = static_cast<std::size_t>(rows - 1 - cy);
+    const auto c = static_cast<std::size_t>(cx);
+    char& cell = grid[r][c];
+    if (cell == ' ' || cell == ch) {
+      cell = ch;
+    } else if (ch == '#') {
+      cell = '#';
+    } else {
+      cell = '*';
+    }
+  };
+  for (const auto& p : ref.all_points) place(p, 'o');
+  for (const auto& p : test.all_points) place(p, 'x');
+  for (const auto& h : ref.hulls) {
+    for (const auto& v : h) place(v, '#');
+  }
+  for (const auto& h : test.hulls) {
+    for (const auto& v : h) place(v, '#');
+  }
+
+  std::ostringstream os;
+  os << title << "  [o=reference x=test #=hull vertex]\n";
+  os << "throughput " << format_double(max_y, 1) << " Mbps\n";
+  for (const auto& line : grid) os << '|' << line << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(cols), '-') << '\n';
+  os << " delay " << format_double(min_x, 1) << " .. "
+     << format_double(max_x, 1) << " ms   (tput floor "
+     << format_double(min_y, 1) << " Mbps)\n";
+  return os.str();
+}
+
+void parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int workers = static_cast<int>(std::min<unsigned>(
+      hw, static_cast<unsigned>(n)));
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+} // namespace quicbench::harness

@@ -1,0 +1,38 @@
+#pragma once
+// Text renderers for benches and examples: heatmaps (Figs 6, 11, 12, 13),
+// markdown-style tables (Tables 3, 4) and ASCII scatter plots of
+// Performance Envelopes (Figs 1-3, 7-10).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "conformance/pe.h"
+
+namespace quicbench::harness {
+
+// Grid of values rendered with row/column labels; NaN cells print "-".
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int width = 7, int precision = 2);
+
+// Markdown table.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+// ASCII scatter of up to two point clouds ('o' = reference, 'x' = test,
+// '*' = both in the same cell). Hull vertices are marked '#'.
+std::string render_pe_plot(const std::string& title,
+                           const conformance::PerformanceEnvelope& ref,
+                           const conformance::PerformanceEnvelope& test,
+                           int cols = 72, int rows = 24);
+
+std::string format_double(double v, int precision = 2);
+
+// Run `fn(i)` for i in [0, n) across hardware threads. Each index must be
+// independent (all our trials are: they own their Simulator).
+void parallel_for(int n, const std::function<void(int)>& fn);
+
+} // namespace quicbench::harness

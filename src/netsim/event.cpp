@@ -1,0 +1,47 @@
+#include "netsim/event.h"
+
+#include <cassert>
+
+namespace quicbench::netsim {
+
+EventId Simulator::schedule(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::run_next() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; we need to move the callback out,
+    // so copy the cheap fields first and const_cast the entry for the move.
+    auto& top = const_cast<Entry&>(heap_.top());
+    const Time t = top.time;
+    const EventId id = top.id;
+    std::function<void()> fn = std::move(top.fn);
+    heap_.pop();
+    if (auto it = cancelled_.find(id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = t;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time end) {
+  while (!heap_.empty()) {
+    const Time t = heap_.top().time;
+    if (t > end) break;
+    run_next();
+  }
+  if (now_ < end) now_ = end;
+}
+
+} // namespace quicbench::netsim

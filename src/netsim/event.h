@@ -1,0 +1,107 @@
+#pragma once
+// Discrete-event simulation core: a virtual clock plus a min-heap of
+// scheduled callbacks. Events scheduled for the same time fire in
+// scheduling order (FIFO), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::netsim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `t` (>= now). Returns an id that
+  // can be passed to `cancel`.
+  EventId schedule(Time t, std::function<void()> fn);
+
+  // Schedule `fn` to run `delay` after now.
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  // Cancel a pending event. Cancelling an already-fired or invalid id is a
+  // no-op. Uses lazy deletion: the heap entry is skipped when popped.
+  void cancel(EventId id);
+
+  // Run events until the queue is empty or the clock passes `end`.
+  // The clock is left at min(end, time of last fired event).
+  void run_until(Time end);
+
+  // Fire the single next event, if any. Returns false when the queue is
+  // empty.
+  bool run_next();
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+// RAII-ish timer helper: owns at most one pending event and reschedules or
+// cancels it. Components use this for pacing / loss / ack-delay timers.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(&sim) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  // (Re)arm the timer to fire `fn` at absolute time `t`. The callback is
+  // stored in the timer and the scheduled thunk captures only `this`, so
+  // small callbacks never allocate. The callback is moved to a local
+  // before invocation, so re-arming from inside it is safe.
+  void arm(Time t, std::function<void()> fn) {
+    cancel();
+    fn_ = std::move(fn);
+    id_ = sim_->schedule(t, [this] {
+      id_ = kInvalidEvent;
+      auto f = std::move(fn_);
+      f();
+    });
+  }
+
+  void arm_in(Time delay, std::function<void()> fn) {
+    arm(sim_->now() + delay, std::move(fn));
+  }
+
+  void cancel() {
+    if (id_ != kInvalidEvent) {
+      sim_->cancel(id_);
+      id_ = kInvalidEvent;
+    }
+  }
+
+  bool armed() const { return id_ != kInvalidEvent; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = kInvalidEvent;
+  std::function<void()> fn_;
+};
+
+} // namespace quicbench::netsim

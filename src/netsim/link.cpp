@@ -1,0 +1,90 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+
+namespace quicbench::netsim {
+
+Link::Link(Simulator& sim, Rate bandwidth, Time prop_delay,
+           Bytes buffer_bytes, PacketSink* dst)
+    : sim_(sim),
+      bandwidth_(bandwidth),
+      prop_delay_(prop_delay),
+      buffer_bytes_(buffer_bytes),
+      dst_(dst),
+      tx_timer_(sim),
+      prop_timer_(sim) {}
+
+void Link::deliver(Packet p) {
+  ++stats_.packets_in;
+  if (queued_bytes_ + p.size > buffer_bytes_) {
+    ++stats_.packets_dropped;
+    if (drop_cb_) drop_cb_(p);
+    return;
+  }
+  queued_bytes_ += p.size;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  queue_.push_back(std::move(p));
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  tx_packet_ = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= tx_packet_.size;
+  tx_timer_.arm_in(serialization_time(tx_packet_.size, bandwidth_),
+                   [this] { on_transmit_done(); });
+}
+
+void Link::on_transmit_done() {
+  ++stats_.packets_out;
+  stats_.bytes_out += tx_packet_.size;
+  const Time arrival = sim_.now() + prop_delay_;
+  prop_.emplace_back(arrival, std::move(tx_packet_));
+  if (!prop_timer_.armed()) {
+    prop_timer_.arm(arrival, [this] { on_prop_deliver(); });
+  }
+  start_transmission();
+}
+
+void Link::on_prop_deliver() {
+  Packet p = std::move(prop_.front().second);
+  prop_.pop_front();
+  if (!prop_.empty()) {
+    prop_timer_.arm(prop_.front().first, [this] { on_prop_deliver(); });
+  }
+  dst_->deliver(std::move(p));
+}
+
+void DelayLine::deliver(Packet p) {
+  Time release = sim_.now() + delay_;
+  if (jitter_ > 0 && uniform01_) {
+    release += static_cast<Time>(uniform01_() * static_cast<double>(jitter_));
+    if (!allow_reorder_) release = std::max(release, last_release_);
+    last_release_ = release;
+  }
+  const bool new_front = pending_.empty() || release < pending_.begin()->first;
+  pending_.emplace(release, std::move(p));
+  if (new_front) {
+    release_timer_.arm(release, [this] { on_release(); });
+  }
+}
+
+void DelayLine::on_release() {
+  const Time now = sim_.now();
+  // Deliver everything due; equal-keyed entries preserve insertion order.
+  while (!pending_.empty() && pending_.begin()->first <= now) {
+    Packet p = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    dst_->deliver(std::move(p));
+  }
+  if (!pending_.empty()) {
+    release_timer_.arm(pending_.begin()->first, [this] { on_release(); });
+  }
+}
+
+} // namespace quicbench::netsim

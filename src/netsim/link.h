@@ -1,0 +1,114 @@
+#pragma once
+// Bottleneck link: a droptail FIFO buffer feeding a serializing
+// transmitter with fixed rate and propagation delay. This is the emulated
+// equivalent of the paper's tc/Mahimahi bottleneck.
+//
+// Implementation note: per-packet state lives in internal queues and the
+// element schedules only small self-referencing callbacks, so the event
+// heap never heap-allocates per packet (this path runs millions of times
+// per experiment).
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "util/units.h"
+
+namespace quicbench::netsim {
+
+struct LinkStats {
+  std::int64_t packets_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t packets_dropped = 0;
+  Bytes bytes_out = 0;
+  Bytes max_queue_bytes = 0;
+};
+
+class Link : public PacketSink {
+ public:
+  // `buffer_bytes` bounds the queued-but-not-yet-transmitting backlog
+  // (droptail). The packet being serialized does not count against it.
+  Link(Simulator& sim, Rate bandwidth, Time prop_delay, Bytes buffer_bytes,
+       PacketSink* dst);
+
+  void deliver(Packet p) override;
+
+  Bytes queued_bytes() const { return queued_bytes_; }
+  const LinkStats& stats() const { return stats_; }
+  Rate bandwidth() const { return bandwidth_; }
+  Time prop_delay() const { return prop_delay_; }
+  Bytes buffer_bytes() const { return buffer_bytes_; }
+
+  // Invoked on every droptail drop (after stats are updated). Used by
+  // tests and by the trace module to log loss events.
+  void set_drop_callback(std::function<void(const Packet&)> cb) {
+    drop_cb_ = std::move(cb);
+  }
+
+ private:
+  void start_transmission();
+  void on_transmit_done();
+  void on_prop_deliver();
+
+  Simulator& sim_;
+  Rate bandwidth_;
+  Time prop_delay_;
+  Bytes buffer_bytes_;
+  PacketSink* dst_;
+
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  bool transmitting_ = false;
+  Packet tx_packet_;
+
+  // Packets in flight on the wire: FIFO with constant delay, so arrival
+  // order equals completion order; one timer suffices.
+  std::deque<std::pair<Time, Packet>> prop_;
+  Timer tx_timer_;
+  Timer prop_timer_;
+
+  LinkStats stats_;
+  std::function<void(const Packet&)> drop_cb_;
+};
+
+// Pure propagation element with no bandwidth constraint: used for the
+// reverse (ACK) path and access links. Optional per-packet jitter models a
+// noisy Internet path; order is preserved unless `allow_reorder`.
+class DelayLine : public PacketSink {
+ public:
+  DelayLine(Simulator& sim, Time delay, PacketSink* dst)
+      : sim_(sim), delay_(delay), dst_(dst), release_timer_(sim) {}
+
+  // Uniform jitter in [0, jitter]. With allow_reorder=false, release times
+  // are made monotonic so packets cannot overtake each other.
+  void set_jitter(Time jitter, std::function<double()> uniform01,
+                  bool allow_reorder = false) {
+    jitter_ = jitter;
+    uniform01_ = std::move(uniform01);
+    allow_reorder_ = allow_reorder;
+  }
+
+  void deliver(Packet p) override;
+
+  Time delay() const { return delay_; }
+
+ private:
+  void on_release();
+
+  Simulator& sim_;
+  Time delay_;
+  PacketSink* dst_;
+  Time jitter_ = 0;
+  std::function<double()> uniform01_;
+  bool allow_reorder_ = false;
+  Time last_release_ = 0;
+
+  // Pending packets keyed by release time (multimap: stable for equal
+  // keys, supports out-of-order insertion under reordering jitter).
+  std::multimap<Time, Packet> pending_;
+  Timer release_timer_;
+};
+
+} // namespace quicbench::netsim

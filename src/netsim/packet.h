@@ -1,0 +1,48 @@
+#pragma once
+// The simulated wire unit. One struct serves both data packets and ACKs;
+// transport endpoints interpret the fields according to `kind`.
+//
+// ACKs carry a largest-acked packet number plus up to kMaxAckRanges
+// received ranges (newest first), mirroring QUIC ACK frames / TCP SACK.
+
+#include <array>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace quicbench::netsim {
+
+enum class PacketKind : std::uint8_t { kData, kAck };
+
+struct AckRange {
+  std::uint64_t first = 0;  // inclusive
+  std::uint64_t last = 0;   // inclusive
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  int flow = -1;          // flow id; -1 for cross traffic
+  Bytes size = 0;         // wire size in bytes (headers included)
+
+  // --- data packet fields ---
+  std::uint64_t pn = 0;   // packet number
+  Bytes payload = 0;      // application payload bytes carried
+  Time sent_time = 0;     // stamped by the sender when handed to the network
+
+  // --- ack fields ---
+  std::uint64_t largest_acked = 0;
+  Time ack_delay = 0;     // receiver-side delay between receipt and ack
+  Time largest_recv_time = 0;  // receiver timestamp of largest acked packet
+  static constexpr int kMaxAckRanges = 8;
+  std::array<AckRange, kMaxAckRanges> ranges{};
+  int n_ranges = 0;
+};
+
+// Anything that can accept a packet from the network.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet p) = 0;
+};
+
+} // namespace quicbench::netsim

@@ -1,0 +1,126 @@
+#include "netsim/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace quicbench::netsim {
+
+void FlowDemux::register_flow(int flow, PacketSink* sink) {
+  assert(flow >= 0);
+  if (sinks_.size() <= static_cast<std::size_t>(flow)) {
+    sinks_.resize(static_cast<std::size_t>(flow) + 1, nullptr);
+  }
+  sinks_[static_cast<std::size_t>(flow)] = sink;
+}
+
+void FlowDemux::deliver(Packet p) {
+  if (p.flow < 0 || static_cast<std::size_t>(p.flow) >= sinks_.size() ||
+      sinks_[static_cast<std::size_t>(p.flow)] == nullptr) {
+    // Cross traffic or unattached flow: drop at the edge.
+    return;
+  }
+  sinks_[static_cast<std::size_t>(p.flow)]->deliver(std::move(p));
+}
+
+Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
+                   Rng* jitter_rng) {
+  const bool traced = !cfg.trace_opportunities.empty();
+  if ((!traced && cfg.bandwidth <= 0) || cfg.base_rtt <= 0 ||
+      cfg.buffer_bytes <= 0) {
+    throw std::invalid_argument("Dumbbell: bandwidth (or trace), base_rtt "
+                                "and buffer must be positive");
+  }
+  const Time forward_prop = cfg.base_rtt / 2;
+  const Time reverse_prop = cfg.base_rtt - forward_prop;
+
+  forward_tail_ = std::make_unique<DelayLine>(sim, 0, &demux_);
+  if (traced) {
+    trace_bottleneck_ = std::make_unique<TraceLink>(
+        sim, cfg.trace_opportunities, cfg.trace_period, forward_prop,
+        cfg.buffer_bytes, forward_tail_.get(), cfg.trace_mtu);
+  } else {
+    bottleneck_ =
+        std::make_unique<Link>(sim, cfg.bandwidth, forward_prop,
+                               cfg.buffer_bytes, forward_tail_.get());
+  }
+
+  reverse_.reserve(static_cast<std::size_t>(n_flows));
+  for (int i = 0; i < n_flows; ++i) {
+    reverse_.push_back(
+        std::make_unique<DelayLine>(sim, reverse_prop, &reverse_demux_));
+  }
+
+  if (cfg.path_jitter > 0) {
+    if (jitter_rng == nullptr) {
+      throw std::invalid_argument("Dumbbell: path_jitter requires an Rng");
+    }
+    // Independent jitter streams per element keep trials reproducible.
+    auto make_uniform = [jitter_rng](std::uint64_t id) {
+      auto rng = std::make_shared<Rng>(jitter_rng->fork(id));
+      return [rng] { return rng->uniform(); };
+    };
+    forward_tail_->set_jitter(cfg.path_jitter, make_uniform(1),
+                              cfg.jitter_allows_reorder);
+    for (std::size_t i = 0; i < reverse_.size(); ++i) {
+      reverse_[i]->set_jitter(cfg.path_jitter, make_uniform(100 + i),
+                              cfg.jitter_allows_reorder);
+    }
+  }
+}
+
+void Dumbbell::attach_receiver(int flow, PacketSink* receiver) {
+  demux_.register_flow(flow, receiver);
+}
+
+void Dumbbell::attach_sender_ack_sink(int flow, PacketSink* sender) {
+  reverse_demux_.register_flow(flow, sender);
+}
+
+CrossTrafficSource::CrossTrafficSource(Simulator& sim, PacketSink* sink,
+                                       Rate rate, Bytes packet_size,
+                                       Time mean_on, Time mean_off, Rng rng)
+    : sim_(sim),
+      sink_(sink),
+      rate_(rate),
+      packet_size_(packet_size),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      rng_(rng),
+      packet_timer_(sim),
+      toggle_timer_(sim) {}
+
+void CrossTrafficSource::start() {
+  on_ = true;
+  schedule_next_packet();
+  toggle_timer_.arm_in(
+      static_cast<Time>(rng_.exponential(static_cast<double>(mean_on_))),
+      [this] { toggle(); });
+}
+
+void CrossTrafficSource::schedule_next_packet() {
+  if (!on_) return;
+  const double mean_gap_ns =
+      static_cast<double>(packet_size_) * 8.0 / rate_ * 1e9;
+  packet_timer_.arm_in(static_cast<Time>(rng_.exponential(mean_gap_ns)),
+                       [this] {
+                         Packet p;
+                         p.kind = PacketKind::kData;
+                         p.flow = -1;
+                         p.size = packet_size_;
+                         p.sent_time = sim_.now();
+                         sink_->deliver(std::move(p));
+                         schedule_next_packet();
+                       });
+}
+
+void CrossTrafficSource::toggle() {
+  on_ = !on_;
+  const Time mean = on_ ? mean_on_ : mean_off_;
+  if (on_) schedule_next_packet();
+  else packet_timer_.cancel();
+  toggle_timer_.arm_in(
+      static_cast<Time>(rng_.exponential(static_cast<double>(mean))),
+      [this] { toggle(); });
+}
+
+} // namespace quicbench::netsim

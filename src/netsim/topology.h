@@ -1,0 +1,107 @@
+#pragma once
+// Dumbbell topology used by all experiments in the paper: N senders share
+// one droptail bottleneck toward their receivers; ACKs return over
+// unconstrained per-flow delay lines.
+//
+//   sender[i] --> [bottleneck queue+link] --> demux --> receiver[i]
+//   receiver[i] --> [reverse delay line i] --> sender[i]
+//
+// The one-way forward propagation plus the reverse delay equals the
+// configured base RTT (serialization excluded).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/event.h"
+#include "netsim/link.h"
+#include "netsim/packet.h"
+#include "netsim/tracelink.h"
+#include "util/rng.h"
+
+namespace quicbench::netsim {
+
+// Routes packets to per-flow sinks by Packet::flow.
+class FlowDemux : public PacketSink {
+ public:
+  void register_flow(int flow, PacketSink* sink);
+  void deliver(Packet p) override;
+
+ private:
+  std::vector<PacketSink*> sinks_;  // indexed by flow id
+};
+
+struct DumbbellConfig {
+  Rate bandwidth = 0;
+  Time base_rtt = 0;
+  Bytes buffer_bytes = 0;
+  // Optional "wild" path noise (Fig 11): uniform jitter added on the
+  // forward path after the bottleneck, and on the reverse path.
+  Time path_jitter = 0;
+  bool jitter_allows_reorder = false;
+  // Optional Mahimahi-style delivery trace; when non-empty it replaces
+  // the fixed-rate bottleneck (bandwidth is then ignored).
+  std::vector<Time> trace_opportunities;
+  Time trace_period = 0;
+  Bytes trace_mtu = 1500;
+};
+
+class Dumbbell {
+ public:
+  Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
+           Rng* jitter_rng = nullptr);
+
+  // Where flow `i`'s sender should inject data packets.
+  PacketSink* forward_in() {
+    return trace_bottleneck_ ? static_cast<PacketSink*>(trace_bottleneck_.get())
+                             : static_cast<PacketSink*>(bottleneck_.get());
+  }
+  // Where flow `i`'s receiver should inject ACKs.
+  PacketSink* reverse_in(int flow) { return reverse_[flow].get(); }
+
+  // Attach the endpoints. Must be called for every flow before running.
+  void attach_receiver(int flow, PacketSink* receiver);
+  void attach_sender_ack_sink(int flow, PacketSink* sender);
+
+  // Fixed-rate bottleneck accessors (null when a trace is configured).
+  Link& bottleneck() { return *bottleneck_; }
+  const Link& bottleneck() const { return *bottleneck_; }
+  TraceLink* trace_bottleneck() { return trace_bottleneck_.get(); }
+
+ private:
+  std::unique_ptr<Link> bottleneck_;
+  std::unique_ptr<TraceLink> trace_bottleneck_;
+  std::unique_ptr<DelayLine> forward_tail_;  // carries post-bottleneck jitter
+  FlowDemux demux_;
+  std::vector<std::unique_ptr<DelayLine>> reverse_;
+  FlowDemux reverse_demux_;
+};
+
+// Poisson on/off UDP-like cross traffic for the "in the wild" experiments.
+// During an ON burst, packets of `packet_size` arrive with exponential
+// inter-arrival times at `rate`; bursts and gaps have exponential lengths.
+class CrossTrafficSource {
+ public:
+  CrossTrafficSource(Simulator& sim, PacketSink* sink, Rate rate,
+                     Bytes packet_size, Time mean_on, Time mean_off,
+                     Rng rng);
+
+  void start();
+
+ private:
+  void schedule_next_packet();
+  void toggle();
+
+  Simulator& sim_;
+  PacketSink* sink_;
+  Rate rate_;
+  Bytes packet_size_;
+  Time mean_on_;
+  Time mean_off_;
+  Rng rng_;
+  bool on_ = false;
+  Timer packet_timer_;
+  Timer toggle_timer_;
+};
+
+} // namespace quicbench::netsim

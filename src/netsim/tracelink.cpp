@@ -1,0 +1,129 @@
+#include "netsim/tracelink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quicbench::netsim {
+
+TraceLink::TraceLink(Simulator& sim, std::vector<Time> opportunities,
+                     Time period, Time prop_delay, Bytes buffer_bytes,
+                     PacketSink* dst, Bytes mtu)
+    : sim_(sim),
+      opportunities_(std::move(opportunities)),
+      period_(period),
+      prop_delay_(prop_delay),
+      buffer_bytes_(buffer_bytes),
+      dst_(dst),
+      mtu_(mtu),
+      opp_timer_(sim),
+      prop_timer_(sim) {
+  if (opportunities_.empty() || period_ <= 0) {
+    throw std::invalid_argument("TraceLink: empty trace or bad period");
+  }
+  for (std::size_t i = 0; i < opportunities_.size(); ++i) {
+    if (opportunities_[i] < 0 || opportunities_[i] >= period_ ||
+        (i > 0 && opportunities_[i] <= opportunities_[i - 1])) {
+      throw std::invalid_argument("TraceLink: trace must be strictly "
+                                  "increasing within [0, period)");
+    }
+  }
+  cycle_base_ = sim_.now();
+  arm_next_opportunity();
+}
+
+Rate TraceLink::average_rate() const {
+  return rate_of(static_cast<Bytes>(opportunities_.size()) * mtu_, period_);
+}
+
+Time TraceLink::next_opportunity_time() const {
+  return cycle_base_ + opportunities_[next_index_];
+}
+
+void TraceLink::arm_next_opportunity() {
+  opp_timer_.arm(std::max(next_opportunity_time(), sim_.now()),
+                 [this] { on_opportunity(); });
+}
+
+void TraceLink::deliver(Packet p) {
+  ++stats_.packets_in;
+  if (queued_bytes_ + p.size > buffer_bytes_) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  queued_bytes_ += p.size;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  queue_.push_back(std::move(p));
+}
+
+void TraceLink::on_opportunity() {
+  // Mahimahi semantics: each opportunity delivers up to one MTU; unused
+  // capacity is not banked beyond the current opportunity's credit plus
+  // the residue needed to finish an oversized packet.
+  credit_ = std::min<Bytes>(credit_ + mtu_, 2 * mtu_);
+  while (!queue_.empty() && queue_.front().size <= credit_) {
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= p.size;
+    credit_ -= p.size;
+    ++stats_.packets_out;
+    stats_.bytes_out += p.size;
+    const Time arrival = sim_.now() + prop_delay_;
+    prop_.emplace_back(arrival, std::move(p));
+    if (!prop_timer_.armed()) {
+      prop_timer_.arm(arrival, [this] { on_prop_deliver(); });
+    }
+  }
+  if (queue_.empty()) credit_ = std::min<Bytes>(credit_, mtu_);
+
+  // Advance the schedule.
+  if (++next_index_ >= opportunities_.size()) {
+    next_index_ = 0;
+    cycle_base_ += period_;
+  }
+  arm_next_opportunity();
+}
+
+void TraceLink::on_prop_deliver() {
+  Packet p = std::move(prop_.front().second);
+  prop_.pop_front();
+  if (!prop_.empty()) {
+    prop_timer_.arm(prop_.front().first, [this] { on_prop_deliver(); });
+  }
+  dst_->deliver(std::move(p));
+}
+
+namespace traces {
+
+std::vector<Time> constant_rate(Rate rate, Bytes mtu) {
+  const double per_sec = rate / (static_cast<double>(mtu) * 8.0);
+  const auto n = static_cast<std::size_t>(per_sec);
+  std::vector<Time> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<Time>(static_cast<double>(i) * 1e9 / per_sec));
+  }
+  return out;
+}
+
+std::vector<Time> random_walk(Rate min_rate, Rate max_rate, Time step,
+                              Time period, Rng& rng, Bytes mtu) {
+  std::vector<Time> out;
+  double rate = (min_rate + max_rate) / 2;
+  Time t = 0;
+  while (t < period) {
+    // Bounded multiplicative random walk.
+    rate *= 1.0 + rng.uniform(-0.25, 0.25);
+    rate = std::clamp(rate, min_rate, max_rate);
+    const double per_sec = rate / (static_cast<double>(mtu) * 8.0);
+    const auto gap = static_cast<Time>(1e9 / per_sec);
+    for (Time u = t; u < std::min(t + step, period); u += gap) {
+      if (out.empty() || u > out.back()) out.push_back(u);
+    }
+    t += step;
+  }
+  return out;
+}
+
+} // namespace traces
+
+} // namespace quicbench::netsim

@@ -1,0 +1,82 @@
+#pragma once
+// Mahimahi-style trace-driven link: the bottleneck's capacity is a list
+// of timestamped packet-delivery opportunities (one MTU of credit each)
+// that repeats with a fixed period — exactly the record-and-replay model
+// of Netravali et al.'s Mahimahi, which the paper uses for emulation.
+// A constant-rate trace reproduces the fixed-capacity Link; recorded or
+// synthesized cellular traces give the volatile-bandwidth regime the
+// paper flags as future work ("networks with highly volatile bandwidth
+// variations, like 5G").
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "netsim/event.h"
+#include "netsim/link.h"
+#include "netsim/packet.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace quicbench::netsim {
+
+class TraceLink : public PacketSink {
+ public:
+  // `opportunities`: strictly increasing timestamps within [0, period).
+  // Each grants `mtu` bytes of delivery credit. The schedule repeats
+  // every `period`.
+  TraceLink(Simulator& sim, std::vector<Time> opportunities, Time period,
+            Time prop_delay, Bytes buffer_bytes, PacketSink* dst,
+            Bytes mtu = 1500);
+
+  void deliver(Packet p) override;
+
+  const LinkStats& stats() const { return stats_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+
+  // Average rate of the trace in bits/sec.
+  Rate average_rate() const;
+
+ private:
+  void arm_next_opportunity();
+  void on_opportunity();
+  Time next_opportunity_time() const;
+
+  Simulator& sim_;
+  std::vector<Time> opportunities_;
+  Time period_;
+  Time prop_delay_;
+  Bytes buffer_bytes_;
+  PacketSink* dst_;
+  Bytes mtu_;
+
+  std::size_t next_index_ = 0;
+  Time cycle_base_ = 0;
+  Bytes credit_ = 0;  // unused capacity does not accumulate beyond 1 MTU
+
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  std::deque<std::pair<Time, Packet>> prop_;
+  Timer opp_timer_;
+  Timer prop_timer_;
+  LinkStats stats_;
+
+  void on_prop_deliver();
+};
+
+// Trace generators.
+namespace traces {
+
+// Constant-rate trace: evenly spaced opportunities matching `rate` for
+// MTU-sized chunks over one second.
+std::vector<Time> constant_rate(Rate rate, Bytes mtu = 1500);
+
+// Volatile cellular-like trace: the instantaneous rate follows a bounded
+// random walk between `min_rate` and `max_rate`, changing every
+// `step`. Returns opportunities over `period`.
+std::vector<Time> random_walk(Rate min_rate, Rate max_rate, Time step,
+                              Time period, Rng& rng, Bytes mtu = 1500);
+
+} // namespace traces
+
+} // namespace quicbench::netsim

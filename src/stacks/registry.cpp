@@ -1,0 +1,228 @@
+#include "stacks/registry.h"
+
+#include <stdexcept>
+
+namespace quicbench::stacks {
+
+using transport::StackProfile;
+
+std::string to_string(CcaType t) {
+  switch (t) {
+    case CcaType::kCubic: return "cubic";
+    case CcaType::kBbr: return "bbr";
+    case CcaType::kReno: return "reno";
+  }
+  return "?";
+}
+
+std::unique_ptr<cca::CongestionController> Implementation::make_cca() const {
+  switch (cca) {
+    case CcaType::kCubic: {
+      cca::CubicConfig c = cubic;
+      c.mss = profile.sender.mss;
+      c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
+      return std::make_unique<cca::Cubic>(c);
+    }
+    case CcaType::kBbr: {
+      cca::BbrConfig c = bbr;
+      c.mss = profile.sender.mss;
+      c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
+      return std::make_unique<cca::Bbr>(c);
+    }
+    case CcaType::kReno: {
+      cca::RenoConfig c = reno;
+      c.mss = profile.sender.mss;
+      c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
+      return std::make_unique<cca::Reno>(c);
+    }
+  }
+  throw std::logic_error("unknown CCA type");
+}
+
+namespace {
+
+Implementation make(std::string stack, CcaType cca, StackProfile profile,
+                    bool reference = false) {
+  Implementation impl;
+  impl.stack = std::move(stack);
+  impl.cca = cca;
+  impl.display = impl.stack + " " + to_string(cca);
+  impl.is_reference = reference;
+  impl.profile = profile;
+  return impl;
+}
+
+} // namespace
+
+Registry::Registry() {
+  const StackProfile tcp = transport::kernel_tcp_profile();
+  const StackProfile quic = transport::default_quic_profile();
+
+  // --- Linux kernel TCP: the reference implementations ---
+  {
+    Implementation cub = make("tcp", CcaType::kCubic, tcp, true);
+    cub.cubic.classic_hystart = true;  // 5.13 ships classic HyStart
+    impls_.push_back(std::move(cub));
+    impls_.push_back(make("tcp", CcaType::kBbr, tcp, true));
+    impls_.push_back(make("tcp", CcaType::kReno, tcp, true));
+  }
+
+  // --- mvfst (Facebook): CUBIC, BBR, Reno. BBR overdrives its pacer. ---
+  {
+    impls_.push_back(make("mvfst", CcaType::kCubic, quic));
+    Implementation bbr = make("mvfst", CcaType::kBbr, quic);
+    bbr.bbr.pacing_rate_scale = 1.2;  // "multiplies its final sending rate
+                                      // by 120%" (§3.3, Table 4)
+    impls_.push_back(std::move(bbr));
+    impls_.push_back(make("mvfst", CcaType::kReno, quic));
+  }
+
+  // --- chromium (Google): CUBIC, BBR. CUBIC emulates 2 flows. ---
+  {
+    Implementation cub = make("chromium", CcaType::kCubic, quic);
+    cub.cubic.emulated_flows = 2;  // cubic_bytes.cc default (Table 4)
+    impls_.push_back(std::move(cub));
+    impls_.push_back(make("chromium", CcaType::kBbr, quic));
+  }
+
+  // --- msquic (Microsoft): CUBIC only. Conformant. ---
+  impls_.push_back(make("msquic", CcaType::kCubic, quic));
+
+  // --- quiche (Cloudflare): CUBIC, Reno. CUBIC implements the RFC
+  //     8312bis spurious-congestion rollback that the kernel does not
+  //     have; its classifier misfires on ordinary droptail overflows and
+  //     keeps undoing backoffs (Fig 15). ---
+  {
+    Implementation cub = make("quiche", CcaType::kCubic, quic);
+    cub.cubic.spurious_loss_rollback = true;
+    impls_.push_back(std::move(cub));
+    impls_.push_back(make("quiche", CcaType::kReno, quic));
+  }
+
+  // --- lsquic (LiteSpeed): CUBIC, BBR. Paces noticeably hotter than the
+  //     other stacks: conformant PE shape, but mildly aggressive against
+  //     other implementations (Fig 12's residual unfairness). ---
+  {
+    StackProfile p = quic;
+    p.sender.window_pacing_factor = 1.45;
+    impls_.push_back(make("lsquic", CcaType::kCubic, p));
+    impls_.push_back(make("lsquic", CcaType::kBbr, p));
+  }
+
+  // --- quic-go: CUBIC, Reno. Conformant. ---
+  impls_.push_back(make("quicgo", CcaType::kCubic, quic));
+  impls_.push_back(make("quicgo", CcaType::kReno, quic));
+
+  // --- quicly (H2O): CUBIC, Reno. Conformant. ---
+  impls_.push_back(make("quicly", CcaType::kCubic, quic));
+  impls_.push_back(make("quicly", CcaType::kReno, quic));
+
+  // --- quinn (Rust): CUBIC, Reno. Conformant. ---
+  impls_.push_back(make("quinn", CcaType::kCubic, quic));
+  impls_.push_back(make("quinn", CcaType::kReno, quic));
+
+  // --- s2n-quic (AWS): CUBIC only. Conformant. ---
+  impls_.push_back(make("s2n", CcaType::kCubic, quic));
+
+  // --- xquic (Alibaba): CUBIC, BBR, Reno. CUBIC lacks HyStart; BBR ships
+  //     cwnd gain 2.5. The stack also keeps noticeably less data in
+  //     flight than its window allows (modelled as a connection-level
+  //     flow-control cap plus send-loop batching) — the "wider
+  //     stack-level issue" of §5 that drags down all of its CCAs. ---
+  {
+    StackProfile p = quic;
+    p.sender.send_quantum = time::us(500);
+    // The in-flight shortfall shows on the loss-based CCAs only — the
+    // paper measured xquic BBR overshooting (+Δ-tput) while xquic CUBIC
+    // and Reno undershoot, so whatever the real artifact is, the BBR
+    // path bypasses it.
+    StackProfile loss_based = p;
+    loss_based.sender.flow_control_window = 20 * 1024;
+    Implementation cub = make("xquic", CcaType::kCubic, loss_based);
+    cub.cubic.hystart = false;
+    impls_.push_back(std::move(cub));
+    Implementation bbr = make("xquic", CcaType::kBbr, p);
+    bbr.bbr.cwnd_gain = 2.5;
+    impls_.push_back(std::move(bbr));
+    impls_.push_back(make("xquic", CcaType::kReno, loss_based));
+  }
+
+  // --- neqo (Mozilla): CUBIC, Reno. CCA verified compliant; the stack's
+  //     connection-level flow-control cap limits in-flight data (the
+  //     unexplained artifact the paper leaves as future work). ---
+  {
+    StackProfile p = quic;
+    p.sender.flow_control_window = 10 * 1024;
+    Implementation cub = make("neqo", CcaType::kCubic, p);
+    impls_.push_back(std::move(cub));
+    impls_.push_back(make("neqo", CcaType::kReno, p));
+  }
+}
+
+const Registry& Registry::instance() {
+  static const Registry reg;
+  return reg;
+}
+
+std::vector<const Implementation*> Registry::with_cca(
+    CcaType t, bool include_reference) const {
+  std::vector<const Implementation*> out;
+  for (const auto& impl : impls_) {
+    if (impl.cca != t) continue;
+    if (impl.is_reference && !include_reference) continue;
+    out.push_back(&impl);
+  }
+  return out;
+}
+
+const Implementation* Registry::find(std::string_view stack,
+                                     CcaType t) const {
+  for (const auto& impl : impls_) {
+    if (impl.stack == stack && impl.cca == t) return &impl;
+  }
+  return nullptr;
+}
+
+const Implementation& Registry::reference(CcaType t) const {
+  const Implementation* ref = find("tcp", t);
+  if (ref == nullptr) throw std::logic_error("missing reference CCA");
+  return *ref;
+}
+
+std::optional<Implementation> fixed_variant(const Implementation& impl) {
+  Implementation fixed = impl;
+  fixed.display += " (fixed)";
+  if (impl.stack == "chromium" && impl.cca == CcaType::kCubic) {
+    fixed.cubic.emulated_flows = 1;  // "Emulated flows reduced from 2 to 1"
+    return fixed;
+  }
+  if (impl.stack == "mvfst" && impl.cca == CcaType::kBbr) {
+    fixed.bbr.pacing_rate_scale = 1.0;  // "pacing gain reduced ... to 1"
+    return fixed;
+  }
+  if (impl.stack == "xquic" && impl.cca == CcaType::kBbr) {
+    fixed.bbr.cwnd_gain = 2.0;  // "cwnd gain reduced from 2.5 to 2"
+    return fixed;
+  }
+  if (impl.stack == "quiche" && impl.cca == CcaType::kCubic) {
+    fixed.cubic.spurious_loss_rollback = false;  // "Disabled RFC8312"
+    return fixed;
+  }
+  return std::nullopt;
+}
+
+Implementation reference_cubic_no_hystart() {
+  Implementation impl = Registry::instance().reference(CcaType::kCubic);
+  impl.display = "tcp cubic (no hystart)";
+  impl.cubic.hystart = false;
+  return impl;
+}
+
+Implementation modified_kernel_bbr(double cwnd_gain) {
+  Implementation impl = Registry::instance().reference(CcaType::kBbr);
+  impl.display = "tcp bbr (cwnd gain " + std::to_string(cwnd_gain) + ")";
+  impl.bbr.cwnd_gain = cwnd_gain;
+  return impl;
+}
+
+} // namespace quicbench::stacks

@@ -1,0 +1,81 @@
+#pragma once
+// The population under study: Table 1 of the paper. Every (stack, CCA)
+// pair is an Implementation — a transport StackProfile plus a CCA
+// configuration. The per-stack deviations encoded here are exactly the
+// implementation-level differences the paper documents:
+//
+//   chromium CUBIC  emulates 2 flows (shallower backoff, faster AI)
+//   quiche  CUBIC   RFC 8312bis spurious-loss rollback enabled
+//   xquic   CUBIC   no HyStart
+//   xquic   BBR     cwnd gain 2.5 instead of 2
+//   mvfst   BBR     final sending rate scaled by ~1.2x
+//   lsquic  stack   ack-clocked (no pacing), like the kernel
+//   xquic   stack   send-loop batching + conservative pacing (artifact)
+//   neqo    stack   connection flow-control cap (artifact)
+//
+// plus the Table 4 "fixed" variants and the HyStart-disabled kernel
+// reference used to diagnose xquic CUBIC.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cca/bbr.h"
+#include "cca/cca.h"
+#include "cca/cubic.h"
+#include "cca/reno.h"
+#include "transport/profile.h"
+
+namespace quicbench::stacks {
+
+enum class CcaType { kCubic, kBbr, kReno };
+
+std::string to_string(CcaType t);
+
+struct Implementation {
+  std::string stack;    // "tcp", "mvfst", "chromium", ...
+  CcaType cca = CcaType::kCubic;
+  std::string display;  // e.g. "quiche cubic"
+  bool is_reference = false;  // the kernel TCP implementation
+
+  transport::StackProfile profile;
+  cca::CubicConfig cubic;
+  cca::BbrConfig bbr;
+  cca::RenoConfig reno;
+
+  std::unique_ptr<cca::CongestionController> make_cca() const;
+};
+
+class Registry {
+ public:
+  static const Registry& instance();
+
+  // All (stack, CCA) pairs of Table 1, kernel TCP included.
+  const std::vector<Implementation>& all() const { return impls_; }
+
+  std::vector<const Implementation*> with_cca(CcaType t,
+                                              bool include_reference) const;
+
+  // nullptr when the stack does not implement that CCA (Table 1 gaps).
+  const Implementation* find(std::string_view stack, CcaType t) const;
+
+  // The Linux-kernel reference for a CCA.
+  const Implementation& reference(CcaType t) const;
+
+ private:
+  Registry();
+  std::vector<Implementation> impls_;
+};
+
+// Table 4 fixes. Returns nullopt for implementations with no known fix.
+std::optional<Implementation> fixed_variant(const Implementation& impl);
+
+// Kernel CUBIC with HyStart disabled (used to show xquic CUBIC conforms
+// to a HyStart-less reference, Table 4).
+Implementation reference_cubic_no_hystart();
+
+// Kernel BBR with a modified cwnd gain (the Figure 5 sweep).
+Implementation modified_kernel_bbr(double cwnd_gain);
+
+} // namespace quicbench::stacks

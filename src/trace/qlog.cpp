@@ -1,0 +1,75 @@
+#include "trace/qlog.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace quicbench::trace {
+
+QlogWriter::QlogWriter(std::string title, std::string cca_name)
+    : title_(std::move(title)), cca_name_(std::move(cca_name)) {}
+
+void QlogWriter::packet_sent(Time t, std::uint64_t pn, Bytes size,
+                             bool is_retransmission) {
+  events_.push_back({t, 0, pn, size, is_retransmission, 0, 0, 0});
+}
+
+void QlogWriter::packet_received(Time t, std::uint64_t pn, Bytes size) {
+  events_.push_back({t, 1, pn, size, false, 0, 0, 0});
+}
+
+void QlogWriter::packet_lost(Time t, std::uint64_t pn) {
+  events_.push_back({t, 2, pn, 0, false, 0, 0, 0});
+}
+
+void QlogWriter::metrics_updated(Time t, Bytes cwnd, Bytes bytes_in_flight,
+                                 Time smoothed_rtt) {
+  events_.push_back({t, 3, 0, 0, false, cwnd, bytes_in_flight,
+                     smoothed_rtt});
+}
+
+void QlogWriter::write_to(std::ostream& os) const {
+  os << "{\"qlog_version\":\"0.3\",\"title\":\"" << title_
+     << "\",\"traces\":[{\"common_fields\":{\"time_format\":"
+        "\"relative\",\"reference_time\":0},\"vantage_point\":{\"type\":"
+        "\"server\"},\"configuration\":{\"congestion_control\":\""
+     << cca_name_ << "\"},\"events\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    const double ms = time::to_ms(e.time);
+    switch (e.kind) {
+      case 0:
+        os << "[" << ms << ",\"transport\",\"packet_sent\",{\"header\":{"
+           << "\"packet_number\":" << e.pn << "},\"raw\":{\"length\":"
+           << e.size << "}"
+           << (e.retx ? ",\"is_retransmission\":true" : "") << "}]";
+        break;
+      case 1:
+        os << "[" << ms << ",\"transport\",\"packet_received\",{"
+           << "\"header\":{\"packet_number\":" << e.pn
+           << "},\"raw\":{\"length\":" << e.size << "}}]";
+        break;
+      case 2:
+        os << "[" << ms << ",\"recovery\",\"packet_lost\",{\"header\":{"
+           << "\"packet_number\":" << e.pn << "}}]";
+        break;
+      default:
+        os << "[" << ms << ",\"recovery\",\"metrics_updated\",{"
+           << "\"congestion_window\":" << e.cwnd
+           << ",\"bytes_in_flight\":" << e.in_flight
+           << ",\"smoothed_rtt\":" << time::to_ms(e.srtt) << "}]";
+        break;
+    }
+  }
+  os << "]}]}";
+}
+
+bool QlogWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_to(out);
+  return static_cast<bool>(out);
+}
+
+} // namespace quicbench::trace

@@ -1,0 +1,63 @@
+#pragma once
+// qlog-style structured event export (draft-ietf-quic-qlog). The QUIC
+// ecosystem's debugging workflow (qvis, the tool behind Marx et al.'s
+// speciation study) consumes JSON event streams of packet and
+// congestion-control events; this writer produces a compatible subset so
+// simulated flows can be inspected with the same tooling used on real
+// stacks.
+//
+// Events emitted per flow:
+//   transport:packet_sent        (pn, size, retransmission flag)
+//   transport:packet_received    (pn, size)
+//   recovery:packet_lost         (pn)
+//   recovery:metrics_updated     (cwnd, bytes_in_flight, smoothed_rtt)
+//
+// The writer buffers events and serialises on `write_to` — experiments
+// are finished before any I/O happens, so logging never perturbs timing.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::trace {
+
+class QlogWriter {
+ public:
+  QlogWriter(std::string title, std::string cca_name);
+
+  void packet_sent(Time t, std::uint64_t pn, Bytes size,
+                   bool is_retransmission);
+  void packet_received(Time t, std::uint64_t pn, Bytes size);
+  void packet_lost(Time t, std::uint64_t pn);
+  void metrics_updated(Time t, Bytes cwnd, Bytes bytes_in_flight,
+                       Time smoothed_rtt);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  // Serialise the full qlog JSON document.
+  void write_to(std::ostream& os) const;
+  // Convenience: write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    Time time;
+    // 0 = sent, 1 = received, 2 = lost, 3 = metrics
+    int kind;
+    std::uint64_t pn = 0;
+    Bytes size = 0;
+    bool retx = false;
+    Bytes cwnd = 0;
+    Bytes in_flight = 0;
+    Time srtt = 0;
+  };
+
+  std::string title_;
+  std::string cca_name_;
+  std::vector<Event> events_;
+};
+
+} // namespace quicbench::trace

@@ -1,0 +1,55 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace quicbench::trace {
+
+std::vector<DTPoint> sample_series(const FlowTrace& trace, Time duration,
+                                   Time base_rtt, const SamplingConfig& cfg) {
+  std::vector<DTPoint> points;
+  if (duration <= 0 || base_rtt <= 0) return points;
+
+  const Time start = static_cast<Time>(static_cast<double>(duration) *
+                                       cfg.truncate_fraction);
+  const Time end = duration - start;
+  const Time window = base_rtt * cfg.rtts_per_sample;
+  if (window <= 0 || end <= start) return points;
+
+  auto delivery_it = std::lower_bound(
+      trace.deliveries.begin(), trace.deliveries.end(), start,
+      [](const DeliveryRecord& r, Time t) { return r.time < t; });
+  auto rtt_it = std::lower_bound(
+      trace.rtt_samples.begin(), trace.rtt_samples.end(), start,
+      [](const RttRecord& r, Time t) { return r.time < t; });
+
+  for (Time t = start; t + window <= end; t += window) {
+    const Time wend = t + window;
+    Bytes bytes = 0;
+    while (delivery_it != trace.deliveries.end() && delivery_it->time < wend) {
+      bytes += delivery_it->payload;
+      ++delivery_it;
+    }
+    double rtt_sum = 0;
+    int rtt_n = 0;
+    while (rtt_it != trace.rtt_samples.end() && rtt_it->time < wend) {
+      rtt_sum += time::to_ms(rtt_it->rtt);
+      ++rtt_n;
+      ++rtt_it;
+    }
+    if (bytes <= 0 || rtt_n == 0) continue;
+    points.push_back(DTPoint{rtt_sum / rtt_n,
+                             rate::to_mbps(rate_of(bytes, window))});
+  }
+  return points;
+}
+
+Rate average_throughput(const FlowTrace& trace, Time t0, Time t1) {
+  if (t1 <= t0) return 0;
+  Bytes bytes = 0;
+  for (const auto& d : trace.deliveries) {
+    if (d.time >= t0 && d.time < t1) bytes += d.payload;
+  }
+  return rate_of(bytes, t1 - t0);
+}
+
+} // namespace quicbench::trace

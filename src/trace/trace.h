@@ -1,0 +1,71 @@
+#pragma once
+// Flow traces and the offline measurement pipeline of §3.1: each flow's
+// packet-level delivery and RTT events are recorded during the run, then
+// converted to a throughput/delay time series that is truncated by 10% at
+// both ends and sampled every 10 RTTs into (delay, throughput) pairs.
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::trace {
+
+struct DeliveryRecord {
+  Time time = 0;
+  Bytes payload = 0;
+};
+
+struct RttRecord {
+  Time time = 0;
+  Time rtt = 0;
+};
+
+struct CwndRecord {
+  Time time = 0;
+  Bytes cwnd = 0;
+  Bytes bytes_in_flight = 0;
+};
+
+struct FlowTrace {
+  std::vector<DeliveryRecord> deliveries;  // receiver-side
+  std::vector<RttRecord> rtt_samples;      // sender-side
+  std::vector<CwndRecord> cwnd_samples;    // sender-side (optional)
+
+  void record_delivery(Time t, Bytes payload) {
+    deliveries.push_back({t, payload});
+  }
+  void record_rtt(Time t, Time rtt) { rtt_samples.push_back({t, rtt}); }
+  void record_cwnd(Time t, Bytes cwnd, Bytes in_flight) {
+    cwnd_samples.push_back({t, cwnd, in_flight});
+  }
+
+  Bytes total_delivered() const {
+    Bytes sum = 0;
+    for (const auto& d : deliveries) sum += d.payload;
+    return sum;
+  }
+};
+
+// A sampled (delay, throughput) pair: one point of a Performance Envelope
+// point cloud.
+struct DTPoint {
+  double delay_ms = 0;
+  double tput_mbps = 0;
+};
+
+struct SamplingConfig {
+  double truncate_fraction = 0.10;  // drop this share at each end
+  int rtts_per_sample = 10;         // sampling period in base RTTs
+};
+
+// Convert a trace covering [0, duration] into (delay, throughput) samples.
+// Windows with no delivered data or no RTT samples are skipped (they carry
+// no information about the steady-state trade-off).
+std::vector<DTPoint> sample_series(const FlowTrace& trace, Time duration,
+                                   Time base_rtt,
+                                   const SamplingConfig& cfg = {});
+
+// Mean delivered throughput (bits/sec) over [t0, t1].
+Rate average_throughput(const FlowTrace& trace, Time t0, Time t1);
+
+} // namespace quicbench::trace

@@ -1,0 +1,47 @@
+#include "transport/profile.h"
+
+#include <sstream>
+
+namespace quicbench::transport {
+
+std::string SenderProfile::describe() const {
+  std::ostringstream os;
+  os << "mss=" << mss << " icw=" << initial_cwnd_packets
+     << " pace=" << (pace_window_ccas ? "yes" : "no");
+  if (flow_control_window > 0) os << " fc=" << flow_control_window;
+  if (egress_jitter > 0) {
+    os << " jitter=" << time::to_us(egress_jitter) << "us"
+       << (egress_reorder ? "(reorder)" : "");
+  }
+  if (send_quantum > 0) os << " quantum=" << time::to_us(send_quantum) << "us";
+  return os.str();
+}
+
+StackProfile kernel_tcp_profile() {
+  StackProfile p;
+  p.sender.mss = 1448;
+  p.sender.header_overhead = 52;  // 1500B frames on the wire
+  p.sender.initial_cwnd_packets = 10;
+  // Linux internal pacing (tcp_pacing_ca_ratio=120) is active on testbeds
+  // using the fq qdisc, as tc-shaped setups commonly do.
+  p.sender.pace_window_ccas = true;
+  p.sender.window_pacing_factor = 1.2;
+  p.sender.pacing_burst_packets = 2;
+  p.receiver.ack_every_n = 2;  // delayed ack
+  p.receiver.max_ack_delay = time::ms(40);
+  return p;
+}
+
+StackProfile default_quic_profile() {
+  StackProfile p;
+  p.sender.mss = 1350;           // typical QUIC max UDP payload
+  p.sender.header_overhead = 78; // UDP/IP + QUIC short header + auth tag
+  p.sender.initial_cwnd_packets = 10;
+  p.sender.pace_window_ccas = true;  // most QUIC stacks pace everything
+  p.sender.pacing_burst_packets = 2;
+  p.receiver.ack_every_n = 2;        // RFC 9000 recommendation
+  p.receiver.max_ack_delay = time::ms(25);
+  return p;
+}
+
+} // namespace quicbench::transport

@@ -1,0 +1,86 @@
+#pragma once
+// Stack profiles: everything about a TCP or QUIC stack's transport
+// machinery that is *not* the congestion control algorithm — packet
+// sizing, initial window, pacing policy, ACK policy, loss-detection
+// thresholds, and the stack-level artifacts (flow-control caps, send
+// batching, egress jitter) that the paper identifies as sources of
+// non-conformance independent of the CCA (§5, "Indications of wider
+// stack-level issues").
+
+#include <string>
+
+#include "util/units.h"
+
+namespace quicbench::transport {
+
+enum class TimeThresholdBase {
+  kSmoothedOrLatest,  // RFC 9002: max(smoothed_rtt, latest_rtt)
+  kMinRtt,            // aggressive: min_rtt (misfires when queues build)
+};
+
+struct SenderProfile {
+  // Packetization. TCP: 1448-byte MSS + 52B headers. QUIC: smaller UDP
+  // payload + UDP/IP/QUIC overhead.
+  Bytes mss = 1448;
+  Bytes header_overhead = 52;
+  Bytes ack_packet_size = 80;
+
+  int initial_cwnd_packets = 10;
+  Bytes min_cwnd_packets = 2;
+
+  // Pacing. Kernel CUBIC/Reno are ack-clocked (no pacing); most QUIC
+  // stacks pace window-based CCAs at `window_pacing_factor x cwnd/srtt`.
+  // Rate-based CCAs (BBR) always use the CCA-provided pacing rate.
+  bool pace_window_ccas = false;
+  double window_pacing_factor = 1.25;
+  int pacing_burst_packets = 2;
+
+  // Loss detection (RFC 9002 defaults).
+  int packet_reorder_threshold = 3;
+  double time_reorder_fraction = 9.0 / 8.0;
+  TimeThresholdBase time_threshold_base = TimeThresholdBase::kSmoothedOrLatest;
+  // RACK-style adaptation: each detected spurious loss widens the packet
+  // reorder threshold (up to the cap) so persistent reordering stops
+  // triggering false losses.
+  bool adapt_reorder_threshold = true;
+  int max_packet_reorder_threshold = 16;
+
+  // PTO
+  Time max_ack_delay_assumed = time::ms(25);
+  int persistent_congestion_ptos = 3;
+
+  // --- stack artifacts ---
+  // Connection-level flow control: caps bytes in flight (0 = unlimited).
+  Bytes flow_control_window = 0;
+  // Egress processing jitter: each packet's hand-off to the network is
+  // delayed by uniform [0, egress_jitter]; if `egress_reorder`, packets
+  // may overtake each other (multi-threaded / batched sendmsg artifacts).
+  Time egress_jitter = 0;
+  bool egress_reorder = false;
+  // Send-loop batching: the sender only wakes to transmit every
+  // `send_quantum` (0 = event-driven, no batching).
+  Time send_quantum = 0;
+
+  std::string describe() const;
+};
+
+struct ReceiverProfile {
+  // Ack frequency: ack every Nth data packet (kernel TCP delayed ack and
+  // the QUIC recommendation are both 2; several stacks deviate, cf. Marx
+  // et al.).
+  int ack_every_n = 2;
+  Time max_ack_delay = time::ms(25);
+  // Ack immediately when a gap is observed (all stacks do).
+  bool ack_on_gap = true;
+};
+
+struct StackProfile {
+  SenderProfile sender;
+  ReceiverProfile receiver;
+};
+
+// Canonical profiles.
+StackProfile kernel_tcp_profile();   // the reference: Linux TCP
+StackProfile default_quic_profile(); // RFC-faithful IETF QUIC stack
+
+} // namespace quicbench::transport

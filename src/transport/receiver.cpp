@@ -1,0 +1,102 @@
+#include "transport/receiver.h"
+
+#include <algorithm>
+
+namespace quicbench::transport {
+
+using netsim::AckRange;
+using netsim::Packet;
+using netsim::PacketKind;
+
+ReceiverEndpoint::ReceiverEndpoint(netsim::Simulator& sim, int flow,
+                                   ReceiverProfile profile,
+                                   netsim::PacketSink* reverse_path)
+    : sim_(sim),
+      flow_(flow),
+      profile_(profile),
+      reverse_(reverse_path),
+      ack_delay_timer_(sim) {}
+
+void ReceiverEndpoint::note_received(std::uint64_t pn) {
+  // Find insertion point: ranges_ ascending by first.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), pn,
+      [](const AckRange& r, std::uint64_t v) { return r.last < v; });
+  if (it != ranges_.end() && pn >= it->first && pn <= it->last) {
+    ++stats_.duplicate_packets;
+    return;
+  }
+  // Try to extend a neighbour.
+  const bool extends_prev =
+      it != ranges_.begin() && std::prev(it)->last + 1 == pn;
+  const bool extends_next = it != ranges_.end() && it->first == pn + 1;
+  if (extends_prev && extends_next) {
+    std::prev(it)->last = it->last;
+    ranges_.erase(it);
+  } else if (extends_prev) {
+    std::prev(it)->last = pn;
+  } else if (extends_next) {
+    it->first = pn;
+  } else {
+    ranges_.insert(it, AckRange{pn, pn});
+  }
+  if (ranges_.size() > kMaxTrackedRanges) {
+    ranges_.erase(ranges_.begin());  // forget the oldest gap
+  }
+}
+
+void ReceiverEndpoint::deliver(Packet p) {
+  if (p.kind != PacketKind::kData || p.flow != flow_) return;
+  const Time now = sim_.now();
+
+  ++stats_.packets_received;
+  stats_.bytes_received += p.payload;
+  // RFC 9000 §13.2.1: ack immediately for any out-of-order packet — one
+  // that leaves a gap *or* fills one.
+  const bool out_of_order = any_received_ && p.pn != largest_pn_ + 1;
+  note_received(p.pn);
+  if (!any_received_ || p.pn > largest_pn_) {
+    largest_pn_ = p.pn;
+    largest_recv_time_ = now;
+  }
+  any_received_ = true;
+
+  if (delivery_cb_) delivery_cb_(now, p.payload, now - p.sent_time);
+  if (packet_cb_) packet_cb_(now, p.pn, p.size);
+
+  ++unacked_data_packets_;
+  const bool immediate =
+      unacked_data_packets_ >= profile_.ack_every_n ||
+      (profile_.ack_on_gap && (has_gap() || out_of_order));
+  if (immediate) {
+    send_ack();
+  } else if (!ack_delay_timer_.armed()) {
+    ack_delay_timer_.arm_in(profile_.max_ack_delay, [this] { send_ack(); });
+  }
+}
+
+void ReceiverEndpoint::send_ack() {
+  if (!any_received_) return;
+  ack_delay_timer_.cancel();
+  unacked_data_packets_ = 0;
+
+  Packet ack;
+  ack.kind = PacketKind::kAck;
+  ack.flow = flow_;
+  ack.size = kAckWireSize;
+  ack.largest_acked = ranges_.back().last;
+  ack.ack_delay = sim_.now() - largest_recv_time_;
+  ack.largest_recv_time = largest_recv_time_;
+  // Newest ranges first, up to the frame capacity.
+  int n = 0;
+  for (auto it = ranges_.rbegin();
+       it != ranges_.rend() && n < Packet::kMaxAckRanges; ++it) {
+    ack.ranges[static_cast<std::size_t>(n++)] = *it;
+  }
+  ack.n_ranges = n;
+
+  ++stats_.acks_sent;
+  reverse_->deliver(std::move(ack));
+}
+
+} // namespace quicbench::transport

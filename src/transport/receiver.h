@@ -1,0 +1,72 @@
+#pragma once
+// Receiver endpoint: records delivered data for the trace pipeline and
+// generates ACK frames per the stack's ACK policy (ack-every-N with a
+// max-ack-delay timer, immediate ack on gaps).
+
+#include <functional>
+#include <vector>
+
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "transport/profile.h"
+#include "util/units.h"
+
+namespace quicbench::transport {
+
+struct ReceiverStats {
+  std::int64_t packets_received = 0;
+  Bytes bytes_received = 0;
+  std::int64_t acks_sent = 0;
+  std::int64_t duplicate_packets = 0;
+};
+
+class ReceiverEndpoint : public netsim::PacketSink {
+ public:
+  ReceiverEndpoint(netsim::Simulator& sim, int flow, ReceiverProfile profile,
+                   netsim::PacketSink* reverse_path);
+
+  void deliver(netsim::Packet p) override;
+
+  // Called for every delivered data packet with the payload size and the
+  // one-way delay the packet experienced.
+  using DeliveryCallback =
+      std::function<void(Time now, Bytes payload, Time one_way_delay)>;
+  void set_delivery_callback(DeliveryCallback cb) {
+    delivery_cb_ = std::move(cb);
+  }
+
+  // Per-packet hook with the packet number (qlog export).
+  using PacketCallback =
+      std::function<void(Time now, std::uint64_t pn, Bytes size)>;
+  void set_packet_callback(PacketCallback cb) { packet_cb_ = std::move(cb); }
+
+  const ReceiverStats& stats() const { return stats_; }
+
+ private:
+  void note_received(std::uint64_t pn);
+  bool has_gap() const { return ranges_.size() > 1; }
+  void send_ack();
+
+  netsim::Simulator& sim_;
+  int flow_;
+  ReceiverProfile profile_;
+  netsim::PacketSink* reverse_;
+
+  // Received packet-number ranges, ascending, coalesced.
+  std::vector<netsim::AckRange> ranges_;
+  std::uint64_t largest_pn_ = 0;
+  Time largest_recv_time_ = 0;
+  bool any_received_ = false;
+
+  int unacked_data_packets_ = 0;
+  netsim::Timer ack_delay_timer_;
+
+  ReceiverStats stats_;
+  DeliveryCallback delivery_cb_;
+  PacketCallback packet_cb_;
+
+  static constexpr std::size_t kMaxTrackedRanges = 64;
+  static constexpr Bytes kAckWireSize = 80;
+};
+
+} // namespace quicbench::transport

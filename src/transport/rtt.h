@@ -1,0 +1,54 @@
+#pragma once
+// RFC 6298 / RFC 9002 round-trip-time estimation.
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace quicbench::transport {
+
+class RttEstimator {
+ public:
+  // `sample` is the raw ack-arrival minus send time; `ack_delay` is the
+  // receiver-reported delay, subtracted per RFC 9002 (but never below the
+  // running minimum).
+  void update(Time sample, Time ack_delay) {
+    latest_ = sample;
+    min_ = has_sample_ ? std::min(min_, sample) : sample;
+    Time adjusted = sample;
+    if (adjusted - ack_delay >= min_) adjusted -= ack_delay;
+    if (!has_sample_) {
+      smoothed_ = adjusted;
+      rttvar_ = adjusted / 2;
+      has_sample_ = true;
+      return;
+    }
+    const Time err = std::max<Time>(
+        smoothed_ > adjusted ? smoothed_ - adjusted : adjusted - smoothed_, 0);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    smoothed_ = (7 * smoothed_ + adjusted) / 8;
+  }
+
+  bool has_sample() const { return has_sample_; }
+  Time smoothed() const { return has_sample_ ? smoothed_ : kInitialRtt; }
+  Time rttvar() const { return has_sample_ ? rttvar_ : kInitialRtt / 2; }
+  Time latest() const { return latest_; }
+  Time min_rtt() const { return has_sample_ ? min_ : kInitialRtt; }
+
+  // Probe timeout interval per RFC 9002 §6.2.1.
+  Time pto_interval(Time max_ack_delay) const {
+    return smoothed() + std::max<Time>(4 * rttvar(), time::ms(1)) +
+           max_ack_delay;
+  }
+
+  static constexpr Time kInitialRtt = time::ms(333);
+
+ private:
+  bool has_sample_ = false;
+  Time smoothed_ = 0;
+  Time rttvar_ = 0;
+  Time latest_ = 0;
+  Time min_ = 0;
+};
+
+} // namespace quicbench::transport

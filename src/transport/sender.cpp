@@ -1,0 +1,394 @@
+#include "transport/sender.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quicbench::transport {
+
+using netsim::Packet;
+using netsim::PacketKind;
+
+SenderEndpoint::SenderEndpoint(
+    netsim::Simulator& sim, int flow, SenderProfile profile,
+    std::unique_ptr<cca::CongestionController> controller,
+    netsim::PacketSink* network, Rng rng)
+    : sim_(sim),
+      flow_(flow),
+      profile_(profile),
+      cca_(std::move(controller)),
+      network_(network),
+      rng_(rng),
+      reorder_threshold_(profile.packet_reorder_threshold),
+      pacing_timer_(sim),
+      loss_timer_(sim),
+      pto_timer_(sim),
+      quantum_timer_(sim) {
+  assert(cca_ && network_);
+}
+
+void SenderEndpoint::start(Time at) {
+  sim_.schedule(std::max(at, sim_.now()), [this] {
+    started_ = true;
+    delivered_time_ = sim_.now();
+    maybe_send();
+  });
+}
+
+SenderEndpoint::SentMeta* SenderEndpoint::meta(std::uint64_t pn) {
+  if (pn < base_pn_ || pn >= next_pn_) return nullptr;
+  return &sent_[static_cast<std::size_t>(pn - base_pn_)];
+}
+
+void SenderEndpoint::compact_sent_log() {
+  const Time now = sim_.now();
+  while (!sent_.empty()) {
+    const SentMeta& f = sent_.front();
+    if (f.acked) {
+      sent_.pop_front();
+      ++base_pn_;
+    } else if (f.lost && f.sent_time + kSpuriousGrace < now) {
+      unresolved_.erase(base_pn_);
+      sent_.pop_front();
+      ++base_pn_;
+    } else {
+      break;
+    }
+  }
+}
+
+void SenderEndpoint::deliver(Packet p) {
+  if (p.kind != PacketKind::kAck || p.flow != flow_) return;
+  on_ack_frame(p);
+}
+
+void SenderEndpoint::on_ack_frame(const Packet& ack) {
+  const Time now = sim_.now();
+
+  const auto covered = [&ack](std::uint64_t pn) {
+    for (int i = 0; i < ack.n_ranges; ++i) {
+      if (pn >= ack.ranges[static_cast<std::size_t>(i)].first &&
+          pn <= ack.ranges[static_cast<std::size_t>(i)].last) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  Bytes newly_acked_bytes = 0;
+  std::uint64_t largest_newly = 0;
+  SentMeta* largest_newly_meta = nullptr;
+
+  const auto ack_pn = [&](std::uint64_t pn) {
+    SentMeta* m = meta(pn);
+    if (m == nullptr || m->acked) return;
+    if (m->lost) {
+      // Late ack for a packet we declared lost: spurious loss.
+      m->acked = true;
+      ++stats_.spurious_losses;
+      unresolved_.erase(pn);
+      if (profile_.adapt_reorder_threshold &&
+          reorder_threshold_ < profile_.max_packet_reorder_threshold) {
+        ++reorder_threshold_;  // RACK-style reo_wnd widening
+      }
+      cca_->on_spurious_loss({now, pn, m->wire_size, m->sent_time});
+      return;
+    }
+    m->acked = true;
+    bytes_in_flight_ -= m->wire_size;
+    delivered_bytes_ += m->wire_size;
+    delivered_time_ = now;
+    newly_acked_bytes += m->wire_size;
+    if (largest_newly_meta == nullptr || pn > largest_newly) {
+      largest_newly = pn;
+      largest_newly_meta = m;
+    }
+    unresolved_.erase(pn);
+  };
+
+  // 1. Walk the window of pns this frame may newly resolve.
+  const std::uint64_t prev_frontier = any_acked_ ? largest_acked_ + 1 : base_pn_;
+  if (ack.largest_acked >= prev_frontier) {
+    for (std::uint64_t pn = prev_frontier; pn <= ack.largest_acked; ++pn) {
+      if (covered(pn)) {
+        ack_pn(pn);
+      } else {
+        SentMeta* m = meta(pn);
+        if (m != nullptr && !m->acked && !m->lost) unresolved_.insert(pn);
+      }
+    }
+    largest_acked_ = ack.largest_acked;
+    any_acked_ = true;
+  }
+
+  // 2. Revisit old gaps: stragglers and spurious losses.
+  for (auto it = unresolved_.begin(); it != unresolved_.end();) {
+    const std::uint64_t pn = *it;
+    ++it;  // ack_pn may erase pn
+    if (covered(pn)) ack_pn(pn);
+  }
+
+  // RTT sample: only when the frame's largest-acked was newly acked.
+  Time rtt_sample = 0;
+  if (largest_newly_meta != nullptr && largest_newly == ack.largest_acked) {
+    rtt_sample = now - largest_newly_meta->sent_time;
+    rtt_.update(rtt_sample, ack.ack_delay);
+    if (rtt_cb_) rtt_cb_(now, rtt_sample);
+  }
+
+  if (newly_acked_bytes > 0) {
+    cca::AckEvent ev;
+    ev.now = now;
+    ev.bytes_acked = newly_acked_bytes;
+    ev.bytes_in_flight = bytes_in_flight_;
+    ev.rtt = rtt_sample;
+    ev.smoothed_rtt = rtt_.smoothed();
+    ev.min_rtt = rtt_.min_rtt();
+    ev.largest_newly_acked = largest_newly;
+    ev.largest_newly_acked_sent_time = largest_newly_meta->sent_time;
+    ev.largest_sent_pn = next_pn_ == 0 ? 0 : next_pn_ - 1;
+    const Time interval = now - largest_newly_meta->delivered_time_at_send;
+    if (interval > 0) {
+      ev.rate_valid = true;
+      ev.delivery_rate =
+          rate_of(delivered_bytes_ - largest_newly_meta->delivered_at_send,
+                  interval);
+    }
+    cca_->on_ack(ev);
+    if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
+
+    pto_count_ = 0;
+    arm_pto();
+  }
+
+  detect_losses();
+  compact_sent_log();
+  maybe_send();
+}
+
+Time SenderEndpoint::loss_time_threshold() const {
+  const Time base =
+      profile_.time_threshold_base == TimeThresholdBase::kMinRtt
+          ? rtt_.min_rtt()
+          : std::max(rtt_.smoothed(), rtt_.latest());
+  return static_cast<Time>(profile_.time_reorder_fraction *
+                           static_cast<double>(base));
+}
+
+void SenderEndpoint::detect_losses() {
+  if (!any_acked_) return;
+  const Time now = sim_.now();
+  const Time threshold = loss_time_threshold();
+
+  Bytes lost_bytes = 0;
+  std::uint64_t largest_lost = 0;
+  Time largest_lost_sent = 0;
+  Time next_loss_time = time::kInfinite;
+
+  for (const std::uint64_t pn : unresolved_) {
+    SentMeta* m = meta(pn);
+    if (m == nullptr || m->acked || m->lost) continue;
+    if (pn >= largest_acked_) continue;
+    const bool pkt_thresh =
+        largest_acked_ >= pn + static_cast<std::uint64_t>(reorder_threshold_);
+    const bool time_thresh = m->sent_time + threshold <= now;
+    if (pkt_thresh || time_thresh) {
+      m->lost = true;
+      bytes_in_flight_ -= m->wire_size;
+      lost_bytes += m->wire_size;
+      pending_retx_bytes_ += m->payload;
+      ++stats_.losses_detected;
+      if (lost_cb_) lost_cb_(now, pn);
+      if (pn >= largest_lost) {
+        largest_lost = pn;
+        largest_lost_sent = m->sent_time;
+      }
+    } else {
+      next_loss_time = std::min(next_loss_time, m->sent_time + threshold);
+    }
+  }
+
+  if (lost_bytes > 0) {
+    ++stats_.loss_events;
+    cca::LossEvent ev;
+    ev.now = now;
+    ev.bytes_lost = lost_bytes;
+    ev.bytes_in_flight = bytes_in_flight_;
+    ev.largest_lost_pn = largest_lost;
+    ev.largest_lost_sent_time = largest_lost_sent;
+    ev.is_persistent_congestion = false;
+    cca_->on_loss(ev);
+    if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
+  }
+
+  if (next_loss_time != time::kInfinite) {
+    loss_timer_.arm(next_loss_time, [this] {
+      detect_losses();
+      compact_sent_log();
+      maybe_send();
+    });
+  } else {
+    loss_timer_.cancel();
+  }
+}
+
+void SenderEndpoint::arm_pto() {
+  if (bytes_in_flight_ <= 0) {
+    pto_timer_.cancel();
+    return;
+  }
+  const Time interval = rtt_.pto_interval(profile_.max_ack_delay_assumed)
+                        << std::min(pto_count_, 6);
+  pto_timer_.arm_in(interval, [this] { on_pto(); });
+}
+
+void SenderEndpoint::on_pto() {
+  ++stats_.ptos_fired;
+  ++pto_count_;
+  if (pto_count_ >= profile_.persistent_congestion_ptos) {
+    declare_persistent_congestion();
+  }
+  send_one(/*is_probe=*/true);
+  arm_pto();
+}
+
+void SenderEndpoint::declare_persistent_congestion() {
+  const Time now = sim_.now();
+  Bytes lost_bytes = 0;
+  std::uint64_t largest_lost = 0;
+  Time largest_lost_sent = 0;
+  for (std::uint64_t pn = base_pn_; pn < next_pn_; ++pn) {
+    SentMeta* m = meta(pn);
+    if (m == nullptr || m->acked || m->lost) continue;
+    m->lost = true;
+    bytes_in_flight_ -= m->wire_size;
+    lost_bytes += m->wire_size;
+    pending_retx_bytes_ += m->payload;
+    unresolved_.insert(pn);
+    if (lost_cb_) lost_cb_(now, pn);
+    largest_lost = pn;
+    largest_lost_sent = m->sent_time;
+  }
+  if (lost_bytes == 0) return;
+  ++stats_.persistent_congestion_events;
+  cca::LossEvent ev;
+  ev.now = now;
+  ev.bytes_lost = lost_bytes;
+  ev.bytes_in_flight = bytes_in_flight_;
+  ev.largest_lost_pn = largest_lost;
+  ev.largest_lost_sent_time = largest_lost_sent;
+  ev.is_persistent_congestion = true;
+  cca_->on_loss(ev);
+  if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
+  pto_count_ = 0;
+}
+
+std::optional<Rate> SenderEndpoint::effective_pacing_rate() const {
+  if (auto r = cca_->pacing_rate(); r.has_value()) return r;
+  if (profile_.pace_window_ccas && rtt_.has_sample()) {
+    const double cwnd_bits = static_cast<double>(cca_->cwnd()) * 8.0;
+    return profile_.window_pacing_factor * cwnd_bits /
+           time::to_sec(rtt_.smoothed());
+  }
+  return std::nullopt;
+}
+
+void SenderEndpoint::maybe_send() {
+  if (!started_) return;
+  if (profile_.send_quantum > 0) {
+    // Batched send loop: wake only on quantum boundaries.
+    if (!quantum_timer_.armed()) {
+      quantum_timer_.arm_in(profile_.send_quantum, [this] {
+        do_send_loop();
+        if (started_) maybe_send();  // keep ticking
+      });
+    }
+    return;
+  }
+  do_send_loop();
+}
+
+void SenderEndpoint::do_send_loop() {
+  const Bytes wire = profile_.mss + profile_.header_overhead;
+  for (;;) {
+    if (bytes_in_flight_ + wire > cca_->cwnd()) break;
+    if (profile_.flow_control_window > 0 &&
+        bytes_in_flight_ + wire > profile_.flow_control_window) {
+      break;
+    }
+    if (const auto rate = effective_pacing_rate(); rate.has_value()) {
+      if (next_send_time_ > sim_.now()) {
+        if (profile_.send_quantum <= 0) {
+          pacing_timer_.arm(next_send_time_, [this] { do_send_loop(); });
+        }
+        break;
+      }
+      const Time interval = serialization_time(wire, *rate);
+      const Time burst_allowance =
+          interval * std::max(profile_.pacing_burst_packets - 1, 0);
+      next_send_time_ =
+          std::max(next_send_time_, sim_.now() - burst_allowance) + interval;
+    }
+    send_one(/*is_probe=*/false);
+  }
+}
+
+void SenderEndpoint::send_one(bool is_probe) {
+  const Time now = sim_.now();
+  const Bytes wire = profile_.mss + profile_.header_overhead;
+
+  SentMeta m;
+  m.wire_size = wire;
+  m.payload = profile_.mss;
+  m.sent_time = now;
+  m.delivered_at_send = delivered_bytes_;
+  m.delivered_time_at_send = delivered_time_;
+  m.is_retx = is_probe || pending_retx_bytes_ > 0;
+  if (pending_retx_bytes_ > 0) {
+    pending_retx_bytes_ = std::max<Bytes>(pending_retx_bytes_ - profile_.mss, 0);
+    ++stats_.retransmissions;
+  } else if (is_probe) {
+    ++stats_.retransmissions;
+  }
+
+  const std::uint64_t pn = next_pn_++;
+  sent_.push_back(m);
+  bytes_in_flight_ += wire;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += wire;
+
+  cca::SentPacketEvent ev;
+  ev.now = now;
+  ev.pn = pn;
+  ev.size = wire;
+  ev.bytes_in_flight = bytes_in_flight_;
+  ev.is_retransmission = m.is_retx;
+  cca_->on_packet_sent(ev);
+  if (sent_cb_) sent_cb_(now, pn, wire, m.is_retx);
+
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.flow = flow_;
+  p.size = wire;
+  p.pn = pn;
+  p.payload = m.payload;
+  p.sent_time = now;
+
+  if (profile_.egress_jitter > 0) {
+    Time release = now + static_cast<Time>(
+                             rng_.uniform() *
+                             static_cast<double>(profile_.egress_jitter));
+    if (!profile_.egress_reorder) {
+      release = std::max(release, last_egress_release_);
+    }
+    last_egress_release_ = std::max(last_egress_release_, release);
+    sim_.schedule(release, [this, p = std::move(p)]() mutable {
+      network_->deliver(std::move(p));
+    });
+  } else {
+    network_->deliver(std::move(p));
+  }
+
+  if (!pto_timer_.armed()) arm_pto();
+}
+
+} // namespace quicbench::transport

@@ -1,0 +1,149 @@
+#pragma once
+// Bulk-transfer sender endpoint: the simulated equivalent of an iperf3 TCP
+// sender or a QUIC stack's test server pushing an unbounded stream.
+//
+// Responsibilities:
+//   - packetize an infinite stream into MSS-sized packets
+//   - obey the congestion controller's cwnd and pacing rate
+//   - RFC 9002-style loss detection (packet threshold + time threshold),
+//     probe timeouts, persistent congestion
+//   - spurious-loss detection (a lost-marked packet later acked), which
+//     feeds the RFC 8312bis rollback logic in the quiche CUBIC variant
+//   - stack artifacts per SenderProfile: flow-control caps, egress jitter,
+//     send-loop batching
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "cca/cca.h"
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "transport/profile.h"
+#include "transport/rtt.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace quicbench::transport {
+
+struct SenderStats {
+  std::int64_t packets_sent = 0;
+  Bytes bytes_sent = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t losses_detected = 0;
+  std::int64_t loss_events = 0;  // batched on_loss deliveries to the CCA
+  std::int64_t spurious_losses = 0;
+  std::int64_t ptos_fired = 0;
+  std::int64_t persistent_congestion_events = 0;
+};
+
+class SenderEndpoint : public netsim::PacketSink {
+ public:
+  SenderEndpoint(netsim::Simulator& sim, int flow, SenderProfile profile,
+                 std::unique_ptr<cca::CongestionController> controller,
+                 netsim::PacketSink* network, Rng rng);
+
+  // Begin transmitting at absolute simulation time `at`.
+  void start(Time at);
+
+  // ACK arrival from the network.
+  void deliver(netsim::Packet p) override;
+
+  // Observability hooks for the trace module.
+  using RttCallback = std::function<void(Time now, Time rtt)>;
+  using CwndCallback =
+      std::function<void(Time now, Bytes cwnd, Bytes bytes_in_flight)>;
+  using PacketSentCallback = std::function<void(
+      Time now, std::uint64_t pn, Bytes size, bool is_retransmission)>;
+  using PacketLostCallback = std::function<void(Time now, std::uint64_t pn)>;
+  void set_rtt_callback(RttCallback cb) { rtt_cb_ = std::move(cb); }
+  void set_cwnd_callback(CwndCallback cb) { cwnd_cb_ = std::move(cb); }
+  void set_packet_sent_callback(PacketSentCallback cb) {
+    sent_cb_ = std::move(cb);
+  }
+  void set_packet_lost_callback(PacketLostCallback cb) {
+    lost_cb_ = std::move(cb);
+  }
+
+  const SenderStats& stats() const { return stats_; }
+  const cca::CongestionController& controller() const { return *cca_; }
+  cca::CongestionController& controller() { return *cca_; }
+  Bytes bytes_in_flight() const { return bytes_in_flight_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  int flow() const { return flow_; }
+
+ private:
+  struct SentMeta {
+    Bytes wire_size = 0;
+    Bytes payload = 0;
+    Time sent_time = 0;
+    Bytes delivered_at_send = 0;
+    Time delivered_time_at_send = 0;
+    bool acked = false;
+    bool lost = false;
+    bool is_retx = false;
+  };
+
+  // Packet bookkeeping: sent_[pn - base_pn_].
+  SentMeta* meta(std::uint64_t pn);
+  void compact_sent_log();
+
+  void on_ack_frame(const netsim::Packet& ack);
+  void detect_losses();
+  void arm_loss_timer();
+  void arm_pto();
+  void on_pto();
+  void declare_persistent_congestion();
+
+  void maybe_send();
+  void do_send_loop();
+  void send_one(bool is_probe);
+  Time loss_time_threshold() const;
+  std::optional<Rate> effective_pacing_rate() const;
+
+  netsim::Simulator& sim_;
+  int flow_;
+  SenderProfile profile_;
+  std::unique_ptr<cca::CongestionController> cca_;
+  netsim::PacketSink* network_;
+  Rng rng_;
+
+  bool started_ = false;
+  std::uint64_t next_pn_ = 0;
+  std::uint64_t base_pn_ = 0;
+  std::deque<SentMeta> sent_;
+  // Unresolved (unacked or lost-but-within-grace) pns below the largest
+  // processed ack; kept small so per-ack work stays O(gaps).
+  std::set<std::uint64_t> unresolved_;
+  std::uint64_t largest_acked_ = 0;
+  bool any_acked_ = false;
+
+  Bytes bytes_in_flight_ = 0;
+  Bytes delivered_bytes_ = 0;
+  Time delivered_time_ = 0;
+  Bytes pending_retx_bytes_ = 0;
+
+  RttEstimator rtt_;
+  int reorder_threshold_ = 3;  // adapts upward on spurious losses
+
+  netsim::Timer pacing_timer_;
+  netsim::Timer loss_timer_;
+  netsim::Timer pto_timer_;
+  netsim::Timer quantum_timer_;
+  Time next_send_time_ = 0;
+  Time last_egress_release_ = 0;
+  int pto_count_ = 0;
+
+  SenderStats stats_;
+  RttCallback rtt_cb_;
+  CwndCallback cwnd_cb_;
+  PacketSentCallback sent_cb_;
+  PacketLostCallback lost_cb_;
+
+  // Grace period during which a lost-marked packet is retained so a late
+  // ack can be recognised as spurious.
+  static constexpr Time kSpuriousGrace = time::sec(2);
+};
+
+} // namespace quicbench::transport

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace quicbench {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), columns_(header.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: column count mismatch in " + path_);
+  }
+  std::size_t i = 0;
+  out_ << std::setprecision(12);
+  for (double v : values) {
+    if (i++) out_ << ',';
+    out_ << v;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::runtime_error("CsvWriter: column count mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+} // namespace quicbench

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal CSV writer used by benches and examples to dump series that a
+// plotting script can consume. Values are written with enough precision to
+// round-trip doubles.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quicbench {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Append one row; the number of fields must match the header.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+// Quote a field if it contains separators/quotes, per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+} // namespace quicbench

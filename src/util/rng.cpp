@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace quicbench {
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller. Guard against log(0).
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+} // namespace quicbench

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every experiment trial derives its own Rng from (master seed, trial index,
+// flow index, ...) via `fork`, so results are identical across runs and
+// independent of evaluation order.
+
+#include <cstdint>
+
+namespace quicbench {
+
+// splitmix64: used for seeding and cheap stateless mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless method would be overkill here; modulo
+    // bias is negligible for the ranges we use (n << 2^64).
+    return next_u64() % n;
+  }
+
+  // Standard normal via Box-Muller (polar form avoided for determinism of
+  // call count: always consumes exactly two uniforms).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential with the given mean.
+  double exponential(double mean);
+
+  // Derive an independent stream for a sub-component.
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t s = next_u64() ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+    return Rng(s);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+} // namespace quicbench

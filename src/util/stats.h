@@ -1,0 +1,84 @@
+#pragma once
+// Small statistics helpers shared by the trace pipeline and the harness.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace quicbench::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+// Linear-interpolated percentile; p in [0, 100]. Empty input returns 0.
+double percentile(std::span<const double> xs, double p);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+// Streaming mean/variance (Welford). Useful inside the simulator where we
+// do not want to retain every sample.
+class Running {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Windowed min/max filter over (time, value) samples, as used by BBR for
+// its bottleneck-bandwidth max filter and min-RTT filter. Keeps a monotonic
+// deque of candidate samples within `window`.
+template <typename T, bool kMax>
+class WindowedExtremum {
+ public:
+  explicit WindowedExtremum(long long window) : window_(window) {}
+
+  void update(long long now, T value) {
+    // Drop samples that can never be the extremum again.
+    while (!samples_.empty() && better(value, samples_.back().value)) {
+      samples_.pop_back();
+    }
+    samples_.push_back({now, value});
+    expire(now);
+  }
+
+  bool empty() const { return samples_.empty(); }
+
+  T get() const { return samples_.front().value; }
+
+  void expire(long long now) {
+    while (!samples_.empty() && samples_.front().time < now - window_) {
+      samples_.erase(samples_.begin());
+    }
+  }
+
+  void set_window(long long window) { window_ = window; }
+  void clear() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    long long time;
+    T value;
+  };
+
+  static bool better(T a, T b) { return kMax ? a >= b : a <= b; }
+
+  long long window_;
+  std::vector<Sample> samples_;
+};
+
+template <typename T>
+using WindowedMax = WindowedExtremum<T, true>;
+template <typename T>
+using WindowedMin = WindowedExtremum<T, false>;
+
+} // namespace quicbench::stats

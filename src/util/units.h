@@ -1,0 +1,62 @@
+#pragma once
+// Strong-ish unit types for simulation time, data sizes and rates.
+//
+// All simulation time is integer nanoseconds (no floating point time), all
+// data sizes are bytes, and rates are bits per second. Helper constructors
+// and converters keep call sites readable: `time::ms(10)`, `rate::mbps(20)`.
+
+#include <cstdint>
+#include <limits>
+
+namespace quicbench {
+
+using Time = std::int64_t;  // nanoseconds since simulation start
+using Bytes = std::int64_t; // data size in bytes
+using Rate = double;        // bits per second
+
+namespace time {
+
+inline constexpr Time kInfinite = std::numeric_limits<Time>::max();
+
+constexpr Time ns(std::int64_t v) { return v; }
+constexpr Time us(std::int64_t v) { return v * 1'000; }
+constexpr Time ms(std::int64_t v) { return v * 1'000'000; }
+constexpr Time sec(std::int64_t v) { return v * 1'000'000'000; }
+
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+
+// Time from a (possibly fractional) number of seconds / milliseconds.
+constexpr Time from_sec(double s) { return static_cast<Time>(s * 1e9); }
+constexpr Time from_ms(double ms) { return static_cast<Time>(ms * 1e6); }
+
+} // namespace time
+
+namespace rate {
+
+constexpr Rate bps(double v) { return v; }
+constexpr Rate kbps(double v) { return v * 1e3; }
+constexpr Rate mbps(double v) { return v * 1e6; }
+constexpr Rate gbps(double v) { return v * 1e9; }
+
+constexpr double to_mbps(Rate r) { return r / 1e6; }
+
+} // namespace rate
+
+// Time to serialize `size` bytes onto a link of rate `r` bits/sec.
+constexpr Time serialization_time(Bytes size, Rate r) {
+  return static_cast<Time>(static_cast<double>(size) * 8.0 / r * 1e9);
+}
+
+// Bandwidth-delay product in bytes for a link rate and round-trip time.
+constexpr Bytes bdp_bytes(Rate r, Time rtt) {
+  return static_cast<Bytes>(r / 8.0 * time::to_sec(rtt));
+}
+
+// Rate achieved by `size` bytes delivered over interval `t`.
+constexpr Rate rate_of(Bytes size, Time t) {
+  return t > 0 ? static_cast<double>(size) * 8.0 / time::to_sec(t) : 0.0;
+}
+
+} // namespace quicbench

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "cca/bbr.h"
+
+namespace quicbench::cca {
+namespace {
+
+constexpr Bytes kMss = 1448;
+
+BbrConfig config() {
+  BbrConfig cfg;
+  cfg.mss = kMss;
+  cfg.initial_cwnd_packets = 10;
+  return cfg;
+}
+
+// Drives a BBR instance with a synthetic steady link: delivery rate
+// `rate_bps`, round-trip `rtt`. Returns the simulated clock.
+class BbrDriver {
+ public:
+  explicit BbrDriver(Bbr& bbr) : bbr_(bbr) {}
+
+  void run_rounds(int rounds, Rate rate_bps, Time rtt,
+                  Bytes in_flight = 0) {
+    for (int r = 0; r < rounds; ++r) {
+      // ~10 acks per round. Keep largest_sent one round ahead of the acks
+      // (as a real transport with packets in flight does) so BBR counts
+      // exactly one round per driver round.
+      const std::uint64_t round_end = pn_ + 10;
+      for (int i = 0; i < 10; ++i) {
+        AckEvent ev;
+        now_ += rtt / 10;
+        ev.now = now_;
+        ev.bytes_acked = 2 * kMss;
+        ev.bytes_in_flight =
+            in_flight > 0 ? in_flight
+                          : static_cast<Bytes>(rate_bps / 8.0 *
+                                               time::to_sec(rtt));
+        ev.rtt = rtt;
+        ev.smoothed_rtt = rtt;
+        ev.min_rtt = rtt;
+        ev.largest_newly_acked = ++pn_;
+        ev.largest_sent_pn = round_end + 10;
+        ev.rate_valid = true;
+        ev.delivery_rate = rate_bps;
+        bbr_.on_ack(ev);
+      }
+    }
+  }
+
+  Time now() const { return now_; }
+
+ private:
+  Bbr& bbr_;
+  Time now_ = 0;
+  std::uint64_t pn_ = 0;
+};
+
+TEST(Bbr, StartsInStartup) {
+  Bbr bbr(config());
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
+  EXPECT_TRUE(bbr.in_slow_start());
+  EXPECT_FALSE(bbr.pacing_rate().has_value());  // no estimates yet
+}
+
+TEST(Bbr, TracksBottleneckBandwidth) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(5, rate::mbps(20), time::ms(10));
+  EXPECT_NEAR(rate::to_mbps(bbr.btl_bw()), 20.0, 0.1);
+  EXPECT_EQ(bbr.rt_prop(), time::ms(10));
+}
+
+TEST(Bbr, ExitsStartupWhenBandwidthPlateaus) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  // Growing bandwidth keeps it in startup.
+  d.run_rounds(2, rate::mbps(5), time::ms(10));
+  d.run_rounds(2, rate::mbps(10), time::ms(10));
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
+  // Plateau for >= 3 rounds: full pipe, drain, then probe.
+  d.run_rounds(6, rate::mbps(20), time::ms(10));
+  EXPECT_TRUE(bbr.filled_pipe());
+  EXPECT_NE(bbr.mode(), Bbr::Mode::kStartup);
+}
+
+TEST(Bbr, ReachesProbeBwAndPacesAtEstimate) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(12, rate::mbps(20), time::ms(10),
+               /*in_flight=*/bdp_bytes(rate::mbps(20), time::ms(10)) / 2);
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+  ASSERT_TRUE(bbr.pacing_rate().has_value());
+  // Pacing rate = gain x btlbw with gain in [0.75, 1.25].
+  const double mbps = rate::to_mbps(*bbr.pacing_rate());
+  EXPECT_GE(mbps, 0.74 * 20);
+  EXPECT_LE(mbps, 1.26 * 20);
+}
+
+TEST(Bbr, CwndIsGainTimesBdp) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(30, rate::mbps(20), time::ms(10),
+               bdp_bytes(rate::mbps(20), time::ms(10)));
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()), 2.0 * static_cast<double>(bdp),
+              static_cast<double>(bdp) * 0.25);
+}
+
+TEST(Bbr, CwndGainKnobScalesWindow) {
+  BbrConfig big = config();
+  big.cwnd_gain = 2.5;
+  Bbr def(config()), mod(big);
+  BbrDriver d1(def), d2(mod);
+  d1.run_rounds(30, rate::mbps(20), time::ms(10),
+                bdp_bytes(rate::mbps(20), time::ms(10)));
+  d2.run_rounds(30, rate::mbps(20), time::ms(10),
+                bdp_bytes(rate::mbps(20), time::ms(10)));
+  EXPECT_GT(mod.cwnd(), def.cwnd());
+  EXPECT_NEAR(static_cast<double>(mod.cwnd()) / static_cast<double>(def.cwnd()),
+              2.5 / 2.0, 0.15);
+}
+
+TEST(Bbr, PacingRateScaleMultiplier) {
+  BbrConfig fast = config();
+  fast.pacing_rate_scale = 1.2;
+  Bbr def(config()), mod(fast);
+  BbrDriver d1(def), d2(mod);
+  d1.run_rounds(30, rate::mbps(20), time::ms(10));
+  d2.run_rounds(30, rate::mbps(20), time::ms(10));
+  ASSERT_TRUE(def.pacing_rate().has_value());
+  ASSERT_TRUE(mod.pacing_rate().has_value());
+  EXPECT_NEAR(*mod.pacing_rate() / *def.pacing_rate(), 1.2, 1e-9);
+}
+
+TEST(Bbr, ProbeRttAfterMinRttExpiry) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(12, rate::mbps(20), time::ms(10));
+  ASSERT_TRUE(bbr.filled_pipe());
+  // Keep the measured RTT above the initial min for > 10 s.
+  bool saw_probe_rtt = false;
+  for (int i = 0; i < 1200 && !saw_probe_rtt; ++i) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12));
+    if (bbr.mode() == Bbr::Mode::kProbeRtt) saw_probe_rtt = true;
+  }
+  EXPECT_TRUE(saw_probe_rtt);
+  EXPECT_EQ(bbr.cwnd(), 4 * kMss);  // ProbeRTT floor
+}
+
+TEST(Bbr, ProbeRttExitsBackToProbeBw) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(12, rate::mbps(20), time::ms(10));
+  // Force ProbeRTT.
+  while (bbr.mode() != Bbr::Mode::kProbeRtt) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12));
+  }
+  // Drain in-flight below the floor and run past the 200 ms dwell.
+  for (int i = 0; i < 100 && bbr.mode() == Bbr::Mode::kProbeRtt; ++i) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12), /*in_flight=*/2 * kMss);
+  }
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+}
+
+TEST(Bbr, BandwidthFilterExpiresOldSamples) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(5, rate::mbps(50), time::ms(10));
+  EXPECT_NEAR(rate::to_mbps(bbr.btl_bw()), 50.0, 1.0);
+  // Bandwidth halves; after >10 rounds the old max must expire.
+  d.run_rounds(15, rate::mbps(25), time::ms(10));
+  EXPECT_NEAR(rate::to_mbps(bbr.btl_bw()), 25.0, 1.0);
+}
+
+TEST(Bbr, LossAgnosticWindow) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(30, rate::mbps(20), time::ms(10),
+               bdp_bytes(rate::mbps(20), time::ms(10)));
+  const Bytes before = bbr.cwnd();
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = 10 * kMss;
+  ev.largest_lost_sent_time = d.now() - time::ms(5);
+  bbr.on_loss(ev);
+  EXPECT_EQ(bbr.cwnd(), before);  // BBRv1 ignores ordinary loss
+}
+
+TEST(Bbr, PersistentCongestionCollapses) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(30, rate::mbps(20), time::ms(10));
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = 10 * kMss;
+  ev.is_persistent_congestion = true;
+  bbr.on_loss(ev);
+  EXPECT_EQ(bbr.cwnd(), 4 * kMss);
+}
+
+TEST(Bbr, ProbeBwCyclesThroughGains) {
+  Bbr bbr(config());
+  BbrDriver d(bbr);
+  d.run_rounds(12, rate::mbps(20), time::ms(10),
+               bdp_bytes(rate::mbps(20), time::ms(10)));
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+  std::set<int> phases;
+  for (int i = 0; i < 40; ++i) {
+    d.run_rounds(1, rate::mbps(20), time::ms(10),
+                 bdp_bytes(rate::mbps(20), time::ms(10)) * 5 / 4);
+    phases.insert(bbr.probe_bw_phase());
+  }
+  EXPECT_GE(phases.size(), 4u);  // cycles through multiple phases
+}
+
+} // namespace
+} // namespace quicbench::cca

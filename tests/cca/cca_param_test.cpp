@@ -1,0 +1,178 @@
+// Parameterized sweeps over CCA configuration knobs: monotonicity and
+// bound properties that must hold across the whole parameter range the
+// variant registry uses.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cca/bbr.h"
+#include "cca/cubic.h"
+#include "cca/reno.h"
+
+namespace quicbench::cca {
+namespace {
+
+constexpr Bytes kMss = 1448;
+
+AckEvent ack(Time now, Bytes bytes_acked, Time rtt = time::ms(10)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.bytes_acked = bytes_acked;
+  ev.rtt = rtt;
+  ev.smoothed_rtt = rtt;
+  ev.min_rtt = rtt;
+  return ev;
+}
+
+LossEvent loss(Time now, Time sent_time) {
+  LossEvent ev;
+  ev.now = now;
+  ev.bytes_lost = kMss;
+  ev.largest_lost_sent_time = sent_time;
+  return ev;
+}
+
+// --- CUBIC beta sweep: higher beta => shallower backoff ---
+
+class CubicBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubicBetaSweep, BackoffMatchesBeta) {
+  CubicConfig cfg;
+  cfg.mss = kMss;
+  cfg.beta = GetParam();
+  Cubic cubic(cfg);
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  const Bytes before = cubic.cwnd();
+  cubic.on_loss(loss(time::ms(20), time::ms(15)));
+  EXPECT_EQ(cubic.cwnd(),
+            static_cast<Bytes>(static_cast<double>(before) * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, CubicBetaSweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.85));
+
+// --- CUBIC emulated flows sweep (chromium-style) ---
+
+class CubicFlowsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubicFlowsSweep, MoreFlowsMoreAggressive) {
+  CubicConfig base;
+  base.mss = kMss;
+  CubicConfig multi = base;
+  multi.emulated_flows = GetParam();
+  Cubic one(base), n(multi);
+  for (Cubic* c : {&one, &n}) {
+    c->on_ack(ack(time::ms(1), 40 * kMss));
+    c->on_loss(loss(time::ms(20), time::ms(15)));
+  }
+  EXPECT_GE(n.cwnd(), one.cwnd());
+  // Growth after the backoff is at least as fast too.
+  Time now = time::ms(30);
+  for (int i = 0; i < 300; ++i) {
+    now += time::ms(1);
+    one.on_ack(ack(now, kMss));
+    n.on_ack(ack(now, kMss));
+  }
+  EXPECT_GE(n.cwnd(), one.cwnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, CubicFlowsSweep, ::testing::Values(2, 3, 4));
+
+// --- BBR cwnd gain sweep: window scales with the gain ---
+
+class BbrGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BbrGainSweep, SteadyWindowProportionalToGain) {
+  const double gain = GetParam();
+  BbrConfig cfg;
+  cfg.mss = kMss;
+  cfg.cwnd_gain = gain;
+  Bbr bbr(cfg);
+  // Drive to steady ProbeBW at 20 Mbps / 10 ms.
+  Time now = 0;
+  std::uint64_t pn = 0;
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t round_end = pn + 10;
+    for (int i = 0; i < 10; ++i) {
+      AckEvent ev = ack(now += time::ms(1), 2 * kMss);
+      ev.bytes_in_flight = bdp;
+      ev.largest_newly_acked = ++pn;
+      ev.largest_sent_pn = round_end + 10;
+      ev.rate_valid = true;
+      ev.delivery_rate = rate::mbps(20);
+      bbr.on_ack(ev);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()),
+              gain * static_cast<double>(bdp),
+              0.25 * static_cast<double>(bdp))
+      << "gain=" << gain;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, BbrGainSweep,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0, 4.0));
+
+// --- Reno beta sweep ---
+
+class RenoBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RenoBetaSweep, BackoffMatchesBeta) {
+  RenoConfig cfg;
+  cfg.mss = kMss;
+  cfg.beta = GetParam();
+  Reno reno(cfg);
+  reno.on_ack(ack(time::ms(1), 40 * kMss));
+  const Bytes before = reno.cwnd();
+  reno.on_loss(loss(time::ms(20), time::ms(15)));
+  EXPECT_EQ(reno.cwnd(),
+            static_cast<Bytes>(static_cast<double>(before) * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, RenoBetaSweep,
+                         ::testing::Values(0.5, 0.7, 0.8));
+
+// --- Cross-CCA invariants ---
+
+class AnyCcaConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnyCcaConfig, WindowAlwaysPositiveUnderLossStorm) {
+  std::unique_ptr<CongestionController> cca;
+  switch (GetParam()) {
+    case 0: cca = std::make_unique<Reno>(RenoConfig{}); break;
+    case 1: cca = std::make_unique<Cubic>(CubicConfig{}); break;
+    default: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+  }
+  Time now = time::ms(1);
+  for (int i = 0; i < 200; ++i) {
+    cca->on_ack(ack(now += time::ms(1), kMss));
+    LossEvent ev = loss(now += time::ms(1), now - time::ms(1));
+    if (i % 10 == 9) ev.is_persistent_congestion = true;
+    cca->on_loss(ev);
+    EXPECT_GT(cca->cwnd(), 0);
+  }
+}
+
+TEST_P(AnyCcaConfig, SpuriousEventsNeverCrash) {
+  std::unique_ptr<CongestionController> cca;
+  switch (GetParam()) {
+    case 0: cca = std::make_unique<Reno>(RenoConfig{}); break;
+    case 1: {
+      CubicConfig cfg;
+      cfg.spurious_loss_rollback = true;
+      cca = std::make_unique<Cubic>(cfg);
+      break;
+    }
+    default: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+  }
+  // Spurious events with no preceding loss must be harmless.
+  cca->on_spurious_loss({time::ms(5), 1, kMss, time::ms(1)});
+  cca->on_ack(ack(time::ms(10), kMss));
+  EXPECT_GT(cca->cwnd(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCcas, AnyCcaConfig, ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace quicbench::cca

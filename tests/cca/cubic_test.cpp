@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cca/cubic.h"
+
+namespace quicbench::cca {
+namespace {
+
+constexpr Bytes kMss = 1448;
+
+CubicConfig config() {
+  CubicConfig cfg;
+  cfg.mss = kMss;
+  cfg.initial_cwnd_packets = 10;
+  return cfg;
+}
+
+AckEvent ack(Time now, Bytes bytes_acked, Time rtt = time::ms(10),
+             std::uint64_t largest_newly = 0, std::uint64_t largest_sent = 0) {
+  AckEvent ev;
+  ev.now = now;
+  ev.bytes_acked = bytes_acked;
+  ev.rtt = rtt;
+  ev.smoothed_rtt = rtt;
+  ev.min_rtt = rtt;
+  ev.largest_newly_acked = largest_newly;
+  ev.largest_sent_pn = largest_sent;
+  return ev;
+}
+
+LossEvent loss(Time now, Time sent_time, Bytes bytes = kMss) {
+  LossEvent ev;
+  ev.now = now;
+  ev.bytes_lost = bytes;
+  ev.largest_lost_sent_time = sent_time;
+  return ev;
+}
+
+TEST(Cubic, InitialState) {
+  Cubic cubic(config());
+  EXPECT_EQ(cubic.cwnd(), 10 * kMss);
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+TEST(Cubic, SlowStartDoubles) {
+  Cubic cubic(config());
+  const Bytes before = cubic.cwnd();
+  cubic.on_ack(ack(time::ms(1), before));
+  EXPECT_EQ(cubic.cwnd(), 2 * before);
+}
+
+TEST(Cubic, BackoffUsesBeta) {
+  Cubic cubic(config());
+  cubic.on_ack(ack(time::ms(1), 20 * kMss));
+  const Bytes before = cubic.cwnd();
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  EXPECT_EQ(cubic.cwnd(),
+            static_cast<Bytes>(static_cast<double>(before) * 0.7));
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, EmulatedFlowsShallowerBackoff) {
+  CubicConfig two = config();
+  two.emulated_flows = 2;
+  Cubic one(config()), dup(two);
+  one.on_ack(ack(time::ms(1), 20 * kMss));
+  dup.on_ack(ack(time::ms(1), 20 * kMss));
+  one.on_loss(loss(time::ms(30), time::ms(25)));
+  dup.on_loss(loss(time::ms(30), time::ms(25)));
+  // beta_hat = (1 + 0.7) / 2 = 0.85 > 0.7.
+  EXPECT_GT(dup.cwnd(), one.cwnd());
+}
+
+TEST(Cubic, OneReductionPerCongestionEvent) {
+  Cubic cubic(config());
+  cubic.on_ack(ack(time::ms(1), 20 * kMss));
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  const Bytes after = cubic.cwnd();
+  cubic.on_loss(loss(time::ms(31), time::ms(26)));
+  EXPECT_EQ(cubic.cwnd(), after);
+}
+
+TEST(Cubic, ConcaveGrowthTowardWmax) {
+  Cubic cubic(config());
+  // Build a large window, then back off and watch cubic growth approach
+  // (and eventually exceed) the previous w_max.
+  cubic.on_ack(ack(time::ms(1), 60 * kMss));
+  const Bytes w_max = cubic.cwnd();
+  cubic.on_loss(loss(time::ms(20), time::ms(15)));
+  const Bytes floor = cubic.cwnd();
+  EXPECT_LT(floor, w_max);
+
+  Time now = time::ms(30);
+  Bytes prev = cubic.cwnd();
+  bool crossed = false;
+  for (int i = 0; i < 4000; ++i) {
+    now += time::ms(1);
+    cubic.on_ack(ack(now, kMss));
+    EXPECT_GE(cubic.cwnd(), prev);  // monotone during concave/convex growth
+    prev = cubic.cwnd();
+    if (prev > w_max) {
+      crossed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(crossed) << "cubic should eventually exceed w_max";
+}
+
+TEST(Cubic, GrowthSlowsNearWmax) {
+  // The defining CUBIC property: growth decelerates approaching w_max and
+  // accelerates beyond it.
+  Cubic cubic(config());
+  cubic.on_ack(ack(time::ms(1), 100 * kMss));
+  cubic.on_loss(loss(time::ms(20), time::ms(15)));
+  const Bytes floor = cubic.cwnd();
+
+  Time now = time::ms(30);
+  std::vector<Bytes> series{floor};
+  for (int i = 0; i < 3000; ++i) {
+    now += time::ms(2);
+    cubic.on_ack(ack(now, kMss));
+    series.push_back(cubic.cwnd());
+  }
+  // Compare early growth rate vs growth rate near the plateau (around K).
+  const Bytes early = series[300] - series[0];
+  const Bytes mid = series[1500] - series[1200];
+  EXPECT_GT(early, mid);
+}
+
+TEST(Cubic, FastConvergenceReducesWmax) {
+  CubicConfig no_fc = config();
+  no_fc.fast_convergence = false;
+  Cubic with_fc(config()), without_fc(no_fc);
+  for (Cubic* c : {&with_fc, &without_fc}) {
+    c->on_ack(ack(time::ms(1), 60 * kMss));
+    c->on_loss(loss(time::ms(20), time::ms(15)));      // w_max = 70 MSS
+    c->on_loss(loss(time::ms(100), time::ms(95)));     // second event below w_max
+  }
+  // With fast convergence the second w_max is scaled down further.
+  EXPECT_LT(with_fc.w_max_segments(), without_fc.w_max_segments());
+}
+
+TEST(Cubic, HystartExitsOnDelayIncrease) {
+  Cubic cubic(config());
+  // Round 1: baseline RTT 10 ms, 8+ samples.
+  std::uint64_t pn = 0;
+  Time now = 0;
+  const auto run_round = [&](Time rtt, int samples) {
+    const std::uint64_t round_end = pn + 100;
+    for (int i = 0; i < samples; ++i) {
+      now += time::ms(1);
+      pn += 10;
+      cubic.on_ack(ack(now, kMss, rtt, pn, round_end));
+    }
+    pn = round_end + 1;
+  };
+  run_round(time::ms(10), 10);
+  run_round(time::ms(10), 10);
+  EXPECT_TRUE(cubic.in_slow_start());
+  EXPECT_FALSE(cubic.in_css());
+  // RTT jumps by 4 ms (>= eta = max(10ms/8, 4ms)): HyStart moves to CSS.
+  run_round(time::ms(15), 10);
+  EXPECT_TRUE(cubic.in_css());
+  // Five CSS rounds with the elevated RTT confirm: exit slow start.
+  for (int r = 0; r < 6; ++r) run_round(time::ms(15), 10);
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, HystartSpuriousExitResumesSlowStart) {
+  Cubic cubic(config());
+  std::uint64_t pn = 0;
+  Time now = 0;
+  const auto run_round = [&](Time rtt, int samples) {
+    const std::uint64_t round_end = pn + 100;
+    for (int i = 0; i < samples; ++i) {
+      now += time::ms(1);
+      pn += 10;
+      cubic.on_ack(ack(now, kMss, rtt, pn, round_end));
+    }
+    pn = round_end + 1;
+  };
+  run_round(time::ms(10), 10);
+  run_round(time::ms(10), 10);
+  run_round(time::ms(15), 10);  // enter CSS
+  EXPECT_TRUE(cubic.in_css());
+  // RTT back below the CSS baseline: spurious, resume slow start.
+  run_round(time::ms(8), 10);
+  EXPECT_TRUE(cubic.in_slow_start());
+  EXPECT_FALSE(cubic.in_css());
+}
+
+TEST(Cubic, ClassicHystartExitsOnDelayIncrease) {
+  CubicConfig cfg = config();
+  cfg.classic_hystart = true;
+  Cubic cubic(cfg);
+  std::uint64_t pn = 0;
+  Time now = 0;
+  const auto run_round = [&](Time rtt, int samples) {
+    const std::uint64_t round_end = pn + 100;
+    for (int i = 0; i < samples; ++i) {
+      now += time::ms(3);  // spaced acks: no ack-train trigger
+      pn += 10;
+      cubic.on_ack(ack(now, kMss, rtt, pn, round_end));
+    }
+    pn = round_end + 1;
+  };
+  run_round(time::ms(10), 10);
+  run_round(time::ms(10), 10);
+  EXPECT_TRUE(cubic.in_slow_start());
+  // Delay detector: classic HyStart exits straight to avoidance (no CSS).
+  run_round(time::ms(15), 10);
+  EXPECT_FALSE(cubic.in_slow_start());
+  EXPECT_FALSE(cubic.in_css());
+}
+
+TEST(Cubic, ClassicHystartAckTrainExits) {
+  CubicConfig cfg = config();
+  cfg.classic_hystart = true;
+  cfg.hystart_ack_train = true;
+  Cubic cubic(cfg);
+  std::uint64_t pn = 0;
+  Time now = 0;
+  // One spaced round to establish delay_min = 10 ms.
+  const std::uint64_t round1_end = pn + 100;
+  for (int i = 0; i < 10; ++i) {
+    now += time::ms(3);
+    pn += 10;
+    cubic.on_ack(ack(now, kMss, time::ms(10), pn, round1_end));
+  }
+  pn = round1_end + 1;
+  ASSERT_TRUE(cubic.in_slow_start());
+  // Next round: a dense ack train (1 ms spacing) spanning more than
+  // delay_min/2 = 5 ms triggers the train detector even with flat RTTs.
+  const std::uint64_t round2_end = pn + 100;
+  for (int i = 0; i < 10; ++i) {
+    now += time::ms(1);
+    pn += 10;
+    cubic.on_ack(ack(now, kMss, time::ms(10), pn, round2_end));
+  }
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, NoHystartIgnoresDelay) {
+  CubicConfig cfg = config();
+  cfg.hystart = false;
+  Cubic cubic(cfg);
+  std::uint64_t pn = 0;
+  Time now = 0;
+  for (int r = 0; r < 10; ++r) {
+    const std::uint64_t round_end = pn + 100;
+    for (int i = 0; i < 10; ++i) {
+      now += time::ms(1);
+      pn += 10;
+      cubic.on_ack(ack(now, kMss, time::ms(10 + 5 * r), pn, round_end));
+    }
+    pn = round_end + 1;
+  }
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+TEST(Cubic, SpuriousRollbackRestoresWindow) {
+  CubicConfig cfg = config();
+  cfg.spurious_loss_rollback = true;
+  Cubic cubic(cfg);
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  const Bytes before = cubic.cwnd();
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  EXPECT_LT(cubic.cwnd(), before);
+  // A packet sent before the backoff turns out to be spurious.
+  cubic.on_spurious_loss({time::ms(35), 7, kMss, time::ms(26)});
+  EXPECT_EQ(cubic.cwnd(), before);
+}
+
+TEST(Cubic, SpuriousRollbackOnlyOncePerEvent) {
+  CubicConfig cfg = config();
+  cfg.spurious_loss_rollback = true;
+  Cubic cubic(cfg);
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  cubic.on_spurious_loss({time::ms(35), 7, kMss, time::ms(26)});
+  const Bytes restored = cubic.cwnd();
+  cubic.on_spurious_loss({time::ms(36), 8, kMss, time::ms(27)});
+  EXPECT_EQ(cubic.cwnd(), restored);
+}
+
+TEST(Cubic, SpuriousIgnoredWhenDisabled) {
+  Cubic cubic(config());
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  const Bytes reduced = cubic.cwnd();
+  cubic.on_spurious_loss({time::ms(35), 7, kMss, time::ms(26)});
+  EXPECT_EQ(cubic.cwnd(), reduced);
+}
+
+TEST(Cubic, SpuriousFromAfterBackoffDoesNotRollBack) {
+  CubicConfig cfg = config();
+  cfg.spurious_loss_rollback = true;
+  Cubic cubic(cfg);
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  cubic.on_loss(loss(time::ms(30), time::ms(25)));
+  const Bytes reduced = cubic.cwnd();
+  // Packet sent after the backoff: not part of that congestion event.
+  cubic.on_spurious_loss({time::ms(50), 9, kMss, time::ms(40)});
+  EXPECT_EQ(cubic.cwnd(), reduced);
+}
+
+TEST(Cubic, PersistentCongestionCollapses) {
+  Cubic cubic(config());
+  cubic.on_ack(ack(time::ms(1), 40 * kMss));
+  LossEvent ev = loss(time::ms(200), time::ms(190));
+  ev.is_persistent_congestion = true;
+  cubic.on_loss(ev);
+  EXPECT_EQ(cubic.cwnd(), 2 * kMss);
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+} // namespace
+} // namespace quicbench::cca

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cca/reno.h"
+
+namespace quicbench::cca {
+namespace {
+
+constexpr Bytes kMss = 1448;
+
+RenoConfig config() {
+  RenoConfig cfg;
+  cfg.mss = kMss;
+  cfg.initial_cwnd_packets = 10;
+  return cfg;
+}
+
+AckEvent ack(Time now, Bytes bytes_acked, Bytes in_flight = 0) {
+  AckEvent ev;
+  ev.now = now;
+  ev.bytes_acked = bytes_acked;
+  ev.bytes_in_flight = in_flight;
+  ev.rtt = time::ms(10);
+  ev.smoothed_rtt = time::ms(10);
+  return ev;
+}
+
+LossEvent loss(Time now, Time sent_time, Bytes bytes = kMss) {
+  LossEvent ev;
+  ev.now = now;
+  ev.bytes_lost = bytes;
+  ev.largest_lost_sent_time = sent_time;
+  return ev;
+}
+
+TEST(Reno, InitialWindow) {
+  Reno reno(config());
+  EXPECT_EQ(reno.cwnd(), 10 * kMss);
+  EXPECT_TRUE(reno.in_slow_start());
+}
+
+TEST(Reno, SlowStartGrowsByBytesAcked) {
+  Reno reno(config());
+  const Bytes before = reno.cwnd();
+  reno.on_ack(ack(time::ms(1), 3 * kMss));
+  EXPECT_EQ(reno.cwnd(), before + 3 * kMss);
+}
+
+TEST(Reno, LossHalvesWindow) {
+  Reno reno(config());
+  reno.on_ack(ack(time::ms(1), 10 * kMss));  // cwnd = 20 MSS
+  const Bytes before = reno.cwnd();
+  reno.on_loss(loss(time::ms(20), time::ms(15)));
+  EXPECT_EQ(reno.cwnd(), before / 2);
+  EXPECT_FALSE(reno.in_slow_start());
+}
+
+TEST(Reno, OneReductionPerCongestionEvent) {
+  Reno reno(config());
+  reno.on_ack(ack(time::ms(1), 10 * kMss));
+  reno.on_loss(loss(time::ms(20), time::ms(15)));
+  const Bytes after_first = reno.cwnd();
+  // Second loss from a packet sent before the recovery started: ignored.
+  reno.on_loss(loss(time::ms(21), time::ms(16)));
+  EXPECT_EQ(reno.cwnd(), after_first);
+  // Loss of a packet sent after recovery start: new congestion event.
+  reno.on_loss(loss(time::ms(40), time::ms(30)));
+  EXPECT_EQ(reno.cwnd(), after_first / 2);
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneMssPerWindow) {
+  Reno reno(config());
+  reno.on_loss(loss(time::ms(5), time::ms(1)));  // enter CA
+  EXPECT_FALSE(reno.in_slow_start());
+  const Bytes cwnd0 = reno.cwnd();
+  // Ack exactly one full window worth of bytes.
+  Bytes acked = 0;
+  while (acked < cwnd0) {
+    reno.on_ack(ack(time::ms(10), kMss));
+    acked += kMss;
+  }
+  EXPECT_NEAR(static_cast<double>(reno.cwnd()),
+              static_cast<double>(cwnd0 + kMss),
+              static_cast<double>(kMss) / 2);
+}
+
+TEST(Reno, AiScaleSpeedsGrowth) {
+  RenoConfig fast_cfg = config();
+  fast_cfg.ai_scale = 2.0;
+  Reno slow(config()), fast(fast_cfg);
+  slow.on_loss(loss(time::ms(5), time::ms(1)));
+  fast.on_loss(loss(time::ms(5), time::ms(1)));
+  for (int i = 0; i < 100; ++i) {
+    slow.on_ack(ack(time::ms(10 + i), kMss));
+    fast.on_ack(ack(time::ms(10 + i), kMss));
+  }
+  EXPECT_GT(fast.cwnd(), slow.cwnd());
+}
+
+TEST(Reno, PersistentCongestionCollapsesToMin) {
+  Reno reno(config());
+  reno.on_ack(ack(time::ms(1), 20 * kMss));
+  LossEvent ev = loss(time::ms(100), time::ms(90));
+  ev.is_persistent_congestion = true;
+  reno.on_loss(ev);
+  EXPECT_EQ(reno.cwnd(), 2 * kMss);
+}
+
+TEST(Reno, NeverBelowMinWindow) {
+  Reno reno(config());
+  for (int i = 0; i < 20; ++i) {
+    reno.on_loss(loss(time::ms(10 * i + 10), time::ms(10 * i + 9)));
+  }
+  EXPECT_GE(reno.cwnd(), 2 * kMss);
+}
+
+TEST(Reno, SlowStartExitAtSsthresh) {
+  Reno reno(config());
+  reno.on_ack(ack(time::ms(1), 10 * kMss));
+  reno.on_loss(loss(time::ms(20), time::ms(15)));  // ssthresh = cwnd
+  const Bytes ssthresh = reno.ssthresh();
+  EXPECT_EQ(reno.cwnd(), ssthresh);
+  EXPECT_FALSE(reno.in_slow_start());
+}
+
+TEST(Reno, Name) {
+  Reno reno(config());
+  EXPECT_EQ(reno.name(), "reno");
+  EXPECT_FALSE(reno.pacing_rate().has_value());
+}
+
+} // namespace
+} // namespace quicbench::cca

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+
+namespace quicbench::cluster {
+namespace {
+
+using geom::Point;
+
+std::vector<Point> blob(Point center, double radius, int n, Rng& rng) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({center.x + rng.uniform(-radius, radius),
+                   center.y + rng.uniform(-radius, radius)});
+  }
+  return pts;
+}
+
+TEST(KMeans, TwoWellSeparatedBlobs) {
+  Rng rng(1);
+  std::vector<Point> pts = blob({0, 0}, 1, 100, rng);
+  const auto b2 = blob({10, 10}, 1, 100, rng);
+  pts.insert(pts.end(), b2.begin(), b2.end());
+
+  Rng krng(2);
+  const KMeansResult res = kmeans(pts, 2, krng);
+  ASSERT_EQ(res.centroids.size(), 2u);
+  // One centroid near each blob.
+  std::vector<double> d0, d1;
+  for (const auto& c : res.centroids) {
+    d0.push_back(geom::distance(c, {0, 0}));
+    d1.push_back(geom::distance(c, {10, 10}));
+  }
+  EXPECT_LT(*std::min_element(d0.begin(), d0.end()), 1.0);
+  EXPECT_LT(*std::min_element(d1.begin(), d1.end()), 1.0);
+  // Assignments consistent: first 100 together, last 100 together.
+  for (int i = 1; i < 100; ++i) EXPECT_EQ(res.assignment[0], res.assignment[i]);
+  for (int i = 101; i < 200; ++i) {
+    EXPECT_EQ(res.assignment[100], res.assignment[i]);
+  }
+  EXPECT_NE(res.assignment[0], res.assignment[100]);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  Rng rng(3);
+  std::vector<Point> pts = blob({0, 0}, 2, 80, rng);
+  auto more = blob({6, 1}, 2, 80, rng);
+  pts.insert(pts.end(), more.begin(), more.end());
+  more = blob({3, 8}, 2, 80, rng);
+  pts.insert(pts.end(), more.begin(), more.end());
+
+  double prev = 1e300;
+  for (int k = 1; k <= 5; ++k) {
+    Rng krng(10 + static_cast<std::uint64_t>(k));
+    const KMeansResult res = kmeans(pts, k, krng);
+    EXPECT_LE(res.inertia, prev + 1e-9);
+    prev = res.inertia;
+  }
+}
+
+TEST(KMeans, KClampedToDistinctPoints) {
+  std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}};
+  Rng rng(4);
+  const KMeansResult res = kmeans(pts, 5, rng);
+  EXPECT_EQ(res.centroids.size(), 2u);
+}
+
+TEST(KMeans, EmptyInput) {
+  Rng rng(5);
+  const KMeansResult res = kmeans(std::vector<Point>{}, 3, rng);
+  EXPECT_TRUE(res.centroids.empty());
+  EXPECT_TRUE(res.assignment.empty());
+}
+
+TEST(KMeans, SinglePointSingleCluster) {
+  std::vector<Point> pts{{3, 4}};
+  Rng rng(6);
+  const KMeansResult res = kmeans(pts, 1, rng);
+  ASSERT_EQ(res.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.centroids[0].x, 3);
+  EXPECT_DOUBLE_EQ(res.centroids[0].y, 4);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng data_rng(7);
+  std::vector<Point> pts = blob({0, 0}, 3, 200, data_rng);
+  Rng r1(42), r2(42);
+  const KMeansResult a = kmeans(pts, 3, r1);
+  const KMeansResult b = kmeans(pts, 3, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(MatchClusters, IdentityWhenEqual) {
+  const std::vector<Point> c{{0, 0}, {5, 5}, {9, 0}};
+  const auto m = match_clusters(c, c);
+  EXPECT_EQ(m, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MatchClusters, FindsPermutation) {
+  const std::vector<Point> ref{{0, 0}, {5, 5}, {9, 0}};
+  const std::vector<Point> cand{{9.1, 0.1}, {0.1, -0.1}, {5.2, 4.9}};
+  const auto m = match_clusters(ref, cand);
+  EXPECT_EQ(m, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(MatchClusters, FewerCandidatesLeaveUnmatched) {
+  const std::vector<Point> ref{{0, 0}, {5, 5}, {9, 0}};
+  const std::vector<Point> cand{{5, 5}};
+  const auto m = match_clusters(ref, cand);
+  int matched = 0;
+  for (int v : m) {
+    if (v >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(MatchClusters, GreedyPathForLargeK) {
+  std::vector<Point> ref, cand;
+  for (int i = 0; i < 9; ++i) {
+    ref.push_back({static_cast<double>(i) * 10, 0});
+    cand.push_back({static_cast<double>(8 - i) * 10 + 0.5, 0.1});
+  }
+  const auto m = match_clusters(ref, cand);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(m[static_cast<std::size_t>(i)], 8 - i);
+}
+
+TEST(Normalizer, ZScoresData) {
+  std::vector<Point> pts{{0, 100}, {10, 200}, {20, 300}};
+  const Normalizer n = Normalizer::fit(pts);
+  const auto out = n.apply_all(pts);
+  // Mean should be ~0 in both axes.
+  double mx = 0, my = 0;
+  for (const auto& p : out) {
+    mx += p.x;
+    my += p.y;
+  }
+  EXPECT_NEAR(mx / 3, 0, 1e-12);
+  EXPECT_NEAR(my / 3, 0, 1e-12);
+  // Symmetric spread.
+  EXPECT_NEAR(out[0].x, -out[2].x, 1e-12);
+  EXPECT_NEAR(out[0].y, -out[2].y, 1e-12);
+}
+
+TEST(Normalizer, ConstantAxisSafe) {
+  std::vector<Point> pts{{5, 1}, {5, 2}, {5, 3}};
+  const Normalizer n = Normalizer::fit(pts);
+  const auto out = n.apply_all(pts);
+  for (const auto& p : out) EXPECT_TRUE(std::isfinite(p.x));
+}
+
+} // namespace
+} // namespace quicbench::cluster

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "conformance/conformance.h"
+#include "util/rng.h"
+
+namespace quicbench::conformance {
+namespace {
+
+using geom::Point;
+
+TrialPoints blob(Point c, double r, int n, Rng& rng) {
+  TrialPoints pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({c.x + rng.uniform(-r, r), c.y + rng.uniform(-r, r)});
+  }
+  return pts;
+}
+
+std::vector<TrialPoints> trials_at(Point c, double r, int n_trials, Rng& rng,
+                                   int n_points = 100) {
+  std::vector<TrialPoints> out;
+  for (int t = 0; t < n_trials; ++t) out.push_back(blob(c, r, n_points, rng));
+  return out;
+}
+
+TEST(Conformance, IdenticalDistributionsNearOne) {
+  Rng rng(1);
+  const auto ref = trials_at({10, 10}, 2, 3, rng);
+  const auto test = trials_at({10, 10}, 2, 3, rng);
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_GT(rep.conformance, 0.75);
+  EXPECT_GE(rep.conformance_t, rep.conformance);
+}
+
+TEST(Conformance, DisjointDistributionsZero) {
+  Rng rng(2);
+  const auto ref = trials_at({10, 10}, 1, 3, rng);
+  const auto test = trials_at({40, 40}, 1, 3, rng);
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_NEAR(rep.conformance, 0.0, 1e-9);
+}
+
+TEST(Conformance, TranslatedDistributionHighConformanceT) {
+  // The Conformance-T design goal (Fig 5): a pure shift has low
+  // conformance but high conformance-T, and the delta reports the shift.
+  Rng rng(3);
+  const auto ref = trials_at({10, 10}, 2, 3, rng);
+  const auto test = trials_at({10, 19}, 2, 3, rng);  // +9 Mbps offset
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_LT(rep.conformance, 0.1);
+  EXPECT_GT(rep.conformance_t, 0.55);
+  EXPECT_NEAR(rep.delta_tput_mbps, 9.0, 1.5);
+  EXPECT_NEAR(rep.delta_delay_ms, 0.0, 1.5);
+}
+
+TEST(Conformance, DeltaSignConvention) {
+  // Test slower and lower-delay than reference: both deltas negative.
+  Rng rng(4);
+  const auto ref = trials_at({20, 15}, 2, 3, rng);
+  const auto test = trials_at({15, 9}, 2, 3, rng);
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_LT(rep.delta_tput_mbps, -3.0);
+  EXPECT_LT(rep.delta_delay_ms, -2.0);
+}
+
+TEST(Conformance, BoundedZeroOne) {
+  Rng rng(5);
+  const auto ref = trials_at({10, 10}, 3, 2, rng);
+  const auto test = trials_at({12, 11}, 3, 2, rng);
+  const PerformanceEnvelope pe_ref = build_pe(ref);
+  const PerformanceEnvelope pe_test = build_pe(test);
+  const double c = conformance(pe_ref, pe_test);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+TEST(Conformance, SymmetricUnderSwap) {
+  Rng rng(6);
+  const auto a = trials_at({10, 10}, 2, 3, rng);
+  const auto b = trials_at({11, 11}, 2, 3, rng);
+  const PerformanceEnvelope pa = build_pe(a);
+  const PerformanceEnvelope pb = build_pe(b);
+  EXPECT_DOUBLE_EQ(conformance(pa, pb), conformance(pb, pa));
+}
+
+TEST(Conformance, PartialOverlapIsIntermediate) {
+  Rng rng(7);
+  const auto ref = trials_at({10, 10}, 3, 3, rng);
+  const auto test = trials_at({13, 10}, 3, 3, rng);  // half-overlapping
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_GT(rep.conformance, 0.05);
+  EXPECT_LT(rep.conformance, 0.9);
+}
+
+TEST(ConformanceT, NeverBelowPlainConformance) {
+  Rng rng(8);
+  for (int i = 0; i < 5; ++i) {
+    const auto ref = trials_at({10 + i, 10}, 2, 2, rng, 60);
+    const auto test = trials_at({12, 11 + i}, 2, 2, rng, 60);
+    const PerformanceEnvelope pr = build_pe(ref);
+    const PerformanceEnvelope pt = build_pe(test);
+    const double c = conformance(pr, pt);
+    const TranslationResult tr = best_translation(pr, pt);
+    EXPECT_GE(tr.conformance_t, c - 1e-12);
+  }
+}
+
+TEST(ConformanceT, IdentityWhenAlreadyAligned) {
+  Rng rng(9);
+  const auto ref = trials_at({10, 10}, 2, 3, rng);
+  const auto test = trials_at({10, 10}, 2, 3, rng);
+  const PerformanceEnvelope pr = build_pe(ref);
+  const PerformanceEnvelope pt = build_pe(test);
+  const TranslationResult tr = best_translation(pr, pt);
+  EXPECT_NEAR(tr.dx_delay_ms, 0.0, 1.0);
+  EXPECT_NEAR(tr.dy_tput_mbps, 0.0, 1.0);
+}
+
+TEST(ConformanceT, TwoClusterShiftRecovered) {
+  // Both clusters shifted by the same vector: conformance-T recovers it.
+  Rng rng(10);
+  std::vector<TrialPoints> ref, test;
+  for (int t = 0; t < 3; ++t) {
+    TrialPoints r = blob({10, 18}, 1.5, 80, rng);
+    TrialPoints r2 = blob({25, 3}, 1.5, 40, rng);
+    r.insert(r.end(), r2.begin(), r2.end());
+    ref.push_back(std::move(r));
+    TrialPoints s = blob({10, 24}, 1.5, 80, rng);  // +6 tput
+    TrialPoints s2 = blob({25, 9}, 1.5, 40, rng);
+    s.insert(s.end(), s2.begin(), s2.end());
+    test.push_back(std::move(s));
+  }
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_LT(rep.conformance, 0.2);
+  EXPECT_GT(rep.conformance_t, 0.5);
+  EXPECT_NEAR(rep.delta_tput_mbps, 6.0, 1.5);
+}
+
+TEST(TranslatePe, ShiftsEverything) {
+  Rng rng(11);
+  const auto trials = trials_at({10, 10}, 2, 2, rng);
+  const PerformanceEnvelope pe = build_pe(trials);
+  const PerformanceEnvelope moved = translate_pe(pe, 5, -3);
+  ASSERT_EQ(moved.all_points.size(), pe.all_points.size());
+  EXPECT_DOUBLE_EQ(moved.all_points[0].x, pe.all_points[0].x + 5);
+  EXPECT_DOUBLE_EQ(moved.all_points[0].y, pe.all_points[0].y - 3);
+  EXPECT_TRUE(moved.contains({15, 7}));
+}
+
+TEST(Conformance, OldVsNewOnHollowCloud) {
+  // The Figure 1 scenario: the test cloud sits in two lobes whose single
+  // hull overlaps the reference heavily, but the clustered definition
+  // sees through the empty middle.
+  Rng rng(12);
+  std::vector<TrialPoints> ref, test;
+  for (int t = 0; t < 3; ++t) {
+    ref.push_back(blob({15, 10}, 2.5, 120, rng));
+    TrialPoints s = blob({15, 16}, 1.2, 60, rng);   // above the reference
+    TrialPoints s2 = blob({15, 4}, 1.2, 60, rng);   // below the reference
+    s.insert(s.end(), s2.begin(), s2.end());
+    test.push_back(std::move(s));
+  }
+  const ConformanceReport rep = evaluate(ref, test);
+  EXPECT_LT(rep.conformance, rep.conformance_old + 0.05)
+      << "clustered conformance should not exceed the single-hull estimate "
+         "on a hollow cloud";
+}
+
+} // namespace
+} // namespace quicbench::conformance

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "conformance/pe.h"
+#include "util/rng.h"
+
+namespace quicbench::conformance {
+namespace {
+
+using geom::Point;
+
+TrialPoints blob(Point c, double r, int n, Rng& rng) {
+  TrialPoints pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({c.x + rng.uniform(-r, r), c.y + rng.uniform(-r, r)});
+  }
+  return pts;
+}
+
+// Trials drawn from two well-separated clusters (BBR-like: ProbeBW +
+// ProbeRTT).
+std::vector<TrialPoints> two_cluster_trials(int n_trials, Rng& rng) {
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < n_trials; ++t) {
+    TrialPoints pts = blob({10, 18}, 1.5, 80, rng);
+    const TrialPoints low = blob({25, 3}, 1.5, 40, rng);
+    pts.insert(pts.end(), low.begin(), low.end());
+    trials.push_back(std::move(pts));
+  }
+  return trials;
+}
+
+std::vector<TrialPoints> one_cluster_trials(int n_trials, Rng& rng) {
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < n_trials; ++t) {
+    trials.push_back(blob({15, 10}, 2.0, 120, rng));
+  }
+  return trials;
+}
+
+TEST(Pe, FixedKBuildsRequestedClusters) {
+  Rng rng(1);
+  const auto trials = two_cluster_trials(3, rng);
+  const PerformanceEnvelope pe = build_pe_fixed_k(trials, 2);
+  EXPECT_EQ(pe.k, 2);
+  // Quorum regions may split a cluster into several polygons, but the
+  // cluster count itself is bounded by k.
+  EXPECT_GE(pe.hulls.size(), 1u);
+  EXPECT_LE(pe.cluster_centroids.size(), 2u);
+  EXPECT_GT(pe.iou, 0.5);
+}
+
+TEST(Pe, IouDecreasesWithK) {
+  Rng rng(2);
+  const auto trials = two_cluster_trials(3, rng);
+  const auto curve = iou_curve(trials);
+  ASSERT_GE(curve.size(), 4u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 0.12)
+        << "R(k) should be (approximately) decreasing";
+  }
+}
+
+TEST(Pe, SelectKFindsTwoClusters) {
+  Rng rng(3);
+  const auto trials = two_cluster_trials(4, rng);
+  const auto curve = iou_curve(trials);
+  const int k = select_k(curve);
+  EXPECT_EQ(k, 2);
+}
+
+TEST(Pe, SelectKSingleBlob) {
+  Rng rng(4);
+  const auto trials = one_cluster_trials(4, rng);
+  const auto curve = iou_curve(trials);
+  const int k = select_k(curve);
+  EXPECT_LE(k, 2);
+}
+
+TEST(Pe, SelectKEdgeCases) {
+  EXPECT_EQ(select_k(std::vector<double>{}), 1);
+  EXPECT_EQ(select_k(std::vector<double>{0.9}), 1);
+  EXPECT_EQ(select_k(std::vector<double>{0.9, 0.85, 0.4, 0.35}), 2);
+}
+
+TEST(Pe, CrossTrialIntersectionShrinksHull) {
+  // Two trials shifted against each other: the intersected PE must be
+  // smaller than either trial's own hull.
+  Rng rng(5);
+  TrialPoints t1 = blob({10, 10}, 2.0, 100, rng);
+  TrialPoints t2 = blob({11.5, 10}, 2.0, 100, rng);
+  const std::vector<TrialPoints> both{t1, t2};
+  const PerformanceEnvelope pe = build_pe_fixed_k(both, 1);
+  ASSERT_EQ(pe.hulls.size(), 1u);
+  const double inter_area = geom::polygon_area(pe.hulls[0]);
+  const double h1 = geom::polygon_area(geom::convex_hull(t1));
+  EXPECT_LT(inter_area, h1);
+}
+
+TEST(Pe, IntersectionActsAsOutlierFilter) {
+  // An extreme outlier in one trial must not survive the intersection.
+  Rng rng(6);
+  TrialPoints t1 = blob({10, 10}, 2.0, 100, rng);
+  t1.push_back({50, 50});  // outlier
+  const TrialPoints t2 = blob({10, 10}, 2.0, 100, rng);
+  const std::vector<TrialPoints> both{t1, t2};
+  const PerformanceEnvelope pe = build_pe_fixed_k(both, 1);
+  ASSERT_EQ(pe.hulls.size(), 1u);
+  EXPECT_FALSE(pe.contains({50, 50}));
+}
+
+TEST(Pe, ContainsAndPointsInside) {
+  Rng rng(7);
+  const auto trials = one_cluster_trials(2, rng);
+  const PerformanceEnvelope pe = build_pe_fixed_k(trials, 1);
+  EXPECT_TRUE(pe.contains({15, 10}));
+  EXPECT_FALSE(pe.contains({100, 100}));
+  EXPECT_EQ(pe.points_inside(),
+            static_cast<std::size_t>(pe.iou * pe.all_points.size() + 0.5));
+}
+
+TEST(Pe, EmptyTrials) {
+  const std::vector<TrialPoints> none;
+  const PerformanceEnvelope pe = build_pe(none);
+  EXPECT_TRUE(pe.hulls.empty());
+  EXPECT_EQ(pe.iou, 0.0);
+}
+
+TEST(Pe, SingleTrialWorks) {
+  Rng rng(8);
+  const std::vector<TrialPoints> one{blob({5, 5}, 1.0, 60, rng)};
+  const PerformanceEnvelope pe = build_pe(one);
+  EXPECT_GE(pe.hulls.size(), 1u);
+  EXPECT_GT(pe.iou, 0.9);
+}
+
+TEST(Pe, OldDefinitionSingleHull) {
+  Rng rng(9);
+  const auto trials = two_cluster_trials(3, rng);
+  const PerformanceEnvelope pe = build_pe_old(trials);
+  EXPECT_EQ(pe.hulls.size(), 1u);
+  // A single hull over two separated blobs covers (almost) everything.
+  EXPECT_GT(pe.iou, 0.9);
+}
+
+TEST(Pe, OldDefinitionTrimsOutliers) {
+  Rng rng(10);
+  TrialPoints t = blob({10, 10}, 1.0, 100, rng);
+  t.push_back({99, 99});
+  const std::vector<TrialPoints> trials{t};
+  const PerformanceEnvelope pe = build_pe_old(trials, 0.05);
+  ASSERT_EQ(pe.hulls.size(), 1u);
+  EXPECT_FALSE(pe.contains({99, 99}));
+}
+
+TEST(Pe, DeterministicForSeed) {
+  Rng rng(11);
+  const auto trials = two_cluster_trials(3, rng);
+  PeConfig cfg;
+  cfg.seed = 123;
+  const PerformanceEnvelope a = build_pe(trials, cfg);
+  const PerformanceEnvelope b = build_pe(trials, cfg);
+  EXPECT_EQ(a.k, b.k);
+  ASSERT_EQ(a.hulls.size(), b.hulls.size());
+  EXPECT_DOUBLE_EQ(a.iou, b.iou);
+}
+
+} // namespace
+} // namespace quicbench::conformance

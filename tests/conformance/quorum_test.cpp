@@ -1,0 +1,117 @@
+// Tests for the quorum-based cross-trial combination: the final PE region
+// is the area covered by >= ceil(quorum x trials) of the per-trial hulls.
+// quorum = 1.0 reproduces the paper's strict intersection.
+
+#include <gtest/gtest.h>
+
+#include "conformance/pe.h"
+#include "util/rng.h"
+
+namespace quicbench::conformance {
+namespace {
+
+using geom::Point;
+
+TrialPoints blob(Point c, double r, int n, Rng& rng) {
+  TrialPoints pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({c.x + rng.uniform(-r, r), c.y + rng.uniform(-r, r)});
+  }
+  return pts;
+}
+
+TEST(Quorum, StrictEqualsPaperIntersection) {
+  Rng rng(1);
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < 4; ++t) trials.push_back(blob({10, 10}, 2, 80, rng));
+
+  PeConfig strict;
+  strict.trial_quorum = 1.0;
+  const auto pe = build_pe_fixed_k(trials, 1, strict);
+  ASSERT_EQ(pe.hulls.size(), 1u);
+  // Strict intersection must be inside every per-trial hull.
+  for (const auto& t : trials) {
+    const auto hull = geom::convex_hull(t);
+    for (const auto& v : pe.hulls[0]) {
+      EXPECT_TRUE(geom::point_in_convex(hull, v, 1e-6));
+    }
+  }
+}
+
+TEST(Quorum, TolerantCoversOutlierTrial) {
+  // Four trials overlap; a fifth sits far away (a BBR trial that locked
+  // onto the losing share). Strict intersection dies; quorum 0.6 keeps
+  // the common region.
+  Rng rng(2);
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < 4; ++t) trials.push_back(blob({10, 10}, 2, 80, rng));
+  trials.push_back(blob({30, 30}, 2, 80, rng));
+
+  PeConfig strict;
+  strict.trial_quorum = 1.0;
+  const auto strict_pe = build_pe_fixed_k(trials, 1, strict);
+  EXPECT_TRUE(strict_pe.hulls.empty());
+
+  PeConfig tolerant;
+  tolerant.trial_quorum = 0.6;
+  const auto pe = build_pe_fixed_k(trials, 1, tolerant);
+  ASSERT_FALSE(pe.hulls.empty());
+  EXPECT_TRUE(pe.contains({10, 10}));
+}
+
+TEST(Quorum, LowerQuorumRetainsMorePoints) {
+  Rng rng(3);
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < 5; ++t) {
+    trials.push_back(
+        blob({10.0 + 0.8 * t, 10.0}, 2, 80, rng));  // drifting trials
+  }
+  double prev_iou = -1;
+  for (const double q : {1.0, 0.8, 0.6, 0.4}) {
+    PeConfig cfg;
+    cfg.trial_quorum = q;
+    const auto pe = build_pe_fixed_k(trials, 1, cfg);
+    EXPECT_GE(pe.iou, prev_iou - 1e-9)
+        << "IOU must not decrease as the quorum relaxes (q=" << q << ")";
+    prev_iou = pe.iou;
+  }
+}
+
+TEST(Quorum, RegionIsCoveredByEnoughHulls) {
+  // Every vertex of every quorum region must lie inside at least
+  // ceil(q * trials) per-trial hulls.
+  Rng rng(4);
+  std::vector<TrialPoints> trials;
+  for (int t = 0; t < 5; ++t) {
+    trials.push_back(blob({10.0 + 1.5 * t, 10.0}, 3, 60, rng));
+  }
+  PeConfig cfg;
+  cfg.trial_quorum = 0.6;
+  const auto pe = build_pe_fixed_k(trials, 1, cfg);
+  std::vector<geom::Polygon> hulls;
+  for (const auto& t : trials) hulls.push_back(geom::convex_hull(t));
+  const int need = 3;  // ceil(0.6 * 5)
+  for (const auto& region : pe.hulls) {
+    const geom::Point c = geom::polygon_centroid(region);
+    int covered = 0;
+    for (const auto& h : hulls) {
+      if (geom::point_in_convex(h, c, 1e-6)) ++covered;
+    }
+    EXPECT_GE(covered, need);
+  }
+}
+
+TEST(Quorum, SingleTrialUnaffected) {
+  Rng rng(5);
+  const std::vector<TrialPoints> one{blob({5, 5}, 2, 60, rng)};
+  for (const double q : {1.0, 0.5}) {
+    PeConfig cfg;
+    cfg.trial_quorum = q;
+    const auto pe = build_pe_fixed_k(one, 1, cfg);
+    ASSERT_EQ(pe.hulls.size(), 1u);
+    EXPECT_GT(pe.iou, 0.95);
+  }
+}
+
+} // namespace
+} // namespace quicbench::conformance

@@ -1,0 +1,118 @@
+// Property-based tests over the geometry kernel: randomized point sets,
+// with invariants that must hold for any input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geom.h"
+#include "util/rng.h"
+
+namespace quicbench::geom {
+namespace {
+
+std::vector<Point> random_points(Rng& rng, int n, double lo, double hi) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(lo, hi), rng.uniform(lo, hi)});
+  }
+  return pts;
+}
+
+class HullProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullProperty, HullContainsEveryInputPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto pts = random_points(rng, 50 + GetParam() * 13, 0, 100);
+  const Polygon hull = convex_hull(pts);
+  if (hull.size() < 3) return;  // degenerate input
+  for (const auto& p : pts) {
+    EXPECT_TRUE(point_in_convex(hull, p, 1e-7));
+  }
+}
+
+TEST_P(HullProperty, HullIsConvex) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto pts = random_points(rng, 80, -50, 50);
+  const Polygon hull = convex_hull(pts);
+  if (hull.size() < 3) return;
+  const std::size_t n = hull.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(cross(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]), 0)
+        << "strictly convex, CCW, no collinear runs";
+  }
+}
+
+TEST_P(HullProperty, HullVerticesAreInputPoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const auto pts = random_points(rng, 60, 0, 10);
+  const Polygon hull = convex_hull(pts);
+  for (const auto& v : hull) {
+    bool found = false;
+    for (const auto& p : pts) {
+      if (p == v) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(HullProperty, HullAreaNoLargerThanBoundingBox) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const auto pts = random_points(rng, 40, 0, 7);
+  const Polygon hull = convex_hull(pts);
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const auto& p : pts) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  EXPECT_LE(polygon_area(hull), (max_x - min_x) * (max_y - min_y) + 1e-9);
+}
+
+TEST_P(HullProperty, ClipIdempotent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const Polygon a = convex_hull(random_points(rng, 30, 0, 10));
+  if (a.size() < 3) return;
+  const Polygon self = clip_convex(a, a);
+  EXPECT_NEAR(polygon_area(self), polygon_area(a),
+              1e-6 * std::max(1.0, polygon_area(a)));
+}
+
+TEST_P(HullProperty, ClipMonotone) {
+  // area(A ∩ B) <= min(area(A), area(B)) and every vertex of the
+  // intersection lies in both inputs.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const Polygon a = convex_hull(random_points(rng, 25, 0, 10));
+  const Polygon b = convex_hull(random_points(rng, 25, 4, 14));
+  if (a.size() < 3 || b.size() < 3) return;
+  const Polygon inter = clip_convex(a, b);
+  EXPECT_LE(polygon_area(inter),
+            std::min(polygon_area(a), polygon_area(b)) + 1e-7);
+  for (const auto& v : inter) {
+    EXPECT_TRUE(point_in_convex(a, v, 1e-6));
+    EXPECT_TRUE(point_in_convex(b, v, 1e-6));
+  }
+}
+
+TEST_P(HullProperty, TranslationPreservesArea) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 6000);
+  const Polygon a = convex_hull(random_points(rng, 30, 0, 10));
+  const double dx = rng.uniform(-100, 100);
+  const double dy = rng.uniform(-100, 100);
+  EXPECT_NEAR(polygon_area(translate(a, dx, dy)), polygon_area(a), 1e-7);
+}
+
+TEST_P(HullProperty, CentroidInsideHull) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const Polygon a = convex_hull(random_points(rng, 30, 0, 10));
+  if (a.size() < 3) return;
+  EXPECT_TRUE(point_in_convex(a, polygon_centroid(a), 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, HullProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace quicbench::geom

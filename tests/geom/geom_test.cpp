@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geom.h"
+#include "util/rng.h"
+
+namespace quicbench::geom {
+namespace {
+
+Polygon unit_square() { return {{0, 0}, {1, 0}, {1, 1}, {0, 1}}; }
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5},
+                         {0.2, 0.7}};
+  const Polygon hull = convex_hull(pts);
+  ASSERT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 1.0);
+}
+
+TEST(ConvexHull, CollinearPointsDegenerate) {
+  std::vector<Point> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const Polygon hull = convex_hull(pts);
+  EXPECT_LT(hull.size(), 3u);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 0.0);
+}
+
+TEST(ConvexHull, DuplicatesRemoved) {
+  std::vector<Point> pts{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}};
+  const Polygon hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, IsCounterClockwise) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  const Polygon hull = convex_hull(pts);
+  EXPECT_GT(signed_area(hull), 0.0);
+}
+
+TEST(ConvexHull, AllInputPointsInsideHull) {
+  Rng rng(4);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 5)});
+  }
+  const Polygon hull = convex_hull(pts);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(point_in_convex(hull, p, 1e-9));
+  }
+}
+
+TEST(Area, TriangleAndSquare) {
+  const Polygon tri{{0, 0}, {2, 0}, {0, 2}};
+  EXPECT_DOUBLE_EQ(polygon_area(tri), 2.0);
+  EXPECT_DOUBLE_EQ(polygon_area(unit_square()), 1.0);
+}
+
+TEST(Centroid, Square) {
+  const Point c = polygon_centroid(unit_square());
+  EXPECT_DOUBLE_EQ(c.x, 0.5);
+  EXPECT_DOUBLE_EQ(c.y, 0.5);
+}
+
+TEST(Centroid, PointsCentroid) {
+  const std::vector<Point> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const Point c = points_centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+TEST(PointInConvex, InsideOutsideBoundary) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(point_in_convex(sq, {0.5, 0.5}));
+  EXPECT_TRUE(point_in_convex(sq, {0.0, 0.0}));   // vertex
+  EXPECT_TRUE(point_in_convex(sq, {0.5, 0.0}));   // edge
+  EXPECT_FALSE(point_in_convex(sq, {1.5, 0.5}));
+  EXPECT_FALSE(point_in_convex(sq, {-0.01, 0.5}));
+}
+
+TEST(PointInConvex, DegeneratePolygonContainsNothing) {
+  const Polygon line{{0, 0}, {1, 1}};
+  EXPECT_FALSE(point_in_convex(line, {0.5, 0.5}));
+}
+
+TEST(Clip, OverlappingSquares) {
+  const Polygon a = unit_square();
+  const Polygon b = translate(a, 0.5, 0.5);
+  const Polygon inter = clip_convex(a, b);
+  ASSERT_GE(inter.size(), 3u);
+  EXPECT_NEAR(polygon_area(inter), 0.25, 1e-9);
+}
+
+TEST(Clip, DisjointIsEmpty) {
+  const Polygon a = unit_square();
+  const Polygon b = translate(a, 5, 5);
+  EXPECT_TRUE(clip_convex(a, b).empty());
+}
+
+TEST(Clip, ContainedPolygonIsItself) {
+  const Polygon outer{{-1, -1}, {2, -1}, {2, 2}, {-1, 2}};
+  const Polygon inter = clip_convex(unit_square(), outer);
+  EXPECT_NEAR(polygon_area(inter), 1.0, 1e-9);
+}
+
+TEST(Clip, CommutativeArea) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> pa, pb;
+    for (int i = 0; i < 30; ++i) {
+      pa.push_back({rng.uniform(0, 4), rng.uniform(0, 4)});
+      pb.push_back({rng.uniform(2, 6), rng.uniform(2, 6)});
+    }
+    const Polygon a = convex_hull(pa);
+    const Polygon b = convex_hull(pb);
+    const double ab = polygon_area(clip_convex(a, b));
+    const double ba = polygon_area(clip_convex(b, a));
+    EXPECT_NEAR(ab, ba, 1e-6);
+  }
+}
+
+TEST(Clip, IntersectionNoLargerThanEither) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> pa, pb;
+    for (int i = 0; i < 25; ++i) {
+      pa.push_back({rng.uniform(0, 3), rng.uniform(0, 3)});
+      pb.push_back({rng.uniform(1, 5), rng.uniform(1, 5)});
+    }
+    const Polygon a = convex_hull(pa);
+    const Polygon b = convex_hull(pb);
+    const double inter = polygon_area(clip_convex(a, b));
+    EXPECT_LE(inter, polygon_area(a) + 1e-9);
+    EXPECT_LE(inter, polygon_area(b) + 1e-9);
+  }
+}
+
+TEST(Clip, DegenerateInputsEmpty) {
+  const Polygon line{{0, 0}, {1, 1}};
+  EXPECT_TRUE(clip_convex(line, unit_square()).empty());
+  EXPECT_TRUE(clip_convex(unit_square(), line).empty());
+}
+
+TEST(IntersectAll, ChainOfSquares) {
+  const std::vector<Polygon> polys{
+      unit_square(), translate(unit_square(), 0.2, 0.0),
+      translate(unit_square(), 0.0, 0.2)};
+  const Polygon inter = intersect_all(polys);
+  EXPECT_NEAR(polygon_area(inter), 0.8 * 0.8, 1e-9);
+}
+
+TEST(IntersectAll, EmptyInput) {
+  EXPECT_TRUE(intersect_all(std::vector<Polygon>{}).empty());
+}
+
+TEST(Translate, ShiftsAllVertices) {
+  const Polygon t = translate(unit_square(), 3, -2);
+  EXPECT_DOUBLE_EQ(t[0].x, 3.0);
+  EXPECT_DOUBLE_EQ(t[0].y, -2.0);
+  EXPECT_DOUBLE_EQ(polygon_area(t), 1.0);
+}
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+} // namespace
+} // namespace quicbench::geom

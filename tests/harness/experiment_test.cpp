@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace quicbench::harness {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+TEST(NetworkConfig, BufferBytesFromBdp) {
+  NetworkConfig net;
+  net.bandwidth = rate::mbps(20);
+  net.base_rtt = time::ms(10);
+  net.buffer_bdp = 1.0;
+  EXPECT_EQ(net.buffer_bytes(), 25'000);
+  net.buffer_bdp = 5.0;
+  EXPECT_EQ(net.buffer_bytes(), 125'000);
+}
+
+TEST(NetworkConfig, BufferNeverBelowPacketScale) {
+  NetworkConfig net;
+  net.bandwidth = rate::mbps(1);
+  net.base_rtt = time::ms(1);
+  net.buffer_bdp = 0.1;  // 12.5 bytes raw
+  EXPECT_GE(net.buffer_bytes(), 3000);
+}
+
+TEST(NetworkConfig, DescribeMentionsParameters) {
+  NetworkConfig net;
+  net.bandwidth = rate::mbps(100);
+  net.base_rtt = time::ms(50);
+  net.buffer_bdp = 3.0;
+  const std::string d = net.describe();
+  EXPECT_NE(d.find("100"), std::string::npos);
+  EXPECT_NE(d.find("50"), std::string::npos);
+  EXPECT_NE(d.find("3"), std::string::npos);
+}
+
+TEST(RunPair, SharesSumToOne) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(15);
+  cfg.trials = 2;
+  const PairResult pr = run_pair(ref, ref, cfg);
+  EXPECT_NEAR(pr.share_a + pr.share_b, 1.0, 1e-9);
+  EXPECT_EQ(pr.points_a.size(), 2u);
+  EXPECT_EQ(pr.points_b.size(), 2u);
+  EXPECT_TRUE(pr.trials.empty());  // record_cwnd off
+}
+
+TEST(RunPair, RecordCwndKeepsTrials) {
+  const auto& ref = Registry::instance().reference(CcaType::kReno);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  cfg.trials = 2;
+  cfg.record_cwnd = true;
+  const PairResult pr = run_pair(ref, ref, cfg);
+  ASSERT_EQ(pr.trials.size(), 2u);
+  EXPECT_FALSE(pr.trials[0].flow[0].trace.cwnd_samples.empty());
+}
+
+TEST(RunTrial, SamplingConfigRespected) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(20);
+  cfg.trials = 1;
+  cfg.sampling.rtts_per_sample = 10;
+  const TrialResult a = run_trial(ref, ref, cfg, 0);
+  cfg.sampling.rtts_per_sample = 20;
+  const TrialResult b = run_trial(ref, ref, cfg, 0);
+  EXPECT_GT(a.flow[0].points.size(), b.flow[0].points.size());
+}
+
+TEST(RunTrial, CwndTraceClearedWhenNotRequested) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  EXPECT_TRUE(tr.flow[0].trace.cwnd_samples.empty());
+}
+
+TEST(RunTrial, ThroughputBoundedByLink) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(20);
+  cfg.duration = time::sec(20);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  const double total = rate::to_mbps(tr.flow[0].avg_throughput) +
+                       rate::to_mbps(tr.flow[1].avg_throughput);
+  EXPECT_LE(total, 20.0 + 0.2);
+  EXPECT_GT(total, 10.0);
+}
+
+TEST(RunTrial, TinyBufferSurvives) {
+  // Failure injection: a buffer well below one packet (clamped to the
+  // minimum) must not deadlock the experiment.
+  const auto& ref = Registry::instance().reference(CcaType::kReno);
+  ExperimentConfig cfg;
+  cfg.net.buffer_bdp = 0.01;
+  cfg.duration = time::sec(10);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  EXPECT_GT(tr.flow[0].trace.deliveries.size() +
+                tr.flow[1].trace.deliveries.size(),
+            0u);
+}
+
+TEST(RunTrial, HighRttConfig) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.net.base_rtt = time::ms(200);
+  cfg.duration = time::sec(30);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  // Slow start alone takes a while at 200 ms; just require progress and
+  // sane delay samples.
+  EXPECT_GT(tr.flow[0].trace.deliveries.size(), 100u);
+  for (const auto& r : tr.flow[0].trace.rtt_samples) {
+    EXPECT_GE(r.rtt, time::ms(200));
+  }
+}
+
+TEST(MeasureConformance, SelfConformanceReasonable) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(30);
+  cfg.trials = 3;
+  const auto rep = measure_conformance(ref, ref, cfg);
+  // Same implementation on both sides: decently conformant even on short
+  // runs.
+  EXPECT_GT(rep.conformance, 0.35);
+  EXPECT_LE(rep.conformance, 1.0);
+}
+
+} // namespace
+} // namespace quicbench::harness

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "harness/report.h"
+
+namespace quicbench::harness {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(RenderHeatmap, ContainsLabelsAndValues) {
+  const std::string out = render_heatmap(
+      "title", {"rowA", "rowB"}, {"c1", "c2"},
+      {{0.5, 0.75}, {1.0, 0.0}});
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("rowA"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+}
+
+TEST(RenderHeatmap, MissingCellsPrintDash) {
+  const std::string out =
+      render_heatmap("t", {"r1", "r2"}, {"c"}, {{0.5}});
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(RenderHeatmap, NanPrintsDash) {
+  const std::vector<std::vector<double>> vals{{std::nan("")}};
+  const std::string out = render_heatmap("t", {"r"}, {"c"}, vals);
+  // The value column must not contain "nan".
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+TEST(RenderTable, AlignsColumns) {
+  const std::string out = render_table(
+      {"a", "long-header"}, {{"x", "1"}, {"yyyy", "22"}});
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(RenderTable, ShortRowsPadded) {
+  const std::string out = render_table({"a", "b"}, {{"only-one"}});
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(RenderPePlot, EmptyData) {
+  conformance::PerformanceEnvelope empty;
+  const std::string out = render_pe_plot("empty", empty, empty);
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(RenderPePlot, MarksPoints) {
+  conformance::PerformanceEnvelope ref, test;
+  ref.all_points = {{1, 1}, {2, 2}, {3, 1}};
+  test.all_points = {{10, 10}};
+  const std::string out = render_pe_plot("plot", ref, test, 40, 10);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("plot"), std::string::npos);
+}
+
+TEST(ParallelFor, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndNegative) {
+  int count = 0;
+  parallel_for(0, [&](int) { ++count; });
+  parallel_for(-5, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+} // namespace
+} // namespace quicbench::harness

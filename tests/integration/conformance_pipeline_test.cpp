@@ -1,0 +1,90 @@
+// The full paper pipeline on the simulator: measure conformance of QUIC
+// implementations against the kernel reference and check that the key
+// qualitative findings hold (conformant stacks score high, the documented
+// deviants score low, and fixes recover conformance).
+//
+// These use shorter runs / fewer trials than the benches, so thresholds
+// are deliberately loose.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace quicbench::harness {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+ExperimentConfig quick_config(double buffer_bdp) {
+  ExperimentConfig cfg;
+  cfg.net.bandwidth = rate::mbps(20);
+  cfg.net.base_rtt = time::ms(10);
+  cfg.net.buffer_bdp = buffer_bdp;
+  cfg.duration = time::sec(40);
+  cfg.trials = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ConformancePipeline, ReferenceAgainstItselfIsHigh) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto rep = measure_conformance(ref, ref, quick_config(1.0));
+  EXPECT_GT(rep.conformance, 0.5);
+}
+
+TEST(ConformancePipeline, ConformantQuicCubicScoresWell) {
+  const auto* msquic = Registry::instance().find("msquic", CcaType::kCubic);
+  ASSERT_NE(msquic, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto rep = measure_conformance(*msquic, ref, quick_config(1.0));
+  EXPECT_GT(rep.conformance, 0.4);
+}
+
+TEST(ConformancePipeline, MvfstBbrLowConformanceHighConfT) {
+  const auto* mvfst = Registry::instance().find("mvfst", CcaType::kBbr);
+  ASSERT_NE(mvfst, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kBbr);
+  const auto rep = measure_conformance(*mvfst, ref, quick_config(1.0));
+  EXPECT_LT(rep.conformance, 0.45);
+  EXPECT_GT(rep.conformance_t, rep.conformance + 0.1);
+  EXPECT_GT(rep.delta_tput_mbps, 1.0) << "mvfst BBR sends hot";
+}
+
+TEST(ConformancePipeline, NeqoCubicZeroConformanceNegativeDelta) {
+  const auto* neqo = Registry::instance().find("neqo", CcaType::kCubic);
+  ASSERT_NE(neqo, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto rep = measure_conformance(*neqo, ref, quick_config(1.0));
+  EXPECT_LT(rep.conformance, 0.25);
+  EXPECT_LT(rep.delta_tput_mbps, -1.0) << "neqo undershoots";
+}
+
+TEST(ConformancePipeline, MvfstFixRecoversConformance) {
+  const auto* mvfst = Registry::instance().find("mvfst", CcaType::kBbr);
+  ASSERT_NE(mvfst, nullptr);
+  const auto fixed = stacks::fixed_variant(*mvfst);
+  ASSERT_TRUE(fixed.has_value());
+  const auto& ref = Registry::instance().reference(CcaType::kBbr);
+  ExperimentConfig cfg = quick_config(1.0);
+  cfg.duration = time::sec(60);  // BBR PEs need longer runs to stabilise
+  cfg.trials = 4;
+  const auto before = measure_conformance(*mvfst, ref, cfg);
+  const auto after = measure_conformance(*fixed, ref, cfg);
+  EXPECT_GT(after.conformance, before.conformance + 0.05);
+}
+
+TEST(ConformancePipeline, ReportFieldsPopulated) {
+  const auto* quinn = Registry::instance().find("quinn", CcaType::kReno);
+  ASSERT_NE(quinn, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kReno);
+  const auto rep = measure_conformance(*quinn, ref, quick_config(1.0));
+  EXPECT_FALSE(rep.ref_pe.all_points.empty());
+  EXPECT_FALSE(rep.test_pe.all_points.empty());
+  EXPECT_GE(rep.conformance_t, rep.conformance - 1e-12);
+  EXPECT_GE(rep.conformance, 0.0);
+  EXPECT_LE(rep.conformance, 1.0);
+}
+
+} // namespace
+} // namespace quicbench::harness

@@ -1,0 +1,137 @@
+// End-to-end behaviour of complete two-flow experiments: utilisation,
+// fair sharing between identical implementations, and the classic
+// CUBIC-vs-BBR buffer-dependent outcomes the paper's §4.4 relies on.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace quicbench::harness {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+ExperimentConfig quick_config(double buffer_bdp, Rate bw = rate::mbps(20),
+                              Time rtt = time::ms(10)) {
+  ExperimentConfig cfg;
+  cfg.net.bandwidth = bw;
+  cfg.net.base_rtt = rtt;
+  cfg.net.buffer_bdp = buffer_bdp;
+  cfg.duration = time::sec(30);
+  cfg.trials = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Convergence, TwoKernelCubicFlowsShareFairly) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const PairResult pr = run_pair(ref, ref, quick_config(1.0));
+  EXPECT_NEAR(pr.share_a, 0.5, 0.12);
+  // Link near-saturated.
+  EXPECT_GT(pr.tput_a_mbps + pr.tput_b_mbps, 17.0);
+}
+
+TEST(Convergence, TwoKernelRenoFlowsShareFairly) {
+  const auto& ref = Registry::instance().reference(CcaType::kReno);
+  const PairResult pr = run_pair(ref, ref, quick_config(1.0));
+  EXPECT_NEAR(pr.share_a, 0.5, 0.15);
+  EXPECT_GT(pr.tput_a_mbps + pr.tput_b_mbps, 16.0);
+}
+
+TEST(Convergence, TwoKernelBbrFlowsShareFairly) {
+  const auto& ref = Registry::instance().reference(CcaType::kBbr);
+  const PairResult pr = run_pair(ref, ref, quick_config(1.0));
+  EXPECT_NEAR(pr.share_a, 0.5, 0.15);
+  EXPECT_GT(pr.tput_a_mbps + pr.tput_b_mbps, 16.0);
+}
+
+TEST(Convergence, BbrBeatsCubicInShallowBuffer) {
+  // §4.4: "BBR will achieve higher bandwidth than CUBIC ... in shallow
+  // buffers due to CUBIC backing off frequently and BBR being largely
+  // loss-agnostic."
+  const auto& cubic = Registry::instance().reference(CcaType::kCubic);
+  const auto& bbr = Registry::instance().reference(CcaType::kBbr);
+  const PairResult pr = run_pair(bbr, cubic, quick_config(0.5));
+  EXPECT_GT(pr.share_a, 0.55) << "BBR should win in shallow buffers";
+}
+
+TEST(Convergence, CubicBeatsBbrInDeepBuffer) {
+  // §4.4: "CUBIC is expected to achieve higher throughput than BBR in
+  // deep buffers since CUBIC is a buffer-filler."
+  const auto& cubic = Registry::instance().reference(CcaType::kCubic);
+  const auto& bbr = Registry::instance().reference(CcaType::kBbr);
+  const PairResult pr = run_pair(cubic, bbr, quick_config(5.0));
+  EXPECT_GT(pr.share_a, 0.55) << "CUBIC should win in deep buffers";
+}
+
+TEST(Convergence, DeepBufferInflatesDelay) {
+  const auto& cubic = Registry::instance().reference(CcaType::kCubic);
+  const PairResult shallow = run_pair(cubic, cubic, quick_config(0.5));
+  const PairResult deep = run_pair(cubic, cubic, quick_config(5.0));
+  const auto mean_delay = [](const PairResult& pr) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& trial : pr.points_a) {
+      for (const auto& p : trial) {
+        sum += p.x;
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  EXPECT_GT(mean_delay(deep), mean_delay(shallow) * 1.5);
+}
+
+TEST(Convergence, TrialsDifferButAreDeterministic) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const ExperimentConfig cfg = quick_config(1.0);
+  const TrialResult t0 = run_trial(ref, ref, cfg, 0);
+  const TrialResult t1 = run_trial(ref, ref, cfg, 1);
+  const TrialResult t0_again = run_trial(ref, ref, cfg, 0);
+  // Same trial index reproduces exactly.
+  ASSERT_EQ(t0.flow[0].points.size(), t0_again.flow[0].points.size());
+  for (std::size_t i = 0; i < t0.flow[0].points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t0.flow[0].points[i].tput_mbps,
+                     t0_again.flow[0].points[i].tput_mbps);
+  }
+  // Different trial indices differ.
+  bool differs = t0.flow[0].points.size() != t1.flow[0].points.size();
+  for (std::size_t i = 0;
+       !differs && i < t0.flow[0].points.size() && i < t1.flow[0].points.size();
+       ++i) {
+    differs = t0.flow[0].points[i].tput_mbps != t1.flow[0].points[i].tput_mbps;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Convergence, MvfstBbrOverTakesReference) {
+  // mvfst BBR paces 20% hot: against the kernel BBR it takes the larger
+  // share (the root of its Table 3 entry).
+  const auto* mvfst = Registry::instance().find("mvfst", CcaType::kBbr);
+  ASSERT_NE(mvfst, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kBbr);
+  const PairResult pr = run_pair(*mvfst, ref, quick_config(1.0));
+  EXPECT_GT(pr.share_a, 0.55);
+}
+
+TEST(Convergence, NeqoCubicStarvedByFlowControl) {
+  const auto* neqo = Registry::instance().find("neqo", CcaType::kCubic);
+  ASSERT_NE(neqo, nullptr);
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const PairResult pr = run_pair(*neqo, ref, quick_config(1.0));
+  EXPECT_LT(pr.share_a, 0.45);
+}
+
+TEST(Convergence, WildConfigRunsWithCrossTraffic) {
+  ExperimentConfig cfg = quick_config(1.0, rate::mbps(20), time::ms(10));
+  cfg.net.path_jitter = time::ms(1);
+  cfg.net.cross_traffic_rate = rate::mbps(2);
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const PairResult pr = run_pair(ref, ref, cfg);
+  EXPECT_GT(pr.tput_a_mbps + pr.tput_b_mbps, 10.0);
+  EXPECT_LT(pr.tput_a_mbps + pr.tput_b_mbps, 20.5);
+}
+
+} // namespace
+} // namespace quicbench::harness

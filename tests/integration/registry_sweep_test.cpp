@@ -1,0 +1,82 @@
+// Registry-wide sweep: every (stack, CCA) implementation of Table 1 must
+// drive a flow end-to-end — sane throughput, no PTO storms, bounded
+// retransmissions — both solo and against its kernel reference. Catches
+// profile misconfigurations (e.g. a flow-control cap that deadlocks).
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace quicbench::harness {
+namespace {
+
+using stacks::Implementation;
+using stacks::Registry;
+
+class EveryImplementation
+    : public ::testing::TestWithParam<const Implementation*> {};
+
+TEST_P(EveryImplementation, SoloFlowMakesProgress) {
+  const Implementation& impl = *GetParam();
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(15);
+  cfg.trials = 1;
+  // Solo: run against itself (two flows of the same implementation).
+  const TrialResult tr = run_trial(impl, impl, cfg, 0);
+  const double total = rate::to_mbps(tr.flow[0].avg_throughput) +
+                       rate::to_mbps(tr.flow[1].avg_throughput);
+  EXPECT_GT(total, 5.0) << impl.display << " underutilises the link";
+  EXPECT_LE(total, 20.3) << impl.display << " exceeds link capacity";
+}
+
+TEST_P(EveryImplementation, AgainstReferenceIsLive) {
+  const Implementation& impl = *GetParam();
+  const Implementation& ref = Registry::instance().reference(impl.cca);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(15);
+  cfg.trials = 1;
+  const TrialResult tr = run_trial(impl, ref, cfg, 0);
+  // Both flows deliver something; no starvation-to-zero.
+  EXPECT_GT(rate::to_mbps(tr.flow[0].avg_throughput), 0.2) << impl.display;
+  EXPECT_GT(rate::to_mbps(tr.flow[1].avg_throughput), 0.2)
+      << "reference starved by " << impl.display;
+  // No PTO storm (the flow stays ack-clocked).
+  EXPECT_LT(tr.flow[0].sender_stats.ptos_fired, 20) << impl.display;
+  // Retransmissions bounded (< 40% of packets even for the deviants).
+  const auto& st = tr.flow[0].sender_stats;
+  EXPECT_LT(st.retransmissions,
+            std::max<std::int64_t>(st.packets_sent * 2 / 5, 50))
+      << impl.display;
+}
+
+TEST_P(EveryImplementation, PointCloudsNonEmpty) {
+  const Implementation& impl = *GetParam();
+  const Implementation& ref = Registry::instance().reference(impl.cca);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(15);
+  cfg.trials = 1;
+  const TrialResult tr = run_trial(impl, ref, cfg, 0);
+  EXPECT_GT(tr.flow[0].points.size(), 50u) << impl.display;
+  for (const auto& p : tr.flow[0].points) {
+    EXPECT_GT(p.delay_ms, 0) << impl.display;
+    EXPECT_GE(p.tput_mbps, 0) << impl.display;
+    EXPECT_LE(p.tput_mbps, 20.5) << impl.display;
+  }
+}
+
+std::vector<const Implementation*> all_impls() {
+  std::vector<const Implementation*> out;
+  for (const auto& impl : Registry::instance().all()) out.push_back(&impl);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, EveryImplementation, ::testing::ValuesIn(all_impls()),
+    [](const ::testing::TestParamInfo<const Implementation*>& info) {
+      std::string name = info.param->stack + "_" +
+                         stacks::to_string(info.param->cca);
+      return name;
+    });
+
+} // namespace
+} // namespace quicbench::harness

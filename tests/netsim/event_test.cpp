@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event.h"
+
+namespace quicbench::netsim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(time::ms(30), [&] { order.push_back(3); });
+  sim.schedule(time::ms(10), [&] { order.push_back(1); });
+  sim.schedule(time::ms(20), [&] { order.push_back(2); });
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule(time::ms(42), [&] { seen = sim.now(); });
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(seen, time::ms(42));
+  EXPECT_EQ(sim.now(), time::sec(1));
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(time::ms(100), [&] { fired = true; });
+  sim.run_until(time::ms(50));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), time::ms(50));
+  sim.run_until(time::ms(200));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(time::ms(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  Simulator sim;
+  sim.cancel(kInvalidEvent);
+  sim.cancel(9999);
+  EXPECT_FALSE(sim.run_next());
+}
+
+TEST(Simulator, EventsScheduledDuringEventsFire) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_in(time::ms(1), chain);
+  };
+  sim.schedule(0, chain);
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, ScheduleInUsesRelativeDelay) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.schedule(time::ms(10), [&] {
+    sim.schedule_in(time::ms(5), [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fired_at, time::ms(15));
+}
+
+TEST(Timer, ArmAndFire) {
+  Simulator sim;
+  Timer t(sim);
+  int fires = 0;
+  t.arm_in(time::ms(5), [&] { ++fires; });
+  EXPECT_TRUE(t.armed());
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RearmReplacesPrevious) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<Time> fire_times;
+  t.arm_in(time::ms(5), [&] { fire_times.push_back(sim.now()); });
+  t.arm_in(time::ms(9), [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], time::ms(9));
+}
+
+TEST(Timer, CancelStopsFiring) {
+  Simulator sim;
+  Timer t(sim);
+  bool fired = false;
+  t.arm_in(time::ms(5), [&] { fired = true; });
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RearmFromWithinCallback) {
+  Simulator sim;
+  Timer t(sim);
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) t.arm_in(time::ms(1), tick);
+  };
+  t.arm_in(time::ms(1), tick);
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fires, 3);
+}
+
+} // namespace
+} // namespace quicbench::netsim

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event.h"
+#include "netsim/link.h"
+#include "util/rng.h"
+
+namespace quicbench::netsim {
+namespace {
+
+class Collector : public PacketSink {
+ public:
+  void deliver(Packet p) override {
+    arrival_times.push_back(now ? *now : 0);
+    packets.push_back(std::move(p));
+  }
+  std::vector<Packet> packets;
+  std::vector<Time> arrival_times;
+  const Time* now = nullptr;
+};
+
+Packet data_packet(int flow, Bytes size, std::uint64_t pn = 0) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.flow = flow;
+  p.size = size;
+  p.pn = pn;
+  return p;
+}
+
+TEST(Link, DeliversWithSerializationPlusPropagation) {
+  Simulator sim;
+  Collector sink;
+  // 12 Mbps, 5 ms prop: a 1500-byte packet serializes in 1 ms.
+  Link link(sim, rate::mbps(12), time::ms(5), 100'000, &sink);
+  Time arrival = -1;
+  class Probe : public PacketSink {
+   public:
+    explicit Probe(Simulator& s, Time& t) : sim(s), arrival(t) {}
+    void deliver(Packet) override { arrival = sim.now(); }
+    Simulator& sim;
+    Time& arrival;
+  } probe(sim, arrival);
+  Link link2(sim, rate::mbps(12), time::ms(5), 100'000, &probe);
+  link2.deliver(data_packet(0, 1500));
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(arrival, time::ms(6));
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  Simulator sim;
+  std::vector<Time> arrivals;
+  class Probe : public PacketSink {
+   public:
+    Probe(Simulator& s, std::vector<Time>& a) : sim(s), arrivals(a) {}
+    void deliver(Packet) override { arrivals.push_back(sim.now()); }
+    Simulator& sim;
+    std::vector<Time>& arrivals;
+  } probe(sim, arrivals);
+  Link link(sim, rate::mbps(12), 0, 100'000, &probe);
+  for (int i = 0; i < 3; ++i) link.deliver(data_packet(0, 1500, i));
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], time::ms(1));
+  EXPECT_EQ(arrivals[2] - arrivals[1], time::ms(1));
+}
+
+TEST(Link, DropsWhenBufferFull) {
+  Simulator sim;
+  Collector sink;
+  // Buffer of 3000 bytes: holds two queued 1500B packets beyond the one
+  // in transmission.
+  Link link(sim, rate::mbps(1), 0, 3000, &sink);
+  int drops = 0;
+  link.set_drop_callback([&](const Packet&) { ++drops; });
+  for (int i = 0; i < 5; ++i) link.deliver(data_packet(0, 1500, i));
+  sim.run_until(time::sec(1));
+  // First goes straight to the transmitter, two queue, two drop.
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(link.stats().packets_dropped, 2);
+  EXPECT_EQ(link.stats().packets_out, 3);
+}
+
+TEST(Link, FifoOrderPreserved) {
+  Simulator sim;
+  Collector sink;
+  Link link(sim, rate::mbps(10), time::ms(1), 1'000'000, &sink);
+  for (std::uint64_t i = 0; i < 10; ++i) link.deliver(data_packet(0, 500, i));
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(sink.packets.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sink.packets[i].pn, i);
+}
+
+TEST(Link, StatsCountBytes) {
+  Simulator sim;
+  Collector sink;
+  Link link(sim, rate::mbps(10), 0, 1'000'000, &sink);
+  link.deliver(data_packet(0, 700));
+  link.deliver(data_packet(0, 800));
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(link.stats().packets_in, 2);
+  EXPECT_EQ(link.stats().bytes_out, 1500);
+}
+
+TEST(Link, ThroughputMatchesRate) {
+  Simulator sim;
+  Collector sink;
+  const Rate bw = rate::mbps(20);
+  Link link(sim, bw, 0, 10'000'000, &sink);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) link.deliver(data_packet(0, 1500, i));
+  sim.run_until(time::sec(10));
+  // n*1500*8 bits at 20 Mbps = 1.2 s.
+  const double expect_sec = n * 1500 * 8 / rate::to_mbps(bw) / 1e6;
+  ASSERT_EQ(link.stats().packets_out, n);
+  // Last arrival should be at ~expect_sec.
+  EXPECT_EQ(link.stats().bytes_out, n * 1500);
+  EXPECT_NEAR(expect_sec, 1.2, 1e-9);
+}
+
+TEST(DelayLine, PureDelay) {
+  Simulator sim;
+  std::vector<Time> arrivals;
+  class Probe : public PacketSink {
+   public:
+    Probe(Simulator& s, std::vector<Time>& a) : sim(s), arrivals(a) {}
+    void deliver(Packet) override { arrivals.push_back(sim.now()); }
+    Simulator& sim;
+    std::vector<Time>& arrivals;
+  } probe(sim, arrivals);
+  DelayLine line(sim, time::ms(25), &probe);
+  sim.schedule(time::ms(5), [&] { line.deliver(data_packet(0, 100)); });
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], time::ms(30));
+}
+
+TEST(DelayLine, JitterWithoutReorderIsMonotonic) {
+  Simulator sim;
+  std::vector<std::uint64_t> order;
+  class Probe : public PacketSink {
+   public:
+    explicit Probe(std::vector<std::uint64_t>& o) : order(o) {}
+    void deliver(Packet p) override { order.push_back(p.pn); }
+    std::vector<std::uint64_t>& order;
+  } probe(order);
+  DelayLine line(sim, time::ms(1), &probe);
+  Rng rng(17);
+  line.set_jitter(time::ms(5), [&rng] { return rng.uniform(); },
+                  /*allow_reorder=*/false);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    sim.schedule(static_cast<Time>(i) * time::us(100),
+                 [&line, i] { line.deliver(data_packet(0, 100, i)); });
+  }
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(DelayLine, JitterWithReorderCanReorder) {
+  Simulator sim;
+  std::vector<std::uint64_t> order;
+  class Probe : public PacketSink {
+   public:
+    explicit Probe(std::vector<std::uint64_t>& o) : order(o) {}
+    void deliver(Packet p) override { order.push_back(p.pn); }
+    std::vector<std::uint64_t>& order;
+  } probe(order);
+  DelayLine line(sim, time::ms(1), &probe);
+  Rng rng(17);
+  line.set_jitter(time::ms(5), [&rng] { return rng.uniform(); },
+                  /*allow_reorder=*/true);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim.schedule(static_cast<Time>(i) * time::us(50),
+                 [&line, i] { line.deliver(data_packet(0, 100, i)); });
+  }
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(order.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+} // namespace
+} // namespace quicbench::netsim

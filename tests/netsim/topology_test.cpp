@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.h"
+
+namespace quicbench::netsim {
+namespace {
+
+class Recorder : public PacketSink {
+ public:
+  explicit Recorder(Simulator& sim) : sim_(sim) {}
+  void deliver(Packet p) override {
+    count += 1;
+    last_time = sim_.now();
+    last = std::move(p);
+  }
+  Simulator& sim_;
+  int count = 0;
+  Time last_time = -1;
+  Packet last;
+};
+
+Packet data_packet(int flow, std::uint64_t pn = 0) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.flow = flow;
+  p.size = 1000;
+  p.pn = pn;
+  return p;
+}
+
+DumbbellConfig basic_config() {
+  DumbbellConfig cfg;
+  cfg.bandwidth = rate::mbps(10);
+  cfg.base_rtt = time::ms(20);
+  cfg.buffer_bytes = 100'000;
+  return cfg;
+}
+
+TEST(FlowDemux, RoutesByFlowId) {
+  Simulator sim;
+  Recorder r0(sim), r1(sim);
+  FlowDemux demux;
+  demux.register_flow(0, &r0);
+  demux.register_flow(1, &r1);
+  demux.deliver(data_packet(0));
+  demux.deliver(data_packet(1));
+  demux.deliver(data_packet(1));
+  EXPECT_EQ(r0.count, 1);
+  EXPECT_EQ(r1.count, 2);
+}
+
+TEST(FlowDemux, UnknownFlowDropped) {
+  Simulator sim;
+  Recorder r0(sim);
+  FlowDemux demux;
+  demux.register_flow(0, &r0);
+  demux.deliver(data_packet(7));
+  demux.deliver(data_packet(-1));  // cross traffic sentinel
+  EXPECT_EQ(r0.count, 0);
+}
+
+TEST(Dumbbell, ForwardPathDeliversToReceiver) {
+  Simulator sim;
+  Dumbbell db(sim, basic_config(), 2);
+  Recorder recv0(sim), recv1(sim);
+  db.attach_receiver(0, &recv0);
+  db.attach_receiver(1, &recv1);
+  db.forward_in()->deliver(data_packet(0, 5));
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(recv0.count, 1);
+  EXPECT_EQ(recv1.count, 0);
+  EXPECT_EQ(recv0.last.pn, 5u);
+  // Forward delay = serialization (0.8 ms) + half the base RTT (10 ms).
+  EXPECT_EQ(recv0.last_time, time::us(800) + time::ms(10));
+}
+
+TEST(Dumbbell, ReversePathDeliversAckToSender) {
+  Simulator sim;
+  Dumbbell db(sim, basic_config(), 2);
+  Recorder sender1(sim);
+  db.attach_sender_ack_sink(1, &sender1);
+  Packet ack;
+  ack.kind = PacketKind::kAck;
+  ack.flow = 1;
+  ack.size = 80;
+  db.reverse_in(1)->deliver(ack);
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(sender1.count, 1);
+  // Reverse delay = half the base RTT, no bandwidth constraint.
+  EXPECT_EQ(sender1.last_time, time::ms(10));
+}
+
+TEST(Dumbbell, RoundTripEqualsBaseRttPlusSerialization) {
+  Simulator sim;
+  DumbbellConfig cfg = basic_config();
+  Dumbbell db(sim, cfg, 1);
+
+  class Echo : public PacketSink {
+   public:
+    Echo(Simulator& s, Dumbbell& d) : sim_(s), db_(d) {}
+    void deliver(Packet p) override {
+      Packet ack;
+      ack.kind = PacketKind::kAck;
+      ack.flow = p.flow;
+      ack.size = 80;
+      db_.reverse_in(p.flow)->deliver(ack);
+    }
+    Simulator& sim_;
+    Dumbbell& db_;
+  } echo(sim, db);
+
+  Recorder sender(sim);
+  db.attach_receiver(0, &echo);
+  db.attach_sender_ack_sink(0, &sender);
+  db.forward_in()->deliver(data_packet(0));
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(sender.count, 1);
+  EXPECT_EQ(sender.last_time, time::ms(20) + time::us(800));
+}
+
+TEST(Dumbbell, InvalidConfigThrows) {
+  Simulator sim;
+  DumbbellConfig cfg;  // zeros
+  EXPECT_THROW(Dumbbell(sim, cfg, 2), std::invalid_argument);
+}
+
+TEST(Dumbbell, JitterRequiresRng) {
+  Simulator sim;
+  DumbbellConfig cfg = basic_config();
+  cfg.path_jitter = time::ms(1);
+  EXPECT_THROW(Dumbbell(sim, cfg, 2), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_NO_THROW(Dumbbell(sim, cfg, 2, &rng));
+}
+
+TEST(CrossTraffic, GeneratesApproximatelyConfiguredRate) {
+  Simulator sim;
+  Recorder sink(sim);
+  Rng rng(33);
+  // Always-on (mean_off tiny relative to on) at 5 Mbps.
+  CrossTrafficSource src(sim, &sink, rate::mbps(5), 1200, time::sec(100),
+                         time::ms(1), rng);
+  src.start();
+  sim.run_until(time::sec(10));
+  const double bits = static_cast<double>(sink.count) * 1200 * 8;
+  const double mbps = bits / 10 / 1e6;
+  EXPECT_NEAR(mbps, 5.0, 1.0);
+}
+
+TEST(CrossTraffic, OnOffProducesLessThanFullRate) {
+  Simulator sim;
+  Recorder sink(sim);
+  Rng rng(34);
+  // 50% duty cycle.
+  CrossTrafficSource src(sim, &sink, rate::mbps(8), 1200, time::ms(100),
+                         time::ms(100), rng);
+  src.start();
+  sim.run_until(time::sec(20));
+  const double mbps = static_cast<double>(sink.count) * 1200 * 8 / 20 / 1e6;
+  EXPECT_GT(mbps, 2.0);
+  EXPECT_LT(mbps, 6.5);
+}
+
+} // namespace
+} // namespace quicbench::netsim

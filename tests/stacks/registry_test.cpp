@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "cca/bbr.h"
+#include "cca/cubic.h"
+#include "cca/reno.h"
+#include "stacks/registry.h"
+
+namespace quicbench::stacks {
+namespace {
+
+TEST(Registry, Table1Population) {
+  const auto& reg = Registry::instance();
+  // 11 QUIC stacks (22 implementations) + 3 kernel references = 25.
+  EXPECT_EQ(reg.all().size(), 25u);
+  // Table 1 CCA columns.
+  EXPECT_EQ(reg.with_cca(CcaType::kCubic, false).size(), 11u);
+  EXPECT_EQ(reg.with_cca(CcaType::kBbr, false).size(), 4u);
+  EXPECT_EQ(reg.with_cca(CcaType::kReno, false).size(), 7u);
+}
+
+TEST(Registry, ReferencesAreKernel) {
+  const auto& reg = Registry::instance();
+  for (CcaType t : {CcaType::kCubic, CcaType::kBbr, CcaType::kReno}) {
+    const Implementation& ref = reg.reference(t);
+    EXPECT_EQ(ref.stack, "tcp");
+    EXPECT_TRUE(ref.is_reference);
+    // Kernel internal pacing at tcp_pacing_ca_ratio = 120%.
+    EXPECT_DOUBLE_EQ(ref.profile.sender.window_pacing_factor, 1.2);
+  }
+}
+
+TEST(Registry, Table1Gaps) {
+  const auto& reg = Registry::instance();
+  // Table 1: msquic has no BBR/Reno; chromium has no Reno; quiche no BBR.
+  EXPECT_EQ(reg.find("msquic", CcaType::kBbr), nullptr);
+  EXPECT_EQ(reg.find("msquic", CcaType::kReno), nullptr);
+  EXPECT_EQ(reg.find("chromium", CcaType::kReno), nullptr);
+  EXPECT_EQ(reg.find("quiche", CcaType::kBbr), nullptr);
+  EXPECT_NE(reg.find("xquic", CcaType::kBbr), nullptr);
+  EXPECT_NE(reg.find("lsquic", CcaType::kBbr), nullptr);
+}
+
+TEST(Registry, DocumentedDeviationsEncoded) {
+  const auto& reg = Registry::instance();
+  EXPECT_EQ(reg.find("chromium", CcaType::kCubic)->cubic.emulated_flows, 2);
+  EXPECT_TRUE(reg.find("quiche", CcaType::kCubic)
+                  ->cubic.spurious_loss_rollback);
+  EXPECT_FALSE(reg.find("xquic", CcaType::kCubic)->cubic.hystart);
+  EXPECT_DOUBLE_EQ(reg.find("xquic", CcaType::kBbr)->bbr.cwnd_gain, 2.5);
+  EXPECT_DOUBLE_EQ(reg.find("mvfst", CcaType::kBbr)->bbr.pacing_rate_scale,
+                   1.2);
+  EXPECT_GT(reg.find("neqo", CcaType::kCubic)
+                ->profile.sender.flow_control_window, 0);
+  // xquic's in-flight cap applies to its loss-based CCAs but not BBR
+  // (the paper measured xquic BBR overshooting while CUBIC/Reno
+  // undershoot).
+  EXPECT_GT(reg.find("xquic", CcaType::kReno)
+                ->profile.sender.flow_control_window, 0);
+  EXPECT_GT(reg.find("xquic", CcaType::kCubic)
+                ->profile.sender.flow_control_window, 0);
+  EXPECT_EQ(reg.find("xquic", CcaType::kBbr)
+                ->profile.sender.flow_control_window, 0);
+  // Kernel CUBIC uses classic HyStart; QUIC stacks use HyStart++.
+  EXPECT_TRUE(reg.reference(CcaType::kCubic).cubic.classic_hystart);
+  EXPECT_FALSE(reg.find("msquic", CcaType::kCubic)->cubic.classic_hystart);
+}
+
+TEST(Registry, ConformantStacksUseDefaults) {
+  const auto& reg = Registry::instance();
+  for (const char* stack : {"msquic", "quicgo", "quicly", "quinn", "s2n"}) {
+    const Implementation* impl = reg.find(stack, CcaType::kCubic);
+    ASSERT_NE(impl, nullptr) << stack;
+    EXPECT_EQ(impl->cubic.emulated_flows, 1);
+    EXPECT_TRUE(impl->cubic.hystart);
+    EXPECT_FALSE(impl->cubic.spurious_loss_rollback);
+    EXPECT_EQ(impl->profile.sender.flow_control_window, 0);
+  }
+}
+
+TEST(Registry, MakeCcaProducesRightAlgorithm) {
+  const auto& reg = Registry::instance();
+  auto cubic = reg.find("msquic", CcaType::kCubic)->make_cca();
+  EXPECT_EQ(cubic->name(), "cubic");
+  auto bbr = reg.find("xquic", CcaType::kBbr)->make_cca();
+  EXPECT_EQ(bbr->name(), "bbr");
+  auto reno = reg.find("quinn", CcaType::kReno)->make_cca();
+  EXPECT_EQ(reno->name(), "reno");
+}
+
+TEST(Registry, MakeCcaUsesProfileMss) {
+  const auto& reg = Registry::instance();
+  const Implementation* impl = reg.find("quicgo", CcaType::kReno);
+  auto cca = impl->make_cca();
+  EXPECT_EQ(cca->cwnd(), impl->profile.sender.mss *
+                             impl->profile.sender.initial_cwnd_packets);
+}
+
+TEST(FixedVariant, KnownFixes) {
+  const auto& reg = Registry::instance();
+  const auto chromium = fixed_variant(*reg.find("chromium", CcaType::kCubic));
+  ASSERT_TRUE(chromium.has_value());
+  EXPECT_EQ(chromium->cubic.emulated_flows, 1);
+
+  const auto mvfst = fixed_variant(*reg.find("mvfst", CcaType::kBbr));
+  ASSERT_TRUE(mvfst.has_value());
+  EXPECT_DOUBLE_EQ(mvfst->bbr.pacing_rate_scale, 1.0);
+
+  const auto xquic = fixed_variant(*reg.find("xquic", CcaType::kBbr));
+  ASSERT_TRUE(xquic.has_value());
+  EXPECT_DOUBLE_EQ(xquic->bbr.cwnd_gain, 2.0);
+
+  const auto quiche = fixed_variant(*reg.find("quiche", CcaType::kCubic));
+  ASSERT_TRUE(quiche.has_value());
+  EXPECT_FALSE(quiche->cubic.spurious_loss_rollback);
+}
+
+TEST(FixedVariant, NoFixForConformantImpl) {
+  const auto& reg = Registry::instance();
+  EXPECT_FALSE(fixed_variant(*reg.find("quinn", CcaType::kReno)).has_value());
+  EXPECT_FALSE(fixed_variant(*reg.find("xquic", CcaType::kReno)).has_value());
+}
+
+TEST(SpecialVariants, NoHystartReference) {
+  const Implementation impl = reference_cubic_no_hystart();
+  EXPECT_FALSE(impl.cubic.hystart);
+  EXPECT_EQ(impl.stack, "tcp");
+}
+
+TEST(SpecialVariants, ModifiedKernelBbr) {
+  const Implementation impl = modified_kernel_bbr(3.5);
+  EXPECT_DOUBLE_EQ(impl.bbr.cwnd_gain, 3.5);
+  EXPECT_EQ(impl.stack, "tcp");
+}
+
+TEST(Registry, DisplayNames) {
+  const auto& reg = Registry::instance();
+  EXPECT_EQ(reg.find("quiche", CcaType::kCubic)->display, "quiche cubic");
+  EXPECT_EQ(to_string(CcaType::kBbr), "bbr");
+}
+
+} // namespace
+} // namespace quicbench::stacks

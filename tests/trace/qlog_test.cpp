@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/qlog.h"
+
+namespace quicbench::trace {
+namespace {
+
+TEST(Qlog, EmptyDocumentIsValidSkeleton) {
+  QlogWriter w("t", "cubic");
+  std::ostringstream os;
+  w.write_to(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"qlog_version\":\"0.3\""), std::string::npos);
+  EXPECT_NE(s.find("\"congestion_control\":\"cubic\""), std::string::npos);
+  EXPECT_NE(s.find("\"events\":[]"), std::string::npos);
+}
+
+TEST(Qlog, EventsSerialised) {
+  QlogWriter w("t", "bbr");
+  w.packet_sent(time::ms(1), 0, 1500, false);
+  w.packet_sent(time::ms(2), 1, 1500, true);
+  w.packet_received(time::ms(11), 0, 1500);
+  w.packet_lost(time::ms(30), 1);
+  w.metrics_updated(time::ms(31), 14480, 7000, time::ms(10));
+  EXPECT_EQ(w.event_count(), 5u);
+
+  std::ostringstream os;
+  w.write_to(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"packet_sent\""), std::string::npos);
+  EXPECT_NE(s.find("\"is_retransmission\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"packet_received\""), std::string::npos);
+  EXPECT_NE(s.find("\"packet_lost\""), std::string::npos);
+  EXPECT_NE(s.find("\"metrics_updated\""), std::string::npos);
+  EXPECT_NE(s.find("\"congestion_window\":14480"), std::string::npos);
+  EXPECT_NE(s.find("\"smoothed_rtt\":10"), std::string::npos);
+}
+
+TEST(Qlog, RetransmissionFlagOnlyWhenSet) {
+  QlogWriter w("t", "reno");
+  w.packet_sent(time::ms(1), 0, 1500, false);
+  std::ostringstream os;
+  w.write_to(os);
+  EXPECT_EQ(os.str().find("is_retransmission"), std::string::npos);
+}
+
+TEST(Qlog, BalancedBracesAndBrackets) {
+  QlogWriter w("t", "cubic");
+  for (int i = 0; i < 50; ++i) {
+    w.packet_sent(time::ms(i), static_cast<std::uint64_t>(i), 1200,
+                  i % 7 == 0);
+    if (i % 3 == 0) w.packet_received(time::ms(i + 10), static_cast<std::uint64_t>(i), 1200);
+    if (i % 11 == 0) w.packet_lost(time::ms(i + 20), static_cast<std::uint64_t>(i));
+  }
+  std::ostringstream os;
+  w.write_to(os);
+  const std::string s = os.str();
+  long depth_brace = 0, depth_bracket = 0;
+  for (char ch : s) {
+    if (ch == '{') ++depth_brace;
+    if (ch == '}') --depth_brace;
+    if (ch == '[') ++depth_bracket;
+    if (ch == ']') --depth_bracket;
+    EXPECT_GE(depth_brace, 0);
+    EXPECT_GE(depth_bracket, 0);
+  }
+  EXPECT_EQ(depth_brace, 0);
+  EXPECT_EQ(depth_bracket, 0);
+}
+
+TEST(Qlog, WriteFileRoundTrip) {
+  QlogWriter w("file-test", "cubic");
+  w.packet_sent(time::ms(1), 0, 1500, false);
+  const std::string path = ::testing::TempDir() + "/test.qlog";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("file-test"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Qlog, BadPathFails) {
+  QlogWriter w("t", "cubic");
+  EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/x.qlog"));
+}
+
+} // namespace
+} // namespace quicbench::trace

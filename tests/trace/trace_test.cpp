@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace quicbench::trace {
+namespace {
+
+// A steady flow: `rate_mbps` delivered smoothly, constant RTT.
+FlowTrace steady_trace(double rate_mbps, Time rtt, Time duration) {
+  FlowTrace tr;
+  const Bytes per_ms = static_cast<Bytes>(rate_mbps * 1e6 / 8 / 1000);
+  for (Time t = 0; t < duration; t += time::ms(1)) {
+    tr.record_delivery(t, per_ms);
+    tr.record_rtt(t, rtt);
+  }
+  return tr;
+}
+
+TEST(Trace, TotalDelivered) {
+  FlowTrace tr;
+  tr.record_delivery(0, 100);
+  tr.record_delivery(time::ms(1), 200);
+  EXPECT_EQ(tr.total_delivered(), 300);
+}
+
+TEST(Sampling, SteadyFlowProducesConstantPoints) {
+  const FlowTrace tr = steady_trace(20.0, time::ms(10), time::sec(10));
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10));
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) {
+    EXPECT_NEAR(p.tput_mbps, 20.0, 0.5);
+    EXPECT_NEAR(p.delay_ms, 10.0, 0.01);
+  }
+}
+
+TEST(Sampling, WindowCountMatchesConfig) {
+  const FlowTrace tr = steady_trace(20.0, time::ms(10), time::sec(10));
+  // Truncated span = 8 s; window = 10 RTTs = 100 ms -> 80 windows.
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10));
+  EXPECT_EQ(pts.size(), 80u);
+}
+
+TEST(Sampling, TruncationDropsEnds) {
+  FlowTrace tr;
+  // Deliveries only in the first 5% and last 5% of the run.
+  for (Time t = 0; t < time::ms(400); t += time::ms(1)) {
+    tr.record_delivery(t, 1000);
+    tr.record_rtt(t, time::ms(10));
+  }
+  for (Time t = time::ms(9600); t < time::sec(10); t += time::ms(1)) {
+    tr.record_delivery(t, 1000);
+    tr.record_rtt(t, time::ms(10));
+  }
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10));
+  EXPECT_TRUE(pts.empty());
+}
+
+TEST(Sampling, SkipsEmptyWindows) {
+  FlowTrace tr;
+  // One burst in the middle only.
+  for (Time t = time::sec(5); t < time::sec(5) + time::ms(100);
+       t += time::ms(1)) {
+    tr.record_delivery(t, 1000);
+    tr.record_rtt(t, time::ms(20));
+  }
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10));
+  ASSERT_FALSE(pts.empty());
+  EXPECT_LE(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].delay_ms, 20.0, 1e-9);
+}
+
+TEST(Sampling, CustomSamplingPeriod) {
+  const FlowTrace tr = steady_trace(10.0, time::ms(10), time::sec(10));
+  SamplingConfig cfg;
+  cfg.rtts_per_sample = 20;  // 200 ms windows -> half as many points
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10), cfg);
+  EXPECT_EQ(pts.size(), 40u);
+}
+
+TEST(Sampling, DegenerateInputs) {
+  const FlowTrace tr = steady_trace(10.0, time::ms(10), time::sec(1));
+  EXPECT_TRUE(sample_series(tr, 0, time::ms(10)).empty());
+  EXPECT_TRUE(sample_series(tr, time::sec(1), 0).empty());
+  EXPECT_TRUE(sample_series(FlowTrace{}, time::sec(1), time::ms(10)).empty());
+}
+
+TEST(Sampling, DelayAveragesRttSamplesInWindow) {
+  FlowTrace tr;
+  // Window 1: RTTs 10 and 30 -> mean 20 ms.
+  tr.record_delivery(time::ms(1000), 50'000);
+  tr.record_rtt(time::ms(1000), time::ms(10));
+  tr.record_rtt(time::ms(1050), time::ms(30));
+  const auto pts = sample_series(tr, time::sec(10), time::ms(10));
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].delay_ms, 20.0, 1e-9);
+}
+
+TEST(AverageThroughput, ExactWindow) {
+  FlowTrace tr;
+  tr.record_delivery(time::ms(100), 12'500);  // inside
+  tr.record_delivery(time::ms(150), 12'500);  // inside
+  tr.record_delivery(time::ms(900), 99'999);  // outside
+  const Rate r = average_throughput(tr, time::ms(100), time::ms(200));
+  // 25,000 bytes over 100 ms = 2 Mbps.
+  EXPECT_DOUBLE_EQ(rate::to_mbps(r), 2.0);
+}
+
+TEST(AverageThroughput, EmptyOrInvalidRange) {
+  FlowTrace tr;
+  tr.record_delivery(time::ms(100), 1000);
+  EXPECT_DOUBLE_EQ(average_throughput(tr, time::ms(200), time::ms(100)), 0.0);
+}
+
+} // namespace
+} // namespace quicbench::trace

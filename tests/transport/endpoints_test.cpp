@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cca/cubic.h"
+#include "cca/reno.h"
+#include "netsim/topology.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+namespace quicbench::transport {
+namespace {
+
+using netsim::Dumbbell;
+using netsim::DumbbellConfig;
+using netsim::Simulator;
+
+struct Harness {
+  Simulator sim;
+  std::unique_ptr<Dumbbell> db;
+  std::unique_ptr<SenderEndpoint> sender;
+  std::unique_ptr<ReceiverEndpoint> receiver;
+  Bytes delivered = 0;
+  int deliveries = 0;
+
+  Harness(Rate bw, Time rtt, Bytes buffer,
+          std::unique_ptr<cca::CongestionController> cca,
+          StackProfile profile = kernel_tcp_profile()) {
+    DumbbellConfig dc;
+    dc.bandwidth = bw;
+    dc.base_rtt = rtt;
+    dc.buffer_bytes = buffer;
+    db = std::make_unique<Dumbbell>(sim, dc, 1);
+    receiver = std::make_unique<ReceiverEndpoint>(sim, 0, profile.receiver,
+                                                  db->reverse_in(0));
+    sender = std::make_unique<SenderEndpoint>(sim, 0, profile.sender,
+                                              std::move(cca),
+                                              db->forward_in(), Rng(1));
+    receiver->set_delivery_callback([this](Time, Bytes payload, Time) {
+      delivered += payload;
+      ++deliveries;
+    });
+    db->attach_receiver(0, receiver.get());
+    db->attach_sender_ack_sink(0, sender.get());
+  }
+};
+
+std::unique_ptr<cca::CongestionController> make_reno() {
+  cca::RenoConfig cfg;
+  return std::make_unique<cca::Reno>(cfg);
+}
+
+std::unique_ptr<cca::CongestionController> make_cubic() {
+  cca::CubicConfig cfg;
+  return std::make_unique<cca::Cubic>(cfg);
+}
+
+TEST(Endpoints, SingleFlowSaturatesLink) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic());
+  h.sender->start(0);
+  h.sim.run_until(time::sec(20));
+  // Utilisation should be near line rate (>90%) over the run.
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(20)));
+  EXPECT_GT(mbps, 18.0);
+  EXPECT_LE(mbps, 20.0 + 0.1);
+}
+
+TEST(Endpoints, RenoAlsoSaturates) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_reno());
+  h.sender->start(0);
+  h.sim.run_until(time::sec(20));
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(20)));
+  EXPECT_GT(mbps, 17.0);
+}
+
+TEST(Endpoints, RttSamplesNearBaseRttWithBigBuffer) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, 10 * bdp_bytes(bw, rtt), make_cubic());
+  std::vector<Time> rtts;
+  h.sender->set_rtt_callback([&](Time, Time r) { rtts.push_back(r); });
+  h.sender->start(0);
+  h.sim.run_until(time::sec(5));
+  ASSERT_FALSE(rtts.empty());
+  // Every sample at least the base RTT, none below.
+  for (Time r : rtts) EXPECT_GE(r, rtt);
+  EXPECT_GE(*std::max_element(rtts.begin(), rtts.end()), rtt);
+}
+
+TEST(Endpoints, BytesInFlightBounded) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic());
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  EXPECT_LE(h.sender->bytes_in_flight(),
+            h.sender->controller().cwnd() + 3000);
+  EXPECT_GE(h.sender->bytes_in_flight(), 0);
+}
+
+TEST(Endpoints, FlowControlCapsInflight) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  StackProfile p = kernel_tcp_profile();
+  p.sender.flow_control_window = 12'000;  // well below BDP (25 kB)
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic(), p);
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  // Throughput capped around fc_window / rtt.
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(10)));
+  const double cap_mbps = 12'000 * 8.0 / time::to_sec(rtt) / 1e6;
+  EXPECT_LT(mbps, cap_mbps * 1.1);
+  EXPECT_GT(mbps, cap_mbps * 0.5);
+}
+
+TEST(Endpoints, LossesDetectedInTinyBuffer) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, 5000, make_cubic());  // ~0.2 BDP: heavy overflow
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  EXPECT_GT(h.sender->stats().losses_detected, 0);
+  EXPECT_GT(h.sender->stats().retransmissions, 0);
+  // The flow keeps making progress regardless.
+  EXPECT_GT(h.delivered, 0);
+}
+
+TEST(Endpoints, PacedSenderSmoothsBursts) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  StackProfile p = default_quic_profile();
+  ASSERT_TRUE(p.sender.pace_window_ccas);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt) / 2, make_cubic(), p);
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(10)));
+  EXPECT_GT(mbps, 16.0);
+}
+
+TEST(Endpoints, QuantumBatchingStillDelivers) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  StackProfile p = default_quic_profile();
+  p.sender.send_quantum = time::ms(2);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic(), p);
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(10)));
+  EXPECT_GT(mbps, 10.0);
+}
+
+TEST(Endpoints, EgressJitterDoesNotBreakDelivery) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  StackProfile p = default_quic_profile();
+  p.sender.egress_jitter = time::us(700);
+  p.sender.egress_reorder = true;
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic(), p);
+  h.sender->start(0);
+  h.sim.run_until(time::sec(10));
+  const double mbps = rate::to_mbps(rate_of(h.delivered, time::sec(10)));
+  EXPECT_GT(mbps, 14.0);
+}
+
+TEST(Endpoints, StartTimeRespected) {
+  const Rate bw = rate::mbps(20);
+  const Time rtt = time::ms(10);
+  Harness h(bw, rtt, bdp_bytes(bw, rtt), make_cubic());
+  h.sender->start(time::sec(1));
+  h.sim.run_until(time::ms(900));
+  EXPECT_EQ(h.delivered, 0);
+  h.sim.run_until(time::sec(3));
+  EXPECT_GT(h.delivered, 0);
+}
+
+TEST(Receiver, AcksEveryNthPacket) {
+  Simulator sim;
+  class AckCounter : public netsim::PacketSink {
+   public:
+    void deliver(netsim::Packet p) override {
+      ++acks;
+      last = p;
+    }
+    int acks = 0;
+    netsim::Packet last;
+  } counter;
+
+  ReceiverProfile prof;
+  prof.ack_every_n = 2;
+  ReceiverEndpoint recv(sim, 0, prof, &counter);
+  for (std::uint64_t pn = 0; pn < 10; ++pn) {
+    netsim::Packet p;
+    p.kind = netsim::PacketKind::kData;
+    p.flow = 0;
+    p.size = 1500;
+    p.pn = pn;
+    p.payload = 1448;
+    recv.deliver(p);
+  }
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(counter.acks, 5);
+  EXPECT_EQ(counter.last.largest_acked, 9u);
+  EXPECT_EQ(counter.last.n_ranges, 1);
+}
+
+TEST(Receiver, ImmediateAckOnGap) {
+  Simulator sim;
+  class AckCounter : public netsim::PacketSink {
+   public:
+    void deliver(netsim::Packet p) override {
+      ++acks;
+      last = p;
+    }
+    int acks = 0;
+    netsim::Packet last;
+  } counter;
+
+  ReceiverProfile prof;
+  prof.ack_every_n = 10;  // large, so only the gap triggers
+  ReceiverEndpoint recv(sim, 0, prof, &counter);
+  const auto send = [&](std::uint64_t pn) {
+    netsim::Packet p;
+    p.kind = netsim::PacketKind::kData;
+    p.flow = 0;
+    p.size = 1500;
+    p.pn = pn;
+    recv.deliver(p);
+  };
+  send(0);
+  EXPECT_EQ(counter.acks, 0);
+  send(2);  // gap at pn=1
+  EXPECT_EQ(counter.acks, 1);
+  EXPECT_EQ(counter.last.largest_acked, 2u);
+  EXPECT_EQ(counter.last.n_ranges, 2);
+}
+
+TEST(Receiver, MaxAckDelayTimerFires) {
+  Simulator sim;
+  class AckCounter : public netsim::PacketSink {
+   public:
+    void deliver(netsim::Packet) override { ++acks; }
+    int acks = 0;
+  } counter;
+
+  ReceiverProfile prof;
+  prof.ack_every_n = 100;
+  prof.max_ack_delay = time::ms(25);
+  ReceiverEndpoint recv(sim, 0, prof, &counter);
+  netsim::Packet p;
+  p.kind = netsim::PacketKind::kData;
+  p.flow = 0;
+  p.size = 1500;
+  p.pn = 0;
+  recv.deliver(p);
+  sim.run_until(time::ms(24));
+  EXPECT_EQ(counter.acks, 0);
+  sim.run_until(time::ms(26));
+  EXPECT_EQ(counter.acks, 1);
+}
+
+TEST(Receiver, TracksDuplicates) {
+  Simulator sim;
+  class Sink : public netsim::PacketSink {
+   public:
+    void deliver(netsim::Packet) override {}
+  } sink;
+  ReceiverProfile prof;
+  ReceiverEndpoint recv(sim, 0, prof, &sink);
+  netsim::Packet p;
+  p.kind = netsim::PacketKind::kData;
+  p.flow = 0;
+  p.size = 1500;
+  p.pn = 3;
+  recv.deliver(p);
+  recv.deliver(p);
+  EXPECT_EQ(recv.stats().duplicate_packets, 1);
+  EXPECT_EQ(recv.stats().packets_received, 2);
+}
+
+} // namespace
+} // namespace quicbench::transport

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "transport/profile.h"
+
+namespace quicbench::transport {
+namespace {
+
+TEST(Profiles, KernelTcpDefaults) {
+  const StackProfile p = kernel_tcp_profile();
+  EXPECT_EQ(p.sender.mss, 1448);
+  EXPECT_EQ(p.sender.mss + p.sender.header_overhead, 1500);
+  EXPECT_EQ(p.sender.initial_cwnd_packets, 10);
+  // Internal pacing at tcp_pacing_ca_ratio = 120%.
+  EXPECT_TRUE(p.sender.pace_window_ccas);
+  EXPECT_DOUBLE_EQ(p.sender.window_pacing_factor, 1.2);
+  EXPECT_EQ(p.receiver.ack_every_n, 2);
+}
+
+TEST(Profiles, QuicDefaults) {
+  const StackProfile p = default_quic_profile();
+  EXPECT_LT(p.sender.mss, 1448);           // smaller UDP payload
+  EXPECT_GT(p.sender.header_overhead, 52); // more header overhead
+  EXPECT_TRUE(p.sender.pace_window_ccas);
+  EXPECT_EQ(p.receiver.ack_every_n, 2);    // RFC 9000 recommendation
+  EXPECT_EQ(p.receiver.max_ack_delay, time::ms(25));
+}
+
+TEST(Profiles, NoArtifactsByDefault) {
+  for (const StackProfile& p :
+       {kernel_tcp_profile(), default_quic_profile()}) {
+    EXPECT_EQ(p.sender.flow_control_window, 0);
+    EXPECT_EQ(p.sender.egress_jitter, 0);
+    EXPECT_EQ(p.sender.send_quantum, 0);
+    EXPECT_TRUE(p.sender.adapt_reorder_threshold);
+  }
+}
+
+TEST(Profiles, Rfc9002LossDefaults) {
+  const StackProfile p = default_quic_profile();
+  EXPECT_EQ(p.sender.packet_reorder_threshold, 3);
+  EXPECT_DOUBLE_EQ(p.sender.time_reorder_fraction, 9.0 / 8.0);
+  EXPECT_EQ(p.sender.time_threshold_base,
+            TimeThresholdBase::kSmoothedOrLatest);
+}
+
+TEST(Profiles, DescribeMentionsArtifacts) {
+  SenderProfile p = default_quic_profile().sender;
+  EXPECT_EQ(p.describe().find("fc="), std::string::npos);
+  p.flow_control_window = 1234;
+  p.egress_jitter = time::us(500);
+  p.send_quantum = time::ms(1);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("fc=1234"), std::string::npos);
+  EXPECT_NE(d.find("jitter=500"), std::string::npos);
+  EXPECT_NE(d.find("quantum=1000"), std::string::npos);
+}
+
+} // namespace
+} // namespace quicbench::transport

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "transport/rtt.h"
+
+namespace quicbench::transport {
+namespace {
+
+TEST(RttEstimator, NoSampleUsesInitial) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.smoothed(), RttEstimator::kInitialRtt);
+  EXPECT_EQ(e.min_rtt(), RttEstimator::kInitialRtt);
+}
+
+TEST(RttEstimator, FirstSampleInitialises) {
+  RttEstimator e;
+  e.update(time::ms(20), 0);
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.smoothed(), time::ms(20));
+  EXPECT_EQ(e.rttvar(), time::ms(10));
+  EXPECT_EQ(e.min_rtt(), time::ms(20));
+  EXPECT_EQ(e.latest(), time::ms(20));
+}
+
+TEST(RttEstimator, EwmaSmoothing) {
+  RttEstimator e;
+  e.update(time::ms(16), 0);
+  e.update(time::ms(24), 0);
+  // srtt = 7/8*16 + 1/8*24 = 17 ms.
+  EXPECT_EQ(e.smoothed(), time::ms(17));
+}
+
+TEST(RttEstimator, MinTracksSmallest) {
+  RttEstimator e;
+  e.update(time::ms(30), 0);
+  e.update(time::ms(10), 0);
+  e.update(time::ms(50), 0);
+  EXPECT_EQ(e.min_rtt(), time::ms(10));
+  EXPECT_EQ(e.latest(), time::ms(50));
+}
+
+TEST(RttEstimator, AckDelaySubtracted) {
+  RttEstimator e;
+  e.update(time::ms(10), 0);  // establish min = 10ms
+  e.update(time::ms(40), time::ms(20));
+  // adjusted = 20 ms (40 - 20 >= min); srtt = 7/8*10 + 1/8*20 = 11.25 ms.
+  EXPECT_EQ(e.smoothed(), time::us(11250));
+}
+
+TEST(RttEstimator, AckDelayNotSubtractedBelowMin) {
+  RttEstimator e;
+  e.update(time::ms(10), 0);
+  // Subtracting 8 ms would go below min (10): keep the raw sample.
+  e.update(time::ms(12), time::ms(8));
+  EXPECT_EQ(e.smoothed(), (7 * time::ms(10) + time::ms(12)) / 8);
+}
+
+TEST(RttEstimator, PtoGrowsWithVariance) {
+  RttEstimator stable, jittery;
+  for (int i = 0; i < 20; ++i) {
+    stable.update(time::ms(20), 0);
+    jittery.update(i % 2 == 0 ? time::ms(10) : time::ms(30), 0);
+  }
+  EXPECT_GT(jittery.pto_interval(0), stable.pto_interval(0));
+  // PTO includes max_ack_delay.
+  EXPECT_EQ(stable.pto_interval(time::ms(25)) - stable.pto_interval(0),
+            time::ms(25));
+}
+
+TEST(RttEstimator, PtoHasMinimumGranularity) {
+  RttEstimator e;
+  for (int i = 0; i < 50; ++i) e.update(time::ms(20), 0);
+  // rttvar decays toward 0; the 1 ms floor keeps PTO > srtt.
+  EXPECT_GE(e.pto_interval(0), e.smoothed() + time::ms(1));
+}
+
+} // namespace
+} // namespace quicbench::transport

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace quicbench {
+namespace {
+
+TEST(Units, TimeConstructors) {
+  EXPECT_EQ(time::ns(5), 5);
+  EXPECT_EQ(time::us(5), 5'000);
+  EXPECT_EQ(time::ms(5), 5'000'000);
+  EXPECT_EQ(time::sec(5), 5'000'000'000LL);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(time::to_sec(time::sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(time::to_ms(time::ms(250)), 250.0);
+  EXPECT_DOUBLE_EQ(time::to_us(time::us(7)), 7.0);
+  EXPECT_EQ(time::from_sec(1.5), time::ms(1500));
+  EXPECT_EQ(time::from_ms(2.5), time::us(2500));
+}
+
+TEST(Units, RateConstructors) {
+  EXPECT_DOUBLE_EQ(rate::mbps(20), 20e6);
+  EXPECT_DOUBLE_EQ(rate::kbps(3), 3e3);
+  EXPECT_DOUBLE_EQ(rate::gbps(1), 1e9);
+  EXPECT_DOUBLE_EQ(rate::to_mbps(rate::mbps(42)), 42.0);
+}
+
+TEST(Units, SerializationTime) {
+  // 1500 bytes at 12 Mbps = 1 ms.
+  EXPECT_EQ(serialization_time(1500, rate::mbps(12)), time::ms(1));
+  // 1 byte at 8 Gbps = 1 ns.
+  EXPECT_EQ(serialization_time(1, rate::gbps(8)), 1);
+}
+
+TEST(Units, BdpBytes) {
+  // 20 Mbps x 10 ms = 25,000 bytes.
+  EXPECT_EQ(bdp_bytes(rate::mbps(20), time::ms(10)), 25'000);
+  // 100 Mbps x 50 ms = 625,000 bytes.
+  EXPECT_EQ(bdp_bytes(rate::mbps(100), time::ms(50)), 625'000);
+}
+
+TEST(Units, RateOf) {
+  // 25,000 bytes over 10 ms = 20 Mbps.
+  EXPECT_DOUBLE_EQ(rate_of(25'000, time::ms(10)), 20e6);
+  EXPECT_DOUBLE_EQ(rate_of(1000, 0), 0.0);
+}
+
+} // namespace
+} // namespace quicbench

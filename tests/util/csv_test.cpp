@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace quicbench {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.row({1.0, 2.5});
+    w.row({3.0, 4.0});
+  }
+  const std::string content = read_file(path_);
+  EXPECT_EQ(content, "a,b\n1,2.5\n3,4\n");
+}
+
+TEST_F(CsvTest, StringRows) {
+  {
+    CsvWriter w(path_, {"name", "value"});
+    w.row(std::vector<std::string>{"plain", "1"});
+    w.row(std::vector<std::string>{"with,comma", "q\"uote"});
+  }
+  const std::string content = read_file(path_);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST_F(CsvTest, ColumnMismatchThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({1.0}), std::runtime_error);
+  EXPECT_THROW(w.row(std::vector<std::string>{"x", "y", "z"}),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvEscape, PassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+} // namespace
+} // namespace quicbench

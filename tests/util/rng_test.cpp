@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace quicbench {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntWithinBound) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200'000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  const int n = 200'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng fork1 = a.fork(1);
+  Rng a2(5);
+  Rng fork2 = a2.fork(1);
+  // Same parent state + stream id => same stream.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+  // Different stream ids differ.
+  Rng a3(5);
+  Rng fork3 = a3.fork(2);
+  Rng a4(5);
+  Rng fork4 = a4.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (fork3.next_u64() == fork4.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitMix64KnownProgression) {
+  std::uint64_t s = 0;
+  const std::uint64_t v1 = splitmix64(s);
+  const std::uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v1, 0u);
+}
+
+} // namespace
+} // namespace quicbench

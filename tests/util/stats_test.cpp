@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace quicbench::stats {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmpty) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, PercentileSingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7}, 90), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  const std::vector<double> xs{1.5, 2.5, 3.0, 8.0, -2.0};
+  Running r;
+  for (double x : xs) r.add(x);
+  EXPECT_EQ(r.count(), xs.size());
+  EXPECT_NEAR(r.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(r.variance(), variance(xs), 1e-12);
+}
+
+TEST(WindowedFilter, MaxTracksWindow) {
+  stats::WindowedMax<double> f(10);
+  f.update(0, 5.0);
+  EXPECT_DOUBLE_EQ(f.get(), 5.0);
+  f.update(1, 3.0);
+  EXPECT_DOUBLE_EQ(f.get(), 5.0);
+  f.update(2, 8.0);
+  EXPECT_DOUBLE_EQ(f.get(), 8.0);
+  // Window expiry: the 8.0 at t=2 expires once now-window > 2.
+  f.update(13, 1.0);
+  EXPECT_DOUBLE_EQ(f.get(), 1.0);
+}
+
+TEST(WindowedFilter, MinTracksWindow) {
+  stats::WindowedMin<long long> f(100);
+  f.update(0, 50);
+  f.update(10, 70);
+  EXPECT_EQ(f.get(), 50);
+  f.update(20, 30);
+  EXPECT_EQ(f.get(), 30);
+  f.update(130, 90);
+  EXPECT_EQ(f.get(), 90);
+}
+
+TEST(WindowedFilter, EmptyAndClear) {
+  stats::WindowedMax<double> f(5);
+  EXPECT_TRUE(f.empty());
+  f.update(0, 1.0);
+  EXPECT_FALSE(f.empty());
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+} // namespace
+} // namespace quicbench::stats
