@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_common_reference.dir/bench_ext_common_reference.cpp.o"
+  "CMakeFiles/bench_ext_common_reference.dir/bench_ext_common_reference.cpp.o.d"
+  "bench_ext_common_reference"
+  "bench_ext_common_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_common_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

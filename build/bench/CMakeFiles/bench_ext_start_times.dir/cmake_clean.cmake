@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_start_times.dir/bench_ext_start_times.cpp.o"
+  "CMakeFiles/bench_ext_start_times.dir/bench_ext_start_times.cpp.o.d"
+  "bench_ext_start_times"
+  "bench_ext_start_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_start_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

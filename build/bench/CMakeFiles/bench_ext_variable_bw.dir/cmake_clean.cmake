@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_variable_bw.dir/bench_ext_variable_bw.cpp.o"
+  "CMakeFiles/bench_ext_variable_bw.dir/bench_ext_variable_bw.cpp.o.d"
+  "bench_ext_variable_bw"
+  "bench_ext_variable_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_variable_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

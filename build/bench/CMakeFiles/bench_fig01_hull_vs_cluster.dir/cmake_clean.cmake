@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_hull_vs_cluster.dir/bench_fig01_hull_vs_cluster.cpp.o"
+  "CMakeFiles/bench_fig01_hull_vs_cluster.dir/bench_fig01_hull_vs_cluster.cpp.o.d"
+  "bench_fig01_hull_vs_cluster"
+  "bench_fig01_hull_vs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_hull_vs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

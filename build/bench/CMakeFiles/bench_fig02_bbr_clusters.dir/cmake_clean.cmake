@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_bbr_clusters.dir/bench_fig02_bbr_clusters.cpp.o"
+  "CMakeFiles/bench_fig02_bbr_clusters.dir/bench_fig02_bbr_clusters.cpp.o.d"
+  "bench_fig02_bbr_clusters"
+  "bench_fig02_bbr_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_bbr_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

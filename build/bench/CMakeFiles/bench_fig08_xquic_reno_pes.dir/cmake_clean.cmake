@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_xquic_reno_pes.dir/bench_fig08_xquic_reno_pes.cpp.o"
+  "CMakeFiles/bench_fig08_xquic_reno_pes.dir/bench_fig08_xquic_reno_pes.cpp.o.d"
+  "bench_fig08_xquic_reno_pes"
+  "bench_fig08_xquic_reno_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_xquic_reno_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

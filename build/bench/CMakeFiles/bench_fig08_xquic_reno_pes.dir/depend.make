@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_xquic_reno_pes.
+# This may be replaced when dependencies are built.

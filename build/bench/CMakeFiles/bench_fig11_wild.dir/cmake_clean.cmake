@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_wild.dir/bench_fig11_wild.cpp.o"
+  "CMakeFiles/bench_fig11_wild.dir/bench_fig11_wild.cpp.o.d"
+  "bench_fig11_wild"
+  "bench_fig11_wild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fix_xquic_bbr.dir/bench_fig14_fix_xquic_bbr.cpp.o"
+  "CMakeFiles/bench_fig14_fix_xquic_bbr.dir/bench_fig14_fix_xquic_bbr.cpp.o.d"
+  "bench_fig14_fix_xquic_bbr"
+  "bench_fig14_fix_xquic_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fix_xquic_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fix_quiche_cubic.dir/bench_fig15_fix_quiche_cubic.cpp.o"
+  "CMakeFiles/bench_fig15_fix_quiche_cubic.dir/bench_fig15_fix_quiche_cubic.cpp.o.d"
+  "bench_fig15_fix_quiche_cubic"
+  "bench_fig15_fix_quiche_cubic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fix_quiche_cubic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

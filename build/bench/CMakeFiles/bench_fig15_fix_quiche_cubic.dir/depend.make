@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_fix_quiche_cubic.
+# This may be replaced when dependencies are built.

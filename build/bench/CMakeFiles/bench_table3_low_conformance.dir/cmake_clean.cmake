@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_low_conformance.dir/bench_table3_low_conformance.cpp.o"
+  "CMakeFiles/bench_table3_low_conformance.dir/bench_table3_low_conformance.cpp.o.d"
+  "bench_table3_low_conformance"
+  "bench_table3_low_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_low_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

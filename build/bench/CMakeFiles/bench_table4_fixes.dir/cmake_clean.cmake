@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fixes.dir/bench_table4_fixes.cpp.o"
+  "CMakeFiles/bench_table4_fixes.dir/bench_table4_fixes.cpp.o.d"
+  "bench_table4_fixes"
+  "bench_table4_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_picker.dir/cca_picker.cpp.o"
+  "CMakeFiles/cca_picker.dir/cca_picker.cpp.o.d"
+  "cca_picker"
+  "cca_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_stats.dir/pair_stats.cpp.o"
+  "CMakeFiles/pair_stats.dir/pair_stats.cpp.o.d"
+  "pair_stats"
+  "pair_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

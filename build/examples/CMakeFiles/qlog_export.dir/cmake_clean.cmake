@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlog_export.dir/qlog_export.cpp.o"
+  "CMakeFiles/qlog_export.dir/qlog_export.cpp.o.d"
+  "qlog_export"
+  "qlog_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlog_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

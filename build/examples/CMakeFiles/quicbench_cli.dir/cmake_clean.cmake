@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicbench_cli.dir/quicbench_cli.cpp.o"
+  "CMakeFiles/quicbench_cli.dir/quicbench_cli.cpp.o.d"
+  "quicbench_cli"
+  "quicbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

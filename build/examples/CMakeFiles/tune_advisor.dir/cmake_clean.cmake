@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_advisor.dir/tune_advisor.cpp.o"
+  "CMakeFiles/tune_advisor.dir/tune_advisor.cpp.o.d"
+  "tune_advisor"
+  "tune_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild_probe.dir/wild_probe.cpp.o"
+  "CMakeFiles/wild_probe.dir/wild_probe.cpp.o.d"
+  "wild_probe"
+  "wild_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cca/bbr.cpp" "src/cca/CMakeFiles/qb_cca.dir/bbr.cpp.o" "gcc" "src/cca/CMakeFiles/qb_cca.dir/bbr.cpp.o.d"
+  "/root/repo/src/cca/cubic.cpp" "src/cca/CMakeFiles/qb_cca.dir/cubic.cpp.o" "gcc" "src/cca/CMakeFiles/qb_cca.dir/cubic.cpp.o.d"
+  "/root/repo/src/cca/reno.cpp" "src/cca/CMakeFiles/qb_cca.dir/reno.cpp.o" "gcc" "src/cca/CMakeFiles/qb_cca.dir/reno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

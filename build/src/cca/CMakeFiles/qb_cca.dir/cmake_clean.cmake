@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_cca.dir/bbr.cpp.o"
+  "CMakeFiles/qb_cca.dir/bbr.cpp.o.d"
+  "CMakeFiles/qb_cca.dir/cubic.cpp.o"
+  "CMakeFiles/qb_cca.dir/cubic.cpp.o.d"
+  "CMakeFiles/qb_cca.dir/reno.cpp.o"
+  "CMakeFiles/qb_cca.dir/reno.cpp.o.d"
+  "libqb_cca.a"
+  "libqb_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/qb_cluster.dir/kmeans.cpp.o.d"
+  "libqb_cluster.a"
+  "libqb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

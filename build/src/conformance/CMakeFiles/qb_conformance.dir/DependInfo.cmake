@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conformance/conformance.cpp" "src/conformance/CMakeFiles/qb_conformance.dir/conformance.cpp.o" "gcc" "src/conformance/CMakeFiles/qb_conformance.dir/conformance.cpp.o.d"
+  "/root/repo/src/conformance/pe.cpp" "src/conformance/CMakeFiles/qb_conformance.dir/pe.cpp.o" "gcc" "src/conformance/CMakeFiles/qb_conformance.dir/pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/qb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/qb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

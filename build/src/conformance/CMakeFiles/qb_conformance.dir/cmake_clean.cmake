@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_conformance.dir/conformance.cpp.o"
+  "CMakeFiles/qb_conformance.dir/conformance.cpp.o.d"
+  "CMakeFiles/qb_conformance.dir/pe.cpp.o"
+  "CMakeFiles/qb_conformance.dir/pe.cpp.o.d"
+  "libqb_conformance.a"
+  "libqb_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

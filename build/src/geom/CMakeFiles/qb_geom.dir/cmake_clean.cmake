@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_geom.dir/geom.cpp.o"
+  "CMakeFiles/qb_geom.dir/geom.cpp.o.d"
+  "libqb_geom.a"
+  "libqb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_harness.dir/experiment.cpp.o"
+  "CMakeFiles/qb_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/qb_harness.dir/report.cpp.o"
+  "CMakeFiles/qb_harness.dir/report.cpp.o.d"
+  "libqb_harness.a"
+  "libqb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event.cpp" "src/netsim/CMakeFiles/qb_netsim.dir/event.cpp.o" "gcc" "src/netsim/CMakeFiles/qb_netsim.dir/event.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/qb_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/qb_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/qb_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/qb_netsim.dir/topology.cpp.o.d"
+  "/root/repo/src/netsim/tracelink.cpp" "src/netsim/CMakeFiles/qb_netsim.dir/tracelink.cpp.o" "gcc" "src/netsim/CMakeFiles/qb_netsim.dir/tracelink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_netsim.dir/event.cpp.o"
+  "CMakeFiles/qb_netsim.dir/event.cpp.o.d"
+  "CMakeFiles/qb_netsim.dir/link.cpp.o"
+  "CMakeFiles/qb_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/qb_netsim.dir/topology.cpp.o"
+  "CMakeFiles/qb_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/qb_netsim.dir/tracelink.cpp.o"
+  "CMakeFiles/qb_netsim.dir/tracelink.cpp.o.d"
+  "libqb_netsim.a"
+  "libqb_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

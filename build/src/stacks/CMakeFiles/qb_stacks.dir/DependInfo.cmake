@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stacks/registry.cpp" "src/stacks/CMakeFiles/qb_stacks.dir/registry.cpp.o" "gcc" "src/stacks/CMakeFiles/qb_stacks.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cca/CMakeFiles/qb_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/qb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/qb_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

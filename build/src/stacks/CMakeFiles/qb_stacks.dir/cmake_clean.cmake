@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_stacks.dir/registry.cpp.o"
+  "CMakeFiles/qb_stacks.dir/registry.cpp.o.d"
+  "libqb_stacks.a"
+  "libqb_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

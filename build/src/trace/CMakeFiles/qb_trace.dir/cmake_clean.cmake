@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_trace.dir/qlog.cpp.o"
+  "CMakeFiles/qb_trace.dir/qlog.cpp.o.d"
+  "CMakeFiles/qb_trace.dir/trace.cpp.o"
+  "CMakeFiles/qb_trace.dir/trace.cpp.o.d"
+  "libqb_trace.a"
+  "libqb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_transport.dir/profile.cpp.o"
+  "CMakeFiles/qb_transport.dir/profile.cpp.o.d"
+  "CMakeFiles/qb_transport.dir/receiver.cpp.o"
+  "CMakeFiles/qb_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/qb_transport.dir/sender.cpp.o"
+  "CMakeFiles/qb_transport.dir/sender.cpp.o.d"
+  "libqb_transport.a"
+  "libqb_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_util.dir/csv.cpp.o"
+  "CMakeFiles/qb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/qb_util.dir/rng.cpp.o"
+  "CMakeFiles/qb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qb_util.dir/stats.cpp.o"
+  "CMakeFiles/qb_util.dir/stats.cpp.o.d"
+  "libqb_util.a"
+  "libqb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance.dir/conformance/conformance_test.cpp.o"
+  "CMakeFiles/test_conformance.dir/conformance/conformance_test.cpp.o.d"
+  "CMakeFiles/test_conformance.dir/conformance/pe_test.cpp.o"
+  "CMakeFiles/test_conformance.dir/conformance/pe_test.cpp.o.d"
+  "CMakeFiles/test_conformance.dir/conformance/quorum_test.cpp.o"
+  "CMakeFiles/test_conformance.dir/conformance/quorum_test.cpp.o.d"
+  "test_conformance"
+  "test_conformance.pdb"
+  "test_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

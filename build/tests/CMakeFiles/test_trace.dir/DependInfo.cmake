@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/qlog_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/qlog_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/qlog_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/qb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/conformance/CMakeFiles/qb_conformance.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/qb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/qb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stacks/CMakeFiles/qb_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/qb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/qb_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/qb_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

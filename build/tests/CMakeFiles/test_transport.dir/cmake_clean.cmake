@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/endpoints_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/endpoints_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/loss_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/loss_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/profile_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/profile_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/rtt_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/rtt_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/sender_internals_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/sender_internals_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
