@@ -1,91 +1,35 @@
 #pragma once
-// Shared plumbing for the per-figure/table bench binaries.
+// Thin shim for the per-figure/table bench binaries. The machinery that
+// used to live here (fast mode, the paper-default config, the reference
+// pair cache, conformance cells, parallel scheduling) is now the runner
+// library (src/runner/), shared with examples/ and tests; only the
+// presentation helpers specific to bench output remain.
 //
-// Every bench prints the rows/series of its paper counterpart and writes
-// a CSV next to the binary (./bench_out/<name>.csv) that a plotting
-// script can consume. Paper-fidelity parameters (120 s runs, 5 trials)
-// are the default; set QB_FAST=1 for a quick smoke pass.
+// Every bench prints the rows/series of its paper counterpart, writes a
+// CSV next to the binary (./bench_out/<name>.csv) and a structured run
+// manifest (./bench_out/manifests/<name>.json). Paper-fidelity
+// parameters (120 s runs, 5 trials) are the default; set QB_FAST=1 for
+// a quick smoke pass, QB_PROGRESS=1 for progress lines on stderr.
 
-#include <cstdlib>
-#include <filesystem>
 #include <iostream>
-#include <map>
-#include <mutex>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "runner/env.h"
+#include "runner/parallel.h"
+#include "runner/sweep.h"
 #include "util/csv.h"
 
 namespace quicbench::bench {
 
-inline bool fast_mode() {
-  const char* v = std::getenv("QB_FAST");
-  return v != nullptr && v[0] == '1';
-}
-
-// The paper's default network (§4: representative plots use 10 ms RTT,
-// 20 Mbps; fairness experiments use 50 ms RTT).
-inline harness::ExperimentConfig default_config(double buffer_bdp,
-                                                Rate bw = rate::mbps(20),
-                                                Time rtt = time::ms(10)) {
-  harness::ExperimentConfig cfg;
-  cfg.net.bandwidth = bw;
-  cfg.net.base_rtt = rtt;
-  cfg.net.buffer_bdp = buffer_bdp;
-  if (fast_mode()) {
-    cfg.duration = time::sec(30);
-    cfg.trials = 2;
-  } else {
-    cfg.duration = time::sec(120);  // the paper's flow duration
-    cfg.trials = 5;                 // the paper's trial count
-  }
-  return cfg;
-}
-
-inline std::string out_dir() {
-  std::filesystem::create_directories("bench_out");
-  return "bench_out";
-}
-
-inline std::string csv_path(const std::string& bench_name) {
-  return out_dir() + "/" + bench_name + ".csv";
-}
-
-// Reference PEs (reference vs itself) are reused by every implementation
-// sharing a CCA and network config: cache them.
-class RefPairCache {
- public:
-  const harness::PairResult& get(const stacks::Implementation& ref,
-                                 const harness::ExperimentConfig& cfg) {
-    const std::string key =
-        ref.display + "|" + cfg.net.describe() + "|" +
-        std::to_string(time::to_sec(cfg.duration)) + "|" +
-        std::to_string(cfg.trials) + "|" + std::to_string(cfg.seed);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-    }
-    harness::PairResult pr = harness::run_pair(ref, ref, cfg);
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.emplace(key, std::move(pr)).first->second;
-  }
-
- private:
-  std::mutex mu_;
-  std::map<std::string, harness::PairResult> cache_;
-};
-
-// Conformance of `test` given a cached reference pair.
-inline conformance::ConformanceReport conformance_cell(
-    const stacks::Implementation& test, const stacks::Implementation& ref,
-    const harness::ExperimentConfig& cfg, RefPairCache& cache,
-    const conformance::PeConfig& pe_cfg = {}) {
-  const harness::PairResult& ref_pair = cache.get(ref, cfg);
-  const harness::PairResult test_pair = harness::run_pair(test, ref, cfg);
-  return conformance::evaluate(ref_pair.points_a, test_pair.points_a,
-                               pe_cfg);
-}
+using runner::conformance_cell;
+using runner::csv_path;
+using runner::default_config;
+using runner::fast_mode;
+using runner::out_dir;
+using runner::RefPairCache;
 
 inline std::string fmt(double v, int precision = 2) {
   return harness::format_double(v, precision);
@@ -93,7 +37,8 @@ inline std::string fmt(double v, int precision = 2) {
 
 // Shared driver for the "PEs across buffer sizes" figures (7, 8, 9, 10):
 // plot the test implementation's PE against the reference PE for each
-// buffer depth and report Conf / Conf-T / Δ per panel.
+// buffer depth and report Conf / Conf-T / Δ per panel. One sweep (and
+// manifest) per figure panel, named after the CSV.
 inline void pe_across_buffers(const std::string& figure,
                               const stacks::Implementation& test,
                               const stacks::Implementation& ref,
@@ -101,19 +46,18 @@ inline void pe_across_buffers(const std::string& figure,
                               const std::string& csv_name) {
   std::cout << figure << ": Performance Envelopes for " << test.display
             << " across buffer sizes\n\n";
-  RefPairCache cache;
-  std::vector<conformance::ConformanceReport> reports(buffers.size());
-  harness::parallel_for(static_cast<int>(buffers.size()), [&](int i) {
-    const auto cfg = default_config(buffers[static_cast<std::size_t>(i)]);
-    reports[static_cast<std::size_t>(i)] =
-        conformance_cell(test, ref, cfg, cache);
-  });
+  runner::Sweep sweep(csv_name);
+  std::vector<runner::CellId> ids;
+  for (const double buf : buffers) {
+    ids.push_back(sweep.add_conformance(test, ref, default_config(buf)));
+  }
+  sweep.run();
 
   CsvWriter csv(csv_path(csv_name),
                 {"buffer_bdp", "conformance", "conformance_t", "delta_tput",
                  "delta_delay"});
   for (std::size_t i = 0; i < buffers.size(); ++i) {
-    const auto& rep = reports[i];
+    const auto& rep = sweep.conformance_result(ids[i]);
     std::cout << harness::render_pe_plot(
         fmt(buffers[i], 1) + " BDP buffer:  Conf=" + fmt(rep.conformance) +
             "  Conf-T=" + fmt(rep.conformance_t) +
@@ -125,6 +69,7 @@ inline void pe_across_buffers(const std::string& figure,
              rep.delta_tput_mbps, rep.delta_delay_ms});
   }
   std::cout << "CSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
 }
 
 } // namespace quicbench::bench

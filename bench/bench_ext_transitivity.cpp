@@ -55,7 +55,7 @@ int main() {
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) jobs.push_back({i, j});
     }
-    harness::parallel_for(static_cast<int>(jobs.size()), [&](int idx) {
+    runner::parallel_for(static_cast<int>(jobs.size()), [&](int idx) {
       const auto [i, j] = jobs[static_cast<std::size_t>(idx)];
       const auto pr = harness::run_pair(*impls[static_cast<std::size_t>(i)],
                                         *impls[static_cast<std::size_t>(j)],

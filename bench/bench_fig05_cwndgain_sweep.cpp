@@ -26,7 +26,7 @@ int main() {
   RefPairCache cache;
   cache.get(ref, cfg);
   std::vector<conformance::ConformanceReport> reports(gains.size());
-  harness::parallel_for(static_cast<int>(gains.size()), [&](int i) {
+  runner::parallel_for(static_cast<int>(gains.size()), [&](int i) {
     const auto modified =
         stacks::modified_kernel_bbr(gains[static_cast<std::size_t>(i)]);
     reports[static_cast<std::size_t>(i)] =

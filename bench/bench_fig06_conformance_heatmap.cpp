@@ -5,6 +5,11 @@
 // Expected shape: most implementations conformant (> 0.5) at 1 BDP with
 // the Table 3 deviants in the red zone; everything substantially worse at
 // 5 BDP.
+//
+// Runs as a single runner::Sweep: the per-(cca, buffer) reference
+// self-pairs are deduplicated by fingerprint and all trials are
+// scheduled over one worker pool; a second run with a warm
+// bench_out/cache/ performs no simulations at all.
 
 #include <vector>
 
@@ -22,7 +27,7 @@ int main() {
   struct Cell {
     const stacks::Implementation* impl;
     double buffer_bdp;
-    double conformance = -1;
+    runner::CellId id = -1;
   };
   std::vector<Cell> cells;
   for (const double buf : {5.0, 1.0}) {
@@ -33,21 +38,12 @@ int main() {
     }
   }
 
-  RefPairCache cache;
-  // Warm the per-(cca, buffer) reference pairs sequentially to avoid
-  // duplicate work, then fan out.
-  for (const double buf : {5.0, 1.0}) {
-    for (const auto cca : ccas) {
-      cache.get(reg.reference(cca), default_config(buf));
-    }
+  runner::Sweep sweep("fig06");
+  for (auto& cell : cells) {
+    cell.id = sweep.add_conformance(*cell.impl, reg.reference(cell.impl->cca),
+                                    default_config(cell.buffer_bdp));
   }
-  harness::parallel_for(static_cast<int>(cells.size()), [&](int i) {
-    Cell& cell = cells[static_cast<std::size_t>(i)];
-    const auto cfg = default_config(cell.buffer_bdp);
-    const auto rep = conformance_cell(*cell.impl, reg.reference(cell.impl->cca),
-                                      cfg, cache);
-    cell.conformance = rep.conformance;
-  });
+  sweep.run();
 
   CsvWriter csv(csv_path("fig06"),
                 {"stack", "cca", "buffer_bdp", "conformance"});
@@ -59,7 +55,7 @@ int main() {
         double conf = -1;
         for (const auto& cell : cells) {
           if (cell.impl == impl && cell.buffer_bdp == buf) {
-            conf = cell.conformance;
+            conf = sweep.conformance_result(cell.id).conformance;
           }
         }
         row_labels.push_back(impl->display);
@@ -76,5 +72,6 @@ int main() {
     std::cout << '\n';
   }
   std::cout << "CSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

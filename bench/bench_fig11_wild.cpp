@@ -45,35 +45,34 @@ int main() {
 
   struct Cell {
     const stacks::Implementation* impl;
-    double conformance = -1;
+    runner::CellId id = -1;
   };
   std::vector<Cell> cells;
   for (const auto cca : ccas) {
     for (const auto* impl : reg.with_cca(cca, false)) cells.push_back({impl});
   }
 
-  RefPairCache cache;
-  for (const auto cca : ccas) cache.get(reg.reference(cca), cfg);
-  harness::parallel_for(static_cast<int>(cells.size()), [&](int i) {
-    Cell& cell = cells[static_cast<std::size_t>(i)];
-    cell.conformance =
-        conformance_cell(*cell.impl, reg.reference(cell.impl->cca), cfg,
-                         cache)
-            .conformance;
-  });
+  runner::Sweep sweep("fig11");
+  for (auto& cell : cells) {
+    cell.id =
+        sweep.add_conformance(*cell.impl, reg.reference(cell.impl->cca), cfg);
+  }
+  sweep.run();
 
   CsvWriter csv(csv_path("fig11"), {"stack", "cca", "conformance"});
   std::vector<std::string> labels;
   std::vector<std::vector<double>> values;
   for (const auto& cell : cells) {
+    const double conf = sweep.conformance_result(cell.id).conformance;
     labels.push_back(cell.impl->display);
-    values.push_back({cell.conformance});
+    values.push_back({conf});
     csv.row(std::vector<std::string>{cell.impl->stack,
                                      stacks::to_string(cell.impl->cca),
-                                     fmt(cell.conformance, 4)});
+                                     fmt(conf, 4)});
   }
   std::cout << harness::render_heatmap("conformance in the wild", labels,
                                        {"conf"}, values);
   std::cout << "\nCSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

@@ -7,6 +7,11 @@
 // xquic BBR) push rows above 0.5 against conformant peers; neqo rows sit
 // far below; lsquic CUBIC shows mild aggression despite its high
 // conformance.
+//
+// All three CCA matrices are scheduled as one runner::Sweep so the
+// worker pool stays saturated across matrix boundaries (the old
+// per-matrix fan-out drained to a handful of straggler pairs three
+// times per run).
 
 #include <vector>
 
@@ -17,48 +22,42 @@ using namespace quicbench::bench;
 
 namespace {
 
-void matrix_for(stacks::CcaType cca, CsvWriter& csv) {
-  const auto& reg = stacks::Registry::instance();
-  const auto impls = reg.with_cca(cca, /*include_reference=*/true);
-  const int n = static_cast<int>(impls.size());
+struct Matrix {
+  stacks::CcaType cca;
+  std::vector<const stacks::Implementation*> impls;
+  // Upper triangle including the diagonal: ids[i][j] for j >= i.
+  std::vector<std::vector<runner::CellId>> ids;
+};
 
-  harness::ExperimentConfig cfg =
-      default_config(1.0, rate::mbps(20), time::ms(50));
-
-  // Unordered pairs including self-pairings; shares fill both triangles.
-  struct Job {
-    int i, j;
-  };
-  std::vector<Job> jobs;
-  for (int i = 0; i < n; ++i) {
-    for (int j = i; j < n; ++j) jobs.push_back({i, j});
-  }
+void render_matrix(const runner::Sweep& sweep, const Matrix& m,
+                   CsvWriter& csv) {
+  const int n = static_cast<int>(m.impls.size());
   std::vector<std::vector<double>> share(
       static_cast<std::size_t>(n),
       std::vector<double>(static_cast<std::size_t>(n), -1));
-  harness::parallel_for(static_cast<int>(jobs.size()), [&](int idx) {
-    const auto [i, j] = jobs[static_cast<std::size_t>(idx)];
-    const auto pr = harness::run_pair(
-        *impls[static_cast<std::size_t>(i)],
-        *impls[static_cast<std::size_t>(j)], cfg);
-    share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-        pr.share_a;
-    share[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
-        pr.share_b;
-  });
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const auto& pr = sweep.pair_result(
+          m.ids[static_cast<std::size_t>(i)][static_cast<std::size_t>(j - i)]);
+      share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          pr.share_a;
+      share[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          pr.share_b;
+    }
+  }
 
   std::vector<std::string> labels;
-  for (const auto* impl : impls) labels.push_back(impl->stack);
+  for (const auto* impl : m.impls) labels.push_back(impl->stack);
   std::cout << harness::render_heatmap(
-      "Figure 12 (" + stacks::to_string(cca) +
+      "Figure 12 (" + stacks::to_string(m.cca) +
           "): row implementation's bandwidth share vs column",
       labels, labels, share, 7, 2);
   std::cout << '\n';
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       csv.row(std::vector<std::string>{
-          stacks::to_string(cca), impls[static_cast<std::size_t>(i)]->stack,
-          impls[static_cast<std::size_t>(j)]->stack,
+          stacks::to_string(m.cca), m.impls[static_cast<std::size_t>(i)]->stack,
+          m.impls[static_cast<std::size_t>(j)]->stack,
           fmt(share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
               4)});
     }
@@ -70,10 +69,36 @@ void matrix_for(stacks::CcaType cca, CsvWriter& csv) {
 int main() {
   std::cout << "Figure 12: throughput shares for competing implementations "
             << "of the same CCA (20 Mbps, 50 ms RTT, 1 BDP)\n\n";
+
+  const auto& reg = stacks::Registry::instance();
+  const harness::ExperimentConfig cfg =
+      default_config(1.0, rate::mbps(20), time::ms(50));
+
+  runner::Sweep sweep("fig12");
+  std::vector<Matrix> matrices;
+  for (const auto cca : {stacks::CcaType::kCubic, stacks::CcaType::kBbr,
+                         stacks::CcaType::kReno}) {
+    Matrix m;
+    m.cca = cca;
+    m.impls = reg.with_cca(cca, /*include_reference=*/true);
+    const int n = static_cast<int>(m.impls.size());
+    // Unordered pairs including self-pairings; shares fill both triangles.
+    for (int i = 0; i < n; ++i) {
+      std::vector<runner::CellId> row;
+      for (int j = i; j < n; ++j) {
+        row.push_back(sweep.add_pair(*m.impls[static_cast<std::size_t>(i)],
+                                     *m.impls[static_cast<std::size_t>(j)],
+                                     cfg));
+      }
+      m.ids.push_back(std::move(row));
+    }
+    matrices.push_back(std::move(m));
+  }
+  sweep.run();
+
   CsvWriter csv(csv_path("fig12"), {"cca", "row", "col", "row_share"});
-  matrix_for(stacks::CcaType::kCubic, csv);
-  matrix_for(stacks::CcaType::kBbr, csv);
-  matrix_for(stacks::CcaType::kReno, csv);
+  for (const auto& m : matrices) render_matrix(sweep, m, csv);
   std::cout << "CSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

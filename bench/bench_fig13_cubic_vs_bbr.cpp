@@ -25,23 +25,39 @@ int main() {
   CsvWriter csv(csv_path("fig13"),
                 {"buffer_bdp", "cubic", "bbr", "bbr_share"});
 
+  // Both buffer depths go into one sweep so every trial shares the pool.
+  const int nc = static_cast<int>(cubics.size());
+  const int nb = static_cast<int>(bbrs.size());
+  runner::Sweep sweep("fig13");
+  std::vector<std::vector<runner::CellId>> ids;  // [buffer][i * nb + j]
   for (const double buf : {1.0, 5.0}) {
     harness::ExperimentConfig cfg =
         default_config(buf, rate::mbps(20), time::ms(50));
-    const int nc = static_cast<int>(cubics.size());
-    const int nb = static_cast<int>(bbrs.size());
+    std::vector<runner::CellId> per_buf;
+    for (int i = 0; i < nc; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        per_buf.push_back(sweep.add_pair(*bbrs[static_cast<std::size_t>(j)],
+                                         *cubics[static_cast<std::size_t>(i)],
+                                         cfg));
+      }
+    }
+    ids.push_back(std::move(per_buf));
+  }
+  sweep.run();
+
+  std::size_t buf_idx = 0;
+  for (const double buf : {1.0, 5.0}) {
     std::vector<std::vector<double>> share(
         static_cast<std::size_t>(nc),
         std::vector<double>(static_cast<std::size_t>(nb), -1));
-    harness::parallel_for(nc * nb, [&](int idx) {
-      const int i = idx / nb;
-      const int j = idx % nb;
-      const auto pr = harness::run_pair(
-          *bbrs[static_cast<std::size_t>(j)],
-          *cubics[static_cast<std::size_t>(i)], cfg);
-      share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-          pr.share_a;  // the BBR flow's share
-    });
+    for (int i = 0; i < nc; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        share[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            sweep.pair_result(ids[buf_idx][static_cast<std::size_t>(i * nb + j)])
+                .share_a;  // the BBR flow's share
+      }
+    }
+    ++buf_idx;
 
     std::vector<std::string> rows, cols;
     for (const auto* c : cubics) rows.push_back(c->stack);
@@ -63,5 +79,6 @@ int main() {
     }
   }
   std::cout << "CSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

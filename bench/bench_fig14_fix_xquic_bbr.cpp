@@ -21,7 +21,7 @@ int main() {
   RefPairCache cache;
   cache.get(ref, cfg);
   conformance::ConformanceReport before, after;
-  harness::parallel_for(2, [&](int i) {
+  runner::parallel_for(2, [&](int i) {
     if (i == 0) before = conformance_cell(*broken, ref, cfg, cache);
     else after = conformance_cell(*fixed, ref, cfg, cache);
   });

@@ -39,14 +39,15 @@ int main() {
   std::cout << "Table 3: low-conformant implementations (1 BDP buffer, "
             << cfg.net.describe() << ")\n\n";
 
-  RefPairCache cache;
-  std::vector<conformance::ConformanceReport> reports(rows.size());
-  harness::parallel_for(static_cast<int>(rows.size()), [&](int i) {
-    const auto& row = rows[static_cast<std::size_t>(i)];
+  runner::Sweep sweep("table3");
+  std::vector<runner::CellId> ids;
+  for (const auto& row : rows) {
     const auto* impl = reg.find(row.stack, row.cca);
-    reports[static_cast<std::size_t>(i)] =
-        conformance_cell(*impl, reg.reference(row.cca), cfg, cache);
-  });
+    ids.push_back(sweep.add_conformance(*impl, reg.reference(row.cca), cfg));
+  }
+  sweep.run();
+  std::vector<conformance::ConformanceReport> reports;
+  for (const auto id : ids) reports.push_back(sweep.conformance_result(id));
 
   CsvWriter csv(csv_path("table3"),
                 {"stack", "cca", "conf_old", "conf", "conf_t", "delta_tput",
@@ -68,5 +69,6 @@ int main() {
       {"Stack", "Type", "Conf-old", "Conf", "Conf-T", "d-tput", "d-delay"},
       table);
   std::cout << "\nCSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

@@ -61,25 +61,28 @@ int main() {
     conformance::ConformanceReport original;
     std::optional<conformance::ConformanceReport> modified;
   };
-  std::vector<Result> results(rows.size());
-  RefPairCache cache;
-  for (const auto cca :
-       {stacks::CcaType::kCubic, stacks::CcaType::kBbr,
-        stacks::CcaType::kReno}) {
-    cache.get(reg.reference(cca), cfg);
-  }
-  harness::parallel_for(static_cast<int>(rows.size()), [&](int i) {
-    const Row& row = rows[static_cast<std::size_t>(i)];
+  runner::Sweep sweep("table4");
+  std::vector<runner::CellId> orig_ids;
+  std::vector<std::optional<runner::CellId>> mod_ids;
+  for (const auto& row : rows) {
     const stacks::Implementation& ref =
         row.alt_ref.has_value() ? *row.alt_ref
                                 : reg.reference(row.test->cca);
-    Result res;
-    res.original = conformance_cell(*row.test, ref, cfg, cache);
-    if (row.modified.has_value()) {
-      res.modified = conformance_cell(*row.modified, ref, cfg, cache);
+    orig_ids.push_back(sweep.add_conformance(*row.test, ref, cfg));
+    mod_ids.push_back(
+        row.modified.has_value()
+            ? std::optional<runner::CellId>(
+                  sweep.add_conformance(*row.modified, ref, cfg))
+            : std::nullopt);
+  }
+  sweep.run();
+  std::vector<Result> results(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    results[i].original = sweep.conformance_result(orig_ids[i]);
+    if (mod_ids[i].has_value()) {
+      results[i].modified = sweep.conformance_result(*mod_ids[i]);
     }
-    results[static_cast<std::size_t>(i)] = std::move(res);
-  });
+  }
 
   CsvWriter csv(csv_path("table4"),
                 {"impl", "variant", "conf", "conf_t", "delta_tput",
@@ -124,5 +127,6 @@ int main() {
       table);
   std::cout << "\n(primed columns = after modification)\nCSV: " << csv.path()
             << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
   return 0;
 }

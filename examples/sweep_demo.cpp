@@ -1,0 +1,54 @@
+// Minimal tour of the runner API: build a sweep mixing raw pairings and
+// conformance cells, run it, and inspect results + scheduler stats.
+//
+// Run it twice: the second run is served from bench_out/cache/ and the
+// manifest reports simulations_executed = 0. Environment knobs:
+//   QB_FAST=1      short runs (also the default here)
+//   QB_THREADS=N   worker pool size
+//   QB_PROGRESS=1  per-pair progress lines on stderr
+//   QB_NO_CACHE=1  disable the persistent result cache
+//   QB_CACHE_DIR   override the cache directory
+
+#include <iostream>
+
+#include "runner/env.h"
+#include "runner/sweep.h"
+#include "stacks/registry.h"
+
+using namespace quicbench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const auto& ref = reg.reference(stacks::CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", stacks::CcaType::kCubic);
+  const auto* chromium = reg.find("chromium", stacks::CcaType::kCubic);
+
+  // Short runs so the demo finishes quickly even without QB_FAST.
+  harness::ExperimentConfig cfg = runner::default_config(1.0);
+  cfg.duration = time::sec(20);
+  cfg.trials = 2;
+
+  runner::Sweep sweep("sweep_demo");
+  const auto fairness = sweep.add_pair(*quiche, *chromium, cfg);
+  const auto conf_quiche = sweep.add_conformance(*quiche, ref, cfg);
+  const auto conf_chromium = sweep.add_conformance(*chromium, ref, cfg);
+  sweep.run();
+
+  const auto& pr = sweep.pair_result(fairness);
+  std::cout << "quiche vs chromium share: " << pr.share_a << " / "
+            << pr.share_b << "\n";
+  std::cout << "quiche conformance:   "
+            << sweep.conformance_result(conf_quiche).conformance << "\n";
+  std::cout << "chromium conformance: "
+            << sweep.conformance_result(conf_chromium).conformance << "\n";
+
+  const auto& st = sweep.stats();
+  std::cout << "\nunique pairs: " << st.unique_pairs << " (cache hits "
+            << st.cache_hits << ", misses " << st.cache_misses << ")\n"
+            << "simulated trials: " << st.simulations_executed << "\n"
+            << "threads: " << st.threads
+            << ", utilization: " << st.thread_utilization << "\n"
+            << "events/sec: " << st.events_per_sec << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
+  return 0;
+}

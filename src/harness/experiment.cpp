@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "netsim/topology.h"
 #include "transport/receiver.h"
@@ -24,6 +25,39 @@ std::string NetworkConfig::describe() const {
   os << rate::to_mbps(bandwidth) << " Mbps, " << time::to_ms(base_rtt)
      << " ms RTT, " << buffer_bdp << " BDP buffer";
   return os.str();
+}
+
+void ExperimentConfig::validate() const {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ExperimentConfig: " + msg);
+  };
+  if (trials < 1) {
+    fail("trials must be >= 1 (got " + std::to_string(trials) +
+         "); every experiment needs at least one trial");
+  }
+  if (duration <= 0) {
+    fail("duration must be positive (got " +
+         std::to_string(time::to_sec(duration)) +
+         " s); flows need time to reach steady state");
+  }
+  if (net.bandwidth <= 0) {
+    fail("net.bandwidth must be positive (got " +
+         std::to_string(rate::to_mbps(net.bandwidth)) +
+         " Mbps); a zero-rate bottleneck never delivers");
+  }
+  if (net.base_rtt <= 0) {
+    fail("net.base_rtt must be positive (got " +
+         std::to_string(time::to_ms(net.base_rtt)) +
+         " ms); the dumbbell needs a propagation delay");
+  }
+  if (net.trace_period > 0 && net.trace_opportunities.empty()) {
+    fail("net.trace_period is set but net.trace_opportunities is empty; "
+         "a delivery trace needs at least one opportunity timestamp");
+  }
+  if (!net.trace_opportunities.empty() && net.trace_period <= 0) {
+    fail("net.trace_opportunities is set but net.trace_period is not "
+         "positive; set trace_period to the trace's wrap-around length");
+  }
 }
 
 TrialResult run_trial(const Implementation& a, const Implementation& b,
@@ -106,15 +140,26 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
     fr.sender_stats = senders[static_cast<std::size_t>(i)]->stats();
     if (!cfg.record_cwnd) fr.trace.cwnd_samples.clear();
   }
+  result.sim_events = sim.events_fired();
   return result;
 }
 
 PairResult run_pair(const Implementation& a, const Implementation& b,
                     const ExperimentConfig& cfg) {
+  cfg.validate();
+  std::vector<TrialResult> trials;
+  trials.reserve(static_cast<std::size_t>(cfg.trials));
+  for (int t = 0; t < cfg.trials; ++t) {
+    trials.push_back(run_trial(a, b, cfg, static_cast<std::uint64_t>(t)));
+  }
+  return aggregate_trials(std::move(trials), cfg);
+}
+
+PairResult aggregate_trials(std::vector<TrialResult> trials,
+                            const ExperimentConfig& cfg) {
   PairResult pr;
   double sum_a = 0, sum_b = 0;
-  for (int t = 0; t < cfg.trials; ++t) {
-    TrialResult trial = run_trial(a, b, cfg, static_cast<std::uint64_t>(t));
+  for (TrialResult& trial : trials) {
     conformance::TrialPoints pa, pb;
     for (const auto& p : trial.flow[0].points) {
       pa.push_back({p.delay_ms, p.tput_mbps});

@@ -58,6 +58,12 @@ struct ExperimentConfig {
   Time start_spread = time::ms(20);
   Time flow_b_start = -1;
   bool record_cwnd = false;
+
+  // Rejects nonsensical configurations (trials < 1, non-positive
+  // duration/bandwidth/RTT, a delivery trace with no opportunities) with
+  // an actionable std::invalid_argument. Called at run_pair entry and by
+  // the sweep runner when a cell is added.
+  void validate() const;
 };
 
 struct FlowResult {
@@ -69,6 +75,8 @@ struct FlowResult {
 
 struct TrialResult {
   FlowResult flow[2];
+  // Simulator events executed by this trial (netsim throughput metric).
+  std::uint64_t sim_events = 0;
 };
 
 // One trial: implementation `a` (flow 0) vs `b` (flow 1).
@@ -90,6 +98,14 @@ struct PairResult {
 PairResult run_pair(const stacks::Implementation& a,
                     const stacks::Implementation& b,
                     const ExperimentConfig& cfg);
+
+// Fold per-trial results (ordered by trial index) into a PairResult —
+// exactly the aggregation run_pair performs, exposed so the sweep runner
+// can execute trials in parallel and still produce bit-identical results.
+// Consumes `trials`; they are retained in the result only when
+// cfg.record_cwnd is set.
+PairResult aggregate_trials(std::vector<TrialResult> trials,
+                            const ExperimentConfig& cfg);
 
 // The paper's conformance pipeline (§3.1): the test implementation's PE
 // comes from `test` competing with the kernel reference; the reference PE

@@ -1,11 +1,9 @@
 #include "harness/report.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
-#include <thread>
 
 namespace quicbench::harness {
 
@@ -139,30 +137,6 @@ std::string render_pe_plot(const std::string& title,
      << format_double(max_x, 1) << " ms   (tput floor "
      << format_double(min_y, 1) << " Mbps)\n";
   return os.str();
-}
-
-void parallel_for(int n, const std::function<void(int)>& fn) {
-  if (n <= 0) return;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int workers = static_cast<int>(std::min<unsigned>(
-      hw, static_cast<unsigned>(n)));
-  if (workers <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
 }
 
 } // namespace quicbench::harness

@@ -3,7 +3,6 @@
 // markdown-style tables (Tables 3, 4) and ASCII scatter plots of
 // Performance Envelopes (Figs 1-3, 7-10).
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,8 +30,7 @@ std::string render_pe_plot(const std::string& title,
 
 std::string format_double(double v, int precision = 2);
 
-// Run `fn(i)` for i in [0, n) across hardware threads. Each index must be
-// independent (all our trials are: they own their Simulator).
-void parallel_for(int n, const std::function<void(int)>& fn);
+// parallel_for used to live here; it is now runner::parallel_for in
+// runner/parallel.h — a text-renderer header is no place for a scheduler.
 
 } // namespace quicbench::harness

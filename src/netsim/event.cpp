@@ -7,6 +7,7 @@ namespace quicbench::netsim {
 EventId Simulator::schedule(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
   const EventId id = next_id_++;
+  ++scheduled_;
   heap_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
   return id;
 }
@@ -29,6 +30,7 @@ bool Simulator::run_next() {
       continue;
     }
     now_ = t;
+    ++fired_;
     fn();
     return true;
   }

@@ -1,0 +1,192 @@
+#include "runner/cache.h"
+
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "runner/fingerprint.h"
+
+namespace quicbench::runner {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31524251;  // "QBR1" little-endian
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Cursor over a loaded file; all gets fail soft by flagging `ok`.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (pos + 4 > buf.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (pos + 8 > buf.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+};
+
+void put_clouds(std::string& out,
+                const std::vector<conformance::TrialPoints>& trials) {
+  put_u32(out, static_cast<std::uint32_t>(trials.size()));
+  for (const auto& cloud : trials) {
+    put_u64(out, cloud.size());
+    for (const auto& p : cloud) {
+      put_f64(out, p.x);
+      put_f64(out, p.y);
+    }
+  }
+}
+
+bool get_clouds(Reader& r, std::vector<conformance::TrialPoints>& trials) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok || n > 1'000'000) return false;
+  trials.resize(n);
+  for (auto& cloud : trials) {
+    const std::uint64_t m = r.u64();
+    if (!r.ok || m > 100'000'000) return false;
+    cloud.resize(m);
+    for (auto& p : cloud) {
+      p.x = r.f64();
+      p.y = r.f64();
+    }
+    if (!r.ok) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; load/store fail soft
+}
+
+std::string ResultCache::entry_path(const std::string& fingerprint) const {
+  return dir_ + "/" + fingerprint + ".qbr";
+}
+
+std::optional<harness::PairResult> ResultCache::load(
+    const std::string& fingerprint) {
+  std::ifstream in(entry_path(fingerprint), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  Reader r{buf};
+  harness::PairResult pr;
+  const bool parsed = [&] {
+    if (r.u32() != kMagic) return false;
+    if (r.u32() != kSchemaVersion) return false;
+    if (!get_clouds(r, pr.points_a)) return false;
+    if (!get_clouds(r, pr.points_b)) return false;
+    pr.tput_a_mbps = r.f64();
+    pr.tput_b_mbps = r.f64();
+    pr.share_a = r.f64();
+    pr.share_b = r.f64();
+    return r.ok && r.pos == buf.size();
+  }();
+  if (!parsed) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return pr;
+}
+
+bool ResultCache::store(const std::string& fingerprint,
+                        const harness::PairResult& result) {
+  if (!result.trials.empty()) return false;  // raw traces: not cacheable
+  std::string out;
+  put_u32(out, kMagic);
+  put_u32(out, kSchemaVersion);
+  put_clouds(out, result.points_a);
+  put_clouds(out, result.points_b);
+  put_f64(out, result.tput_a_mbps);
+  put_f64(out, result.tput_b_mbps);
+  put_f64(out, result.share_a);
+  put_f64(out, result.share_b);
+
+  // Write-then-rename so readers never observe a half-written entry.
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  const std::string tmp = entry_path(fingerprint) + ".tmp." + tid.str();
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!f) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, entry_path(fingerprint), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  ++stores_;
+  return true;
+}
+
+std::string ResultCache::default_dir() {
+  if (const char* dir = std::getenv("QB_CACHE_DIR"); dir && dir[0] != '\0') {
+    return dir;
+  }
+  return "bench_out/cache";
+}
+
+ResultCache* ResultCache::default_cache() {
+  const char* off = std::getenv("QB_NO_CACHE");
+  if (off != nullptr && off[0] == '1') return nullptr;
+  static ResultCache cache(default_dir());
+  return &cache;
+}
+
+} // namespace quicbench::runner

@@ -1,0 +1,65 @@
+#pragma once
+// Persistent on-disk cache of PairResults keyed by canonical
+// fingerprints (runner/fingerprint.h). One binary file per entry under
+// the cache directory, `<fingerprint>.qbr`:
+//
+//   u32 magic 'QBR1'   u32 kSchemaVersion
+//   u32 #trials_a  { u64 #points { f64 delay  f64 tput } ... } ...
+//   u32 #trials_b  { ... }
+//   f64 tput_a_mbps  f64 tput_b_mbps  f64 share_a  f64 share_b
+//
+// All integers little-endian, doubles as IEEE-754 bit patterns, so a
+// loaded PairResult is bit-identical to the stored one. Any size/magic/
+// version mismatch reads as a miss (never an error): the cache is an
+// accelerator, correctness never depends on it. Writes go to a temp file
+// renamed into place, so concurrent bench binaries sharing the directory
+// at worst redo work. Results that retain raw trial traces
+// (cfg.record_cwnd) are not cacheable and store() declines them.
+//
+// Invalidation: delete the directory, or bump runner::kSchemaVersion
+// (stale entries are then ignored by the version check).
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace quicbench::runner {
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if needed.
+  explicit ResultCache(std::string dir);
+
+  // nullopt on miss, corrupt entry, or schema-version mismatch.
+  std::optional<harness::PairResult> load(const std::string& fingerprint);
+
+  // False when the result is not cacheable (retained trial traces) or
+  // the write failed; the caller proceeds either way.
+  bool store(const std::string& fingerprint,
+             const harness::PairResult& result);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t stores() const { return stores_; }
+
+  // Directory benches share: $QB_CACHE_DIR or "bench_out/cache".
+  static std::string default_dir();
+
+  // Process-wide cache in default_dir(), created on first use; nullptr
+  // when caching is disabled via QB_NO_CACHE=1.
+  static ResultCache* default_cache();
+
+ private:
+  std::string entry_path(const std::string& fingerprint) const;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+} // namespace quicbench::runner

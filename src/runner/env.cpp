@@ -1,0 +1,53 @@
+#include "runner/env.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace quicbench::runner {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+} // namespace
+
+bool fast_mode() { return env_flag("QB_FAST"); }
+
+bool progress_enabled() { return env_flag("QB_PROGRESS"); }
+
+int env_threads() {
+  const char* v = std::getenv("QB_THREADS");
+  if (v == nullptr) return 0;
+  const int n = std::atoi(v);
+  return n > 0 ? n : 0;
+}
+
+harness::ExperimentConfig default_config(double buffer_bdp, Rate bw,
+                                         Time rtt) {
+  harness::ExperimentConfig cfg;
+  cfg.net.bandwidth = bw;
+  cfg.net.base_rtt = rtt;
+  cfg.net.buffer_bdp = buffer_bdp;
+  if (fast_mode()) {
+    cfg.duration = time::sec(30);
+    cfg.trials = 2;
+  } else {
+    cfg.duration = time::sec(120);  // the paper's flow duration
+    cfg.trials = 5;                 // the paper's trial count
+  }
+  return cfg;
+}
+
+std::string out_dir() {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out";
+}
+
+std::string csv_path(const std::string& bench_name) {
+  return out_dir() + "/" + bench_name + ".csv";
+}
+
+} // namespace quicbench::runner

@@ -1,0 +1,34 @@
+#pragma once
+// Shared bench/sweep conventions (previously duplicated in
+// bench/bench_common.h, promoted so examples/ and tests can use them):
+// the paper-default network config, the QB_FAST smoke-mode switch and
+// the bench_out/ output layout.
+//
+// Environment switches honoured across the runner subsystem:
+//   QB_FAST=1      30 s runs x 2 trials instead of 120 s x 5
+//   QB_PROGRESS=1  per-pair progress lines on stderr during sweeps
+//   QB_NO_CACHE=1  disable the persistent result cache entirely
+//   QB_CACHE_DIR   cache directory (default bench_out/cache)
+//   QB_THREADS     worker count for sweeps (default: hardware)
+
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace quicbench::runner {
+
+bool fast_mode();         // QB_FAST=1
+bool progress_enabled();  // QB_PROGRESS=1
+int env_threads();        // QB_THREADS, 0 when unset/invalid
+
+// The paper's default network (§4: representative plots use 10 ms RTT,
+// 20 Mbps; fairness experiments use 50 ms RTT). Paper-fidelity duration
+// and trial count (120 s x 5) unless fast_mode().
+harness::ExperimentConfig default_config(double buffer_bdp,
+                                         Rate bw = rate::mbps(20),
+                                         Time rtt = time::ms(10));
+
+std::string out_dir();  // ./bench_out, created on first call
+std::string csv_path(const std::string& bench_name);
+
+} // namespace quicbench::runner

@@ -1,0 +1,177 @@
+#include "runner/fingerprint.h"
+
+namespace quicbench::runner {
+
+namespace {
+
+void hash_sender_profile(StableHasher& h,
+                         const transport::SenderProfile& s) {
+  h.str("sender");
+  h.i64(s.mss);
+  h.i64(s.header_overhead);
+  h.i64(s.ack_packet_size);
+  h.i64(s.initial_cwnd_packets);
+  h.i64(s.min_cwnd_packets);
+  h.b(s.pace_window_ccas);
+  h.f64(s.window_pacing_factor);
+  h.i64(s.pacing_burst_packets);
+  h.i64(s.packet_reorder_threshold);
+  h.f64(s.time_reorder_fraction);
+  h.i64(static_cast<std::int64_t>(s.time_threshold_base));
+  h.b(s.adapt_reorder_threshold);
+  h.i64(s.max_packet_reorder_threshold);
+  h.i64(s.max_ack_delay_assumed);
+  h.i64(s.persistent_congestion_ptos);
+  h.i64(s.flow_control_window);
+  h.i64(s.egress_jitter);
+  h.b(s.egress_reorder);
+  h.i64(s.send_quantum);
+}
+
+void hash_receiver_profile(StableHasher& h,
+                           const transport::ReceiverProfile& r) {
+  h.str("receiver");
+  h.i64(r.ack_every_n);
+  h.i64(r.max_ack_delay);
+  h.b(r.ack_on_gap);
+}
+
+void hash_cubic(StableHasher& h, const cca::CubicConfig& c) {
+  h.str("cubic");
+  h.i64(c.mss);
+  h.i64(c.initial_cwnd_packets);
+  h.i64(c.min_cwnd_packets);
+  h.f64(c.c);
+  h.f64(c.beta);
+  h.b(c.fast_convergence);
+  h.b(c.tcp_friendly);
+  h.i64(c.emulated_flows);
+  h.b(c.hystart);
+  h.b(c.classic_hystart);
+  h.b(c.hystart_ack_train);
+  h.b(c.spurious_loss_rollback);
+}
+
+void hash_bbr(StableHasher& h, const cca::BbrConfig& c) {
+  h.str("bbr");
+  h.i64(c.mss);
+  h.i64(c.initial_cwnd_packets);
+  h.i64(c.min_cwnd_packets);
+  h.f64(c.cwnd_gain);
+  h.f64(c.pacing_rate_scale);
+  h.f64(c.startup_gain);
+  h.f64(c.drain_gain);
+  h.i64(c.probe_rtt_interval);
+  h.i64(c.probe_rtt_duration);
+  h.i64(c.min_rtt_window);
+  h.i64(c.btlbw_window_rounds);
+}
+
+void hash_reno(StableHasher& h, const cca::RenoConfig& c) {
+  h.str("reno");
+  h.i64(c.mss);
+  h.i64(c.initial_cwnd_packets);
+  h.i64(c.min_cwnd_packets);
+  h.f64(c.beta);
+  h.f64(c.ai_scale);
+}
+
+void hash_schema(StableHasher& h) {
+  h.str("qb");
+  h.u64(kSchemaVersion);
+}
+
+} // namespace
+
+void hash_implementation(StableHasher& h,
+                         const stacks::Implementation& impl) {
+  h.str("impl");
+  h.str(impl.stack);
+  h.i64(static_cast<std::int64_t>(impl.cca));
+  h.str(impl.display);
+  h.b(impl.is_reference);
+  hash_sender_profile(h, impl.profile.sender);
+  hash_receiver_profile(h, impl.profile.receiver);
+  // All three CCA configs are hashed even though only impl.cca's is
+  // active: cheaper than special-casing and safe against future reuse.
+  hash_cubic(h, impl.cubic);
+  hash_bbr(h, impl.bbr);
+  hash_reno(h, impl.reno);
+}
+
+void hash_experiment_config(StableHasher& h,
+                            const harness::ExperimentConfig& cfg) {
+  h.str("experiment");
+  h.f64(cfg.net.bandwidth);
+  h.i64(cfg.net.base_rtt);
+  h.f64(cfg.net.buffer_bdp);
+  h.i64(cfg.net.base_jitter);
+  h.i64(cfg.net.path_jitter);
+  h.b(cfg.net.jitter_reorder);
+  h.f64(cfg.net.cross_traffic_rate);
+  h.i64(cfg.net.cross_on);
+  h.i64(cfg.net.cross_off);
+  h.u64(cfg.net.trace_opportunities.size());
+  for (const Time t : cfg.net.trace_opportunities) h.i64(t);
+  h.i64(cfg.net.trace_period);
+  h.i64(cfg.duration);
+  h.i64(cfg.trials);
+  h.u64(cfg.seed);
+  h.f64(cfg.sampling.truncate_fraction);
+  h.i64(cfg.sampling.rtts_per_sample);
+  h.i64(cfg.start_spread);
+  h.i64(cfg.flow_b_start);
+  h.b(cfg.record_cwnd);
+}
+
+void hash_pe_config(StableHasher& h, const conformance::PeConfig& cfg) {
+  h.str("pe");
+  h.i64(cfg.max_k);
+  h.i64(cfg.kmeans.restarts);
+  h.i64(cfg.kmeans.max_iters);
+  h.b(cfg.normalize);
+  h.u64(cfg.seed);
+  h.f64(cfg.min_cluster_share);
+  h.b(cfg.per_trial_clustering);
+  h.f64(cfg.trial_quorum);
+  h.f64(cfg.min_iou_drop);
+}
+
+std::string fingerprint(const stacks::Implementation& impl,
+                        const harness::ExperimentConfig& cfg,
+                        const conformance::PeConfig& pe_cfg) {
+  StableHasher h;
+  hash_schema(h);
+  hash_implementation(h, impl);
+  hash_experiment_config(h, cfg);
+  hash_pe_config(h, pe_cfg);
+  return h.hex();
+}
+
+std::string pair_fingerprint(const stacks::Implementation& a,
+                             const stacks::Implementation& b,
+                             const harness::ExperimentConfig& cfg) {
+  StableHasher h;
+  hash_schema(h);
+  h.str("pair");
+  hash_implementation(h, a);
+  hash_implementation(h, b);
+  hash_experiment_config(h, cfg);
+  return h.hex();
+}
+
+std::string conformance_fingerprint(const stacks::Implementation& test,
+                                    const stacks::Implementation& ref,
+                                    const harness::ExperimentConfig& cfg,
+                                    const conformance::PeConfig& pe_cfg) {
+  StableHasher h;
+  hash_schema(h);
+  h.str("conformance");
+  hash_implementation(h, test);
+  hash_implementation(h, ref);
+  hash_experiment_config(h, cfg);
+  hash_pe_config(h, pe_cfg);
+  return h.hex();
+}
+
+} // namespace quicbench::runner

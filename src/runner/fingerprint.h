@@ -1,0 +1,52 @@
+#pragma once
+// Canonical fingerprints of everything that determines an experiment's
+// outcome: the Implementation(s), the ExperimentConfig, optionally the
+// PeConfig, and the code schema version. The fingerprint keys the
+// persistent result cache and identifies cells in run manifests, so it
+// must cover EVERY field that can change a result — the old hand-rolled
+// RefPairCache key omitted sampling, start_spread, flow_b_start and
+// record_cwnd, silently sharing results between configs that differ only
+// there. tests/runner/fingerprint_test.cpp perturbs every field; keep it
+// in sync when adding configuration knobs.
+
+#include <string>
+
+#include "conformance/pe.h"
+#include "harness/experiment.h"
+#include "stacks/registry.h"
+#include "util/hash.h"
+
+namespace quicbench::runner {
+
+// Bump whenever simulation semantics, any config default, or the cached
+// PairResult layout changes: a bump invalidates every on-disk cache
+// entry and every manifest comparison across versions.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+// Field-by-field feeds, composable into larger keys.
+void hash_implementation(StableHasher& h, const stacks::Implementation& impl);
+void hash_experiment_config(StableHasher& h,
+                            const harness::ExperimentConfig& cfg);
+void hash_pe_config(StableHasher& h, const conformance::PeConfig& cfg);
+
+// Identity of one implementation under one experiment + PE extraction
+// config (the issue-level cell identity reported in manifests).
+std::string fingerprint(const stacks::Implementation& impl,
+                        const harness::ExperimentConfig& cfg,
+                        const conformance::PeConfig& pe_cfg = {});
+
+// Cache key for run_pair(a, b, cfg). Order-sensitive: flow 0 vs flow 1
+// matters. PeConfig is deliberately absent — it only affects the
+// downstream PE evaluation, never the simulated PairResult.
+std::string pair_fingerprint(const stacks::Implementation& a,
+                             const stacks::Implementation& b,
+                             const harness::ExperimentConfig& cfg);
+
+// Identity of a conformance cell: test and reference implementations,
+// experiment config and PE config.
+std::string conformance_fingerprint(const stacks::Implementation& test,
+                                    const stacks::Implementation& ref,
+                                    const harness::ExperimentConfig& cfg,
+                                    const conformance::PeConfig& pe_cfg);
+
+} // namespace quicbench::runner

@@ -1,0 +1,35 @@
+#include "runner/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace quicbench::runner {
+
+void parallel_for(int n, const std::function<void(int)>& fn, int threads) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested = threads > 0 ? static_cast<unsigned>(threads) : hw;
+  const int workers = static_cast<int>(
+      std::min<unsigned>(requested, static_cast<unsigned>(n)));
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+} // namespace quicbench::runner

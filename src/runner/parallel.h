@@ -1,0 +1,18 @@
+#pragma once
+// Parallel index loop over a shared atomic work counter (moved here from
+// harness/report.h — a text-renderer header was no place for a
+// scheduler). Workers pull the next index as soon as they finish one, so
+// uneven item costs balance automatically; the sweep engine builds its
+// trial-granular scheduling on the same primitive.
+
+#include <functional>
+
+namespace quicbench::runner {
+
+// Run `fn(i)` for i in [0, n). Each index must be independent (all our
+// trials are: they own their Simulator). `threads` == 0 uses the
+// hardware concurrency; 1 runs inline on the calling thread.
+void parallel_for(int n, const std::function<void(int)>& fn,
+                  int threads = 0);
+
+} // namespace quicbench::runner

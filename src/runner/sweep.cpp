@@ -1,0 +1,463 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/env.h"
+#include "runner/fingerprint.h"
+#include "util/json.h"
+
+namespace quicbench::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool cache_disabled_by_env() {
+  const char* v = std::getenv("QB_NO_CACHE");
+  return v != nullptr && v[0] == '1';
+}
+
+std::string iso_utc_now() {
+  const std::time_t t =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+} // namespace
+
+struct Sweep::PairTask {
+  stacks::Implementation a, b;
+  harness::ExperimentConfig cfg;
+  std::string fingerprint;
+  bool cached = false;
+  harness::PairResult result;
+  std::vector<harness::TrialResult> trial_results;
+  std::atomic<int> remaining{0};
+  std::vector<int> dependent_cells;
+  std::mutex mu;            // guards wall_sec/events accumulation
+  double wall_sec = 0;      // summed trial wall time
+  std::uint64_t events = 0;
+};
+
+struct Sweep::Cell {
+  enum class Kind { kPair, kConformance };
+  Kind kind = Kind::kPair;
+  int pair_idx = -1;      // kPair: the pair; kConformance: test-vs-ref
+  int ref_pair_idx = -1;  // kConformance only: ref-vs-ref
+  std::vector<int> deps;  // unique pair indices this cell needs
+  conformance::PeConfig pe_cfg;
+  std::string fingerprint;
+  conformance::ConformanceReport report;
+  std::atomic<int> remaining{0};
+  double eval_sec = 0;
+};
+
+Sweep::Sweep(std::string name, SweepOptions opts)
+    : name_(std::move(name)), opts_(std::move(opts)) {
+  progress_ = opts_.progress || progress_enabled();
+  if (opts_.use_cache && !cache_disabled_by_env()) {
+    if (!opts_.cache_dir.empty()) {
+      owned_cache_ = std::make_unique<ResultCache>(opts_.cache_dir);
+      cache_ = owned_cache_.get();
+    } else {
+      cache_ = ResultCache::default_cache();
+    }
+  }
+}
+
+Sweep::~Sweep() = default;
+
+int Sweep::intern_pair(const stacks::Implementation& a,
+                       const stacks::Implementation& b,
+                       const harness::ExperimentConfig& cfg) {
+  std::string fp = pair_fingerprint(a, b, cfg);
+  if (const auto it = pair_index_.find(fp); it != pair_index_.end()) {
+    return it->second;
+  }
+  auto task = std::make_unique<PairTask>();
+  task->a = a;
+  task->b = b;
+  task->cfg = cfg;
+  task->fingerprint = fp;
+  const int idx = static_cast<int>(pairs_.size());
+  pairs_.push_back(std::move(task));
+  pair_index_.emplace(std::move(fp), idx);
+  return idx;
+}
+
+CellId Sweep::add_pair(const stacks::Implementation& a,
+                       const stacks::Implementation& b,
+                       const harness::ExperimentConfig& cfg) {
+  if (ran_) throw std::logic_error("Sweep: add_pair after run()");
+  cfg.validate();
+  auto cell = std::make_unique<Cell>();
+  cell->kind = Cell::Kind::kPair;
+  cell->pair_idx = intern_pair(a, b, cfg);
+  cell->deps = {cell->pair_idx};
+  cell->fingerprint = pair_fingerprint(a, b, cfg);
+  const auto id = static_cast<CellId>(cells_.size());
+  pairs_[static_cast<std::size_t>(cell->pair_idx)]
+      ->dependent_cells.push_back(id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellId Sweep::add_conformance(const stacks::Implementation& test,
+                              const stacks::Implementation& ref,
+                              const harness::ExperimentConfig& cfg,
+                              const conformance::PeConfig& pe_cfg) {
+  if (ran_) throw std::logic_error("Sweep: add_conformance after run()");
+  cfg.validate();
+  auto cell = std::make_unique<Cell>();
+  cell->kind = Cell::Kind::kConformance;
+  cell->pair_idx = intern_pair(test, ref, cfg);
+  cell->ref_pair_idx = intern_pair(ref, ref, cfg);
+  cell->deps = {cell->pair_idx};
+  if (cell->ref_pair_idx != cell->pair_idx) {
+    cell->deps.push_back(cell->ref_pair_idx);
+  }
+  cell->pe_cfg = pe_cfg;
+  cell->fingerprint = conformance_fingerprint(test, ref, cfg, pe_cfg);
+  const auto id = static_cast<CellId>(cells_.size());
+  for (const int d : cell->deps) {
+    pairs_[static_cast<std::size_t>(d)]->dependent_cells.push_back(id);
+  }
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+void Sweep::eval_cell(Cell& cell, double* busy_sec) {
+  if (cell.kind != Cell::Kind::kConformance) return;
+  const auto t0 = Clock::now();
+  const harness::PairResult& ref_pair =
+      pairs_[static_cast<std::size_t>(cell.ref_pair_idx)]->result;
+  const harness::PairResult& test_pair =
+      pairs_[static_cast<std::size_t>(cell.pair_idx)]->result;
+  cell.report = conformance::evaluate(ref_pair.points_a, test_pair.points_a,
+                                      cell.pe_cfg);
+  cell.eval_sec = seconds_since(t0);
+  *busy_sec += cell.eval_sec;
+}
+
+void Sweep::finalize_pair(PairTask& pair, double* busy_sec) {
+  pair.result =
+      harness::aggregate_trials(std::move(pair.trial_results), pair.cfg);
+  pair.trial_results = {};
+  if (cache_ != nullptr) cache_->store(pair.fingerprint, pair.result);
+  const int done = pairs_done_.fetch_add(1) + 1;
+  if (progress_) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    std::fprintf(stderr,
+                 "[qb-sweep %s] pair %d/%d done: %s vs %s (%.2fs, %llu "
+                 "events)\n",
+                 name_.c_str(), done, stats_.cache_misses,
+                 pair.a.display.c_str(), pair.b.display.c_str(),
+                 pair.wall_sec,
+                 static_cast<unsigned long long>(pair.events));
+  }
+  for (const int ci : pair.dependent_cells) {
+    Cell& cell = *cells_[static_cast<std::size_t>(ci)];
+    if (cell.kind == Cell::Kind::kConformance &&
+        cell.remaining.fetch_sub(1) == 1) {
+      eval_cell(cell, busy_sec);
+    }
+  }
+}
+
+void Sweep::run() {
+  if (ran_) throw std::logic_error("Sweep: run() called twice");
+  ran_ = true;
+  const auto t0 = Clock::now();
+
+  // Probe the persistent cache; misses become trial-granular work items.
+  for (const auto& p : pairs_) {
+    if (cache_ != nullptr) {
+      if (auto hit = cache_->load(p->fingerprint)) {
+        p->result = std::move(*hit);
+        p->cached = true;
+        ++stats_.cache_hits;
+        continue;
+      }
+    }
+    ++stats_.cache_misses;
+    p->remaining.store(p->cfg.trials);
+    p->trial_results.resize(static_cast<std::size_t>(p->cfg.trials));
+  }
+
+  // Cells whose pairs are all cached evaluate without simulating.
+  std::vector<Cell*> ready;
+  for (const auto& c : cells_) {
+    int rem = 0;
+    for (const int d : c->deps) {
+      if (!pairs_[static_cast<std::size_t>(d)]->cached) ++rem;
+    }
+    c->remaining.store(rem);
+    if (rem == 0 && c->kind == Cell::Kind::kConformance) {
+      ready.push_back(c.get());
+    }
+  }
+
+  struct Item {
+    int pair;
+    int trial;
+  };
+  std::vector<Item> items;
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    if (pairs_[pi]->cached) continue;
+    for (int t = 0; t < pairs_[pi]->cfg.trials; ++t) {
+      items.push_back({static_cast<int>(pi), t});
+    }
+  }
+
+  const unsigned hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  int requested = opts_.threads > 0 ? opts_.threads : env_threads();
+  if (requested <= 0) requested = static_cast<int>(hw);
+  const int workers = std::max(
+      1, std::min<int>(requested,
+                       static_cast<int>(items.size() + ready.size())));
+
+  stats_.cells = static_cast<int>(cells_.size());
+  stats_.unique_pairs = static_cast<int>(pairs_.size());
+  stats_.simulations_executed = static_cast<long long>(items.size());
+  stats_.threads = workers;
+
+  if (progress_) {
+    std::fprintf(stderr,
+                 "[qb-sweep %s] %d cells -> %d unique pairs (%d cached), "
+                 "%zu trials on %d threads\n",
+                 name_.c_str(), stats_.cells, stats_.unique_pairs,
+                 stats_.cache_hits, items.size(), workers);
+  }
+
+  std::atomic<std::size_t> next_item{0};
+  std::atomic<std::size_t> next_ready{0};
+  std::mutex busy_mu;
+  double total_busy = 0;
+
+  const auto worker = [&] {
+    double busy = 0;
+    for (;;) {
+      const std::size_t i = next_item.fetch_add(1);
+      if (i >= items.size()) break;
+      PairTask& p = *pairs_[static_cast<std::size_t>(items[i].pair)];
+      const auto ts = Clock::now();
+      harness::TrialResult tr = harness::run_trial(
+          p.a, p.b, p.cfg, static_cast<std::uint64_t>(items[i].trial));
+      const double dt = seconds_since(ts);
+      busy += dt;
+      {
+        std::lock_guard<std::mutex> lock(p.mu);
+        p.wall_sec += dt;
+        p.events += tr.sim_events;
+      }
+      p.trial_results[static_cast<std::size_t>(items[i].trial)] =
+          std::move(tr);
+      if (p.remaining.fetch_sub(1) == 1) finalize_pair(p, &busy);
+    }
+    for (;;) {
+      const std::size_t c = next_ready.fetch_add(1);
+      if (c >= ready.size()) break;
+      eval_cell(*ready[c], &busy);
+    }
+    std::lock_guard<std::mutex> lock(busy_mu);
+    total_busy += busy;
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const auto& p : pairs_) {
+    if (!p->cached) stats_.events_executed += p->events;
+  }
+  stats_.wall_sec = seconds_since(t0);
+  stats_.busy_sec = total_busy;
+  if (stats_.wall_sec > 0) {
+    stats_.events_per_sec =
+        static_cast<double>(stats_.events_executed) / stats_.wall_sec;
+    stats_.thread_utilization =
+        total_busy / (static_cast<double>(workers) * stats_.wall_sec);
+  }
+  if (progress_) {
+    std::fprintf(stderr,
+                 "[qb-sweep %s] done in %.2fs: %lld trials, %.2fM events "
+                 "(%.2fM events/s), utilization %.0f%%\n",
+                 name_.c_str(), stats_.wall_sec,
+                 stats_.simulations_executed,
+                 static_cast<double>(stats_.events_executed) / 1e6,
+                 stats_.events_per_sec / 1e6,
+                 100 * stats_.thread_utilization);
+  }
+}
+
+const harness::PairResult& Sweep::pair_result(CellId id) const {
+  if (!ran_) throw std::logic_error("Sweep: pair_result before run()");
+  const Cell& cell = *cells_.at(static_cast<std::size_t>(id));
+  return pairs_[static_cast<std::size_t>(cell.pair_idx)]->result;
+}
+
+const conformance::ConformanceReport& Sweep::conformance_result(
+    CellId id) const {
+  if (!ran_) {
+    throw std::logic_error("Sweep: conformance_result before run()");
+  }
+  const Cell& cell = *cells_.at(static_cast<std::size_t>(id));
+  if (cell.kind != Cell::Kind::kConformance) {
+    throw std::logic_error(
+        "Sweep: conformance_result on a raw pair cell; use pair_result");
+  }
+  return cell.report;
+}
+
+std::string Sweep::write_manifest() const {
+  if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
+  JsonWriter j;
+  j.begin_object();
+  j.kv("schema", "quicbench.sweep.manifest/v1");
+  j.kv("code_schema_version",
+       static_cast<std::uint64_t>(kSchemaVersion));
+  j.kv("sweep", name_);
+  j.kv("generated_at", iso_utc_now());
+  j.kv("threads", stats_.threads);
+  j.kv("wall_sec", stats_.wall_sec);
+  j.kv("busy_sec", stats_.busy_sec);
+  j.kv("thread_utilization", stats_.thread_utilization);
+  j.kv("simulations_executed",
+       static_cast<std::int64_t>(stats_.simulations_executed));
+  j.kv("events_executed", stats_.events_executed);
+  j.kv("events_per_sec", stats_.events_per_sec);
+
+  j.key("cache").begin_object();
+  j.kv("enabled", cache_ != nullptr);
+  j.kv("dir", cache_ != nullptr ? cache_->dir() : "");
+  j.kv("hits", stats_.cache_hits);
+  j.kv("misses", stats_.cache_misses);
+  j.end_object();
+
+  j.key("pairs").begin_array();
+  for (const auto& p : pairs_) {
+    j.begin_object();
+    j.kv("fingerprint", p->fingerprint);
+    j.kv("a", p->a.display);
+    j.kv("b", p->b.display);
+    j.kv("network", p->cfg.net.describe());
+    j.kv("duration_sec", time::to_sec(p->cfg.duration));
+    j.kv("trials", p->cfg.trials);
+    j.kv("seed", p->cfg.seed);
+    j.kv("cached", p->cached);
+    j.kv("wall_sec", p->wall_sec);
+    j.kv("events", p->events);
+    j.kv("events_per_sec",
+         p->wall_sec > 0 ? static_cast<double>(p->events) / p->wall_sec
+                         : 0.0);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("cells").begin_array();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = *cells_[i];
+    j.begin_object();
+    j.kv("id", static_cast<std::int64_t>(i));
+    j.kv("kind", c.kind == Cell::Kind::kConformance ? "conformance"
+                                                    : "pair");
+    j.kv("fingerprint", c.fingerprint);
+    const PairTask& main_pair =
+        *pairs_[static_cast<std::size_t>(c.pair_idx)];
+    j.kv("a", main_pair.a.display);
+    j.kv("b", main_pair.b.display);
+    j.key("pair_fingerprints").begin_array();
+    for (const int d : c.deps) {
+      j.value(pairs_[static_cast<std::size_t>(d)]->fingerprint);
+    }
+    j.end_array();
+    double wall = c.eval_sec;
+    for (const int d : c.deps) {
+      wall += pairs_[static_cast<std::size_t>(d)]->wall_sec;
+    }
+    j.kv("eval_sec", c.eval_sec);
+    j.kv("wall_sec", wall);  // shared pairs are counted in every cell
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  std::filesystem::create_directories(opts_.manifest_dir);
+  const std::string path = opts_.manifest_dir + "/" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << j.str();
+  return path;
+}
+
+// ---------------------------------------------------------------------
+
+const harness::PairResult& RefPairCache::get(
+    const stacks::Implementation& ref,
+    const harness::ExperimentConfig& cfg) {
+  const std::string key = pair_fingerprint(ref, ref, cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = mem_.find(key); it != mem_.end()) {
+      return it->second;
+    }
+  }
+  if (disk_ != nullptr && !cfg.record_cwnd) {
+    if (auto hit = disk_->load(key)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return mem_.emplace(key, std::move(*hit)).first->second;
+    }
+  }
+  harness::PairResult pr = harness::run_pair(ref, ref, cfg);
+  if (disk_ != nullptr) disk_->store(key, pr);
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_.emplace(key, std::move(pr)).first->second;
+}
+
+harness::PairResult run_pair_cached(const stacks::Implementation& a,
+                                    const stacks::Implementation& b,
+                                    const harness::ExperimentConfig& cfg,
+                                    ResultCache* disk) {
+  if (disk == nullptr || cfg.record_cwnd) {
+    return harness::run_pair(a, b, cfg);
+  }
+  const std::string key = pair_fingerprint(a, b, cfg);
+  if (auto hit = disk->load(key)) return std::move(*hit);
+  harness::PairResult pr = harness::run_pair(a, b, cfg);
+  disk->store(key, pr);
+  return pr;
+}
+
+conformance::ConformanceReport conformance_cell(
+    const stacks::Implementation& test, const stacks::Implementation& ref,
+    const harness::ExperimentConfig& cfg, RefPairCache& cache,
+    const conformance::PeConfig& pe_cfg) {
+  const harness::PairResult& ref_pair = cache.get(ref, cfg);
+  const harness::PairResult test_pair =
+      run_pair_cached(test, ref, cfg, cache.disk());
+  return conformance::evaluate(ref_pair.points_a, test_pair.points_a,
+                               pe_cfg);
+}
+
+} // namespace quicbench::runner

@@ -1,0 +1,169 @@
+#pragma once
+// The sweep engine: QUICbench's unit of work is a *sweep* — a set of
+// (Implementation pair, ExperimentConfig) cells covering a figure or
+// table — and this class runs one end to end:
+//
+//  * cells are decomposed into trial-granular work items scheduled over
+//    a shared-counter worker pool, so one slow 120 s cell no longer
+//    straggles a whole figure the way coarse per-cell fan-out did;
+//  * simulated pairs are deduplicated by canonical fingerprint and
+//    served from the persistent on-disk ResultCache when unchanged —
+//    reference self-pairs in particular are computed once *across*
+//    bench binaries;
+//  * per-pair results aggregate in trial-index order and PE evaluation
+//    is seeded, so results are bit-identical at any thread count;
+//  * every run can emit a structured JSON manifest (schema documented in
+//    README.md): cell list, per-pair wall time and simulator events/sec,
+//    cache hits/misses, thread utilization.
+//
+// Typical bench usage:
+//
+//   runner::Sweep sweep("fig06");
+//   std::vector<runner::CellId> ids;
+//   for (...) ids.push_back(sweep.add_conformance(impl, ref, cfg));
+//   sweep.run();
+//   ... sweep.conformance_result(ids[i]).conformance ...
+//   sweep.write_manifest();
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.h"
+#include "harness/experiment.h"
+#include "runner/cache.h"
+#include "stacks/registry.h"
+
+namespace quicbench::runner {
+
+using CellId = int;
+
+struct SweepOptions {
+  // 0 = QB_THREADS if set, else hardware concurrency.
+  int threads = 0;
+  // Persistent caching; QB_NO_CACHE=1 forces it off regardless.
+  bool use_cache = true;
+  // "" = ResultCache::default_dir() (bench_out/cache or $QB_CACHE_DIR).
+  std::string cache_dir;
+  std::string manifest_dir = "bench_out/manifests";
+  // Progress lines on stderr; QB_PROGRESS=1 forces them on.
+  bool progress = false;
+};
+
+struct SweepStats {
+  int cells = 0;
+  int unique_pairs = 0;      // after fingerprint dedup
+  int cache_hits = 0;        // pairs served from the persistent cache
+  int cache_misses = 0;      // pairs simulated this run
+  long long simulations_executed = 0;  // trials actually simulated
+  std::uint64_t events_executed = 0;   // simulator events across trials
+  int threads = 0;
+  double wall_sec = 0;             // run() span
+  double busy_sec = 0;             // summed worker time in trials/evals
+  double events_per_sec = 0;       // events_executed / wall_sec
+  double thread_utilization = 0;   // busy / (threads * wall)
+};
+
+class Sweep {
+ public:
+  explicit Sweep(std::string name, SweepOptions opts = {});
+  ~Sweep();
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  // Raw pairing: flow 0 = a vs flow 1 = b under cfg (fairness matrices).
+  // Validates cfg; throws std::invalid_argument on a bad config and
+  // std::logic_error after run().
+  CellId add_pair(const stacks::Implementation& a,
+                  const stacks::Implementation& b,
+                  const harness::ExperimentConfig& cfg);
+
+  // Conformance cell: evaluate(test-vs-ref, ref-vs-ref) under pe_cfg.
+  // The ref self-pair is shared across cells with equal fingerprints.
+  CellId add_conformance(const stacks::Implementation& test,
+                         const stacks::Implementation& ref,
+                         const harness::ExperimentConfig& cfg,
+                         const conformance::PeConfig& pe_cfg = {});
+
+  // Execute all cells. Callable once.
+  void run();
+
+  // Results, valid after run(). Throws std::logic_error on kind/state
+  // mismatch.
+  const harness::PairResult& pair_result(CellId id) const;
+  const conformance::ConformanceReport& conformance_result(CellId id) const;
+
+  const SweepStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  // Write <manifest_dir>/<name>.json and return its path.
+  std::string write_manifest() const;
+
+ private:
+  struct PairTask;
+  struct Cell;
+
+  int intern_pair(const stacks::Implementation& a,
+                  const stacks::Implementation& b,
+                  const harness::ExperimentConfig& cfg);
+  void finalize_pair(PairTask& pair, double* busy_sec);
+  void eval_cell(Cell& cell, double* busy_sec);
+
+  std::string name_;
+  SweepOptions opts_;
+  ResultCache* cache_ = nullptr;         // may point at owned_cache_
+  std::unique_ptr<ResultCache> owned_cache_;
+  std::vector<std::unique_ptr<PairTask>> pairs_;
+  std::map<std::string, int> pair_index_;  // pair fingerprint -> index
+  std::vector<std::unique_ptr<Cell>> cells_;
+  SweepStats stats_;
+  bool ran_ = false;
+  bool progress_ = false;
+  std::atomic<int> pairs_done_{0};
+  std::mutex progress_mu_;
+};
+
+// ---------------------------------------------------------------------
+// Library versions of helpers that previously lived in bench_common.h so
+// examples/ and tests can use them too.
+
+// Reference self-pairs (reference vs itself) are reused by every
+// implementation sharing a CCA and network config. In-memory per
+// process, optionally backed by the persistent ResultCache so they are
+// computed once across binaries. Keys are canonical pair fingerprints —
+// the old hand-rolled string key dropped sampling/start_spread/
+// flow_b_start/record_cwnd and silently shared results across configs
+// differing only there.
+class RefPairCache {
+ public:
+  explicit RefPairCache(ResultCache* disk = ResultCache::default_cache())
+      : disk_(disk) {}
+
+  const harness::PairResult& get(const stacks::Implementation& ref,
+                                 const harness::ExperimentConfig& cfg);
+
+  ResultCache* disk() const { return disk_; }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, harness::PairResult> mem_;
+  ResultCache* disk_;
+};
+
+// run_pair through the persistent cache (when `disk` is non-null and the
+// config is cacheable).
+harness::PairResult run_pair_cached(const stacks::Implementation& a,
+                                    const stacks::Implementation& b,
+                                    const harness::ExperimentConfig& cfg,
+                                    ResultCache* disk);
+
+// Conformance of `test` given a cached reference pair.
+conformance::ConformanceReport conformance_cell(
+    const stacks::Implementation& test, const stacks::Implementation& ref,
+    const harness::ExperimentConfig& cfg, RefPairCache& cache,
+    const conformance::PeConfig& pe_cfg = {});
+
+} // namespace quicbench::runner

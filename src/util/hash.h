@@ -1,0 +1,62 @@
+#pragma once
+// Stable, platform-independent hashing for configuration fingerprints.
+//
+// FNV-1a (64-bit) over a canonical byte stream: every integer is fed in
+// little-endian order regardless of host endianness, doubles are fed as
+// their IEEE-754 bit pattern, and strings are length-prefixed so that
+// adjacent fields cannot alias ("ab","c" vs "a","bc"). Not cryptographic
+// — this keys the on-disk result cache and detects config drift, nothing
+// more.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace quicbench {
+
+class StableHasher {
+ public:
+  StableHasher& u8(std::uint8_t v) {
+    h_ = (h_ ^ v) * kPrime;
+    return *this;
+  }
+
+  StableHasher& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  StableHasher& i64(std::int64_t v) {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+
+  StableHasher& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  StableHasher& b(bool v) { return u8(v ? 1 : 0); }
+
+  StableHasher& str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+  // 16 lowercase hex chars — the canonical fingerprint rendering.
+  std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          kDigits[(h_ >> (60 - 4 * i)) & 0xF];
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+} // namespace quicbench

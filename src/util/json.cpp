@@ -1,0 +1,132 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace quicbench {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ += ',';
+    newline_indent();
+  }
+  if (!stack_.empty()) stack_.back().has_items = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back({/*array=*/false, false});
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back({/*array=*/true, false});
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.back().has_items) out_ += ',';
+  newline_indent();
+  stack_.back().has_items = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_ + "\n"; }
+
+} // namespace quicbench

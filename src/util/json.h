@@ -1,0 +1,58 @@
+#pragma once
+// Minimal streaming JSON writer for the sweep run manifests. Emits
+// pretty-printed UTF-8 with two-space indentation; doubles are written
+// with round-trip precision and non-finite values become null (JSON has
+// no NaN/Inf). No reading/parsing — manifests are consumed by external
+// tooling (jq, python), not by us.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quicbench {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: the key of the next value/container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  // The finished document. Valid once every container has been closed.
+  std::string str() const;
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  struct Frame {
+    bool array = false;
+    bool has_items = false;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+} // namespace quicbench

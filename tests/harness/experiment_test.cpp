@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "harness/experiment.h"
 
 namespace quicbench::harness {
@@ -117,6 +120,50 @@ TEST(RunTrial, HighRttConfig) {
   for (const auto& r : tr.flow[0].trace.rtt_samples) {
     EXPECT_GE(r.rtt, time::ms(200));
   }
+}
+
+TEST(Validate, AcceptsDefaults) {
+  EXPECT_NO_THROW(ExperimentConfig{}.validate());
+}
+
+TEST(Validate, RejectsBadFields) {
+  const auto expect_rejects = [](auto&& mutate, const std::string& needle) {
+    ExperimentConfig cfg;
+    mutate(cfg);
+    try {
+      cfg.validate();
+      FAIL() << "expected invalid_argument mentioning \"" << needle << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_rejects([](auto& c) { c.trials = 0; }, "trials");
+  expect_rejects([](auto& c) { c.trials = -2; }, "trials");
+  expect_rejects([](auto& c) { c.duration = 0; }, "duration");
+  expect_rejects([](auto& c) { c.duration = -time::sec(1); }, "duration");
+  expect_rejects([](auto& c) { c.net.bandwidth = 0; }, "bandwidth");
+  expect_rejects([](auto& c) { c.net.bandwidth = -1.0; }, "bandwidth");
+  expect_rejects([](auto& c) { c.net.base_rtt = 0; }, "base_rtt");
+  expect_rejects([](auto& c) { c.net.trace_period = time::ms(5); }, "trace");
+  expect_rejects(
+      [](auto& c) { c.net.trace_opportunities = {time::ms(1)}; }, "trace");
+}
+
+TEST(Validate, RunPairRejectsInvalidConfig) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(run_pair(ref, ref, cfg), std::invalid_argument);
+}
+
+TEST(RunTrial, ReportsSimulatorEvents) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(5);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  // A 5 s two-flow run fires many thousands of events.
+  EXPECT_GT(tr.sim_events, 1000u);
 }
 
 TEST(MeasureConformance, SelfConformanceReasonable) {

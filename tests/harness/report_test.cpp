@@ -69,18 +69,8 @@ TEST(RenderPePlot, MarksPoints) {
   EXPECT_NE(out.find("plot"), std::string::npos);
 }
 
-TEST(ParallelFor, CoversAllIndices) {
-  std::vector<std::atomic<int>> hits(100);
-  parallel_for(100, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ParallelFor, ZeroAndNegative) {
-  int count = 0;
-  parallel_for(0, [&](int) { ++count; });
-  parallel_for(-5, [&](int) { ++count; });
-  EXPECT_EQ(count, 0);
-}
+// The ParallelFor tests moved to tests/runner/parallel_test.cpp along
+// with the implementation.
 
 } // namespace
 } // namespace quicbench::harness

@@ -117,6 +117,19 @@ TEST(Timer, CancelStopsFiring) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, CountsScheduledAndFiredEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.events_scheduled(), 0u);
+  EXPECT_EQ(sim.events_fired(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(time::ms(i + 1), [] {});
+  }
+  sim.schedule(time::ms(900), [] {});  // beyond the run window
+  EXPECT_EQ(sim.events_scheduled(), 6u);
+  sim.run_until(time::ms(100));
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
 TEST(Timer, RearmFromWithinCallback) {
   Simulator sim;
   Timer t(sim);

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "runner/cache.h"
+
+namespace quicbench::runner {
+namespace {
+
+std::string temp_cache_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("qb_cache_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+harness::PairResult sample_result() {
+  harness::PairResult pr;
+  // Values chosen to exercise exact bit patterns (0.1 is not
+  // representable; the cache must round-trip the stored bits, not a
+  // decimal rendering).
+  pr.points_a = {{{1.5, 2.25}, {0.1, 1.0 / 3.0}}, {{-4.0, 19.75}}};
+  pr.points_b = {{{2.0, 3.0}}, {}};
+  pr.tput_a_mbps = 9.300000000000001;
+  pr.tput_b_mbps = 10.7;
+  pr.share_a = 9.300000000000001 / 20.0;
+  pr.share_b = 1.0 - pr.share_a;
+  return pr;
+}
+
+void expect_bit_identical(const harness::PairResult& a,
+                          const harness::PairResult& b) {
+  EXPECT_EQ(a.points_a, b.points_a);
+  EXPECT_EQ(a.points_b, b.points_b);
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    static_assert(sizeof(u) == sizeof(v));
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  EXPECT_EQ(bits(a.tput_a_mbps), bits(b.tput_a_mbps));
+  EXPECT_EQ(bits(a.tput_b_mbps), bits(b.tput_b_mbps));
+  EXPECT_EQ(bits(a.share_a), bits(b.share_a));
+  EXPECT_EQ(bits(a.share_b), bits(b.share_b));
+}
+
+TEST(ResultCache, RoundTripBitIdentical) {
+  ResultCache cache(temp_cache_dir("roundtrip"));
+  const auto pr = sample_result();
+  ASSERT_TRUE(cache.store("0123456789abcdef", pr));
+  const auto loaded = cache.load("0123456789abcdef");
+  ASSERT_TRUE(loaded.has_value());
+  expect_bit_identical(pr, *loaded);
+  EXPECT_TRUE(loaded->trials.empty());
+}
+
+TEST(ResultCache, MissOnAbsentKey) {
+  ResultCache cache(temp_cache_dir("absent"));
+  EXPECT_FALSE(cache.load("feedfacefeedface").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMissNotAnError) {
+  ResultCache cache(temp_cache_dir("corrupt"));
+  ASSERT_TRUE(cache.store("aaaabbbbccccdddd", sample_result()));
+  {
+    std::ofstream f(std::filesystem::path(cache.dir()) /
+                        "aaaabbbbccccdddd.qbr",
+                    std::ios::binary | std::ios::trunc);
+    f << "not a cache entry";
+  }
+  EXPECT_FALSE(cache.load("aaaabbbbccccdddd").has_value());
+}
+
+TEST(ResultCache, TruncatedEntryIsAMiss) {
+  ResultCache cache(temp_cache_dir("truncated"));
+  ASSERT_TRUE(cache.store("1111222233334444", sample_result()));
+  const auto path =
+      std::filesystem::path(cache.dir()) / "1111222233334444.qbr";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(cache.load("1111222233334444").has_value());
+}
+
+TEST(ResultCache, WrongMagicIsAMiss) {
+  ResultCache cache(temp_cache_dir("magic"));
+  ASSERT_TRUE(cache.store("5555666677778888", sample_result()));
+  const auto path =
+      std::filesystem::path(cache.dir()) / "5555666677778888.qbr";
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.write("XXXX", 4);  // clobber the magic, leave the rest intact
+  }
+  EXPECT_FALSE(cache.load("5555666677778888").has_value());
+}
+
+TEST(ResultCache, DeclinesResultsWithRetainedTrials) {
+  ResultCache cache(temp_cache_dir("trials"));
+  auto pr = sample_result();
+  pr.trials.emplace_back();  // record_cwnd-style retained traces
+  EXPECT_FALSE(cache.store("9999aaaabbbbcccc", pr));
+  EXPECT_FALSE(cache.load("9999aaaabbbbcccc").has_value());
+}
+
+TEST(ResultCache, CountsHitsMissesStores) {
+  ResultCache cache(temp_cache_dir("counters"));
+  EXPECT_FALSE(cache.load("e0e0e0e0e0e0e0e0").has_value());
+  ASSERT_TRUE(cache.store("e0e0e0e0e0e0e0e0", sample_result()));
+  EXPECT_TRUE(cache.load("e0e0e0e0e0e0e0e0").has_value());
+  EXPECT_TRUE(cache.load("e0e0e0e0e0e0e0e0").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.stores(), 1u);
+}
+
+TEST(ResultCache, SeparateInstancesShareTheDirectory) {
+  const std::string dir = temp_cache_dir("shared");
+  ResultCache writer(dir);
+  ASSERT_TRUE(writer.store("d1d2d3d4d5d6d7d8", sample_result()));
+  ResultCache reader(dir);  // fresh instance, same directory (new binary)
+  const auto loaded = reader.load("d1d2d3d4d5d6d7d8");
+  ASSERT_TRUE(loaded.has_value());
+  expect_bit_identical(sample_result(), *loaded);
+}
+
+} // namespace
+} // namespace quicbench::runner

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runner/fingerprint.h"
+
+namespace quicbench::runner {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+harness::ExperimentConfig base_cfg() {
+  harness::ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  cfg.trials = 2;
+  return cfg;
+}
+
+TEST(Fingerprint, StableAcrossCalls) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto cfg = base_cfg();
+  EXPECT_EQ(pair_fingerprint(ref, ref, cfg), pair_fingerprint(ref, ref, cfg));
+  EXPECT_EQ(fingerprint(ref, cfg), fingerprint(ref, cfg));
+  EXPECT_EQ(conformance_fingerprint(ref, ref, cfg, {}),
+            conformance_fingerprint(ref, ref, cfg, {}));
+}
+
+TEST(Fingerprint, HexFormat) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const std::string fp = pair_fingerprint(ref, ref, base_cfg());
+  ASSERT_EQ(fp.size(), 16u);
+  for (const char c : fp) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)))
+        << fp;
+  }
+}
+
+TEST(Fingerprint, DistinguishesImplementations) {
+  const auto& reg = Registry::instance();
+  const auto cfg = base_cfg();
+  std::set<std::string> fps;
+  for (const auto& impl : reg.all()) {
+    fps.insert(fingerprint(impl, cfg));
+  }
+  EXPECT_EQ(fps.size(), reg.all().size());
+}
+
+TEST(Fingerprint, PairOrderSensitive) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", CcaType::kCubic);
+  const auto cfg = base_cfg();
+  EXPECT_NE(pair_fingerprint(*quiche, ref, cfg),
+            pair_fingerprint(ref, *quiche, cfg));
+}
+
+// Every ExperimentConfig field must perturb the pair fingerprint. The
+// last four (sampling, start_spread, flow_b_start, record_cwnd) are the
+// regression for the old bench_common RefPairCache key, which omitted
+// them and silently shared results between differing configs.
+TEST(Fingerprint, EveryExperimentConfigFieldPerturbs) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto cfg = base_cfg();
+  const std::string base = pair_fingerprint(ref, ref, cfg);
+
+  std::vector<harness::ExperimentConfig> variants;
+  const auto vary = [&](auto&& mutate) {
+    harness::ExperimentConfig v = cfg;
+    mutate(v);
+    variants.push_back(v);
+  };
+  vary([](auto& v) { v.net.bandwidth = rate::mbps(21); });
+  vary([](auto& v) { v.net.base_rtt = time::ms(11); });
+  vary([](auto& v) { v.net.buffer_bdp = 2.0; });
+  vary([](auto& v) { v.net.base_jitter = time::us(300); });
+  vary([](auto& v) { v.net.path_jitter = time::ms(1); });
+  vary([](auto& v) { v.net.jitter_reorder = true; });
+  vary([](auto& v) { v.net.cross_traffic_rate = rate::mbps(1); });
+  vary([](auto& v) { v.net.cross_on = time::ms(100); });
+  vary([](auto& v) { v.net.cross_off = time::ms(900); });
+  vary([](auto& v) {
+    v.net.trace_opportunities = {time::ms(1), time::ms(2)};
+    v.net.trace_period = time::ms(3);
+  });
+  vary([](auto& v) {
+    v.net.trace_opportunities = {time::ms(1), time::ms(3)};
+    v.net.trace_period = time::ms(3);
+  });
+  vary([](auto& v) { v.duration = time::sec(11); });
+  vary([](auto& v) { v.trials = 3; });
+  vary([](auto& v) { v.seed = 43; });
+  vary([](auto& v) { v.sampling.truncate_fraction = 0.2; });
+  vary([](auto& v) { v.sampling.rtts_per_sample = 5; });
+  vary([](auto& v) { v.start_spread = time::ms(40); });
+  vary([](auto& v) { v.flow_b_start = time::ms(5); });
+  vary([](auto& v) { v.record_cwnd = true; });
+
+  std::set<std::string> fps{base};
+  for (const auto& v : variants) {
+    const std::string fp = pair_fingerprint(ref, ref, v);
+    EXPECT_NE(fp, base);
+    fps.insert(fp);
+  }
+  // All variants must also differ from each other.
+  EXPECT_EQ(fps.size(), variants.size() + 1);
+}
+
+TEST(Fingerprint, PairFingerprintIgnoresPeConfig) {
+  // The simulated PairResult does not depend on PE extraction settings,
+  // so pair_fingerprint takes no PeConfig at all — but the cell-level
+  // fingerprints must include it.
+  const auto& ref = Registry::instance().reference(CcaType::kBbr);
+  const auto cfg = base_cfg();
+  conformance::PeConfig pe;
+  pe.max_k = 4;
+  EXPECT_NE(conformance_fingerprint(ref, ref, cfg, {}),
+            conformance_fingerprint(ref, ref, cfg, pe));
+  EXPECT_NE(fingerprint(ref, cfg, {}), fingerprint(ref, cfg, pe));
+}
+
+TEST(Fingerprint, PeConfigFieldsPerturb) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto cfg = base_cfg();
+  const std::string base = conformance_fingerprint(ref, ref, cfg, {});
+
+  std::vector<conformance::PeConfig> variants;
+  const auto vary = [&](auto&& mutate) {
+    conformance::PeConfig v;
+    mutate(v);
+    variants.push_back(v);
+  };
+  vary([](auto& v) { v.max_k = 3; });
+  vary([](auto& v) { v.normalize = false; });
+  vary([](auto& v) { v.seed = 8; });
+  vary([](auto& v) { v.min_cluster_share = 0.05; });
+  vary([](auto& v) { v.per_trial_clustering = false; });
+  vary([](auto& v) { v.trial_quorum = 1.0; });
+  vary([](auto& v) { v.min_iou_drop = 0.1; });
+
+  std::set<std::string> fps{base};
+  for (const auto& v : variants) {
+    fps.insert(conformance_fingerprint(ref, ref, cfg, v));
+  }
+  EXPECT_EQ(fps.size(), variants.size() + 1);
+}
+
+TEST(Fingerprint, ImplementationTweaksPerturb) {
+  const auto& reg = Registry::instance();
+  const auto cfg = base_cfg();
+  const auto& ref = reg.reference(CcaType::kBbr);
+  const std::string base = fingerprint(ref, cfg);
+
+  stacks::Implementation tweaked = ref;
+  tweaked.bbr.cwnd_gain += 0.25;
+  EXPECT_NE(fingerprint(tweaked, cfg), base);
+
+  // The Figure 5 modified-kernel variants must all key differently.
+  std::set<std::string> fps;
+  for (const double gain : {1.5, 2.0, 2.5, 3.0}) {
+    fps.insert(fingerprint(stacks::modified_kernel_bbr(gain), cfg));
+  }
+  EXPECT_EQ(fps.size(), 4u);
+}
+
+} // namespace
+} // namespace quicbench::runner

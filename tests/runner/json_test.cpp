@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/json.h"
+
+namespace quicbench {
+namespace {
+
+TEST(JsonEscape, ControlAndSpecialChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  // Documents end with a trailing newline.
+  JsonWriter o;
+  o.begin_object().end_object();
+  EXPECT_EQ(o.str(), "{}\n");
+  JsonWriter a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]\n");
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "sweep");
+  w.kv("threads", 4);
+  w.kv("enabled", true);
+  w.key("items").begin_array();
+  w.value(std::int64_t{1});
+  w.begin_object().kv("x", 2.5).end_object();
+  w.null();
+  w.end_array();
+  w.end_object();
+  const std::string s = w.str();
+  EXPECT_NE(s.find("\"name\": \"sweep\""), std::string::npos);
+  EXPECT_NE(s.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(s.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"x\": 2.5"), std::string::npos);
+  EXPECT_NE(s.find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array().value(0.1).value(1.0 / 3.0).end_array();
+  const std::string s = w.str();
+  // %.17g preserves the exact value.
+  EXPECT_NE(s.find("0.1000000000000000"), std::string::npos);
+  EXPECT_NE(s.find("0.3333333333333333"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  const std::string s = w.str();
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+  EXPECT_NE(s.find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  JsonWriter w;
+  w.begin_object().kv("we\"ird", "line\nbreak").end_object();
+  const std::string s = w.str();
+  EXPECT_NE(s.find("\"we\\\"ird\""), std::string::npos);
+  EXPECT_NE(s.find("line\\nbreak"), std::string::npos);
+}
+
+} // namespace
+} // namespace quicbench

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "runner/parallel.h"
+
+namespace quicbench::runner {
+namespace {
+
+TEST(ParallelFor, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndNegative) {
+  int count = 0;
+  parallel_for(0, [&](int) { ++count; });
+  parallel_for(-5, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ParallelFor, ExplicitThreadCount) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(
+      64, [&](int i) { hits[static_cast<std::size_t>(i)]++; },
+      /*threads=*/3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<int> order;
+  parallel_for(
+      10, [&](int i) { order.push_back(i); }, /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::set<int> seen;
+  std::mutex mu;
+  parallel_for(
+      3,
+      [&](int i) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(i);
+      },
+      /*threads=*/16);
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2}));
+}
+
+} // namespace
+} // namespace quicbench::runner

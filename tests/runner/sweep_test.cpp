@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "runner/fingerprint.h"
+#include "runner/sweep.h"
+
+namespace quicbench::runner {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+harness::ExperimentConfig quick_cfg() {
+  harness::ExperimentConfig cfg;
+  cfg.duration = time::sec(3);
+  cfg.trials = 2;
+  return cfg;
+}
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("qb_sweep_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+SweepOptions no_cache_opts(int threads = 0) {
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.use_cache = false;
+  opts.manifest_dir = temp_dir("manifests");
+  return opts;
+}
+
+void expect_bit_identical(const harness::PairResult& a,
+                          const harness::PairResult& b) {
+  EXPECT_EQ(a.points_a, b.points_a);
+  EXPECT_EQ(a.points_b, b.points_b);
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  EXPECT_EQ(bits(a.tput_a_mbps), bits(b.tput_a_mbps));
+  EXPECT_EQ(bits(a.tput_b_mbps), bits(b.tput_b_mbps));
+  EXPECT_EQ(bits(a.share_a), bits(b.share_a));
+  EXPECT_EQ(bits(a.share_b), bits(b.share_b));
+}
+
+TEST(Sweep, MatchesDirectRunPair) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", CcaType::kCubic);
+  const auto cfg = quick_cfg();
+
+  Sweep sweep("direct", no_cache_opts());
+  const auto id = sweep.add_pair(*quiche, ref, cfg);
+  sweep.run();
+
+  // Trial-parallel scheduling must reproduce the serial path bit for bit.
+  expect_bit_identical(sweep.pair_result(id),
+                       harness::run_pair(*quiche, ref, cfg));
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kBbr);
+  const auto* mvfst = reg.find("mvfst", CcaType::kBbr);
+  const auto cfg = quick_cfg();
+
+  Sweep serial("t1", no_cache_opts(1));
+  Sweep parallel4("t4", no_cache_opts(4));
+  const auto p1 = serial.add_pair(*mvfst, ref, cfg);
+  const auto c1 = serial.add_conformance(*mvfst, ref, cfg);
+  const auto p4 = parallel4.add_pair(*mvfst, ref, cfg);
+  const auto c4 = parallel4.add_conformance(*mvfst, ref, cfg);
+  serial.run();
+  parallel4.run();
+
+  expect_bit_identical(serial.pair_result(p1), parallel4.pair_result(p4));
+  EXPECT_EQ(serial.conformance_result(c1).conformance,
+            parallel4.conformance_result(c4).conformance);
+  EXPECT_EQ(serial.conformance_result(c1).conformance_t,
+            parallel4.conformance_result(c4).conformance_t);
+}
+
+TEST(Sweep, DeduplicatesIdenticalPairs) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", CcaType::kCubic);
+  const auto* chromium = reg.find("chromium", CcaType::kCubic);
+  const auto cfg = quick_cfg();
+
+  Sweep sweep("dedup", no_cache_opts());
+  // Two conformance cells sharing a reference: 3 unique pairs, not 4.
+  sweep.add_conformance(*quiche, ref, cfg);
+  sweep.add_conformance(*chromium, ref, cfg);
+  sweep.run();
+  EXPECT_EQ(sweep.stats().cells, 2);
+  EXPECT_EQ(sweep.stats().unique_pairs, 3);
+  EXPECT_EQ(sweep.stats().simulations_executed,
+            static_cast<long long>(3 * cfg.trials));
+}
+
+TEST(Sweep, WarmCacheRunPerformsNoSimulations) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kReno);
+  const auto* xquic = reg.find("xquic", CcaType::kReno);
+  const auto cfg = quick_cfg();
+  const std::string cache_dir = temp_dir("warm_cache");
+
+  SweepOptions opts;
+  opts.cache_dir = cache_dir;
+  opts.manifest_dir = temp_dir("warm_manifests");
+
+  Sweep cold("cold", opts);
+  const auto cold_id = cold.add_conformance(*xquic, ref, cfg);
+  cold.run();
+  EXPECT_GT(cold.stats().simulations_executed, 0);
+  EXPECT_EQ(cold.stats().cache_hits, 0);
+  EXPECT_EQ(cold.stats().cache_misses, 2);
+
+  Sweep warm("warm", opts);
+  const auto warm_id = warm.add_conformance(*xquic, ref, cfg);
+  warm.run();
+  EXPECT_EQ(warm.stats().simulations_executed, 0);
+  EXPECT_EQ(warm.stats().cache_hits, 2);
+  EXPECT_EQ(warm.stats().cache_misses, 0);
+
+  EXPECT_EQ(cold.conformance_result(cold_id).conformance,
+            warm.conformance_result(warm_id).conformance);
+}
+
+TEST(Sweep, RejectsInvalidConfigAtAdd) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  Sweep sweep("invalid", no_cache_opts());
+  auto cfg = quick_cfg();
+  cfg.trials = 0;
+  EXPECT_THROW(sweep.add_pair(ref, ref, cfg), std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.duration = 0;
+  EXPECT_THROW(sweep.add_conformance(ref, ref, cfg), std::invalid_argument);
+}
+
+TEST(Sweep, LifecycleErrors) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto cfg = quick_cfg();
+  Sweep sweep("lifecycle", no_cache_opts());
+  const auto pair_id = sweep.add_pair(ref, ref, cfg);
+  EXPECT_THROW(sweep.pair_result(pair_id), std::logic_error);  // before run
+  sweep.run();
+  EXPECT_THROW(sweep.add_pair(ref, ref, cfg), std::logic_error);
+  EXPECT_THROW(sweep.run(), std::logic_error);
+  // Kind mismatch: a pair cell has no conformance report.
+  EXPECT_THROW(sweep.conformance_result(pair_id), std::logic_error);
+  EXPECT_THROW(sweep.pair_result(999), std::logic_error);
+}
+
+TEST(Sweep, ManifestReportsSchemaAndCounts) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  Sweep sweep("manifest", no_cache_opts());
+  sweep.add_pair(ref, ref, quick_cfg());
+  sweep.run();
+  const std::string path = sweep.write_manifest();
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v1\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"simulations_executed\": 2"), std::string::npos);
+  EXPECT_NE(body.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(body.find("\"cache\""), std::string::npos);
+}
+
+TEST(RefPairCache, MemoizesAndSharesViaDisk) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  const auto cfg = quick_cfg();
+  ResultCache disk(temp_dir("refpair_disk"));
+
+  RefPairCache first(&disk);
+  const auto& a = first.get(ref, cfg);
+  const auto& b = first.get(ref, cfg);
+  EXPECT_EQ(&a, &b);  // in-memory memoization returns the same object
+  EXPECT_EQ(disk.stores(), 1u);
+
+  // A fresh instance (another binary, conceptually) loads from disk.
+  RefPairCache second(&disk);
+  expect_bit_identical(a, second.get(ref, cfg));
+  EXPECT_EQ(disk.hits(), 1u);
+}
+
+TEST(RefPairCache, DistinguishesConfigsTheOldKeyConflated) {
+  // Regression: the old string key ignored start_spread; two configs
+  // differing only there must not share a cache slot.
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  auto cfg_a = quick_cfg();
+  auto cfg_b = quick_cfg();
+  cfg_b.start_spread = time::ms(40);
+  RefPairCache cache(nullptr);
+  const auto& ra = cache.get(ref, cfg_a);
+  const auto& rb = cache.get(ref, cfg_b);
+  EXPECT_NE(&ra, &rb);
+}
+
+TEST(ConformanceCell, MatchesMeasureConformance) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", CcaType::kCubic);
+  const auto cfg = quick_cfg();
+  RefPairCache cache(nullptr);
+  const auto via_cell = conformance_cell(*quiche, ref, cfg, cache);
+  const auto direct = harness::measure_conformance(*quiche, ref, cfg);
+  EXPECT_EQ(via_cell.conformance, direct.conformance);
+  EXPECT_EQ(via_cell.conformance_t, direct.conformance_t);
+}
+
+} // namespace
+} // namespace quicbench::runner
