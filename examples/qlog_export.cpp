@@ -69,6 +69,29 @@ int main(int argc, char** argv) {
           [&qlog, s = send.get()](Time t, Bytes cwnd, Bytes inflight) {
             qlog.metrics_updated(t, cwnd, inflight, s->rtt().smoothed());
           });
+      send->controller().set_phase_callback(
+          [&qlog](Time t, std::string_view from, std::string_view to) {
+            qlog.congestion_state_updated(t, from, to);
+          });
+      send->set_timer_callback(
+          [&qlog](Time t, transport::SenderEndpoint::LossTimerKind kind,
+                  transport::SenderEndpoint::LossTimerEvent event,
+                  Time expiry) {
+            using Kind = transport::SenderEndpoint::LossTimerKind;
+            using Ev = transport::SenderEndpoint::LossTimerEvent;
+            const auto type = kind == Kind::kPto
+                                  ? trace::QlogWriter::TimerType::kPto
+                                  : trace::QlogWriter::TimerType::kLossDetection;
+            const auto ev = event == Ev::kSet
+                                ? trace::QlogWriter::TimerEvent::kSet
+                                : event == Ev::kExpired
+                                      ? trace::QlogWriter::TimerEvent::kExpired
+                                      : trace::QlogWriter::TimerEvent::kCancelled;
+            qlog.loss_timer_updated(t, type, ev, expiry);
+          });
+      send->set_spurious_loss_callback([&qlog](Time t, std::uint64_t pn) {
+        qlog.spurious_loss_detected(t, pn);
+      });
       recv->set_packet_callback(
           [&qlog](Time t, std::uint64_t pn, Bytes size) {
             qlog.packet_received(t, pn, size);
@@ -83,8 +106,9 @@ int main(int argc, char** argv) {
 
   sim.run_until(time::sec(secs));
 
-  if (!qlog.write_file(out)) {
-    std::cerr << "failed to write " << out << "\n";
+  std::string error;
+  if (!qlog.write_file(out, &error)) {
+    std::cerr << error << "\n";
     return 1;
   }
   std::cout << "wrote " << qlog.event_count() << " events to " << out

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Summarize a sweep run manifest (quicbench.sweep.manifest/v2) as a
+per-pair table: wall time, cache status, loss rate, bottleneck queue
+high-watermark and CCA phase residency.
+
+Usage:
+    python3 scripts/summarize_manifest.py bench_out/manifests/fig06.json
+    python3 scripts/summarize_manifest.py bench_out/manifests/*.json
+
+Stdlib only.
+"""
+import json
+import sys
+
+
+def fmt_bytes(n):
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+
+
+def fmt_phases(phases):
+    total = sum(phases.values())
+    if total <= 0:
+        return "-"
+    parts = sorted(phases.items(), key=lambda kv: -kv[1])
+    return " ".join(f"{name}:{100 * sec / total:.0f}%" for name, sec in parts)
+
+
+def summarize(path):
+    with open(path) as f:
+        m = json.load(f)
+
+    schema = m.get("schema", "?")
+    print(f"== {m.get('sweep', path)} ({schema}) ==")
+    if not schema.endswith("/v2"):
+        print(f"  warning: expected quicbench.sweep.manifest/v2, got {schema}")
+    cache = m.get("cache", {})
+    print(
+        f"  wall {m.get('wall_sec', 0):.2f}s on {m.get('threads', '?')} threads"
+        f" ({100 * m.get('thread_utilization', 0):.0f}% busy),"
+        f" {m.get('simulations_executed', 0)} trials simulated,"
+        f" cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses"
+    )
+    obs = m.get("observability", {})
+    if obs.get("qlog_dir"):
+        print(f"  qlog: {obs['qlog_dir']}")
+    if obs.get("profile"):
+        print(f"  profile: {obs['profile']}")
+
+    rows = []
+    for p in m.get("pairs", []):
+        d = p.get("diagnostics", {})
+        flows = d.get("flows", [{}, {}])
+        loss = flows[0].get("loss_rate")
+        rows.append(
+            (
+                f"{p.get('a', '?')} vs {p.get('b', '?')}",
+                "hit" if p.get("cached") else f"{p.get('wall_sec', 0):.2f}s",
+                f"{100 * loss:.2f}%" if loss is not None and d.get("valid") else "-",
+                fmt_bytes(d.get("queue_hwm_bytes", 0)) if d.get("valid") else "-",
+                f"{100 * d.get('utilization', 0):.0f}%" if d.get("valid") else "-",
+                fmt_phases(flows[0].get("phase_residency_sec", {}))
+                if d.get("valid")
+                else "-",
+            )
+        )
+
+    headers = ("pair", "wall", "loss", "queue hwm", "util", "flow-0 phase residency")
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    print()
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            summarize(path)
+        except BrokenPipeError:
+            raise
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)  # e.g. piped into head

@@ -171,6 +171,7 @@ void Bbr::on_ack(const AckEvent& ev) {
   update_probe_bw_cycle(ev);
   check_probe_rtt(ev);
   update_cwnd(ev);
+  sync_phase(ev.now);
 }
 
 void Bbr::on_loss(const LossEvent& ev) {
@@ -180,6 +181,7 @@ void Bbr::on_loss(const LossEvent& ev) {
   if (ev.is_persistent_congestion) {
     cwnd_ = cfg_.mss * cfg_.min_cwnd_packets;
   }
+  sync_phase(ev.now);
 }
 
 Bytes Bbr::cwnd() const { return cwnd_; }

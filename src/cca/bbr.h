@@ -40,6 +40,15 @@ class Bbr : public CongestionController {
   std::optional<Rate> pacing_rate() const override;
   bool in_slow_start() const override { return mode_ == Mode::kStartup; }
   std::string name() const override { return "bbr"; }
+  std::string_view phase() const override {
+    switch (mode_) {
+      case Mode::kStartup: return "startup";
+      case Mode::kDrain: return "drain";
+      case Mode::kProbeBw: return "probe_bw";
+      case Mode::kProbeRtt: break;
+    }
+    return "probe_rtt";
+  }
 
   enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
   Mode mode() const { return mode_; }

@@ -8,9 +8,11 @@
 // needs, so controllers stay stateless with respect to the transport's
 // internals.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/units.h"
 
@@ -81,6 +83,49 @@ class CongestionController {
   virtual bool in_slow_start() const { return false; }
 
   virtual std::string name() const = 0;
+
+  // --- phase observation (flight-recorder hooks) -----------------------
+  //
+  // Each controller exposes its current phase as a stable name drawn from
+  // a small static set:
+  //   Reno:  slow_start | congestion_avoidance | recovery
+  //   CUBIC: slow_start | conservative_slow_start (HyStart++ CSS) |
+  //          congestion_avoidance | recovery
+  //   BBR:   startup | drain | probe_bw | probe_rtt
+  // and reports transitions through the phase callback (from, to). The
+  // hooks observe only — they must never influence controller behaviour —
+  // so instrumented and uninstrumented runs stay bit-identical.
+
+  using PhaseCallback =
+      std::function<void(Time now, std::string_view from, std::string_view to)>;
+
+  void set_phase_callback(PhaseCallback cb) { phase_cb_ = std::move(cb); }
+
+  // Current phase name; string_views point at static storage.
+  virtual std::string_view phase() const {
+    return in_slow_start() ? "slow_start" : "congestion_avoidance";
+  }
+
+ protected:
+  // Compare the current phase against the last synced one and notify on
+  // change. Controllers call this at the end of each event handler, which
+  // covers every transition site without instrumenting each assignment.
+  void sync_phase(Time now) {
+    if (!phase_cb_ && !last_phase_.empty()) return;  // nothing to observe
+    const std::string_view p = phase();
+    if (last_phase_.empty()) {
+      last_phase_ = p;  // first observation: no transition to report
+      return;
+    }
+    if (p != last_phase_) {
+      if (phase_cb_) phase_cb_(now, last_phase_, p);
+      last_phase_ = p;
+    }
+  }
+
+ private:
+  PhaseCallback phase_cb_;
+  std::string_view last_phase_;
 };
 
 using CcaFactory = std::unique_ptr<CongestionController> (*)();

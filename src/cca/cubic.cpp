@@ -114,6 +114,10 @@ void Cubic::enter_avoidance_from(Bytes at_cwnd) {
 }
 
 void Cubic::on_ack(const AckEvent& ev) {
+  if (in_recovery_ &&
+      ev.largest_newly_acked_sent_time > epoch_.recovery_start()) {
+    in_recovery_ = false;
+  }
   // RFC 8312bis spurious-congestion classifier: if a full round trip has
   // passed since the last backoff without a further congestion event,
   // deem the event spurious and undo it.
@@ -137,6 +141,7 @@ void Cubic::on_ack(const AckEvent& ev) {
       cubic_update(ev);
       break;
   }
+  sync_phase(ev.now);
 }
 
 void Cubic::cubic_update(const AckEvent& ev) {
@@ -199,10 +204,15 @@ void Cubic::on_loss(const LossEvent& ev) {
     epoch_start_ = -1;
     phase_ = Phase::kSlowStart;
     pre_backoff_.valid = false;
+    in_recovery_ = true;
+    sync_phase(ev.now);
     return;
   }
 
-  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) return;
+  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) {
+    sync_phase(ev.now);
+    return;
+  }
 
   // Snapshot for a possible RFC 8312bis rollback.
   pre_backoff_ = Snapshot{cwnd_, ssthresh_, w_max_, k_, epoch_start_, true};
@@ -221,6 +231,8 @@ void Cubic::on_loss(const LossEvent& ev) {
   ssthresh_ = cwnd_;
   epoch_start_ = -1;
   phase_ = Phase::kAvoidance;
+  in_recovery_ = true;
+  sync_phase(ev.now);
 }
 
 void Cubic::on_spurious_loss(const SpuriousLossEvent& ev) {
@@ -230,6 +242,7 @@ void Cubic::on_spurious_loss(const SpuriousLossEvent& ev) {
   // was part of the congestion event we are about to undo.
   if (ev.sent_time > last_backoff_time_) return;
   rollback();
+  sync_phase(ev.now);
 }
 
 void Cubic::rollback() {

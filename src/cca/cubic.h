@@ -61,6 +61,15 @@ class Cubic : public CongestionController {
   Bytes cwnd() const override { return cwnd_; }
   bool in_slow_start() const override;
   std::string name() const override { return "cubic"; }
+  std::string_view phase() const override {
+    if (in_recovery_) return "recovery";
+    switch (phase_) {
+      case Phase::kSlowStart: return "slow_start";
+      case Phase::kCss: return "conservative_slow_start";
+      case Phase::kAvoidance: break;
+    }
+    return "congestion_avoidance";
+  }
 
   Bytes ssthresh() const { return ssthresh_; }
   double w_max_segments() const { return w_max_; }
@@ -117,6 +126,9 @@ class Cubic : public CongestionController {
   bool rolled_back_current_ = false;
 
   RecoveryEpochTracker epoch_;
+  // Observation-only recovery overlay (see Reno). Never consulted by the
+  // control law.
+  bool in_recovery_ = false;
 
   static constexpr int kHystartMinRttSamples = 8;
   static constexpr int kCssRounds = 5;

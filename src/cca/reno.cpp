@@ -11,9 +11,14 @@ Reno::Reno(RenoConfig cfg)
       ssthresh_(std::numeric_limits<Bytes>::max()) {}
 
 void Reno::on_ack(const AckEvent& ev) {
+  if (in_recovery_ &&
+      ev.largest_newly_acked_sent_time > epoch_.recovery_start()) {
+    in_recovery_ = false;
+  }
   if (in_slow_start()) {
     cwnd_ += ev.bytes_acked;
     if (cwnd_ > ssthresh_) cwnd_ = ssthresh_ + (cwnd_ - ssthresh_) / 2;
+    sync_phase(ev.now);
     return;
   }
   // Congestion avoidance: +1 MSS per cwnd's worth of acked bytes.
@@ -25,6 +30,7 @@ void Reno::on_ack(const AckEvent& ev) {
     cwnd_ += inc;
     ca_accumulator_ -= static_cast<double>(inc);
   }
+  sync_phase(ev.now);
 }
 
 void Reno::on_loss(const LossEvent& ev) {
@@ -34,12 +40,19 @@ void Reno::on_loss(const LossEvent& ev) {
         static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta), min_cwnd);
     cwnd_ = min_cwnd;
     epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time);
+    in_recovery_ = true;
+    sync_phase(ev.now);
     return;
   }
-  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) return;
+  if (!epoch_.on_congestion_event(ev.now, ev.largest_lost_sent_time)) {
+    sync_phase(ev.now);
+    return;
+  }
   ssthresh_ = std::max<Bytes>(
       static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta), min_cwnd);
   cwnd_ = ssthresh_;
+  in_recovery_ = true;
+  sync_phase(ev.now);
 }
 
 } // namespace quicbench::cca

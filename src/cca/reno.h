@@ -26,6 +26,10 @@ class Reno : public CongestionController {
   Bytes cwnd() const override { return cwnd_; }
   bool in_slow_start() const override { return cwnd_ < ssthresh_; }
   std::string name() const override { return "reno"; }
+  std::string_view phase() const override {
+    if (in_recovery_) return "recovery";
+    return in_slow_start() ? "slow_start" : "congestion_avoidance";
+  }
 
   Bytes ssthresh() const { return ssthresh_; }
 
@@ -35,6 +39,10 @@ class Reno : public CongestionController {
   Bytes ssthresh_;
   double ca_accumulator_ = 0.0;  // fractional cwnd growth in CA
   RecoveryEpochTracker epoch_;
+  // Observation-only recovery overlay (RFC 9002 semantics: in recovery
+  // until a packet sent after the recovery episode began is acked). Never
+  // consulted by the control law.
+  bool in_recovery_ = false;
 };
 
 } // namespace quicbench::cca

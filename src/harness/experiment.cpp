@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -63,6 +64,25 @@ void ExperimentConfig::validate() const {
 TrialResult run_trial(const Implementation& a, const Implementation& b,
                       const ExperimentConfig& cfg,
                       std::uint64_t trial_index) {
+  return run_trial(a, b, cfg, trial_index, TrialObservers{});
+}
+
+namespace {
+
+// Accumulates per-flow CCA phase residency from the observation-only
+// phase callbacks. `current`/`since` track the open interval; the trial
+// closes it against the configured duration.
+struct PhaseAccum {
+  std::map<std::string, double, std::less<>> sec;
+  std::string current;
+  Time since = 0;
+};
+
+}  // namespace
+
+TrialResult run_trial(const Implementation& a, const Implementation& b,
+                      const ExperimentConfig& cfg, std::uint64_t trial_index,
+                      const TrialObservers& observers) {
   Simulator sim;
   Rng master(cfg.seed * 0x9E3779B97F4A7C15ULL + trial_index * 1000003ULL + 1);
   Rng jitter_rng = master.fork(1);
@@ -78,7 +98,15 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
 
   Dumbbell db(sim, dc, 2, &jitter_rng);
 
+  obs::MetricsRegistry& reg = observers.metrics != nullptr
+                                  ? *observers.metrics
+                                  : obs::MetricsRegistry::noop();
+  if (reg.enabled() && db.trace_bottleneck() == nullptr) {
+    db.bottleneck().attach_metrics(reg, "bottleneck");
+  }
+
   TrialResult result;
+  PhaseAccum phase_acc[2];
   std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
   std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
 
@@ -90,17 +118,94 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
         sim, i, impl.profile.sender, impl.make_cca(), db.forward_in(),
         master.fork(static_cast<std::uint64_t>(10 + i)));
 
+    trace::QlogWriter* ql = observers.qlog[i];
+    transport::SenderEndpoint* snd = sender.get();
+    const std::string fp = i == 0 ? "flow0" : "flow1";
+
     trace::FlowTrace& tr = result.flow[i].trace;
     receiver->set_delivery_callback(
         [&tr](Time now, Bytes payload, Time) {
           tr.record_delivery(now, payload);
         });
-    sender->set_rtt_callback(
-        [&tr](Time now, Time rtt) { tr.record_rtt(now, rtt); });
-    if (cfg.record_cwnd) {
-      sender->set_cwnd_callback([&tr](Time now, Bytes cwnd, Bytes inflight) {
-        tr.record_cwnd(now, cwnd, inflight);
+    obs::Histogram* rtt_hist =
+        reg.enabled() ? &reg.histogram(fp + ".rtt_ms") : nullptr;
+    sender->set_rtt_callback([&tr, rtt_hist](Time now, Time rtt) {
+      tr.record_rtt(now, rtt);
+      if (rtt_hist != nullptr) rtt_hist->observe(time::to_ms(rtt));
+    });
+    const bool rec = cfg.record_cwnd;
+    if (rec || ql != nullptr) {
+      sender->set_cwnd_callback(
+          [&tr, ql, rec, snd](Time now, Bytes cwnd, Bytes inflight) {
+            if (rec) tr.record_cwnd(now, cwnd, inflight);
+            if (ql != nullptr) {
+              ql->metrics_updated(now, cwnd, inflight, snd->rtt().smoothed());
+            }
+          });
+    }
+
+    // Phase residency is tracked in every trial; the qlog state event and
+    // the recovery-entry counter piggyback on the same transition.
+    PhaseAccum& acc = phase_acc[i];
+    obs::Counter* recovery_ctr =
+        reg.enabled() ? &reg.counter(fp + ".recovery_entries") : nullptr;
+    sender->controller().set_phase_callback(
+        [&acc, ql, recovery_ctr](Time now, std::string_view from,
+                                 std::string_view to) {
+          acc.sec[std::string(from)] += time::to_sec(now - acc.since);
+          acc.current.assign(to);
+          acc.since = now;
+          if (ql != nullptr) ql->congestion_state_updated(now, from, to);
+          if (recovery_ctr != nullptr && to == "recovery") {
+            recovery_ctr->add();
+          }
+        });
+
+    if (ql != nullptr) {
+      sender->set_packet_sent_callback(
+          [ql](Time now, std::uint64_t pn, Bytes size, bool retx) {
+            ql->packet_sent(now, pn, size, retx);
+          });
+      sender->set_packet_lost_callback([ql](Time now, std::uint64_t pn) {
+        ql->packet_lost(now, pn);
       });
+      receiver->set_packet_callback(
+          [ql](Time now, std::uint64_t pn, Bytes size) {
+            ql->packet_received(now, pn, size);
+          });
+      sender->set_timer_callback(
+          [ql](Time now, transport::SenderEndpoint::LossTimerKind kind,
+               transport::SenderEndpoint::LossTimerEvent event, Time expiry) {
+            using TK = transport::SenderEndpoint::LossTimerKind;
+            using TE = transport::SenderEndpoint::LossTimerEvent;
+            const auto type = kind == TK::kPto
+                                  ? trace::QlogWriter::TimerType::kPto
+                                  : trace::QlogWriter::TimerType::kLossDetection;
+            auto ev = trace::QlogWriter::TimerEvent::kSet;
+            if (event == TE::kExpired) {
+              ev = trace::QlogWriter::TimerEvent::kExpired;
+            } else if (event == TE::kCancelled) {
+              ev = trace::QlogWriter::TimerEvent::kCancelled;
+            }
+            ql->loss_timer_updated(now, type, ev, expiry);
+          });
+    }
+    obs::Histogram* pto_hist =
+        reg.enabled() ? &reg.histogram(fp + ".pto_time_sec") : nullptr;
+    if (pto_hist != nullptr) {
+      sender->set_pto_callback([pto_hist](Time now, int) {
+        pto_hist->observe(time::to_sec(now));
+      });
+    }
+    obs::Histogram* spur_hist =
+        reg.enabled() ? &reg.histogram(fp + ".spurious_loss_time_sec")
+                      : nullptr;
+    if (ql != nullptr || spur_hist != nullptr) {
+      sender->set_spurious_loss_callback(
+          [ql, spur_hist](Time now, std::uint64_t pn) {
+            if (ql != nullptr) ql->spurious_loss_detected(now, pn);
+            if (spur_hist != nullptr) spur_hist->observe(time::to_sec(now));
+          });
     }
 
     db.attach_receiver(i, receiver.get());
@@ -139,7 +244,50 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
         trace::average_throughput(fr.trace, t0, cfg.duration - t0);
     fr.sender_stats = senders[static_cast<std::size_t>(i)]->stats();
     if (!cfg.record_cwnd) fr.trace.cwnd_samples.clear();
+
+    // Close the open phase interval against the trial duration. A flow
+    // that never transitioned spent the whole run in its current phase.
+    PhaseAccum& acc = phase_acc[i];
+    const std::string last =
+        acc.current.empty()
+            ? std::string(senders[static_cast<std::size_t>(i)]
+                              ->controller()
+                              .phase())
+            : acc.current;
+    acc.sec[last] += time::to_sec(cfg.duration - acc.since);
+    fr.phase_residency_sec.assign(acc.sec.begin(), acc.sec.end());
+
+    if (reg.enabled()) {
+      const transport::SenderStats& ss = fr.sender_stats;
+      const std::string fp = i == 0 ? "flow0" : "flow1";
+      reg.counter(fp + ".packets_sent").add(ss.packets_sent);
+      reg.counter(fp + ".losses_detected").add(ss.losses_detected);
+      reg.counter(fp + ".retransmissions").add(ss.retransmissions);
+      reg.counter(fp + ".ptos_fired").add(ss.ptos_fired);
+      reg.counter(fp + ".spurious_losses").add(ss.spurious_losses);
+    }
   }
+
+  const netsim::LinkStats& ls = db.trace_bottleneck() != nullptr
+                                    ? db.trace_bottleneck()->stats()
+                                    : db.bottleneck().stats();
+  BottleneckTelemetry& bt = result.bottleneck;
+  bt.queue_hwm_bytes = ls.max_queue_bytes;
+  bt.packets_in = ls.packets_in;
+  bt.packets_out = ls.packets_out;
+  bt.drops = ls.packets_dropped;
+  bt.bytes_out = ls.bytes_out;
+  bt.utilization = static_cast<double>(ls.bytes_out) * 8.0 /
+                   (static_cast<double>(cfg.net.bandwidth) *
+                    time::to_sec(cfg.duration));
+  if (reg.enabled()) {
+    reg.counter("bottleneck.packets_in").add(bt.packets_in);
+    reg.counter("bottleneck.packets_out").add(bt.packets_out);
+    reg.gauge("bottleneck.queue_hwm_bytes")
+        .set(static_cast<double>(bt.queue_hwm_bytes));
+    reg.gauge("bottleneck.utilization").set(bt.utilization);
+  }
+
   result.sim_events = sim.events_fired();
   return result;
 }
@@ -159,6 +307,10 @@ PairResult aggregate_trials(std::vector<TrialResult> trials,
                             const ExperimentConfig& cfg) {
   PairResult pr;
   double sum_a = 0, sum_b = 0;
+  std::int64_t pkts[2] = {0, 0}, losses[2] = {0, 0}, retx[2] = {0, 0};
+  std::int64_t ptos[2] = {0, 0}, spurious[2] = {0, 0};
+  std::map<std::string, double, std::less<>> phase_sum[2];
+  double util_sum = 0;
   for (TrialResult& trial : trials) {
     conformance::TrialPoints pa, pb;
     for (const auto& p : trial.flow[0].points) {
@@ -171,6 +323,21 @@ PairResult aggregate_trials(std::vector<TrialResult> trials,
     pr.points_b.push_back(std::move(pb));
     sum_a += rate::to_mbps(trial.flow[0].avg_throughput);
     sum_b += rate::to_mbps(trial.flow[1].avg_throughput);
+    for (int i = 0; i < 2; ++i) {
+      const transport::SenderStats& ss = trial.flow[i].sender_stats;
+      pkts[i] += ss.packets_sent;
+      losses[i] += ss.losses_detected;
+      retx[i] += ss.retransmissions;
+      ptos[i] += ss.ptos_fired;
+      spurious[i] += ss.spurious_losses;
+      for (const auto& [name, sec] : trial.flow[i].phase_residency_sec) {
+        phase_sum[i][name] += sec;
+      }
+    }
+    pr.diagnostics.queue_hwm_bytes = std::max(
+        pr.diagnostics.queue_hwm_bytes, trial.bottleneck.queue_hwm_bytes);
+    pr.diagnostics.bottleneck_drops += trial.bottleneck.drops;
+    util_sum += trial.bottleneck.utilization;
     if (cfg.record_cwnd) pr.trials.push_back(std::move(trial));
   }
   pr.tput_a_mbps = sum_a / cfg.trials;
@@ -178,6 +345,25 @@ PairResult aggregate_trials(std::vector<TrialResult> trials,
   const double total = pr.tput_a_mbps + pr.tput_b_mbps;
   pr.share_a = total > 0 ? pr.tput_a_mbps / total : 0;
   pr.share_b = total > 0 ? pr.tput_b_mbps / total : 0;
+  const double n = static_cast<double>(cfg.trials);
+  for (int i = 0; i < 2; ++i) {
+    FlowDiagnostics& fd = pr.diagnostics.flow[i];
+    fd.loss_rate = pkts[i] > 0
+                       ? static_cast<double>(losses[i]) /
+                             static_cast<double>(pkts[i])
+                       : 0;
+    fd.retx_rate = pkts[i] > 0
+                       ? static_cast<double>(retx[i]) /
+                             static_cast<double>(pkts[i])
+                       : 0;
+    fd.ptos_per_trial = static_cast<double>(ptos[i]) / n;
+    fd.spurious_per_trial = static_cast<double>(spurious[i]) / n;
+    for (const auto& [name, sec] : phase_sum[i]) {
+      fd.phase_residency_sec.emplace_back(name, sec / n);
+    }
+  }
+  pr.diagnostics.utilization = util_sum / n;
+  pr.diagnostics.valid = true;
   return pr;
 }
 

@@ -10,10 +10,13 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "conformance/conformance.h"
+#include "obs/metrics.h"
 #include "stacks/registry.h"
+#include "trace/qlog.h"
 #include "trace/trace.h"
 #include "transport/sender.h"
 #include "util/units.h"
@@ -71,18 +74,68 @@ struct FlowResult {
   Rate avg_throughput = 0;  // over the truncated steady-state interval
   transport::SenderStats sender_stats;
   trace::FlowTrace trace;  // full trace (cwnd series etc.)
+  // Seconds spent in each CCA phase over the trial (name-sorted). Always
+  // recorded — the phase hooks observe only, so tracking them never
+  // perturbs the simulation.
+  std::vector<std::pair<std::string, double>> phase_residency_sec;
+};
+
+// Bottleneck-side counters read off the dumbbell at trial end.
+struct BottleneckTelemetry {
+  Bytes queue_hwm_bytes = 0;
+  std::int64_t packets_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t drops = 0;
+  Bytes bytes_out = 0;
+  double utilization = 0;  // delivered bits / (configured rate * duration)
 };
 
 struct TrialResult {
   FlowResult flow[2];
+  BottleneckTelemetry bottleneck;
   // Simulator events executed by this trial (netsim throughput metric).
   std::uint64_t sim_events = 0;
+};
+
+// Optional flight-recorder attachments for a trial. All observers are
+// strictly passive: with or without them, a trial produces bit-identical
+// results.
+struct TrialObservers {
+  // Per-flow qlog writers (flow 0 = a, flow 1 = b); null to skip.
+  trace::QlogWriter* qlog[2] = {nullptr, nullptr};
+  // Metrics registry populated by the link and transport instruments;
+  // null means the shared noop registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // One trial: implementation `a` (flow 0) vs `b` (flow 1).
 TrialResult run_trial(const stacks::Implementation& a,
                       const stacks::Implementation& b,
                       const ExperimentConfig& cfg, std::uint64_t trial_index);
+TrialResult run_trial(const stacks::Implementation& a,
+                      const stacks::Implementation& b,
+                      const ExperimentConfig& cfg, std::uint64_t trial_index,
+                      const TrialObservers& observers);
+
+// Aggregated per-flow diagnostics for a pairing (means across trials).
+struct FlowDiagnostics {
+  double loss_rate = 0;  // losses detected / packets sent
+  double retx_rate = 0;
+  double ptos_per_trial = 0;
+  double spurious_per_trial = 0;
+  // Mean seconds per CCA phase across trials (name-sorted).
+  std::vector<std::pair<std::string, double>> phase_residency_sec;
+};
+
+// Pair-level flight-recorder summary, always computed by aggregate_trials
+// (and round-tripped through the sweep cache, schema v2).
+struct PairDiagnostics {
+  FlowDiagnostics flow[2];
+  Bytes queue_hwm_bytes = 0;     // max across trials
+  std::int64_t bottleneck_drops = 0;  // sum across trials
+  double utilization = 0;        // mean across trials
+  bool valid = false;            // false on pre-v2 cache entries
+};
 
 struct PairResult {
   // Per-trial PE point clouds, flow 0 = a, flow 1 = b.
@@ -92,6 +145,7 @@ struct PairResult {
   double tput_b_mbps = 0;
   double share_a = 0;  // Ta / (Ta + Tb)
   double share_b = 0;
+  PairDiagnostics diagnostics;
   std::vector<TrialResult> trials;  // retained when cfg.record_cwnd
 };
 

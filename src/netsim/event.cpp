@@ -4,16 +4,45 @@
 
 namespace quicbench::netsim {
 
+bool Simulator::decode_live(EventId id, std::uint32_t* slot) const {
+  const std::uint32_t low = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (low == 0) return false;  // kInvalidEvent and malformed ids
+  const std::uint32_t s = low - 1;
+  if (s >= slots_.size()) return false;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slots_[s].generation != generation || !slots_[s].pending) return false;
+  *slot = s;
+  return true;
+}
+
 EventId Simulator::schedule(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++slots_[slot].generation;  // retire every id issued for this slot
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  slots_[slot].pending = true;
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].generation) << 32) |
+      static_cast<EventId>(slot + 1);
   ++scheduled_;
-  heap_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  ++pending_;
+  heap_.push(Entry{t < now_ ? now_ : t, next_seq_++, id, std::move(fn)});
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  std::uint32_t slot;
+  if (!decode_live(id, &slot)) return;  // stale/double/invalid: no-op
+  slots_[slot].pending = false;
+  free_slots_.push_back(slot);
+  --pending_;
+  // The heap entry stays until popped; the generation check skips it.
 }
 
 bool Simulator::run_next() {
@@ -25,10 +54,11 @@ bool Simulator::run_next() {
     const EventId id = top.id;
     std::function<void()> fn = std::move(top.fn);
     heap_.pop();
-    if (auto it = cancelled_.find(id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    std::uint32_t slot;
+    if (!decode_live(id, &slot)) continue;  // cancelled entry
+    slots_[slot].pending = false;
+    free_slots_.push_back(slot);
+    --pending_;
     now_ = t;
     ++fired_;
     fn();

@@ -2,11 +2,18 @@
 // Discrete-event simulation core: a virtual clock plus a min-heap of
 // scheduled callbacks. Events scheduled for the same time fire in
 // scheduling order (FIFO), which keeps runs deterministic.
+//
+// EventIds encode a slot index plus a per-slot generation, so cancel()
+// validates in O(1) against the slot table: cancelling an already-fired,
+// already-cancelled or never-issued id is a true no-op (the previous
+// lazy-deletion set let stale cancels accumulate forever and could
+// underflow pending_events()). Slots are recycled through a free list;
+// FIFO ordering among equal timestamps therefore rides on a separate
+// monotonic sequence number, not on the id.
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/units.h"
@@ -29,8 +36,8 @@ class Simulator {
     return schedule(now_ + delay, std::move(fn));
   }
 
-  // Cancel a pending event. Cancelling an already-fired or invalid id is a
-  // no-op. Uses lazy deletion: the heap entry is skipped when popped.
+  // Cancel a pending event. Cancelling an already-fired, already-cancelled
+  // or invalid id is a no-op.
   void cancel(EventId id);
 
   // Run events until the queue is empty or the clock passes `end`.
@@ -41,7 +48,7 @@ class Simulator {
   // empty.
   bool run_next();
 
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return pending_; }
 
   // Lifetime counters (never reset): how many events this simulator has
   // accepted and how many callbacks actually ran (cancelled entries are
@@ -51,24 +58,37 @@ class Simulator {
   std::uint64_t events_fired() const { return fired_; }
 
  private:
+  // id layout: low 32 bits = slot index + 1 (so kInvalidEvent never
+  // collides), high 32 bits = the slot's generation at issue time.
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool pending = false;
+  };
+
   struct Entry {
     Time time;
+    std::uint64_t seq;  // FIFO tie-break among equal timestamps
     EventId id;
     std::function<void()> fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal timestamps
+      return a.seq > b.seq;
     }
   };
 
+  // Returns the slot index when `id` names a live (pending) event.
+  bool decode_live(EventId id, std::uint32_t* slot) const;
+
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t fired_ = 0;
+  std::size_t pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 // RAII-ish timer helper: owns at most one pending event and reschedules or

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace quicbench::netsim {
 
 Link::Link(Simulator& sim, Rate bandwidth, Time prop_delay,
@@ -14,15 +16,28 @@ Link::Link(Simulator& sim, Rate bandwidth, Time prop_delay,
       tx_timer_(sim),
       prop_timer_(sim) {}
 
+void Link::attach_metrics(obs::MetricsRegistry& reg,
+                          const std::string& prefix) {
+  m_drops_data_ = &reg.counter(prefix + ".drops.data");
+  m_drops_cross_ = &reg.counter(prefix + ".drops.cross");
+  m_queue_bytes_ = &reg.gauge(prefix + ".queue_bytes");
+}
+
 void Link::deliver(Packet p) {
   ++stats_.packets_in;
   if (queued_bytes_ + p.size > buffer_bytes_) {
     ++stats_.packets_dropped;
+    if (m_drops_data_ != nullptr) {
+      (p.flow >= 0 ? *m_drops_data_ : *m_drops_cross_).add();
+    }
     if (drop_cb_) drop_cb_(p);
     return;
   }
   queued_bytes_ += p.size;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  if (m_queue_bytes_ != nullptr) {
+    m_queue_bytes_->set(static_cast<double>(queued_bytes_));
+  }
   queue_.push_back(std::move(p));
   if (!transmitting_) start_transmission();
 }

@@ -11,10 +11,17 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "netsim/event.h"
 #include "netsim/packet.h"
 #include "util/units.h"
+
+namespace quicbench::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace quicbench::obs
 
 namespace quicbench::netsim {
 
@@ -47,6 +54,11 @@ class Link : public PacketSink {
     drop_cb_ = std::move(cb);
   }
 
+  // Flight-recorder instruments under `<prefix>.`: drops split by cause
+  // (data flows vs cross traffic) and a live queue-depth gauge. Attaching
+  // observes only — it never changes link behaviour.
+  void attach_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
  private:
   void start_transmission();
   void on_transmit_done();
@@ -71,6 +83,10 @@ class Link : public PacketSink {
 
   LinkStats stats_;
   std::function<void(const Packet&)> drop_cb_;
+  // Registry-owned instruments (see attach_metrics); null when unattached.
+  obs::Counter* m_drops_data_ = nullptr;
+  obs::Counter* m_drops_cross_ = nullptr;
+  obs::Gauge* m_queue_bytes_ = nullptr;
 };
 
 // Pure propagation element with no bandwidth constraint: used for the

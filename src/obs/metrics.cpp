@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace quicbench::obs {
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+    buckets_.assign(kBuckets, 0);
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  int b = 0;
+  if (v >= 1.0) {
+    b = std::min(kBuckets - 1, std::ilogb(v) + 1);
+  }
+  ++buckets_[static_cast<std::size_t>(b)];
+}
+
+MetricsRegistry& MetricsRegistry::noop() {
+  static MetricsRegistry reg{NoopTag{}};
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (!enabled_) {
+    // Scratch instrument: absorbs writes, never read. thread_local because
+    // the noop registry is the one instance shared across sweep workers.
+    static thread_local Counter scratch;
+    return scratch;
+  }
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (!enabled_) {
+    static thread_local Gauge scratch;
+    return scratch;
+  }
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  if (!enabled_) {
+    static thread_local Histogram scratch;
+    return scratch;
+  }
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+void MetricsRegistry::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.kv(name, c.value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).begin_object();
+    w.kv("value", g.value());
+    w.kv("min", g.min());
+    w.kv("max", g.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    // Sparse bucket dump: [bucket_index, count] pairs, upper bound of
+    // bucket i is 2^i (bucket 0 is [0,1)).
+    w.key("log2_buckets").begin_array();
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(i));
+      w.value(buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json_string() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
+}
+
+} // namespace quicbench::obs

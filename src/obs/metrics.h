@@ -1,0 +1,123 @@
+#pragma once
+// Per-simulation metrics registry: named counters, gauges and histograms
+// populated by the netsim links (queue high-watermark, drops by cause,
+// utilization), the transport (PTO / spurious-loss timelines) and the
+// CCAs (phase transitions). The flight-recorder companion to the qlog
+// event stream: qlog answers "what happened when", the registry answers
+// "how much of it happened".
+//
+// Cost model: instruments are looked up once (string hash + map insert)
+// and then held by reference — `Counter&`/`Gauge&` handles stay valid for
+// the registry's lifetime because std::map nodes never move. Uninstrumented
+// runs use the shared `MetricsRegistry::noop()` registry, whose accessors
+// hand back thread-local scratch instruments, so call sites stay
+// unconditional and the disabled path costs one pointer compare.
+//
+// Registries are single-simulation objects: one trial populates one
+// registry on one thread. The only instance shared across threads is the
+// noop registry, which is why its scratch instruments are thread_local.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace quicbench::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Last-value gauge that also tracks the extremes seen.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!seen_) {
+      min_ = max_ = v;
+      seen_ = true;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    value_ = v;
+  }
+  bool seen() const { return seen_; }
+  double value() const { return value_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  bool seen_ = false;
+  double value_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Log2-bucketed histogram of non-negative samples: bucket i counts
+// samples in [2^(i-1), 2^i) (bucket 0 is [0, 1)). Coarse but enough to
+// see the shape of RTTs or queue depths without per-sample storage.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v);
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<std::int64_t> buckets_;  // sized lazily on first observe
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The shared disabled registry: accessors return thread-local scratch
+  // instruments and to_json emits an empty document.
+  static MetricsRegistry& noop();
+
+  bool enabled() const { return enabled_; }
+
+  // Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Emit {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  // name-sorted keys (std::map order), so equal runs serialise equally.
+  void to_json(JsonWriter& w) const;
+  std::string to_json_string() const;
+
+ private:
+  struct NoopTag {};
+  explicit MetricsRegistry(NoopTag) : enabled_(false) {}
+
+  bool enabled_ = true;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+} // namespace quicbench::obs

@@ -1,0 +1,81 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "util/json.h"
+
+namespace quicbench::obs {
+
+TraceProfiler::TraceProfiler(std::string process_name)
+    : process_name_(std::move(process_name)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t TraceProfiler::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceProfiler::record_complete(std::string_view name,
+                                    std::string_view category, int tid,
+                                    std::int64_t ts_us, std::int64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::string(name), std::string(category), tid, ts_us,
+                        dur_us});
+}
+
+std::size_t TraceProfiler::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string TraceProfiler::to_json_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter j;
+  j.begin_object();
+  j.kv("displayTimeUnit", "ms");
+  j.key("traceEvents").begin_array();
+  // Process-name metadata record so Perfetto labels the track group.
+  j.begin_object();
+  j.kv("name", "process_name");
+  j.kv("ph", "M");
+  j.kv("pid", 1);
+  j.kv("tid", 0);
+  j.key("args").begin_object();
+  j.kv("name", process_name_);
+  j.end_object();
+  j.end_object();
+  for (const Span& s : spans_) {
+    j.begin_object();
+    j.kv("name", s.name);
+    j.kv("cat", s.category);
+    j.kv("ph", "X");
+    j.kv("pid", 1);
+    j.kv("tid", s.tid);
+    j.kv("ts", s.ts_us);
+    j.kv("dur", s.dur_us);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+bool TraceProfiler::write_file(const std::string& path,
+                               std::string* error) const {
+  const std::string doc = to_json_string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << doc;
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace quicbench::obs

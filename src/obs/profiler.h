@@ -1,0 +1,55 @@
+#pragma once
+// Wall-clock profiler emitting the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. The sweep
+// runner records one complete ("ph":"X") span per trial, cache lookup and
+// cell evaluation, keyed by worker thread, so a run's schedule — stragglers,
+// cache stalls, idle tails — is visible on a timeline.
+//
+// Thread-safe: spans are recorded under a mutex (a handful of records per
+// trial, so contention is irrelevant next to the seconds-long trials).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quicbench::obs {
+
+class TraceProfiler {
+ public:
+  explicit TraceProfiler(std::string process_name);
+
+  // Microseconds since an arbitrary steady epoch; pair with
+  // record_complete's ts/dur.
+  std::int64_t now_us() const;
+
+  // One complete span: [ts_us, ts_us + dur_us) on lane `tid`.
+  void record_complete(std::string_view name, std::string_view category,
+                       int tid, std::int64_t ts_us, std::int64_t dur_us);
+
+  std::size_t span_count() const;
+
+  // Serialise {"traceEvents": [...]}; false on I/O failure, with the
+  // failing path reported through `error` when provided.
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+  std::string to_json_string() const;
+
+ private:
+  struct Span {
+    std::string name;
+    std::string category;
+    int tid = 0;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+  };
+
+  std::string process_name_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+} // namespace quicbench::obs

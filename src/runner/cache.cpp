@@ -101,6 +101,60 @@ bool get_clouds(Reader& r, std::vector<conformance::TrialPoints>& trials) {
   return true;
 }
 
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+bool get_str(Reader& r, std::string& s) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok || n > 1'000'000 || r.pos + n > r.buf.size()) return false;
+  s.assign(r.buf, r.pos, n);
+  r.pos += n;
+  return true;
+}
+
+// Pair diagnostics block (schema v2): per-flow rates plus the phase
+// residency table, then the bottleneck summary.
+void put_diagnostics(std::string& out, const harness::PairDiagnostics& d) {
+  for (const auto& f : d.flow) {
+    put_f64(out, f.loss_rate);
+    put_f64(out, f.retx_rate);
+    put_f64(out, f.ptos_per_trial);
+    put_f64(out, f.spurious_per_trial);
+    put_u32(out, static_cast<std::uint32_t>(f.phase_residency_sec.size()));
+    for (const auto& [name, sec] : f.phase_residency_sec) {
+      put_str(out, name);
+      put_f64(out, sec);
+    }
+  }
+  put_u64(out, static_cast<std::uint64_t>(d.queue_hwm_bytes));
+  put_u64(out, static_cast<std::uint64_t>(d.bottleneck_drops));
+  put_f64(out, d.utilization);
+  put_u32(out, d.valid ? 1 : 0);
+}
+
+bool get_diagnostics(Reader& r, harness::PairDiagnostics& d) {
+  for (auto& f : d.flow) {
+    f.loss_rate = r.f64();
+    f.retx_rate = r.f64();
+    f.ptos_per_trial = r.f64();
+    f.spurious_per_trial = r.f64();
+    const std::uint32_t n = r.u32();
+    if (!r.ok || n > 1024) return false;
+    f.phase_residency_sec.resize(n);
+    for (auto& [name, sec] : f.phase_residency_sec) {
+      if (!get_str(r, name)) return false;
+      sec = r.f64();
+    }
+  }
+  d.queue_hwm_bytes = static_cast<Bytes>(r.u64());
+  d.bottleneck_drops = static_cast<std::int64_t>(r.u64());
+  d.utilization = r.f64();
+  d.valid = r.u32() != 0;
+  return r.ok;
+}
+
 } // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
@@ -132,6 +186,7 @@ std::optional<harness::PairResult> ResultCache::load(
     pr.tput_b_mbps = r.f64();
     pr.share_a = r.f64();
     pr.share_b = r.f64();
+    if (!get_diagnostics(r, pr.diagnostics)) return false;
     return r.ok && r.pos == buf.size();
   }();
   if (!parsed) {
@@ -154,6 +209,7 @@ bool ResultCache::store(const std::string& fingerprint,
   put_f64(out, result.tput_b_mbps);
   put_f64(out, result.share_a);
   put_f64(out, result.share_b);
+  put_diagnostics(out, result.diagnostics);
 
   // Write-then-rename so readers never observe a half-written entry.
   std::ostringstream tid;

@@ -25,6 +25,13 @@ int env_threads() {
   return n > 0 ? n : 0;
 }
 
+std::string qlog_dir() {
+  const char* v = std::getenv("QB_QLOG_DIR");
+  return v != nullptr ? v : "";
+}
+
+bool profile_enabled() { return env_flag("QB_PROFILE"); }
+
 harness::ExperimentConfig default_config(double buffer_bdp, Rate bw,
                                          Time rtt) {
   harness::ExperimentConfig cfg;

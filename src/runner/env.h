@@ -10,6 +10,10 @@
 //   QB_NO_CACHE=1  disable the persistent result cache entirely
 //   QB_CACHE_DIR   cache directory (default bench_out/cache)
 //   QB_THREADS     worker count for sweeps (default: hardware)
+//   QB_QLOG_DIR    emit per-flow qlog files for every simulated trial
+//                  under this directory (flight recorder; off when unset)
+//   QB_PROFILE=1   write a Chrome-trace-event profile of the sweep to
+//                  bench_out/profile/<name>.trace.json
 
 #include <string>
 
@@ -20,6 +24,8 @@ namespace quicbench::runner {
 bool fast_mode();         // QB_FAST=1
 bool progress_enabled();  // QB_PROGRESS=1
 int env_threads();        // QB_THREADS, 0 when unset/invalid
+std::string qlog_dir();   // QB_QLOG_DIR, "" when unset
+bool profile_enabled();   // QB_PROFILE=1
 
 // The paper's default network (§4: representative plots use 10 ms RTT,
 // 20 Mbps; fairness experiments use 50 ms RTT). Paper-fidelity duration

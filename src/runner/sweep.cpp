@@ -10,8 +10,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "runner/env.h"
 #include "runner/fingerprint.h"
+#include "trace/qlog.h"
 #include "util/json.h"
 
 namespace quicbench::runner {
@@ -27,6 +29,45 @@ double seconds_since(Clock::time_point t0) {
 bool cache_disabled_by_env() {
   const char* v = std::getenv("QB_NO_CACHE");
   return v != nullptr && v[0] == '1';
+}
+
+// Display names become path components of qlog output; keep them to a
+// conservative portable character set.
+std::string sanitize_path_component(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("x") : out;
+}
+
+// Per-pair flight-recorder summary in the manifest ("diagnostics" key).
+void write_diagnostics(JsonWriter& j, const harness::PairDiagnostics& d) {
+  j.begin_object();
+  j.kv("valid", d.valid);
+  j.key("flows").begin_array();
+  for (const auto& f : d.flow) {
+    j.begin_object();
+    j.kv("loss_rate", f.loss_rate);
+    j.kv("retx_rate", f.retx_rate);
+    j.kv("ptos_per_trial", f.ptos_per_trial);
+    j.kv("spurious_per_trial", f.spurious_per_trial);
+    j.key("phase_residency_sec").begin_object();
+    for (const auto& [phase, sec] : f.phase_residency_sec) {
+      j.kv(phase, sec);
+    }
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+  j.kv("queue_hwm_bytes", static_cast<std::int64_t>(d.queue_hwm_bytes));
+  j.kv("bottleneck_drops", d.bottleneck_drops);
+  j.kv("utilization", d.utilization);
+  j.end_object();
 }
 
 std::string iso_utc_now() {
@@ -78,6 +119,11 @@ Sweep::Sweep(std::string name, SweepOptions opts)
     } else {
       cache_ = ResultCache::default_cache();
     }
+  }
+  qlog_dir_ = !opts_.qlog_dir.empty() ? opts_.qlog_dir : qlog_dir();
+  if (opts_.profile || profile_enabled()) {
+    profiler_ =
+        std::make_unique<obs::TraceProfiler>("qb-sweep " + name_);
   }
 }
 
@@ -142,9 +188,10 @@ CellId Sweep::add_conformance(const stacks::Implementation& test,
   return id;
 }
 
-void Sweep::eval_cell(Cell& cell, double* busy_sec) {
+void Sweep::eval_cell(Cell& cell, double* busy_sec, int worker_id) {
   if (cell.kind != Cell::Kind::kConformance) return;
   const auto t0 = Clock::now();
+  const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
   const harness::PairResult& ref_pair =
       pairs_[static_cast<std::size_t>(cell.ref_pair_idx)]->result;
   const harness::PairResult& test_pair =
@@ -153,13 +200,25 @@ void Sweep::eval_cell(Cell& cell, double* busy_sec) {
                                       cell.pe_cfg);
   cell.eval_sec = seconds_since(t0);
   *busy_sec += cell.eval_sec;
+  if (profiler_ != nullptr) {
+    const PairTask& mp = *pairs_[static_cast<std::size_t>(cell.pair_idx)];
+    profiler_->record_complete("eval " + mp.a.display + " vs " + mp.b.display,
+                               "eval", worker_id + 1, ts_us,
+                               cell.eval_sec * 1e6);
+  }
 }
 
-void Sweep::finalize_pair(PairTask& pair, double* busy_sec) {
+void Sweep::finalize_pair(PairTask& pair, double* busy_sec, int worker_id) {
+  const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
   pair.result =
       harness::aggregate_trials(std::move(pair.trial_results), pair.cfg);
   pair.trial_results = {};
   if (cache_ != nullptr) cache_->store(pair.fingerprint, pair.result);
+  if (profiler_ != nullptr) {
+    profiler_->record_complete(
+        "finalize " + pair.a.display + " vs " + pair.b.display, "finalize",
+        worker_id + 1, ts_us, profiler_->now_us() - ts_us);
+  }
   const int done = pairs_done_.fetch_add(1) + 1;
   if (progress_) {
     std::lock_guard<std::mutex> lock(progress_mu_);
@@ -175,9 +234,58 @@ void Sweep::finalize_pair(PairTask& pair, double* busy_sec) {
     Cell& cell = *cells_[static_cast<std::size_t>(ci)];
     if (cell.kind == Cell::Kind::kConformance &&
         cell.remaining.fetch_sub(1) == 1) {
-      eval_cell(cell, busy_sec);
+      eval_cell(cell, busy_sec, worker_id);
     }
   }
+}
+
+// Flight-recorder variant of a trial: attach per-flow qlog writers and a
+// per-trial metrics registry, then dump both next to the manifest. The
+// observers are strictly passive, so the TrialResult is bit-identical to
+// the plain run_trial path. All I/O failures are reported and swallowed —
+// losing a qlog must never fail a sweep.
+harness::TrialResult Sweep::run_observed_trial(PairTask& pair, int pair_idx,
+                                               int trial) {
+  const std::string pair_dir =
+      qlog_dir_ + "/" + name_ + "/p" + std::to_string(pair_idx) + "_" +
+      sanitize_path_component(pair.a.display) + "_vs_" +
+      sanitize_path_component(pair.b.display);
+  std::error_code ec;
+  std::filesystem::create_directories(pair_dir, ec);
+
+  const std::string title = name_ + ": " + pair.a.display + " vs " +
+                            pair.b.display + ", trial " +
+                            std::to_string(trial);
+  trace::QlogWriter qlog_a(title + ", flow 0", pair.a.make_cca()->name());
+  trace::QlogWriter qlog_b(title + ", flow 1", pair.b.make_cca()->name());
+  obs::MetricsRegistry metrics;
+
+  harness::TrialObservers observers;
+  observers.qlog[0] = &qlog_a;
+  observers.qlog[1] = &qlog_b;
+  observers.metrics = &metrics;
+  harness::TrialResult tr =
+      harness::run_trial(pair.a, pair.b, pair.cfg,
+                         static_cast<std::uint64_t>(trial), observers);
+
+  const std::string stem = pair_dir + "/trial" + std::to_string(trial);
+  std::string err;
+  if (!qlog_a.write_file(stem + "_flow0.qlog", &err)) {
+    std::fprintf(stderr, "[qb-sweep %s] qlog write failed: %s\n",
+                 name_.c_str(), err.c_str());
+  }
+  if (!qlog_b.write_file(stem + "_flow1.qlog", &err)) {
+    std::fprintf(stderr, "[qb-sweep %s] qlog write failed: %s\n",
+                 name_.c_str(), err.c_str());
+  }
+  const std::string metrics_path = stem + "_metrics.json";
+  std::ofstream mf(metrics_path, std::ios::trunc);
+  if (mf) mf << metrics.to_json_string();
+  if (!mf) {
+    std::fprintf(stderr, "[qb-sweep %s] metrics write failed: %s\n",
+                 name_.c_str(), metrics_path.c_str());
+  }
+  return tr;
 }
 
 void Sweep::run() {
@@ -186,6 +294,7 @@ void Sweep::run() {
   const auto t0 = Clock::now();
 
   // Probe the persistent cache; misses become trial-granular work items.
+  const double probe_ts = profiler_ != nullptr ? profiler_->now_us() : 0;
   for (const auto& p : pairs_) {
     if (cache_ != nullptr) {
       if (auto hit = cache_->load(p->fingerprint)) {
@@ -198,6 +307,10 @@ void Sweep::run() {
     ++stats_.cache_misses;
     p->remaining.store(p->cfg.trials);
     p->trial_results.resize(static_cast<std::size_t>(p->cfg.trials));
+  }
+  if (profiler_ != nullptr) {
+    profiler_->record_complete("cache probe", "cache", 0, probe_ts,
+                               profiler_->now_us() - probe_ts);
   }
 
   // Cells whose pairs are all cached evaluate without simulating.
@@ -251,16 +364,26 @@ void Sweep::run() {
   std::mutex busy_mu;
   double total_busy = 0;
 
-  const auto worker = [&] {
+  const auto worker = [&](int wid) {
     double busy = 0;
     for (;;) {
       const std::size_t i = next_item.fetch_add(1);
       if (i >= items.size()) break;
       PairTask& p = *pairs_[static_cast<std::size_t>(items[i].pair)];
       const auto ts = Clock::now();
-      harness::TrialResult tr = harness::run_trial(
-          p.a, p.b, p.cfg, static_cast<std::uint64_t>(items[i].trial));
+      const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
+      harness::TrialResult tr =
+          !qlog_dir_.empty()
+              ? run_observed_trial(p, items[i].pair, items[i].trial)
+              : harness::run_trial(p.a, p.b, p.cfg,
+                                   static_cast<std::uint64_t>(
+                                       items[i].trial));
       const double dt = seconds_since(ts);
+      if (profiler_ != nullptr) {
+        profiler_->record_complete(p.a.display + " vs " + p.b.display +
+                                       " #" + std::to_string(items[i].trial),
+                                   "trial", wid + 1, ts_us, dt * 1e6);
+      }
       busy += dt;
       {
         std::lock_guard<std::mutex> lock(p.mu);
@@ -269,23 +392,23 @@ void Sweep::run() {
       }
       p.trial_results[static_cast<std::size_t>(items[i].trial)] =
           std::move(tr);
-      if (p.remaining.fetch_sub(1) == 1) finalize_pair(p, &busy);
+      if (p.remaining.fetch_sub(1) == 1) finalize_pair(p, &busy, wid);
     }
     for (;;) {
       const std::size_t c = next_ready.fetch_add(1);
       if (c >= ready.size()) break;
-      eval_cell(*ready[c], &busy);
+      eval_cell(*ready[c], &busy, wid);
     }
     std::lock_guard<std::mutex> lock(busy_mu);
     total_busy += busy;
   };
 
   if (workers <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
     for (auto& t : pool) t.join();
   }
 
@@ -299,6 +422,19 @@ void Sweep::run() {
         static_cast<double>(stats_.events_executed) / stats_.wall_sec;
     stats_.thread_utilization =
         total_busy / (static_cast<double>(workers) * stats_.wall_sec);
+  }
+  if (profiler_ != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.profile_dir, ec);
+    const std::string path =
+        opts_.profile_dir + "/" + name_ + ".trace.json";
+    std::string err;
+    if (profiler_->write_file(path, &err)) {
+      profile_path_ = path;
+    } else {
+      std::fprintf(stderr, "[qb-sweep %s] profile write failed: %s\n",
+                   name_.c_str(), err.c_str());
+    }
   }
   if (progress_) {
     std::fprintf(stderr,
@@ -335,7 +471,7 @@ std::string Sweep::write_manifest() const {
   if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
   JsonWriter j;
   j.begin_object();
-  j.kv("schema", "quicbench.sweep.manifest/v1");
+  j.kv("schema", "quicbench.sweep.manifest/v2");
   j.kv("code_schema_version",
        static_cast<std::uint64_t>(kSchemaVersion));
   j.kv("sweep", name_);
@@ -356,6 +492,13 @@ std::string Sweep::write_manifest() const {
   j.kv("misses", stats_.cache_misses);
   j.end_object();
 
+  // Where the flight recorder wrote, if it was on ("" = off / not
+  // written).
+  j.key("observability").begin_object();
+  j.kv("qlog_dir", qlog_dir_);
+  j.kv("profile", profile_path_);
+  j.end_object();
+
   j.key("pairs").begin_array();
   for (const auto& p : pairs_) {
     j.begin_object();
@@ -372,6 +515,8 @@ std::string Sweep::write_manifest() const {
     j.kv("events_per_sec",
          p->wall_sec > 0 ? static_cast<double>(p->events) / p->wall_sec
                          : 0.0);
+    j.key("diagnostics");
+    write_diagnostics(j, p->result.diagnostics);
     j.end_object();
   }
   j.end_array();
@@ -399,6 +544,24 @@ std::string Sweep::write_manifest() const {
     }
     j.kv("eval_sec", c.eval_sec);
     j.kv("wall_sec", wall);  // shared pairs are counted in every cell
+    if (c.kind == Cell::Kind::kConformance) {
+      // How far the test pair's bottleneck behaviour sits from the
+      // kernel-reference pair's (flow 0 = the test position).
+      const harness::PairDiagnostics& td = main_pair.result.diagnostics;
+      const harness::PairDiagnostics& rd =
+          pairs_[static_cast<std::size_t>(c.ref_pair_idx)]
+              ->result.diagnostics;
+      if (td.valid && rd.valid) {
+        j.key("diagnostics_vs_ref").begin_object();
+        j.kv("loss_rate_delta",
+             td.flow[0].loss_rate - rd.flow[0].loss_rate);
+        j.kv("queue_hwm_delta_bytes",
+             static_cast<std::int64_t>(td.queue_hwm_bytes) -
+                 static_cast<std::int64_t>(rd.queue_hwm_bytes));
+        j.kv("utilization_delta", td.utilization - rd.utilization);
+        j.end_object();
+      }
+    }
     j.end_object();
   }
   j.end_array();

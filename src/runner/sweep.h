@@ -34,6 +34,7 @@
 
 #include "conformance/conformance.h"
 #include "harness/experiment.h"
+#include "obs/profiler.h"
 #include "runner/cache.h"
 #include "stacks/registry.h"
 
@@ -51,6 +52,15 @@ struct SweepOptions {
   std::string manifest_dir = "bench_out/manifests";
   // Progress lines on stderr; QB_PROGRESS=1 forces them on.
   bool progress = false;
+  // Flight recorder: emit per-flow qlog files for every simulated trial
+  // under <qlog_dir>/<sweep>/. "" = QB_QLOG_DIR (off when that is unset
+  // too). Cached pairs are not re-simulated and emit nothing.
+  std::string qlog_dir;
+  // Chrome-trace-event profile of the sweep (per-worker trial spans);
+  // QB_PROFILE=1 forces it on. Written to <profile_dir>/<name>.trace.json
+  // at the end of run().
+  bool profile = false;
+  std::string profile_dir = "bench_out/profile";
 };
 
 struct SweepStats {
@@ -99,6 +109,11 @@ class Sweep {
   const SweepStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
+  // Flight-recorder output locations, valid after run(). Empty when the
+  // corresponding recorder was off.
+  const std::string& profile_path() const { return profile_path_; }
+  const std::string& qlog_dir_used() const { return qlog_dir_; }
+
   // Write <manifest_dir>/<name>.json and return its path.
   std::string write_manifest() const;
 
@@ -109,8 +124,10 @@ class Sweep {
   int intern_pair(const stacks::Implementation& a,
                   const stacks::Implementation& b,
                   const harness::ExperimentConfig& cfg);
-  void finalize_pair(PairTask& pair, double* busy_sec);
-  void eval_cell(Cell& cell, double* busy_sec);
+  void finalize_pair(PairTask& pair, double* busy_sec, int worker_id);
+  void eval_cell(Cell& cell, double* busy_sec, int worker_id);
+  harness::TrialResult run_observed_trial(PairTask& pair, int pair_idx,
+                                          int trial);
 
   std::string name_;
   SweepOptions opts_;
@@ -122,6 +139,9 @@ class Sweep {
   SweepStats stats_;
   bool ran_ = false;
   bool progress_ = false;
+  std::string qlog_dir_;    // "" = qlog recorder off
+  std::unique_ptr<obs::TraceProfiler> profiler_;  // null = profiler off
+  std::string profile_path_;
   std::atomic<int> pairs_done_{0};
   std::mutex progress_mu_;
 };

@@ -1,7 +1,11 @@
 #include "trace/qlog.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <ostream>
+
+#include "util/json.h"
 
 namespace quicbench::trace {
 
@@ -10,29 +14,58 @@ QlogWriter::QlogWriter(std::string title, std::string cca_name)
 
 void QlogWriter::packet_sent(Time t, std::uint64_t pn, Bytes size,
                              bool is_retransmission) {
-  events_.push_back({t, 0, pn, size, is_retransmission, 0, 0, 0});
+  events_.push_back({t, 0, pn, size, is_retransmission, 0, 0, 0, 0, 0, 0});
 }
 
 void QlogWriter::packet_received(Time t, std::uint64_t pn, Bytes size) {
-  events_.push_back({t, 1, pn, size, false, 0, 0, 0});
+  events_.push_back({t, 1, pn, size, false, 0, 0, 0, 0, 0, 0});
 }
 
 void QlogWriter::packet_lost(Time t, std::uint64_t pn) {
-  events_.push_back({t, 2, pn, 0, false, 0, 0, 0});
+  events_.push_back({t, 2, pn, 0, false, 0, 0, 0, 0, 0, 0});
 }
 
 void QlogWriter::metrics_updated(Time t, Bytes cwnd, Bytes bytes_in_flight,
                                  Time smoothed_rtt) {
   events_.push_back({t, 3, 0, 0, false, cwnd, bytes_in_flight,
-                     smoothed_rtt});
+                     smoothed_rtt, 0, 0, 0});
+}
+
+int QlogWriter::intern_state(std::string_view name) {
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return static_cast<int>(i);
+  }
+  state_names_.emplace_back(name);
+  return static_cast<int>(state_names_.size()) - 1;
+}
+
+void QlogWriter::congestion_state_updated(Time t, std::string_view old_state,
+                                          std::string_view new_state) {
+  Event e{t, 4, 0, 0, false, 0, 0, 0, 0, 0, 0};
+  e.a = intern_state(old_state);
+  e.b = intern_state(new_state);
+  events_.push_back(e);
+}
+
+void QlogWriter::loss_timer_updated(Time t, TimerType timer, TimerEvent event,
+                                    Time expiry) {
+  Event e{t, 5, 0, 0, false, 0, 0, 0, 0, 0, 0};
+  e.a = static_cast<int>(timer);
+  e.b = static_cast<int>(event);
+  e.expiry = expiry;
+  events_.push_back(e);
+}
+
+void QlogWriter::spurious_loss_detected(Time t, std::uint64_t pn) {
+  events_.push_back({t, 6, pn, 0, false, 0, 0, 0, 0, 0, 0});
 }
 
 void QlogWriter::write_to(std::ostream& os) const {
-  os << "{\"qlog_version\":\"0.3\",\"title\":\"" << title_
+  os << "{\"qlog_version\":\"0.3\",\"title\":\"" << json_escape(title_)
      << "\",\"traces\":[{\"common_fields\":{\"time_format\":"
         "\"relative\",\"reference_time\":0},\"vantage_point\":{\"type\":"
         "\"server\"},\"configuration\":{\"congestion_control\":\""
-     << cca_name_ << "\"},\"events\":[";
+     << json_escape(cca_name_) << "\"},\"events\":[";
   bool first = true;
   for (const auto& e : events_) {
     if (!first) os << ',';
@@ -54,22 +87,64 @@ void QlogWriter::write_to(std::ostream& os) const {
         os << "[" << ms << ",\"recovery\",\"packet_lost\",{\"header\":{"
            << "\"packet_number\":" << e.pn << "}}]";
         break;
-      default:
+      case 3:
         os << "[" << ms << ",\"recovery\",\"metrics_updated\",{"
            << "\"congestion_window\":" << e.cwnd
            << ",\"bytes_in_flight\":" << e.in_flight
            << ",\"smoothed_rtt\":" << time::to_ms(e.srtt) << "}]";
+        break;
+      case 4:
+        os << "[" << ms << ",\"recovery\",\"congestion_state_updated\",{"
+           << "\"old\":\""
+           << json_escape(state_names_[static_cast<std::size_t>(e.a)])
+           << "\",\"new\":\""
+           << json_escape(state_names_[static_cast<std::size_t>(e.b)])
+           << "\"}]";
+        break;
+      case 5: {
+        const char* timer_type =
+            e.a == static_cast<int>(TimerType::kPto) ? "pto" : "loss";
+        const char* event_type = "set";
+        if (e.b == static_cast<int>(TimerEvent::kExpired)) {
+          event_type = "expired";
+        } else if (e.b == static_cast<int>(TimerEvent::kCancelled)) {
+          event_type = "cancelled";
+        }
+        os << "[" << ms << ",\"recovery\",\"loss_timer_updated\",{"
+           << "\"timer_type\":\"" << timer_type << "\",\"event_type\":\""
+           << event_type << "\"";
+        if (e.b == static_cast<int>(TimerEvent::kSet)) {
+          os << ",\"delta\":" << time::to_ms(e.expiry - e.time);
+        }
+        os << "}]";
+        break;
+      }
+      default:
+        os << "[" << ms << ",\"recovery\",\"spurious_loss_detected\",{"
+           << "\"header\":{\"packet_number\":" << e.pn << "}}]";
         break;
     }
   }
   os << "]}]}";
 }
 
-bool QlogWriter::write_file(const std::string& path) const {
+bool QlogWriter::write_file(const std::string& path,
+                            std::string* error) const {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    if (error != nullptr) {
+      *error = "qlog: cannot open " + path + " for writing (" +
+               std::strerror(errno) + ")";
+    }
+    return false;
+  }
   write_to(out);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "qlog: short write to " + path;
+    return false;
+  }
+  return true;
 }
 
 } // namespace quicbench::trace

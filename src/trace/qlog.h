@@ -7,17 +7,23 @@
 // stacks.
 //
 // Events emitted per flow:
-//   transport:packet_sent        (pn, size, retransmission flag)
-//   transport:packet_received    (pn, size)
-//   recovery:packet_lost         (pn)
-//   recovery:metrics_updated     (cwnd, bytes_in_flight, smoothed_rtt)
+//   transport:packet_sent             (pn, size, retransmission flag)
+//   transport:packet_received         (pn, size)
+//   recovery:packet_lost              (pn)
+//   recovery:metrics_updated          (cwnd, bytes_in_flight, smoothed_rtt)
+//   recovery:congestion_state_updated (old, new — CCA phase transitions)
+//   recovery:loss_timer_updated       (timer type, set/expired/cancelled)
+//   recovery:spurious_loss_detected   (pn — lost-marked packet later acked)
 //
 // The writer buffers events and serialises on `write_to` — experiments
 // are finished before any I/O happens, so logging never perturbs timing.
+// Titles and CCA names pass through json_escape, so arbitrary display
+// strings cannot corrupt the document.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/units.h"
@@ -26,6 +32,10 @@ namespace quicbench::trace {
 
 class QlogWriter {
  public:
+  // Timer identity / lifecycle for loss_timer_updated events.
+  enum class TimerType { kLossDetection, kPto };
+  enum class TimerEvent { kSet, kExpired, kCancelled };
+
   QlogWriter(std::string title, std::string cca_name);
 
   void packet_sent(Time t, std::uint64_t pn, Bytes size,
@@ -34,18 +44,30 @@ class QlogWriter {
   void packet_lost(Time t, std::uint64_t pn);
   void metrics_updated(Time t, Bytes cwnd, Bytes bytes_in_flight,
                        Time smoothed_rtt);
+  // CCA phase transition (e.g. slow_start -> congestion_avoidance,
+  // startup -> drain). States are interned; arbitrary names are fine.
+  void congestion_state_updated(Time t, std::string_view old_state,
+                                std::string_view new_state);
+  // Loss-detection / PTO timer lifecycle. `expiry` is only meaningful for
+  // kSet.
+  void loss_timer_updated(Time t, TimerType timer, TimerEvent event,
+                          Time expiry = 0);
+  void spurious_loss_detected(Time t, std::uint64_t pn);
 
   std::size_t event_count() const { return events_.size(); }
 
   // Serialise the full qlog JSON document.
   void write_to(std::ostream& os) const;
-  // Convenience: write to a file; returns false on I/O failure.
-  bool write_file(const std::string& path) const;
+  // Convenience: write to a file; false on I/O failure, with the failing
+  // path reported through `error` when provided.
+  bool write_file(const std::string& path,
+                  std::string* error = nullptr) const;
 
  private:
   struct Event {
     Time time;
-    // 0 = sent, 1 = received, 2 = lost, 3 = metrics
+    // 0 = sent, 1 = received, 2 = lost, 3 = metrics, 4 = congestion
+    // state, 5 = loss timer, 6 = spurious loss
     int kind;
     std::uint64_t pn = 0;
     Bytes size = 0;
@@ -53,10 +75,17 @@ class QlogWriter {
     Bytes cwnd = 0;
     Bytes in_flight = 0;
     Time srtt = 0;
+    // kind 4: interned state names; kind 5: timer type / event.
+    int a = 0;
+    int b = 0;
+    Time expiry = 0;
   };
+
+  int intern_state(std::string_view name);
 
   std::string title_;
   std::string cca_name_;
+  std::vector<std::string> state_names_;
   std::vector<Event> events_;
 };
 

@@ -91,6 +91,7 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
         ++reorder_threshold_;  // RACK-style reo_wnd widening
       }
       cca_->on_spurious_loss({now, pn, m->wire_size, m->sent_time});
+      if (spurious_cb_) spurious_cb_(now, pn);
       return;
     }
     m->acked = true;
@@ -222,28 +223,53 @@ void SenderEndpoint::detect_losses() {
 
   if (next_loss_time != time::kInfinite) {
     loss_timer_.arm(next_loss_time, [this] {
+      if (timer_cb_) {
+        timer_cb_(sim_.now(), LossTimerKind::kLossDetection,
+                  LossTimerEvent::kExpired, 0);
+      }
       detect_losses();
       compact_sent_log();
       maybe_send();
     });
+    if (timer_cb_) {
+      timer_cb_(now, LossTimerKind::kLossDetection, LossTimerEvent::kSet,
+                next_loss_time);
+    }
   } else {
+    const bool was_armed = loss_timer_.armed();
     loss_timer_.cancel();
+    if (was_armed && timer_cb_) {
+      timer_cb_(now, LossTimerKind::kLossDetection, LossTimerEvent::kCancelled,
+                0);
+    }
   }
 }
 
 void SenderEndpoint::arm_pto() {
   if (bytes_in_flight_ <= 0) {
+    const bool was_armed = pto_timer_.armed();
     pto_timer_.cancel();
+    if (was_armed && timer_cb_) {
+      timer_cb_(sim_.now(), LossTimerKind::kPto, LossTimerEvent::kCancelled, 0);
+    }
     return;
   }
   const Time interval = rtt_.pto_interval(profile_.max_ack_delay_assumed)
                         << std::min(pto_count_, 6);
   pto_timer_.arm_in(interval, [this] { on_pto(); });
+  if (timer_cb_) {
+    timer_cb_(sim_.now(), LossTimerKind::kPto, LossTimerEvent::kSet,
+              sim_.now() + interval);
+  }
 }
 
 void SenderEndpoint::on_pto() {
   ++stats_.ptos_fired;
   ++pto_count_;
+  if (timer_cb_) {
+    timer_cb_(sim_.now(), LossTimerKind::kPto, LossTimerEvent::kExpired, 0);
+  }
+  if (pto_cb_) pto_cb_(sim_.now(), pto_count_);
   if (pto_count_ >= profile_.persistent_congestion_ptos) {
     declare_persistent_congestion();
   }

@@ -57,6 +57,14 @@ class SenderEndpoint : public netsim::PacketSink {
   using PacketSentCallback = std::function<void(
       Time now, std::uint64_t pn, Bytes size, bool is_retransmission)>;
   using PacketLostCallback = std::function<void(Time now, std::uint64_t pn)>;
+  // Loss-detection / PTO timer lifecycle, for the flight recorder. The
+  // `expiry` argument is only meaningful for kSet.
+  enum class LossTimerKind { kLossDetection, kPto };
+  enum class LossTimerEvent { kSet, kExpired, kCancelled };
+  using TimerCallback = std::function<void(Time now, LossTimerKind kind,
+                                           LossTimerEvent event, Time expiry)>;
+  using PtoCallback = std::function<void(Time now, int pto_count)>;
+  using SpuriousLossCallback = std::function<void(Time now, std::uint64_t pn)>;
   void set_rtt_callback(RttCallback cb) { rtt_cb_ = std::move(cb); }
   void set_cwnd_callback(CwndCallback cb) { cwnd_cb_ = std::move(cb); }
   void set_packet_sent_callback(PacketSentCallback cb) {
@@ -64,6 +72,11 @@ class SenderEndpoint : public netsim::PacketSink {
   }
   void set_packet_lost_callback(PacketLostCallback cb) {
     lost_cb_ = std::move(cb);
+  }
+  void set_timer_callback(TimerCallback cb) { timer_cb_ = std::move(cb); }
+  void set_pto_callback(PtoCallback cb) { pto_cb_ = std::move(cb); }
+  void set_spurious_loss_callback(SpuriousLossCallback cb) {
+    spurious_cb_ = std::move(cb);
   }
 
   const SenderStats& stats() const { return stats_; }
@@ -140,6 +153,9 @@ class SenderEndpoint : public netsim::PacketSink {
   CwndCallback cwnd_cb_;
   PacketSentCallback sent_cb_;
   PacketLostCallback lost_cb_;
+  TimerCallback timer_cb_;
+  PtoCallback pto_cb_;
+  SpuriousLossCallback spurious_cb_;
 
   // Grace period during which a lost-marked packet is retained so a late
   // ack can be recognised as spurious.

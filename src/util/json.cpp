@@ -1,7 +1,9 @@
 #include "util/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace quicbench {
 
@@ -128,5 +130,253 @@ JsonWriter& JsonWriter::null() {
 }
 
 std::string JsonWriter::str() const { return out_ + "\n"; }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser. Depth-limited so hostile inputs cannot blow
+// the stack; the documents we validate nest a handful of levels.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: a low surrogate escape must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("lone high surrogate");
+            }
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& v) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return fail("malformed number");
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return true;
+  }
+
+  bool parse_value(JsonValue& v, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        v.type = JsonValue::Type::kObject;
+        skip_ws();
+        if (consume('}')) return true;
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!consume(':')) return fail("expected ':'");
+          JsonValue member;
+          if (!parse_value(member, depth + 1)) return false;
+          v.object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume('}')) return true;
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        v.type = JsonValue::Type::kArray;
+        skip_ws();
+        if (consume(']')) return true;
+        for (;;) {
+          JsonValue item;
+          if (!parse_value(item, depth + 1)) return false;
+          v.array.push_back(std::move(item));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume(']')) return true;
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        v.type = JsonValue::Type::kString;
+        return parse_string(v.string);
+      case 't':
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return literal("true");
+      case 'f':
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return literal("false");
+      case 'n':
+        v.type = JsonValue::Type::kNull;
+        return literal("null");
+      default:
+        return parse_number(v);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+} // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  return JsonParser(text).parse(error);
+}
 
 } // namespace quicbench

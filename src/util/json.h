@@ -1,13 +1,21 @@
 #pragma once
-// Minimal streaming JSON writer for the sweep run manifests. Emits
-// pretty-printed UTF-8 with two-space indentation; doubles are written
-// with round-trip precision and non-finite values become null (JSON has
-// no NaN/Inf). No reading/parsing — manifests are consumed by external
-// tooling (jq, python), not by us.
+// Minimal JSON support for the sweep run manifests and the observability
+// layer.
+//
+// JsonWriter: streaming writer emitting pretty-printed UTF-8 with
+// two-space indentation; doubles are written with round-trip precision
+// and non-finite values become null (JSON has no NaN/Inf).
+//
+// json_parse/JsonValue: a small recursive-descent reader, added so tests
+// can validate the documents we emit (qlog files, Chrome trace profiles,
+// sweep manifests) without external tooling. Numbers are held as double —
+// fine for validation, not a general-purpose JSON library.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace quicbench {
@@ -54,5 +62,34 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool pending_key_ = false;
 };
+
+// Parsed JSON document node. Object members keep insertion order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Parse a complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). nullopt on malformed input, with a position-tagged
+// message in `error` when provided.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 } // namespace quicbench

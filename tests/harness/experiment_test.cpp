@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "trace/qlog.h"
 
 namespace quicbench::harness {
 namespace {
@@ -164,6 +167,103 @@ TEST(RunTrial, ReportsSimulatorEvents) {
   const TrialResult tr = run_trial(ref, ref, cfg, 0);
   // A 5 s two-flow run fires many thousands of events.
   EXPECT_GT(tr.sim_events, 1000u);
+}
+
+// Every double compared bit-for-bit: the flight recorder must be a pure
+// observer, not merely "close enough".
+void expect_trials_bit_identical(const TrialResult& a, const TrialResult& b) {
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  for (int f = 0; f < 2; ++f) {
+    ASSERT_EQ(a.flow[f].points.size(), b.flow[f].points.size());
+    for (std::size_t i = 0; i < a.flow[f].points.size(); ++i) {
+      EXPECT_EQ(bits(a.flow[f].points[i].delay_ms),
+                bits(b.flow[f].points[i].delay_ms));
+      EXPECT_EQ(bits(a.flow[f].points[i].tput_mbps),
+                bits(b.flow[f].points[i].tput_mbps));
+    }
+    EXPECT_EQ(bits(a.flow[f].avg_throughput), bits(b.flow[f].avg_throughput));
+    EXPECT_EQ(a.flow[f].sender_stats.packets_sent,
+              b.flow[f].sender_stats.packets_sent);
+    EXPECT_EQ(a.flow[f].sender_stats.losses_detected,
+              b.flow[f].sender_stats.losses_detected);
+    EXPECT_EQ(a.flow[f].sender_stats.retransmissions,
+              b.flow[f].sender_stats.retransmissions);
+    EXPECT_EQ(a.flow[f].sender_stats.ptos_fired,
+              b.flow[f].sender_stats.ptos_fired);
+    EXPECT_EQ(a.flow[f].sender_stats.spurious_losses,
+              b.flow[f].sender_stats.spurious_losses);
+    EXPECT_EQ(a.flow[f].phase_residency_sec, b.flow[f].phase_residency_sec);
+  }
+  EXPECT_EQ(a.bottleneck.queue_hwm_bytes, b.bottleneck.queue_hwm_bytes);
+  EXPECT_EQ(a.bottleneck.drops, b.bottleneck.drops);
+  EXPECT_EQ(a.bottleneck.bytes_out, b.bottleneck.bytes_out);
+  EXPECT_EQ(bits(a.bottleneck.utilization), bits(b.bottleneck.utilization));
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(RunTrial, ObserversDoNotPerturbResults) {
+  const auto& reg = Registry::instance();
+  // Cover all three CCA families: phase hooks differ per controller.
+  const stacks::Implementation* impls[] = {
+      &reg.reference(CcaType::kCubic), &reg.reference(CcaType::kBbr),
+      &reg.reference(CcaType::kReno)};
+  for (const auto* impl : impls) {
+    ExperimentConfig cfg;
+    cfg.duration = time::sec(10);
+    const TrialResult plain = run_trial(*impl, *impl, cfg, 0);
+
+    trace::QlogWriter qlog_a("t flow 0", "x");
+    trace::QlogWriter qlog_b("t flow 1", "x");
+    obs::MetricsRegistry metrics;
+    TrialObservers observers;
+    observers.qlog[0] = &qlog_a;
+    observers.qlog[1] = &qlog_b;
+    observers.metrics = &metrics;
+    const TrialResult observed = run_trial(*impl, *impl, cfg, 0, observers);
+
+    expect_trials_bit_identical(plain, observed);
+    // And the observers actually saw the trial.
+    EXPECT_GT(qlog_a.event_count(), 0u);
+    EXPECT_GT(qlog_b.event_count(), 0u);
+    EXPECT_GT(metrics.size(), 0u);
+  }
+}
+
+TEST(RunTrial, PhaseResidencyCoversTheTrial) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  for (int f = 0; f < 2; ++f) {
+    ASSERT_FALSE(tr.flow[f].phase_residency_sec.empty());
+    double total = 0;
+    for (const auto& [phase, sec] : tr.flow[f].phase_residency_sec) {
+      EXPECT_FALSE(phase.empty());
+      EXPECT_GE(sec, 0.0);
+      total += sec;
+    }
+    // Residency spans from the flow's start to the end of the trial.
+    EXPECT_LE(total, time::to_sec(cfg.duration) + 1e-6);
+    EXPECT_GT(total, time::to_sec(cfg.duration) * 0.5);
+  }
+}
+
+TEST(RunTrial, BottleneckTelemetryPopulated) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  const TrialResult tr = run_trial(ref, ref, cfg, 0);
+  EXPECT_GT(tr.bottleneck.packets_out, 0);
+  EXPECT_GT(tr.bottleneck.bytes_out, 0);
+  EXPECT_GT(tr.bottleneck.queue_hwm_bytes, 0);
+  EXPECT_GT(tr.bottleneck.utilization, 0.3);
+  // Packet-boundary quantization can nudge delivered bits a hair above
+  // rate * duration.
+  EXPECT_LE(tr.bottleneck.utilization, 1.05);
 }
 
 TEST(MeasureConformance, SelfConformanceReasonable) {

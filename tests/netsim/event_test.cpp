@@ -63,6 +63,79 @@ TEST(Simulator, CancelInvalidIsNoop) {
   EXPECT_FALSE(sim.run_next());
 }
 
+TEST(Simulator, StaleCancelOfFiredEventIsNoop) {
+  // Regression: cancel() on an already-fired id used to park the id in
+  // the lazy-deletion set forever, making pending_events() underflow
+  // (heap size minus cancelled-set size, on size_t).
+  Simulator sim;
+  const EventId id = sim.schedule(time::ms(1), [] {});
+  sim.run_until(time::ms(5));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // already fired: must be a no-op
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule(time::ms(10), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, DoubleCancelIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(time::ms(1), [&] { fired = true; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // second cancel of the same id
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StaleCancelDoesNotKillRecycledSlot) {
+  // A cancelled id must never cancel a later event that happens to reuse
+  // its slot: generations retire old ids on reuse.
+  Simulator sim;
+  const EventId a = sim.schedule(time::ms(1), [] {});
+  sim.cancel(a);
+  bool fired = false;
+  const EventId b = sim.schedule(time::ms(2), [&] { fired = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale: must not touch b even if b reuses a's slot
+  sim.run_until(time::sec(1));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, FifoPreservedAcrossSlotRecycling) {
+  // Slot recycling must not disturb FIFO ordering among equal timestamps
+  // (ordering rides on a separate monotonic sequence, not the id).
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule(time::ms(5), [&] { order.push_back(-1); });
+  const EventId b = sim.schedule(time::ms(5), [&] { order.push_back(-2); });
+  sim.cancel(b);
+  sim.cancel(a);
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule(time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, PendingEventsTracksLifecycle) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule(time::ms(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  sim.cancel(ids[3]);
+  sim.cancel(ids[7]);
+  EXPECT_EQ(sim.pending_events(), 8u);
+  sim.run_until(time::ms(5));  // fires 1,2,4,5 ms (3 ms was cancelled)
+  EXPECT_EQ(sim.pending_events(), 4u);
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulator, EventsScheduledDuringEventsFire) {
   Simulator sim;
   int count = 0;

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace quicbench::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 4);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Gauge, TracksExtremes) {
+  Gauge g;
+  EXPECT_FALSE(g.seen());
+  g.set(10.0);
+  g.set(3.0);
+  g.set(7.0);
+  EXPECT_TRUE(g.seen());
+  EXPECT_EQ(g.value(), 7.0);
+  EXPECT_EQ(g.min(), 3.0);
+  EXPECT_EQ(g.max(), 10.0);
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  h.observe(0.5);   // bucket 0: [0, 1)
+  h.observe(1.5);   // bucket 1: [1, 2)
+  h.observe(3.0);   // bucket 2: [2, 4)
+  h.observe(3.9);   // bucket 2
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.9);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 3.9);
+  ASSERT_GE(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 2);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.enabled());
+  Counter& a = reg.counter("x.drops");
+  a.add(3);
+  // Creating more instruments must not invalidate earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  Counter& b = reg.counter("x.drops");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3);
+  EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(MetricsRegistry, NoopRegistryDiscardsEverything) {
+  MetricsRegistry& noop = MetricsRegistry::noop();
+  EXPECT_FALSE(noop.enabled());
+  noop.counter("a").add(42);
+  noop.gauge("b").set(1.0);
+  noop.histogram("c").observe(2.0);
+  EXPECT_EQ(noop.size(), 0u);
+}
+
+TEST(MetricsRegistry, JsonIsParseableAndDeterministic) {
+  const auto populate = [](MetricsRegistry& reg) {
+    reg.counter("z.last").add(9);
+    reg.counter("a.first").add(1);
+    reg.gauge("queue").set(123.0);
+    reg.histogram("rtt_ms").observe(10.0);
+    reg.histogram("rtt_ms").observe(12.0);
+  };
+  MetricsRegistry r1, r2;
+  populate(r1);
+  populate(r2);
+  const std::string s1 = r1.to_json_string();
+  // Identical population order-independently serialises identically
+  // (std::map keeps keys name-sorted).
+  EXPECT_EQ(s1, r2.to_json_string());
+
+  std::string err;
+  const auto doc = json_parse(s1, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* first = counters->find("a.first");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->number, 1.0);
+  const JsonValue* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* rtt = hists->find("rtt_ms");
+  ASSERT_NE(rtt, nullptr);
+  ASSERT_NE(rtt->find("count"), nullptr);
+  EXPECT_EQ(rtt->find("count")->number, 2.0);
+}
+
+} // namespace
+} // namespace quicbench::obs

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/profiler.h"
+#include "util/json.h"
+
+namespace quicbench::obs {
+namespace {
+
+TEST(TraceProfiler, MonotonicClock) {
+  TraceProfiler p("clock");
+  const auto a = p.now_us();
+  const auto b = p.now_us();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TraceProfiler, JsonParsesAndContainsSpans) {
+  TraceProfiler p("my sweep");
+  p.record_complete("trial A #0", "trial", 1, 100, 2500);
+  p.record_complete("cache probe", "cache", 0, 0, 50);
+  EXPECT_EQ(p.span_count(), 2u);
+
+  std::string err;
+  const auto doc = json_parse(p.to_json_string(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Metadata record naming the process plus one "X" record per span.
+  ASSERT_EQ(events->array.size(), 3u);
+  EXPECT_EQ(events->array[0].find("ph")->string, "M");
+  EXPECT_EQ(events->array[0].find("name")->string, "process_name");
+
+  const JsonValue& span = events->array[1];
+  EXPECT_EQ(span.find("ph")->string, "X");
+  EXPECT_EQ(span.find("name")->string, "trial A #0");
+  EXPECT_EQ(span.find("cat")->string, "trial");
+  EXPECT_EQ(span.find("tid")->number, 1.0);
+  EXPECT_EQ(span.find("ts")->number, 100.0);
+  EXPECT_EQ(span.find("dur")->number, 2500.0);
+}
+
+TEST(TraceProfiler, EscapesSpanNames) {
+  TraceProfiler p("quo\"te");
+  p.record_complete("a\nb", "c\\d", 1, 0, 1);
+  std::string err;
+  const auto doc = json_parse(p.to_json_string(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array[1].find("name")->string, "a\nb");
+  EXPECT_EQ(events->array[1].find("cat")->string, "c\\d");
+}
+
+TEST(TraceProfiler, WriteFileRoundTripAndBadPath) {
+  TraceProfiler p("file");
+  p.record_complete("span", "t", 1, 0, 10);
+  const std::string path = ::testing::TempDir() + "/qb_profile_test.json";
+  ASSERT_TRUE(p.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+
+  std::string err;
+  EXPECT_FALSE(p.write_file("/nonexistent-dir-xyz/p.json", &err));
+  EXPECT_NE(err.find("/nonexistent-dir-xyz/p.json"), std::string::npos);
+}
+
+} // namespace
+} // namespace quicbench::obs

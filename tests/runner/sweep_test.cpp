@@ -9,6 +9,7 @@
 
 #include "runner/fingerprint.h"
 #include "runner/sweep.h"
+#include "util/json.h"
 
 namespace quicbench::runner {
 namespace {
@@ -173,11 +174,167 @@ TEST(Sweep, ManifestReportsSchemaAndCounts) {
   std::stringstream ss;
   ss << f.rdbuf();
   const std::string body = ss.str();
-  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v1\""),
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v2\""),
             std::string::npos);
   EXPECT_NE(body.find("\"simulations_executed\": 2"), std::string::npos);
   EXPECT_NE(body.find("\"fingerprint\""), std::string::npos);
   EXPECT_NE(body.find("\"cache\""), std::string::npos);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Sweep, ManifestCarriesDiagnostics) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* quiche = reg.find("quiche", CcaType::kCubic);
+  Sweep sweep("diag", no_cache_opts());
+  sweep.add_conformance(*quiche, ref, quick_cfg());
+  sweep.run();
+
+  std::string err;
+  const auto doc = json_parse(slurp(sweep.write_manifest()), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  const JsonValue* pairs = doc->find("pairs");
+  ASSERT_NE(pairs, nullptr);
+  ASSERT_FALSE(pairs->array.empty());
+  for (const JsonValue& p : pairs->array) {
+    const JsonValue* d = p.find("diagnostics");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->find("valid")->boolean);
+    const JsonValue* flows = d->find("flows");
+    ASSERT_NE(flows, nullptr);
+    ASSERT_EQ(flows->array.size(), 2u);
+    // 3 s of CUBIC at 20 Mbps always leaves slow start and sees loss.
+    EXPECT_GT(flows->array[0].find("loss_rate")->number, 0.0);
+    const JsonValue* phases = flows->array[0].find("phase_residency_sec");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_FALSE(phases->object.empty());
+    EXPECT_GT(d->find("queue_hwm_bytes")->number, 0.0);
+    EXPECT_GT(d->find("utilization")->number, 0.0);
+  }
+
+  const JsonValue* cells = doc->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->array.size(), 1u);
+  const JsonValue* vs_ref = cells->array[0].find("diagnostics_vs_ref");
+  ASSERT_NE(vs_ref, nullptr);
+  EXPECT_NE(vs_ref->find("loss_rate_delta"), nullptr);
+  EXPECT_NE(vs_ref->find("queue_hwm_delta_bytes"), nullptr);
+  EXPECT_NE(vs_ref->find("utilization_delta"), nullptr);
+
+  const JsonValue* obs = doc->find("observability");
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->find("qlog_dir")->string, "");
+  EXPECT_EQ(obs->find("profile")->string, "");
+}
+
+TEST(Sweep, DiagnosticsSurviveTheCache) {
+  const auto& ref = Registry::instance().reference(CcaType::kReno);
+  const auto cfg = quick_cfg();
+  SweepOptions opts;
+  opts.cache_dir = temp_dir("diag_cache");
+  opts.manifest_dir = temp_dir("diag_cache_manifests");
+
+  Sweep cold("diag_cold", opts);
+  cold.add_pair(ref, ref, cfg);
+  cold.run();
+
+  Sweep warm("diag_warm", opts);
+  warm.add_pair(ref, ref, cfg);
+  warm.run();
+  ASSERT_EQ(warm.stats().cache_hits, 1);
+
+  EXPECT_TRUE(cold.pair_result(0).diagnostics.valid);
+  const harness::PairDiagnostics& cd = cold.pair_result(0).diagnostics;
+  const harness::PairDiagnostics& wd = warm.pair_result(0).diagnostics;
+  ASSERT_TRUE(wd.valid);
+  EXPECT_EQ(cd.queue_hwm_bytes, wd.queue_hwm_bytes);
+  EXPECT_EQ(cd.bottleneck_drops, wd.bottleneck_drops);
+  EXPECT_EQ(cd.utilization, wd.utilization);
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_EQ(cd.flow[f].loss_rate, wd.flow[f].loss_rate);
+    EXPECT_EQ(cd.flow[f].phase_residency_sec,
+              wd.flow[f].phase_residency_sec);
+  }
+}
+
+TEST(Sweep, FlightRecorderEmitsQlogAndProfile) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kBbr);
+  const auto cfg = quick_cfg();
+
+  SweepOptions opts = no_cache_opts();
+  opts.qlog_dir = temp_dir("fr_qlog");
+  opts.profile = true;
+  opts.profile_dir = temp_dir("fr_profile");
+
+  Sweep sweep("fr", opts);
+  sweep.add_pair(ref, ref, cfg);
+  sweep.run();
+
+  // One qlog per flow per trial, each parseable and carrying phase
+  // transitions.
+  int qlogs = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           sweep.qlog_dir_used())) {
+    if (entry.path().extension() != ".qlog") continue;
+    ++qlogs;
+    std::string err;
+    const auto doc = json_parse(slurp(entry.path().string()), &err);
+    ASSERT_TRUE(doc.has_value()) << entry.path() << ": " << err;
+    EXPECT_NE(slurp(entry.path().string())
+                  .find("congestion_state_updated"),
+              std::string::npos)
+        << entry.path();
+  }
+  EXPECT_EQ(qlogs, 2 * cfg.trials);
+
+  // The profile has one "trial" span per simulation executed.
+  ASSERT_FALSE(sweep.profile_path().empty());
+  std::string err;
+  const auto prof = json_parse(slurp(sweep.profile_path()), &err);
+  ASSERT_TRUE(prof.has_value()) << err;
+  int trial_spans = 0;
+  for (const JsonValue& e : prof->find("traceEvents")->array) {
+    const JsonValue* cat = e.find("cat");
+    if (cat != nullptr && cat->string == "trial") ++trial_spans;
+  }
+  EXPECT_EQ(trial_spans, cfg.trials);
+
+  // And the manifest points at both.
+  const auto doc = json_parse(slurp(sweep.write_manifest()), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* obs = doc->find("observability");
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->find("qlog_dir")->string, opts.qlog_dir);
+  EXPECT_EQ(obs->find("profile")->string, sweep.profile_path());
+}
+
+TEST(Sweep, FlightRecorderKeepsResultsBitIdentical) {
+  const auto& reg = Registry::instance();
+  const auto& ref = reg.reference(CcaType::kCubic);
+  const auto* chromium = reg.find("chromium", CcaType::kCubic);
+  const auto cfg = quick_cfg();
+
+  Sweep plain("fr_plain", no_cache_opts());
+  const auto p_id = plain.add_pair(*chromium, ref, cfg);
+  plain.run();
+
+  SweepOptions opts = no_cache_opts();
+  opts.qlog_dir = temp_dir("fr_bitident_qlog");
+  opts.profile = true;
+  opts.profile_dir = temp_dir("fr_bitident_profile");
+  Sweep recorded("fr_rec", opts);
+  const auto r_id = recorded.add_pair(*chromium, ref, cfg);
+  recorded.run();
+
+  expect_bit_identical(plain.pair_result(p_id), recorded.pair_result(r_id));
 }
 
 TEST(RefPairCache, MemoizesAndSharesViaDisk) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "trace/qlog.h"
+#include "util/json.h"
 
 namespace quicbench::trace {
 namespace {
@@ -70,6 +71,65 @@ TEST(Qlog, BalancedBracesAndBrackets) {
   }
   EXPECT_EQ(depth_brace, 0);
   EXPECT_EQ(depth_bracket, 0);
+}
+
+TEST(Qlog, RecoveryEventsSerialised) {
+  QlogWriter w("t", "cubic");
+  w.congestion_state_updated(time::ms(1), "slow_start",
+                             "congestion_avoidance");
+  w.loss_timer_updated(time::ms(2), QlogWriter::TimerType::kPto,
+                       QlogWriter::TimerEvent::kSet, time::ms(42));
+  w.loss_timer_updated(time::ms(3), QlogWriter::TimerType::kLossDetection,
+                       QlogWriter::TimerEvent::kExpired);
+  w.spurious_loss_detected(time::ms(4), 17);
+  std::ostringstream os;
+  w.write_to(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"congestion_state_updated\""), std::string::npos);
+  EXPECT_NE(s.find("\"old\":\"slow_start\""), std::string::npos);
+  EXPECT_NE(s.find("\"new\":\"congestion_avoidance\""), std::string::npos);
+  EXPECT_NE(s.find("\"loss_timer_updated\""), std::string::npos);
+  EXPECT_NE(s.find("\"pto\""), std::string::npos);
+  EXPECT_NE(s.find("\"spurious_loss_detected\""), std::string::npos);
+}
+
+TEST(Qlog, DocumentParsesWithJsonParser) {
+  QlogWriter w("parse \"me\"", "cu\\bic");
+  w.packet_sent(time::ms(1), 0, 1500, false);
+  w.packet_sent(time::ms(2), 1, 1500, true);
+  w.packet_received(time::ms(11), 0, 1500);
+  w.packet_lost(time::ms(30), 1);
+  w.metrics_updated(time::ms(31), 14480, 7000, time::ms(10));
+  w.congestion_state_updated(time::ms(32), "slow_start", "recovery");
+  w.loss_timer_updated(time::ms(33), QlogWriter::TimerType::kLossDetection,
+                       QlogWriter::TimerEvent::kCancelled);
+  w.spurious_loss_detected(time::ms(34), 1);
+  std::ostringstream os;
+  w.write_to(os);
+
+  std::string err;
+  const auto doc = json_parse(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* traces = doc->find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->array.size(), 1u);
+  const JsonValue* events = traces->array[0].find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), w.event_count());
+  // Events are [time_ms, category, name, data] rows.
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_array());
+    ASSERT_EQ(e.array.size(), 4u);
+    EXPECT_TRUE(e.array[0].is_number());
+    EXPECT_TRUE(e.array[1].is_string());
+    EXPECT_TRUE(e.array[2].is_string());
+    EXPECT_TRUE(e.array[3].is_object());
+  }
+  const JsonValue& state_change = events->array[5];
+  EXPECT_EQ(state_change.array[1].string, "recovery");
+  EXPECT_EQ(state_change.array[2].string, "congestion_state_updated");
+  EXPECT_EQ(state_change.array[3].find("new")->string, "recovery");
 }
 
 TEST(Qlog, WriteFileRoundTrip) {
