@@ -1,0 +1,227 @@
+// Event-engine performance microbenchmarks. Two families:
+//
+//   engine_*  raw Simulator workloads (timer chains, schedule+cancel
+//             churn, rearm fast path, wheel/heap mix) isolating the
+//             event-store hot paths from the transport stack;
+//   trial_*   one canonical 120 s conformance trial per CCA (kernel
+//             reference vs itself, paper-default 1 BDP network),
+//             the end-to-end events/sec number the sweeps see.
+//
+// Every benchmark's event count is a pure function of the simulation
+// (integer time, fixed seeds), so counts are bit-identical across runs
+// and machines — scripts/check_perf.py uses that as a hard determinism
+// gate, while wall-clock throughput is compared against the committed
+// baseline with a generous regression margin.
+//
+// Output: a human-readable table on stdout and
+// bench_out/BENCH_engine.json (schema quicbench.bench.engine/v1).
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "netsim/event.h"
+#include "runner/env.h"
+#include "stacks/registry.h"
+#include "util/json.h"
+#include "util/units.h"
+
+namespace quicbench {
+namespace {
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t events = 0;  // deterministic work metric
+  double wall_sec = 0;
+  double events_per_sec = 0;
+};
+
+// Best-of-`reps` timing: the short raw-engine probes are noisy on a
+// busy machine, so take the fastest repetition. Every repetition must
+// produce the same event count (in-process determinism check).
+template <typename Fn>
+BenchResult timed(const std::string& name, Fn&& body, int reps = 1) {
+  BenchResult r;
+  r.name = name;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (i == 0) {
+      r.events = events;
+      r.wall_sec = wall;
+    } else if (events != r.events) {
+      std::cerr << "FATAL: " << name << " nondeterministic event count ("
+                << events << " vs " << r.events << ")\n";
+      std::exit(1);
+    } else if (wall < r.wall_sec) {
+      r.wall_sec = wall;
+    }
+  }
+  r.events_per_sec =
+      r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0;
+  return r;
+}
+
+// Four self-rescheduling schedule_in chains at co-prime periods: the
+// pure schedule+fire cycle (slot reuse, wheel insert, bucket
+// activation) with no cancels and no stale entries.
+std::uint64_t run_timer_chain() {
+  netsim::Simulator sim;
+  struct Chain {
+    netsim::Simulator* sim;
+    Time period;
+    void tick() { sim->schedule_in(period, [this] { tick(); }); }
+  };
+  Chain chains[] = {{&sim, time::us(3)},
+                    {&sim, time::us(5)},
+                    {&sim, time::us(7)},
+                    {&sim, time::us(11)}};
+  for (auto& c : chains) c.tick();
+  sim.run_until(time::sec(2));
+  return sim.events_fired();
+}
+
+// Schedule two events, cancel one: exercises slot alloc/free and the
+// cancelled-entry skip in run_next. Half of all entries die stale.
+std::uint64_t run_schedule_cancel() {
+  netsim::Simulator sim;
+  std::uint64_t sink = 0;
+  constexpr int kIters = 500000;
+  for (int i = 0; i < kIters; ++i) {
+    const Time dt = static_cast<Time>((i % 97) * 41 + 1);  // ns scale
+    const netsim::EventId keep =
+        sim.schedule_in(dt, [&sink] { ++sink; });
+    const netsim::EventId drop =
+        sim.schedule_in(dt + 13, [&sink] { sink += 100; });
+    (void)keep;
+    sim.cancel(drop);
+    if ((i & 63) == 63) sim.run_until(sim.now() + time::us(4));
+  }
+  while (sim.run_next()) {
+  }
+  // Work metric: schedules + cancels + fires, all deterministic.
+  return sim.events_scheduled() + kIters + sim.events_fired();
+}
+
+// The Timer::rearm fast path: a 2 us driver chain repeatedly postpones
+// a long timer that almost never fires, so nearly every operation is an
+// in-place slot update (no cancel+schedule, no allocation).
+std::uint64_t run_rearm_fastpath() {
+  netsim::Simulator sim;
+  netsim::Timer idle(sim);
+  std::uint64_t idle_fires = 0;
+  idle.set([&idle_fires] { ++idle_fires; });
+  struct Driver {
+    netsim::Simulator* sim;
+    netsim::Timer* idle;
+    void tick() {
+      idle->rearm(sim->now() + time::us(10));
+      sim->schedule_in(time::us(2), [this] { tick(); });
+    }
+  };
+  Driver d{&sim, &idle};
+  d.tick();
+  sim.run_until(time::sec(2));
+  // Reschedules count toward events_scheduled; fires are the chain.
+  return sim.events_scheduled() + sim.events_fired();
+}
+
+// Near deadlines land in the wheel, 10 ms deadlines are beyond the
+// wheel horizon and take the heap path; both tiers stay busy and the
+// global (time, seq) merge in run_next is exercised continuously.
+std::uint64_t run_wheel_heap_mix() {
+  netsim::Simulator sim;
+  struct Near {
+    netsim::Simulator* sim;
+    void tick() { sim->schedule_in(time::us(4), [this] { tick(); }); }
+  };
+  struct Far {
+    netsim::Simulator* sim;
+    void tick() { sim->schedule_in(time::ms(10), [this] { tick(); }); }
+  };
+  Near near{&sim};
+  Far far[8] = {{&sim}, {&sim}, {&sim}, {&sim},
+                {&sim}, {&sim}, {&sim}, {&sim}};
+  near.tick();
+  for (auto& f : far) f.tick();
+  sim.run_until(time::sec(2));
+  return sim.events_fired();
+}
+
+// One canonical conformance trial (kernel reference vs itself, 120 s on
+// the paper-default 1 BDP network), independent of QB_FAST. This is the
+// number the full sweeps are built out of.
+BenchResult run_canonical_trial(const std::string& name,
+                                stacks::CcaType cca) {
+  const auto& ref = stacks::Registry::instance().reference(cca);
+  harness::ExperimentConfig cfg = runner::default_config(1.0);
+  cfg.duration = time::sec(120);
+  cfg.trials = 1;
+  return timed(name, [&] {
+    const harness::TrialResult r = harness::run_trial(ref, ref, cfg, 0);
+    return r.sim_events;
+  });
+}
+
+void write_json(const std::vector<BenchResult>& results,
+                const std::string& path) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "quicbench.bench.engine/v1");
+  w.key("benchmarks");
+  w.begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("events", static_cast<std::uint64_t>(r.events));
+    w.kv("wall_sec", r.wall_sec);
+    w.kv("events_per_sec", r.events_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path);
+  out << w.str() << '\n';
+}
+
+} // namespace
+} // namespace quicbench
+
+int main() {
+  using namespace quicbench;
+
+  std::vector<BenchResult> results;
+  results.push_back(timed("engine_timer_chain", run_timer_chain, 3));
+  results.push_back(timed("engine_schedule_cancel", run_schedule_cancel, 3));
+  results.push_back(timed("engine_rearm_fastpath", run_rearm_fastpath, 3));
+  results.push_back(timed("engine_wheel_heap_mix", run_wheel_heap_mix, 3));
+  results.push_back(run_canonical_trial("trial_reno", stacks::CcaType::kReno));
+  results.push_back(
+      run_canonical_trial("trial_cubic", stacks::CcaType::kCubic));
+  results.push_back(run_canonical_trial("trial_bbr", stacks::CcaType::kBbr));
+
+  std::cout << "Event-engine microbenchmarks\n\n";
+  std::cout << std::left << std::setw(26) << "benchmark" << std::right
+            << std::setw(12) << "events" << std::setw(12) << "wall_s"
+            << std::setw(16) << "events/sec" << '\n';
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(26) << r.name << std::right
+              << std::setw(12) << r.events << std::setw(12) << std::fixed
+              << std::setprecision(3) << r.wall_sec << std::setw(16)
+              << std::setprecision(0) << r.events_per_sec << '\n';
+    std::cout.unsetf(std::ios::fixed);
+    std::cout << std::setprecision(6);
+  }
+
+  const std::string path = runner::out_dir() + "/BENCH_engine.json";
+  write_json(results, path);
+  std::cout << "\nJSON: " << path << "\n";
+  return 0;
+}

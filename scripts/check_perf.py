@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate BENCH_engine.json against the committed baseline.
+
+Two kinds of checks, with very different strictness:
+
+  * events    HARD: the event count of every benchmark is a pure
+              function of the simulation (integer time, fixed seeds),
+              so any mismatch vs the baseline means the engine's event
+              ordering changed — fail immediately.
+  * events/s  SOFT: wall-clock throughput must not regress below
+              --min-ratio (default 0.70, i.e. fail on a >30% drop) of
+              the baseline on any benchmark. Wall time itself is only
+              reported, never gated: CI machines vary.
+
+Usage:
+  scripts/check_perf.py RESULT.json [--baseline bench/perf/BENCH_engine.baseline.json]
+                        [--min-ratio 0.70]
+
+Exit status: 0 ok, 1 regression/mismatch, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "quicbench.bench.engine/v1":
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("result", help="BENCH_engine.json from this run")
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__), "..",
+                                         "bench", "perf",
+                                         "BENCH_engine.baseline.json"))
+    ap.add_argument("--min-ratio", type=float,
+                    default=float(os.environ.get("QB_PERF_MIN_RATIO", 0.70)),
+                    help="minimum events/sec vs baseline (default 0.70)")
+    args = ap.parse_args()
+
+    result = load(args.result)
+    baseline = load(args.baseline)
+
+    failures = []
+    print(f"{'benchmark':<26}{'events':>12}{'base ev/s':>14}"
+          f"{'run ev/s':>14}{'ratio':>8}")
+    for name, base in baseline.items():
+        run = result.get(name)
+        if run is None:
+            failures.append(f"{name}: missing from result")
+            continue
+        if run["events"] != base["events"]:
+            failures.append(
+                f"{name}: event count {run['events']} != baseline "
+                f"{base['events']} (determinism violation)")
+        ratio = (run["events_per_sec"] / base["events_per_sec"]
+                 if base["events_per_sec"] else float("inf"))
+        print(f"{name:<26}{run['events']:>12}"
+              f"{base['events_per_sec']:>14.0f}"
+              f"{run['events_per_sec']:>14.0f}{ratio:>8.2f}")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{name}: events/sec ratio {ratio:.2f} below "
+                f"{args.min_ratio:.2f} "
+                f"({run['events_per_sec']:.0f} vs {base['events_per_sec']:.0f})")
+    for name in result:
+        if name not in baseline:
+            print(f"note: {name} not in baseline (new benchmark, not gated)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: event counts identical, throughput within margin")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

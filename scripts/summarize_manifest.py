@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Summarize a sweep run manifest (quicbench.sweep.manifest/v2) as a
-per-pair table: wall time, cache status, loss rate, bottleneck queue
+per-pair table: wall time, cache status, simulator throughput
+(events/sec), engine sizing peaks, loss rate, bottleneck queue
 high-watermark and CCA phase residency.
 
 Usage:
@@ -19,6 +20,17 @@ def fmt_bytes(n):
         if abs(n) < 1024 or unit == "GiB":
             return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
         n /= 1024
+
+
+def fmt_rate(events_per_sec):
+    v = float(events_per_sec)
+    if v <= 0:
+        return "-"
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:.0f}k"
+    return f"{v:.0f}"
 
 
 def fmt_phases(phases):
@@ -44,6 +56,11 @@ def summarize(path):
         f" {m.get('simulations_executed', 0)} trials simulated,"
         f" cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses"
     )
+    if m.get("events_executed"):
+        print(
+            f"  {m['events_executed']} simulator events"
+            f" at {fmt_rate(m.get('events_per_sec', 0))} events/sec overall"
+        )
     obs = m.get("observability", {})
     if obs.get("qlog_dir"):
         print(f"  qlog: {obs['qlog_dir']}")
@@ -55,10 +72,17 @@ def summarize(path):
         d = p.get("diagnostics", {})
         flows = d.get("flows", [{}, {}])
         loss = flows[0].get("loss_rate")
+        eng = p.get("engine", {})
+        # Cached pairs never ran a simulator: no throughput, no peaks.
+        cached = p.get("cached")
         rows.append(
             (
                 f"{p.get('a', '?')} vs {p.get('b', '?')}",
-                "hit" if p.get("cached") else f"{p.get('wall_sec', 0):.2f}s",
+                "hit" if cached else f"{p.get('wall_sec', 0):.2f}s",
+                "-" if cached else fmt_rate(p.get("events_per_sec", 0)),
+                "-"
+                if cached
+                else f"{eng.get('heap_peak', 0)}/{eng.get('wheel_peak', 0)}",
                 f"{100 * loss:.2f}%" if loss is not None and d.get("valid") else "-",
                 fmt_bytes(d.get("queue_hwm_bytes", 0)) if d.get("valid") else "-",
                 f"{100 * d.get('utilization', 0):.0f}%" if d.get("valid") else "-",
@@ -68,7 +92,16 @@ def summarize(path):
             )
         )
 
-    headers = ("pair", "wall", "loss", "queue hwm", "util", "flow-0 phase residency")
+    headers = (
+        "pair",
+        "wall",
+        "ev/s",
+        "heap/wheel pk",
+        "loss",
+        "queue hwm",
+        "util",
+        "flow-0 phase residency",
+    )
     widths = [
         max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
         for i in range(len(headers))

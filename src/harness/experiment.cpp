@@ -83,7 +83,10 @@ struct PhaseAccum {
 TrialResult run_trial(const Implementation& a, const Implementation& b,
                       const ExperimentConfig& cfg, std::uint64_t trial_index,
                       const TrialObservers& observers) {
-  Simulator sim;
+  // A dumbbell trial keeps well under kDefaultSizeHint concurrent events
+  // (see TrialResult::engine), so the default hint avoids all slot-table
+  // and heap growth in steady state.
+  Simulator sim(Simulator::kDefaultSizeHint);
   Rng master(cfg.seed * 0x9E3779B97F4A7C15ULL + trial_index * 1000003ULL + 1);
   Rng jitter_rng = master.fork(1);
 
@@ -289,6 +292,7 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
   }
 
   result.sim_events = sim.events_fired();
+  result.engine = sim.stats();
   return result;
 }
 

@@ -95,6 +95,9 @@ struct TrialResult {
   BottleneckTelemetry bottleneck;
   // Simulator events executed by this trial (netsim throughput metric).
   std::uint64_t sim_events = 0;
+  // Engine sizing telemetry (heap/wheel peaks, slot-table size); the
+  // sweep manifest reports the maxima across trials.
+  netsim::Simulator::Stats engine;
 };
 
 // Optional flight-recorder attachments for a trial. All observers are

@@ -1,8 +1,17 @@
 #include "netsim/event.h"
 
-#include <cassert>
+#include <algorithm>
+#include <bit>
 
 namespace quicbench::netsim {
+
+Simulator::Simulator(std::size_t hint) {
+  if (hint > 0) {
+    heap_.reserve(hint);
+    slots_.reserve(hint);
+    free_slots_.reserve(hint);
+  }
+}
 
 bool Simulator::decode_live(EventId id, std::uint32_t* slot) const {
   const std::uint32_t low = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
@@ -15,7 +24,88 @@ bool Simulator::decode_live(EventId id, std::uint32_t* slot) const {
   return true;
 }
 
-EventId Simulator::schedule(Time t, std::function<void()> fn) {
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].pending = false;
+  free_slots_.push_back(slot);
+  --pending_;
+}
+
+void Simulator::heap_push(Entry e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  heap_peak_ = std::max(heap_peak_, heap_.size());
+}
+
+Simulator::Entry Simulator::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+void Simulator::insert_entry(Entry e) {
+  const std::int64_t ab = e.time >> kBucketBits;
+  if (ab > cur_bucket_ && ab - cur_bucket_ <= kNumBuckets) {
+    if (buckets_.empty()) buckets_.resize(kNumBuckets);
+    const auto slot = static_cast<std::size_t>(ab & kBucketMask);
+    buckets_[slot].push_back(std::move(e));
+    bucket_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++wheel_size_;
+    wheel_peak_ = std::max(wheel_peak_, wheel_size_);
+  } else {
+    heap_push(std::move(e));
+  }
+}
+
+void Simulator::activate_next_bucket() {
+  // First set bucket bit in ring order starting just past cur_bucket_.
+  // 256 % 64 == 0, so each scanned chunk stays within one word.
+  const auto base = static_cast<std::size_t>((cur_bucket_ + 1) & kBucketMask);
+  std::size_t slot = kNumBuckets;
+  for (std::size_t scanned = 0; scanned < kNumBuckets;) {
+    const std::size_t pos = (base + scanned) & kBucketMask;
+    const std::uint64_t bits = bucket_bits_[pos >> 6] >> (pos & 63);
+    if (bits != 0) {
+      slot = pos + static_cast<std::size_t>(std::countr_zero(bits));
+      break;
+    }
+    scanned += 64 - (pos & 63);
+  }
+  assert(slot < kNumBuckets && "activate_next_bucket on an empty wheel");
+
+  // Smallest absolute bucket index > cur_bucket_ mapping to `slot`; the
+  // insert window guarantees this is the bucket the entries belong to.
+  std::int64_t ab =
+      (cur_bucket_ & ~kBucketMask) | static_cast<std::int64_t>(slot);
+  if (ab <= cur_bucket_) ab += kNumBuckets;
+
+  active_.clear();
+  std::swap(active_, buckets_[slot]);  // recycles the old active capacity
+  std::sort(active_.begin(), active_.end(), [](const Entry& a,
+                                               const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  active_pos_ = 0;
+  wheel_size_ -= active_.size();
+  bucket_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  cur_bucket_ = ab;
+}
+
+Simulator::Entry* Simulator::wheel_front() {
+  if (active_pos_ < active_.size()) return &active_[active_pos_];
+  if (wheel_size_ == 0) return nullptr;
+  activate_next_bucket();
+  return &active_[active_pos_];
+}
+
+Time Simulator::next_entry_time() {
+  const Entry* w = wheel_front();
+  Time t = w != nullptr ? w->time : time::kInfinite;
+  if (!heap_.empty() && heap_.front().time < t) t = heap_.front().time;
+  return t;
+}
+
+EventId Simulator::schedule(Time t, EventFn fn) {
   assert(t >= now_ && "cannot schedule into the past");
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -26,51 +116,83 @@ EventId Simulator::schedule(Time t, std::function<void()> fn) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(Slot{});
   }
-  slots_[slot].pending = true;
+  const Time tt = t < now_ ? now_ : t;
+  Slot& sl = slots_[slot];
+  sl.pending = true;
+  sl.seq = next_seq_;
+  sl.deadline = tt;
+  sl.entry_time = tt;
   const EventId id =
-      (static_cast<EventId>(slots_[slot].generation) << 32) |
+      (static_cast<EventId>(sl.generation) << 32) |
       static_cast<EventId>(slot + 1);
   ++scheduled_;
   ++pending_;
-  heap_.push(Entry{t < now_ ? now_ : t, next_seq_++, id, std::move(fn)});
+  insert_entry(Entry{tt, next_seq_++, id, std::move(fn)});
   return id;
 }
 
 void Simulator::cancel(EventId id) {
   std::uint32_t slot;
   if (!decode_live(id, &slot)) return;  // stale/double/invalid: no-op
-  slots_[slot].pending = false;
-  free_slots_.push_back(slot);
-  --pending_;
-  // The heap entry stays until popped; the generation check skips it.
+  release_slot(slot);
+  // The stored entry stays until popped; the generation check skips it.
+}
+
+bool Simulator::reschedule(EventId id, Time t) {
+  assert(t >= now_ && "cannot reschedule into the past");
+  std::uint32_t slot;
+  if (!decode_live(id, &slot)) return false;
+  const Time tt = t < now_ ? now_ : t;
+  Slot& sl = slots_[slot];
+  if (tt < sl.entry_time) {
+    // The stored entry would pop too late to revalidate; cancel so the
+    // caller can schedule afresh.
+    release_slot(slot);
+    return false;
+  }
+  // Lazy postpone: the stored entry keeps its old (time, seq); when it
+  // pops, the seq mismatch re-inserts it at this deadline. The fresh seq
+  // re-keys FIFO ordering exactly as a cancel+schedule pair would.
+  sl.deadline = tt;
+  sl.seq = next_seq_++;
+  ++scheduled_;
+  return true;
 }
 
 bool Simulator::run_next() {
-  while (!heap_.empty()) {
-    // priority_queue::top returns const&; we need to move the callback out,
-    // so copy the cheap fields first and const_cast the entry for the move.
-    auto& top = const_cast<Entry&>(heap_.top());
-    const Time t = top.time;
-    const EventId id = top.id;
-    std::function<void()> fn = std::move(top.fn);
-    heap_.pop();
+  for (;;) {
+    Entry* w = wheel_front();
+    const bool have_heap = !heap_.empty();
+    if (w == nullptr && !have_heap) return false;
+    bool take_wheel = w != nullptr;
+    if (w != nullptr && have_heap) {
+      const Entry& h = heap_.front();
+      take_wheel = w->time != h.time ? w->time < h.time : w->seq < h.seq;
+    }
+    Entry e = take_wheel ? std::move(active_[active_pos_++]) : heap_pop();
     std::uint32_t slot;
-    if (!decode_live(id, &slot)) continue;  // cancelled entry
-    slots_[slot].pending = false;
-    free_slots_.push_back(slot);
-    --pending_;
-    now_ = t;
+    if (!decode_live(e.id, &slot)) continue;  // cancelled entry
+    Slot& sl = slots_[slot];
+    if (sl.seq != e.seq) {
+      // Postponed via reschedule(): re-key and re-insert instead of
+      // firing (lazy revalidation).
+      e.time = sl.entry_time = sl.deadline;
+      e.seq = sl.seq;
+      insert_entry(std::move(e));
+      continue;
+    }
+    release_slot(slot);
+    now_ = e.time;
     ++fired_;
-    fn();
+    e.fn();
     return true;
   }
-  return false;
 }
 
 void Simulator::run_until(Time end) {
-  while (!heap_.empty()) {
-    const Time t = heap_.top().time;
-    if (t > end) break;
+  for (;;) {
+    const Time t = next_entry_time();
+    if (t == time::kInfinite || t > end) break;
     run_next();
   }
   if (now_ < end) now_ = end;

@@ -1,21 +1,49 @@
 #pragma once
-// Discrete-event simulation core: a virtual clock plus a min-heap of
-// scheduled callbacks. Events scheduled for the same time fire in
-// scheduling order (FIFO), which keeps runs deterministic.
+// Discrete-event simulation core: a virtual clock over a two-tier event
+// store. Events scheduled for the same time fire in scheduling order
+// (FIFO), which keeps runs deterministic.
+//
+// Storage tiers (an optimization only — the fire order is identical to a
+// single global min-heap ordered by (time, seq)):
+//
+//   * Timer wheel: events landing in a *future* wheel bucket (buckets of
+//     2^kBucketBits ns, kNumBuckets of them, ~4 ms horizon) are appended
+//     to their bucket in O(1). When the clock approaches a bucket it is
+//     "activated": sorted once by (time, seq) and drained in order.
+//     Buckets partition time into disjoint ranges, so per-bucket sorting
+//     plus a min-comparison against the heap reproduces the global order
+//     exactly. Link serialization and pacing deadlines — the bulk of all
+//     events — land here.
+//   * Fallback binary heap: everything else (beyond the wheel horizon,
+//     or at/before the currently-activated bucket — RTT-scale loss/PTO
+//     timers, ack delays).
+//
+// Callbacks are util::InlineFn: `[this]`-capture callbacks (the hot
+// path) are stored inline in the entry, so steady-state scheduling and
+// dispatch perform no heap allocations.
 //
 // EventIds encode a slot index plus a per-slot generation, so cancel()
 // validates in O(1) against the slot table: cancelling an already-fired,
-// already-cancelled or never-issued id is a true no-op (the previous
-// lazy-deletion set let stale cancels accumulate forever and could
-// underflow pending_events()). Slots are recycled through a free list;
-// FIFO ordering among equal timestamps therefore rides on a separate
-// monotonic sequence number, not on the id.
+// already-cancelled or never-issued id is a true no-op. Slots are
+// recycled through a free list; FIFO ordering among equal timestamps
+// therefore rides on a separate monotonic sequence number, not on the id.
+//
+// reschedule() postpones a pending event without touching its stored
+// entry: the slot records the new (deadline, seq) and the stale entry is
+// lazily revalidated when popped — if its seq no longer matches the
+// slot's it is re-inserted at the current deadline instead of firing.
+// This is what Timer::rearm rides on; Link/pacing timers re-arm
+// monotonically millions of times per trial and skip the cancel+push
+// round trip entirely.
+//
+// schedule()/reschedule() clamp times in the past to now() (and assert
+// in debug builds): an event can never fire before the clock.
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "util/inline_fn.h"
 #include "util/units.h"
 
 namespace quicbench::netsim {
@@ -23,22 +51,41 @@ namespace quicbench::netsim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+// Event callback type: inline storage for every capture the simulator's
+// hot paths use (see util/inline_fn.h).
+using EventFn = util::InlineFn<void()>;
+
 class Simulator {
  public:
+  // `hint` pre-sizes the slot table, free list and fallback heap (a
+  // dumbbell trial peaks at well under 256 concurrent events; see
+  // Stats::heap_peak / slot_count for the observed values).
+  explicit Simulator(std::size_t hint = kDefaultSizeHint);
+
   Time now() const { return now_; }
 
-  // Schedule `fn` to run at absolute time `t` (>= now). Returns an id that
-  // can be passed to `cancel`.
-  EventId schedule(Time t, std::function<void()> fn);
+  // Schedule `fn` to run at absolute time `t`. Times in the past are
+  // clamped to now() (debug builds assert). Returns an id that can be
+  // passed to `cancel` / `reschedule`.
+  EventId schedule(Time t, EventFn fn);
 
   // Schedule `fn` to run `delay` after now.
-  EventId schedule_in(Time delay, std::function<void()> fn) {
+  EventId schedule_in(Time delay, EventFn fn) {
     return schedule(now_ + delay, std::move(fn));
   }
 
   // Cancel a pending event. Cancelling an already-fired, already-cancelled
   // or invalid id is a no-op.
   void cancel(EventId id);
+
+  // Move a pending event to fire at `t` instead, keeping its callback and
+  // id. Equivalent to cancel(id) + schedule(t, same-callback) — including
+  // FIFO ordering, which is re-keyed by a fresh sequence number — but
+  // when the deadline only moves forward the stored entry is reused via
+  // lazy revalidation instead of a cancel+push round trip. Returns false
+  // (after cancelling `id` if it was live) when the caller must schedule
+  // afresh: the id was stale, or the new time precedes the stored entry.
+  bool reschedule(EventId id, Time t);
 
   // Run events until the queue is empty or the clock passes `end`.
   // The clock is left at min(end, time of last fired event).
@@ -51,25 +98,47 @@ class Simulator {
   std::size_t pending_events() const { return pending_; }
 
   // Lifetime counters (never reset): how many events this simulator has
-  // accepted and how many callbacks actually ran (cancelled entries are
-  // skipped). The sweep runner reports fired-events-per-second as the
-  // engine's throughput metric.
+  // accepted (reschedules count — each replaces a cancel+schedule pair)
+  // and how many callbacks actually ran (cancelled entries are skipped).
+  // The sweep runner reports fired-events-per-second as the engine's
+  // throughput metric.
   std::uint64_t events_scheduled() const { return scheduled_; }
   std::uint64_t events_fired() const { return fired_; }
 
+  // Engine sizing telemetry, surfaced in sweep manifests next to
+  // events_per_sec so size-hint regressions are visible.
+  struct Stats {
+    std::size_t heap_peak = 0;   // max entries in the fallback heap
+    std::size_t wheel_peak = 0;  // max entries buffered in wheel buckets
+    std::size_t slot_count = 0;  // slot table size (peak concurrent ids)
+  };
+  Stats stats() const { return {heap_peak_, wheel_peak_, slots_.size()}; }
+
+  static constexpr std::size_t kDefaultSizeHint = 256;
+
  private:
+  // Wheel geometry: 256 buckets of 2^14 ns (~16.4 us) cover a ~4.2 ms
+  // horizon — several serialization/pacing intervals at the slowest
+  // simulated rates, while RTT-scale timers fall through to the heap.
+  static constexpr int kBucketBits = 14;
+  static constexpr int kNumBuckets = 256;
+  static constexpr std::int64_t kBucketMask = kNumBuckets - 1;
+
   // id layout: low 32 bits = slot index + 1 (so kInvalidEvent never
   // collides), high 32 bits = the slot's generation at issue time.
   struct Slot {
     std::uint32_t generation = 0;
     bool pending = false;
+    std::uint64_t seq = 0;   // current logical FIFO key
+    Time deadline = 0;       // current logical deadline
+    Time entry_time = 0;     // time of the physical entry in its tier
   };
 
   struct Entry {
     Time time;
     std::uint64_t seq;  // FIFO tie-break among equal timestamps
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -81,18 +150,51 @@ class Simulator {
   // Returns the slot index when `id` names a live (pending) event.
   bool decode_live(EventId id, std::uint32_t* slot) const;
 
+  void insert_entry(Entry e);
+  void heap_push(Entry e);
+  Entry heap_pop();
+  // The next wheel entry in (time, seq) order, activating the next
+  // non-empty bucket if the active one is drained; nullptr when the
+  // wheel is empty. Activation never fires anything.
+  Entry* wheel_front();
+  void activate_next_bucket();
+  // Earliest stored-entry time across both tiers (cancelled and stale
+  // entries included, as with a plain heap); kInfinite when empty.
+  Time next_entry_time();
+  void release_slot(std::uint32_t slot);
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t fired_ = 0;
   std::size_t pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+  std::vector<Entry> heap_;  // binary heap via std::push_heap/pop_heap
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Wheel: lazily allocated on first in-horizon insert. `cur_bucket_` is
+  // the absolute index (time >> kBucketBits) of the bucket most recently
+  // activated into `active_`; ring slots are only valid for absolute
+  // buckets in (cur_bucket_, cur_bucket_ + kNumBuckets].
+  std::vector<std::vector<Entry>> buckets_;
+  std::uint64_t bucket_bits_[kNumBuckets / 64] = {};
+  std::int64_t cur_bucket_ = 0;
+  std::size_t wheel_size_ = 0;  // entries in buckets_, excluding active_
+  std::vector<Entry> active_;   // activated bucket, sorted ascending
+  std::size_t active_pos_ = 0;
+
+  std::size_t heap_peak_ = 0;
+  std::size_t wheel_peak_ = 0;
 };
 
 // RAII-ish timer helper: owns at most one pending event and reschedules or
 // cancels it. Components use this for pacing / loss / ack-delay timers.
+//
+// The callback is stored in the timer and the scheduled thunk captures
+// only `this`, so small callbacks never allocate. The callback is moved
+// to a local before invocation (and restored if the callback re-arms via
+// rearm()), so both arm() and rearm() are safe from inside it.
 class Timer {
  public:
   explicit Timer(Simulator& sim) : sim_(&sim) {}
@@ -100,23 +202,47 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
   ~Timer() { cancel(); }
 
-  // (Re)arm the timer to fire `fn` at absolute time `t`. The callback is
-  // stored in the timer and the scheduled thunk captures only `this`, so
-  // small callbacks never allocate. The callback is moved to a local
-  // before invocation, so re-arming from inside it is safe.
-  void arm(Time t, std::function<void()> fn) {
-    cancel();
+  // Install the callback without scheduling anything. Components whose
+  // timer always runs the same member function set it once at
+  // construction and then only ever rearm().
+  void set(EventFn fn) {
+    assert(!armed() && "set() while armed; use arm()");
     fn_ = std::move(fn);
+  }
+
+  // (Re)arm the timer to fire `fn` at absolute time `t`.
+  void arm(Time t, EventFn fn) {
+    fn_ = std::move(fn);
+    rearm(t);
+  }
+
+  void arm_in(Time delay, EventFn fn) {
+    arm(sim_->now() + delay, std::move(fn));
+  }
+
+  // (Re)arm the timer at `t`, keeping the previously installed callback
+  // (from set() or a prior arm()). When the timer is armed and `t` does
+  // not precede the stored entry this is the engine's lazy-reschedule
+  // fast path; otherwise it schedules afresh. Ordering is identical to
+  // arm() with the same callback either way.
+  void rearm(Time t) {
+    if (id_ != kInvalidEvent && sim_->reschedule(id_, t)) return;
+    // While firing, fn_ is moved out to a local and restored below, so an
+    // empty fn_ is only a misuse outside the callback.
+    assert((fn_ || firing_) && "rearm() without an installed callback");
     id_ = sim_->schedule(t, [this] {
       id_ = kInvalidEvent;
-      auto f = std::move(fn_);
+      EventFn f = std::move(fn_);
+      firing_ = true;
       f();
+      firing_ = false;
+      // Keep the installed callback for future rearm()s (set() semantics)
+      // unless the callback installed a replacement via arm()/set().
+      if (!fn_) fn_ = std::move(f);
     });
   }
 
-  void arm_in(Time delay, std::function<void()> fn) {
-    arm(sim_->now() + delay, std::move(fn));
-  }
+  void rearm_in(Time delay) { rearm(sim_->now() + delay); }
 
   void cancel() {
     if (id_ != kInvalidEvent) {
@@ -130,7 +256,8 @@ class Timer {
  private:
   Simulator* sim_;
   EventId id_ = kInvalidEvent;
-  std::function<void()> fn_;
+  bool firing_ = false;
+  EventFn fn_;
 };
 
 } // namespace quicbench::netsim

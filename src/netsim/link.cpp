@@ -14,7 +14,12 @@ Link::Link(Simulator& sim, Rate bandwidth, Time prop_delay,
       buffer_bytes_(buffer_bytes),
       dst_(dst),
       tx_timer_(sim),
-      prop_timer_(sim) {}
+      prop_timer_(sim) {
+  tx_timer_.set([this] { on_transmit_done(); });
+  prop_timer_.set([this] { on_prop_deliver(); });
+  queue_.reserve(64);
+  prop_.reserve(64);
+}
 
 void Link::attach_metrics(obs::MetricsRegistry& reg,
                           const std::string& prefix) {
@@ -51,8 +56,7 @@ void Link::start_transmission() {
   tx_packet_ = std::move(queue_.front());
   queue_.pop_front();
   queued_bytes_ -= tx_packet_.size;
-  tx_timer_.arm_in(serialization_time(tx_packet_.size, bandwidth_),
-                   [this] { on_transmit_done(); });
+  tx_timer_.rearm_in(serialization_time(tx_packet_.size, bandwidth_));
 }
 
 void Link::on_transmit_done() {
@@ -60,18 +64,14 @@ void Link::on_transmit_done() {
   stats_.bytes_out += tx_packet_.size;
   const Time arrival = sim_.now() + prop_delay_;
   prop_.emplace_back(arrival, std::move(tx_packet_));
-  if (!prop_timer_.armed()) {
-    prop_timer_.arm(arrival, [this] { on_prop_deliver(); });
-  }
+  if (!prop_timer_.armed()) prop_timer_.rearm(arrival);
   start_transmission();
 }
 
 void Link::on_prop_deliver() {
   Packet p = std::move(prop_.front().second);
   prop_.pop_front();
-  if (!prop_.empty()) {
-    prop_timer_.arm(prop_.front().first, [this] { on_prop_deliver(); });
-  }
+  if (!prop_.empty()) prop_timer_.rearm(prop_.front().first);
   dst_->deliver(std::move(p));
 }
 
@@ -82,23 +82,37 @@ void DelayLine::deliver(Packet p) {
     if (!allow_reorder_) release = std::max(release, last_release_);
     last_release_ = release;
   }
+  if (!allow_reorder_) {
+    // Monotonic release times: plain FIFO, and a new packet is only the
+    // front when the line was idle.
+    const bool was_empty = fifo_.empty();
+    fifo_.emplace_back(release, std::move(p));
+    if (was_empty) release_timer_.rearm(release);
+    return;
+  }
   const bool new_front = pending_.empty() || release < pending_.begin()->first;
   pending_.emplace(release, std::move(p));
-  if (new_front) {
-    release_timer_.arm(release, [this] { on_release(); });
-  }
+  if (new_front) release_timer_.rearm(release);
 }
 
 void DelayLine::on_release() {
   const Time now = sim_.now();
-  // Deliver everything due; equal-keyed entries preserve insertion order.
+  // Deliver everything due; FIFO order (equal-keyed multimap entries
+  // preserve insertion order too).
+  while (!fifo_.empty() && fifo_.front().first <= now) {
+    Packet p = std::move(fifo_.front().second);
+    fifo_.pop_front();
+    dst_->deliver(std::move(p));
+  }
   while (!pending_.empty() && pending_.begin()->first <= now) {
     Packet p = std::move(pending_.begin()->second);
     pending_.erase(pending_.begin());
     dst_->deliver(std::move(p));
   }
-  if (!pending_.empty()) {
-    release_timer_.arm(pending_.begin()->first, [this] { on_release(); });
+  if (!fifo_.empty()) {
+    release_timer_.rearm(fifo_.front().first);
+  } else if (!pending_.empty()) {
+    release_timer_.rearm(pending_.begin()->first);
   }
 }
 

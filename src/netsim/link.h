@@ -8,13 +8,14 @@
 // heap never heap-allocates per packet (this path runs millions of times
 // per experiment).
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "netsim/event.h"
 #include "netsim/packet.h"
+#include "util/fifo.h"
 #include "util/units.h"
 
 namespace quicbench::obs {
@@ -70,14 +71,14 @@ class Link : public PacketSink {
   Bytes buffer_bytes_;
   PacketSink* dst_;
 
-  std::deque<Packet> queue_;
+  util::FifoVec<Packet> queue_;
   Bytes queued_bytes_ = 0;
   bool transmitting_ = false;
   Packet tx_packet_;
 
   // Packets in flight on the wire: FIFO with constant delay, so arrival
   // order equals completion order; one timer suffices.
-  std::deque<std::pair<Time, Packet>> prop_;
+  util::FifoVec<std::pair<Time, Packet>> prop_;
   Timer tx_timer_;
   Timer prop_timer_;
 
@@ -95,12 +96,16 @@ class Link : public PacketSink {
 class DelayLine : public PacketSink {
  public:
   DelayLine(Simulator& sim, Time delay, PacketSink* dst)
-      : sim_(sim), delay_(delay), dst_(dst), release_timer_(sim) {}
+      : sim_(sim), delay_(delay), dst_(dst), release_timer_(sim) {
+    release_timer_.set([this] { on_release(); });
+  }
 
   // Uniform jitter in [0, jitter]. With allow_reorder=false, release times
   // are made monotonic so packets cannot overtake each other.
   void set_jitter(Time jitter, std::function<double()> uniform01,
                   bool allow_reorder = false) {
+    assert(fifo_.empty() && pending_.empty() &&
+           "set_jitter() with packets in flight");
     jitter_ = jitter;
     uniform01_ = std::move(uniform01);
     allow_reorder_ = allow_reorder;
@@ -121,8 +126,10 @@ class DelayLine : public PacketSink {
   bool allow_reorder_ = false;
   Time last_release_ = 0;
 
-  // Pending packets keyed by release time (multimap: stable for equal
-  // keys, supports out-of-order insertion under reordering jitter).
+  // Pending packets. Without reordering, release times are monotonic, so
+  // a plain FIFO suffices (no per-packet node allocations); the multimap
+  // is only used when allow_reorder lets packets overtake each other.
+  util::FifoVec<std::pair<Time, Packet>> fifo_;
   std::multimap<Time, Packet> pending_;
   Timer release_timer_;
 };

@@ -87,30 +87,31 @@ CrossTrafficSource::CrossTrafficSource(Simulator& sim, PacketSink* sink,
       mean_off_(mean_off),
       rng_(rng),
       packet_timer_(sim),
-      toggle_timer_(sim) {}
+      toggle_timer_(sim) {
+  packet_timer_.set([this] {
+    Packet p;
+    p.kind = PacketKind::kData;
+    p.flow = -1;
+    p.size = packet_size_;
+    p.sent_time = sim_.now();
+    sink_->deliver(std::move(p));
+    schedule_next_packet();
+  });
+  toggle_timer_.set([this] { toggle(); });
+}
 
 void CrossTrafficSource::start() {
   on_ = true;
   schedule_next_packet();
-  toggle_timer_.arm_in(
-      static_cast<Time>(rng_.exponential(static_cast<double>(mean_on_))),
-      [this] { toggle(); });
+  toggle_timer_.rearm_in(
+      static_cast<Time>(rng_.exponential(static_cast<double>(mean_on_))));
 }
 
 void CrossTrafficSource::schedule_next_packet() {
   if (!on_) return;
   const double mean_gap_ns =
       static_cast<double>(packet_size_) * 8.0 / rate_ * 1e9;
-  packet_timer_.arm_in(static_cast<Time>(rng_.exponential(mean_gap_ns)),
-                       [this] {
-                         Packet p;
-                         p.kind = PacketKind::kData;
-                         p.flow = -1;
-                         p.size = packet_size_;
-                         p.sent_time = sim_.now();
-                         sink_->deliver(std::move(p));
-                         schedule_next_packet();
-                       });
+  packet_timer_.rearm_in(static_cast<Time>(rng_.exponential(mean_gap_ns)));
 }
 
 void CrossTrafficSource::toggle() {
@@ -118,9 +119,8 @@ void CrossTrafficSource::toggle() {
   const Time mean = on_ ? mean_on_ : mean_off_;
   if (on_) schedule_next_packet();
   else packet_timer_.cancel();
-  toggle_timer_.arm_in(
-      static_cast<Time>(rng_.exponential(static_cast<double>(mean))),
-      [this] { toggle(); });
+  toggle_timer_.rearm_in(
+      static_cast<Time>(rng_.exponential(static_cast<double>(mean))));
 }
 
 } // namespace quicbench::netsim

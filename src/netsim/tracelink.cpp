@@ -27,6 +27,10 @@ TraceLink::TraceLink(Simulator& sim, std::vector<Time> opportunities,
                                   "increasing within [0, period)");
     }
   }
+  opp_timer_.set([this] { on_opportunity(); });
+  prop_timer_.set([this] { on_prop_deliver(); });
+  queue_.reserve(64);
+  prop_.reserve(64);
   cycle_base_ = sim_.now();
   arm_next_opportunity();
 }
@@ -40,8 +44,7 @@ Time TraceLink::next_opportunity_time() const {
 }
 
 void TraceLink::arm_next_opportunity() {
-  opp_timer_.arm(std::max(next_opportunity_time(), sim_.now()),
-                 [this] { on_opportunity(); });
+  opp_timer_.rearm(std::max(next_opportunity_time(), sim_.now()));
 }
 
 void TraceLink::deliver(Packet p) {
@@ -69,9 +72,7 @@ void TraceLink::on_opportunity() {
     stats_.bytes_out += p.size;
     const Time arrival = sim_.now() + prop_delay_;
     prop_.emplace_back(arrival, std::move(p));
-    if (!prop_timer_.armed()) {
-      prop_timer_.arm(arrival, [this] { on_prop_deliver(); });
-    }
+    if (!prop_timer_.armed()) prop_timer_.rearm(arrival);
   }
   if (queue_.empty()) credit_ = std::min<Bytes>(credit_, mtu_);
 
@@ -86,9 +87,7 @@ void TraceLink::on_opportunity() {
 void TraceLink::on_prop_deliver() {
   Packet p = std::move(prop_.front().second);
   prop_.pop_front();
-  if (!prop_.empty()) {
-    prop_timer_.arm(prop_.front().first, [this] { on_prop_deliver(); });
-  }
+  if (!prop_.empty()) prop_timer_.rearm(prop_.front().first);
   dst_->deliver(std::move(p));
 }
 

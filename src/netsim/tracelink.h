@@ -8,13 +8,14 @@
 // paper flags as future work ("networks with highly volatile bandwidth
 // variations, like 5G").
 
-#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "netsim/event.h"
 #include "netsim/link.h"
 #include "netsim/packet.h"
+#include "util/fifo.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -54,9 +55,9 @@ class TraceLink : public PacketSink {
   Time cycle_base_ = 0;
   Bytes credit_ = 0;  // unused capacity does not accumulate beyond 1 MTU
 
-  std::deque<Packet> queue_;
+  util::FifoVec<Packet> queue_;
   Bytes queued_bytes_ = 0;
-  std::deque<std::pair<Time, Packet>> prop_;
+  util::FifoVec<std::pair<Time, Packet>> prop_;
   Timer opp_timer_;
   Timer prop_timer_;
   LinkStats stats_;

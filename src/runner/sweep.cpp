@@ -91,9 +91,11 @@ struct Sweep::PairTask {
   std::vector<harness::TrialResult> trial_results;
   std::atomic<int> remaining{0};
   std::vector<int> dependent_cells;
-  std::mutex mu;            // guards wall_sec/events accumulation
+  std::mutex mu;            // guards wall_sec/events/engine accumulation
   double wall_sec = 0;      // summed trial wall time
   std::uint64_t events = 0;
+  // Engine sizing maxima across this pair's trials.
+  netsim::Simulator::Stats engine;
 };
 
 struct Sweep::Cell {
@@ -389,6 +391,12 @@ void Sweep::run() {
         std::lock_guard<std::mutex> lock(p.mu);
         p.wall_sec += dt;
         p.events += tr.sim_events;
+        p.engine.heap_peak = std::max(p.engine.heap_peak,
+                                      tr.engine.heap_peak);
+        p.engine.wheel_peak = std::max(p.engine.wheel_peak,
+                                       tr.engine.wheel_peak);
+        p.engine.slot_count = std::max(p.engine.slot_count,
+                                       tr.engine.slot_count);
       }
       p.trial_results[static_cast<std::size_t>(items[i].trial)] =
           std::move(tr);
@@ -515,6 +523,13 @@ std::string Sweep::write_manifest() const {
     j.kv("events_per_sec",
          p->wall_sec > 0 ? static_cast<double>(p->events) / p->wall_sec
                          : 0.0);
+    // Engine sizing maxima across the pair's trials (zero for cached
+    // pairs, which were not simulated this run).
+    j.key("engine").begin_object();
+    j.kv("heap_peak", static_cast<std::uint64_t>(p->engine.heap_peak));
+    j.kv("wheel_peak", static_cast<std::uint64_t>(p->engine.wheel_peak));
+    j.kv("slot_count", static_cast<std::uint64_t>(p->engine.slot_count));
+    j.end_object();
     j.key("diagnostics");
     write_diagnostics(j, p->result.diagnostics);
     j.end_object();

@@ -15,7 +15,9 @@ ReceiverEndpoint::ReceiverEndpoint(netsim::Simulator& sim, int flow,
       flow_(flow),
       profile_(profile),
       reverse_(reverse_path),
-      ack_delay_timer_(sim) {}
+      ack_delay_timer_(sim) {
+  ack_delay_timer_.set([this] { send_ack(); });
+}
 
 void ReceiverEndpoint::note_received(std::uint64_t pn) {
   // Find insertion point: ranges_ ascending by first.
@@ -71,7 +73,7 @@ void ReceiverEndpoint::deliver(Packet p) {
   if (immediate) {
     send_ack();
   } else if (!ack_delay_timer_.armed()) {
-    ack_delay_timer_.arm_in(profile_.max_ack_delay, [this] { send_ack(); });
+    ack_delay_timer_.rearm_in(profile_.max_ack_delay);
   }
 }
 

@@ -24,6 +24,22 @@ SenderEndpoint::SenderEndpoint(
       pto_timer_(sim),
       quantum_timer_(sim) {
   assert(cca_ && network_);
+  pacing_timer_.set([this] { do_send_loop(); });
+  loss_timer_.set([this] {
+    if (timer_cb_) {
+      timer_cb_(sim_.now(), LossTimerKind::kLossDetection,
+                LossTimerEvent::kExpired, 0);
+    }
+    detect_losses();
+    compact_sent_log();
+    maybe_send();
+  });
+  pto_timer_.set([this] { on_pto(); });
+  quantum_timer_.set([this] {
+    do_send_loop();
+    if (started_) maybe_send();  // keep ticking
+  });
+  sent_.reserve(256);
 }
 
 void SenderEndpoint::start(Time at) {
@@ -222,15 +238,7 @@ void SenderEndpoint::detect_losses() {
   }
 
   if (next_loss_time != time::kInfinite) {
-    loss_timer_.arm(next_loss_time, [this] {
-      if (timer_cb_) {
-        timer_cb_(sim_.now(), LossTimerKind::kLossDetection,
-                  LossTimerEvent::kExpired, 0);
-      }
-      detect_losses();
-      compact_sent_log();
-      maybe_send();
-    });
+    loss_timer_.rearm(next_loss_time);
     if (timer_cb_) {
       timer_cb_(now, LossTimerKind::kLossDetection, LossTimerEvent::kSet,
                 next_loss_time);
@@ -256,7 +264,7 @@ void SenderEndpoint::arm_pto() {
   }
   const Time interval = rtt_.pto_interval(profile_.max_ack_delay_assumed)
                         << std::min(pto_count_, 6);
-  pto_timer_.arm_in(interval, [this] { on_pto(); });
+  pto_timer_.rearm_in(interval);
   if (timer_cb_) {
     timer_cb_(sim_.now(), LossTimerKind::kPto, LossTimerEvent::kSet,
               sim_.now() + interval);
@@ -323,10 +331,7 @@ void SenderEndpoint::maybe_send() {
   if (profile_.send_quantum > 0) {
     // Batched send loop: wake only on quantum boundaries.
     if (!quantum_timer_.armed()) {
-      quantum_timer_.arm_in(profile_.send_quantum, [this] {
-        do_send_loop();
-        if (started_) maybe_send();  // keep ticking
-      });
+      quantum_timer_.rearm_in(profile_.send_quantum);
     }
     return;
   }
@@ -344,7 +349,7 @@ void SenderEndpoint::do_send_loop() {
     if (const auto rate = effective_pacing_rate(); rate.has_value()) {
       if (next_send_time_ > sim_.now()) {
         if (profile_.send_quantum <= 0) {
-          pacing_timer_.arm(next_send_time_, [this] { do_send_loop(); });
+          pacing_timer_.rearm(next_send_time_);
         }
         break;
       }
@@ -407,8 +412,21 @@ void SenderEndpoint::send_one(bool is_probe) {
       release = std::max(release, last_egress_release_);
     }
     last_egress_release_ = std::max(last_egress_release_, release);
-    sim_.schedule(release, [this, p = std::move(p)]() mutable {
-      network_->deliver(std::move(p));
+    // Park the packet in a pooled slot: a Packet is too large for the
+    // event callback's inline buffer, so capture only {this, slot}.
+    std::uint32_t idx;
+    if (!egress_free_.empty()) {
+      idx = egress_free_.back();
+      egress_free_.pop_back();
+      egress_pool_[idx] = std::move(p);
+    } else {
+      idx = static_cast<std::uint32_t>(egress_pool_.size());
+      egress_pool_.push_back(std::move(p));
+    }
+    sim_.schedule(release, [this, idx] {
+      Packet pkt = std::move(egress_pool_[idx]);
+      egress_free_.push_back(idx);
+      network_->deliver(std::move(pkt));
     });
   } else {
     network_->deliver(std::move(p));

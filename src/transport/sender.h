@@ -12,16 +12,17 @@
 //   - stack artifacts per SenderProfile: flow-control caps, egress jitter,
 //     send-loop batching
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "cca/cca.h"
 #include "netsim/event.h"
 #include "netsim/packet.h"
 #include "transport/profile.h"
 #include "transport/rtt.h"
+#include "util/fifo.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -125,7 +126,7 @@ class SenderEndpoint : public netsim::PacketSink {
   bool started_ = false;
   std::uint64_t next_pn_ = 0;
   std::uint64_t base_pn_ = 0;
-  std::deque<SentMeta> sent_;
+  util::FifoVec<SentMeta> sent_;
   // Unresolved (unacked or lost-but-within-grace) pns below the largest
   // processed ack; kept small so per-ack work stays O(gaps).
   std::set<std::uint64_t> unresolved_;
@@ -147,6 +148,12 @@ class SenderEndpoint : public netsim::PacketSink {
   Time next_send_time_ = 0;
   Time last_egress_release_ = 0;
   int pto_count_ = 0;
+
+  // Egress-jitter staging: a Packet is too large to capture inline in an
+  // event callback, so delayed packets park in a pooled slot and the
+  // scheduled closure captures only {this, slot index}.
+  std::vector<netsim::Packet> egress_pool_;
+  std::vector<std::uint32_t> egress_free_;
 
   SenderStats stats_;
   RttCallback rtt_cb_;

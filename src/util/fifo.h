@@ -1,0 +1,76 @@
+#pragma once
+// FifoVec: a FIFO queue over a single contiguous vector, for hot paths
+// that previously used std::deque. A deque allocates and frees map
+// chunks as the head chases the tail even when the queue's size is
+// bounded; FifoVec instead pops by advancing a head index and recycles
+// the whole buffer (capacity retained) every time the queue drains, so a
+// queue that repeatedly fills and empties performs zero steady-state
+// allocations. If the queue never fully drains, the dead prefix is
+// compacted once it dominates the buffer, keeping memory proportional to
+// the live size (amortized O(1) per operation).
+//
+// Only the operations the netsim/transport hot paths need are provided.
+// Iteration order is front-to-back, as with std::deque.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace quicbench::util {
+
+template <typename T>
+class FifoVec {
+ public:
+  bool empty() const { return head_ == buf_.size(); }
+  std::size_t size() const { return buf_.size() - head_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+  // Random access relative to the front (stable across pop_front).
+  T& operator[](std::size_t i) { return buf_[head_ + i]; }
+  const T& operator[](std::size_t i) const { return buf_[head_ + i]; }
+  T& back() { return buf_.back(); }
+  const T& back() const { return buf_.back(); }
+
+  void push_back(T v) { buf_.push_back(std::move(v)); }
+
+  template <typename... A>
+  void emplace_back(A&&... args) {
+    buf_.emplace_back(std::forward<A>(args)...);
+  }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();  // capacity retained: the common drain-to-empty case
+      head_ = 0;
+    } else if (head_ >= kCompactThreshold && head_ >= buf_.size() - head_) {
+      // Dead prefix at least as large as the live suffix: compact.
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  auto begin() { return buf_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  auto end() { return buf_.end(); }
+  auto begin() const {
+    return buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  auto end() const { return buf_.end(); }
+
+ private:
+  static constexpr std::size_t kCompactThreshold = 64;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+} // namespace quicbench::util

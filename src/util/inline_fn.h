@@ -1,0 +1,164 @@
+#pragma once
+// InlineFn: a move-only callable wrapper with guaranteed small-buffer
+// storage, built for the discrete-event hot path where std::function's
+// implementation-defined SBO threshold is not a contract we can lean on.
+//
+// Callables whose size fits kInlineFnBytes (and that are nothrow
+// move-constructible) are stored inline: constructing, moving and
+// invoking them never touches the heap. Oversized or throwing-move
+// callables fall back to a single heap allocation; moves of a heap-backed
+// InlineFn still never allocate (the pointer relocates). The inline
+// capacity is sized for the `[this]`- and `[this, index]`-capture lambdas
+// that dominate simulator events, with headroom for a copied
+// std::function (32 bytes on libstdc++) so test code composing the two
+// stays inline as well.
+//
+// Differences from std::function, all deliberate:
+//   * move-only (events are scheduled once and fired once; copies would
+//     hide allocations);
+//   * no target()/target_type() RTTI;
+//   * invoking an empty InlineFn is undefined (asserts in debug) rather
+//     than throwing std::bad_function_call.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace quicbench::util {
+
+inline constexpr std::size_t kInlineFnBytes = 48;
+
+template <typename Sig, std::size_t InlineBytes = kInlineFnBytes>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFn<R(Args...), InlineBytes> {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { steal(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty InlineFn");
+    return ops_->invoke(&buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the stored callable lives in the inline buffer (test hook
+  // for the zero-allocation guarantee).
+  bool is_inline() const { return ops_ != nullptr && !ops_->heap; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* obj, Args&&... args);
+    // Move-construct the stored callable from `src` into `dst` and
+    // destroy the source. Must not allocate.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool heap;
+  };
+
+  template <typename F>
+  static F* as(void* buf) {
+    return std::launder(reinterpret_cast<F*>(buf));
+  }
+
+  template <typename F>
+  struct InlineModel {
+    static R invoke(void* buf, Args&&... args) {
+      return (*as<F>(buf))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      F* s = as<F>(src);
+      ::new (dst) F(std::move(*s));
+      s->~F();
+    }
+    static void destroy(void* buf) noexcept { as<F>(buf)->~F(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/false};
+  };
+
+  template <typename F>
+  struct HeapModel {
+    static F* ptr(void* buf) { return *as<F*>(buf); }
+    static R invoke(void* buf, Args&&... args) {
+      return (*ptr(buf))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(ptr(src));  // pointer relocation only
+    }
+    static void destroy(void* buf) noexcept { delete ptr(buf); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/true};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(alignof(D*) <= alignof(std::max_align_t));
+    if constexpr (sizeof(D) <= InlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (&buf_) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::kOps;
+    } else {
+      ::new (&buf_) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapModel<D>::kOps;
+    }
+  }
+
+  void steal(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&buf_, &other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+} // namespace quicbench::util

@@ -1,0 +1,193 @@
+// Randomized stress for the two-tier event engine: 10k seeded
+// schedule/cancel/rearm interleavings checked step-by-step against a
+// naive reference model (a flat list fired in (deadline, seq) order).
+// The model encodes the engine's contract exactly:
+//   * schedule(t)   -> pending {deadline=max(t, now), seq=next_seq++}
+//   * cancel(id)    -> remove (no-op when stale)
+//   * rearm(t)      -> remove + insert with a fresh seq (the engine's
+//                      lazy-revalidation fast path must be
+//                      indistinguishable from cancel+schedule)
+//   * run_next()    -> fire the (deadline, seq)-minimum pending event
+// Any divergence in fired identity, fire time, or pending count fails.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "netsim/event.h"
+
+namespace quicbench::netsim {
+namespace {
+
+struct ModelEntry {
+  Time deadline = 0;
+  std::uint64_t seq = 0;
+};
+
+class StressHarness {
+ public:
+  explicit StressHarness(std::uint64_t seed) : rng_(seed) {}
+
+  void run(int ops) {
+    for (int i = 0; i < ops; ++i) {
+      switch (pick(0, 5)) {
+        case 0:
+        case 1:
+          do_schedule();
+          break;
+        case 2:
+          do_rearm();
+          break;
+        case 3:
+          do_cancel();
+          break;
+        default:
+          do_run_next();
+          break;
+      }
+      ASSERT_EQ(sim_.pending_events(), model_.size() + timer_model_.size())
+          << "op " << i;
+    }
+    // Drain: every remaining event must fire in model order.
+    while (!model_.empty() || !timer_model_.empty()) do_run_next();
+    ASSERT_FALSE(sim_.run_next());
+  }
+
+ private:
+  static constexpr int kTimers = 16;
+
+  int pick(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  Time random_future_time() {
+    // Mix of near-future (wheel), far-future (heap) and now-exact times.
+    switch (pick(0, 3)) {
+      case 0:
+        return sim_.now() + static_cast<Time>(pick(0, 2000));  // ns scale
+      case 1:
+        return sim_.now() + time::us(static_cast<std::int64_t>(pick(0, 500)));
+      case 2:
+        return sim_.now() + time::ms(static_cast<std::int64_t>(pick(0, 20)));
+      default:
+        return sim_.now();  // same-timestamp FIFO pressure
+    }
+  }
+
+  void do_schedule() {
+    const Time t = random_future_time();
+    const int key = next_key_++;
+    const EventId id = sim_.schedule(t, [this, key] { fired_.push_back(key); });
+    ids_[key] = id;
+    model_[key] = ModelEntry{std::max(t, sim_.now()), model_seq_++};
+  }
+
+  void do_rearm() {
+    ensure_timer_armed_or_schedule();
+    const int slot = pick(0, kTimers - 1);
+    auto it = timer_model_.find(slot);
+    if (it == timer_model_.end()) return;
+    const Time t = random_future_time();
+    timers_[static_cast<std::size_t>(slot)]->rearm(t);
+    it->second = ModelEntry{std::max(t, sim_.now()), model_seq_++};
+  }
+
+  void do_cancel() {
+    if (pick(0, 1) == 0 && !model_.empty()) {
+      auto it = model_.begin();
+      std::advance(it, pick(0, static_cast<int>(model_.size()) - 1));
+      sim_.cancel(ids_[it->first]);
+      sim_.cancel(ids_[it->first]);  // double cancel must be a no-op
+      model_.erase(it);
+    } else if (!timer_model_.empty()) {
+      auto it = timer_model_.begin();
+      std::advance(it,
+                   pick(0, static_cast<int>(timer_model_.size()) - 1));
+      timers_[static_cast<std::size_t>(it->first)]->cancel();
+      timer_model_.erase(it);
+    }
+  }
+
+  void ensure_timer_armed_or_schedule() {
+    const int slot = pick(0, kTimers - 1);
+    if (timers_[static_cast<std::size_t>(slot)] == nullptr) {
+      timers_[static_cast<std::size_t>(slot)] =
+          std::make_unique<Timer>(sim_);
+      timers_[static_cast<std::size_t>(slot)]->set(
+          [this, slot] { fired_.push_back(-1 - slot); });
+    }
+    if (timer_model_.find(slot) == timer_model_.end()) {
+      const Time t = random_future_time();
+      timers_[static_cast<std::size_t>(slot)]->rearm(t);
+      timer_model_[slot] = ModelEntry{std::max(t, sim_.now()), model_seq_++};
+    }
+  }
+
+  void do_run_next() {
+    if (model_.empty() && timer_model_.empty()) {
+      ASSERT_FALSE(sim_.run_next());
+      return;
+    }
+    // Model winner: (deadline, seq)-minimum across plain events and
+    // timers. Keys < 0 are timers (key = -1 - slot).
+    int win_key = 0;
+    const ModelEntry* win = nullptr;
+    bool win_is_timer = false;
+    for (const auto& [key, e] : model_) {
+      if (win == nullptr || e.deadline < win->deadline ||
+          (e.deadline == win->deadline && e.seq < win->seq)) {
+        win = &e;
+        win_key = key;
+        win_is_timer = false;
+      }
+    }
+    for (const auto& [slot, e] : timer_model_) {
+      if (win == nullptr || e.deadline < win->deadline ||
+          (e.deadline == win->deadline && e.seq < win->seq)) {
+        win = &e;
+        win_key = -1 - slot;
+        win_is_timer = true;
+      }
+    }
+    const Time expect_time = win->deadline;
+    const std::size_t fired_before = fired_.size();
+    ASSERT_TRUE(sim_.run_next());
+    ASSERT_EQ(fired_.size(), fired_before + 1);
+    EXPECT_EQ(fired_.back(), win_key);
+    EXPECT_EQ(sim_.now(), expect_time);
+    if (win_is_timer) {
+      timer_model_.erase(-1 - win_key);
+    } else {
+      model_.erase(win_key);
+    }
+  }
+
+  Simulator sim_;
+  std::mt19937_64 rng_;
+  std::uint64_t model_seq_ = 0;
+  int next_key_ = 0;
+  std::vector<int> fired_;
+  std::map<int, EventId> ids_;
+  std::map<int, ModelEntry> model_;        // plain events by key
+  std::map<int, ModelEntry> timer_model_;  // armed timers by slot
+  std::unique_ptr<Timer> timers_[kTimers];
+};
+
+TEST(EventStress, TenThousandRandomOpsMatchReferenceModel) {
+  StressHarness h(0xC0FFEE);
+  h.run(10000);
+}
+
+TEST(EventStress, AlternateSeedsMatchReferenceModel) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    StressHarness h(seed);
+    h.run(3000);
+  }
+}
+
+} // namespace
+} // namespace quicbench::netsim

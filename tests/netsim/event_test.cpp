@@ -215,5 +215,211 @@ TEST(Timer, RearmFromWithinCallback) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(Timer, SetThenRearmRunsInstalledCallback) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<Time> fires;
+  t.set([&] { fires.push_back(sim.now()); });
+  t.rearm(time::ms(5));
+  t.rearm(time::ms(9));  // postpone: reschedule fast path
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], time::ms(9));
+}
+
+TEST(Timer, CallbackSurvivesFireWithoutRearm) {
+  // Regression: the installed callback must remain usable after a fire
+  // in which the callback did not re-arm (it is moved out for the call
+  // and restored afterwards).
+  Simulator sim;
+  Timer t(sim);
+  int fires = 0;
+  t.set([&] { ++fires; });
+  t.rearm_in(time::ms(1));
+  sim.run_until(time::ms(10));
+  EXPECT_EQ(fires, 1);
+  t.rearm_in(time::ms(1));  // same callback, no new set()
+  sim.run_until(time::ms(20));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Timer, SelfRearmingPeriodicViaSet) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<Time> fires;
+  t.set([&] {
+    fires.push_back(sim.now());
+    if (fires.size() < 4) t.rearm_in(time::ms(2));
+  });
+  t.rearm(time::ms(2));
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fires, (std::vector<Time>{time::ms(2), time::ms(4), time::ms(6),
+                                      time::ms(8)}));
+}
+
+TEST(Timer, RearmToEarlierTimeFires) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<Time> fires;
+  t.set([&] { fires.push_back(sim.now()); });
+  t.rearm(time::ms(9));
+  t.rearm(time::ms(2));  // earlier: cancel + fresh schedule internally
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], time::ms(2));
+}
+
+TEST(Timer, RearmRekeysFifoOrderLikeCancelPlusSchedule) {
+  // A postponed timer must order among equal timestamps as if it had
+  // been cancelled and re-scheduled at rearm() time, not at its original
+  // position.
+  Simulator sim;
+  Timer t(sim);
+  std::vector<int> order;
+  t.set([&] { order.push_back(0); });
+  t.rearm(time::ms(3));
+  sim.schedule(time::ms(5), [&] { order.push_back(1); });
+  t.rearm(time::ms(5));  // after the plain event: must fire second
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Timer, CancelFromSameTimestampEvent) {
+  // An event can cancel a timer scheduled for the same instant, as long
+  // as it runs first (FIFO): the timer must not fire.
+  Simulator sim;
+  Timer t(sim);
+  bool timer_fired = false;
+  sim.schedule(time::ms(5), [&] { t.cancel(); });
+  t.arm(time::ms(5), [&] { timer_fired = true; });
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(timer_fired);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Simulator, CancelFromSameTimestampEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId victim = kInvalidEvent;
+  sim.schedule(time::ms(5), [&] { sim.cancel(victim); });
+  victim = sim.schedule(time::ms(5), [&] { fired = true; });
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ReschedulePostponesAndKeepsId) {
+  Simulator sim;
+  std::vector<Time> fires;
+  const EventId id = sim.schedule(time::ms(2), [&] {
+    fires.push_back(sim.now());
+  });
+  EXPECT_TRUE(sim.reschedule(id, time::ms(7)));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(time::sec(1));
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], time::ms(7));
+}
+
+TEST(Simulator, RescheduleStaleIdReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule(time::ms(1), [] {});
+  sim.run_until(time::ms(5));
+  EXPECT_FALSE(sim.reschedule(id, time::ms(10)));
+  sim.cancel(id);  // still a no-op
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelAfterRescheduleStillCancels) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(time::ms(2), [&] { fired = true; });
+  EXPECT_TRUE(sim.reschedule(id, time::ms(8)));
+  sim.cancel(id);
+  sim.run_until(time::sec(1));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RescheduleCountsAsScheduled) {
+  // One reschedule replaces one cancel+schedule pair, and is counted in
+  // events_scheduled() accordingly.
+  Simulator sim;
+  const EventId id = sim.schedule(time::ms(1), [] {});
+  EXPECT_EQ(sim.events_scheduled(), 1u);
+  EXPECT_TRUE(sim.reschedule(id, time::ms(2)));
+  EXPECT_EQ(sim.events_scheduled(), 2u);
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+TEST(Simulator, WheelAndHeapInterleaveInGlobalOrder) {
+  // Near-future events land in the wheel, far-future in the heap; the
+  // fire order must still be globally sorted by (time, seq).
+  Simulator sim;
+  std::vector<Time> fires;
+  const auto rec = [&] { fires.push_back(sim.now()); };
+  sim.schedule(time::ms(50), rec);   // heap (beyond wheel horizon)
+  sim.schedule(time::us(40), rec);   // wheel
+  sim.schedule(time::us(2), rec);    // current bucket: heap
+  sim.schedule(time::ms(1), rec);    // wheel
+  sim.schedule(time::us(40), rec);   // wheel, same time: FIFO after #2
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fires, (std::vector<Time>{time::us(2), time::us(40),
+                                      time::us(40), time::ms(1),
+                                      time::ms(50)}));
+}
+
+TEST(Simulator, StatsReportPeaksAndSlots) {
+  Simulator sim;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule(time::us(i + 1), [] {});      // wheel-horizon events
+    sim.schedule(time::sec(i + 1), [] {});     // heap events
+  }
+  const Simulator::Stats st = sim.stats();
+  EXPECT_GT(st.heap_peak, 0u);
+  EXPECT_GT(st.wheel_peak, 0u);
+  EXPECT_GE(st.slot_count, 40u);
+  sim.run_until(time::sec(30));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorDeathTest, ScheduleIntoPastClampsOrAsserts) {
+  // Contract: t < now() is clamped to now() (and asserts in debug
+  // builds) — an event can never fire before the clock.
+  Simulator sim;
+  sim.schedule(time::ms(10), [] {});
+  sim.run_until(time::ms(20));
+  ASSERT_EQ(sim.now(), time::ms(20));
+#ifdef NDEBUG
+  Time fired_at = -1;
+  sim.schedule(time::ms(5), [&] { fired_at = sim.now(); });
+  sim.run_next();
+  EXPECT_EQ(fired_at, time::ms(20));  // clamped, not fired in the past
+#else
+  EXPECT_DEATH(sim.schedule(time::ms(5), [] {}), "past");
+#endif
+}
+
+TEST(SimulatorDeathTest, RescheduleIntoPastClampsOrAsserts) {
+  Simulator sim;
+  sim.schedule(time::ms(10), [] {});
+  sim.run_until(time::ms(20));
+#ifdef NDEBUG
+  // Clamp path: reschedule to the past from a same-timestamp event —
+  // the target clamps to now() and the event still fires, at now().
+  Time fired_at = -1;
+  EventId id = kInvalidEvent;
+  sim.schedule(time::ms(30), [&] {
+    EXPECT_TRUE(sim.reschedule(id, time::ms(5)));  // clamped to 30 ms
+  });
+  id = sim.schedule(time::ms(30), [&] { fired_at = sim.now(); });
+  sim.run_until(time::sec(1));
+  EXPECT_EQ(fired_at, time::ms(30));
+#else
+  const EventId id = sim.schedule(time::ms(30), [] {});
+  EXPECT_DEATH(sim.reschedule(id, time::ms(5)), "past");
+#endif
+}
+
 } // namespace
 } // namespace quicbench::netsim

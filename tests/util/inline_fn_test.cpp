@@ -1,0 +1,164 @@
+// InlineFn semantics plus the zero-allocation guarantee the event engine
+// is built on, verified with a counting global allocator: steady-state
+// schedule/fire of [this]-capture callbacks must not touch the heap.
+//
+// This file overrides global operator new/delete, so it gets its own
+// test binary (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "netsim/event.h"
+#include "util/inline_fn.h"
+
+namespace {
+std::atomic<long> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace quicbench {
+namespace {
+
+using util::InlineFn;
+using util::kInlineFnBytes;
+
+long allocs() { return g_news.load(std::memory_order_relaxed); }
+
+TEST(InlineFn, SmallCallableStoredInlineWithoutAllocation) {
+  int hits = 0;
+  int* p = &hits;
+  const long before = allocs();
+  InlineFn<void()> fn([p] { ++*p; });  // pointer capture, like [this]
+  EXPECT_EQ(allocs(), before);
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(allocs(), before);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveOfInlineCallableDoesNotAllocate) {
+  int hits = 0;
+  int* p = &hits;
+  InlineFn<void()> a([p] { ++*p; });
+  const long before = allocs();
+  InlineFn<void()> b(std::move(a));
+  InlineFn<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(allocs(), before);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, CapturesUpToInlineCapacityStayInline) {
+  struct Big {
+    char bytes[kInlineFnBytes - 8];
+    void* self;
+  };
+  static_assert(sizeof(Big) <= kInlineFnBytes);
+  Big big{};
+  big.self = &big;
+  const long before = allocs();
+  InlineFn<int()> fn([big]() -> int { return big.self != nullptr; });
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 1);
+  EXPECT_EQ(allocs(), before);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToOneHeapAllocation) {
+  struct Huge {
+    char bytes[kInlineFnBytes + 1];
+  };
+  Huge h{};
+  h.bytes[0] = 7;
+  const long before = allocs();
+  InlineFn<int()> fn([h]() -> int { return h.bytes[0]; });
+  EXPECT_EQ(allocs(), before + 1);
+  EXPECT_FALSE(fn.is_inline());
+  // Moves of a heap-backed InlineFn relocate the pointer: no further
+  // allocations.
+  InlineFn<int()> moved(std::move(fn));
+  EXPECT_EQ(allocs(), before + 1);
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(InlineFn, EmptyAndResetBehaviour) {
+  InlineFn<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, ReturnsValuesAndTakesArguments) {
+  InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+// The headline guarantee: after warm-up, a simulator dispatching
+// [this]-capture callbacks performs zero heap allocations per event —
+// across schedule_in chains, Timer rearm cycles, and cancels.
+TEST(EventEngine, SteadyStateDispatchIsAllocationFree) {
+  netsim::Simulator sim;
+
+  struct Chain {
+    netsim::Simulator* sim;
+    long fires = 0;
+    void tick() {
+      ++fires;
+      sim->schedule_in(time::us(3), [this] { tick(); });
+    }
+  };
+  Chain chain{&sim};
+
+  netsim::Timer timer(sim);
+  long timer_fires = 0;
+  timer.set([&sim, &timer, &timer_fires] {
+    ++timer_fires;
+    timer.rearm_in(time::us(7));
+  });
+
+  // Warm-up: size the slot table, heap, and wheel buckets.
+  chain.tick();
+  timer.rearm_in(time::us(7));
+  sim.run_until(time::ms(50));
+  const long warm_fires = chain.fires + timer_fires;
+  ASSERT_GT(warm_fires, 1000L);
+
+  // Steady state: tens of thousands of schedule+fire and rearm cycles,
+  // plus periodic cancel/re-arm churn, with zero allocations.
+  const long before = allocs();
+  for (int round = 0; round < 10; ++round) {
+    sim.run_until(sim.now() + time::ms(10));
+    timer.cancel();
+    timer.rearm_in(time::us(5));
+  }
+  const long after = allocs();
+  EXPECT_EQ(after, before);
+  EXPECT_GT(chain.fires + timer_fires, warm_fires + 10000L);
+  // The workload never outgrows the pre-sized slot table.
+  EXPECT_LE(sim.stats().slot_count, netsim::Simulator::kDefaultSizeHint);
+}
+
+} // namespace
+} // namespace quicbench
