@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Summarize a sweep run manifest (quicbench.sweep.manifest/v2) as a
+"""Summarize a sweep run manifest (quicbench.sweep.manifest/v3) as a
 per-pair table: wall time, cache status, simulator throughput
 (events/sec), engine sizing peaks, loss rate, bottleneck queue
 high-watermark and CCA phase residency.
@@ -47,8 +47,8 @@ def summarize(path):
 
     schema = m.get("schema", "?")
     print(f"== {m.get('sweep', path)} ({schema}) ==")
-    if not schema.endswith("/v2"):
-        print(f"  warning: expected quicbench.sweep.manifest/v2, got {schema}")
+    if not schema.endswith("/v3"):
+        print(f"  warning: expected quicbench.sweep.manifest/v3, got {schema}")
     cache = m.get("cache", {})
     print(
         f"  wall {m.get('wall_sec', 0):.2f}s on {m.get('threads', '?')} threads"

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "netsim/topology.h"
+#include "obs/invariants.h"
 #include "transport/receiver.h"
 
 namespace quicbench::harness {
@@ -59,6 +60,7 @@ void ExperimentConfig::validate() const {
     fail("net.trace_opportunities is set but net.trace_period is not "
          "positive; set trace_period to the trace's wrap-around length");
   }
+  net.impairment.validate();
 }
 
 TrialResult run_trial(const Implementation& a, const Implementation& b,
@@ -98,6 +100,7 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
   dc.jitter_allows_reorder = cfg.net.jitter_reorder;
   dc.trace_opportunities = cfg.net.trace_opportunities;
   dc.trace_period = cfg.net.trace_period;
+  dc.impairment = cfg.net.impairment;
 
   Dumbbell db(sim, dc, 2, &jitter_rng);
 
@@ -107,11 +110,28 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
   if (reg.enabled() && db.trace_bottleneck() == nullptr) {
     db.bottleneck().attach_metrics(reg, "bottleneck");
   }
+  if (reg.enabled() && db.forward_impairment() != nullptr) {
+    db.forward_impairment()->attach_metrics(reg, "impairment.forward");
+  }
 
   TrialResult result;
   PhaseAccum phase_acc[2];
   std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
   std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
+
+  // Runtime invariant checking (QB_INVARIANTS, default on): one checker
+  // per flow, fed from the same passive hooks as the flight recorder, so
+  // every trial — and thus every ctest target — doubles as a correctness
+  // probe. The checkers never influence the simulation; violations throw
+  // at trial end.
+  const bool inv = obs::invariants_enabled();
+  std::unique_ptr<obs::InvariantChecker> checkers[2];
+  if (inv) {
+    for (int i = 0; i < 2; ++i) {
+      checkers[i] = std::make_unique<obs::InvariantChecker>(
+          i == 0 ? "flow0" : "flow1", cfg.net.base_rtt);
+    }
+  }
 
   for (int i = 0; i < 2; ++i) {
     const Implementation& impl = (i == 0) ? a : b;
@@ -123,6 +143,7 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
 
     trace::QlogWriter* ql = observers.qlog[i];
     transport::SenderEndpoint* snd = sender.get();
+    obs::InvariantChecker* chk = checkers[i].get();
     const std::string fp = i == 0 ? "flow0" : "flow1";
 
     trace::FlowTrace& tr = result.flow[i].trace;
@@ -132,18 +153,20 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
         });
     obs::Histogram* rtt_hist =
         reg.enabled() ? &reg.histogram(fp + ".rtt_ms") : nullptr;
-    sender->set_rtt_callback([&tr, rtt_hist](Time now, Time rtt) {
+    sender->set_rtt_callback([&tr, rtt_hist, chk](Time now, Time rtt) {
       tr.record_rtt(now, rtt);
       if (rtt_hist != nullptr) rtt_hist->observe(time::to_ms(rtt));
+      if (chk != nullptr) chk->on_rtt_sample(now, rtt);
     });
     const bool rec = cfg.record_cwnd;
-    if (rec || ql != nullptr) {
+    if (rec || ql != nullptr || chk != nullptr) {
       sender->set_cwnd_callback(
-          [&tr, ql, rec, snd](Time now, Bytes cwnd, Bytes inflight) {
+          [&tr, ql, rec, snd, chk](Time now, Bytes cwnd, Bytes inflight) {
             if (rec) tr.record_cwnd(now, cwnd, inflight);
             if (ql != nullptr) {
               ql->metrics_updated(now, cwnd, inflight, snd->rtt().smoothed());
             }
+            if (chk != nullptr) chk->on_cwnd_update(now, cwnd, inflight);
           });
     }
 
@@ -164,14 +187,28 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
           }
         });
 
-    if (ql != nullptr) {
+    if (ql != nullptr || chk != nullptr) {
       sender->set_packet_sent_callback(
-          [ql](Time now, std::uint64_t pn, Bytes size, bool retx) {
-            ql->packet_sent(now, pn, size, retx);
+          [ql, chk, snd](Time now, std::uint64_t pn, Bytes size, bool retx) {
+            if (ql != nullptr) ql->packet_sent(now, pn, size, retx);
+            if (chk != nullptr) {
+              chk->on_packet_sent(now, pn, size, retx, snd->bytes_in_flight(),
+                                  snd->controller().cwnd());
+            }
           });
-      sender->set_packet_lost_callback([ql](Time now, std::uint64_t pn) {
-        ql->packet_lost(now, pn);
-      });
+      sender->set_packet_lost_callback(
+          [ql, chk](Time now, std::uint64_t pn) {
+            if (ql != nullptr) ql->packet_lost(now, pn);
+            if (chk != nullptr) chk->on_packet_lost(now, pn);
+          });
+    }
+    if (chk != nullptr) {
+      sender->set_packet_acked_callback(
+          [chk, snd](Time now, std::uint64_t pn, Bytes size) {
+            chk->on_packet_acked(now, pn, size, snd->bytes_in_flight());
+          });
+    }
+    if (ql != nullptr) {
       receiver->set_packet_callback(
           [ql](Time now, std::uint64_t pn, Bytes size) {
             ql->packet_received(now, pn, size);
@@ -195,19 +232,21 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
     }
     obs::Histogram* pto_hist =
         reg.enabled() ? &reg.histogram(fp + ".pto_time_sec") : nullptr;
-    if (pto_hist != nullptr) {
-      sender->set_pto_callback([pto_hist](Time now, int) {
-        pto_hist->observe(time::to_sec(now));
+    if (pto_hist != nullptr || chk != nullptr) {
+      sender->set_pto_callback([pto_hist, chk](Time now, int count) {
+        if (pto_hist != nullptr) pto_hist->observe(time::to_sec(now));
+        if (chk != nullptr) chk->on_pto(now, count);
       });
     }
     obs::Histogram* spur_hist =
         reg.enabled() ? &reg.histogram(fp + ".spurious_loss_time_sec")
                       : nullptr;
-    if (ql != nullptr || spur_hist != nullptr) {
+    if (ql != nullptr || spur_hist != nullptr || chk != nullptr) {
       sender->set_spurious_loss_callback(
-          [ql, spur_hist](Time now, std::uint64_t pn) {
+          [ql, spur_hist, chk](Time now, std::uint64_t pn) {
             if (ql != nullptr) ql->spurious_loss_detected(now, pn);
             if (spur_hist != nullptr) spur_hist->observe(time::to_sec(now));
+            if (chk != nullptr) chk->on_spurious_loss(now, pn);
           });
     }
 
@@ -289,6 +328,39 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
     reg.gauge("bottleneck.queue_hwm_bytes")
         .set(static_cast<double>(bt.queue_hwm_bytes));
     reg.gauge("bottleneck.utilization").set(bt.utilization);
+  }
+
+  if (inv) {
+    for (int i = 0; i < 2; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      checkers[idx]->final_check(result.flow[i].sender_stats,
+                                 senders[idx]->bytes_in_flight());
+    }
+    // Network-layer conservation, checked at whatever instant the trial
+    // ended (the identities hold continuously, not just at quiescence).
+    obs::InvariantChecker& net_chk = *checkers[0];
+    if (db.trace_bottleneck() != nullptr) {
+      net_chk.check_element_conservation(
+          "trace bottleneck", ls.packets_in, ls.packets_out,
+          ls.packets_dropped, db.trace_bottleneck()->packets_resident());
+    } else {
+      net_chk.check_element_conservation(
+          "bottleneck", ls.packets_in, ls.packets_out, ls.packets_dropped,
+          db.bottleneck().packets_resident());
+    }
+    const auto check_stage = [&net_chk](const char* what,
+                                        netsim::ImpairmentStage* st) {
+      if (st == nullptr) return;
+      const netsim::ImpairmentStats& is = st->stats();
+      net_chk.check_element_conservation(what, is.packets_in + is.duplicated,
+                                         is.forwarded, is.dropped,
+                                         st->packets_resident());
+    };
+    check_stage("forward impairment", db.forward_impairment());
+    check_stage("ack impairment 0", db.ack_impairment(0));
+    check_stage("ack impairment 1", db.ack_impairment(1));
+    checkers[0]->throw_if_violated();
+    checkers[1]->throw_if_violated();
   }
 
   result.sim_events = sim.events_fired();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "conformance/conformance.h"
+#include "netsim/impairment.h"
 #include "obs/metrics.h"
 #include "stacks/registry.h"
 #include "trace/qlog.h"
@@ -45,6 +46,12 @@ struct NetworkConfig {
   // sizing (set it to the trace's average rate).
   std::vector<Time> trace_opportunities;
   Time trace_period = 0;
+
+  // Adversarial path impairments (seeded loss/reorder/duplication, RTT
+  // step, ACK loss); part of the experiment fingerprint. Disabled by
+  // default, in which case results are bit-identical to pre-impairment
+  // builds.
+  netsim::ImpairmentConfig impairment;
 
   Bytes buffer_bytes() const;
   std::string describe() const;

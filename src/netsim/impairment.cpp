@@ -1,0 +1,213 @@
+#include "netsim/impairment.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace quicbench::netsim {
+
+void ImpairmentConfig::validate() const {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ImpairmentConfig: " + msg);
+  };
+  const auto check_prob = [&fail](double p, const char* name) {
+    if (p < 0 || p > 1) {
+      fail(std::string(name) + " must be in [0, 1] (got " +
+           std::to_string(p) + ")");
+    }
+  };
+  check_prob(loss_rate, "loss_rate");
+  check_prob(ge_loss_good, "ge_loss_good");
+  check_prob(ge_loss_bad, "ge_loss_bad");
+  check_prob(ge_p_good_to_bad, "ge_p_good_to_bad");
+  check_prob(ge_p_bad_to_good, "ge_p_bad_to_good");
+  check_prob(reorder_rate, "reorder_rate");
+  check_prob(duplicate_rate, "duplicate_rate");
+  check_prob(ack_loss_rate, "ack_loss_rate");
+  if (ge_p_good_to_bad > 0 && ge_p_bad_to_good <= 0) {
+    fail("ge_p_bad_to_good must be positive when bursts are enabled; a "
+         "bad state that never recovers is loss_rate=1 in disguise");
+  }
+  if (reorder_rate > 0 && reorder_gap < 1) {
+    fail("reorder_gap must be >= 1 when reorder_rate > 0 (got " +
+         std::to_string(reorder_gap) + ")");
+  }
+  if (reorder_rate > 0 && reorder_flush <= 0) {
+    fail("reorder_flush must be positive when reorder_rate > 0; held "
+         "packets need a release deadline on idle paths");
+  }
+  if (rtt_step_delta < 0) {
+    fail("rtt_step_delta must be non-negative (a step down would reorder "
+         "packets in flight)");
+  }
+  if (rtt_step_at < 0) {
+    fail("rtt_step_at must be non-negative (got " +
+         std::to_string(time::to_sec(rtt_step_at)) + " s)");
+  }
+}
+
+std::string ImpairmentConfig::describe() const {
+  if (!enabled()) return "none";
+  std::ostringstream os;
+  auto sep = [&os, first = true]() mutable {
+    if (!first) os << " ";
+    first = false;
+  };
+  if (loss_rate > 0) {
+    sep();
+    os << "loss=" << loss_rate * 100 << "%";
+  }
+  if (ge_p_good_to_bad > 0) {
+    sep();
+    os << "ge=" << ge_loss_good * 100 << "%/" << ge_loss_bad * 100 << "%@"
+       << ge_p_good_to_bad << "/" << ge_p_bad_to_good;
+  }
+  if (reorder_rate > 0) {
+    sep();
+    os << "reorder=" << reorder_rate * 100 << "%/" << reorder_gap;
+  }
+  if (duplicate_rate > 0) {
+    sep();
+    os << "dup=" << duplicate_rate * 100 << "%";
+  }
+  if (rtt_step_delta > 0) {
+    sep();
+    os << "rtt_step=+" << time::to_ms(rtt_step_delta) << "ms@"
+       << time::to_sec(rtt_step_at) << "s";
+  }
+  if (ack_loss_rate > 0) {
+    sep();
+    os << "ack_loss=" << ack_loss_rate * 100 << "%";
+  }
+  return os.str();
+}
+
+ImpairmentStage::ImpairmentStage(Simulator& sim, const ImpairmentConfig& cfg,
+                                 PacketSink* dst, Rng rng)
+    : sim_(sim),
+      cfg_(cfg),
+      dst_(dst),
+      rng_(rng),
+      flush_timer_(sim),
+      delay_timer_(sim) {
+  cfg_.validate();
+  flush_timer_.set([this] { on_flush(); });
+  delay_timer_.set([this] {
+    const Time now = sim_.now();
+    while (!delay_q_.empty() && delay_q_.front().first <= now) {
+      Packet p = std::move(delay_q_.front().second);
+      delay_q_.pop_front();
+      ++stats_.forwarded;
+      dst_->deliver(std::move(p));
+    }
+    if (!delay_q_.empty()) delay_timer_.rearm(delay_q_.front().first);
+  });
+}
+
+void ImpairmentStage::attach_metrics(obs::MetricsRegistry& reg,
+                                     const std::string& prefix) {
+  m_dropped_ = &reg.counter(prefix + ".dropped");
+  m_duplicated_ = &reg.counter(prefix + ".duplicated");
+  m_reordered_ = &reg.counter(prefix + ".reordered");
+}
+
+bool ImpairmentStage::roll_loss() {
+  // One uniform per configured feature per packet, in a fixed order, so
+  // the stream consumed is a pure function of the config and arrivals.
+  bool drop = false;
+  if (cfg_.loss_rate > 0 && rng_.uniform() < cfg_.loss_rate) drop = true;
+  if (cfg_.ge_p_good_to_bad > 0) {
+    const double flip = rng_.uniform();
+    ge_bad_ = ge_bad_ ? flip >= cfg_.ge_p_bad_to_good
+                      : flip < cfg_.ge_p_good_to_bad;
+    const double p = ge_bad_ ? cfg_.ge_loss_bad : cfg_.ge_loss_good;
+    if (p > 0 && rng_.uniform() < p) drop = true;
+  }
+  return drop;
+}
+
+void ImpairmentStage::release_ready_held() {
+  // Held packets whose gap has elapsed re-enter *after* the passer-by,
+  // preserving the hold-back-by-k semantics. Erase-by-swap is fine: the
+  // relative release order among simultaneously-ready packets is not
+  // specified beyond "after the k-th passer".
+  for (std::size_t i = 0; i < held_.size();) {
+    if (--held_[i].remaining <= 0) {
+      Packet p = std::move(held_[i].pkt);
+      held_[i] = std::move(held_.back());
+      held_.pop_back();
+      forward(std::move(p));
+    } else {
+      ++i;
+    }
+  }
+  if (held_.empty()) {
+    flush_timer_.cancel();
+  } else {
+    flush_timer_.rearm_in(cfg_.reorder_flush);
+  }
+}
+
+void ImpairmentStage::on_flush() {
+  // Idle-path deadline: release everything still held so a quiet sender
+  // (e.g. 100% forward loss upstream) cannot strand packets forever.
+  stats_.flushed += static_cast<std::int64_t>(held_.size());
+  std::vector<Held> held = std::move(held_);
+  held_.clear();
+  for (Held& h : held) forward(std::move(h.pkt));
+}
+
+void ImpairmentStage::forward(Packet p) {
+  if (cfg_.rtt_step_delta > 0 && sim_.now() >= cfg_.rtt_step_at) {
+    ++stats_.delayed;
+    const Time release = sim_.now() + cfg_.rtt_step_delta;
+    const bool was_empty = delay_q_.empty();
+    delay_q_.emplace_back(release, std::move(p));
+    if (was_empty) delay_timer_.rearm(release);
+    return;
+  }
+  ++stats_.forwarded;
+  dst_->deliver(std::move(p));
+}
+
+void ImpairmentStage::deliver(Packet p) {
+  ++stats_.packets_in;
+
+  if (roll_loss()) {
+    // A dropped packet never passes a held one: only forwarded traffic
+    // counts toward reorder_gap (the flush timer bounds idle paths).
+    ++stats_.dropped;
+    if (m_dropped_ != nullptr) m_dropped_->add();
+    return;
+  }
+
+  const bool duplicate =
+      cfg_.duplicate_rate > 0 && rng_.uniform() < cfg_.duplicate_rate;
+  const bool hold =
+      cfg_.reorder_rate > 0 && rng_.uniform() < cfg_.reorder_rate;
+
+  if (hold) {
+    ++stats_.reordered;
+    if (m_reordered_ != nullptr) m_reordered_->add();
+    if (duplicate) {
+      // The copy travels on time; the original is the one held back.
+      ++stats_.duplicated;
+      if (m_duplicated_ != nullptr) m_duplicated_->add();
+      forward(p);
+    }
+    held_.push_back({std::move(p), cfg_.reorder_gap});
+    flush_timer_.rearm_in(cfg_.reorder_flush);
+    return;
+  }
+
+  if (duplicate) {
+    ++stats_.duplicated;
+    if (m_duplicated_ != nullptr) m_duplicated_->add();
+    forward(p);  // copy
+  }
+  forward(std::move(p));
+  release_ready_held();
+}
+
+} // namespace quicbench::netsim

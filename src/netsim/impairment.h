@@ -1,0 +1,157 @@
+#pragma once
+// Adversarial path impairments: a composable, deterministic stage that
+// wraps any PacketSink (Link, DelayLine, TraceLink) and injects the
+// non-ideal-path behaviours the droptail dumbbell cannot produce on its
+// own — seeded random loss (i.i.d. and Gilbert–Elliott bursts), packet
+// reordering (delay-a-packet-by-k), duplication, an RTT step change, and
+// ACK-path loss. This is where the sender's RACK-style reordering
+// adaptation, PTO/spurious-loss paths and BBR's loss resilience get
+// exercised on purpose instead of by accident.
+//
+// Every random decision draws from the stage's own seeded Rng, so trials
+// remain reproducible and cacheable; the ImpairmentConfig is part of the
+// experiment fingerprint (runner/fingerprint.cpp).
+//
+// The stage never reorders packets it does not explicitly hold back: the
+// extra-delay path uses monotonic release times, so with reordering
+// disabled the wrapped element still sees arrival order.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "util/fifo.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace quicbench::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace quicbench::obs
+
+namespace quicbench::netsim {
+
+struct ImpairmentConfig {
+  // --- forward (data) path ---
+  // i.i.d. loss probability per packet.
+  double loss_rate = 0;
+  // Gilbert–Elliott burst loss, enabled when ge_p_good_to_bad > 0: a
+  // two-state Markov chain advanced per packet, dropping with
+  // ge_loss_good / ge_loss_bad in the respective state. Composes with
+  // loss_rate (either can drop the packet).
+  double ge_loss_good = 0;
+  double ge_loss_bad = 0.5;
+  double ge_p_good_to_bad = 0;
+  double ge_p_bad_to_good = 0.1;
+  // Delay-a-packet-by-k reordering: with probability reorder_rate a
+  // packet is held back and re-injected after `reorder_gap` subsequent
+  // packets have passed it (or after `reorder_flush` with no traffic, so
+  // a held packet can never be stranded).
+  double reorder_rate = 0;
+  int reorder_gap = 3;
+  Time reorder_flush = time::ms(50);
+  // Duplicate a packet with this probability (both copies delivered
+  // back to back).
+  double duplicate_rate = 0;
+  // RTT step change: from `rtt_step_at` on, every packet is delayed by
+  // an extra `rtt_step_delta` (a path-change event; non-negative so
+  // order is preserved).
+  Time rtt_step_at = 0;
+  Time rtt_step_delta = 0;
+
+  // --- reverse (ACK) path ---
+  // i.i.d. loss probability per ACK.
+  double ack_loss_rate = 0;
+
+  // True when any impairment is configured; a disabled config leaves the
+  // topology bit-identical to one with no stage at all.
+  bool enabled() const {
+    return loss_rate > 0 || ge_p_good_to_bad > 0 || reorder_rate > 0 ||
+           duplicate_rate > 0 || rtt_step_delta > 0 || ack_loss_rate > 0;
+  }
+
+  // The forward-path features viewed as an ACK-path stage config:
+  // ack_loss_rate becomes the i.i.d. loss, everything else is off.
+  ImpairmentConfig ack_path_view() const {
+    ImpairmentConfig v;
+    v.loss_rate = ack_loss_rate;
+    return v;
+  }
+
+  // Rejects probabilities outside [0, 1], non-positive reorder gap /
+  // flush with reordering enabled, and a negative RTT step, with an
+  // actionable std::invalid_argument.
+  void validate() const;
+
+  // "loss=2% reorder=1%/3 ..." for manifests; "none" when disabled.
+  std::string describe() const;
+};
+
+struct ImpairmentStats {
+  std::int64_t packets_in = 0;
+  std::int64_t forwarded = 0;   // handed to the wrapped sink (incl. copies)
+  std::int64_t dropped = 0;     // i.i.d. + Gilbert–Elliott drops
+  std::int64_t duplicated = 0;  // extra copies injected
+  std::int64_t reordered = 0;   // packets held back and re-injected
+  std::int64_t flushed = 0;     // held packets released by the flush timer
+  std::int64_t delayed = 0;     // packets given the RTT-step extra delay
+};
+
+class ImpairmentStage : public PacketSink {
+ public:
+  ImpairmentStage(Simulator& sim, const ImpairmentConfig& cfg,
+                  PacketSink* dst, Rng rng);
+
+  void deliver(Packet p) override;
+
+  const ImpairmentStats& stats() const { return stats_; }
+  const ImpairmentConfig& config() const { return cfg_; }
+
+  // Packets currently held inside the stage (reorder slots + delay
+  // queue) — the network-layer conservation term:
+  //   packets_in + duplicated == forwarded + dropped + resident
+  // which holds at every instant. Exposed for the invariant checker.
+  std::int64_t packets_resident() const {
+    return static_cast<std::int64_t>(held_.size() + delay_q_.size());
+  }
+
+  // Flight-recorder counters under `<prefix>.`; observation only.
+  void attach_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+ private:
+  struct Held {
+    Packet pkt;
+    int remaining = 0;  // packets that must pass before release
+  };
+
+  bool roll_loss();
+  void forward(Packet p);
+  void on_flush();
+  void release_ready_held();
+
+  Simulator& sim_;
+  ImpairmentConfig cfg_;
+  PacketSink* dst_;
+  Rng rng_;
+
+  bool ge_bad_ = false;  // Gilbert–Elliott state
+
+  // Held-back packets awaiting `remaining` passers-by. Small: bounded by
+  // the number of reorder decisions within one gap window.
+  std::vector<Held> held_;
+  Timer flush_timer_;
+
+  // RTT-step extra-delay queue; release times are monotonic (the extra
+  // delay never decreases), so a FIFO suffices.
+  util::FifoVec<std::pair<Time, Packet>> delay_q_;
+  Timer delay_timer_;
+
+  ImpairmentStats stats_;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_duplicated_ = nullptr;
+  obs::Counter* m_reordered_ = nullptr;
+};
+
+} // namespace quicbench::netsim

@@ -8,7 +8,6 @@
 // heap never heap-allocates per packet (this path runs millions of times
 // per experiment).
 
-#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "netsim/event.h"
 #include "netsim/packet.h"
 #include "util/fifo.h"
+#include "util/inline_fn.h"
 #include "util/units.h"
 
 namespace quicbench::obs {
@@ -50,9 +50,18 @@ class Link : public PacketSink {
   Bytes buffer_bytes() const { return buffer_bytes_; }
 
   // Invoked on every droptail drop (after stats are updated). Used by
-  // tests and by the trace module to log loss events.
-  void set_drop_callback(std::function<void(const Packet&)> cb) {
-    drop_cb_ = std::move(cb);
+  // tests and by the trace module to log loss events. InlineFn keeps the
+  // per-drop call allocation-free (the hot path runs millions of times).
+  using DropCallback = util::InlineFn<void(const Packet&)>;
+  void set_drop_callback(DropCallback cb) { drop_cb_ = std::move(cb); }
+
+  // Packets queued or serializing, i.e. accepted but not yet counted in
+  // stats().packets_out — the conservation term in
+  //   packets_in == packets_out + packets_dropped + packets_resident()
+  // which holds at every instant. (Packets propagating after
+  // serialization are already in packets_out.)
+  std::int64_t packets_resident() const {
+    return static_cast<std::int64_t>(queue_.size()) + (transmitting_ ? 1 : 0);
   }
 
   // Flight-recorder instruments under `<prefix>.`: drops split by cause
@@ -83,7 +92,7 @@ class Link : public PacketSink {
   Timer prop_timer_;
 
   LinkStats stats_;
-  std::function<void(const Packet&)> drop_cb_;
+  DropCallback drop_cb_;
   // Registry-owned instruments (see attach_metrics); null when unattached.
   obs::Counter* m_drops_data_ = nullptr;
   obs::Counter* m_drops_cross_ = nullptr;
@@ -101,8 +110,10 @@ class DelayLine : public PacketSink {
   }
 
   // Uniform jitter in [0, jitter]. With allow_reorder=false, release times
-  // are made monotonic so packets cannot overtake each other.
-  void set_jitter(Time jitter, std::function<double()> uniform01,
+  // are made monotonic so packets cannot overtake each other. The sampler
+  // is an InlineFn: a per-packet draw must not heap-allocate.
+  using JitterFn = util::InlineFn<double()>;
+  void set_jitter(Time jitter, JitterFn uniform01,
                   bool allow_reorder = false) {
     assert(fifo_.empty() && pending_.empty() &&
            "set_jitter() with packets in flight");
@@ -115,6 +126,11 @@ class DelayLine : public PacketSink {
 
   Time delay() const { return delay_; }
 
+  // Packets currently traversing the line.
+  std::int64_t packets_resident() const {
+    return static_cast<std::int64_t>(fifo_.size() + pending_.size());
+  }
+
  private:
   void on_release();
 
@@ -122,7 +138,7 @@ class DelayLine : public PacketSink {
   Time delay_;
   PacketSink* dst_;
   Time jitter_ = 0;
-  std::function<double()> uniform01_;
+  JitterFn uniform01_;
   bool allow_reorder_ = false;
   Time last_release_ = 0;
 

@@ -66,6 +66,35 @@ Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
                               cfg.jitter_allows_reorder);
     }
   }
+
+  // Impairment stages fork their streams only when enabled (fork advances
+  // the parent Rng): a disabled config leaves every other stream — and
+  // therefore every result — bit-identical. Stream ids are disjoint from
+  // the jitter ids above.
+  if (cfg.impairment.enabled()) {
+    if (jitter_rng == nullptr) {
+      throw std::invalid_argument("Dumbbell: impairment requires an Rng");
+    }
+    cfg.impairment.validate();
+    ImpairmentConfig fwd = cfg.impairment;
+    fwd.ack_loss_rate = 0;
+    if (fwd.enabled()) {
+      PacketSink* bottleneck_in =
+          traced ? static_cast<PacketSink*>(trace_bottleneck_.get())
+                 : static_cast<PacketSink*>(bottleneck_.get());
+      forward_impair_ = std::make_unique<ImpairmentStage>(
+          sim, fwd, bottleneck_in, jitter_rng->fork(200));
+    }
+    if (cfg.impairment.ack_loss_rate > 0) {
+      ack_impair_.reserve(static_cast<std::size_t>(n_flows));
+      for (int i = 0; i < n_flows; ++i) {
+        ack_impair_.push_back(std::make_unique<ImpairmentStage>(
+            sim, cfg.impairment.ack_path_view(),
+            reverse_[static_cast<std::size_t>(i)].get(),
+            jitter_rng->fork(300 + static_cast<std::uint64_t>(i))));
+      }
+    }
+  }
 }
 
 void Dumbbell::attach_receiver(int flow, PacketSink* receiver) {

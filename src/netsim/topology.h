@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netsim/event.h"
+#include "netsim/impairment.h"
 #include "netsim/link.h"
 #include "netsim/packet.h"
 #include "netsim/tracelink.h"
@@ -44,6 +45,12 @@ struct DumbbellConfig {
   std::vector<Time> trace_opportunities;
   Time trace_period = 0;
   Bytes trace_mtu = 1500;
+  // Optional adversarial impairments. The forward features wrap the
+  // bottleneck ingress (shared by all flows + cross traffic); ack_loss_rate
+  // applies per-flow on the reverse path. A disabled config adds no stages
+  // and consumes no RNG state, so it is bit-identical to the field not
+  // existing at all. Requires a jitter_rng when enabled.
+  ImpairmentConfig impairment;
 };
 
 class Dumbbell {
@@ -51,13 +58,19 @@ class Dumbbell {
   Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
            Rng* jitter_rng = nullptr);
 
-  // Where flow `i`'s sender should inject data packets.
+  // Where flow `i`'s sender should inject data packets (the forward
+  // impairment stage when configured, else the bottleneck itself).
   PacketSink* forward_in() {
+    if (forward_impair_) return forward_impair_.get();
     return trace_bottleneck_ ? static_cast<PacketSink*>(trace_bottleneck_.get())
                              : static_cast<PacketSink*>(bottleneck_.get());
   }
-  // Where flow `i`'s receiver should inject ACKs.
-  PacketSink* reverse_in(int flow) { return reverse_[flow].get(); }
+  // Where flow `i`'s receiver should inject ACKs (the per-flow ACK-loss
+  // stage when configured, else the reverse delay line).
+  PacketSink* reverse_in(int flow) {
+    if (!ack_impair_.empty()) return ack_impair_[flow].get();
+    return reverse_[flow].get();
+  }
 
   // Attach the endpoints. Must be called for every flow before running.
   void attach_receiver(int flow, PacketSink* receiver);
@@ -68,12 +81,20 @@ class Dumbbell {
   const Link& bottleneck() const { return *bottleneck_; }
   TraceLink* trace_bottleneck() { return trace_bottleneck_.get(); }
 
+  // Impairment stage accessors (null/empty when not configured).
+  ImpairmentStage* forward_impairment() { return forward_impair_.get(); }
+  ImpairmentStage* ack_impairment(int flow) {
+    return ack_impair_.empty() ? nullptr : ack_impair_[flow].get();
+  }
+
  private:
   std::unique_ptr<Link> bottleneck_;
   std::unique_ptr<TraceLink> trace_bottleneck_;
+  std::unique_ptr<ImpairmentStage> forward_impair_;
   std::unique_ptr<DelayLine> forward_tail_;  // carries post-bottleneck jitter
   FlowDemux demux_;
   std::vector<std::unique_ptr<DelayLine>> reverse_;
+  std::vector<std::unique_ptr<ImpairmentStage>> ack_impair_;
   FlowDemux reverse_demux_;
 };
 

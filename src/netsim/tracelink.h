@@ -35,6 +35,12 @@ class TraceLink : public PacketSink {
   const LinkStats& stats() const { return stats_; }
   Bytes queued_bytes() const { return queued_bytes_; }
 
+  // Packets queued awaiting a delivery opportunity; see
+  // Link::packets_resident() for the conservation identity.
+  std::int64_t packets_resident() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+
   // Average rate of the trace in bits/sec.
   Rate average_rate() const;
 

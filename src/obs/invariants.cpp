@@ -1,0 +1,256 @@
+#include "obs/invariants.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "transport/sender.h"
+
+namespace quicbench::obs {
+
+bool invariants_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("QB_INVARIANTS");
+    return v == nullptr || v[0] != '0';
+  }();
+  return on;
+}
+
+InvariantChecker::PnState InvariantChecker::state(std::uint64_t pn) const {
+  return pn < pn_state_.size() ? pn_state_[pn] : PnState::kUnknown;
+}
+
+void InvariantChecker::set_state(std::uint64_t pn, PnState s) {
+  if (pn >= pn_state_.size()) {
+    pn_state_.resize(pn + 1, PnState::kUnknown);
+    pn_size_.resize(pn + 1, 0);
+  }
+  pn_state_[pn] = s;
+}
+
+void InvariantChecker::violate(const std::string& msg) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(label_ + ": " + msg);
+  }
+}
+
+void InvariantChecker::note_clock(Time now) {
+  if (now < 0) {
+    violate("negative hook timestamp " + std::to_string(now));
+  }
+  if (now < last_now_) {
+    violate("clock went backwards: " + std::to_string(now) + " after " +
+            std::to_string(last_now_));
+  }
+  last_now_ = now;
+}
+
+void InvariantChecker::on_packet_sent(Time now, std::uint64_t pn, Bytes size,
+                                      bool is_retx, Bytes bytes_in_flight,
+                                      Bytes cwnd) {
+  note_clock(now);
+  ++n_sent_;
+  if (is_retx) ++n_retx_;
+  if (size <= 0) {
+    violate("pn " + std::to_string(pn) + " sent with non-positive size " +
+            std::to_string(size));
+  }
+  if (state(pn) != PnState::kUnknown) {
+    violate("pn " + std::to_string(pn) + " sent twice");
+  }
+  set_state(pn, PnState::kOutstanding);
+  pn_size_[pn] = static_cast<std::uint32_t>(size);
+  in_flight_ += size;
+  if (in_flight_ != bytes_in_flight) {
+    violate("bytes_in_flight mismatch after send of pn " + std::to_string(pn) +
+            ": sender says " + std::to_string(bytes_in_flight) +
+            ", event stream implies " + std::to_string(in_flight_));
+  }
+  // PTO probes and retransmissions may legitimately exceed the window
+  // (RFC 9002 §7.5); a fresh cwnd-gated send must not.
+  if (!is_retx && cwnd > 0 && bytes_in_flight > cwnd) {
+    violate("cwnd bound violated by fresh send of pn " + std::to_string(pn) +
+            ": bytes_in_flight " + std::to_string(bytes_in_flight) + " > cwnd " +
+            std::to_string(cwnd));
+  }
+}
+
+void InvariantChecker::on_packet_acked(Time now, std::uint64_t pn, Bytes size,
+                                       Bytes bytes_in_flight) {
+  note_clock(now);
+  ++n_acked_;
+  if (state(pn) != PnState::kOutstanding) {
+    violate("pn " + std::to_string(pn) +
+            " acked while not outstanding (state " +
+            std::to_string(static_cast<int>(state(pn))) + ")");
+    return;
+  }
+  if (pn < pn_size_.size() &&
+      size != static_cast<Bytes>(pn_size_[pn])) {
+    violate("pn " + std::to_string(pn) + " acked with size " +
+            std::to_string(size) + " but was sent with size " +
+            std::to_string(pn_size_[pn]));
+  }
+  set_state(pn, PnState::kAcked);
+  in_flight_ -= size;
+  if (in_flight_ < 0) {
+    violate("bytes_in_flight went negative after ack of pn " +
+            std::to_string(pn));
+  }
+  if (in_flight_ != bytes_in_flight) {
+    violate("bytes_in_flight mismatch after ack of pn " + std::to_string(pn) +
+            ": sender says " + std::to_string(bytes_in_flight) +
+            ", event stream implies " + std::to_string(in_flight_));
+  }
+}
+
+void InvariantChecker::on_packet_lost(Time now, std::uint64_t pn) {
+  note_clock(now);
+  ++n_lost_;
+  if (state(pn) != PnState::kOutstanding) {
+    violate("pn " + std::to_string(pn) + " declared lost while not "
+            "outstanding (state " +
+            std::to_string(static_cast<int>(state(pn))) + ")");
+    return;
+  }
+  set_state(pn, PnState::kLost);
+  if (pn < pn_size_.size()) {
+    in_flight_ -= static_cast<Bytes>(pn_size_[pn]);
+  }
+  if (in_flight_ < 0) {
+    violate("bytes_in_flight went negative after loss of pn " +
+            std::to_string(pn));
+  }
+}
+
+void InvariantChecker::on_spurious_loss(Time now, std::uint64_t pn) {
+  note_clock(now);
+  ++n_spurious_;
+  if (state(pn) != PnState::kLost) {
+    violate("pn " + std::to_string(pn) + " reported spuriously lost but was "
+            "never declared lost (state " +
+            std::to_string(static_cast<int>(state(pn))) + ")");
+    return;
+  }
+  // The original transmission was acked after all; it does not re-enter
+  // the flight (the sender already removed it on the loss declaration).
+  set_state(pn, PnState::kAcked);
+}
+
+void InvariantChecker::on_rtt_sample(Time now, Time rtt) {
+  note_clock(now);
+  if (rtt <= 0) {
+    violate("non-positive RTT sample " + std::to_string(rtt));
+  } else if (rtt >= time::kInfinite) {
+    violate("non-finite RTT sample");
+  } else if (min_rtt_floor_ > 0 && rtt < min_rtt_floor_) {
+    violate("RTT sample " + std::to_string(rtt) +
+            "ns below propagation floor " + std::to_string(min_rtt_floor_) +
+            "ns — time travel");
+  }
+}
+
+void InvariantChecker::on_cwnd_update(Time now, Bytes cwnd,
+                                      Bytes bytes_in_flight) {
+  note_clock(now);
+  if (cwnd <= 0) {
+    violate("non-positive cwnd " + std::to_string(cwnd));
+  }
+  if (bytes_in_flight < 0) {
+    violate("negative bytes_in_flight " + std::to_string(bytes_in_flight) +
+            " in cwnd update");
+  }
+}
+
+void InvariantChecker::on_pto(Time now, int pto_count) {
+  note_clock(now);
+  ++n_ptos_;
+  if (pto_count < 1) {
+    violate("PTO fired with pto_count " + std::to_string(pto_count));
+  }
+}
+
+void InvariantChecker::final_check(const transport::SenderStats& stats,
+                                   Bytes bytes_in_flight) {
+  if (in_flight_ != bytes_in_flight) {
+    violate("final bytes_in_flight mismatch: sender says " +
+            std::to_string(bytes_in_flight) + ", event stream implies " +
+            std::to_string(in_flight_));
+  }
+  if (n_sent_ != stats.packets_sent) {
+    violate("packets_sent mismatch: stats " +
+            std::to_string(stats.packets_sent) + ", observed " +
+            std::to_string(n_sent_));
+  }
+  if (n_retx_ != stats.retransmissions) {
+    violate("retransmissions mismatch: stats " +
+            std::to_string(stats.retransmissions) + ", observed " +
+            std::to_string(n_retx_));
+  }
+  if (n_spurious_ != stats.spurious_losses) {
+    violate("spurious_losses mismatch: stats " +
+            std::to_string(stats.spurious_losses) + ", observed " +
+            std::to_string(n_spurious_));
+  }
+  if (n_ptos_ != stats.ptos_fired) {
+    violate("ptos_fired mismatch: stats " + std::to_string(stats.ptos_fired) +
+            ", observed " + std::to_string(n_ptos_));
+  }
+  // Persistent congestion marks packets lost via the same callback but
+  // does not count them in losses_detected, so observed >= stats, with
+  // equality when no persistent-congestion event fired.
+  if (n_lost_ < stats.losses_detected) {
+    violate("losses_detected mismatch: stats " +
+            std::to_string(stats.losses_detected) + " > observed " +
+            std::to_string(n_lost_));
+  }
+  if (stats.persistent_congestion_events == 0 &&
+      n_lost_ != stats.losses_detected) {
+    violate("losses_detected mismatch without persistent congestion: stats " +
+            std::to_string(stats.losses_detected) + ", observed " +
+            std::to_string(n_lost_));
+  }
+  // Packet conservation: sent = acked + lost + in-flight, in packets.
+  // Spuriously-lost packets were counted in n_lost_ when declared and moved
+  // to acked later, so they appear exactly once on the right-hand side.
+  std::int64_t outstanding = 0;
+  std::int64_t acked_or_spurious = 0;
+  std::int64_t still_lost = 0;
+  for (PnState s : pn_state_) {
+    switch (s) {
+      case PnState::kOutstanding: ++outstanding; break;
+      case PnState::kAcked: ++acked_or_spurious; break;
+      case PnState::kLost: ++still_lost; break;
+      case PnState::kUnknown: break;
+    }
+  }
+  if (n_sent_ != outstanding + acked_or_spurious + still_lost) {
+    violate("packet conservation broken: sent " + std::to_string(n_sent_) +
+            " != outstanding " + std::to_string(outstanding) + " + acked " +
+            std::to_string(acked_or_spurious) + " + lost " +
+            std::to_string(still_lost));
+  }
+}
+
+void InvariantChecker::check_element_conservation(const std::string& what,
+                                                 std::int64_t packets_in,
+                                                 std::int64_t forwarded,
+                                                 std::int64_t dropped,
+                                                 std::int64_t resident) {
+  if (packets_in != forwarded + dropped + resident) {
+    violate(what + " conservation broken: in " + std::to_string(packets_in) +
+            " != forwarded " + std::to_string(forwarded) + " + dropped " +
+            std::to_string(dropped) + " + resident " +
+            std::to_string(resident));
+  }
+}
+
+void InvariantChecker::throw_if_violated() const {
+  if (violations_.empty()) return;
+  std::ostringstream os;
+  os << "invariant violation(s) [" << label_ << "]:";
+  for (const std::string& v : violations_) os << "\n  - " << v;
+  throw std::logic_error(os.str());
+}
+
+} // namespace quicbench::obs

@@ -1,0 +1,123 @@
+#pragma once
+// Runtime invariant checker: a passive flight-recorder observer that
+// turns every trial — every existing sweep and every new impairment
+// scenario — into a differential correctness probe. It hangs off the
+// sender's observability hooks (packet sent/acked/lost/spurious, RTT
+// samples, cwnd updates) and asserts the transport's accounting
+// identities hold at every step:
+//
+//   * packet conservation: every packet is in exactly one of
+//     {outstanding, acked, lost}, transitions are legal (sent -> acked,
+//     sent -> lost, lost -> acked-as-spurious), and the implied
+//     bytes-in-flight matches the sender's own counter exactly;
+//   * cwnd bound: a non-probe send never leaves bytes_in_flight above
+//     cwnd (probes and retransmissions may — RFC 9002 PTO probes ignore
+//     the window);
+//   * clocks: hook timestamps are non-negative and monotone;
+//   * RTT samples: positive, finite, and never below the configured
+//     propagation floor;
+//   * stats consistency: the sender's SenderStats counters agree with
+//     the callback-observed event counts (retransmissions, spurious
+//     losses, PTOs, and losses up to persistent-congestion marking).
+//
+// The checker only reads; with or without it a trial is bit-identical.
+// Enablement is process-wide via QB_INVARIANTS (default ON; set
+// QB_INVARIANTS=0 to opt out, e.g. for perf microbenchmarks). The
+// harness runs one checker per flow in every trial and throws
+// std::logic_error at trial end when any invariant was violated, so
+// every ctest target exercising the harness gets checking for free.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::transport {
+struct SenderStats;
+}  // namespace quicbench::transport
+
+namespace quicbench::obs {
+
+// Process-wide switch, read once: QB_INVARIANTS unset or != "0" => on.
+bool invariants_enabled();
+
+class InvariantChecker {
+ public:
+  // `label` prefixes violation messages ("flow0" etc.). `min_rtt_floor`
+  // is the smallest plausible RTT sample (the path's propagation RTT);
+  // 0 disables the floor check.
+  explicit InvariantChecker(std::string label, Time min_rtt_floor = 0)
+      : label_(std::move(label)), min_rtt_floor_(min_rtt_floor) {}
+
+  // --- hook feeds (call from the sender's observability callbacks) ---
+  // `bytes_in_flight` and `cwnd` are the sender's values after the send.
+  void on_packet_sent(Time now, std::uint64_t pn, Bytes size, bool is_retx,
+                      Bytes bytes_in_flight, Bytes cwnd);
+  void on_packet_acked(Time now, std::uint64_t pn, Bytes size,
+                       Bytes bytes_in_flight);
+  void on_packet_lost(Time now, std::uint64_t pn);
+  void on_spurious_loss(Time now, std::uint64_t pn);
+  void on_rtt_sample(Time now, Time rtt);
+  void on_cwnd_update(Time now, Bytes cwnd, Bytes bytes_in_flight);
+  void on_pto(Time now, int pto_count);
+
+  // End-of-trial reconciliation against the sender's own counters and
+  // final in-flight value.
+  void final_check(const transport::SenderStats& stats,
+                   Bytes bytes_in_flight);
+
+  // Generic conservation check for network elements:
+  //   packets_in == forwarded + dropped + resident.
+  // `what` names the element in the violation message.
+  void check_element_conservation(const std::string& what,
+                                  std::int64_t packets_in,
+                                  std::int64_t forwarded,
+                                  std::int64_t dropped,
+                                  std::int64_t resident);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  // Throws std::logic_error listing the violations (no-op when ok()).
+  void throw_if_violated() const;
+
+  // Observed event tallies (test hooks).
+  std::int64_t sent() const { return n_sent_; }
+  std::int64_t acked() const { return n_acked_; }
+  std::int64_t lost() const { return n_lost_; }
+  std::int64_t spurious() const { return n_spurious_; }
+
+ private:
+  enum class PnState : std::uint8_t {
+    kUnknown = 0,
+    kOutstanding,
+    kAcked,
+    kLost
+  };
+
+  PnState state(std::uint64_t pn) const;
+  void set_state(std::uint64_t pn, PnState s);
+  void note_clock(Time now);
+  void violate(const std::string& msg);
+
+  std::string label_;
+  Time min_rtt_floor_ = 0;
+  Time last_now_ = 0;
+
+  // Dense per-pn state/size, indexed by pn (senders number from 0).
+  std::vector<PnState> pn_state_;
+  std::vector<std::uint32_t> pn_size_;
+
+  Bytes in_flight_ = 0;  // implied by the event stream
+  std::int64_t n_sent_ = 0;
+  std::int64_t n_acked_ = 0;  // direct acks (spurious tracked separately)
+  std::int64_t n_lost_ = 0;
+  std::int64_t n_spurious_ = 0;
+  std::int64_t n_retx_ = 0;
+  std::int64_t n_ptos_ = 0;
+
+  std::vector<std::string> violations_;
+  static constexpr std::size_t kMaxViolations = 32;
+};
+
+} // namespace quicbench::obs

@@ -114,6 +114,19 @@ void hash_experiment_config(StableHasher& h,
   h.u64(cfg.net.trace_opportunities.size());
   for (const Time t : cfg.net.trace_opportunities) h.i64(t);
   h.i64(cfg.net.trace_period);
+  h.str("impairment");
+  h.f64(cfg.net.impairment.loss_rate);
+  h.f64(cfg.net.impairment.ge_loss_good);
+  h.f64(cfg.net.impairment.ge_loss_bad);
+  h.f64(cfg.net.impairment.ge_p_good_to_bad);
+  h.f64(cfg.net.impairment.ge_p_bad_to_good);
+  h.f64(cfg.net.impairment.reorder_rate);
+  h.i64(cfg.net.impairment.reorder_gap);
+  h.i64(cfg.net.impairment.reorder_flush);
+  h.f64(cfg.net.impairment.duplicate_rate);
+  h.i64(cfg.net.impairment.rtt_step_at);
+  h.i64(cfg.net.impairment.rtt_step_delta);
+  h.f64(cfg.net.impairment.ack_loss_rate);
   h.i64(cfg.duration);
   h.i64(cfg.trials);
   h.u64(cfg.seed);

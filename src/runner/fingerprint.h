@@ -21,7 +21,7 @@ namespace quicbench::runner {
 // Bump whenever simulation semantics, any config default, or the cached
 // PairResult layout changes: a bump invalidates every on-disk cache
 // entry and every manifest comparison across versions.
-inline constexpr std::uint32_t kSchemaVersion = 2;
+inline constexpr std::uint32_t kSchemaVersion = 3;
 
 // Field-by-field feeds, composable into larger keys.
 void hash_implementation(StableHasher& h, const stacks::Implementation& impl);

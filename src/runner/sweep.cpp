@@ -479,7 +479,7 @@ std::string Sweep::write_manifest() const {
   if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
   JsonWriter j;
   j.begin_object();
-  j.kv("schema", "quicbench.sweep.manifest/v2");
+  j.kv("schema", "quicbench.sweep.manifest/v3");
   j.kv("code_schema_version",
        static_cast<std::uint64_t>(kSchemaVersion));
   j.kv("sweep", name_);
@@ -514,6 +514,7 @@ std::string Sweep::write_manifest() const {
     j.kv("a", p->a.display);
     j.kv("b", p->b.display);
     j.kv("network", p->cfg.net.describe());
+    j.kv("impairment", p->cfg.net.impairment.describe());
     j.kv("duration_sec", time::to_sec(p->cfg.duration));
     j.kv("trials", p->cfg.trials);
     j.kv("seed", p->cfg.seed);

@@ -112,6 +112,7 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     }
     m->acked = true;
     bytes_in_flight_ -= m->wire_size;
+    if (acked_cb_) acked_cb_(now, pn, m->wire_size);
     delivered_bytes_ += m->wire_size;
     delivered_time_ = now;
     newly_acked_bytes += m->wire_size;

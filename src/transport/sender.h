@@ -57,6 +57,12 @@ class SenderEndpoint : public netsim::PacketSink {
       std::function<void(Time now, Bytes cwnd, Bytes bytes_in_flight)>;
   using PacketSentCallback = std::function<void(
       Time now, std::uint64_t pn, Bytes size, bool is_retransmission)>;
+  // Fires when a pn leaves the flight via a (non-spurious) ack, after
+  // bytes_in_flight is decremented; spurious acks fire the spurious-loss
+  // callback instead. Together with sent/lost this makes the packet
+  // ledger observable (invariant checker).
+  using PacketAckedCallback =
+      std::function<void(Time now, std::uint64_t pn, Bytes size)>;
   using PacketLostCallback = std::function<void(Time now, std::uint64_t pn)>;
   // Loss-detection / PTO timer lifecycle, for the flight recorder. The
   // `expiry` argument is only meaningful for kSet.
@@ -70,6 +76,9 @@ class SenderEndpoint : public netsim::PacketSink {
   void set_cwnd_callback(CwndCallback cb) { cwnd_cb_ = std::move(cb); }
   void set_packet_sent_callback(PacketSentCallback cb) {
     sent_cb_ = std::move(cb);
+  }
+  void set_packet_acked_callback(PacketAckedCallback cb) {
+    acked_cb_ = std::move(cb);
   }
   void set_packet_lost_callback(PacketLostCallback cb) {
     lost_cb_ = std::move(cb);
@@ -86,6 +95,9 @@ class SenderEndpoint : public netsim::PacketSink {
   Bytes bytes_in_flight() const { return bytes_in_flight_; }
   const RttEstimator& rtt() const { return rtt_; }
   int flow() const { return flow_; }
+  // Current RACK-style packet-reorder threshold (adapts upward on
+  // spurious losses when the profile allows it).
+  int reorder_threshold() const { return reorder_threshold_; }
 
  private:
   struct SentMeta {
@@ -159,6 +171,7 @@ class SenderEndpoint : public netsim::PacketSink {
   RttCallback rtt_cb_;
   CwndCallback cwnd_cb_;
   PacketSentCallback sent_cb_;
+  PacketAckedCallback acked_cb_;
   PacketLostCallback lost_cb_;
   TimerCallback timer_cb_;
   PtoCallback pto_cb_;

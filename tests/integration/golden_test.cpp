@@ -1,0 +1,193 @@
+// Golden-trace regression corpus: one short canonical trial per CCA plus
+// one impaired variant each, with event-count and final-stats snapshots
+// compared against committed fixtures in tests/golden/. The simulation is
+// integer-time and fully seeded, so every snapshot integer is bit-stable
+// across platforms; any diff means behaviour actually changed.
+//
+// Regenerating fixtures after an INTENDED behaviour change:
+//
+//   QB_REGEN_GOLDEN=1 ./test_golden   (or ctest -R Golden)
+//
+// then inspect `git diff tests/golden/` and commit the new fixtures with
+// an explanation of why behaviour moved. On mismatch the observed
+// snapshot is written to ./golden_diff/<scenario>.json (relative to the
+// test's working directory) so CI can upload it for triage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "stacks/registry.h"
+#include "util/json.h"
+
+namespace quicbench {
+namespace {
+
+struct Scenario {
+  std::string name;
+  stacks::CcaType cca;
+  bool impaired;
+};
+
+harness::ExperimentConfig golden_config(bool impaired) {
+  harness::ExperimentConfig cfg;  // paper-default dumbbell
+  cfg.duration = time::sec(2);
+  cfg.trials = 1;
+  cfg.seed = 7;
+  if (impaired) {
+    netsim::ImpairmentConfig& imp = cfg.net.impairment;
+    imp.loss_rate = 0.02;
+    imp.reorder_rate = 0.01;
+    imp.reorder_gap = 3;
+    imp.duplicate_rate = 0.005;
+    imp.ack_loss_rate = 0.01;
+    imp.rtt_step_at = time::sec(1);
+    imp.rtt_step_delta = time::ms(20);
+  }
+  return cfg;
+}
+
+std::string snapshot_json(const harness::TrialResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "quicbench.golden/v1");
+  w.key("flows");
+  w.begin_array();
+  for (const auto& f : r.flow) {
+    const auto& s = f.sender_stats;
+    w.begin_object();
+    w.kv("packets_sent", s.packets_sent);
+    w.kv("retransmissions", s.retransmissions);
+    w.kv("losses_detected", s.losses_detected);
+    w.kv("spurious_losses", s.spurious_losses);
+    w.kv("ptos_fired", s.ptos_fired);
+    w.kv("avg_throughput_mbps", rate::to_mbps(f.avg_throughput));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("bottleneck");
+  w.begin_object();
+  w.kv("packets_in", r.bottleneck.packets_in);
+  w.kv("packets_out", r.bottleneck.packets_out);
+  w.kv("drops", r.bottleneck.drops);
+  w.end_object();
+  w.kv("sim_events", r.sim_events);
+  w.end_object();
+  return w.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(QB_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void compare_number(const JsonValue& want, const JsonValue& got,
+                    const std::string& where) {
+  ASSERT_TRUE(want.is_number() && got.is_number()) << where;
+  if (where.find("throughput") != std::string::npos) {
+    // Doubles: same arithmetic on every platform, but allow last-ulp
+    // wiggle from round-tripping through the fixture text.
+    EXPECT_NEAR(got.number, want.number,
+                1e-9 * std::max(1.0, std::abs(want.number)))
+        << where;
+  } else {
+    // Event counts and stats are integers: exact or it's a regression.
+    EXPECT_EQ(got.number, want.number) << where;
+  }
+}
+
+void compare_json(const JsonValue& want, const JsonValue& got,
+                  const std::string& where) {
+  ASSERT_EQ(static_cast<int>(want.type), static_cast<int>(got.type)) << where;
+  switch (want.type) {
+    case JsonValue::Type::kNumber:
+      compare_number(want, got, where);
+      break;
+    case JsonValue::Type::kString:
+      EXPECT_EQ(got.string, want.string) << where;
+      break;
+    case JsonValue::Type::kArray:
+      ASSERT_EQ(got.array.size(), want.array.size()) << where;
+      for (std::size_t i = 0; i < want.array.size(); ++i) {
+        compare_json(want.array[i], got.array[i],
+                     where + "[" + std::to_string(i) + "]");
+      }
+      break;
+    case JsonValue::Type::kObject:
+      ASSERT_EQ(got.object.size(), want.object.size()) << where;
+      for (std::size_t i = 0; i < want.object.size(); ++i) {
+        EXPECT_EQ(got.object[i].first, want.object[i].first) << where;
+        compare_json(want.object[i].second, got.object[i].second,
+                     where + "." + want.object[i].first);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void run_scenario(const Scenario& sc) {
+  const auto& ref = stacks::Registry::instance().reference(sc.cca);
+  const harness::ExperimentConfig cfg = golden_config(sc.impaired);
+  const harness::TrialResult r = harness::run_trial(ref, ref, cfg, 0);
+  const std::string observed = snapshot_json(r);
+
+  if (std::getenv("QB_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(fixture_path(sc.name));
+    ASSERT_TRUE(out.good()) << "cannot write " << fixture_path(sc.name);
+    out << observed << '\n';
+    GTEST_SKIP() << "regenerated " << fixture_path(sc.name);
+  }
+
+  std::ifstream in(fixture_path(sc.name));
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << fixture_path(sc.name)
+      << " — run with QB_REGEN_GOLDEN=1 and commit tests/golden/";
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto want = json_parse(buf.str(), &err);
+  ASSERT_TRUE(want.has_value()) << "bad fixture: " << err;
+  const auto got = json_parse(observed, &err);
+  ASSERT_TRUE(got.has_value()) << err;
+
+  compare_json(*want, *got, sc.name);
+  if (::testing::Test::HasFailure()) {
+    // Leave the observed snapshot where CI can pick it up.
+    std::filesystem::create_directories("golden_diff");
+    std::ofstream diff("golden_diff/" + sc.name + ".json");
+    diff << observed << '\n';
+    ADD_FAILURE() << "golden mismatch for " << sc.name
+                  << "; observed snapshot written to golden_diff/" << sc.name
+                  << ".json (regen: QB_REGEN_GOLDEN=1)";
+  }
+}
+
+TEST(GoldenTrace, RenoCanonical) {
+  run_scenario({"reno_canonical", stacks::CcaType::kReno, false});
+}
+TEST(GoldenTrace, CubicCanonical) {
+  run_scenario({"cubic_canonical", stacks::CcaType::kCubic, false});
+}
+TEST(GoldenTrace, BbrCanonical) {
+  run_scenario({"bbr_canonical", stacks::CcaType::kBbr, false});
+}
+TEST(GoldenTrace, RenoImpaired) {
+  run_scenario({"reno_impaired", stacks::CcaType::kReno, true});
+}
+TEST(GoldenTrace, CubicImpaired) {
+  run_scenario({"cubic_impaired", stacks::CcaType::kCubic, true});
+}
+TEST(GoldenTrace, BbrImpaired) {
+  run_scenario({"bbr_impaired", stacks::CcaType::kBbr, true});
+}
+
+} // namespace
+} // namespace quicbench

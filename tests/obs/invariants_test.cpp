@@ -1,0 +1,227 @@
+// Unit tests for the runtime invariant checker, feeding the hooks by
+// hand: a legal event stream passes every check, each illegal transition
+// or accounting mismatch is flagged, and throw_if_violated() reports
+// them as std::logic_error. (Integration coverage — the checker wired
+// into real trials — comes free with every harness test.)
+
+#include <gtest/gtest.h>
+
+#include "obs/invariants.h"
+#include "transport/sender.h"
+
+namespace quicbench::obs {
+namespace {
+
+using transport::SenderStats;
+
+// A legal three-packet story: 0 acked, 1 lost then retransmitted as 2,
+// then 1's ack arrives late (spurious). Flight drains to zero.
+void feed_clean_story(InvariantChecker& c) {
+  c.on_packet_sent(time::ms(1), 0, 1500, false, 1500, 15000);
+  c.on_packet_sent(time::ms(1), 1, 1500, false, 3000, 15000);
+  c.on_rtt_sample(time::ms(11), time::ms(10));
+  c.on_packet_acked(time::ms(11), 0, 1500, 1500);
+  c.on_packet_lost(time::ms(20), 1);
+  c.on_packet_sent(time::ms(20), 2, 1500, true, 1500, 15000);
+  c.on_cwnd_update(time::ms(20), 9000, 1500);
+  c.on_spurious_loss(time::ms(25), 1);
+  c.on_packet_acked(time::ms(30), 2, 1500, 0);
+}
+
+SenderStats clean_story_stats() {
+  SenderStats s;
+  s.packets_sent = 3;
+  s.retransmissions = 1;
+  s.losses_detected = 1;
+  s.spurious_losses = 1;
+  return s;
+}
+
+TEST(InvariantChecker, CleanStoryPasses) {
+  InvariantChecker c("t", time::ms(5));
+  feed_clean_story(c);
+  c.final_check(clean_story_stats(), 0);
+  EXPECT_TRUE(c.ok()) << c.violations().front();
+  EXPECT_NO_THROW(c.throw_if_violated());
+  EXPECT_EQ(c.sent(), 3);
+  EXPECT_EQ(c.acked(), 2);
+  EXPECT_EQ(c.lost(), 1);
+  EXPECT_EQ(c.spurious(), 1);
+}
+
+TEST(InvariantChecker, ThrowListsViolations) {
+  InvariantChecker c("flowX");
+  c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+  c.on_packet_sent(0, 0, 1500, false, 3000, 15000);  // pn 0 sent twice
+  EXPECT_FALSE(c.ok());
+  EXPECT_THROW(c.throw_if_violated(), std::logic_error);
+  try {
+    c.throw_if_violated();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("flowX"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sent twice"), std::string::npos);
+  }
+}
+
+TEST(InvariantChecker, AckOfUnknownPacketFlagged) {
+  InvariantChecker c("t");
+  c.on_packet_acked(time::ms(1), 7, 1500, 0);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, DoubleAckFlagged) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+  c.on_packet_acked(time::ms(1), 0, 1500, 0);
+  c.on_packet_acked(time::ms(2), 0, 1500, 0);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, AckSizeMismatchFlagged) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+  c.on_packet_acked(time::ms(1), 0, 999, 501);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, FlightMismatchOnSendFlagged) {
+  InvariantChecker c("t");
+  // Sender claims 9999 in flight after a lone 1500-byte send.
+  c.on_packet_sent(0, 0, 1500, false, 9999, 15000);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, CwndBoundViolatedByFreshSend) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 3000, false, 3000, 1500);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, CwndBoundExemptsRetransmissions) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 3000, true, 3000, 1500);  // PTO probe over cwnd
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(InvariantChecker, LostWhileNotOutstandingFlagged) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+  c.on_packet_acked(time::ms(1), 0, 1500, 0);
+  c.on_packet_lost(time::ms(2), 0);  // already acked
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, SpuriousWithoutPriorLossFlagged) {
+  InvariantChecker c("t");
+  c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+  c.on_spurious_loss(time::ms(1), 0);  // never declared lost
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, ClockGoingBackwardsFlagged) {
+  InvariantChecker c("t");
+  c.on_rtt_sample(time::ms(10), time::ms(5));
+  c.on_rtt_sample(time::ms(9), time::ms(5));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, RttSampleChecks) {
+  {
+    InvariantChecker c("t");
+    c.on_rtt_sample(time::ms(1), 0);  // non-positive
+    EXPECT_FALSE(c.ok());
+  }
+  {
+    InvariantChecker c("t");
+    c.on_rtt_sample(time::ms(1), time::kInfinite);  // non-finite
+    EXPECT_FALSE(c.ok());
+  }
+  {
+    InvariantChecker c("t", time::ms(10));
+    c.on_rtt_sample(time::ms(1), time::ms(2));  // below propagation floor
+    EXPECT_FALSE(c.ok());
+    EXPECT_NE(c.violations().front().find("time travel"), std::string::npos);
+  }
+}
+
+TEST(InvariantChecker, NonPositiveCwndFlagged) {
+  InvariantChecker c("t");
+  c.on_cwnd_update(time::ms(1), 0, 0);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, PtoCountMustBePositive) {
+  InvariantChecker c("t");
+  c.on_pto(time::ms(1), 0);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, FinalStatsMismatchFlagged) {
+  InvariantChecker c("t");
+  feed_clean_story(c);
+  SenderStats s = clean_story_stats();
+  s.retransmissions = 0;  // sender under-reports
+  c.final_check(s, 0);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, FinalFlightMismatchFlagged) {
+  InvariantChecker c("t");
+  feed_clean_story(c);
+  c.final_check(clean_story_stats(), 1500);  // stream implies 0
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, LossCountSlackOnlyUnderPersistentCongestion) {
+  // Persistent congestion marks packets via the lost callback without
+  // counting them in losses_detected: observed > stats is legal then,
+  // and illegal otherwise.
+  {
+    InvariantChecker c("t");
+    c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+    c.on_packet_lost(time::ms(1), 0);
+    SenderStats s;
+    s.packets_sent = 1;
+    s.losses_detected = 0;
+    s.persistent_congestion_events = 1;
+    c.final_check(s, 0);
+    EXPECT_TRUE(c.ok()) << c.violations().front();
+  }
+  {
+    InvariantChecker c("t");
+    c.on_packet_sent(0, 0, 1500, false, 1500, 15000);
+    c.on_packet_lost(time::ms(1), 0);
+    SenderStats s;
+    s.packets_sent = 1;
+    s.losses_detected = 0;  // no persistent congestion to excuse the gap
+    c.final_check(s, 0);
+    EXPECT_FALSE(c.ok());
+  }
+}
+
+TEST(InvariantChecker, ElementConservation) {
+  InvariantChecker c("t");
+  c.check_element_conservation("link", 100, 90, 8, 2);
+  EXPECT_TRUE(c.ok());
+  c.check_element_conservation("link", 100, 90, 8, 1);  // one packet vanished
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations().front().find("link"), std::string::npos);
+}
+
+TEST(InvariantChecker, ViolationListIsBounded) {
+  InvariantChecker c("t");
+  for (int i = 0; i < 100; ++i) {
+    c.on_packet_acked(time::ms(1), static_cast<std::uint64_t>(i), 1500, 0);
+  }
+  EXPECT_FALSE(c.ok());
+  EXPECT_LE(c.violations().size(), 32u);
+}
+
+TEST(InvariantsEnabled, DefaultsOn) {
+  // The test environment does not set QB_INVARIANTS; the cached read
+  // must default to enabled.
+  EXPECT_TRUE(invariants_enabled());
+}
+
+} // namespace
+} // namespace quicbench::obs

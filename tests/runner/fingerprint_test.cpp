@@ -92,6 +92,18 @@ TEST(Fingerprint, EveryExperimentConfigFieldPerturbs) {
     v.net.trace_opportunities = {time::ms(1), time::ms(3)};
     v.net.trace_period = time::ms(3);
   });
+  vary([](auto& v) { v.net.impairment.loss_rate = 0.01; });
+  vary([](auto& v) { v.net.impairment.ge_loss_good = 0.001; });
+  vary([](auto& v) { v.net.impairment.ge_loss_bad = 0.6; });
+  vary([](auto& v) { v.net.impairment.ge_p_good_to_bad = 0.02; });
+  vary([](auto& v) { v.net.impairment.ge_p_bad_to_good = 0.2; });
+  vary([](auto& v) { v.net.impairment.reorder_rate = 0.01; });
+  vary([](auto& v) { v.net.impairment.reorder_gap = 5; });
+  vary([](auto& v) { v.net.impairment.reorder_flush = time::ms(75); });
+  vary([](auto& v) { v.net.impairment.duplicate_rate = 0.01; });
+  vary([](auto& v) { v.net.impairment.rtt_step_at = time::sec(1); });
+  vary([](auto& v) { v.net.impairment.rtt_step_delta = time::ms(20); });
+  vary([](auto& v) { v.net.impairment.ack_loss_rate = 0.01; });
   vary([](auto& v) { v.duration = time::sec(11); });
   vary([](auto& v) { v.trials = 3; });
   vary([](auto& v) { v.seed = 43; });

@@ -138,6 +138,47 @@ TEST(Sweep, WarmCacheRunPerformsNoSimulations) {
             warm.conformance_result(warm_id).conformance);
 }
 
+TEST(Sweep, ImpairedPairCachesAndReproduces) {
+  // An impaired trial with a fixed seed is as cacheable as a clean one:
+  // the second run is served entirely from cache and reproduces the
+  // first bit for bit, and the manifest records the impairment string
+  // under the same fingerprint.
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  auto cfg = quick_cfg();
+  cfg.net.impairment.loss_rate = 0.02;
+  cfg.net.impairment.reorder_rate = 0.01;
+  cfg.net.impairment.ack_loss_rate = 0.01;
+
+  SweepOptions opts;
+  opts.cache_dir = temp_dir("impaired_cache");
+  opts.manifest_dir = temp_dir("impaired_manifests");
+
+  Sweep cold("imp_cold", opts);
+  const auto cold_id = cold.add_pair(ref, ref, cfg);
+  cold.run();
+  EXPECT_GT(cold.stats().simulations_executed, 0);
+  EXPECT_EQ(cold.stats().cache_hits, 0);
+
+  Sweep warm("imp_warm", opts);
+  const auto warm_id = warm.add_pair(ref, ref, cfg);
+  warm.run();
+  EXPECT_EQ(warm.stats().simulations_executed, 0);
+  EXPECT_EQ(warm.stats().cache_hits, 1);
+
+  expect_bit_identical(cold.pair_result(cold_id), warm.pair_result(warm_id));
+  // The impairments bit: both flows saw losses the clean dumbbell
+  // (buffer_bdp=1, no impairment) would not produce in 3 s of self-play.
+  EXPECT_GT(cold.pair_result(cold_id).diagnostics.flow[0].retx_rate, 0.0);
+
+  std::ifstream f(warm.write_manifest());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"impairment\": \"loss=2% reorder=1%/3 "
+                          "ack_loss=1%\""),
+            std::string::npos);
+  EXPECT_NE(ss.str().find("\"cached\": true"), std::string::npos);
+}
+
 TEST(Sweep, RejectsInvalidConfigAtAdd) {
   const auto& ref = Registry::instance().reference(CcaType::kCubic);
   Sweep sweep("invalid", no_cache_opts());
@@ -174,8 +215,9 @@ TEST(Sweep, ManifestReportsSchemaAndCounts) {
   std::stringstream ss;
   ss << f.rdbuf();
   const std::string body = ss.str();
-  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v2\""),
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v3\""),
             std::string::npos);
+  EXPECT_NE(body.find("\"impairment\": \"none\""), std::string::npos);
   EXPECT_NE(body.find("\"simulations_executed\": 2"), std::string::npos);
   EXPECT_NE(body.find("\"fingerprint\""), std::string::npos);
   EXPECT_NE(body.find("\"cache\""), std::string::npos);

@@ -1,0 +1,182 @@
+// Reorder-threshold adaptation and the spurious-loss undo path. A
+// spurious loss (late ack of a packet already declared lost) widens the
+// sender's packet reorder threshold RACK-style, up to the profile cap;
+// with rollback enabled CUBIC undoes the matching backoff. Hand-driven
+// network as in loss_test.cpp so acks land exactly where we want them.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "cca/cubic.h"
+#include "netsim/event.h"
+#include "transport/sender.h"
+
+namespace quicbench::transport {
+namespace {
+
+using netsim::Packet;
+using netsim::PacketKind;
+using netsim::Simulator;
+
+class ReorderNet : public netsim::PacketSink {
+ public:
+  void deliver(Packet p) override { sent.push_back(std::move(p)); }
+  std::deque<Packet> sent;
+};
+
+struct ReorderFixture {
+  Simulator sim;
+  ReorderNet net;
+  cca::Cubic* cubic = nullptr;  // owned by sender
+  std::unique_ptr<SenderEndpoint> sender;
+
+  explicit ReorderFixture(SenderProfile profile = kernel_tcp_profile().sender,
+                          cca::CubicConfig ccfg = {}) {
+    ccfg.mss = profile.mss;
+    auto cc = std::make_unique<cca::Cubic>(ccfg);
+    cubic = cc.get();
+    sender = std::make_unique<SenderEndpoint>(sim, 0, profile, std::move(cc),
+                                              &net, Rng(2));
+    sender->start(0);
+    sim.run_until(time::ms(1));
+  }
+
+  void ack_ranges(std::initializer_list<std::pair<std::uint64_t, std::uint64_t>>
+                      ranges) {
+    Packet ack;
+    ack.kind = PacketKind::kAck;
+    ack.flow = 0;
+    ack.size = 80;
+    int n = 0;
+    std::uint64_t largest = 0;
+    for (const auto& [first, last] : ranges) {
+      ack.ranges[static_cast<std::size_t>(n++)] = {first, last};
+      largest = std::max(largest, last);
+    }
+    ack.n_ranges = n;
+    ack.largest_acked = largest;
+    sender->deliver(ack);
+  }
+
+  void advance(Time dt) { sim.run_until(sim.now() + dt); }
+
+  // One reorder episode: pn 2 declared lost by packet threshold, then its
+  // ack arrives late => one spurious loss.
+  void spurious_episode() {
+    advance(time::ms(10));
+    ack_ranges({{0, 1}, {3, 6}});
+    advance(time::ms(5));
+    ack_ranges({{0, 6}});
+  }
+};
+
+TEST(ReorderThreshold, StartsAtProfileValue) {
+  ReorderFixture f;
+  EXPECT_EQ(f.sender->reorder_threshold(), 3);
+}
+
+TEST(ReorderThreshold, WidensByOnePerSpuriousLoss) {
+  ReorderFixture f;
+  f.spurious_episode();
+  ASSERT_EQ(f.sender->stats().spurious_losses, 1);
+  EXPECT_EQ(f.sender->reorder_threshold(), 4);
+}
+
+TEST(ReorderThreshold, CapsAtProfileMaximum) {
+  SenderProfile p = kernel_tcp_profile().sender;
+  p.max_packet_reorder_threshold = 4;
+  ReorderFixture f(p);
+  f.spurious_episode();
+  EXPECT_EQ(f.sender->reorder_threshold(), 4);
+
+  // Second episode on fresher packet numbers: pn 11 trails largest 15 by
+  // the adapted threshold 4 => lost, then acked late => spurious again.
+  f.advance(time::ms(2));
+  ASSERT_GE(f.net.sent.back().pn, 15u);
+  f.ack_ranges({{0, 10}, {12, 15}});
+  f.advance(time::ms(2));
+  f.ack_ranges({{0, 15}});
+  ASSERT_EQ(f.sender->stats().spurious_losses, 2);
+  EXPECT_EQ(f.sender->reorder_threshold(), 4) << "must not exceed the cap";
+}
+
+TEST(ReorderThreshold, FixedWhenAdaptationDisabled) {
+  SenderProfile p = kernel_tcp_profile().sender;
+  p.adapt_reorder_threshold = false;
+  ReorderFixture f(p);
+  f.spurious_episode();
+  ASSERT_EQ(f.sender->stats().spurious_losses, 1);
+  EXPECT_EQ(f.sender->reorder_threshold(), 3);
+}
+
+TEST(ReorderThreshold, WiderProfileThresholdSuppressesLoss) {
+  // Gap of exactly 3 behind the largest acked: lost at threshold 3,
+  // tolerated at threshold 4 (same timing, so the time threshold is out
+  // of the picture — see loss_test GapWithinThresholdNotLostYet).
+  ReorderFixture tight;
+  tight.advance(time::ms(10));
+  tight.ack_ranges({{0, 1}, {3, 5}});
+  EXPECT_EQ(tight.sender->stats().losses_detected, 1);
+
+  SenderProfile wide_p = kernel_tcp_profile().sender;
+  wide_p.packet_reorder_threshold = 4;
+  ReorderFixture wide(wide_p);
+  wide.advance(time::ms(10));
+  wide.ack_ranges({{0, 1}, {3, 5}});
+  EXPECT_EQ(wide.sender->stats().losses_detected, 0);
+}
+
+TEST(ReorderThreshold, AdaptedThresholdSuppressesNextLoss) {
+  ReorderFixture f;
+  f.spurious_episode();  // threshold now 4
+  ASSERT_EQ(f.sender->reorder_threshold(), 4);
+  const auto losses = f.sender->stats().losses_detected;
+
+  // New gap at exactly the old threshold distance: pn 10 vs largest 13.
+  f.advance(time::ms(2));
+  ASSERT_GE(f.net.sent.back().pn, 13u);
+  f.ack_ranges({{0, 9}, {11, 13}});
+  EXPECT_EQ(f.sender->stats().losses_detected, losses)
+      << "gap of 3 must be tolerated after widening to 4";
+
+  // One packet further and the adapted threshold trips.
+  f.ack_ranges({{0, 9}, {11, 14}});
+  EXPECT_EQ(f.sender->stats().losses_detected, losses + 1);
+}
+
+TEST(SpuriousUndo, CubicRollsBackReductionWhenEnabled) {
+  cca::CubicConfig ccfg;
+  ccfg.spurious_loss_rollback = true;
+  ReorderFixture f(kernel_tcp_profile().sender, ccfg);
+  f.advance(time::ms(10));
+  f.ack_ranges({{0, 1}, {3, 6}});  // acks grow cwnd, then pn 2 backoff
+  ASSERT_EQ(f.sender->stats().losses_detected, 1);
+  const Bytes reduced = f.cubic->cwnd();
+  const Bytes reduced_ssthresh = f.cubic->ssthresh();
+
+  f.advance(time::ms(5));
+  f.ack_ranges({{0, 6}});  // late ack: spurious, undo the backoff
+  ASSERT_EQ(f.sender->stats().spurious_losses, 1);
+  EXPECT_GT(f.cubic->cwnd(), reduced);
+  EXPECT_GT(f.cubic->ssthresh(), reduced_ssthresh);
+}
+
+TEST(SpuriousUndo, ReductionSticksWhenDisabled) {
+  cca::CubicConfig ccfg;
+  ccfg.spurious_loss_rollback = false;  // kernel default
+  ReorderFixture f(kernel_tcp_profile().sender, ccfg);
+  f.advance(time::ms(10));
+  f.ack_ranges({{0, 1}, {3, 6}});
+  ASSERT_EQ(f.sender->stats().losses_detected, 1);
+  const Bytes reduced = f.cubic->cwnd();
+
+  f.advance(time::ms(5));
+  f.ack_ranges({{0, 6}});
+  ASSERT_EQ(f.sender->stats().spurious_losses, 1);
+  EXPECT_EQ(f.cubic->cwnd(), reduced);
+}
+
+} // namespace
+} // namespace quicbench::transport

@@ -12,7 +12,11 @@
 #include <new>
 
 #include "netsim/event.h"
+#include "netsim/link.h"
+#include "netsim/packet.h"
 #include "util/inline_fn.h"
+#include "util/rng.h"
+#include "util/units.h"
 
 namespace {
 std::atomic<long> g_news{0};
@@ -113,6 +117,54 @@ TEST(InlineFn, EmptyAndResetBehaviour) {
 TEST(InlineFn, ReturnsValuesAndTakesArguments) {
   InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
   EXPECT_EQ(add(2, 3), 5);
+}
+
+// The network-element callbacks migrated from std::function must keep
+// the same guarantee: installing a small-capture drop callback / jitter
+// sampler allocates nothing, and neither does invoking them per packet.
+TEST(InlineFn, LinkAndDelayLineCallbacksAreAllocationFree) {
+  netsim::Simulator sim;
+
+  struct CountSink : netsim::PacketSink {
+    long delivered = 0;
+    void deliver(netsim::Packet) override { ++delivered; }
+  };
+  CountSink sink;
+  // Tiny buffer so the burst below overflows and drops fire.
+  netsim::Link link(sim, rate::mbps(10), time::ms(1), 3000, &sink);
+  netsim::DelayLine line(sim, time::ms(1), &sink);
+
+  long drops_seen = 0;
+  Rng rng(5);
+  const long before = allocs();
+  link.set_drop_callback([&drops_seen](const netsim::Packet&) {
+    ++drops_seen;
+  });
+  line.set_jitter(time::us(100), [&rng] { return rng.uniform(); });
+  EXPECT_EQ(allocs(), before) << "installing the callbacks allocated";
+
+  netsim::Packet p;
+  p.kind = netsim::PacketKind::kData;
+  p.flow = 0;
+  p.size = 1500;
+  for (int i = 0; i < 64; ++i) {
+    link.deliver(p);
+    line.deliver(p);
+  }
+  sim.run_until(time::sec(1));
+  EXPECT_GT(drops_seen, 0);
+  EXPECT_GT(sink.delivered, 0L);
+  EXPECT_EQ(link.stats().packets_dropped, drops_seen);
+
+  // Steady state: with queues and timers warmed, a second identical burst
+  // (per-packet drop callbacks and jitter draws included) is allocation-free.
+  const long warmed = allocs();
+  for (int i = 0; i < 64; ++i) {
+    link.deliver(p);
+    line.deliver(p);
+  }
+  sim.run_until(time::sec(2));
+  EXPECT_EQ(allocs(), warmed);
 }
 
 // The headline guarantee: after warm-up, a simulator dispatching
