@@ -16,59 +16,24 @@
 // Output: a human-readable table on stdout and
 // bench_out/BENCH_engine.json (schema quicbench.bench.engine/v1).
 
-#include <chrono>
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "harness/experiment.h"
 #include "netsim/event.h"
 #include "runner/env.h"
 #include "stacks/registry.h"
-#include "util/json.h"
 #include "util/units.h"
 
 namespace quicbench {
 namespace {
 
-struct BenchResult {
-  std::string name;
-  std::uint64_t events = 0;  // deterministic work metric
-  double wall_sec = 0;
-  double events_per_sec = 0;
-};
-
-// Best-of-`reps` timing: the short raw-engine probes are noisy on a
-// busy machine, so take the fastest repetition. Every repetition must
-// produce the same event count (in-process determinism check).
-template <typename Fn>
-BenchResult timed(const std::string& name, Fn&& body, int reps = 1) {
-  BenchResult r;
-  r.name = name;
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t events = body();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(t1 - t0).count();
-    if (i == 0) {
-      r.events = events;
-      r.wall_sec = wall;
-    } else if (events != r.events) {
-      std::cerr << "FATAL: " << name << " nondeterministic event count ("
-                << events << " vs " << r.events << ")\n";
-      std::exit(1);
-    } else if (wall < r.wall_sec) {
-      r.wall_sec = wall;
-    }
-  }
-  r.events_per_sec =
-      r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0;
-  return r;
-}
+using benchutil::BenchResult;
+using benchutil::timed;
 
 // Four self-rescheduling schedule_in chains at co-prime periods: the
 // pure schedule+fire cycle (slot reuse, wheel insert, bucket
@@ -165,31 +130,13 @@ BenchResult run_canonical_trial(const std::string& name,
   harness::ExperimentConfig cfg = runner::default_config(1.0);
   cfg.duration = time::sec(120);
   cfg.trials = 1;
-  return timed(name, [&] {
-    const harness::TrialResult r = harness::run_trial(ref, ref, cfg, 0);
-    return r.sim_events;
-  });
-}
-
-void write_json(const std::vector<BenchResult>& results,
-                const std::string& path) {
-  JsonWriter w;
-  w.begin_object();
-  w.kv("schema", "quicbench.bench.engine/v1");
-  w.key("benchmarks");
-  w.begin_array();
-  for (const auto& r : results) {
-    w.begin_object();
-    w.kv("name", r.name);
-    w.kv("events", static_cast<std::uint64_t>(r.events));
-    w.kv("wall_sec", r.wall_sec);
-    w.kv("events_per_sec", r.events_per_sec);
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-  std::ofstream out(path);
-  out << w.str() << '\n';
+  return timed(
+      name,
+      [&] {
+        const harness::TrialResult r = harness::run_trial(ref, ref, cfg, 0);
+        return r.sim_events;
+      },
+      3);
 }
 
 } // namespace
@@ -213,21 +160,10 @@ int main() {
       run_canonical_trial("trial_cubic", stacks::CcaType::kCubic));
   results.push_back(run_canonical_trial("trial_bbr", stacks::CcaType::kBbr));
 
-  std::cout << "Event-engine microbenchmarks\n\n";
-  std::cout << std::left << std::setw(26) << "benchmark" << std::right
-            << std::setw(12) << "events" << std::setw(12) << "wall_s"
-            << std::setw(16) << "events/sec" << '\n';
-  for (const auto& r : results) {
-    std::cout << std::left << std::setw(26) << r.name << std::right
-              << std::setw(12) << r.events << std::setw(12) << std::fixed
-              << std::setprecision(3) << r.wall_sec << std::setw(16)
-              << std::setprecision(0) << r.events_per_sec << '\n';
-    std::cout.unsetf(std::ios::fixed);
-    std::cout << std::setprecision(6);
-  }
+  benchutil::print_table("Event-engine microbenchmarks", results);
 
   const std::string path = runner::out_dir() + "/BENCH_engine.json";
-  write_json(results, path);
+  benchutil::write_json(results, "quicbench.bench.engine/v1", path);
   std::cout << "\nJSON: " << path << "\n";
   return 0;
 }

@@ -1,0 +1,171 @@
+// Analysis-path microbenchmarks: the evaluation pipeline that turns
+// per-trial (delay, throughput) point clouds into Performance Envelopes
+// and conformance scores, isolated from the simulator. Probes:
+//
+//   eval_kmeans       k-means (kmeans++ seeding, restarts, Lloyd with
+//                     the x-axis early-exit) on a pooled gaussian-blob
+//                     cloud — the inner loop of PE construction;
+//   eval_build_pe     the full PE pipeline (IOU curve, k selection,
+//                     per-trial clustering, cluster matching, quorum
+//                     intersection) over synthetic trials;
+//   eval_conformance  conformance::evaluate — two PEs, point-in-convex
+//                     scans via PreparedConvex and the translation
+//                     search.
+//
+// The work metric folds llround() of the floating-point outputs
+// (inertia, IOU, conformance scaled to nanounits) with integer shape
+// counts, so the determinism gate in check_perf.py catches any change
+// to FP evaluation order, not just control flow.
+//
+// Output: a table on stdout and bench_out/BENCH_eval.json
+// (schema quicbench.bench.eval/v1).
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/kmeans.h"
+#include "conformance/conformance.h"
+#include "conformance/pe.h"
+#include "geom/geom.h"
+#include "runner/env.h"
+#include "util/rng.h"
+
+namespace quicbench {
+namespace {
+
+using benchutil::BenchResult;
+using benchutil::timed;
+using conformance::TrialPoints;
+using geom::Point;
+
+// Gaussian-blob trial cloud shaped like real trace scatter: a dominant
+// steady-state cluster plus smaller phase clusters, axes in the natural
+// units (ms, Mbps) so the Normalizer path is exercised.
+TrialPoints make_trial(Rng& rng, int points, double delay_shift,
+                       double tput_shift) {
+  struct Blob {
+    double cx, cy, sx, sy, share;
+  };
+  static constexpr Blob kBlobs[] = {
+      {22.0, 17.5, 2.0, 1.2, 0.72},   // steady state
+      {34.0, 9.0, 3.0, 1.8, 0.20},    // post-loss recovery
+      {12.0, 3.5, 1.0, 0.8, 0.08},    // startup / drain
+  };
+  TrialPoints out;
+  out.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    const double u = rng.uniform();
+    const Blob* b = &kBlobs[2];
+    if (u < kBlobs[0].share) {
+      b = &kBlobs[0];
+    } else if (u < kBlobs[0].share + kBlobs[1].share) {
+      b = &kBlobs[1];
+    }
+    out.push_back({rng.normal(b->cx + delay_shift, b->sx),
+                   rng.normal(b->cy + tput_shift, b->sy)});
+  }
+  return out;
+}
+
+std::vector<TrialPoints> make_trials(std::uint64_t seed, int trials,
+                                     int points, double delay_shift,
+                                     double tput_shift) {
+  Rng rng(seed);
+  std::vector<TrialPoints> out;
+  out.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    out.push_back(make_trial(rng, points, delay_shift, tput_shift));
+  }
+  return out;
+}
+
+std::uint64_t fold(double v, double scale) {
+  return static_cast<std::uint64_t>(std::llround(v * scale));
+}
+
+std::uint64_t fold_pe(const conformance::PerformanceEnvelope& pe) {
+  std::uint64_t acc = static_cast<std::uint64_t>(pe.k) * 1000003;
+  for (const auto& h : pe.hulls) acc += h.size();
+  acc += fold(pe.iou, 1e9);
+  acc += pe.points_inside();
+  return acc;
+}
+
+} // namespace
+} // namespace quicbench
+
+int main() {
+  using namespace quicbench;
+
+  // Shared inputs, generated once: the probes time evaluation, not
+  // cloud synthesis.
+  const auto ref_trials = make_trials(101, 8, 600, 0.0, 0.0);
+  const auto test_trials = make_trials(202, 8, 600, 4.0, -1.5);
+
+  std::vector<TrialPoints> pooled_holder(1);
+  for (const auto& t : ref_trials) {
+    pooled_holder[0].insert(pooled_holder[0].end(), t.begin(), t.end());
+  }
+  const TrialPoints& pooled = pooled_holder[0];
+
+  std::vector<BenchResult> results;
+
+  results.push_back(timed(
+      "eval_kmeans",
+      [&pooled] {
+        std::uint64_t acc = 0;
+        for (int rep = 0; rep < 40; ++rep) {
+          Rng rng(1000 + rep);
+          const auto res = cluster::kmeans(pooled, 4, rng);
+          acc += fold(res.inertia, 1e6);
+          for (const int a : res.assignment) {
+            acc += static_cast<std::uint64_t>(a);
+          }
+        }
+        return acc;
+      },
+      3));
+
+  results.push_back(timed(
+      "eval_build_pe",
+      [&ref_trials] {
+        std::uint64_t acc = 0;
+        for (int rep = 0; rep < 6; ++rep) {
+          conformance::PeConfig cfg;
+          cfg.seed = 7 + rep;
+          acc += fold_pe(conformance::build_pe(ref_trials, cfg));
+        }
+        return acc;
+      },
+      3));
+
+  results.push_back(timed(
+      "eval_conformance",
+      [&ref_trials, &test_trials] {
+        std::uint64_t acc = 0;
+        for (int rep = 0; rep < 4; ++rep) {
+          conformance::PeConfig cfg;
+          cfg.seed = 7 + rep;
+          const auto report =
+              conformance::evaluate(ref_trials, test_trials, cfg);
+          acc += fold(report.conformance, 1e9);
+          acc += fold(report.conformance_old, 1e9);
+          acc += fold(report.conformance_t, 1e9);
+          acc += fold_pe(report.ref_pe);
+          acc += fold_pe(report.test_pe);
+        }
+        return acc;
+      },
+      3));
+
+  benchutil::print_table("Analysis-path microbenchmarks", results);
+
+  const std::string path = runner::out_dir() + "/BENCH_eval.json";
+  benchutil::write_json(results, "quicbench.bench.eval/v1", path);
+  std::cout << "\nJSON: " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Transport-datapath microbenchmarks: a SenderEndpoint and a
+// ReceiverEndpoint connected back-to-back over fixed-delay wires (no
+// Link, no harness), isolating the ACK/loss scoreboard — the SentLog
+// SoA ring, the intrusive unresolved list, interval ACK processing and
+// time-threshold loss detection — from the rest of the stack. Three
+// ACK-stream shapes:
+//
+//   transport_clean    in-order delivery, cumulative single-range ACKs:
+//                      the pure ack_pn / compact_sent_log fast path;
+//   transport_lossy    deterministic drops: gaps, multi-range ACKs,
+//                      packet/time-threshold losses, retransmissions;
+//   transport_reorder  deterministic late packets (no drops): gap ACKs
+//                      that heal, spurious-loss rollbacks, RACK
+//                      reorder-threshold adaptation.
+//
+// The work metric folds the simulator's fired-event count with the
+// sender's packet ledger (sent/lost/spurious/retx), all exact functions
+// of integer simulated time and fixed seeds — bit-identical across
+// runs and machines, so check_perf.py gates on it exactly.
+//
+// Output: a table on stdout and bench_out/BENCH_transport.json
+// (schema quicbench.bench.transport/v1).
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cca/cubic.h"
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "runner/env.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace quicbench {
+namespace {
+
+using benchutil::BenchResult;
+using benchutil::timed;
+using netsim::Packet;
+using netsim::PacketKind;
+using netsim::Simulator;
+
+// One-way wire with a fixed propagation delay plus deterministic
+// impairments: drop every `drop_every`-th packet, delay every
+// `late_every`-th packet by `late_extra` (overtaking = reordering).
+// Packets are parked in a pooled slot so the scheduled closure captures
+// only {this, slot} and stays inline in the event entry.
+class Wire : public netsim::PacketSink {
+ public:
+  Wire(Simulator& sim, Time delay) : sim_(sim), delay_(delay) {}
+
+  void connect(netsim::PacketSink* dst) { dst_ = dst; }
+  void set_drop_every(std::uint64_t n) { drop_every_ = n; }
+  void set_late(std::uint64_t every, Time extra) {
+    late_every_ = every;
+    late_extra_ = extra;
+  }
+
+  void deliver(Packet p) override {
+    ++seen_;
+    if (drop_every_ != 0 && seen_ % drop_every_ == 0) return;
+    Time d = delay_;
+    if (late_every_ != 0 && seen_ % late_every_ == 0) d += late_extra_;
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::move(p);
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(p));
+    }
+    sim_.schedule_in(d, [this, slot] {
+      Packet q = std::move(pool_[slot]);
+      free_.push_back(slot);
+      dst_->deliver(std::move(q));
+    });
+  }
+
+ private:
+  Simulator& sim_;
+  netsim::PacketSink* dst_ = nullptr;
+  Time delay_;
+  std::uint64_t drop_every_ = 0;
+  std::uint64_t late_every_ = 0;
+  Time late_extra_ = 0;
+  std::uint64_t seen_ = 0;
+  std::vector<Packet> pool_;
+  std::vector<std::uint32_t> free_;
+};
+
+struct Scenario {
+  std::uint64_t drop_every = 0;   // forward wire, 0 = no drops
+  std::uint64_t late_every = 0;   // forward wire, 0 = in-order
+  Time late_extra = 0;
+  Time duration = time::sec(20);
+};
+
+std::uint64_t run_scenario(const Scenario& sc) {
+  Simulator sim;
+  Wire fwd(sim, time::ms(5));
+  Wire rev(sim, time::ms(5));
+  fwd.set_drop_every(sc.drop_every);
+  fwd.set_late(sc.late_every, sc.late_extra);
+
+  transport::SenderProfile sp;  // defaults: ack-clocked kernel-style TCP
+  // The wires have no bandwidth limit, so without a flow-control cap
+  // slow start doubles the flight every RTT for the whole run. Cap the
+  // flight at 256 packets: a steady ~25k packets/sec ACK-clocked stream,
+  // which is exactly the scoreboard regime worth measuring.
+  sp.flow_control_window = 256 * (sp.mss + sp.header_overhead);
+  cca::CubicConfig ccfg;
+  ccfg.mss = sp.mss;
+  transport::SenderEndpoint sender(sim, 0, sp,
+                                   std::make_unique<cca::Cubic>(ccfg), &fwd,
+                                   Rng(42));
+  transport::ReceiverEndpoint receiver(sim, 0, transport::ReceiverProfile{},
+                                       &rev);
+  fwd.connect(&receiver);
+  rev.connect(&sender);
+
+  sender.start(0);
+  sim.run_until(sc.duration);
+
+  const transport::SenderStats& st = sender.stats();
+  return sim.events_fired() +
+         static_cast<std::uint64_t>(st.packets_sent) +
+         static_cast<std::uint64_t>(st.losses_detected) * 3 +
+         static_cast<std::uint64_t>(st.spurious_losses) * 5 +
+         static_cast<std::uint64_t>(st.retransmissions) * 7;
+}
+
+} // namespace
+} // namespace quicbench
+
+int main() {
+  using namespace quicbench;
+
+  setenv("QB_INVARIANTS", "0", 1);  // measure the datapath, not the checker
+
+  std::vector<BenchResult> results;
+  results.push_back(timed(
+      "transport_clean", [] { return run_scenario({}); }, 3));
+  results.push_back(timed(
+      "transport_lossy",
+      [] {
+        // Loss collapses cwnd, so the packet rate is ~20x lower than the
+        // clean run; simulate longer so the wall time stays measurable.
+        Scenario sc;
+        sc.drop_every = 499;
+        sc.duration = time::sec(240);
+        return run_scenario(sc);
+      },
+      3));
+  results.push_back(timed(
+      "transport_reorder",
+      [] {
+        Scenario sc;
+        sc.late_every = 23;
+        sc.late_extra = time::us(700);
+        sc.duration = time::sec(80);
+        return run_scenario(sc);
+      },
+      3));
+
+  benchutil::print_table("Transport-datapath microbenchmarks", results);
+
+  const std::string path = runner::out_dir() + "/BENCH_transport.json";
+  benchutil::write_json(results, "quicbench.bench.transport/v1", path);
+  std::cout << "\nJSON: " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+// Shared scaffolding for the bench/perf probe binaries (bench_engine,
+// bench_transport, bench_eval): best-of-N timing with an in-process
+// determinism check, the result table printer, and the JSON emitter
+// scripts/check_perf.py consumes.
+//
+// Every probe returns a deterministic work metric ("events"): an exact
+// function of the simulation / analysis inputs (integer time, fixed
+// seeds, IEEE arithmetic with no FMA contraction), so the count is
+// bit-identical across runs and machines. check_perf.py gates on that
+// count exactly and on events/sec with a soft margin.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace quicbench::benchutil {
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t events = 0;  // deterministic work metric
+  double wall_sec = 0;
+  double events_per_sec = 0;
+};
+
+// Best-of-`reps` timing: short probes are noisy on a busy machine, so
+// take the fastest repetition. Every repetition must produce the same
+// work metric (in-process determinism check).
+template <typename Fn>
+BenchResult timed(const std::string& name, Fn&& body, int reps = 1) {
+  BenchResult r;
+  r.name = name;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (i == 0) {
+      r.events = events;
+      r.wall_sec = wall;
+    } else if (events != r.events) {
+      std::cerr << "FATAL: " << name << " nondeterministic event count ("
+                << events << " vs " << r.events << ")\n";
+      std::exit(1);
+    } else if (wall < r.wall_sec) {
+      r.wall_sec = wall;
+    }
+  }
+  r.events_per_sec =
+      r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0;
+  return r;
+}
+
+// `schema` is the family tag, e.g. "quicbench.bench.engine/v1".
+inline void write_json(const std::vector<BenchResult>& results,
+                       const std::string& schema, const std::string& path) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", schema);
+  w.key("benchmarks");
+  w.begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("events", static_cast<std::uint64_t>(r.events));
+    w.kv("wall_sec", r.wall_sec);
+    w.kv("events_per_sec", r.events_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path);
+  out << w.str() << '\n';
+}
+
+inline void print_table(const std::string& title,
+                        const std::vector<BenchResult>& results) {
+  std::cout << title << "\n\n";
+  std::cout << std::left << std::setw(26) << "benchmark" << std::right
+            << std::setw(12) << "events" << std::setw(12) << "wall_s"
+            << std::setw(16) << "events/sec" << '\n';
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(26) << r.name << std::right
+              << std::setw(12) << r.events << std::setw(12) << std::fixed
+              << std::setprecision(3) << r.wall_sec << std::setw(16)
+              << std::setprecision(0) << r.events_per_sec << '\n';
+    std::cout.unsetf(std::ios::fixed);
+    std::cout << std::setprecision(6);
+  }
+}
+
+} // namespace quicbench::benchutil

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Gate BENCH_engine.json against the committed baseline.
+"""Gate a quicbench.bench.* result JSON against its committed baseline.
 
-Two kinds of checks, with very different strictness:
+Works for any of the bench/perf probe binaries (bench_engine,
+bench_transport, bench_eval): the result and baseline must carry the
+same quicbench.bench.<family>/v1 schema, and every benchmark in the
+baseline is checked two ways with very different strictness:
 
-  * events    HARD: the event count of every benchmark is a pure
+  * events    HARD: the work count of every benchmark is a pure
               function of the simulation (integer time, fixed seeds),
-              so any mismatch vs the baseline means the engine's event
-              ordering changed — fail immediately.
+              so any mismatch vs the baseline means event/ack ordering
+              or the analysis pipeline changed — fail immediately.
   * events/s  SOFT: wall-clock throughput must not regress below
               --min-ratio (default 0.70, i.e. fail on a >30% drop) of
               the baseline on any benchmark. Wall time itself is only
@@ -32,11 +35,12 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "quicbench.bench.engine/v1":
-        print(f"error: {path}: unexpected schema {doc.get('schema')!r}",
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("quicbench.bench."):
+        print(f"error: {path}: unexpected schema {schema!r}",
               file=sys.stderr)
         sys.exit(2)
-    return {b["name"]: b for b in doc.get("benchmarks", [])}
+    return schema, {b["name"]: b for b in doc.get("benchmarks", [])}
 
 
 def main():
@@ -51,8 +55,12 @@ def main():
                     help="minimum events/sec vs baseline (default 0.70)")
     args = ap.parse_args()
 
-    result = load(args.result)
-    baseline = load(args.baseline)
+    result_schema, result = load(args.result)
+    baseline_schema, baseline = load(args.baseline)
+    if result_schema != baseline_schema:
+        print(f"error: schema mismatch: result {result_schema!r} vs "
+              f"baseline {baseline_schema!r}", file=sys.stderr)
+        return 2
 
     failures = []
     print(f"{'benchmark':<26}{'events':>12}{'base ev/s':>14}"

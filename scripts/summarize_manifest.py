@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Summarize a sweep run manifest (quicbench.sweep.manifest/v3) as a
-per-pair table: wall time, cache status, simulator throughput
+"""Summarize a sweep run manifest (quicbench.sweep.manifest/v4) as a
+per-pair table: transport (simulation) wall time, finalize time
+(aggregation + cache store), cache status, simulator throughput
 (events/sec), engine sizing peaks, loss rate, bottleneck queue
-high-watermark and CCA phase residency.
+high-watermark and CCA phase residency — plus a PE-evaluation time
+breakdown across the sweep's conformance cells.
 
 Usage:
     python3 scripts/summarize_manifest.py bench_out/manifests/fig06.json
@@ -47,8 +49,8 @@ def summarize(path):
 
     schema = m.get("schema", "?")
     print(f"== {m.get('sweep', path)} ({schema}) ==")
-    if not schema.endswith("/v3"):
-        print(f"  warning: expected quicbench.sweep.manifest/v3, got {schema}")
+    if not schema.endswith("/v4"):
+        print(f"  warning: expected quicbench.sweep.manifest/v4, got {schema}")
     cache = m.get("cache", {})
     print(
         f"  wall {m.get('wall_sec', 0):.2f}s on {m.get('threads', '?')} threads"
@@ -79,6 +81,7 @@ def summarize(path):
             (
                 f"{p.get('a', '?')} vs {p.get('b', '?')}",
                 "hit" if cached else f"{p.get('wall_sec', 0):.2f}s",
+                "-" if cached else f"{p.get('finalize_sec', 0) * 1e3:.0f}ms",
                 "-" if cached else fmt_rate(p.get("events_per_sec", 0)),
                 "-"
                 if cached
@@ -94,7 +97,8 @@ def summarize(path):
 
     headers = (
         "pair",
-        "wall",
+        "transport",
+        "finalize",
         "ev/s",
         "heap/wheel pk",
         "loss",
@@ -109,6 +113,25 @@ def summarize(path):
     print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     for r in rows:
         print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+    # Where the non-transport time went: per-pair finalize plus per-cell
+    # PE evaluation (conformance cells only; pair cells have no eval).
+    finalize_total = sum(
+        p.get("finalize_sec", 0) for p in m.get("pairs", []) if not p.get("cached")
+    )
+    evals = [
+        c.get("eval_sec", 0)
+        for c in m.get("cells", [])
+        if c.get("kind") == "conformance"
+    ]
+    if evals or finalize_total:
+        eval_total = sum(evals)
+        eval_max = max(evals, default=0.0)
+        print(
+            f"  breakdown: finalize {finalize_total:.2f}s across pairs,"
+            f" PE eval {eval_total:.2f}s across {len(evals)} cells"
+            f" (max {eval_max:.2f}s)"
+        )
     print()
 
 

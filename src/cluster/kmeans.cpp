@@ -17,21 +17,27 @@ double sqdist(const Point& a, const Point& b) {
   return dx * dx + dy * dy;
 }
 
-std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng) {
+// `d2` is caller-owned scratch so restarts reuse one buffer. d2[i] is
+// maintained incrementally as min over the centroids chosen so far:
+// folding the newest centroid into the running min applies std::min in
+// the same order as the full per-round rescan did, so the values (and
+// the ascending-i total, summed in the same order) are bit-identical
+// while the per-round cost drops from O(n*k) to O(n).
+std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng,
+                                 std::vector<double>& d2) {
   std::vector<Point> centroids;
   centroids.reserve(static_cast<std::size_t>(k));
   centroids.push_back(pts[rng.uniform_int(pts.size())]);
-  std::vector<double> d2(pts.size());
+  d2.resize(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    d2[i] = sqdist(pts[i], centroids[0]);
+  }
   while (static_cast<int>(centroids.size()) < k) {
     double total = 0;
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      double best = std::numeric_limits<double>::max();
-      for (const Point& c : centroids) best = std::min(best, sqdist(pts[i], c));
-      d2[i] = best;
-      total += best;
-    }
+    for (const double d : d2) total += d;
     if (total <= 0) {
       // All points coincide with existing centroids; duplicate one.
+      // (The duplicate cannot lower any d2, so no refresh is needed.)
       centroids.push_back(centroids.back());
       continue;
     }
@@ -45,6 +51,10 @@ std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng) {
       }
     }
     centroids.push_back(pts[pick]);
+    const Point c = centroids.back();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      d2[i] = std::min(d2[i], sqdist(pts[i], c));
+    }
   }
   return centroids;
 }
@@ -55,15 +65,27 @@ KMeansResult lloyd(std::span<const Point> pts, std::vector<Point> centroids,
   const int k = static_cast<int>(centroids.size());
   KMeansResult res;
   res.assignment.assign(n, 0);
+  std::vector<Point> sums(static_cast<std::size_t>(k));
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
 
   for (int iter = 0; iter < max_iters; ++iter) {
     bool changed = false;
     // Assignment step.
     for (std::size_t i = 0; i < n; ++i) {
+      const Point p = pts[i];
       int best = 0;
-      double bestd = sqdist(pts[i], centroids[0]);
+      double bestd = sqdist(p, centroids[0]);
       for (int c = 1; c < k; ++c) {
-        const double d = sqdist(pts[i], centroids[static_cast<std::size_t>(c)]);
+        const Point cc = centroids[static_cast<std::size_t>(c)];
+        // x-axis reject: d = fl(fl(dx*dx) + fl(dy*dy)) >= fl(dx*dx)
+        // under round-to-nearest (the addend is non-negative and
+        // rounding is monotone), so dx*dx >= bestd already rules out
+        // d < bestd — skipping is exact, not an approximation.
+        const double dx = p.x - cc.x;
+        const double ddx = dx * dx;
+        if (ddx >= bestd) continue;
+        const double dy = p.y - cc.y;
+        const double d = ddx + dy * dy;
         if (d < bestd) {
           bestd = d;
           best = c;
@@ -76,8 +98,8 @@ KMeansResult lloyd(std::span<const Point> pts, std::vector<Point> centroids,
     }
     if (!changed && iter > 0) break;
     // Update step.
-    std::vector<Point> sums(static_cast<std::size_t>(k));
-    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    std::fill(sums.begin(), sums.end(), Point{});
+    std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t i = 0; i < n; ++i) {
       const auto c = static_cast<std::size_t>(res.assignment[i]);
       sums[c].x += pts[i].x;
@@ -121,21 +143,27 @@ KMeansResult kmeans(std::span<const Point> pts, int k, Rng& rng,
   KMeansResult best;
   if (pts.empty() || k <= 0) return best;
 
-  // Clamp k to the number of distinct points.
-  std::vector<Point> distinct(pts.begin(), pts.end());
-  std::sort(distinct.begin(), distinct.end(),
-            [](const Point& a, const Point& b) {
-              return a.x != b.x ? a.x < b.x : a.y < b.y;
-            });
-  distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                 distinct.end());
-  k = std::min<int>(k, static_cast<int>(distinct.size()));
+  // Clamp k to the number of distinct points. Only min(k, #distinct)
+  // matters, so scan with early exit (k is single digits) instead of
+  // sorting a full copy of the cloud.
+  {
+    std::vector<Point> seen;
+    seen.reserve(static_cast<std::size_t>(k));
+    for (const Point& p : pts) {
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+        if (static_cast<int>(seen.size()) >= k) break;
+      }
+    }
+    k = std::min<int>(k, static_cast<int>(seen.size()));
+  }
   if (k <= 0) return best;
 
   best.inertia = std::numeric_limits<double>::max();
+  std::vector<double> d2;  // seeding scratch, shared across restarts
   for (int r = 0; r < std::max(cfg.restarts, 1); ++r) {
     KMeansResult cand =
-        lloyd(pts, kmeanspp_seed(pts, k, rng), cfg.max_iters);
+        lloyd(pts, kmeanspp_seed(pts, k, rng, d2), cfg.max_iters);
     if (cand.inertia < best.inertia) best = std::move(cand);
   }
   return best;

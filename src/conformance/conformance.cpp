@@ -10,37 +10,21 @@ using geom::Polygon;
 
 namespace {
 
-// Axis-aligned bounding boxes as a cheap reject before the exact
+// Prepared hulls with a bounding-box cheap reject before the exact
 // point-in-polygon test; the quorum regions can make PEs hold dozens of
-// polygons.
+// polygons. PreparedConvex::contains_boxed keeps the historical BoxedPe
+// semantics (strict box filter in front of the eps-relaxed edge tests).
 struct BoxedPe {
-  const PerformanceEnvelope* pe;
-  struct Box {
-    double min_x, max_x, min_y, max_y;
-  };
-  std::vector<Box> boxes;
+  std::vector<geom::PreparedConvex> hulls;
 
-  explicit BoxedPe(const PerformanceEnvelope& p) : pe(&p) {
-    boxes.reserve(p.hulls.size());
-    for (const auto& h : p.hulls) {
-      Box b{1e300, -1e300, 1e300, -1e300};
-      for (const auto& v : h) {
-        b.min_x = std::min(b.min_x, v.x);
-        b.max_x = std::max(b.max_x, v.x);
-        b.min_y = std::min(b.min_y, v.y);
-        b.max_y = std::max(b.max_y, v.y);
-      }
-      boxes.push_back(b);
-    }
+  explicit BoxedPe(const PerformanceEnvelope& p) {
+    hulls.reserve(p.hulls.size());
+    for (const auto& h : p.hulls) hulls.emplace_back(h);
   }
 
   bool contains(const Point& p) const {
-    for (std::size_t i = 0; i < boxes.size(); ++i) {
-      const Box& b = boxes[i];
-      if (p.x < b.min_x || p.x > b.max_x || p.y < b.min_y || p.y > b.max_y) {
-        continue;
-      }
-      if (geom::point_in_convex(pe->hulls[i], p)) return true;
+    for (const auto& h : hulls) {
+      if (h.contains_boxed(p)) return true;
     }
     return false;
   }

@@ -15,7 +15,10 @@ using geom::Polygon;
 namespace {
 
 std::vector<Point> pool(std::span<const TrialPoints> trials) {
+  std::size_t total = 0;
+  for (const auto& t : trials) total += t.size();
   std::vector<Point> all;
+  all.reserve(total);
   for (const auto& t : trials) all.insert(all.end(), t.begin(), t.end());
   return all;
 }
@@ -46,10 +49,14 @@ std::vector<Polygon> quorum_region(const std::vector<Polygon>& hulls,
   std::vector<int> idx(static_cast<std::size_t>(q_count));
   for (int i = 0; i < q_count; ++i) idx[static_cast<std::size_t>(i)] = i;
   for (;;) {
-    std::vector<Polygon> subset;
-    subset.reserve(static_cast<std::size_t>(q_count));
-    for (const int i : idx) subset.push_back(hulls[static_cast<std::size_t>(i)]);
-    Polygon inter = geom::intersect_all(subset);
+    // Fold the subset intersection directly over the selected hulls
+    // (same accumulate-and-early-empty order as intersect_all) instead
+    // of copying q_count polygons into a scratch vector first.
+    Polygon inter = hulls[static_cast<std::size_t>(idx[0])];
+    for (int j = 1; j < q_count && !inter.empty(); ++j) {
+      inter = geom::clip_convex(
+          inter, hulls[static_cast<std::size_t>(idx[static_cast<std::size_t>(j)])]);
+    }
     if (inter.size() >= 3) {
       bool redundant = false;
       for (const auto& kept : regions) {
@@ -226,10 +233,13 @@ void build_per_trial(std::span<const TrialPoints> trials, int k,
       }
       continue;
     }
+    std::vector<geom::PreparedConvex> prep;
+    prep.reserve(regions.size());
+    for (const auto& r : regions) prep.emplace_back(r);
     std::size_t inside = 0;
     for (const auto& p : pe.all_points) {
-      for (const auto& r : regions) {
-        if (geom::point_in_convex(r, p)) {
+      for (const auto& r : prep) {
+        if (r.contains(p)) {
           ++inside;
           break;
         }

@@ -34,10 +34,21 @@ struct PerformanceEnvelope {
     return false;
   }
 
+  // Bulk variant of contains(): prepares each hull once, then scans the
+  // pooled cloud. Same hull order, same per-edge arithmetic — the count
+  // matches a contains() loop exactly.
   std::size_t points_inside() const {
+    std::vector<geom::PreparedConvex> prep;
+    prep.reserve(hulls.size());
+    for (const auto& h : hulls) prep.emplace_back(h);
     std::size_t n = 0;
     for (const auto& p : all_points) {
-      if (contains(p)) ++n;
+      for (const auto& h : prep) {
+        if (h.contains(p)) {
+          ++n;
+          break;
+        }
+      }
     }
     return n;
   }

@@ -97,6 +97,26 @@ bool point_in_convex(const Polygon& poly, const Point& p, double eps) {
   return true;
 }
 
+PreparedConvex::PreparedConvex(const Polygon& poly) {
+  // The bounding box spans all vertices even when the polygon is
+  // degenerate (mirrors the old BoxedPe behaviour); edges_ stays empty
+  // in that case so contains() is false either way.
+  for (const Point& v : poly) {
+    min_x_ = std::min(min_x_, v.x);
+    max_x_ = std::max(max_x_, v.x);
+    min_y_ = std::min(min_y_, v.y);
+    max_y_ = std::max(max_y_, v.y);
+  }
+  const std::size_t n = poly.size();
+  if (n < 3) return;
+  edges_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % n];
+    edges_.push_back({a.x, a.y, b.x - a.x, b.y - a.y});
+  }
+}
+
 namespace {
 
 // Intersection of segment (a,b) with the infinite line through (c,d).
@@ -118,22 +138,30 @@ Point line_intersection(const Point& a, const Point& b, const Point& c,
 Polygon clip_convex(const Polygon& subject, const Polygon& clip) {
   if (subject.size() < 3 || clip.size() < 3) return {};
   Polygon output = subject;
+  Polygon input;  // ping-pong scratch: buffer capacity survives the swap
   for (std::size_t i = 0, n = clip.size(); i < n && !output.empty(); ++i) {
     const Point& ca = clip[i];
     const Point& cb = clip[(i + 1) % n];
-    Polygon input;
     input.swap(output);
-    for (std::size_t j = 0, m = input.size(); j < m; ++j) {
+    output.clear();
+    const std::size_t m = input.size();
+    // Each vertex's side-of-edge cross product is needed twice (as `cur`
+    // and as the next vertex's `prev`); carry it instead of recomputing.
+    const Point* prev = &input[m - 1];
+    double prev_cr = cross(ca, cb, *prev);
+    for (std::size_t j = 0; j < m; ++j) {
       const Point& cur = input[j];
-      const Point& prev = input[(j + m - 1) % m];
-      const bool cur_in = cross(ca, cb, cur) >= 0;
-      const bool prev_in = cross(ca, cb, prev) >= 0;
+      const double cur_cr = cross(ca, cb, cur);
+      const bool cur_in = cur_cr >= 0;
+      const bool prev_in = prev_cr >= 0;
       if (cur_in) {
-        if (!prev_in) output.push_back(line_intersection(prev, cur, ca, cb));
+        if (!prev_in) output.push_back(line_intersection(*prev, cur, ca, cb));
         output.push_back(cur);
       } else if (prev_in) {
-        output.push_back(line_intersection(prev, cur, ca, cb));
+        output.push_back(line_intersection(*prev, cur, ca, cb));
       }
+      prev = &cur;
+      prev_cr = cur_cr;
     }
   }
   if (output.size() < 3 || polygon_area(output) < 1e-12) return {};

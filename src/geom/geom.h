@@ -41,6 +41,50 @@ Point points_centroid(std::span<const Point> points);
 // polygon. Degenerate polygons contain nothing.
 bool point_in_convex(const Polygon& poly, const Point& p, double eps = 1e-9);
 
+// A convex CCW polygon preprocessed for repeated containment queries:
+// edge origins and direction vectors are laid out flat (no modular
+// successor lookup per edge) together with the bounding box for an
+// optional cheap reject. Each per-edge test evaluates exactly the
+// expression point_in_convex evaluates — the edge vector (b - a) is the
+// same subtraction, just performed once at build time — so contains()
+// agrees with point_in_convex bit for bit.
+class PreparedConvex {
+ public:
+  PreparedConvex() = default;
+  explicit PreparedConvex(const Polygon& poly);
+
+  // Identical to point_in_convex(poly, p, eps).
+  bool contains(const Point& p, double eps = 1e-9) const {
+    if (edges_.empty()) return false;  // degenerate: contains nothing
+    for (const Edge& e : edges_) {
+      if (e.ex * (p.y - e.ay) - e.ey * (p.x - e.ax) < -eps) return false;
+    }
+    return true;
+  }
+
+  // contains() behind a strict bounding-box pre-reject. NOT identical to
+  // point_in_convex for points within ~eps of the boundary (the box test
+  // ignores eps); callers that historically box-filtered (BoxedPe) keep
+  // that semantic, everyone else uses contains().
+  bool contains_boxed(const Point& p, double eps = 1e-9) const {
+    if (p.x < min_x_ || p.x > max_x_ || p.y < min_y_ || p.y > max_y_) {
+      return false;
+    }
+    return contains(p, eps);
+  }
+
+  bool degenerate() const { return edges_.empty(); }
+
+ private:
+  struct Edge {
+    double ax, ay;  // edge origin
+    double ex, ey;  // edge vector (b - a)
+  };
+  std::vector<Edge> edges_;
+  double min_x_ = 1e300, max_x_ = -1e300;
+  double min_y_ = 1e300, max_y_ = -1e300;
+};
+
 // Intersection of two convex polygons (Sutherland–Hodgman, clipping
 // `subject` against `clip`). Result is convex CCW; empty when disjoint or
 // when either input is degenerate.

@@ -147,6 +147,17 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
     const std::string fp = i == 0 ? "flow0" : "flow1";
 
     trace::FlowTrace& tr = result.flow[i].trace;
+    // Pre-size the recording arrays to the most the bottleneck could
+    // deliver over the trial (capped), so the per-packet record calls
+    // never reallocate mid-run.
+    {
+      const double pkts = time::to_sec(cfg.duration) *
+                          (static_cast<double>(cfg.net.bandwidth) / 8.0) /
+                          static_cast<double>(impl.profile.sender.mss);
+      const auto est = static_cast<std::size_t>(std::min(pkts, 2.5e6));
+      tr.deliveries.reserve(est);
+      tr.rtt_samples.reserve(est / 2 + 1);
+    }
     receiver->set_delivery_callback(
         [&tr](Time now, Bytes payload, Time) {
           tr.record_delivery(now, payload);

@@ -30,7 +30,7 @@ void Simulator::release_slot(std::uint32_t slot) {
   --pending_;
 }
 
-void Simulator::heap_push(Entry e) {
+void Simulator::heap_push(Entry&& e) {
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   heap_peak_ = std::max(heap_peak_, heap_.size());
@@ -43,7 +43,7 @@ Simulator::Entry Simulator::heap_pop() {
   return e;
 }
 
-void Simulator::insert_entry(Entry e) {
+void Simulator::insert_entry(Entry&& e) {
   const std::int64_t ab = e.time >> kBucketBits;
   if (ab > cur_bucket_ && ab - cur_bucket_ <= kNumBuckets) {
     if (buckets_.empty()) buckets_.resize(kNumBuckets);
@@ -59,7 +59,7 @@ void Simulator::insert_entry(Entry e) {
 
 void Simulator::activate_next_bucket() {
   // First set bucket bit in ring order starting just past cur_bucket_.
-  // 256 % 64 == 0, so each scanned chunk stays within one word.
+  // kNumBuckets % 64 == 0, so each scanned chunk stays within one word.
   const auto base = static_cast<std::size_t>((cur_bucket_ + 1) & kBucketMask);
   std::size_t slot = kNumBuckets;
   for (std::size_t scanned = 0; scanned < kNumBuckets;) {
@@ -81,10 +81,17 @@ void Simulator::activate_next_bucket() {
 
   active_.clear();
   std::swap(active_, buckets_[slot]);  // recycles the old active capacity
-  std::sort(active_.begin(), active_.end(), [](const Entry& a,
-                                               const Entry& b) {
+  // Most buckets hold a single entry (link serialization / pacing ticks
+  // land one per interval), so bypass the sort machinery for n <= 2; the
+  // two-element case swaps exactly when std::sort would.
+  const auto cmp = [](const Entry& a, const Entry& b) {
     return a.time != b.time ? a.time < b.time : a.seq < b.seq;
-  });
+  };
+  if (active_.size() > 2) {
+    std::sort(active_.begin(), active_.end(), cmp);
+  } else if (active_.size() == 2 && cmp(active_[1], active_[0])) {
+    std::swap(active_[0], active_[1]);
+  }
   active_pos_ = 0;
   wheel_size_ -= active_.size();
   bucket_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
@@ -127,7 +134,21 @@ EventId Simulator::schedule(Time t, EventFn fn) {
       static_cast<EventId>(slot + 1);
   ++scheduled_;
   ++pending_;
-  insert_entry(Entry{tt, next_seq_++, id, std::move(fn)});
+  // Tier choice inlined so the callback is constructed directly in its
+  // destination (GCC emplaces the aggregate in place) instead of moving
+  // through an Entry temporary.
+  const std::uint64_t seq = next_seq_++;
+  const std::int64_t ab = tt >> kBucketBits;
+  if (ab > cur_bucket_ && ab - cur_bucket_ <= kNumBuckets) {
+    if (buckets_.empty()) buckets_.resize(kNumBuckets);
+    const auto bslot = static_cast<std::size_t>(ab & kBucketMask);
+    buckets_[bslot].emplace_back(tt, seq, id, std::move(fn));
+    bucket_bits_[bslot >> 6] |= std::uint64_t{1} << (bslot & 63);
+    ++wheel_size_;
+    wheel_peak_ = std::max(wheel_peak_, wheel_size_);
+  } else {
+    heap_push(Entry{tt, seq, id, std::move(fn)});
+  }
   return id;
 }
 
@@ -159,6 +180,48 @@ bool Simulator::reschedule(EventId id, Time t) {
   return true;
 }
 
+bool Simulator::dispatch_wheel() {
+  // Fire in place: the active bucket is stable while the callback runs
+  // (new events land in future buckets or the heap, never in active_),
+  // so the common wheel path skips the Entry move; spent entries are
+  // reclaimed wholesale at the next activation.
+  Entry& e = active_[active_pos_++];
+  std::uint32_t slot;
+  if (!decode_live(e.id, &slot)) return false;  // cancelled entry
+  Slot& sl = slots_[slot];
+  if (sl.seq != e.seq) {
+    // Postponed via reschedule(): re-key and re-insert instead of
+    // firing (lazy revalidation).
+    e.time = sl.entry_time = sl.deadline;
+    e.seq = sl.seq;
+    insert_entry(std::move(e));
+    return false;
+  }
+  release_slot(slot);
+  now_ = e.time;
+  ++fired_;
+  e.fn();
+  return true;
+}
+
+bool Simulator::dispatch_heap() {
+  Entry e = heap_pop();
+  std::uint32_t slot;
+  if (!decode_live(e.id, &slot)) return false;  // cancelled entry
+  Slot& sl = slots_[slot];
+  if (sl.seq != e.seq) {
+    e.time = sl.entry_time = sl.deadline;
+    e.seq = sl.seq;
+    insert_entry(std::move(e));
+    return false;
+  }
+  release_slot(slot);
+  now_ = e.time;
+  ++fired_;
+  e.fn();
+  return true;
+}
+
 bool Simulator::run_next() {
   for (;;) {
     Entry* w = wheel_front();
@@ -169,31 +232,32 @@ bool Simulator::run_next() {
       const Entry& h = heap_.front();
       take_wheel = w->time != h.time ? w->time < h.time : w->seq < h.seq;
     }
-    Entry e = take_wheel ? std::move(active_[active_pos_++]) : heap_pop();
-    std::uint32_t slot;
-    if (!decode_live(e.id, &slot)) continue;  // cancelled entry
-    Slot& sl = slots_[slot];
-    if (sl.seq != e.seq) {
-      // Postponed via reschedule(): re-key and re-insert instead of
-      // firing (lazy revalidation).
-      e.time = sl.entry_time = sl.deadline;
-      e.seq = sl.seq;
-      insert_entry(std::move(e));
-      continue;
-    }
-    release_slot(slot);
-    now_ = e.time;
-    ++fired_;
-    e.fn();
-    return true;
+    if (take_wheel ? dispatch_wheel() : dispatch_heap()) return true;
   }
 }
 
 void Simulator::run_until(Time end) {
+  // Fused peek + dispatch: one entry selection per event instead of a
+  // next_entry_time() pass followed by run_next() redoing it. The end
+  // bound is checked against the first candidate of each fire — exactly
+  // where next_entry_time() sampled it — and, as before, not re-checked
+  // while skipping cancelled or postponed entries.
+  bool check = true;
   for (;;) {
-    const Time t = next_entry_time();
-    if (t == time::kInfinite || t > end) break;
-    run_next();
+    Entry* w = wheel_front();
+    const bool have_heap = !heap_.empty();
+    if (w == nullptr && !have_heap) break;
+    bool take_wheel = w != nullptr;
+    if (w != nullptr && have_heap) {
+      const Entry& h = heap_.front();
+      take_wheel = w->time != h.time ? w->time < h.time : w->seq < h.seq;
+    }
+    if (check) {
+      const Time t = take_wheel ? w->time : heap_.front().time;
+      if (t > end) break;
+      check = false;
+    }
+    if (take_wheel ? dispatch_wheel() : dispatch_heap()) check = true;
   }
   if (now_ < end) now_ = end;
 }

@@ -7,16 +7,16 @@
 // single global min-heap ordered by (time, seq)):
 //
 //   * Timer wheel: events landing in a *future* wheel bucket (buckets of
-//     2^kBucketBits ns, kNumBuckets of them, ~4 ms horizon) are appended
+//     2^kBucketBits ns, kNumBuckets of them, ~33 ms horizon) are appended
 //     to their bucket in O(1). When the clock approaches a bucket it is
 //     "activated": sorted once by (time, seq) and drained in order.
 //     Buckets partition time into disjoint ranges, so per-bucket sorting
 //     plus a min-comparison against the heap reproduces the global order
-//     exactly. Link serialization and pacing deadlines — the bulk of all
-//     events — land here.
+//     exactly. Link serialization, pacing, propagation delays and
+//     RTT-scale loss/ack timers — the bulk of all events — land here.
 //   * Fallback binary heap: everything else (beyond the wheel horizon,
-//     or at/before the currently-activated bucket — RTT-scale loss/PTO
-//     timers, ack delays).
+//     or at/before the currently-activated bucket — PTO backoffs, trace
+//     sampling ticks).
 //
 // Callbacks are util::InlineFn: `[this]`-capture callbacks (the hot
 // path) are stored inline in the entry, so steady-state scheduling and
@@ -117,11 +117,15 @@ class Simulator {
   static constexpr std::size_t kDefaultSizeHint = 256;
 
  private:
-  // Wheel geometry: 256 buckets of 2^14 ns (~16.4 us) cover a ~4.2 ms
-  // horizon — several serialization/pacing intervals at the slowest
-  // simulated rates, while RTT-scale timers fall through to the heap.
+  // Wheel geometry: 2048 buckets of 2^14 ns (~16.4 us) cover a ~33.6 ms
+  // horizon — wide enough that propagation delays (5 ms at the paper's
+  // default RTT), delayed-ack timers (25 ms) and RTT-scale loss timers
+  // all take the O(1) wheel path; only multi-RTT PTO backoffs and other
+  // long timers fall through to the heap. The bitmap scan in
+  // activate_next_bucket keeps sparse wheels cheap, so the wider ring
+  // costs only its one-off allocation (~48 KiB of empty bucket headers).
   static constexpr int kBucketBits = 14;
-  static constexpr int kNumBuckets = 256;
+  static constexpr int kNumBuckets = 2048;
   static constexpr std::int64_t kBucketMask = kNumBuckets - 1;
 
   // id layout: low 32 bits = slot index + 1 (so kInvalidEvent never
@@ -150,9 +154,13 @@ class Simulator {
   // Returns the slot index when `id` names a live (pending) event.
   bool decode_live(EventId id, std::uint32_t* slot) const;
 
-  void insert_entry(Entry e);
-  void heap_push(Entry e);
+  void insert_entry(Entry&& e);
+  void heap_push(Entry&& e);
   Entry heap_pop();
+  // Process the already-selected front entry of the wheel / heap tier:
+  // fire it (true), or consume a cancelled / postponed entry (false).
+  bool dispatch_wheel();
+  bool dispatch_heap();
   // The next wheel entry in (time, seq) order, activating the next
   // non-empty bucket if the active one is drained; nullptr when the
   // wheel is empty. Activation never fires anything.
@@ -191,10 +199,12 @@ class Simulator {
 // RAII-ish timer helper: owns at most one pending event and reschedules or
 // cancels it. Components use this for pacing / loss / ack-delay timers.
 //
-// The callback is stored in the timer and the scheduled thunk captures
-// only `this`, so small callbacks never allocate. The callback is moved
-// to a local before invocation (and restored if the callback re-arms via
-// rearm()), so both arm() and rearm() are safe from inside it.
+// The callback is invoked in place (no per-fire move); installing a
+// replacement from inside the callback via arm()/set() is still safe —
+// the replacement is parked and swapped in after the running callback
+// returns, so a callable never destroys itself mid-invocation. rearm()
+// from inside the callback is the common case and touches only the
+// schedule, never the stored callable.
 class Timer {
  public:
   explicit Timer(Simulator& sim) : sim_(&sim) {}
@@ -207,12 +217,12 @@ class Timer {
   // construction and then only ever rearm().
   void set(EventFn fn) {
     assert(!armed() && "set() while armed; use arm()");
-    fn_ = std::move(fn);
+    install(std::move(fn));
   }
 
   // (Re)arm the timer to fire `fn` at absolute time `t`.
   void arm(Time t, EventFn fn) {
-    fn_ = std::move(fn);
+    install(std::move(fn));
     rearm(t);
   }
 
@@ -227,18 +237,15 @@ class Timer {
   // arm() with the same callback either way.
   void rearm(Time t) {
     if (id_ != kInvalidEvent && sim_->reschedule(id_, t)) return;
-    // While firing, fn_ is moved out to a local and restored below, so an
-    // empty fn_ is only a misuse outside the callback.
-    assert((fn_ || firing_) && "rearm() without an installed callback");
+    assert(fn_ && "rearm() without an installed callback");
     id_ = sim_->schedule(t, [this] {
       id_ = kInvalidEvent;
-      EventFn f = std::move(fn_);
       firing_ = true;
-      f();
+      fn_();
       firing_ = false;
-      // Keep the installed callback for future rearm()s (set() semantics)
-      // unless the callback installed a replacement via arm()/set().
-      if (!fn_) fn_ = std::move(f);
+      // A replacement installed from inside the callback lands here,
+      // after the old callable has finished running.
+      if (pending_) fn_ = std::move(pending_);
     });
   }
 
@@ -254,10 +261,19 @@ class Timer {
   bool armed() const { return id_ != kInvalidEvent; }
 
  private:
+  void install(EventFn fn) {
+    if (firing_) {
+      pending_ = std::move(fn);  // defer: fn_ is currently executing
+    } else {
+      fn_ = std::move(fn);
+    }
+  }
+
   Simulator* sim_;
   EventId id_ = kInvalidEvent;
   bool firing_ = false;
   EventFn fn_;
+  EventFn pending_;
 };
 
 } // namespace quicbench::netsim

@@ -4,8 +4,17 @@
 //
 // ACKs carry a largest-acked packet number plus up to kMaxAckRanges
 // received ranges (newest first), mirroring QUIC ACK frames / TCP SACK.
+//
+// Packets are copied by value through every queue in the simulator
+// (links, delay lines, impairment stages, egress pools), so the struct
+// is packed to exactly two cache lines: ack ranges are stored as 32-bit
+// pn pairs behind set_range()/range() accessors (4 B pns give headroom
+// for ~6 h of simulated time at line rate; asserted in debug builds),
+// and kind/n_ranges/flow share one word. Time-valued fields stay 64-bit
+// — ack_delay in particular can span multi-second blackout gaps.
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 
 #include "util/units.h"
@@ -20,23 +29,49 @@ struct AckRange {
 };
 
 struct Packet {
-  PacketKind kind = PacketKind::kData;
-  int flow = -1;          // flow id; -1 for cross traffic
-  Bytes size = 0;         // wire size in bytes (headers included)
-
   // --- data packet fields ---
   std::uint64_t pn = 0;   // packet number
-  Bytes payload = 0;      // application payload bytes carried
   Time sent_time = 0;     // stamped by the sender when handed to the network
+  Bytes size = 0;         // wire size in bytes (headers included)
+  Bytes payload = 0;      // application payload bytes carried
 
   // --- ack fields ---
   std::uint64_t largest_acked = 0;
   Time ack_delay = 0;     // receiver-side delay between receipt and ack
   Time largest_recv_time = 0;  // receiver timestamp of largest acked packet
+
+  PacketKind kind = PacketKind::kData;
+  std::uint8_t n_ranges = 0;
+  std::int16_t flow = -1;  // flow id; -1 for cross traffic
+
   static constexpr int kMaxAckRanges = 8;
-  std::array<AckRange, kMaxAckRanges> ranges{};
-  int n_ranges = 0;
+
+  void set_range(int i, std::uint64_t first, std::uint64_t last) {
+    assert(i >= 0 && i < kMaxAckRanges);
+    assert(first <= last);
+    assert(last <= UINT32_MAX);
+    ranges_[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(first),
+                                            static_cast<std::uint32_t>(last)};
+  }
+  AckRange range(int i) const {
+    assert(i >= 0 && i < kMaxAckRanges);
+    const PackedRange& r = ranges_[static_cast<std::size_t>(i)];
+    return {r.first, r.last};
+  }
+
+ private:
+  struct PackedRange {
+    std::uint32_t first;  // inclusive
+    std::uint32_t last;   // inclusive
+  };
+  // Deliberately not zero-initialized: packets are constructed on the
+  // per-send/per-ack hot path, and readers never touch ranges past
+  // n_ranges (writers go through set_range).
+  std::array<PackedRange, kMaxAckRanges> ranges_;
 };
+
+// Two cache lines; see the packing note above before adding fields.
+static_assert(sizeof(Packet) == 128, "Packet must stay at two cache lines");
 
 // Anything that can accept a packet from the network.
 class PacketSink {

@@ -92,7 +92,8 @@ struct Sweep::PairTask {
   std::atomic<int> remaining{0};
   std::vector<int> dependent_cells;
   std::mutex mu;            // guards wall_sec/events/engine accumulation
-  double wall_sec = 0;      // summed trial wall time
+  double wall_sec = 0;      // summed trial wall time (transport/sim)
+  double finalize_sec = 0;  // aggregate_trials + cache store
   std::uint64_t events = 0;
   // Engine sizing maxima across this pair's trials.
   netsim::Simulator::Stats engine;
@@ -211,11 +212,14 @@ void Sweep::eval_cell(Cell& cell, double* busy_sec, int worker_id) {
 }
 
 void Sweep::finalize_pair(PairTask& pair, double* busy_sec, int worker_id) {
+  const auto t0 = Clock::now();
   const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
   pair.result =
       harness::aggregate_trials(std::move(pair.trial_results), pair.cfg);
   pair.trial_results = {};
   if (cache_ != nullptr) cache_->store(pair.fingerprint, pair.result);
+  pair.finalize_sec = seconds_since(t0);
+  *busy_sec += pair.finalize_sec;
   if (profiler_ != nullptr) {
     profiler_->record_complete(
         "finalize " + pair.a.display + " vs " + pair.b.display, "finalize",
@@ -232,12 +236,39 @@ void Sweep::finalize_pair(PairTask& pair, double* busy_sec, int worker_id) {
                  pair.wall_sec,
                  static_cast<unsigned long long>(pair.events));
   }
+  // Publish newly-unblocked cells to the shared queue (instead of
+  // evaluating them inline on this worker), then retire this pair —
+  // strictly in that order, so a claimant that observes pairs_active_
+  // == 0 is guaranteed to see every push.
   for (const int ci : pair.dependent_cells) {
     Cell& cell = *cells_[static_cast<std::size_t>(ci)];
     if (cell.kind == Cell::Kind::kConformance &&
         cell.remaining.fetch_sub(1) == 1) {
-      eval_cell(cell, busy_sec, worker_id);
+      push_ready_cell(&cell);
     }
+  }
+  pairs_active_.fetch_sub(1, std::memory_order_release);
+}
+
+void Sweep::push_ready_cell(Cell* cell) {
+  std::lock_guard<std::mutex> lock(ready_mu_);
+  ready_cells_.push_back(cell);
+}
+
+Sweep::Cell* Sweep::claim_ready_cell() {
+  const std::size_t i = next_ready_cell_.fetch_add(1);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      if (i < ready_cells_.size()) return ready_cells_[i];
+    }
+    if (pairs_active_.load(std::memory_order_acquire) == 0) {
+      // No more pushes can happen; re-check under the lock in case one
+      // landed between the size check and the counter read.
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      return i < ready_cells_.size() ? ready_cells_[i] : nullptr;
+    }
+    std::this_thread::yield();
   }
 }
 
@@ -315,8 +346,9 @@ void Sweep::run() {
                                profiler_->now_us() - probe_ts);
   }
 
-  // Cells whose pairs are all cached evaluate without simulating.
-  std::vector<Cell*> ready;
+  // Cells whose pairs are all cached are ready immediately; the rest
+  // are published by finalize_pair as their last dependency lands.
+  pairs_active_.store(stats_.cache_misses);
   for (const auto& c : cells_) {
     int rem = 0;
     for (const int d : c->deps) {
@@ -324,7 +356,7 @@ void Sweep::run() {
     }
     c->remaining.store(rem);
     if (rem == 0 && c->kind == Cell::Kind::kConformance) {
-      ready.push_back(c.get());
+      ready_cells_.push_back(c.get());
     }
   }
 
@@ -346,7 +378,7 @@ void Sweep::run() {
   if (requested <= 0) requested = static_cast<int>(hw);
   const int workers = std::max(
       1, std::min<int>(requested,
-                       static_cast<int>(items.size() + ready.size())));
+                       static_cast<int>(items.size() + ready_cells_.size())));
 
   stats_.cells = static_cast<int>(cells_.size());
   stats_.unique_pairs = static_cast<int>(pairs_.size());
@@ -362,7 +394,6 @@ void Sweep::run() {
   }
 
   std::atomic<std::size_t> next_item{0};
-  std::atomic<std::size_t> next_ready{0};
   std::mutex busy_mu;
   double total_busy = 0;
 
@@ -402,10 +433,13 @@ void Sweep::run() {
           std::move(tr);
       if (p.remaining.fetch_sub(1) == 1) finalize_pair(p, &busy, wid);
     }
+    // Trial items exhausted: drain PE evaluations. Cells published by
+    // workers still finalizing their last pair are waited for, so the
+    // eval fan-out is as wide as the worker pool.
     for (;;) {
-      const std::size_t c = next_ready.fetch_add(1);
-      if (c >= ready.size()) break;
-      eval_cell(*ready[c], &busy, wid);
+      Cell* cell = claim_ready_cell();
+      if (cell == nullptr) break;
+      eval_cell(*cell, &busy, wid);
     }
     std::lock_guard<std::mutex> lock(busy_mu);
     total_busy += busy;
@@ -479,7 +513,7 @@ std::string Sweep::write_manifest() const {
   if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
   JsonWriter j;
   j.begin_object();
-  j.kv("schema", "quicbench.sweep.manifest/v3");
+  j.kv("schema", "quicbench.sweep.manifest/v4");
   j.kv("code_schema_version",
        static_cast<std::uint64_t>(kSchemaVersion));
   j.kv("sweep", name_);
@@ -520,6 +554,7 @@ std::string Sweep::write_manifest() const {
     j.kv("seed", p->cfg.seed);
     j.kv("cached", p->cached);
     j.kv("wall_sec", p->wall_sec);
+    j.kv("finalize_sec", p->finalize_sec);
     j.kv("events", p->events);
     j.kv("events_per_sec",
          p->wall_sec > 0 ? static_cast<double>(p->events) / p->wall_sec

@@ -126,6 +126,10 @@ class Sweep {
                   const harness::ExperimentConfig& cfg);
   void finalize_pair(PairTask& pair, double* busy_sec, int worker_id);
   void eval_cell(Cell& cell, double* busy_sec, int worker_id);
+  void push_ready_cell(Cell* cell);
+  // Claim the next ready cell, waiting for in-flight pair finalizes to
+  // publish theirs; nullptr once no further cell can become ready.
+  Cell* claim_ready_cell();
   harness::TrialResult run_observed_trial(PairTask& pair, int pair_idx,
                                           int trial);
 
@@ -144,6 +148,18 @@ class Sweep {
   std::string profile_path_;
   std::atomic<int> pairs_done_{0};
   std::mutex progress_mu_;
+
+  // PE-evaluation work queue: cells whose pair dependencies are all
+  // satisfied. Grows as pairs finalize (push under ready_mu_, index
+  // claims via next_ready_cell_), so the expensive conformance::evaluate
+  // calls spread across every worker instead of serializing on whichever
+  // worker finished a pair's last trial. pairs_active_ counts uncached
+  // pairs not yet finalized — when it reaches zero no further cell can
+  // become ready and waiting claimants drain out.
+  std::mutex ready_mu_;
+  std::vector<Cell*> ready_cells_;
+  std::atomic<std::size_t> next_ready_cell_{0};
+  std::atomic<int> pairs_active_{0};
 };
 
 // ---------------------------------------------------------------------

@@ -84,7 +84,7 @@ void ReceiverEndpoint::send_ack() {
 
   Packet ack;
   ack.kind = PacketKind::kAck;
-  ack.flow = flow_;
+  ack.flow = static_cast<std::int16_t>(flow_);
   ack.size = kAckWireSize;
   ack.largest_acked = ranges_.back().last;
   ack.ack_delay = sim_.now() - largest_recv_time_;
@@ -93,9 +93,9 @@ void ReceiverEndpoint::send_ack() {
   int n = 0;
   for (auto it = ranges_.rbegin();
        it != ranges_.rend() && n < Packet::kMaxAckRanges; ++it) {
-    ack.ranges[static_cast<std::size_t>(n++)] = *it;
+    ack.set_range(n++, it->first, it->last);
   }
-  ack.n_ranges = n;
+  ack.n_ranges = static_cast<std::uint8_t>(n);
 
   ++stats_.acks_sent;
   reverse_->deliver(std::move(ack));

@@ -3,12 +3,12 @@
 // generates ACK frames per the stack's ACK policy (ack-every-N with a
 // max-ack-delay timer, immediate ack on gaps).
 
-#include <functional>
 #include <vector>
 
 #include "netsim/event.h"
 #include "netsim/packet.h"
 #include "transport/profile.h"
+#include "util/inline_fn.h"
 #include "util/units.h"
 
 namespace quicbench::transport {
@@ -30,14 +30,14 @@ class ReceiverEndpoint : public netsim::PacketSink {
   // Called for every delivered data packet with the payload size and the
   // one-way delay the packet experienced.
   using DeliveryCallback =
-      std::function<void(Time now, Bytes payload, Time one_way_delay)>;
+      util::InlineFn<void(Time now, Bytes payload, Time one_way_delay)>;
   void set_delivery_callback(DeliveryCallback cb) {
     delivery_cb_ = std::move(cb);
   }
 
   // Per-packet hook with the packet number (qlog export).
   using PacketCallback =
-      std::function<void(Time now, std::uint64_t pn, Bytes size)>;
+      util::InlineFn<void(Time now, std::uint64_t pn, Bytes size)>;
   void set_packet_callback(PacketCallback cb) { packet_cb_ = std::move(cb); }
 
   const ReceiverStats& stats() const { return stats_; }

@@ -5,8 +5,43 @@
 
 namespace quicbench::transport {
 
+using netsim::AckRange;
 using netsim::Packet;
 using netsim::PacketKind;
+
+namespace {
+
+// Normalizes an ACK frame's ranges (up to 8, possibly unordered or
+// overlapping — receivers emit them newest-first) into ascending,
+// disjoint, maximal segments. Per-pn membership tests against the
+// segments are then O(1) amortized along an ascending pn walk, instead
+// of O(n_ranges) per pn.
+int normalize_ranges(const Packet& ack, AckRange* segs) {
+  const int n = ack.n_ranges;
+  for (int i = 0; i < n; ++i) segs[i] = ack.range(i);
+  // Insertion sort by first pn: n <= 8.
+  for (int i = 1; i < n; ++i) {
+    const AckRange r = segs[i];
+    int j = i - 1;
+    while (j >= 0 && segs[j].first > r.first) {
+      segs[j + 1] = segs[j];
+      --j;
+    }
+    segs[j + 1] = r;
+  }
+  // Merge overlapping or pn-adjacent segments.
+  int out = 0;
+  for (int i = 1; i < n; ++i) {
+    if (segs[i].first <= segs[out].last + 1 && segs[out].last + 1 != 0) {
+      segs[out].last = std::max(segs[out].last, segs[i].last);
+    } else {
+      segs[++out] = segs[i];
+    }
+  }
+  return n == 0 ? 0 : out + 1;
+}
+
+} // namespace
 
 SenderEndpoint::SenderEndpoint(
     netsim::Simulator& sim, int flow, SenderProfile profile,
@@ -39,7 +74,7 @@ SenderEndpoint::SenderEndpoint(
     do_send_loop();
     if (started_) maybe_send();  // keep ticking
   });
-  sent_.reserve(256);
+  log_.reserve(256);
 }
 
 void SenderEndpoint::start(Time at) {
@@ -50,26 +85,8 @@ void SenderEndpoint::start(Time at) {
   });
 }
 
-SenderEndpoint::SentMeta* SenderEndpoint::meta(std::uint64_t pn) {
-  if (pn < base_pn_ || pn >= next_pn_) return nullptr;
-  return &sent_[static_cast<std::size_t>(pn - base_pn_)];
-}
-
 void SenderEndpoint::compact_sent_log() {
-  const Time now = sim_.now();
-  while (!sent_.empty()) {
-    const SentMeta& f = sent_.front();
-    if (f.acked) {
-      sent_.pop_front();
-      ++base_pn_;
-    } else if (f.lost && f.sent_time + kSpuriousGrace < now) {
-      unresolved_.erase(base_pn_);
-      sent_.pop_front();
-      ++base_pn_;
-    } else {
-      break;
-    }
-  }
+  log_.compact(sim_.now(), kSpuriousGrace);
 }
 
 void SenderEndpoint::deliver(Packet p) {
@@ -80,75 +97,93 @@ void SenderEndpoint::deliver(Packet p) {
 void SenderEndpoint::on_ack_frame(const Packet& ack) {
   const Time now = sim_.now();
 
-  const auto covered = [&ack](std::uint64_t pn) {
-    for (int i = 0; i < ack.n_ranges; ++i) {
-      if (pn >= ack.ranges[static_cast<std::size_t>(i)].first &&
-          pn <= ack.ranges[static_cast<std::size_t>(i)].last) {
-        return true;
-      }
-    }
-    return false;
-  };
+  AckRange segs[Packet::kMaxAckRanges];
+  const int n_segs = normalize_ranges(ack, segs);
 
   Bytes newly_acked_bytes = 0;
   std::uint64_t largest_newly = 0;
-  SentMeta* largest_newly_meta = nullptr;
+  bool have_newly = false;
 
   const auto ack_pn = [&](std::uint64_t pn) {
-    SentMeta* m = meta(pn);
-    if (m == nullptr || m->acked) return;
-    if (m->lost) {
+    if (!log_.contains(pn)) return;
+    const std::size_t s = log_.slot(pn);
+    const std::uint8_t f = log_.flags_at(s);
+    if (f & kSentAcked) return;
+    const Bytes wire = log_.wire_size_at(s);
+    if (f & kSentLost) {
       // Late ack for a packet we declared lost: spurious loss.
-      m->acked = true;
+      log_.add_flags_at(s, kSentAcked);
       ++stats_.spurious_losses;
-      unresolved_.erase(pn);
+      log_.unlink_unresolved(pn);  // lost pns are always linked
       if (profile_.adapt_reorder_threshold &&
           reorder_threshold_ < profile_.max_packet_reorder_threshold) {
         ++reorder_threshold_;  // RACK-style reo_wnd widening
       }
-      cca_->on_spurious_loss({now, pn, m->wire_size, m->sent_time});
+      cca_->on_spurious_loss({now, pn, wire, log_.sent_time_at(s)});
       if (spurious_cb_) spurious_cb_(now, pn);
       return;
     }
-    m->acked = true;
-    bytes_in_flight_ -= m->wire_size;
-    if (acked_cb_) acked_cb_(now, pn, m->wire_size);
-    delivered_bytes_ += m->wire_size;
+    log_.add_flags_at(s, kSentAcked);
+    bytes_in_flight_ -= wire;
+    if (acked_cb_) acked_cb_(now, pn, wire);
+    delivered_bytes_ += wire;
     delivered_time_ = now;
-    newly_acked_bytes += m->wire_size;
-    if (largest_newly_meta == nullptr || pn > largest_newly) {
+    newly_acked_bytes += wire;
+    if (!have_newly || pn > largest_newly) {
       largest_newly = pn;
-      largest_newly_meta = m;
+      have_newly = true;
     }
-    unresolved_.erase(pn);
+    if (f & kSentUnres) log_.unlink_unresolved(pn);
   };
 
-  // 1. Walk the window of pns this frame may newly resolve.
-  const std::uint64_t prev_frontier = any_acked_ ? largest_acked_ + 1 : base_pn_;
-  if (ack.largest_acked >= prev_frontier) {
-    for (std::uint64_t pn = prev_frontier; pn <= ack.largest_acked; ++pn) {
-      if (covered(pn)) {
-        ack_pn(pn);
-      } else {
-        SentMeta* m = meta(pn);
-        if (m != nullptr && !m->acked && !m->lost) unresolved_.insert(pn);
-      }
+  // Marks pn as an unresolved gap if it is live (sent, neither acked nor
+  // lost yet).
+  const auto note_gap = [&](std::uint64_t pn) {
+    if (!log_.contains(pn)) return;
+    if (!(log_.flags(pn) & (kSentAcked | kSentLost))) {
+      log_.link_unresolved(pn);
     }
+  };
+
+  // 1. Walk the window of pns this frame may newly resolve, segment by
+  // segment: pns inside a segment are acked, pns between segments become
+  // unresolved gaps. Segments are clipped to the window on the fly; the
+  // stored segs stay unclipped for step 2.
+  const std::uint64_t prev_frontier =
+      any_acked_ ? largest_acked_ + 1 : log_.base_pn();
+  if (ack.largest_acked >= prev_frontier) {
+    std::uint64_t pn = prev_frontier;
+    for (int s = 0; s < n_segs && pn <= ack.largest_acked; ++s) {
+      if (segs[s].last < pn) continue;
+      const std::uint64_t seg_first = std::max(segs[s].first, pn);
+      for (; pn < seg_first && pn <= ack.largest_acked; ++pn) note_gap(pn);
+      const std::uint64_t seg_last = std::min(segs[s].last, ack.largest_acked);
+      for (; pn <= seg_last; ++pn) ack_pn(pn);
+    }
+    for (; pn <= ack.largest_acked; ++pn) note_gap(pn);
     largest_acked_ = ack.largest_acked;
     any_acked_ = true;
   }
 
-  // 2. Revisit old gaps: stragglers and spurious losses.
-  for (auto it = unresolved_.begin(); it != unresolved_.end();) {
-    const std::uint64_t pn = *it;
-    ++it;  // ack_pn may erase pn
-    if (covered(pn)) ack_pn(pn);
+  // 2. Revisit old gaps: stragglers and spurious losses. Both the
+  // unresolved list and the segments ascend, so one merge-style pass
+  // finds every covered pn; the walk stops as soon as the segments are
+  // exhausted. The next link is read before ack_pn, which may unlink pn.
+  {
+    int s = 0;
+    std::uint64_t pn = log_.unres_head();
+    while (pn != SentLog::kNone && s < n_segs) {
+      const std::uint64_t next = log_.unres_next(pn);
+      while (s < n_segs && segs[s].last < pn) ++s;
+      if (s < n_segs && pn >= segs[s].first) ack_pn(pn);
+      pn = next;
+    }
   }
 
   // RTT sample: only when the frame's largest-acked was newly acked.
   Time rtt_sample = 0;
-  if (largest_newly_meta != nullptr && largest_newly == ack.largest_acked) {
-    rtt_sample = now - largest_newly_meta->sent_time;
+  if (have_newly && largest_newly == ack.largest_acked) {
+    rtt_sample = now - log_.sent_time(largest_newly);
     rtt_.update(rtt_sample, ack.ack_delay);
     if (rtt_cb_) rtt_cb_(now, rtt_sample);
   }
@@ -162,14 +197,14 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     ev.smoothed_rtt = rtt_.smoothed();
     ev.min_rtt = rtt_.min_rtt();
     ev.largest_newly_acked = largest_newly;
-    ev.largest_newly_acked_sent_time = largest_newly_meta->sent_time;
-    ev.largest_sent_pn = next_pn_ == 0 ? 0 : next_pn_ - 1;
-    const Time interval = now - largest_newly_meta->delivered_time_at_send;
+    ev.largest_newly_acked_sent_time = log_.sent_time(largest_newly);
+    ev.largest_sent_pn = log_.next_pn() == 0 ? 0 : log_.next_pn() - 1;
+    const SentCold& cold = log_.cold(largest_newly);
+    const Time interval = now - cold.delivered_time_at_send;
     if (interval > 0) {
       ev.rate_valid = true;
       ev.delivery_rate =
-          rate_of(delivered_bytes_ - largest_newly_meta->delivered_at_send,
-                  interval);
+          rate_of(delivered_bytes_ - cold.delivered_at_send, interval);
     }
     cca_->on_ack(ev);
     if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
@@ -202,27 +237,40 @@ void SenderEndpoint::detect_losses() {
   Time largest_lost_sent = 0;
   Time next_loss_time = time::kInfinite;
 
-  for (const std::uint64_t pn : unresolved_) {
-    SentMeta* m = meta(pn);
-    if (m == nullptr || m->acked || m->lost) continue;
-    if (pn >= largest_acked_) continue;
+  // The unresolved list ascends in pn and therefore in sent_time, so
+  // both loss thresholds are monotone along the walk: the first live
+  // entry that fails both is the earliest future loss, and every entry
+  // after it fails both too — stop there.
+  std::uint64_t pn = log_.unres_head();
+  while (pn != SentLog::kNone) {
+    const std::size_t s = log_.slot(pn);
+    const std::uint64_t nxt = log_.next_at(s);
+    if (log_.flags_at(s) & (kSentAcked | kSentLost)) {
+      pn = nxt;
+      continue;
+    }
+    if (pn >= largest_acked_) break;  // ascending: nothing below remains
+    const Time sent = log_.sent_time_at(s);
     const bool pkt_thresh =
         largest_acked_ >= pn + static_cast<std::uint64_t>(reorder_threshold_);
-    const bool time_thresh = m->sent_time + threshold <= now;
+    const bool time_thresh = sent + threshold <= now;
     if (pkt_thresh || time_thresh) {
-      m->lost = true;
-      bytes_in_flight_ -= m->wire_size;
-      lost_bytes += m->wire_size;
-      pending_retx_bytes_ += m->payload;
+      log_.add_flags_at(s, kSentLost);  // stays on the unresolved list
+      const Bytes wire = log_.wire_size_at(s);
+      bytes_in_flight_ -= wire;
+      lost_bytes += wire;
+      pending_retx_bytes_ += profile_.mss;
       ++stats_.losses_detected;
       if (lost_cb_) lost_cb_(now, pn);
       if (pn >= largest_lost) {
         largest_lost = pn;
-        largest_lost_sent = m->sent_time;
+        largest_lost_sent = sent;
       }
     } else {
-      next_loss_time = std::min(next_loss_time, m->sent_time + threshold);
+      next_loss_time = sent + threshold;
+      break;
     }
+    pn = nxt;
   }
 
   if (lost_bytes > 0) {
@@ -291,17 +339,17 @@ void SenderEndpoint::declare_persistent_congestion() {
   Bytes lost_bytes = 0;
   std::uint64_t largest_lost = 0;
   Time largest_lost_sent = 0;
-  for (std::uint64_t pn = base_pn_; pn < next_pn_; ++pn) {
-    SentMeta* m = meta(pn);
-    if (m == nullptr || m->acked || m->lost) continue;
-    m->lost = true;
-    bytes_in_flight_ -= m->wire_size;
-    lost_bytes += m->wire_size;
-    pending_retx_bytes_ += m->payload;
-    unresolved_.insert(pn);
+  for (std::uint64_t pn = log_.base_pn(); pn < log_.next_pn(); ++pn) {
+    if (log_.flags(pn) & (kSentAcked | kSentLost)) continue;
+    log_.add_flags(pn, kSentLost);
+    const Bytes wire = log_.wire_size(pn);
+    bytes_in_flight_ -= wire;
+    lost_bytes += wire;
+    pending_retx_bytes_ += profile_.mss;
+    log_.link_unresolved(pn);
     if (lost_cb_) lost_cb_(now, pn);
     largest_lost = pn;
-    largest_lost_sent = m->sent_time;
+    largest_lost_sent = log_.sent_time(pn);
   }
   if (lost_bytes == 0) return;
   ++stats_.persistent_congestion_events;
@@ -317,14 +365,26 @@ void SenderEndpoint::declare_persistent_congestion() {
   pto_count_ = 0;
 }
 
-std::optional<Rate> SenderEndpoint::effective_pacing_rate() const {
-  if (auto r = cca_->pacing_rate(); r.has_value()) return r;
-  if (profile_.pace_window_ccas && rtt_.has_sample()) {
-    const double cwnd_bits = static_cast<double>(cca_->cwnd()) * 8.0;
-    return profile_.window_pacing_factor * cwnd_bits /
-           time::to_sec(rtt_.smoothed());
+std::optional<Time> SenderEndpoint::pacing_interval(Bytes wire, Bytes cwnd) {
+  // CCA-provided rates (BBR) can change on any event, so they are
+  // re-derived every call. Window pacing is a pure function of
+  // (cwnd, srtt), which only move during ack/loss processing — cache the
+  // derived interval so the send loop's per-packet re-evaluation skips
+  // the divide chain.
+  if (const auto r = cca_->pacing_rate(); r.has_value()) {
+    return serialization_time(wire, *r);
   }
-  return std::nullopt;
+  if (!profile_.pace_window_ccas || !rtt_.has_sample()) return std::nullopt;
+  const Time srtt = rtt_.smoothed();
+  if (cwnd != pace_key_cwnd_ || srtt != pace_key_srtt_) {
+    const double cwnd_bits = static_cast<double>(cwnd) * 8.0;
+    const Rate rate =
+        profile_.window_pacing_factor * cwnd_bits / time::to_sec(srtt);
+    pace_interval_ = serialization_time(wire, rate);
+    pace_key_cwnd_ = cwnd;
+    pace_key_srtt_ = srtt;
+  }
+  return pace_interval_;
 }
 
 void SenderEndpoint::maybe_send() {
@@ -342,19 +402,20 @@ void SenderEndpoint::maybe_send() {
 void SenderEndpoint::do_send_loop() {
   const Bytes wire = profile_.mss + profile_.header_overhead;
   for (;;) {
-    if (bytes_in_flight_ + wire > cca_->cwnd()) break;
+    const Bytes cwnd = cca_->cwnd();
+    if (bytes_in_flight_ + wire > cwnd) break;
     if (profile_.flow_control_window > 0 &&
         bytes_in_flight_ + wire > profile_.flow_control_window) {
       break;
     }
-    if (const auto rate = effective_pacing_rate(); rate.has_value()) {
+    if (const auto paced = pacing_interval(wire, cwnd); paced.has_value()) {
       if (next_send_time_ > sim_.now()) {
         if (profile_.send_quantum <= 0) {
           pacing_timer_.rearm(next_send_time_);
         }
         break;
       }
-      const Time interval = serialization_time(wire, *rate);
+      const Time interval = *paced;
       const Time burst_allowance =
           interval * std::max(profile_.pacing_burst_packets - 1, 0);
       next_send_time_ =
@@ -368,13 +429,7 @@ void SenderEndpoint::send_one(bool is_probe) {
   const Time now = sim_.now();
   const Bytes wire = profile_.mss + profile_.header_overhead;
 
-  SentMeta m;
-  m.wire_size = wire;
-  m.payload = profile_.mss;
-  m.sent_time = now;
-  m.delivered_at_send = delivered_bytes_;
-  m.delivered_time_at_send = delivered_time_;
-  m.is_retx = is_probe || pending_retx_bytes_ > 0;
+  const bool is_retx = is_probe || pending_retx_bytes_ > 0;
   if (pending_retx_bytes_ > 0) {
     pending_retx_bytes_ = std::max<Bytes>(pending_retx_bytes_ - profile_.mss, 0);
     ++stats_.retransmissions;
@@ -382,8 +437,9 @@ void SenderEndpoint::send_one(bool is_probe) {
     ++stats_.retransmissions;
   }
 
-  const std::uint64_t pn = next_pn_++;
-  sent_.push_back(m);
+  const std::uint64_t pn = log_.push(now, static_cast<std::uint32_t>(wire),
+                                     is_retx, delivered_bytes_,
+                                     delivered_time_);
   bytes_in_flight_ += wire;
   ++stats_.packets_sent;
   stats_.bytes_sent += wire;
@@ -393,16 +449,16 @@ void SenderEndpoint::send_one(bool is_probe) {
   ev.pn = pn;
   ev.size = wire;
   ev.bytes_in_flight = bytes_in_flight_;
-  ev.is_retransmission = m.is_retx;
+  ev.is_retransmission = is_retx;
   cca_->on_packet_sent(ev);
-  if (sent_cb_) sent_cb_(now, pn, wire, m.is_retx);
+  if (sent_cb_) sent_cb_(now, pn, wire, is_retx);
 
   Packet p;
   p.kind = PacketKind::kData;
-  p.flow = flow_;
+  p.flow = static_cast<std::int16_t>(flow_);
   p.size = wire;
   p.pn = pn;
-  p.payload = m.payload;
+  p.payload = profile_.mss;
   p.sent_time = now;
 
   if (profile_.egress_jitter > 0) {

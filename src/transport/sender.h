@@ -12,9 +12,7 @@
 //   - stack artifacts per SenderProfile: flow-control caps, egress jitter,
 //     send-loop batching
 
-#include <functional>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "cca/cca.h"
@@ -22,7 +20,8 @@
 #include "netsim/packet.h"
 #include "transport/profile.h"
 #include "transport/rtt.h"
-#include "util/fifo.h"
+#include "transport/sent_log.h"
+#include "util/inline_fn.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -52,26 +51,26 @@ class SenderEndpoint : public netsim::PacketSink {
   void deliver(netsim::Packet p) override;
 
   // Observability hooks for the trace module.
-  using RttCallback = std::function<void(Time now, Time rtt)>;
+  using RttCallback = util::InlineFn<void(Time now, Time rtt)>;
   using CwndCallback =
-      std::function<void(Time now, Bytes cwnd, Bytes bytes_in_flight)>;
-  using PacketSentCallback = std::function<void(
+      util::InlineFn<void(Time now, Bytes cwnd, Bytes bytes_in_flight)>;
+  using PacketSentCallback = util::InlineFn<void(
       Time now, std::uint64_t pn, Bytes size, bool is_retransmission)>;
   // Fires when a pn leaves the flight via a (non-spurious) ack, after
   // bytes_in_flight is decremented; spurious acks fire the spurious-loss
   // callback instead. Together with sent/lost this makes the packet
   // ledger observable (invariant checker).
   using PacketAckedCallback =
-      std::function<void(Time now, std::uint64_t pn, Bytes size)>;
-  using PacketLostCallback = std::function<void(Time now, std::uint64_t pn)>;
+      util::InlineFn<void(Time now, std::uint64_t pn, Bytes size)>;
+  using PacketLostCallback = util::InlineFn<void(Time now, std::uint64_t pn)>;
   // Loss-detection / PTO timer lifecycle, for the flight recorder. The
   // `expiry` argument is only meaningful for kSet.
   enum class LossTimerKind { kLossDetection, kPto };
   enum class LossTimerEvent { kSet, kExpired, kCancelled };
-  using TimerCallback = std::function<void(Time now, LossTimerKind kind,
-                                           LossTimerEvent event, Time expiry)>;
-  using PtoCallback = std::function<void(Time now, int pto_count)>;
-  using SpuriousLossCallback = std::function<void(Time now, std::uint64_t pn)>;
+  using TimerCallback = util::InlineFn<void(Time now, LossTimerKind kind,
+                                            LossTimerEvent event, Time expiry)>;
+  using PtoCallback = util::InlineFn<void(Time now, int pto_count)>;
+  using SpuriousLossCallback = util::InlineFn<void(Time now, std::uint64_t pn)>;
   void set_rtt_callback(RttCallback cb) { rtt_cb_ = std::move(cb); }
   void set_cwnd_callback(CwndCallback cb) { cwnd_cb_ = std::move(cb); }
   void set_packet_sent_callback(PacketSentCallback cb) {
@@ -98,21 +97,12 @@ class SenderEndpoint : public netsim::PacketSink {
   // Current RACK-style packet-reorder threshold (adapts upward on
   // spurious losses when the profile allows it).
   int reorder_threshold() const { return reorder_threshold_; }
+  // Scoreboard work counters (amortization tests).
+  const ScoreboardCounters& scoreboard_counters() const {
+    return log_.counters();
+  }
 
  private:
-  struct SentMeta {
-    Bytes wire_size = 0;
-    Bytes payload = 0;
-    Time sent_time = 0;
-    Bytes delivered_at_send = 0;
-    Time delivered_time_at_send = 0;
-    bool acked = false;
-    bool lost = false;
-    bool is_retx = false;
-  };
-
-  // Packet bookkeeping: sent_[pn - base_pn_].
-  SentMeta* meta(std::uint64_t pn);
   void compact_sent_log();
 
   void on_ack_frame(const netsim::Packet& ack);
@@ -126,7 +116,7 @@ class SenderEndpoint : public netsim::PacketSink {
   void do_send_loop();
   void send_one(bool is_probe);
   Time loss_time_threshold() const;
-  std::optional<Rate> effective_pacing_rate() const;
+  std::optional<Time> pacing_interval(Bytes wire, Bytes cwnd);
 
   netsim::Simulator& sim_;
   int flow_;
@@ -136,12 +126,10 @@ class SenderEndpoint : public netsim::PacketSink {
   Rng rng_;
 
   bool started_ = false;
-  std::uint64_t next_pn_ = 0;
-  std::uint64_t base_pn_ = 0;
-  util::FifoVec<SentMeta> sent_;
-  // Unresolved (unacked or lost-but-within-grace) pns below the largest
-  // processed ack; kept small so per-ack work stays O(gaps).
-  std::set<std::uint64_t> unresolved_;
+  // Packet scoreboard: SoA metadata ring plus the intrusive unresolved
+  // list (unacked or lost-but-within-grace pns below the largest
+  // processed ack), kept small so per-ack work stays O(gaps).
+  SentLog log_;
   std::uint64_t largest_acked_ = 0;
   bool any_acked_ = false;
 
@@ -160,6 +148,12 @@ class SenderEndpoint : public netsim::PacketSink {
   Time next_send_time_ = 0;
   Time last_egress_release_ = 0;
   int pto_count_ = 0;
+
+  // Window-pacing interval cache (see pacing_interval()); keyed on the
+  // exact (cwnd, srtt) pair the cached value was derived from.
+  Bytes pace_key_cwnd_ = -1;
+  Time pace_key_srtt_ = -1;
+  Time pace_interval_ = 0;
 
   // Egress-jitter staging: a Packet is too large to capture inline in an
   // event callback, so delayed packets park in a pooled slot and the

@@ -1,0 +1,245 @@
+#pragma once
+// SentLog: the sender's packet scoreboard as a structure-of-arrays ring.
+//
+// Replaces the FifoVec<SentMeta> + std::set<uint64_t> pair the sender
+// used through PR 4. The per-packet metadata is split into hot arrays
+// (sent_time, wire_size, state flags — everything the per-ACK and
+// loss-detection paths touch) and a cold array (delivery-rate sampling
+// state, read once per ACK frame at most), so a BDP-sized window of
+// in-flight packets spans a handful of cache lines instead of one
+// 64-byte struct per packet.
+//
+// The old `unresolved_` rb-tree becomes an intrusive doubly-linked list
+// threaded through two parallel arrays. Links are stored as packet
+// numbers, not indices, so they survive ring compaction; membership is
+// a flag bit. This gives O(1) insert at the tail (the common case: new
+// gaps have the largest pns), O(1) unlink on ack/spurious-ack, an O(1)
+// earliest-unresolved cursor (the list head), and ordered ascending
+// iteration for loss detection — with no rb-tree nodes to allocate,
+// rebalance, or miss cache on.
+//
+// Storage follows util::FifoVec's compaction policy: pop_front advances
+// a head index; the buffer is recycled outright when the log drains and
+// the dead prefix is erased once it dominates, so total compaction work
+// is O(packets pushed) regardless of how many ACK frames arrive
+// (ScoreboardCounters make that testable).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::transport {
+
+// Per-packet state bits (hot array).
+enum : std::uint8_t {
+  kSentAcked = 1u << 0,
+  kSentLost = 1u << 1,
+  kSentRetx = 1u << 2,
+  kSentUnres = 1u << 3,  // linked into the unresolved list
+};
+
+// Read at most once per ACK frame (delivery-rate sampling for the
+// largest newly acked pn), so kept out of the hot arrays.
+struct SentCold {
+  Bytes delivered_at_send = 0;
+  Time delivered_time_at_send = 0;
+};
+
+// Work counters for the amortization tests: total compaction work must
+// stay O(packets pushed), and unresolved-list maintenance O(1) amortized
+// per insert, independent of how many ACK frames arrive.
+struct ScoreboardCounters {
+  std::uint64_t compact_calls = 0;
+  std::uint64_t compact_pops = 0;      // entries retired off the front
+  std::uint64_t storage_moves = 0;     // entries shifted by prefix erase
+  std::uint64_t link_inserts = 0;      // unresolved-list insertions
+  std::uint64_t link_walk_steps = 0;   // backward steps to find the slot
+};
+
+class SentLog {
+ public:
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+  void reserve(std::size_t n) {
+    sent_time_.reserve(n);
+    wire_size_.reserve(n);
+    flags_.reserve(n);
+    next_.reserve(n);
+    prev_.reserve(n);
+    cold_.reserve(n);
+  }
+
+  bool empty() const { return head_ == flags_.size(); }
+  std::uint64_t base_pn() const { return base_pn_; }
+  std::uint64_t next_pn() const { return next_pn_; }
+  bool contains(std::uint64_t pn) const {
+    return pn >= base_pn_ && pn < next_pn_;
+  }
+
+  // Appends a packet and returns its pn.
+  std::uint64_t push(Time sent_time, std::uint32_t wire_size, bool is_retx,
+                     Bytes delivered_at_send, Time delivered_time_at_send) {
+    sent_time_.push_back(sent_time);
+    wire_size_.push_back(wire_size);
+    flags_.push_back(is_retx ? kSentRetx : 0);
+    next_.push_back(kNone);
+    prev_.push_back(kNone);
+    cold_.push_back({delivered_at_send, delivered_time_at_send});
+    return next_pn_++;
+  }
+
+  // Field access by pn. Callers must check contains(pn) first.
+  std::uint8_t flags(std::uint64_t pn) const { return flags_[idx(pn)]; }
+  void add_flags(std::uint64_t pn, std::uint8_t bits) {
+    flags_[idx(pn)] |= bits;
+  }
+  Time sent_time(std::uint64_t pn) const { return sent_time_[idx(pn)]; }
+  std::uint32_t wire_size(std::uint64_t pn) const {
+    return wire_size_[idx(pn)];
+  }
+  const SentCold& cold(std::uint64_t pn) const { return cold_[idx(pn)]; }
+
+  // Slot-resolved access for the per-ACK and loss-scan loops: resolving
+  // the ring slot once per pn lets the compiler keep the array bases in
+  // registers (the uint8_t flag stores alias everything, so interleaved
+  // by-pn calls would reload them between fields).
+  std::size_t slot(std::uint64_t pn) const { return idx(pn); }
+  std::uint8_t flags_at(std::size_t s) const { return flags_[s]; }
+  void add_flags_at(std::size_t s, std::uint8_t bits) { flags_[s] |= bits; }
+  Time sent_time_at(std::size_t s) const { return sent_time_[s]; }
+  std::uint32_t wire_size_at(std::size_t s) const { return wire_size_[s]; }
+  std::uint64_t next_at(std::size_t s) const { return next_[s]; }
+
+  // --- unresolved list (ascending pn order) ---
+
+  std::uint64_t unres_head() const { return unres_head_; }
+  std::uint64_t unres_next(std::uint64_t pn) const { return next_[idx(pn)]; }
+
+  // Sorted insert; no-op if pn is already linked. Walks backward from
+  // the tail, which is O(1) when pn is the new largest unresolved (the
+  // common case: fresh ACK gaps have ascending pns).
+  void link_unresolved(std::uint64_t pn) {
+    const std::size_t i = idx(pn);
+    if (flags_[i] & kSentUnres) return;
+    flags_[i] |= kSentUnres;
+    ++counters_.link_inserts;
+    std::uint64_t after = unres_tail_;
+    while (after != kNone && after > pn) {
+      after = prev_[idx(after)];
+      ++counters_.link_walk_steps;
+    }
+    const std::uint64_t before =
+        after == kNone ? unres_head_ : next_[idx(after)];
+    next_[i] = before;
+    prev_[i] = after;
+    if (after == kNone) {
+      unres_head_ = pn;
+    } else {
+      next_[idx(after)] = pn;
+    }
+    if (before == kNone) {
+      unres_tail_ = pn;
+    } else {
+      prev_[idx(before)] = pn;
+    }
+  }
+
+  // O(1) unlink; no-op if pn is out of the log or not linked (matches
+  // std::set::erase on an absent key).
+  void unlink_unresolved(std::uint64_t pn) {
+    if (!contains(pn)) return;
+    const std::size_t i = idx(pn);
+    if (!(flags_[i] & kSentUnres)) return;
+    flags_[i] &= static_cast<std::uint8_t>(~kSentUnres);
+    const std::uint64_t p = prev_[i];
+    const std::uint64_t n = next_[i];
+    if (p == kNone) {
+      unres_head_ = n;
+    } else {
+      next_[idx(p)] = n;
+    }
+    if (n == kNone) {
+      unres_tail_ = p;
+    } else {
+      prev_[idx(n)] = p;
+    }
+  }
+
+  // Retires the resolved front of the ring: acked packets, and
+  // lost-marked packets once the spurious-ack grace period has passed.
+  void compact(Time now, Time grace) {
+    ++counters_.compact_calls;
+    while (!empty()) {
+      const std::uint8_t f = flags_[head_];
+      if (f & kSentAcked) {
+        pop_front();
+      } else if ((f & kSentLost) && sent_time_[head_] + grace < now) {
+        unlink_unresolved(base_pn_);
+        pop_front();
+      } else {
+        break;
+      }
+    }
+    if (head_ == flags_.size()) {
+      // Capacity retained: the common drain-to-empty case.
+      sent_time_.clear();
+      wire_size_.clear();
+      flags_.clear();
+      next_.clear();
+      prev_.clear();
+      cold_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactThreshold && head_ >= flags_.size() - head_) {
+      // Dead prefix at least as large as the live suffix: compact.
+      counters_.storage_moves += flags_.size() - head_;
+      const auto n = static_cast<std::ptrdiff_t>(head_);
+      sent_time_.erase(sent_time_.begin(), sent_time_.begin() + n);
+      wire_size_.erase(wire_size_.begin(), wire_size_.begin() + n);
+      flags_.erase(flags_.begin(), flags_.begin() + n);
+      next_.erase(next_.begin(), next_.begin() + n);
+      prev_.erase(prev_.begin(), prev_.begin() + n);
+      cold_.erase(cold_.begin(), cold_.begin() + n);
+      head_ = 0;
+    }
+  }
+
+  const ScoreboardCounters& counters() const { return counters_; }
+
+ private:
+  static constexpr std::size_t kCompactThreshold = 64;
+
+  std::size_t idx(std::uint64_t pn) const {
+    assert(contains(pn));
+    return head_ + static_cast<std::size_t>(pn - base_pn_);
+  }
+
+  void pop_front() {
+    assert(!(flags_[head_] & kSentUnres));
+    ++head_;
+    ++base_pn_;
+    ++counters_.compact_pops;
+  }
+
+  // Hot: touched for every pn an ACK frame or loss scan visits.
+  std::vector<Time> sent_time_;
+  std::vector<std::uint32_t> wire_size_;
+  std::vector<std::uint8_t> flags_;
+  // Unresolved-list links, keyed and valued by pn (compaction-stable).
+  std::vector<std::uint64_t> next_;
+  std::vector<std::uint64_t> prev_;
+  // Cold: delivery-rate sampling state.
+  std::vector<SentCold> cold_;
+
+  std::size_t head_ = 0;
+  std::uint64_t base_pn_ = 0;
+  std::uint64_t next_pn_ = 0;
+  std::uint64_t unres_head_ = kNone;
+  std::uint64_t unres_tail_ = kNone;
+
+  ScoreboardCounters counters_;
+};
+
+} // namespace quicbench::transport

@@ -22,6 +22,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -83,7 +84,7 @@ class InlineFn<R(Args...), InlineBytes> {
 
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(&buf_);
+      if (!ops_->trivial_destroy) ops_->destroy(&buf_);
       ops_ = nullptr;
     }
   }
@@ -100,6 +101,14 @@ class InlineFn<R(Args...), InlineBytes> {
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* obj) noexcept;
     bool heap;
+    // Trivially-relocatable / trivially-destructible fast-path flags:
+    // nearly every event callback captures only pointers and integers,
+    // and the event store relocates entries several times per dispatch
+    // (heap sift, wheel bucket sort). These flags let moves be a plain
+    // memcpy of the buffer and destruction a no-op, skipping the
+    // indirect call either would otherwise make.
+    bool trivial_relocate;
+    bool trivial_destroy;
   };
 
   template <typename F>
@@ -118,7 +127,12 @@ class InlineFn<R(Args...), InlineBytes> {
       s->~F();
     }
     static void destroy(void* buf) noexcept { as<F>(buf)->~F(); }
-    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/false};
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/false,
+                              /*trivial_relocate=*/
+                              std::is_trivially_copyable_v<F> &&
+                                  std::is_trivially_destructible_v<F>,
+                              /*trivial_destroy=*/
+                              std::is_trivially_destructible_v<F>};
   };
 
   template <typename F>
@@ -131,7 +145,11 @@ class InlineFn<R(Args...), InlineBytes> {
       ::new (dst) F*(ptr(src));  // pointer relocation only
     }
     static void destroy(void* buf) noexcept { delete ptr(buf); }
-    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/true};
+    // The owning pointer relocates by value, so moves are trivially a
+    // memcpy; destruction still frees the heap object.
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, /*heap=*/true,
+                              /*trivial_relocate=*/true,
+                              /*trivial_destroy=*/false};
   };
 
   template <typename F>
@@ -152,7 +170,11 @@ class InlineFn<R(Args...), InlineBytes> {
   void steal(InlineFn& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(&buf_, &other.buf_);
+      if (ops_->trivial_relocate) {
+        std::memcpy(&buf_, &other.buf_, InlineBytes);
+      } else {
+        ops_->relocate(&buf_, &other.buf_);
+      }
       other.ops_ = nullptr;
     }
   }

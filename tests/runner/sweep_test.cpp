@@ -215,8 +215,9 @@ TEST(Sweep, ManifestReportsSchemaAndCounts) {
   std::stringstream ss;
   ss << f.rdbuf();
   const std::string body = ss.str();
-  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v3\""),
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v4\""),
             std::string::npos);
+  EXPECT_NE(body.find("\"finalize_sec\""), std::string::npos);
   EXPECT_NE(body.find("\"impairment\": \"none\""), std::string::npos);
   EXPECT_NE(body.find("\"simulations_executed\": 2"), std::string::npos);
   EXPECT_NE(body.find("\"fingerprint\""), std::string::npos);

@@ -51,10 +51,10 @@ struct Fixture {
     int n = 0;
     std::uint64_t largest = 0;
     for (const auto& [first, last] : ranges) {
-      ack.ranges[static_cast<std::size_t>(n++)] = {first, last};
+      ack.set_range(n++, first, last);
       largest = std::max(largest, last);
     }
-    ack.n_ranges = n;
+    ack.n_ranges = static_cast<std::uint8_t>(n);
     ack.largest_acked = largest;
     sender->deliver(ack);
   }

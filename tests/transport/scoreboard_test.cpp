@@ -1,0 +1,240 @@
+// Scoreboard (SentLog) regression tests: unresolved-list ordering and
+// compaction stability at the unit level, the historical
+// iterate-while-acking hazard at the sender level, and the amortization
+// guarantees the ScoreboardCounters expose (compaction and list
+// maintenance stay O(packets sent) no matter how many ACK frames
+// arrive).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cca/cubic.h"
+#include "netsim/event.h"
+#include "netsim/packet.h"
+#include "transport/sender.h"
+#include "transport/sent_log.h"
+
+namespace quicbench::transport {
+namespace {
+
+using netsim::Packet;
+using netsim::PacketKind;
+using netsim::Simulator;
+
+std::vector<std::uint64_t> unresolved_pns(const SentLog& log) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t pn = log.unres_head(); pn != SentLog::kNone;
+       pn = log.unres_next(pn)) {
+    out.push_back(pn);
+  }
+  return out;
+}
+
+TEST(SentLogScoreboard, LinkKeepsAscendingOrderForAnyInsertOrder) {
+  SentLog log;
+  for (int i = 0; i < 6; ++i) log.push(time::ms(i), 1500, false, 0, 0);
+  // Tail-first, then middle, then head — the walk-backward insert must
+  // produce the same ascending list regardless.
+  log.link_unresolved(5);
+  log.link_unresolved(1);
+  log.link_unresolved(3);
+  log.link_unresolved(0);
+  log.link_unresolved(3);  // duplicate: no-op
+  EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{0, 1, 3, 5}));
+
+  log.unlink_unresolved(0);  // head
+  log.unlink_unresolved(5);  // tail
+  log.unlink_unresolved(3);  // middle
+  EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{1}));
+  log.unlink_unresolved(1);
+  EXPECT_EQ(log.unres_head(), SentLog::kNone);
+  log.unlink_unresolved(2);   // never linked: no-op
+  log.unlink_unresolved(99);  // out of the log: no-op
+}
+
+TEST(SentLogScoreboard, LinksSurviveStorageCompaction) {
+  // Links are keyed by pn, not by ring index, so a prefix erase must not
+  // disturb the list. Build a log whose acked prefix is large enough to
+  // trip the erase path (>= 64 dead entries, dead >= live).
+  SentLog log;
+  for (int i = 0; i < 200; ++i) log.push(time::ms(1), 1500, false, 0, 0);
+  log.link_unresolved(150);
+  log.link_unresolved(170);
+  log.link_unresolved(199);
+  for (std::uint64_t pn = 0; pn < 150; ++pn) log.add_flags(pn, kSentAcked);
+  log.compact(time::ms(2), time::sec(2));
+  ASSERT_EQ(log.base_pn(), 150u);
+  EXPECT_GT(log.counters().storage_moves, 0u) << "prefix erase did not run";
+  EXPECT_EQ(unresolved_pns(log),
+            (std::vector<std::uint64_t>{150, 170, 199}));
+  EXPECT_EQ(log.sent_time(150), time::ms(1));
+  // The list stays operable after the move.
+  log.unlink_unresolved(170);
+  EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{150, 199}));
+}
+
+TEST(SentLogScoreboard, CompactRetiresGracedLostEntries) {
+  SentLog log;
+  log.push(time::ms(0), 1500, false, 0, 0);  // pn 0: lost, grace expires
+  log.push(time::ms(0), 1500, false, 0, 0);  // pn 1: still unresolved
+  log.add_flags(0, kSentLost);
+  log.link_unresolved(0);
+  log.link_unresolved(1);
+  log.compact(time::ms(1), time::sec(2));
+  EXPECT_EQ(log.base_pn(), 0u) << "grace period not yet over";
+  log.compact(time::sec(3), time::sec(2));
+  EXPECT_EQ(log.base_pn(), 1u);
+  EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(SentLogScoreboard, CompactionWorkBoundedByPushes) {
+  // Hammer compact() after every push/ack: total pops and storage moves
+  // must stay O(pushes), not O(pushes x compact calls).
+  SentLog log;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t pn = log.push(time::ms(i), 1500, false, 0, 0);
+    log.compact(time::ms(i), time::sec(2));
+    if (i % 2 == 0) {
+      log.add_flags(pn, kSentAcked);
+      log.compact(time::ms(i), time::sec(2));
+    } else {
+      log.add_flags(pn, kSentAcked);
+    }
+  }
+  for (std::uint64_t pn = log.base_pn(); pn < log.next_pn(); ++pn) {
+    log.add_flags(pn, kSentAcked);
+  }
+  log.compact(time::sec(60), time::sec(2));
+  const ScoreboardCounters& c = log.counters();
+  EXPECT_EQ(c.compact_pops, static_cast<std::uint64_t>(kN));
+  EXPECT_LE(c.storage_moves, static_cast<std::uint64_t>(kN));
+  EXPECT_GE(c.compact_calls, static_cast<std::uint64_t>(kN));
+}
+
+// --- sender-level tests ---
+
+class RecordingNetwork : public netsim::PacketSink {
+ public:
+  void deliver(Packet p) override { packets.push_back(std::move(p)); }
+  std::vector<Packet> packets;
+};
+
+struct Fixture {
+  Simulator sim;
+  RecordingNetwork net;
+  std::unique_ptr<SenderEndpoint> sender;
+
+  explicit Fixture(SenderProfile profile) {
+    cca::CubicConfig ccfg;
+    ccfg.mss = profile.mss;
+    sender = std::make_unique<SenderEndpoint>(
+        sim, 0, profile, std::make_unique<cca::Cubic>(ccfg), &net, Rng(3));
+    sender->start(0);
+  }
+
+  void deliver_ack(std::initializer_list<netsim::AckRange> ranges) {
+    Packet ack;
+    ack.kind = PacketKind::kAck;
+    ack.flow = 0;
+    ack.size = 80;
+    int i = 0;
+    for (const auto& r : ranges) {
+      ack.largest_acked = std::max(ack.largest_acked, r.last);
+      ack.set_range(i++, r.first, r.last);
+    }
+    ack.n_ranges = static_cast<std::uint8_t>(i);
+    sender->deliver(ack);
+  }
+};
+
+TEST(SenderScoreboard, AckRangesResolvingTrackedPnsMidScan) {
+  // Regression for the pre-SentLog hazard: ACK processing used to erase
+  // pns from the unresolved std::set while range handling and loss
+  // detection were iterating it. Deliver ACK frames whose ranges ack,
+  // loss-mark and spuriously-recover pns that sit on the unresolved list
+  // in the same frame, and check the byte ledger stays exact.
+  SenderProfile p = default_quic_profile().sender;
+  Fixture f(p);
+  f.sim.run_until(time::ms(5));
+  ASSERT_GE(f.net.packets.back().pn, 8u);
+
+  // Gap ack: pns 0-2 and 5 stay unresolved; 3-4 and 6-8 resolve while
+  // the scoreboard walk crosses both sides of the gap.
+  f.deliver_ack({{6, 8}, {3, 4}});
+  const auto losses_after_gap = f.sender->stats().losses_detected;
+  EXPECT_GE(losses_after_gap, 1) << "packet threshold should fire";
+
+  // Healing ack: the same frame acks a lost-marked pn (spurious
+  // recovery, unlinks mid-list) and a still-in-flight pn.
+  f.deliver_ack({{0, 8}});
+  EXPECT_GE(f.sender->stats().spurious_losses, 1);
+
+  // Duplicate of an already-consumed frame: every pn resolved, no
+  // double accounting.
+  f.deliver_ack({{0, 8}});
+  f.sim.run_until(time::ms(20));
+
+  Bytes expected = 0;
+  for (const auto& pkt : f.net.packets) {
+    if (pkt.pn > 8) expected += pkt.size;
+  }
+  EXPECT_EQ(f.sender->bytes_in_flight(), expected);
+}
+
+TEST(SenderScoreboard, PerAckWorkAmortizedAcrossManyFrames) {
+  // Satellite guarantee: an adversarial ACK pattern (one frame per
+  // packet, each advancing the window by a single pn) must not make
+  // compaction quadratic. Every pushed entry is retired exactly once
+  // and prefix erases move each entry at most once on average.
+  SenderProfile p = default_quic_profile().sender;
+  // Nothing throttles the synthetic ack loop, so cap the flight — else
+  // slow start doubles the window every round for the whole test.
+  p.flow_control_window = 64 * (p.mss + p.header_overhead);
+  Fixture f(p);
+  std::uint64_t acked = 0;
+  for (int round = 0; round < 400; ++round) {
+    f.sim.run_until(time::ms(round + 1));
+    const std::uint64_t largest =
+        f.net.packets.empty() ? 0 : f.net.packets.back().pn;
+    // One ACK frame per outstanding pn: worst-case frame count.
+    while (acked < largest) {
+      ++acked;
+      Packet ack;
+      ack.kind = PacketKind::kAck;
+      ack.flow = 0;
+      ack.size = 80;
+      ack.largest_acked = acked;
+      ack.set_range(0, 0, acked);
+      ack.n_ranges = 1;
+      f.sender->deliver(ack);
+    }
+  }
+  const auto sent = static_cast<std::uint64_t>(f.sender->stats().packets_sent);
+  const ScoreboardCounters& c = f.sender->scoreboard_counters();
+  ASSERT_GT(sent, 1000u) << "scenario too small to exercise amortization";
+  EXPECT_LE(c.compact_pops, sent) << "entries may be retired once each";
+  EXPECT_LE(c.storage_moves, sent)
+      << "prefix erases must amortize to <= one move per packet";
+  EXPECT_LE(c.link_walk_steps, 8 * c.link_inserts)
+      << "unresolved-list inserts must stay near the tail";
+}
+
+TEST(SenderScoreboard, PacketStaysTwoCacheLinesAndRangesRoundTrip) {
+  static_assert(sizeof(Packet) == 128);
+  Packet ack;
+  ack.kind = PacketKind::kAck;
+  for (int i = 0; i < Packet::kMaxAckRanges; ++i) {
+    ack.set_range(i, 10 * i + 1, 10 * i + 7);
+  }
+  ack.n_ranges = Packet::kMaxAckRanges;
+  for (int i = 0; i < Packet::kMaxAckRanges; ++i) {
+    EXPECT_EQ(ack.range(i).first, static_cast<std::uint64_t>(10 * i + 1));
+    EXPECT_EQ(ack.range(i).last, static_cast<std::uint64_t>(10 * i + 7));
+  }
+}
+
+} // namespace
+} // namespace quicbench::transport

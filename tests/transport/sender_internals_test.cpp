@@ -50,7 +50,7 @@ struct Fixture {
     ack.flow = 0;
     ack.size = 80;
     ack.largest_acked = largest;
-    ack.ranges[0] = {0, largest};
+    ack.set_range(0, 0, largest);
     ack.n_ranges = 1;
     sender->deliver(ack);
   }
@@ -139,7 +139,7 @@ TEST(SenderInternals, CallbacksFire) {
   ack.size = 80;
   const std::uint64_t last = f.net.packets.back().pn;
   ack.largest_acked = last;
-  ack.ranges[0] = {last - 1, last};
+  ack.set_range(0, last - 1, last);
   ack.n_ranges = 1;
   // Make earlier pns overdue.
   f.sim.run_until(time::ms(60));
@@ -159,7 +159,7 @@ TEST(SenderInternals, ReorderThresholdAdapts) {
   ack.flow = 0;
   ack.size = 80;
   ack.largest_acked = 5;
-  ack.ranges[0] = {1, 5};
+  ack.set_range(0, 1, 5);
   ack.n_ranges = 1;
   f.sender->deliver(ack);
   ASSERT_GE(f.sender->stats().losses_detected, 1);
@@ -179,8 +179,8 @@ TEST(SenderInternals, ReorderThresholdAdapts) {
   const auto losses_before = f.sender->stats().losses_detected;
   Packet ack2 = ack;
   ack2.largest_acked = 12;
-  ack2.ranges[0] = {12, 12};
-  ack2.ranges[1] = {0, 8};
+  ack2.set_range(0, 12, 12);
+  ack2.set_range(1, 0, 8);
   ack2.n_ranges = 2;
   f.sender->deliver(ack2);
   EXPECT_EQ(f.sender->stats().losses_detected, losses_before);
@@ -199,7 +199,7 @@ TEST(SenderInternals, RetransmissionsCarryRetxFlagInQlogHook) {
   ack.flow = 0;
   ack.size = 80;
   ack.largest_acked = 7;
-  ack.ranges[0] = {4, 7};
+  ack.set_range(0, 4, 7);
   ack.n_ranges = 1;
   f.sender->deliver(ack);
   f.sim.run_until(time::ms(20));
