@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Summarize a sweep run manifest (quicbench.sweep.manifest/v4) as a
+"""Summarize a sweep run manifest (quicbench.sweep.manifest/v5) as a
 per-pair table: transport (simulation) wall time, finalize time
 (aggregation + cache store), cache status, simulator throughput
 (events/sec), engine sizing peaks, loss rate, bottleneck queue
-high-watermark and CCA phase residency — plus a PE-evaluation time
-breakdown across the sweep's conformance cells.
+high-watermark and CCA phase residency — plus a per-scenario table
+(flow count, Jain fairness, churn counters) for sweeps with N-flow
+scenario cells, and a PE-evaluation time breakdown across the sweep's
+conformance cells.
 
 Usage:
     python3 scripts/summarize_manifest.py bench_out/manifests/fig06.json
@@ -49,8 +51,8 @@ def summarize(path):
 
     schema = m.get("schema", "?")
     print(f"== {m.get('sweep', path)} ({schema}) ==")
-    if not schema.endswith("/v4"):
-        print(f"  warning: expected quicbench.sweep.manifest/v4, got {schema}")
+    if not schema.endswith("/v5"):
+        print(f"  warning: expected quicbench.sweep.manifest/v5, got {schema}")
     cache = m.get("cache", {})
     print(
         f"  wall {m.get('wall_sec', 0):.2f}s on {m.get('threads', '?')} threads"
@@ -95,34 +97,80 @@ def summarize(path):
             )
         )
 
-    headers = (
-        "pair",
-        "transport",
-        "finalize",
-        "ev/s",
-        "heap/wheel pk",
-        "loss",
-        "queue hwm",
-        "util",
-        "flow-0 phase residency",
-    )
-    widths = [
-        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
-        for i in range(len(headers))
-    ]
-    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    for r in rows:
-        print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if rows:
+        headers = (
+            "pair",
+            "transport",
+            "finalize",
+            "ev/s",
+            "heap/wheel pk",
+            "loss",
+            "queue hwm",
+            "util",
+            "flow-0 phase residency",
+        )
+        widths = [
+            max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+            for i in range(len(headers))
+        ]
+        print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for r in rows:
+            print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+    def fmt_count(v):
+        # Churn counters are means across trials, so they may be
+        # fractional; render integers without a trailing ".0".
+        return f"{float(v):g}"
+
+    scen_rows = []
+    for s in m.get("scenarios", []):
+        res = s.get("result", {})
+        churn = res.get("churn", {})
+        roles = s.get("roles", {})
+        scen_rows.append(
+            (
+                f"{s.get('n_flows', '?')} flows"
+                f" ({roles.get('test', 0)}t/{roles.get('reference', 0)}r"
+                f"/{roles.get('background', 0)}b)",
+                f"{s.get('wall_sec', 0):.2f}s",
+                fmt_rate(s.get("events_per_sec", 0)),
+                f"{res.get('jain_overall', 0):.3f}",
+                f"{fmt_count(churn.get('arrivals', 0))}"
+                f"/{fmt_count(churn.get('departures', 0))}",
+                fmt_count(churn.get("peak_concurrent", 0)),
+                fmt_bytes(res.get("queue_hwm_bytes", 0)),
+                f"{100 * res.get('utilization', 0):.0f}%",
+            )
+        )
+    if scen_rows:
+        scen_headers = (
+            "scenario",
+            "transport",
+            "ev/s",
+            "jain",
+            "arr/dep",
+            "peak",
+            "queue hwm",
+            "util",
+        )
+        swidths = [
+            max(len(scen_headers[i]), max(len(r[i]) for r in scen_rows))
+            for i in range(len(scen_headers))
+        ]
+        print("  " + "  ".join(h.ljust(w) for h, w in zip(scen_headers, swidths)))
+        for r in scen_rows:
+            print("  " + "  ".join(c.ljust(w) for c, w in zip(r, swidths)))
 
     # Where the non-transport time went: per-pair finalize plus per-cell
-    # PE evaluation (conformance cells only; pair cells have no eval).
+    # PE evaluation (conformance kinds only; pair/scenario cells have no
+    # eval).
     finalize_total = sum(
         p.get("finalize_sec", 0) for p in m.get("pairs", []) if not p.get("cached")
     )
     evals = [
         c.get("eval_sec", 0)
         for c in m.get("cells", [])
-        if c.get("kind") == "conformance"
+        if c.get("kind") in ("conformance", "scenario_conformance")
     ]
     if evals or finalize_total:
         eval_total = sum(evals)

@@ -2,32 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
 #include <stdexcept>
-
-#include "netsim/topology.h"
-#include "obs/invariants.h"
-#include "transport/receiver.h"
+#include <utility>
 
 namespace quicbench::harness {
 
-using netsim::Dumbbell;
-using netsim::DumbbellConfig;
-using netsim::Simulator;
 using stacks::Implementation;
-
-Bytes NetworkConfig::buffer_bytes() const {
-  const Bytes bdp = bdp_bytes(bandwidth, base_rtt);
-  const auto buf = static_cast<Bytes>(static_cast<double>(bdp) * buffer_bdp);
-  return std::max<Bytes>(buf, 3000);  // at least a couple of packets
-}
-
-std::string NetworkConfig::describe() const {
-  std::ostringstream os;
-  os << rate::to_mbps(bandwidth) << " Mbps, " << time::to_ms(base_rtt)
-     << " ms RTT, " << buffer_bdp << " BDP buffer";
-  return os.str();
-}
 
 void ExperimentConfig::validate() const {
   const auto fail = [](const std::string& msg) {
@@ -42,25 +22,33 @@ void ExperimentConfig::validate() const {
          std::to_string(time::to_sec(duration)) +
          " s); flows need time to reach steady state");
   }
-  if (net.bandwidth <= 0) {
-    fail("net.bandwidth must be positive (got " +
-         std::to_string(rate::to_mbps(net.bandwidth)) +
-         " Mbps); a zero-rate bottleneck never delivers");
+  net.validate("ExperimentConfig");
+}
+
+ScenarioConfig to_scenario_config(const Implementation& a,
+                                  const Implementation& b,
+                                  const ExperimentConfig& cfg) {
+  ScenarioConfig sc;
+  sc.net = cfg.net;
+  sc.duration = cfg.duration;
+  sc.trials = cfg.trials;
+  sc.seed = cfg.seed;
+  sc.sampling = cfg.sampling;
+  sc.record_cwnd = cfg.record_cwnd;
+
+  FlowSpec fa;
+  fa.impl = a;
+  fa.role = FlowRole::kTest;
+  FlowSpec fb;
+  fb.impl = b;
+  fb.role = FlowRole::kReference;
+  if (cfg.flow_b_start >= 0) {
+    fb.start_at = cfg.flow_b_start;
+  } else {
+    fb.start_spread = cfg.start_spread;
   }
-  if (net.base_rtt <= 0) {
-    fail("net.base_rtt must be positive (got " +
-         std::to_string(time::to_ms(net.base_rtt)) +
-         " ms); the dumbbell needs a propagation delay");
-  }
-  if (net.trace_period > 0 && net.trace_opportunities.empty()) {
-    fail("net.trace_period is set but net.trace_opportunities is empty; "
-         "a delivery trace needs at least one opportunity timestamp");
-  }
-  if (!net.trace_opportunities.empty() && net.trace_period <= 0) {
-    fail("net.trace_opportunities is set but net.trace_period is not "
-         "positive; set trace_period to the trace's wrap-around length");
-  }
-  net.impairment.validate();
+  sc.flows = {std::move(fa), std::move(fb)};
+  return sc;
 }
 
 TrialResult run_trial(const Implementation& a, const Implementation& b,
@@ -69,313 +57,21 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
   return run_trial(a, b, cfg, trial_index, TrialObservers{});
 }
 
-namespace {
-
-// Accumulates per-flow CCA phase residency from the observation-only
-// phase callbacks. `current`/`since` track the open interval; the trial
-// closes it against the configured duration.
-struct PhaseAccum {
-  std::map<std::string, double, std::less<>> sec;
-  std::string current;
-  Time since = 0;
-};
-
-}  // namespace
-
 TrialResult run_trial(const Implementation& a, const Implementation& b,
                       const ExperimentConfig& cfg, std::uint64_t trial_index,
                       const TrialObservers& observers) {
-  // A dumbbell trial keeps well under kDefaultSizeHint concurrent events
-  // (see TrialResult::engine), so the default hint avoids all slot-table
-  // and heap growth in steady state.
-  Simulator sim(Simulator::kDefaultSizeHint);
-  Rng master(cfg.seed * 0x9E3779B97F4A7C15ULL + trial_index * 1000003ULL + 1);
-  Rng jitter_rng = master.fork(1);
-
-  DumbbellConfig dc;
-  dc.bandwidth = cfg.net.bandwidth;
-  dc.base_rtt = cfg.net.base_rtt;
-  dc.buffer_bytes = cfg.net.buffer_bytes();
-  dc.path_jitter = std::max(cfg.net.base_jitter, cfg.net.path_jitter);
-  dc.jitter_allows_reorder = cfg.net.jitter_reorder;
-  dc.trace_opportunities = cfg.net.trace_opportunities;
-  dc.trace_period = cfg.net.trace_period;
-  dc.impairment = cfg.net.impairment;
-
-  Dumbbell db(sim, dc, 2, &jitter_rng);
-
-  obs::MetricsRegistry& reg = observers.metrics != nullptr
-                                  ? *observers.metrics
-                                  : obs::MetricsRegistry::noop();
-  if (reg.enabled() && db.trace_bottleneck() == nullptr) {
-    db.bottleneck().attach_metrics(reg, "bottleneck");
-  }
-  if (reg.enabled() && db.forward_impairment() != nullptr) {
-    db.forward_impairment()->attach_metrics(reg, "impairment.forward");
-  }
+  ScenarioObservers sobs;
+  sobs.qlog = {observers.qlog[0], observers.qlog[1]};
+  sobs.metrics = observers.metrics;
+  ScenarioTrialResult str =
+      run_scenario_trial(to_scenario_config(a, b, cfg), trial_index, sobs);
 
   TrialResult result;
-  PhaseAccum phase_acc[2];
-  std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
-  std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
-
-  // Runtime invariant checking (QB_INVARIANTS, default on): one checker
-  // per flow, fed from the same passive hooks as the flight recorder, so
-  // every trial — and thus every ctest target — doubles as a correctness
-  // probe. The checkers never influence the simulation; violations throw
-  // at trial end.
-  const bool inv = obs::invariants_enabled();
-  std::unique_ptr<obs::InvariantChecker> checkers[2];
-  if (inv) {
-    for (int i = 0; i < 2; ++i) {
-      checkers[i] = std::make_unique<obs::InvariantChecker>(
-          i == 0 ? "flow0" : "flow1", cfg.net.base_rtt);
-    }
-  }
-
-  for (int i = 0; i < 2; ++i) {
-    const Implementation& impl = (i == 0) ? a : b;
-    auto receiver = std::make_unique<transport::ReceiverEndpoint>(
-        sim, i, impl.profile.receiver, db.reverse_in(i));
-    auto sender = std::make_unique<transport::SenderEndpoint>(
-        sim, i, impl.profile.sender, impl.make_cca(), db.forward_in(),
-        master.fork(static_cast<std::uint64_t>(10 + i)));
-
-    trace::QlogWriter* ql = observers.qlog[i];
-    transport::SenderEndpoint* snd = sender.get();
-    obs::InvariantChecker* chk = checkers[i].get();
-    const std::string fp = i == 0 ? "flow0" : "flow1";
-
-    trace::FlowTrace& tr = result.flow[i].trace;
-    // Pre-size the recording arrays to the most the bottleneck could
-    // deliver over the trial (capped), so the per-packet record calls
-    // never reallocate mid-run.
-    {
-      const double pkts = time::to_sec(cfg.duration) *
-                          (static_cast<double>(cfg.net.bandwidth) / 8.0) /
-                          static_cast<double>(impl.profile.sender.mss);
-      const auto est = static_cast<std::size_t>(std::min(pkts, 2.5e6));
-      tr.deliveries.reserve(est);
-      tr.rtt_samples.reserve(est / 2 + 1);
-    }
-    receiver->set_delivery_callback(
-        [&tr](Time now, Bytes payload, Time) {
-          tr.record_delivery(now, payload);
-        });
-    obs::Histogram* rtt_hist =
-        reg.enabled() ? &reg.histogram(fp + ".rtt_ms") : nullptr;
-    sender->set_rtt_callback([&tr, rtt_hist, chk](Time now, Time rtt) {
-      tr.record_rtt(now, rtt);
-      if (rtt_hist != nullptr) rtt_hist->observe(time::to_ms(rtt));
-      if (chk != nullptr) chk->on_rtt_sample(now, rtt);
-    });
-    const bool rec = cfg.record_cwnd;
-    if (rec || ql != nullptr || chk != nullptr) {
-      sender->set_cwnd_callback(
-          [&tr, ql, rec, snd, chk](Time now, Bytes cwnd, Bytes inflight) {
-            if (rec) tr.record_cwnd(now, cwnd, inflight);
-            if (ql != nullptr) {
-              ql->metrics_updated(now, cwnd, inflight, snd->rtt().smoothed());
-            }
-            if (chk != nullptr) chk->on_cwnd_update(now, cwnd, inflight);
-          });
-    }
-
-    // Phase residency is tracked in every trial; the qlog state event and
-    // the recovery-entry counter piggyback on the same transition.
-    PhaseAccum& acc = phase_acc[i];
-    obs::Counter* recovery_ctr =
-        reg.enabled() ? &reg.counter(fp + ".recovery_entries") : nullptr;
-    sender->controller().set_phase_callback(
-        [&acc, ql, recovery_ctr](Time now, std::string_view from,
-                                 std::string_view to) {
-          acc.sec[std::string(from)] += time::to_sec(now - acc.since);
-          acc.current.assign(to);
-          acc.since = now;
-          if (ql != nullptr) ql->congestion_state_updated(now, from, to);
-          if (recovery_ctr != nullptr && to == "recovery") {
-            recovery_ctr->add();
-          }
-        });
-
-    if (ql != nullptr || chk != nullptr) {
-      sender->set_packet_sent_callback(
-          [ql, chk, snd](Time now, std::uint64_t pn, Bytes size, bool retx) {
-            if (ql != nullptr) ql->packet_sent(now, pn, size, retx);
-            if (chk != nullptr) {
-              chk->on_packet_sent(now, pn, size, retx, snd->bytes_in_flight(),
-                                  snd->controller().cwnd());
-            }
-          });
-      sender->set_packet_lost_callback(
-          [ql, chk](Time now, std::uint64_t pn) {
-            if (ql != nullptr) ql->packet_lost(now, pn);
-            if (chk != nullptr) chk->on_packet_lost(now, pn);
-          });
-    }
-    if (chk != nullptr) {
-      sender->set_packet_acked_callback(
-          [chk, snd](Time now, std::uint64_t pn, Bytes size) {
-            chk->on_packet_acked(now, pn, size, snd->bytes_in_flight());
-          });
-    }
-    if (ql != nullptr) {
-      receiver->set_packet_callback(
-          [ql](Time now, std::uint64_t pn, Bytes size) {
-            ql->packet_received(now, pn, size);
-          });
-      sender->set_timer_callback(
-          [ql](Time now, transport::SenderEndpoint::LossTimerKind kind,
-               transport::SenderEndpoint::LossTimerEvent event, Time expiry) {
-            using TK = transport::SenderEndpoint::LossTimerKind;
-            using TE = transport::SenderEndpoint::LossTimerEvent;
-            const auto type = kind == TK::kPto
-                                  ? trace::QlogWriter::TimerType::kPto
-                                  : trace::QlogWriter::TimerType::kLossDetection;
-            auto ev = trace::QlogWriter::TimerEvent::kSet;
-            if (event == TE::kExpired) {
-              ev = trace::QlogWriter::TimerEvent::kExpired;
-            } else if (event == TE::kCancelled) {
-              ev = trace::QlogWriter::TimerEvent::kCancelled;
-            }
-            ql->loss_timer_updated(now, type, ev, expiry);
-          });
-    }
-    obs::Histogram* pto_hist =
-        reg.enabled() ? &reg.histogram(fp + ".pto_time_sec") : nullptr;
-    if (pto_hist != nullptr || chk != nullptr) {
-      sender->set_pto_callback([pto_hist, chk](Time now, int count) {
-        if (pto_hist != nullptr) pto_hist->observe(time::to_sec(now));
-        if (chk != nullptr) chk->on_pto(now, count);
-      });
-    }
-    obs::Histogram* spur_hist =
-        reg.enabled() ? &reg.histogram(fp + ".spurious_loss_time_sec")
-                      : nullptr;
-    if (ql != nullptr || spur_hist != nullptr || chk != nullptr) {
-      sender->set_spurious_loss_callback(
-          [ql, spur_hist, chk](Time now, std::uint64_t pn) {
-            if (ql != nullptr) ql->spurious_loss_detected(now, pn);
-            if (spur_hist != nullptr) spur_hist->observe(time::to_sec(now));
-            if (chk != nullptr) chk->on_spurious_loss(now, pn);
-          });
-    }
-
-    db.attach_receiver(i, receiver.get());
-    db.attach_sender_ack_sink(i, sender.get());
-    receivers.push_back(std::move(receiver));
-    senders.push_back(std::move(sender));
-  }
-
-  std::unique_ptr<netsim::CrossTrafficSource> cross;
-  if (cfg.net.cross_traffic_rate > 0) {
-    cross = std::make_unique<netsim::CrossTrafficSource>(
-        sim, db.forward_in(), cfg.net.cross_traffic_rate, 1200,
-        cfg.net.cross_on, cfg.net.cross_off, master.fork(99));
-    cross->start();
-  }
-
-  senders[0]->start(0);
-  Time offset = 0;
-  if (cfg.flow_b_start >= 0) {
-    offset = cfg.flow_b_start;
-  } else if (cfg.start_spread > 0) {
-    offset = static_cast<Time>(master.uniform() *
-                               static_cast<double>(cfg.start_spread));
-  }
-  senders[1]->start(offset);
-
-  sim.run_until(cfg.duration);
-
-  for (int i = 0; i < 2; ++i) {
-    FlowResult& fr = result.flow[i];
-    fr.points = trace::sample_series(fr.trace, cfg.duration,
-                                     cfg.net.base_rtt, cfg.sampling);
-    const Time t0 = static_cast<Time>(static_cast<double>(cfg.duration) *
-                                      cfg.sampling.truncate_fraction);
-    fr.avg_throughput =
-        trace::average_throughput(fr.trace, t0, cfg.duration - t0);
-    fr.sender_stats = senders[static_cast<std::size_t>(i)]->stats();
-    if (!cfg.record_cwnd) fr.trace.cwnd_samples.clear();
-
-    // Close the open phase interval against the trial duration. A flow
-    // that never transitioned spent the whole run in its current phase.
-    PhaseAccum& acc = phase_acc[i];
-    const std::string last =
-        acc.current.empty()
-            ? std::string(senders[static_cast<std::size_t>(i)]
-                              ->controller()
-                              .phase())
-            : acc.current;
-    acc.sec[last] += time::to_sec(cfg.duration - acc.since);
-    fr.phase_residency_sec.assign(acc.sec.begin(), acc.sec.end());
-
-    if (reg.enabled()) {
-      const transport::SenderStats& ss = fr.sender_stats;
-      const std::string fp = i == 0 ? "flow0" : "flow1";
-      reg.counter(fp + ".packets_sent").add(ss.packets_sent);
-      reg.counter(fp + ".losses_detected").add(ss.losses_detected);
-      reg.counter(fp + ".retransmissions").add(ss.retransmissions);
-      reg.counter(fp + ".ptos_fired").add(ss.ptos_fired);
-      reg.counter(fp + ".spurious_losses").add(ss.spurious_losses);
-    }
-  }
-
-  const netsim::LinkStats& ls = db.trace_bottleneck() != nullptr
-                                    ? db.trace_bottleneck()->stats()
-                                    : db.bottleneck().stats();
-  BottleneckTelemetry& bt = result.bottleneck;
-  bt.queue_hwm_bytes = ls.max_queue_bytes;
-  bt.packets_in = ls.packets_in;
-  bt.packets_out = ls.packets_out;
-  bt.drops = ls.packets_dropped;
-  bt.bytes_out = ls.bytes_out;
-  bt.utilization = static_cast<double>(ls.bytes_out) * 8.0 /
-                   (static_cast<double>(cfg.net.bandwidth) *
-                    time::to_sec(cfg.duration));
-  if (reg.enabled()) {
-    reg.counter("bottleneck.packets_in").add(bt.packets_in);
-    reg.counter("bottleneck.packets_out").add(bt.packets_out);
-    reg.gauge("bottleneck.queue_hwm_bytes")
-        .set(static_cast<double>(bt.queue_hwm_bytes));
-    reg.gauge("bottleneck.utilization").set(bt.utilization);
-  }
-
-  if (inv) {
-    for (int i = 0; i < 2; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      checkers[idx]->final_check(result.flow[i].sender_stats,
-                                 senders[idx]->bytes_in_flight());
-    }
-    // Network-layer conservation, checked at whatever instant the trial
-    // ended (the identities hold continuously, not just at quiescence).
-    obs::InvariantChecker& net_chk = *checkers[0];
-    if (db.trace_bottleneck() != nullptr) {
-      net_chk.check_element_conservation(
-          "trace bottleneck", ls.packets_in, ls.packets_out,
-          ls.packets_dropped, db.trace_bottleneck()->packets_resident());
-    } else {
-      net_chk.check_element_conservation(
-          "bottleneck", ls.packets_in, ls.packets_out, ls.packets_dropped,
-          db.bottleneck().packets_resident());
-    }
-    const auto check_stage = [&net_chk](const char* what,
-                                        netsim::ImpairmentStage* st) {
-      if (st == nullptr) return;
-      const netsim::ImpairmentStats& is = st->stats();
-      net_chk.check_element_conservation(what, is.packets_in + is.duplicated,
-                                         is.forwarded, is.dropped,
-                                         st->packets_resident());
-    };
-    check_stage("forward impairment", db.forward_impairment());
-    check_stage("ack impairment 0", db.ack_impairment(0));
-    check_stage("ack impairment 1", db.ack_impairment(1));
-    checkers[0]->throw_if_violated();
-    checkers[1]->throw_if_violated();
-  }
-
-  result.sim_events = sim.events_fired();
-  result.engine = sim.stats();
+  result.flow[0] = std::move(str.flows[0].result);
+  result.flow[1] = std::move(str.flows[1].result);
+  result.bottleneck = str.bottleneck;
+  result.sim_events = str.sim_events;
+  result.engine = str.engine;
   return result;
 }
 

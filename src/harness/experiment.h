@@ -1,8 +1,10 @@
 #pragma once
-// Experiment harness: wires two Implementations into a dumbbell, runs
-// multi-trial experiments and produces the point clouds / bandwidth
-// shares everything else consumes. This is the C++ equivalent of the
-// paper's QUICbench orchestration (§3.4).
+// Pair-experiment harness: the paper's 1-vs-1 dumbbell experiments
+// (§3.4), expressed as thin 2-flow adapters over the N-flow scenario
+// engine (harness/scenario.h). run_trial/run_pair/measure_conformance
+// keep their historical API and produce bit-identical results: the
+// adapter builds a two-flow ScenarioConfig whose RNG fork order and
+// endpoint wiring reproduce the original pair harness exactly.
 //
 // Trials differ through the seeded randomness real testbeds exhibit: a
 // small non-reordering path jitter and a randomised start offset for the
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "conformance/conformance.h"
+#include "harness/scenario.h"
 #include "netsim/impairment.h"
 #include "obs/metrics.h"
 #include "stacks/registry.h"
@@ -23,39 +26,6 @@
 #include "util/units.h"
 
 namespace quicbench::harness {
-
-struct NetworkConfig {
-  Rate bandwidth = rate::mbps(20);
-  Time base_rtt = time::ms(10);
-  double buffer_bdp = 1.0;  // droptail buffer in BDP multiples
-
-  // Baseline testbed noise (keeps repeated trials distinct, as on real
-  // hardware). Non-reordering.
-  Time base_jitter = time::us(250);
-
-  // "In the wild" extras (Fig 11): heavier jitter and on/off cross
-  // traffic sharing the bottleneck.
-  Time path_jitter = 0;
-  bool jitter_reorder = false;
-  Rate cross_traffic_rate = 0;
-  Time cross_on = time::ms(200);
-  Time cross_off = time::ms(800);
-
-  // Mahimahi-style delivery trace; when non-empty it replaces the
-  // fixed-rate bottleneck and `bandwidth` is only used for BDP/buffer
-  // sizing (set it to the trace's average rate).
-  std::vector<Time> trace_opportunities;
-  Time trace_period = 0;
-
-  // Adversarial path impairments (seeded loss/reorder/duplication, RTT
-  // step, ACK loss); part of the experiment fingerprint. Disabled by
-  // default, in which case results are bit-identical to pre-impairment
-  // builds.
-  netsim::ImpairmentConfig impairment;
-
-  Bytes buffer_bytes() const;
-  std::string describe() const;
-};
 
 struct ExperimentConfig {
   NetworkConfig net;
@@ -76,26 +46,13 @@ struct ExperimentConfig {
   void validate() const;
 };
 
-struct FlowResult {
-  std::vector<trace::DTPoint> points;
-  Rate avg_throughput = 0;  // over the truncated steady-state interval
-  transport::SenderStats sender_stats;
-  trace::FlowTrace trace;  // full trace (cwnd series etc.)
-  // Seconds spent in each CCA phase over the trial (name-sorted). Always
-  // recorded — the phase hooks observe only, so tracking them never
-  // perturbs the simulation.
-  std::vector<std::pair<std::string, double>> phase_residency_sec;
-};
-
-// Bottleneck-side counters read off the dumbbell at trial end.
-struct BottleneckTelemetry {
-  Bytes queue_hwm_bytes = 0;
-  std::int64_t packets_in = 0;
-  std::int64_t packets_out = 0;
-  std::int64_t drops = 0;
-  Bytes bytes_out = 0;
-  double utilization = 0;  // delivered bits / (configured rate * duration)
-};
+// The 2-flow adapter mapping: flow 0 = `a` in the test position starting
+// at 0, flow 1 = `b` with the configured start offset or spread. Exposed
+// so the sweep runner and benches can hand pair workloads to the scenario
+// engine directly.
+ScenarioConfig to_scenario_config(const stacks::Implementation& a,
+                                  const stacks::Implementation& b,
+                                  const ExperimentConfig& cfg);
 
 struct TrialResult {
   FlowResult flow[2];

@@ -1,0 +1,695 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/invariants.h"
+#include "transport/receiver.h"
+
+namespace quicbench::harness {
+
+using netsim::Dumbbell;
+using netsim::DumbbellConfig;
+using netsim::Simulator;
+using stacks::Implementation;
+
+Bytes NetworkConfig::buffer_bytes() const {
+  const Bytes bdp = bdp_bytes(bandwidth, base_rtt);
+  const auto buf = static_cast<Bytes>(static_cast<double>(bdp) * buffer_bdp);
+  return std::max<Bytes>(buf, 3000);  // at least a couple of packets
+}
+
+std::string NetworkConfig::describe() const {
+  std::ostringstream os;
+  os << rate::to_mbps(bandwidth) << " Mbps, " << time::to_ms(base_rtt)
+     << " ms RTT, " << buffer_bdp << " BDP buffer";
+  return os.str();
+}
+
+void NetworkConfig::validate(const std::string& context) const {
+  const auto fail = [&context](const std::string& msg) {
+    throw std::invalid_argument(context + ": " + msg);
+  };
+  if (bandwidth <= 0) {
+    fail("net.bandwidth must be positive (got " +
+         std::to_string(rate::to_mbps(bandwidth)) +
+         " Mbps); a zero-rate bottleneck never delivers");
+  }
+  if (base_rtt <= 0) {
+    fail("net.base_rtt must be positive (got " +
+         std::to_string(time::to_ms(base_rtt)) +
+         " ms); the dumbbell needs a propagation delay");
+  }
+  if (trace_period > 0 && trace_opportunities.empty()) {
+    fail("net.trace_period is set but net.trace_opportunities is empty; "
+         "a delivery trace needs at least one opportunity timestamp");
+  }
+  if (!trace_opportunities.empty() && trace_period <= 0) {
+    fail("net.trace_opportunities is set but net.trace_period is not "
+         "positive; set trace_period to the trace's wrap-around length");
+  }
+  impairment.validate();
+}
+
+netsim::DumbbellConfig to_dumbbell_config(const NetworkConfig& net) {
+  DumbbellConfig dc;
+  dc.bandwidth = net.bandwidth;
+  dc.base_rtt = net.base_rtt;
+  dc.buffer_bytes = net.buffer_bytes();
+  dc.path_jitter = std::max(net.base_jitter, net.path_jitter);
+  dc.jitter_allows_reorder = net.jitter_reorder;
+  dc.trace_opportunities = net.trace_opportunities;
+  dc.trace_period = net.trace_period;
+  dc.impairment = net.impairment;
+  return dc;
+}
+
+std::string to_string(FlowRole role) {
+  switch (role) {
+    case FlowRole::kTest: return "test";
+    case FlowRole::kReference: return "reference";
+    case FlowRole::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+void ScenarioConfig::validate() const {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ScenarioConfig: " + msg);
+  };
+  if (trials < 1) {
+    fail("trials must be >= 1 (got " + std::to_string(trials) +
+         "); every experiment needs at least one trial");
+  }
+  if (duration <= 0) {
+    fail("duration must be positive (got " +
+         std::to_string(time::to_sec(duration)) +
+         " s); flows need time to reach steady state");
+  }
+  if (flows.empty()) {
+    fail("flows must not be empty; a scenario needs at least one FlowSpec");
+  }
+  if (fairness_window < 0) {
+    fail("fairness_window must be >= 0 (got " +
+         std::to_string(time::to_sec(fairness_window)) +
+         " s); use 0 to compute only the overall Jain index");
+  }
+  bool any_sampled = false;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    const std::string field = "flows[" + std::to_string(i) + "]";
+    if (f.arrival_rate < 0) {
+      fail(field + ".arrival_rate must be >= 0 (got " +
+           std::to_string(f.arrival_rate) +
+           " /s); a Poisson arrival process needs a non-negative rate");
+    }
+    if (f.flow_size == 0) {
+      fail(field + ".flow_size must not be 0: a zero-size finite flow never "
+           "sends; use FlowSpec::kUnlimited for an unbounded flow");
+    }
+    if (f.flow_size < 0 && f.flow_size != FlowSpec::kUnlimited) {
+      fail(field + ".flow_size must be positive or FlowSpec::kUnlimited (got " +
+           std::to_string(f.flow_size) + ")");
+    }
+    if (f.start_at < 0) {
+      fail(field + ".start_at must be >= 0 (got " +
+           std::to_string(time::to_sec(f.start_at)) + " s)");
+    }
+    if (f.start_spread < 0) {
+      fail(field + ".start_spread must be >= 0 (got " +
+           std::to_string(time::to_sec(f.start_spread)) + " s)");
+    }
+    if (f.sample_size && !size_dist.enabled()) {
+      fail(field + ".sample_size is set but size_dist is disabled; set "
+           "size_dist.min_bytes (and max_bytes) to the sampled size range");
+    }
+    any_sampled = any_sampled || f.sample_size;
+  }
+  if (any_sampled) {
+    if (size_dist.max_bytes < size_dist.min_bytes) {
+      fail("size_dist.max_bytes must be >= size_dist.min_bytes (got " +
+           std::to_string(size_dist.max_bytes) + " < " +
+           std::to_string(size_dist.min_bytes) + ")");
+    }
+    if (size_dist.shape <= 0) {
+      fail("size_dist.shape must be positive (got " +
+           std::to_string(size_dist.shape) +
+           "); the bounded Pareto tail exponent");
+    }
+  }
+  net.validate("ScenarioConfig");
+}
+
+std::size_t test_flow_index(const ScenarioConfig& cfg) {
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    if (cfg.flows[i].role == FlowRole::kTest) return i;
+  }
+  return 0;
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
+                                       std::uint64_t trial_index) {
+  return run_scenario_trial(cfg, trial_index, ScenarioObservers{});
+}
+
+namespace {
+
+// Accumulates per-flow CCA phase residency from the observation-only
+// phase callbacks. `current`/`since` track the open interval; the trial
+// closes it against the configured duration.
+struct PhaseAccum {
+  std::map<std::string, double, std::less<>> sec;
+  std::string current;
+  Time since = 0;
+};
+
+// Bounded-Pareto inverse CDF: heavy-tailed flow sizes clamped to
+// [min_bytes, max_bytes].
+Bytes sample_bounded_pareto(Rng& rng, const FlowSizeDist& d) {
+  const double u = rng.uniform();
+  const double l = static_cast<double>(d.min_bytes);
+  const double h = static_cast<double>(d.max_bytes);
+  const double ratio = std::pow(l / h, d.shape);
+  const double x = l / std::pow(1.0 - u * (1.0 - ratio), 1.0 / d.shape);
+  return std::clamp(static_cast<Bytes>(x), d.min_bytes, d.max_bytes);
+}
+
+// Payload bytes delivered within [t0, t1). Deliveries are recorded in
+// time order, so a binary search finds the window start.
+Bytes bytes_in_window(const trace::FlowTrace& tr, Time t0, Time t1) {
+  const auto begin = std::lower_bound(
+      tr.deliveries.begin(), tr.deliveries.end(), t0,
+      [](const trace::DeliveryRecord& d, Time t) { return d.time < t; });
+  Bytes sum = 0;
+  for (auto it = begin; it != tr.deliveries.end() && it->time < t1; ++it) {
+    sum += it->payload;
+  }
+  return sum;
+}
+
+// Jain's index over the flows active in [t0, t1): a flow participates if
+// its [start, finish) interval intersects the window, contributing the
+// bytes it delivered inside the window (possibly zero).
+double window_jain(const ScenarioTrialResult& result, Time t0, Time t1,
+                   Time duration) {
+  std::vector<double> xs;
+  for (const ScenarioFlowTrial& ft : result.flows) {
+    const Time end = ft.finish >= 0 ? ft.finish : duration;
+    if (ft.start >= t1 || end <= t0) continue;
+    xs.push_back(
+        static_cast<double>(bytes_in_window(ft.result.trace, t0, t1)));
+  }
+  return jain_index(xs);
+}
+
+} // namespace
+
+ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
+                                       std::uint64_t trial_index,
+                                       const ScenarioObservers& observers) {
+  const std::size_t n = cfg.flows.size();
+  // A dumbbell trial keeps well under kDefaultSizeHint concurrent events
+  // (see ScenarioTrialResult::engine), so the default hint avoids all
+  // slot-table and heap growth in steady state.
+  Simulator sim(Simulator::kDefaultSizeHint);
+  Rng master(cfg.seed * 0x9E3779B97F4A7C15ULL + trial_index * 1000003ULL + 1);
+  Rng jitter_rng = master.fork(1);
+
+  const DumbbellConfig dc = to_dumbbell_config(cfg.net);
+  Dumbbell db(sim, dc, static_cast<int>(n), &jitter_rng);
+
+  obs::MetricsRegistry& reg = observers.metrics != nullptr
+                                  ? *observers.metrics
+                                  : obs::MetricsRegistry::noop();
+  if (reg.enabled() && db.trace_bottleneck() == nullptr) {
+    db.bottleneck().attach_metrics(reg, "bottleneck");
+  }
+  if (reg.enabled() && db.forward_impairment() != nullptr) {
+    db.forward_impairment()->attach_metrics(reg, "impairment.forward");
+  }
+
+  ScenarioTrialResult result;
+  result.flows.resize(n);  // sized up front: callbacks hold references
+  std::vector<PhaseAccum> phase_acc(n);
+  std::vector<std::unique_ptr<transport::SenderEndpoint>> senders;
+  std::vector<std::unique_ptr<transport::ReceiverEndpoint>> receivers;
+  senders.reserve(n);
+  receivers.reserve(n);
+
+  // Runtime invariant checking (QB_INVARIANTS, default on): one checker
+  // per flow, fed from the same passive hooks as the flight recorder, so
+  // every trial — and thus every ctest target — doubles as a correctness
+  // probe. The checkers never influence the simulation; violations throw
+  // at trial end.
+  const bool inv = obs::invariants_enabled();
+  std::vector<std::unique_ptr<obs::InvariantChecker>> checkers(n);
+  if (inv) {
+    for (std::size_t i = 0; i < n; ++i) {
+      checkers[i] = std::make_unique<obs::InvariantChecker>(
+          "flow" + std::to_string(i), cfg.net.base_rtt);
+    }
+  }
+
+  std::vector<Time> starts(n);
+  std::vector<Bytes> sizes(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowSpec& spec = cfg.flows[i];
+    const Implementation& impl = spec.impl;
+    starts[i] = spec.start_at;
+    sizes[i] = spec.flow_size;
+
+    const int fi = static_cast<int>(i);
+    auto receiver = std::make_unique<transport::ReceiverEndpoint>(
+        sim, fi, impl.profile.receiver, db.reverse_in(fi));
+    auto sender = std::make_unique<transport::SenderEndpoint>(
+        sim, fi, impl.profile.sender, impl.make_cca(), db.forward_in(),
+        master.fork(static_cast<std::uint64_t>(10 + i)));
+
+    trace::QlogWriter* ql =
+        i < observers.qlog.size() ? observers.qlog[i] : nullptr;
+    transport::SenderEndpoint* snd = sender.get();
+    obs::InvariantChecker* chk = checkers[i].get();
+    const std::string fp = "flow" + std::to_string(i);
+
+    trace::FlowTrace& tr = result.flows[i].result.trace;
+    // Pre-size the recording arrays to the most the bottleneck could
+    // deliver over the trial (capped, and scaled to an even share for
+    // many-flow scenarios), so the per-packet record calls never
+    // reallocate mid-run.
+    {
+      const double pkts = time::to_sec(cfg.duration) *
+                          (static_cast<double>(cfg.net.bandwidth) / 8.0) /
+                          static_cast<double>(impl.profile.sender.mss);
+      const double share = n <= 2 ? 1.0 : 2.0 / static_cast<double>(n);
+      const auto est = static_cast<std::size_t>(std::min(pkts * share, 2.5e6));
+      tr.deliveries.reserve(est);
+      tr.rtt_samples.reserve(est / 2 + 1);
+    }
+    receiver->set_delivery_callback(
+        [&tr](Time now, Bytes payload, Time) {
+          tr.record_delivery(now, payload);
+        });
+    obs::Histogram* rtt_hist =
+        reg.enabled() ? &reg.histogram(fp + ".rtt_ms") : nullptr;
+    sender->set_rtt_callback([&tr, rtt_hist, chk](Time now, Time rtt) {
+      tr.record_rtt(now, rtt);
+      if (rtt_hist != nullptr) rtt_hist->observe(time::to_ms(rtt));
+      if (chk != nullptr) chk->on_rtt_sample(now, rtt);
+    });
+    const bool rec = cfg.record_cwnd;
+    if (rec || ql != nullptr || chk != nullptr) {
+      sender->set_cwnd_callback(
+          [&tr, ql, rec, snd, chk](Time now, Bytes cwnd, Bytes inflight) {
+            if (rec) tr.record_cwnd(now, cwnd, inflight);
+            if (ql != nullptr) {
+              ql->metrics_updated(now, cwnd, inflight, snd->rtt().smoothed());
+            }
+            if (chk != nullptr) chk->on_cwnd_update(now, cwnd, inflight);
+          });
+    }
+
+    // Phase residency is tracked in every trial; the qlog state event and
+    // the recovery-entry counter piggyback on the same transition.
+    PhaseAccum& acc = phase_acc[i];
+    obs::Counter* recovery_ctr =
+        reg.enabled() ? &reg.counter(fp + ".recovery_entries") : nullptr;
+    sender->controller().set_phase_callback(
+        [&acc, ql, recovery_ctr](Time now, std::string_view from,
+                                 std::string_view to) {
+          acc.sec[std::string(from)] += time::to_sec(now - acc.since);
+          acc.current.assign(to);
+          acc.since = now;
+          if (ql != nullptr) ql->congestion_state_updated(now, from, to);
+          if (recovery_ctr != nullptr && to == "recovery") {
+            recovery_ctr->add();
+          }
+        });
+
+    if (ql != nullptr || chk != nullptr) {
+      sender->set_packet_sent_callback(
+          [ql, chk, snd](Time now, std::uint64_t pn, Bytes size, bool retx) {
+            if (ql != nullptr) ql->packet_sent(now, pn, size, retx);
+            if (chk != nullptr) {
+              chk->on_packet_sent(now, pn, size, retx, snd->bytes_in_flight(),
+                                  snd->controller().cwnd());
+            }
+          });
+      sender->set_packet_lost_callback(
+          [ql, chk](Time now, std::uint64_t pn) {
+            if (ql != nullptr) ql->packet_lost(now, pn);
+            if (chk != nullptr) chk->on_packet_lost(now, pn);
+          });
+    }
+    if (chk != nullptr) {
+      sender->set_packet_acked_callback(
+          [chk, snd](Time now, std::uint64_t pn, Bytes size) {
+            chk->on_packet_acked(now, pn, size, snd->bytes_in_flight());
+          });
+    }
+    if (ql != nullptr) {
+      receiver->set_packet_callback(
+          [ql](Time now, std::uint64_t pn, Bytes size) {
+            ql->packet_received(now, pn, size);
+          });
+      sender->set_timer_callback(
+          [ql](Time now, transport::SenderEndpoint::LossTimerKind kind,
+               transport::SenderEndpoint::LossTimerEvent event, Time expiry) {
+            using TK = transport::SenderEndpoint::LossTimerKind;
+            using TE = transport::SenderEndpoint::LossTimerEvent;
+            const auto type = kind == TK::kPto
+                                  ? trace::QlogWriter::TimerType::kPto
+                                  : trace::QlogWriter::TimerType::kLossDetection;
+            auto ev = trace::QlogWriter::TimerEvent::kSet;
+            if (event == TE::kExpired) {
+              ev = trace::QlogWriter::TimerEvent::kExpired;
+            } else if (event == TE::kCancelled) {
+              ev = trace::QlogWriter::TimerEvent::kCancelled;
+            }
+            ql->loss_timer_updated(now, type, ev, expiry);
+          });
+    }
+    obs::Histogram* pto_hist =
+        reg.enabled() ? &reg.histogram(fp + ".pto_time_sec") : nullptr;
+    if (pto_hist != nullptr || chk != nullptr) {
+      sender->set_pto_callback([pto_hist, chk](Time now, int count) {
+        if (pto_hist != nullptr) pto_hist->observe(time::to_sec(now));
+        if (chk != nullptr) chk->on_pto(now, count);
+      });
+    }
+    obs::Histogram* spur_hist =
+        reg.enabled() ? &reg.histogram(fp + ".spurious_loss_time_sec")
+                      : nullptr;
+    if (ql != nullptr || spur_hist != nullptr || chk != nullptr) {
+      sender->set_spurious_loss_callback(
+          [ql, spur_hist, chk](Time now, std::uint64_t pn) {
+            if (ql != nullptr) ql->spurious_loss_detected(now, pn);
+            if (spur_hist != nullptr) spur_hist->observe(time::to_sec(now));
+            if (chk != nullptr) chk->on_spurious_loss(now, pn);
+          });
+    }
+
+    db.attach_receiver(fi, receiver.get());
+    db.attach_sender_ack_sink(fi, sender.get());
+    receivers.push_back(std::move(receiver));
+    senders.push_back(std::move(sender));
+  }
+
+  std::unique_ptr<netsim::CrossTrafficSource> cross;
+  if (cfg.net.cross_traffic_rate > 0) {
+    cross = std::make_unique<netsim::CrossTrafficSource>(
+        sim, db.forward_in(), cfg.net.cross_traffic_rate, 1200,
+        cfg.net.cross_on, cfg.net.cross_off, master.fork(99));
+    cross->start();
+  }
+
+  // Start-time spread draws consume the master stream in flow order
+  // (matching the historical second-flow draw of the pair harness).
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowSpec& spec = cfg.flows[i];
+    if (spec.start_spread > 0) {
+      starts[i] += static_cast<Time>(master.uniform() *
+                                     static_cast<double>(spec.start_spread));
+    }
+  }
+
+  // Churn draws come from their own stream, forked only when some flow
+  // actually uses Poisson arrivals or sampled sizes, so churn-free
+  // scenarios stay bit-identical to builds that predate churn. Arrivals
+  // accumulate exponential gaps along the spec order; sizes are drawn in
+  // the same single deterministic pass.
+  bool churny = false;
+  for (const FlowSpec& spec : cfg.flows) {
+    churny = churny || spec.arrival_rate > 0 || spec.sample_size;
+  }
+  if (churny) {
+    Rng churn = master.fork(500);
+    Time arrival_clock = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowSpec& spec = cfg.flows[i];
+      if (spec.arrival_rate > 0) {
+        arrival_clock += static_cast<Time>(
+            churn.exponential(1e9 / spec.arrival_rate));
+        starts[i] = arrival_clock;
+      }
+      if (spec.sample_size) {
+        sizes[i] = sample_bounded_pareto(churn, cfg.size_dist);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.flows[i].start = starts[i];
+    result.flows[i].target_size = sizes[i];
+    if (sizes[i] > 0) {
+      senders[i]->set_data_limit(sizes[i]);
+      ScenarioFlowTrial& ft = result.flows[i];
+      senders[i]->set_finished_callback([&ft](Time now) { ft.finish = now; });
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    senders[i]->start(starts[i]);
+  }
+
+  sim.run_until(cfg.duration);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowResult& fr = result.flows[i].result;
+    fr.points = trace::sample_series(fr.trace, cfg.duration,
+                                     cfg.net.base_rtt, cfg.sampling);
+    const Time t0 = static_cast<Time>(static_cast<double>(cfg.duration) *
+                                      cfg.sampling.truncate_fraction);
+    fr.avg_throughput =
+        trace::average_throughput(fr.trace, t0, cfg.duration - t0);
+    fr.sender_stats = senders[i]->stats();
+    if (!cfg.record_cwnd) fr.trace.cwnd_samples.clear();
+    result.flows[i].bytes_delivered = fr.trace.total_delivered();
+
+    // Close the open phase interval against the trial duration. A flow
+    // that never transitioned spent the whole run in its current phase.
+    PhaseAccum& acc = phase_acc[i];
+    const std::string last =
+        acc.current.empty()
+            ? std::string(senders[i]->controller().phase())
+            : acc.current;
+    acc.sec[last] += time::to_sec(cfg.duration - acc.since);
+    fr.phase_residency_sec.assign(acc.sec.begin(), acc.sec.end());
+
+    if (reg.enabled()) {
+      const transport::SenderStats& ss = fr.sender_stats;
+      const std::string fp = "flow" + std::to_string(i);
+      reg.counter(fp + ".packets_sent").add(ss.packets_sent);
+      reg.counter(fp + ".losses_detected").add(ss.losses_detected);
+      reg.counter(fp + ".retransmissions").add(ss.retransmissions);
+      reg.counter(fp + ".ptos_fired").add(ss.ptos_fired);
+      reg.counter(fp + ".spurious_losses").add(ss.spurious_losses);
+    }
+  }
+
+  const netsim::LinkStats& ls = db.trace_bottleneck() != nullptr
+                                    ? db.trace_bottleneck()->stats()
+                                    : db.bottleneck().stats();
+  BottleneckTelemetry& bt = result.bottleneck;
+  bt.queue_hwm_bytes = ls.max_queue_bytes;
+  bt.packets_in = ls.packets_in;
+  bt.packets_out = ls.packets_out;
+  bt.drops = ls.packets_dropped;
+  bt.bytes_out = ls.bytes_out;
+  bt.utilization = static_cast<double>(ls.bytes_out) * 8.0 /
+                   (static_cast<double>(cfg.net.bandwidth) *
+                    time::to_sec(cfg.duration));
+  if (reg.enabled()) {
+    reg.counter("bottleneck.packets_in").add(bt.packets_in);
+    reg.counter("bottleneck.packets_out").add(bt.packets_out);
+    reg.gauge("bottleneck.queue_hwm_bytes")
+        .set(static_cast<double>(bt.queue_hwm_bytes));
+    reg.gauge("bottleneck.utilization").set(bt.utilization);
+  }
+
+  // Scenario-level fairness: overall Jain index over the truncated
+  // steady-state interval, plus one index per configured window. Pure
+  // post-processing over the recorded traces — never perturbs the run.
+  {
+    const Time t0 = static_cast<Time>(static_cast<double>(cfg.duration) *
+                                      cfg.sampling.truncate_fraction);
+    result.jain_overall = window_jain(result, t0, cfg.duration - t0,
+                                      cfg.duration);
+    if (cfg.fairness_window > 0) {
+      for (Time w0 = 0; w0 < cfg.duration; w0 += cfg.fairness_window) {
+        const Time w1 = std::min(w0 + cfg.fairness_window, cfg.duration);
+        result.jain_windows.push_back(
+            window_jain(result, w0, w1, cfg.duration));
+      }
+    }
+  }
+
+  // Churn bookkeeping: arrivals within the trial, departures (finite
+  // flows that drained), peak concurrency from the start/finish deltas.
+  {
+    ChurnTelemetry& ch = result.churn;
+    double completion_sum = 0;
+    std::vector<std::pair<Time, int>> deltas;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ScenarioFlowTrial& ft = result.flows[i];
+      if (ft.start >= cfg.duration) continue;  // never joined
+      ++ch.arrivals;
+      deltas.emplace_back(ft.start, +1);
+      if (ft.finish >= 0) {
+        ++ch.departures;
+        completion_sum += time::to_sec(ft.finish - ft.start);
+        deltas.emplace_back(ft.finish, -1);
+      } else {
+        deltas.emplace_back(cfg.duration, -1);
+      }
+    }
+    ch.mean_completion_sec =
+        ch.departures > 0 ? completion_sum / ch.departures : 0;
+    // Sorting pairs orders -1 before +1 at equal times, so a departure
+    // coinciding with an arrival does not inflate the peak.
+    std::sort(deltas.begin(), deltas.end());
+    int active = 0;
+    for (const auto& [t, d] : deltas) {
+      active += d;
+      ch.peak_concurrent = std::max(ch.peak_concurrent, active);
+    }
+  }
+
+  if (inv) {
+    for (std::size_t i = 0; i < n; ++i) {
+      checkers[i]->final_check(result.flows[i].result.sender_stats,
+                               senders[i]->bytes_in_flight());
+    }
+    // Network-layer conservation, checked at whatever instant the trial
+    // ended (the identities hold continuously, not just at quiescence).
+    obs::InvariantChecker& net_chk = *checkers[0];
+    if (db.trace_bottleneck() != nullptr) {
+      net_chk.check_element_conservation(
+          "trace bottleneck", ls.packets_in, ls.packets_out,
+          ls.packets_dropped, db.trace_bottleneck()->packets_resident());
+    } else {
+      net_chk.check_element_conservation(
+          "bottleneck", ls.packets_in, ls.packets_out, ls.packets_dropped,
+          db.bottleneck().packets_resident());
+    }
+    const auto check_stage = [&net_chk](const std::string& what,
+                                        netsim::ImpairmentStage* st) {
+      if (st == nullptr) return;
+      const netsim::ImpairmentStats& is = st->stats();
+      net_chk.check_element_conservation(what, is.packets_in + is.duplicated,
+                                         is.forwarded, is.dropped,
+                                         st->packets_resident());
+    };
+    check_stage("forward impairment", db.forward_impairment());
+    for (std::size_t i = 0; i < n; ++i) {
+      check_stage("ack impairment " + std::to_string(i),
+                  db.ack_impairment(static_cast<int>(i)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      checkers[i]->throw_if_violated();
+    }
+  }
+
+  result.sim_events = sim.events_fired();
+  result.engine = sim.stats();
+  return result;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  cfg.validate();
+  std::vector<ScenarioTrialResult> trials;
+  trials.reserve(static_cast<std::size_t>(cfg.trials));
+  for (int t = 0; t < cfg.trials; ++t) {
+    trials.push_back(run_scenario_trial(cfg, static_cast<std::uint64_t>(t)));
+  }
+  return aggregate_scenario_trials(std::move(trials), cfg);
+}
+
+ScenarioResult aggregate_scenario_trials(
+    std::vector<ScenarioTrialResult> trials, const ScenarioConfig& cfg) {
+  ScenarioResult sr;
+  const std::size_t n = cfg.flows.size();
+  sr.flows.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sr.flows[i].role = cfg.flows[i].role;
+    sr.flows[i].display = cfg.flows[i].impl.display;
+  }
+  if (!trials.empty()) {
+    sr.jain_windows.assign(trials.front().jain_windows.size(), 0.0);
+  }
+
+  std::vector<double> tput_sum(n, 0.0);
+  std::vector<int> completed(n, 0);
+  std::vector<double> completion_sum(n, 0.0);
+  double jain_sum = 0, util_sum = 0;
+  double arrivals_sum = 0, departures_sum = 0, churn_completion_sum = 0;
+  int churn_trials = 0;
+  for (ScenarioTrialResult& trial : trials) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const ScenarioFlowTrial& ft = trial.flows[i];
+      conformance::TrialPoints tp;
+      for (const auto& p : ft.result.points) {
+        tp.push_back({p.delay_ms, p.tput_mbps});
+      }
+      sr.flows[i].points.push_back(std::move(tp));
+      tput_sum[i] += rate::to_mbps(ft.result.avg_throughput);
+      if (ft.finish >= 0) {
+        ++completed[i];
+        completion_sum[i] += time::to_sec(ft.finish - ft.start);
+      }
+    }
+    jain_sum += trial.jain_overall;
+    for (std::size_t w = 0; w < sr.jain_windows.size(); ++w) {
+      sr.jain_windows[w] += trial.jain_windows[w];
+    }
+    arrivals_sum += trial.churn.arrivals;
+    departures_sum += trial.churn.departures;
+    sr.churn.peak_concurrent =
+        std::max(sr.churn.peak_concurrent, trial.churn.peak_concurrent);
+    if (trial.churn.departures > 0) {
+      churn_completion_sum += trial.churn.mean_completion_sec;
+      ++churn_trials;
+    }
+    sr.queue_hwm_bytes =
+        std::max(sr.queue_hwm_bytes, trial.bottleneck.queue_hwm_bytes);
+    sr.bottleneck_drops += trial.bottleneck.drops;
+    util_sum += trial.bottleneck.utilization;
+    if (cfg.record_cwnd) sr.trials.push_back(std::move(trial));
+  }
+
+  const double nt = static_cast<double>(cfg.trials);
+  double tput_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sr.flows[i].tput_mbps = tput_sum[i] / nt;
+    tput_total += sr.flows[i].tput_mbps;
+    sr.flows[i].completed_frac = static_cast<double>(completed[i]) / nt;
+    sr.flows[i].mean_completion_sec =
+        completed[i] > 0 ? completion_sum[i] / completed[i] : 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sr.flows[i].share = tput_total > 0 ? sr.flows[i].tput_mbps / tput_total : 0;
+  }
+  sr.jain_overall = jain_sum / nt;
+  for (double& w : sr.jain_windows) w /= nt;
+  sr.churn.arrivals = arrivals_sum / nt;
+  sr.churn.departures = departures_sum / nt;
+  sr.churn.mean_completion_sec =
+      churn_trials > 0 ? churn_completion_sum / churn_trials : 0;
+  sr.utilization = util_sum / nt;
+  return sr;
+}
+
+} // namespace quicbench::harness

@@ -1,0 +1,263 @@
+#pragma once
+// N-flow scenario engine: the core experiment layer. A scenario is a set
+// of FlowSpecs — each an Implementation plus a start policy (fixed time,
+// randomised spread, or Poisson arrival), a flow size (unbounded or
+// finite, optionally sampled from a heavy-tailed distribution) and a role
+// tag — sharing one dumbbell bottleneck. run_scenario returns per-flow
+// FlowResults plus scenario-level fairness (Jain's index over configured
+// windows), churn and bottleneck telemetry.
+//
+// The paper's 1-vs-1 experiments (harness/experiment.h) are thin 2-flow
+// adapters over this engine: for a two-flow scenario built by
+// to_scenario_config the RNG fork order, endpoint construction order and
+// event sequence reproduce the historical run_trial bit-for-bit.
+//
+// RNG fork discipline (per trial, from the master seeded by
+// seed * golden + trial * 1000003 + 1):
+//   fork(1)      path/impairment jitter (Dumbbell-internal sub-forks)
+//   fork(10+i)   flow i's sender egress jitter, in flow order
+//   fork(99)     cross traffic, only when enabled
+//   uniform()    one draw per flow with start_spread > 0, in flow order
+//   fork(500)    churn stream (Poisson gaps + size sampling), only when
+//                some flow uses arrival_rate/sample_size
+// Streams are forked only when their feature is enabled, so a scenario
+// without churn is bit-identical to builds that predate churn.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conformance/conformance.h"
+#include "netsim/event.h"
+#include "netsim/impairment.h"
+#include "netsim/topology.h"
+#include "obs/metrics.h"
+#include "stacks/registry.h"
+#include "trace/qlog.h"
+#include "trace/trace.h"
+#include "transport/sender.h"
+#include "util/units.h"
+
+namespace quicbench::harness {
+
+struct NetworkConfig {
+  Rate bandwidth = rate::mbps(20);
+  Time base_rtt = time::ms(10);
+  double buffer_bdp = 1.0;  // droptail buffer in BDP multiples
+
+  // Baseline testbed noise (keeps repeated trials distinct, as on real
+  // hardware). Non-reordering.
+  Time base_jitter = time::us(250);
+
+  // "In the wild" extras (Fig 11): heavier jitter and on/off cross
+  // traffic sharing the bottleneck.
+  Time path_jitter = 0;
+  bool jitter_reorder = false;
+  Rate cross_traffic_rate = 0;
+  Time cross_on = time::ms(200);
+  Time cross_off = time::ms(800);
+
+  // Mahimahi-style delivery trace; when non-empty it replaces the
+  // fixed-rate bottleneck and `bandwidth` is only used for BDP/buffer
+  // sizing (set it to the trace's average rate).
+  std::vector<Time> trace_opportunities;
+  Time trace_period = 0;
+
+  // Adversarial path impairments (seeded loss/reorder/duplication, RTT
+  // step, ACK loss); part of the experiment fingerprint. Disabled by
+  // default, in which case results are bit-identical to pre-impairment
+  // builds.
+  netsim::ImpairmentConfig impairment;
+
+  Bytes buffer_bytes() const;
+  std::string describe() const;
+
+  // Shared validation for every config type that embeds a NetworkConfig;
+  // throws std::invalid_argument with messages prefixed "<context>: ".
+  void validate(const std::string& context) const;
+};
+
+// The single owner of netsim wiring: every harness path builds its
+// DumbbellConfig through this translation.
+netsim::DumbbellConfig to_dumbbell_config(const NetworkConfig& net);
+
+enum class FlowRole { kTest, kReference, kBackground };
+std::string to_string(FlowRole role);
+
+// Heavy-tailed (bounded Pareto) flow-size distribution for FlowSpecs with
+// sample_size set. Disabled (min_bytes == 0) by default.
+struct FlowSizeDist {
+  double shape = 1.2;
+  Bytes min_bytes = 0;
+  Bytes max_bytes = 0;
+  bool enabled() const { return min_bytes > 0; }
+};
+
+struct FlowSpec {
+  static constexpr Bytes kUnlimited = -1;
+
+  stacks::Implementation impl;
+  FlowRole role = FlowRole::kReference;
+
+  // Start policy, in priority order:
+  //   arrival_rate > 0   start drawn from the scenario's Poisson arrival
+  //                      process (flows with a rate arrive in spec order;
+  //                      each adds an Exp(1/rate) gap to the arrival clock)
+  //   start_spread > 0   start_at plus a uniform draw in [0, start_spread)
+  //   otherwise          exactly start_at
+  Time start_at = 0;
+  Time start_spread = 0;
+  double arrival_rate = 0;  // arrivals per second
+
+  // Flow size: kUnlimited keeps the endpoint's unbounded bulk stream; a
+  // positive value stops the sender after that many payload bytes of new
+  // data (the flow then departs). sample_size draws the size from the
+  // scenario's FlowSizeDist instead.
+  Bytes flow_size = kUnlimited;
+  bool sample_size = false;
+};
+
+struct ScenarioConfig {
+  NetworkConfig net;
+  Time duration = time::sec(120);
+  int trials = 5;
+  std::uint64_t seed = 42;
+  trace::SamplingConfig sampling;
+  bool record_cwnd = false;
+
+  std::vector<FlowSpec> flows;
+  FlowSizeDist size_dist;  // used by FlowSpecs with sample_size
+
+  // Jain's-index windows: 0 computes only the overall index (over the
+  // truncated steady-state interval); > 0 additionally tiles [0, duration)
+  // into windows of this length.
+  Time fairness_window = 0;
+
+  // Rejects nonsensical configurations (no flows, negative arrival rates,
+  // zero-size finite flows, bad size distributions, plus the shared
+  // network checks) with an actionable std::invalid_argument. Called at
+  // run_scenario entry and by the sweep runner when a cell is added.
+  void validate() const;
+};
+
+struct FlowResult {
+  std::vector<trace::DTPoint> points;
+  Rate avg_throughput = 0;  // over the truncated steady-state interval
+  transport::SenderStats sender_stats;
+  trace::FlowTrace trace;  // full trace (cwnd series etc.)
+  // Seconds spent in each CCA phase over the trial (name-sorted). Always
+  // recorded — the phase hooks observe only, so tracking them never
+  // perturbs the simulation.
+  std::vector<std::pair<std::string, double>> phase_residency_sec;
+};
+
+// Bottleneck-side counters read off the dumbbell at trial end.
+struct BottleneckTelemetry {
+  Bytes queue_hwm_bytes = 0;
+  std::int64_t packets_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t drops = 0;
+  Bytes bytes_out = 0;
+  double utilization = 0;  // delivered bits / (configured rate * duration)
+};
+
+// One flow's outcome within a scenario trial: the familiar FlowResult
+// plus arrival/departure bookkeeping.
+struct ScenarioFlowTrial {
+  FlowResult result;
+  Time start = 0;            // actual start time after draws
+  Time finish = -1;          // departure time; -1 = still active at end
+  Bytes target_size = FlowSpec::kUnlimited;  // resolved size after sampling
+  Bytes bytes_delivered = 0;  // receiver-side payload
+};
+
+struct ChurnTelemetry {
+  int arrivals = 0;         // flows that started within the trial
+  int departures = 0;       // finite flows that drained and stopped
+  int peak_concurrent = 0;  // max simultaneously active flows
+  double mean_completion_sec = 0;  // mean (finish - start) over departures
+};
+
+struct ScenarioTrialResult {
+  std::vector<ScenarioFlowTrial> flows;
+  BottleneckTelemetry bottleneck;
+  // Jain's fairness index over delivered bytes: the steady-state interval
+  // plus one entry per configured fairness window.
+  double jain_overall = 1.0;
+  std::vector<double> jain_windows;
+  ChurnTelemetry churn;
+  // Simulator events executed by this trial (netsim throughput metric).
+  std::uint64_t sim_events = 0;
+  // Engine sizing telemetry (heap/wheel peaks, slot-table size).
+  netsim::Simulator::Stats engine;
+};
+
+// Optional flight-recorder attachments. All observers are strictly
+// passive: with or without them, a trial produces bit-identical results.
+struct ScenarioObservers {
+  // Per-flow qlog writers, indexed by flow; shorter than the flow list
+  // (or null entries) skips those flows.
+  std::vector<trace::QlogWriter*> qlog;
+  // Metrics registry populated by the link and transport instruments;
+  // null means the shared noop registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
+                                       std::uint64_t trial_index);
+ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
+                                       std::uint64_t trial_index,
+                                       const ScenarioObservers& observers);
+
+// Cross-trial aggregate for one flow position.
+struct ScenarioFlowSummary {
+  FlowRole role = FlowRole::kReference;
+  std::string display;  // implementation display name
+  // Per-trial PE point clouds for this flow position.
+  std::vector<conformance::TrialPoints> points;
+  double tput_mbps = 0;  // mean across trials
+  double share = 0;      // of the scenario's total mean throughput
+  double completed_frac = 0;       // share of trials in which it departed
+  double mean_completion_sec = 0;  // over trials in which it departed
+};
+
+struct ChurnSummary {
+  double arrivals = 0;    // mean per trial
+  double departures = 0;  // mean per trial
+  int peak_concurrent = 0;  // max across trials
+  double mean_completion_sec = 0;  // mean over trials with departures
+};
+
+struct ScenarioResult {
+  std::vector<ScenarioFlowSummary> flows;
+  double jain_overall = 1.0;          // mean across trials
+  std::vector<double> jain_windows;   // element-wise mean across trials
+  ChurnSummary churn;
+  Bytes queue_hwm_bytes = 0;          // max across trials
+  std::int64_t bottleneck_drops = 0;  // sum across trials
+  double utilization = 0;             // mean across trials
+  std::vector<ScenarioTrialResult> trials;  // retained when record_cwnd
+};
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+// Fold per-trial results (ordered by trial index) into a ScenarioResult —
+// exactly the aggregation run_scenario performs, exposed so the sweep
+// runner can execute trials in parallel with bit-identical output.
+// Consumes `trials`; they are retained in the result only when
+// cfg.record_cwnd is set.
+ScenarioResult aggregate_scenario_trials(std::vector<ScenarioTrialResult> trials,
+                                         const ScenarioConfig& cfg);
+
+// Index of the scenario's flow in the "test position": the first FlowSpec
+// tagged FlowRole::kTest, falling back to flow 0. Conformance-on-scenario
+// evaluations compare the clouds of this flow.
+std::size_t test_flow_index(const ScenarioConfig& cfg);
+
+// Jain's fairness index (sum x)^2 / (n * sum x^2); 1.0 for empty or
+// all-zero inputs.
+double jain_index(const std::vector<double>& xs);
+
+} // namespace quicbench::harness

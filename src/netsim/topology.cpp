@@ -2,13 +2,36 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace quicbench::netsim {
 
+void FlowDemux::set_capacity(int max_flows) {
+  capacity_ = max_flows;
+  if (max_flows > 0) sinks_.reserve(static_cast<std::size_t>(max_flows));
+}
+
 void FlowDemux::register_flow(int flow, PacketSink* sink) {
-  assert(flow >= 0);
+  if (flow < 0) {
+    throw std::logic_error("FlowDemux: flow id must be >= 0 (got " +
+                           std::to_string(flow) + ")");
+  }
+  if (capacity_ >= 0 && flow >= capacity_) {
+    throw std::logic_error(
+        "FlowDemux: flow id " + std::to_string(flow) +
+        " is out of range for a topology with " + std::to_string(capacity_) +
+        " flows");
+  }
+  if (sink == nullptr) {
+    throw std::logic_error("FlowDemux: sink for flow " + std::to_string(flow) +
+                           " must not be null");
+  }
   if (sinks_.size() <= static_cast<std::size_t>(flow)) {
     sinks_.resize(static_cast<std::size_t>(flow) + 1, nullptr);
+  }
+  if (sinks_[static_cast<std::size_t>(flow)] != nullptr) {
+    throw std::logic_error("FlowDemux: flow " + std::to_string(flow) +
+                           " is already registered");
   }
   sinks_[static_cast<std::size_t>(flow)] = sink;
 }
@@ -30,6 +53,11 @@ Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
     throw std::invalid_argument("Dumbbell: bandwidth (or trace), base_rtt "
                                 "and buffer must be positive");
   }
+  if (n_flows < 1) {
+    throw std::invalid_argument("Dumbbell: n_flows must be >= 1");
+  }
+  demux_.set_capacity(n_flows);
+  reverse_demux_.set_capacity(n_flows);
   const Time forward_prop = cfg.base_rtt / 2;
   const Time reverse_prop = cfg.base_rtt - forward_prop;
 

@@ -25,11 +25,22 @@ namespace quicbench::netsim {
 // Routes packets to per-flow sinks by Packet::flow.
 class FlowDemux : public PacketSink {
  public:
+  // Caps the accepted flow-id range to [0, max_flows). The default (no
+  // cap) accepts any non-negative id; the Dumbbell sets the cap to its
+  // flow count so a mis-wired endpoint fails at registration instead of
+  // silently growing the table.
+  void set_capacity(int max_flows);
+
+  // Registers `sink` for `flow`. Ids may be registered sparsely (gaps
+  // stay unrouted and drop at the edge), but a negative id, an id at or
+  // beyond the capacity, or a second registration of the same id is a
+  // wiring bug and throws std::logic_error.
   void register_flow(int flow, PacketSink* sink);
   void deliver(Packet p) override;
 
  private:
   std::vector<PacketSink*> sinks_;  // indexed by flow id
+  int capacity_ = -1;               // < 0: uncapped
 };
 
 struct DumbbellConfig {

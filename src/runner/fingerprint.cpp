@@ -81,6 +81,34 @@ void hash_schema(StableHasher& h) {
   h.u64(kSchemaVersion);
 }
 
+void hash_network_config(StableHasher& h, const harness::NetworkConfig& net) {
+  h.f64(net.bandwidth);
+  h.i64(net.base_rtt);
+  h.f64(net.buffer_bdp);
+  h.i64(net.base_jitter);
+  h.i64(net.path_jitter);
+  h.b(net.jitter_reorder);
+  h.f64(net.cross_traffic_rate);
+  h.i64(net.cross_on);
+  h.i64(net.cross_off);
+  h.u64(net.trace_opportunities.size());
+  for (const Time t : net.trace_opportunities) h.i64(t);
+  h.i64(net.trace_period);
+  h.str("impairment");
+  h.f64(net.impairment.loss_rate);
+  h.f64(net.impairment.ge_loss_good);
+  h.f64(net.impairment.ge_loss_bad);
+  h.f64(net.impairment.ge_p_good_to_bad);
+  h.f64(net.impairment.ge_p_bad_to_good);
+  h.f64(net.impairment.reorder_rate);
+  h.i64(net.impairment.reorder_gap);
+  h.i64(net.impairment.reorder_flush);
+  h.f64(net.impairment.duplicate_rate);
+  h.i64(net.impairment.rtt_step_at);
+  h.i64(net.impairment.rtt_step_delta);
+  h.f64(net.impairment.ack_loss_rate);
+}
+
 } // namespace
 
 void hash_implementation(StableHasher& h,
@@ -102,31 +130,7 @@ void hash_implementation(StableHasher& h,
 void hash_experiment_config(StableHasher& h,
                             const harness::ExperimentConfig& cfg) {
   h.str("experiment");
-  h.f64(cfg.net.bandwidth);
-  h.i64(cfg.net.base_rtt);
-  h.f64(cfg.net.buffer_bdp);
-  h.i64(cfg.net.base_jitter);
-  h.i64(cfg.net.path_jitter);
-  h.b(cfg.net.jitter_reorder);
-  h.f64(cfg.net.cross_traffic_rate);
-  h.i64(cfg.net.cross_on);
-  h.i64(cfg.net.cross_off);
-  h.u64(cfg.net.trace_opportunities.size());
-  for (const Time t : cfg.net.trace_opportunities) h.i64(t);
-  h.i64(cfg.net.trace_period);
-  h.str("impairment");
-  h.f64(cfg.net.impairment.loss_rate);
-  h.f64(cfg.net.impairment.ge_loss_good);
-  h.f64(cfg.net.impairment.ge_loss_bad);
-  h.f64(cfg.net.impairment.ge_p_good_to_bad);
-  h.f64(cfg.net.impairment.ge_p_bad_to_good);
-  h.f64(cfg.net.impairment.reorder_rate);
-  h.i64(cfg.net.impairment.reorder_gap);
-  h.i64(cfg.net.impairment.reorder_flush);
-  h.f64(cfg.net.impairment.duplicate_rate);
-  h.i64(cfg.net.impairment.rtt_step_at);
-  h.i64(cfg.net.impairment.rtt_step_delta);
-  h.f64(cfg.net.impairment.ack_loss_rate);
+  hash_network_config(h, cfg.net);
   h.i64(cfg.duration);
   h.i64(cfg.trials);
   h.u64(cfg.seed);
@@ -135,6 +139,34 @@ void hash_experiment_config(StableHasher& h,
   h.i64(cfg.start_spread);
   h.i64(cfg.flow_b_start);
   h.b(cfg.record_cwnd);
+}
+
+void hash_scenario_config(StableHasher& h,
+                          const harness::ScenarioConfig& cfg) {
+  h.str("scenario");
+  hash_network_config(h, cfg.net);
+  h.i64(cfg.duration);
+  h.i64(cfg.trials);
+  h.u64(cfg.seed);
+  h.f64(cfg.sampling.truncate_fraction);
+  h.i64(cfg.sampling.rtts_per_sample);
+  h.b(cfg.record_cwnd);
+  h.u64(cfg.flows.size());
+  for (const harness::FlowSpec& f : cfg.flows) {
+    h.str("flow");
+    hash_implementation(h, f.impl);
+    h.i64(static_cast<std::int64_t>(f.role));
+    h.i64(f.start_at);
+    h.i64(f.start_spread);
+    h.f64(f.arrival_rate);
+    h.i64(f.flow_size);
+    h.b(f.sample_size);
+  }
+  h.str("size_dist");
+  h.f64(cfg.size_dist.shape);
+  h.i64(cfg.size_dist.min_bytes);
+  h.i64(cfg.size_dist.max_bytes);
+  h.i64(cfg.fairness_window);
 }
 
 void hash_pe_config(StableHasher& h, const conformance::PeConfig& cfg) {
@@ -183,6 +215,26 @@ std::string conformance_fingerprint(const stacks::Implementation& test,
   hash_implementation(h, test);
   hash_implementation(h, ref);
   hash_experiment_config(h, cfg);
+  hash_pe_config(h, pe_cfg);
+  return h.hex();
+}
+
+std::string scenario_fingerprint(const harness::ScenarioConfig& cfg) {
+  StableHasher h;
+  hash_schema(h);
+  hash_scenario_config(h, cfg);
+  return h.hex();
+}
+
+std::string scenario_conformance_fingerprint(
+    const harness::ScenarioConfig& test_cfg,
+    const harness::ScenarioConfig& ref_cfg,
+    const conformance::PeConfig& pe_cfg) {
+  StableHasher h;
+  hash_schema(h);
+  h.str("scenario_conformance");
+  hash_scenario_config(h, test_cfg);
+  hash_scenario_config(h, ref_cfg);
   hash_pe_config(h, pe_cfg);
   return h.hex();
 }

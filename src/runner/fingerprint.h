@@ -21,12 +21,15 @@ namespace quicbench::runner {
 // Bump whenever simulation semantics, any config default, or the cached
 // PairResult layout changes: a bump invalidates every on-disk cache
 // entry and every manifest comparison across versions.
-inline constexpr std::uint32_t kSchemaVersion = 3;
+// v4: N-flow scenario engine (pair results unchanged, but the harness
+// core and the scenario cell kinds are new).
+inline constexpr std::uint32_t kSchemaVersion = 4;
 
 // Field-by-field feeds, composable into larger keys.
 void hash_implementation(StableHasher& h, const stacks::Implementation& impl);
 void hash_experiment_config(StableHasher& h,
                             const harness::ExperimentConfig& cfg);
+void hash_scenario_config(StableHasher& h, const harness::ScenarioConfig& cfg);
 void hash_pe_config(StableHasher& h, const conformance::PeConfig& cfg);
 
 // Identity of one implementation under one experiment + PE extraction
@@ -48,5 +51,18 @@ std::string conformance_fingerprint(const stacks::Implementation& test,
                                     const stacks::Implementation& ref,
                                     const harness::ExperimentConfig& cfg,
                                     const conformance::PeConfig& pe_cfg);
+
+// Identity of run_scenario(cfg): every FlowSpec (implementation, role,
+// start policy, size policy), the size distribution, fairness windows
+// and the shared network/trial knobs. PeConfig is deliberately absent,
+// as with pair_fingerprint.
+std::string scenario_fingerprint(const harness::ScenarioConfig& cfg);
+
+// Identity of a scenario-conformance cell: the test scenario's clouds
+// judged against the reference scenario's under one PE config.
+std::string scenario_conformance_fingerprint(
+    const harness::ScenarioConfig& test_cfg,
+    const harness::ScenarioConfig& ref_cfg,
+    const conformance::PeConfig& pe_cfg);
 
 } // namespace quicbench::runner

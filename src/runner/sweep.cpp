@@ -99,17 +99,44 @@ struct Sweep::PairTask {
   netsim::Simulator::Stats engine;
 };
 
+// An N-flow scenario shared by one or more cells. Mirrors PairTask but is
+// never disk-cached: the persistent ResultCache stores PairResults, and
+// many-flow scenarios are both cheap to recompute relative to their size
+// on disk and new enough that cache-format churn would hurt more than the
+// re-simulation.
+struct Sweep::ScenarioTask {
+  harness::ScenarioConfig cfg;
+  std::string fingerprint;
+  harness::ScenarioResult result;
+  std::vector<harness::ScenarioTrialResult> trial_results;
+  std::atomic<int> remaining{0};
+  std::vector<int> dependent_cells;
+  std::mutex mu;            // guards wall_sec/events/engine accumulation
+  double wall_sec = 0;      // summed trial wall time (transport/sim)
+  double finalize_sec = 0;  // aggregate_scenario_trials
+  std::uint64_t events = 0;
+  // Engine sizing maxima across this scenario's trials.
+  netsim::Simulator::Stats engine;
+};
+
 struct Sweep::Cell {
-  enum class Kind { kPair, kConformance };
+  enum class Kind { kPair, kConformance, kScenario, kScenarioConformance };
   Kind kind = Kind::kPair;
   int pair_idx = -1;      // kPair: the pair; kConformance: test-vs-ref
   int ref_pair_idx = -1;  // kConformance only: ref-vs-ref
-  std::vector<int> deps;  // unique pair indices this cell needs
+  int scen_idx = -1;      // kScenario*: the (test) scenario
+  int ref_scen_idx = -1;  // kScenarioConformance only: reference scenario
+  std::vector<int> deps;   // unique pair indices this cell needs
+  std::vector<int> sdeps;  // unique scenario indices this cell needs
   conformance::PeConfig pe_cfg;
   std::string fingerprint;
   conformance::ConformanceReport report;
   std::atomic<int> remaining{0};
   double eval_sec = 0;
+
+  bool needs_eval() const {
+    return kind == Kind::kConformance || kind == Kind::kScenarioConformance;
+  }
 };
 
 Sweep::Sweep(std::string name, SweepOptions opts)
@@ -147,6 +174,21 @@ int Sweep::intern_pair(const stacks::Implementation& a,
   const int idx = static_cast<int>(pairs_.size());
   pairs_.push_back(std::move(task));
   pair_index_.emplace(std::move(fp), idx);
+  return idx;
+}
+
+int Sweep::intern_scenario(const harness::ScenarioConfig& cfg) {
+  std::string fp = scenario_fingerprint(cfg);
+  if (const auto it = scenario_index_.find(fp);
+      it != scenario_index_.end()) {
+    return it->second;
+  }
+  auto task = std::make_unique<ScenarioTask>();
+  task->cfg = cfg;
+  task->fingerprint = fp;
+  const int idx = static_cast<int>(scenarios_.size());
+  scenarios_.push_back(std::move(task));
+  scenario_index_.emplace(std::move(fp), idx);
   return idx;
 }
 
@@ -191,22 +233,90 @@ CellId Sweep::add_conformance(const stacks::Implementation& test,
   return id;
 }
 
+CellId Sweep::add_scenario(const harness::ScenarioConfig& cfg) {
+  if (ran_) throw std::logic_error("Sweep: add_scenario after run()");
+  cfg.validate();
+  auto cell = std::make_unique<Cell>();
+  cell->kind = Cell::Kind::kScenario;
+  cell->scen_idx = intern_scenario(cfg);
+  cell->sdeps = {cell->scen_idx};
+  cell->fingerprint = scenario_fingerprint(cfg);
+  const auto id = static_cast<CellId>(cells_.size());
+  scenarios_[static_cast<std::size_t>(cell->scen_idx)]
+      ->dependent_cells.push_back(id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellId Sweep::add_scenario_conformance(
+    const harness::ScenarioConfig& test_cfg,
+    const harness::ScenarioConfig& ref_cfg,
+    const conformance::PeConfig& pe_cfg) {
+  if (ran_) {
+    throw std::logic_error("Sweep: add_scenario_conformance after run()");
+  }
+  test_cfg.validate();
+  ref_cfg.validate();
+  auto cell = std::make_unique<Cell>();
+  cell->kind = Cell::Kind::kScenarioConformance;
+  cell->scen_idx = intern_scenario(test_cfg);
+  cell->ref_scen_idx = intern_scenario(ref_cfg);
+  cell->sdeps = {cell->scen_idx};
+  if (cell->ref_scen_idx != cell->scen_idx) {
+    cell->sdeps.push_back(cell->ref_scen_idx);
+  }
+  cell->pe_cfg = pe_cfg;
+  cell->fingerprint =
+      scenario_conformance_fingerprint(test_cfg, ref_cfg, pe_cfg);
+  const auto id = static_cast<CellId>(cells_.size());
+  for (const int d : cell->sdeps) {
+    scenarios_[static_cast<std::size_t>(d)]->dependent_cells.push_back(id);
+  }
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
 void Sweep::eval_cell(Cell& cell, double* busy_sec, int worker_id) {
-  if (cell.kind != Cell::Kind::kConformance) return;
+  if (!cell.needs_eval()) return;
   const auto t0 = Clock::now();
   const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
-  const harness::PairResult& ref_pair =
-      pairs_[static_cast<std::size_t>(cell.ref_pair_idx)]->result;
-  const harness::PairResult& test_pair =
-      pairs_[static_cast<std::size_t>(cell.pair_idx)]->result;
-  cell.report = conformance::evaluate(ref_pair.points_a, test_pair.points_a,
-                                      cell.pe_cfg);
+  std::string label;
+  if (cell.kind == Cell::Kind::kConformance) {
+    const harness::PairResult& ref_pair =
+        pairs_[static_cast<std::size_t>(cell.ref_pair_idx)]->result;
+    const harness::PairResult& test_pair =
+        pairs_[static_cast<std::size_t>(cell.pair_idx)]->result;
+    cell.report = conformance::evaluate(ref_pair.points_a,
+                                        test_pair.points_a, cell.pe_cfg);
+    if (profiler_ != nullptr) {
+      const PairTask& mp = *pairs_[static_cast<std::size_t>(cell.pair_idx)];
+      label = "eval " + mp.a.display + " vs " + mp.b.display;
+    }
+  } else {
+    // Scenario conformance: compare the clouds of each scenario's flow in
+    // the test position.
+    const ScenarioTask& test_scen =
+        *scenarios_[static_cast<std::size_t>(cell.scen_idx)];
+    const ScenarioTask& ref_scen =
+        *scenarios_[static_cast<std::size_t>(cell.ref_scen_idx)];
+    const auto& ref_points =
+        ref_scen.result.flows[harness::test_flow_index(ref_scen.cfg)].points;
+    const auto& test_points =
+        test_scen.result.flows[harness::test_flow_index(test_scen.cfg)]
+            .points;
+    cell.report = conformance::evaluate(ref_points, test_points,
+                                        cell.pe_cfg);
+    if (profiler_ != nullptr) {
+      const std::size_t ti = harness::test_flow_index(test_scen.cfg);
+      label = "eval scenario " + test_scen.cfg.flows[ti].impl.display +
+              " vs " + std::to_string(test_scen.cfg.flows.size() - 1) +
+              " competitors";
+    }
+  }
   cell.eval_sec = seconds_since(t0);
   *busy_sec += cell.eval_sec;
   if (profiler_ != nullptr) {
-    const PairTask& mp = *pairs_[static_cast<std::size_t>(cell.pair_idx)];
-    profiler_->record_complete("eval " + mp.a.display + " vs " + mp.b.display,
-                               "eval", worker_id + 1, ts_us,
+    profiler_->record_complete(label, "eval", worker_id + 1, ts_us,
                                cell.eval_sec * 1e6);
   }
 }
@@ -225,29 +335,60 @@ void Sweep::finalize_pair(PairTask& pair, double* busy_sec, int worker_id) {
         "finalize " + pair.a.display + " vs " + pair.b.display, "finalize",
         worker_id + 1, ts_us, profiler_->now_us() - ts_us);
   }
-  const int done = pairs_done_.fetch_add(1) + 1;
+  const int done = tasks_done_.fetch_add(1) + 1;
   if (progress_) {
     std::lock_guard<std::mutex> lock(progress_mu_);
     std::fprintf(stderr,
-                 "[qb-sweep %s] pair %d/%d done: %s vs %s (%.2fs, %llu "
+                 "[qb-sweep %s] task %d/%d done: %s vs %s (%.2fs, %llu "
                  "events)\n",
-                 name_.c_str(), done, stats_.cache_misses,
+                 name_.c_str(), done, tasks_to_simulate_,
                  pair.a.display.c_str(), pair.b.display.c_str(),
                  pair.wall_sec,
                  static_cast<unsigned long long>(pair.events));
   }
-  // Publish newly-unblocked cells to the shared queue (instead of
-  // evaluating them inline on this worker), then retire this pair —
-  // strictly in that order, so a claimant that observes pairs_active_
-  // == 0 is guaranteed to see every push.
-  for (const int ci : pair.dependent_cells) {
+  publish_unblocked_cells(pair.dependent_cells);
+}
+
+void Sweep::finalize_scenario(ScenarioTask& scen, double* busy_sec,
+                              int worker_id) {
+  const auto t0 = Clock::now();
+  const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
+  scen.result = harness::aggregate_scenario_trials(
+      std::move(scen.trial_results), scen.cfg);
+  scen.trial_results = {};
+  scen.finalize_sec = seconds_since(t0);
+  *busy_sec += scen.finalize_sec;
+  const std::size_t n_flows = scen.cfg.flows.size();
+  if (profiler_ != nullptr) {
+    profiler_->record_complete(
+        "finalize scenario (" + std::to_string(n_flows) + " flows)",
+        "finalize", worker_id + 1, ts_us, profiler_->now_us() - ts_us);
+  }
+  const int done = tasks_done_.fetch_add(1) + 1;
+  if (progress_) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    std::fprintf(stderr,
+                 "[qb-sweep %s] task %d/%d done: scenario with %zu flows "
+                 "(%.2fs, %llu events)\n",
+                 name_.c_str(), done, tasks_to_simulate_, n_flows,
+                 scen.wall_sec,
+                 static_cast<unsigned long long>(scen.events));
+  }
+  publish_unblocked_cells(scen.dependent_cells);
+}
+
+// Publish newly-unblocked cells to the shared queue (instead of
+// evaluating them inline on this worker), then retire this task —
+// strictly in that order, so a claimant that observes tasks_active_
+// == 0 is guaranteed to see every push.
+void Sweep::publish_unblocked_cells(const std::vector<int>& dependent_cells) {
+  for (const int ci : dependent_cells) {
     Cell& cell = *cells_[static_cast<std::size_t>(ci)];
-    if (cell.kind == Cell::Kind::kConformance &&
-        cell.remaining.fetch_sub(1) == 1) {
+    if (cell.needs_eval() && cell.remaining.fetch_sub(1) == 1) {
       push_ready_cell(&cell);
     }
   }
-  pairs_active_.fetch_sub(1, std::memory_order_release);
+  tasks_active_.fetch_sub(1, std::memory_order_release);
 }
 
 void Sweep::push_ready_cell(Cell* cell) {
@@ -262,7 +403,7 @@ Sweep::Cell* Sweep::claim_ready_cell() {
       std::lock_guard<std::mutex> lock(ready_mu_);
       if (i < ready_cells_.size()) return ready_cells_[i];
     }
-    if (pairs_active_.load(std::memory_order_acquire) == 0) {
+    if (tasks_active_.load(std::memory_order_acquire) == 0) {
       // No more pushes can happen; re-check under the lock in case one
       // landed between the size check and the counter read.
       std::lock_guard<std::mutex> lock(ready_mu_);
@@ -346,29 +487,44 @@ void Sweep::run() {
                                profiler_->now_us() - probe_ts);
   }
 
-  // Cells whose pairs are all cached are ready immediately; the rest
-  // are published by finalize_pair as their last dependency lands.
-  pairs_active_.store(stats_.cache_misses);
+  // Scenarios are never disk-cached: every one is simulated this run.
+  for (const auto& s : scenarios_) {
+    s->remaining.store(s->cfg.trials);
+    s->trial_results.resize(static_cast<std::size_t>(s->cfg.trials));
+  }
+
+  // Cells whose dependencies are all cached are ready immediately; the
+  // rest are published by finalize_pair/finalize_scenario as their last
+  // dependency lands.
+  tasks_to_simulate_ =
+      stats_.cache_misses + static_cast<int>(scenarios_.size());
+  tasks_active_.store(tasks_to_simulate_);
   for (const auto& c : cells_) {
-    int rem = 0;
+    int rem = static_cast<int>(c->sdeps.size());
     for (const int d : c->deps) {
       if (!pairs_[static_cast<std::size_t>(d)]->cached) ++rem;
     }
     c->remaining.store(rem);
-    if (rem == 0 && c->kind == Cell::Kind::kConformance) {
+    if (rem == 0 && c->needs_eval()) {
       ready_cells_.push_back(c.get());
     }
   }
 
   struct Item {
-    int pair;
+    bool scenario;  // index into scenarios_ instead of pairs_
+    int task;
     int trial;
   };
   std::vector<Item> items;
   for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
     if (pairs_[pi]->cached) continue;
     for (int t = 0; t < pairs_[pi]->cfg.trials; ++t) {
-      items.push_back({static_cast<int>(pi), t});
+      items.push_back({false, static_cast<int>(pi), t});
+    }
+  }
+  for (std::size_t si = 0; si < scenarios_.size(); ++si) {
+    for (int t = 0; t < scenarios_[si]->cfg.trials; ++t) {
+      items.push_back({true, static_cast<int>(si), t});
     }
   }
 
@@ -382,15 +538,17 @@ void Sweep::run() {
 
   stats_.cells = static_cast<int>(cells_.size());
   stats_.unique_pairs = static_cast<int>(pairs_.size());
+  stats_.unique_scenarios = static_cast<int>(scenarios_.size());
   stats_.simulations_executed = static_cast<long long>(items.size());
   stats_.threads = workers;
 
   if (progress_) {
     std::fprintf(stderr,
-                 "[qb-sweep %s] %d cells -> %d unique pairs (%d cached), "
-                 "%zu trials on %d threads\n",
+                 "[qb-sweep %s] %d cells -> %d unique pairs (%d cached) + "
+                 "%d scenarios, %zu trials on %d threads\n",
                  name_.c_str(), stats_.cells, stats_.unique_pairs,
-                 stats_.cache_hits, items.size(), workers);
+                 stats_.cache_hits, stats_.unique_scenarios, items.size(),
+                 workers);
   }
 
   std::atomic<std::size_t> next_item{0};
@@ -402,12 +560,49 @@ void Sweep::run() {
     for (;;) {
       const std::size_t i = next_item.fetch_add(1);
       if (i >= items.size()) break;
-      PairTask& p = *pairs_[static_cast<std::size_t>(items[i].pair)];
+      if (items[i].scenario) {
+        // Scenario trials skip the per-trial qlog flight recorder: a
+        // 256-flow trial would write hundreds of qlogs per trial, and
+        // the contention studies only need the aggregate result.
+        ScenarioTask& s = *scenarios_[static_cast<std::size_t>(
+            items[i].task)];
+        const auto ts = Clock::now();
+        const double ts_us =
+            profiler_ != nullptr ? profiler_->now_us() : 0;
+        harness::ScenarioTrialResult tr = harness::run_scenario_trial(
+            s.cfg, static_cast<std::uint64_t>(items[i].trial));
+        const double dt = seconds_since(ts);
+        if (profiler_ != nullptr) {
+          profiler_->record_complete(
+              "scenario(" + std::to_string(s.cfg.flows.size()) +
+                  " flows) #" + std::to_string(items[i].trial),
+              "trial", wid + 1, ts_us, dt * 1e6);
+        }
+        busy += dt;
+        {
+          std::lock_guard<std::mutex> lock(s.mu);
+          s.wall_sec += dt;
+          s.events += tr.sim_events;
+          s.engine.heap_peak = std::max(s.engine.heap_peak,
+                                        tr.engine.heap_peak);
+          s.engine.wheel_peak = std::max(s.engine.wheel_peak,
+                                         tr.engine.wheel_peak);
+          s.engine.slot_count = std::max(s.engine.slot_count,
+                                         tr.engine.slot_count);
+        }
+        s.trial_results[static_cast<std::size_t>(items[i].trial)] =
+            std::move(tr);
+        if (s.remaining.fetch_sub(1) == 1) {
+          finalize_scenario(s, &busy, wid);
+        }
+        continue;
+      }
+      PairTask& p = *pairs_[static_cast<std::size_t>(items[i].task)];
       const auto ts = Clock::now();
       const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
       harness::TrialResult tr =
           !qlog_dir_.empty()
-              ? run_observed_trial(p, items[i].pair, items[i].trial)
+              ? run_observed_trial(p, items[i].task, items[i].trial)
               : harness::run_trial(p.a, p.b, p.cfg,
                                    static_cast<std::uint64_t>(
                                        items[i].trial));
@@ -457,6 +652,7 @@ void Sweep::run() {
   for (const auto& p : pairs_) {
     if (!p->cached) stats_.events_executed += p->events;
   }
+  for (const auto& s : scenarios_) stats_.events_executed += s->events;
   stats_.wall_sec = seconds_since(t0);
   stats_.busy_sec = total_busy;
   if (stats_.wall_sec > 0) {
@@ -493,7 +689,21 @@ void Sweep::run() {
 const harness::PairResult& Sweep::pair_result(CellId id) const {
   if (!ran_) throw std::logic_error("Sweep: pair_result before run()");
   const Cell& cell = *cells_.at(static_cast<std::size_t>(id));
+  if (cell.pair_idx < 0) {
+    throw std::logic_error(
+        "Sweep: pair_result on a scenario cell; use scenario_result");
+  }
   return pairs_[static_cast<std::size_t>(cell.pair_idx)]->result;
+}
+
+const harness::ScenarioResult& Sweep::scenario_result(CellId id) const {
+  if (!ran_) throw std::logic_error("Sweep: scenario_result before run()");
+  const Cell& cell = *cells_.at(static_cast<std::size_t>(id));
+  if (cell.scen_idx < 0) {
+    throw std::logic_error(
+        "Sweep: scenario_result on a pair cell; use pair_result");
+  }
+  return scenarios_[static_cast<std::size_t>(cell.scen_idx)]->result;
 }
 
 const conformance::ConformanceReport& Sweep::conformance_result(
@@ -502,9 +712,10 @@ const conformance::ConformanceReport& Sweep::conformance_result(
     throw std::logic_error("Sweep: conformance_result before run()");
   }
   const Cell& cell = *cells_.at(static_cast<std::size_t>(id));
-  if (cell.kind != Cell::Kind::kConformance) {
+  if (!cell.needs_eval()) {
     throw std::logic_error(
-        "Sweep: conformance_result on a raw pair cell; use pair_result");
+        "Sweep: conformance_result on a raw pair/scenario cell; use "
+        "pair_result or scenario_result");
   }
   return cell.report;
 }
@@ -513,7 +724,7 @@ std::string Sweep::write_manifest() const {
   if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
   JsonWriter j;
   j.begin_object();
-  j.kv("schema", "quicbench.sweep.manifest/v4");
+  j.kv("schema", "quicbench.sweep.manifest/v5");
   j.kv("code_schema_version",
        static_cast<std::uint64_t>(kSchemaVersion));
   j.kv("sweep", name_);
@@ -572,33 +783,117 @@ std::string Sweep::write_manifest() const {
   }
   j.end_array();
 
+  j.key("scenarios").begin_array();
+  for (const auto& s : scenarios_) {
+    const harness::ScenarioConfig& cfg = s->cfg;
+    const harness::ScenarioResult& r = s->result;
+    int n_test = 0, n_ref = 0, n_bg = 0;
+    for (const harness::FlowSpec& f : cfg.flows) {
+      switch (f.role) {
+        case harness::FlowRole::kTest: ++n_test; break;
+        case harness::FlowRole::kReference: ++n_ref; break;
+        case harness::FlowRole::kBackground: ++n_bg; break;
+      }
+    }
+    j.begin_object();
+    j.kv("fingerprint", s->fingerprint);
+    j.kv("n_flows", static_cast<std::int64_t>(cfg.flows.size()));
+    j.key("roles").begin_object();
+    j.kv("test", n_test);
+    j.kv("reference", n_ref);
+    j.kv("background", n_bg);
+    j.end_object();
+    j.kv("test_flow",
+         cfg.flows[harness::test_flow_index(cfg)].impl.display);
+    j.kv("network", cfg.net.describe());
+    j.kv("impairment", cfg.net.impairment.describe());
+    j.kv("duration_sec", time::to_sec(cfg.duration));
+    j.kv("trials", cfg.trials);
+    j.kv("seed", cfg.seed);
+    j.kv("wall_sec", s->wall_sec);
+    j.kv("finalize_sec", s->finalize_sec);
+    j.kv("events", s->events);
+    j.kv("events_per_sec",
+         s->wall_sec > 0 ? static_cast<double>(s->events) / s->wall_sec
+                         : 0.0);
+    j.key("engine").begin_object();
+    j.kv("heap_peak", static_cast<std::uint64_t>(s->engine.heap_peak));
+    j.kv("wheel_peak", static_cast<std::uint64_t>(s->engine.wheel_peak));
+    j.kv("slot_count", static_cast<std::uint64_t>(s->engine.slot_count));
+    j.end_object();
+    j.key("result").begin_object();
+    j.kv("jain_overall", r.jain_overall);
+    j.key("jain_windows").begin_array();
+    for (const double w : r.jain_windows) j.value(w);
+    j.end_array();
+    j.key("churn").begin_object();
+    j.kv("arrivals", r.churn.arrivals);
+    j.kv("departures", r.churn.departures);
+    j.kv("peak_concurrent", r.churn.peak_concurrent);
+    j.kv("mean_completion_sec", r.churn.mean_completion_sec);
+    j.end_object();
+    j.kv("queue_hwm_bytes",
+         static_cast<std::int64_t>(r.queue_hwm_bytes));
+    j.kv("bottleneck_drops", r.bottleneck_drops);
+    j.kv("utilization", r.utilization);
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+
   j.key("cells").begin_array();
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     const Cell& c = *cells_[i];
     j.begin_object();
     j.kv("id", static_cast<std::int64_t>(i));
-    j.kv("kind", c.kind == Cell::Kind::kConformance ? "conformance"
-                                                    : "pair");
-    j.kv("fingerprint", c.fingerprint);
-    const PairTask& main_pair =
-        *pairs_[static_cast<std::size_t>(c.pair_idx)];
-    j.kv("a", main_pair.a.display);
-    j.kv("b", main_pair.b.display);
-    j.key("pair_fingerprints").begin_array();
-    for (const int d : c.deps) {
-      j.value(pairs_[static_cast<std::size_t>(d)]->fingerprint);
+    switch (c.kind) {
+      case Cell::Kind::kPair: j.kv("kind", "pair"); break;
+      case Cell::Kind::kConformance: j.kv("kind", "conformance"); break;
+      case Cell::Kind::kScenario: j.kv("kind", "scenario"); break;
+      case Cell::Kind::kScenarioConformance:
+        j.kv("kind", "scenario_conformance");
+        break;
     }
-    j.end_array();
+    j.kv("fingerprint", c.fingerprint);
     double wall = c.eval_sec;
-    for (const int d : c.deps) {
-      wall += pairs_[static_cast<std::size_t>(d)]->wall_sec;
+    if (c.pair_idx >= 0) {
+      const PairTask& main_pair =
+          *pairs_[static_cast<std::size_t>(c.pair_idx)];
+      j.kv("a", main_pair.a.display);
+      j.kv("b", main_pair.b.display);
+      j.key("pair_fingerprints").begin_array();
+      for (const int d : c.deps) {
+        j.value(pairs_[static_cast<std::size_t>(d)]->fingerprint);
+      }
+      j.end_array();
+      for (const int d : c.deps) {
+        wall += pairs_[static_cast<std::size_t>(d)]->wall_sec;
+      }
+    } else {
+      const ScenarioTask& main_scen =
+          *scenarios_[static_cast<std::size_t>(c.scen_idx)];
+      j.kv("test_flow",
+           main_scen.cfg.flows[harness::test_flow_index(main_scen.cfg)]
+               .impl.display);
+      j.kv("n_flows",
+           static_cast<std::int64_t>(main_scen.cfg.flows.size()));
+      j.key("scenario_fingerprints").begin_array();
+      for (const int d : c.sdeps) {
+        j.value(scenarios_[static_cast<std::size_t>(d)]->fingerprint);
+      }
+      j.end_array();
+      for (const int d : c.sdeps) {
+        wall += scenarios_[static_cast<std::size_t>(d)]->wall_sec;
+      }
     }
     j.kv("eval_sec", c.eval_sec);
-    j.kv("wall_sec", wall);  // shared pairs are counted in every cell
+    j.kv("wall_sec", wall);  // shared tasks are counted in every cell
     if (c.kind == Cell::Kind::kConformance) {
       // How far the test pair's bottleneck behaviour sits from the
       // kernel-reference pair's (flow 0 = the test position).
-      const harness::PairDiagnostics& td = main_pair.result.diagnostics;
+      const harness::PairDiagnostics& td =
+          pairs_[static_cast<std::size_t>(c.pair_idx)]
+              ->result.diagnostics;
       const harness::PairDiagnostics& rd =
           pairs_[static_cast<std::size_t>(c.ref_pair_idx)]
               ->result.diagnostics;
@@ -612,6 +907,17 @@ std::string Sweep::write_manifest() const {
         j.kv("utilization_delta", td.utilization - rd.utilization);
         j.end_object();
       }
+    } else if (c.kind == Cell::Kind::kScenarioConformance) {
+      // Fairness alongside conformance: how evenly each scenario's
+      // bottleneck was shared.
+      const harness::ScenarioResult& tr =
+          scenarios_[static_cast<std::size_t>(c.scen_idx)]->result;
+      const harness::ScenarioResult& rr =
+          scenarios_[static_cast<std::size_t>(c.ref_scen_idx)]->result;
+      j.key("fairness").begin_object();
+      j.kv("test_jain", tr.jain_overall);
+      j.kv("ref_jain", rr.jain_overall);
+      j.end_object();
     }
     j.end_object();
   }

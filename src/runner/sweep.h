@@ -1,7 +1,10 @@
 #pragma once
 // The sweep engine: QUICbench's unit of work is a *sweep* — a set of
-// (Implementation pair, ExperimentConfig) cells covering a figure or
-// table — and this class runs one end to end:
+// cells covering a figure or table — and this class runs one end to end.
+// Cells come in two families: classic pair cells ((Implementation a, b,
+// ExperimentConfig), with conformance variants) and N-flow scenario
+// cells (harness::ScenarioConfig, with scenario-conformance variants for
+// conformance-under-contention studies).
 //
 //  * cells are decomposed into trial-granular work items scheduled over
 //    a shared-counter worker pool, so one slow 120 s cell no longer
@@ -9,12 +12,13 @@
 //  * simulated pairs are deduplicated by canonical fingerprint and
 //    served from the persistent on-disk ResultCache when unchanged —
 //    reference self-pairs in particular are computed once *across*
-//    bench binaries;
-//  * per-pair results aggregate in trial-index order and PE evaluation
+//    bench binaries. Scenarios are fingerprint-deduplicated within the
+//    sweep but never disk-cached (the cache format stores PairResults);
+//  * per-task results aggregate in trial-index order and PE evaluation
 //    is seeded, so results are bit-identical at any thread count;
 //  * every run can emit a structured JSON manifest (schema documented in
-//    README.md): cell list, per-pair wall time and simulator events/sec,
-//    cache hits/misses, thread utilization.
+//    README.md): cell list, per-pair/per-scenario wall time and
+//    simulator events/sec, cache hits/misses, thread utilization.
 //
 // Typical bench usage:
 //
@@ -66,6 +70,7 @@ struct SweepOptions {
 struct SweepStats {
   int cells = 0;
   int unique_pairs = 0;      // after fingerprint dedup
+  int unique_scenarios = 0;  // after fingerprint dedup; always simulated
   int cache_hits = 0;        // pairs served from the persistent cache
   int cache_misses = 0;      // pairs simulated this run
   long long simulations_executed = 0;  // trials actually simulated
@@ -98,12 +103,26 @@ class Sweep {
                          const harness::ExperimentConfig& cfg,
                          const conformance::PeConfig& pe_cfg = {});
 
+  // Raw N-flow scenario cell (fairness/churn studies). Validates cfg.
+  CellId add_scenario(const harness::ScenarioConfig& cfg);
+
+  // Scenario-conformance cell (conformance under contention): the test
+  // scenario's test-position clouds are judged against the reference
+  // scenario's under pe_cfg. Typically ref_cfg is test_cfg with the
+  // reference implementation swapped into the test position; scenarios
+  // shared between cells (equal fingerprints) are simulated once.
+  CellId add_scenario_conformance(const harness::ScenarioConfig& test_cfg,
+                                  const harness::ScenarioConfig& ref_cfg,
+                                  const conformance::PeConfig& pe_cfg = {});
+
   // Execute all cells. Callable once.
   void run();
 
   // Results, valid after run(). Throws std::logic_error on kind/state
-  // mismatch.
+  // mismatch. conformance_result serves both pair-conformance and
+  // scenario-conformance cells.
   const harness::PairResult& pair_result(CellId id) const;
+  const harness::ScenarioResult& scenario_result(CellId id) const;
   const conformance::ConformanceReport& conformance_result(CellId id) const;
 
   const SweepStats& stats() const { return stats_; }
@@ -119,15 +138,20 @@ class Sweep {
 
  private:
   struct PairTask;
+  struct ScenarioTask;
   struct Cell;
 
   int intern_pair(const stacks::Implementation& a,
                   const stacks::Implementation& b,
                   const harness::ExperimentConfig& cfg);
+  int intern_scenario(const harness::ScenarioConfig& cfg);
   void finalize_pair(PairTask& pair, double* busy_sec, int worker_id);
+  void finalize_scenario(ScenarioTask& scen, double* busy_sec,
+                         int worker_id);
+  void publish_unblocked_cells(const std::vector<int>& dependent_cells);
   void eval_cell(Cell& cell, double* busy_sec, int worker_id);
   void push_ready_cell(Cell* cell);
-  // Claim the next ready cell, waiting for in-flight pair finalizes to
+  // Claim the next ready cell, waiting for in-flight task finalizes to
   // publish theirs; nullptr once no further cell can become ready.
   Cell* claim_ready_cell();
   harness::TrialResult run_observed_trial(PairTask& pair, int pair_idx,
@@ -139,6 +163,8 @@ class Sweep {
   std::unique_ptr<ResultCache> owned_cache_;
   std::vector<std::unique_ptr<PairTask>> pairs_;
   std::map<std::string, int> pair_index_;  // pair fingerprint -> index
+  std::vector<std::unique_ptr<ScenarioTask>> scenarios_;
+  std::map<std::string, int> scenario_index_;  // fingerprint -> index
   std::vector<std::unique_ptr<Cell>> cells_;
   SweepStats stats_;
   bool ran_ = false;
@@ -146,20 +172,21 @@ class Sweep {
   std::string qlog_dir_;    // "" = qlog recorder off
   std::unique_ptr<obs::TraceProfiler> profiler_;  // null = profiler off
   std::string profile_path_;
-  std::atomic<int> pairs_done_{0};
+  std::atomic<int> tasks_done_{0};
+  int tasks_to_simulate_ = 0;  // uncached pairs + scenarios
   std::mutex progress_mu_;
 
-  // PE-evaluation work queue: cells whose pair dependencies are all
-  // satisfied. Grows as pairs finalize (push under ready_mu_, index
+  // PE-evaluation work queue: cells whose pair/scenario dependencies are
+  // all satisfied. Grows as tasks finalize (push under ready_mu_, index
   // claims via next_ready_cell_), so the expensive conformance::evaluate
   // calls spread across every worker instead of serializing on whichever
-  // worker finished a pair's last trial. pairs_active_ counts uncached
-  // pairs not yet finalized — when it reaches zero no further cell can
-  // become ready and waiting claimants drain out.
+  // worker finished a task's last trial. tasks_active_ counts uncached
+  // pairs and scenarios not yet finalized — when it reaches zero no
+  // further cell can become ready and waiting claimants drain out.
   std::mutex ready_mu_;
   std::vector<Cell*> ready_cells_;
   std::atomic<std::size_t> next_ready_cell_{0};
-  std::atomic<int> pairs_active_{0};
+  std::atomic<int> tasks_active_{0};
 };
 
 // ---------------------------------------------------------------------

@@ -72,7 +72,7 @@ SenderEndpoint::SenderEndpoint(
   pto_timer_.set([this] { on_pto(); });
   quantum_timer_.set([this] {
     do_send_loop();
-    if (started_) maybe_send();  // keep ticking
+    if (started_ && !out_of_data()) maybe_send();  // keep ticking
   });
   log_.reserve(256);
 }
@@ -216,6 +216,21 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
   detect_losses();
   compact_sent_log();
   maybe_send();
+  maybe_finish();
+}
+
+// A flow departs only through the ack path: losses re-add pending retx
+// bytes, so the limit + no-retx + empty-flight condition can first hold
+// right after an ack frame resolved the final packet.
+void SenderEndpoint::maybe_finish() {
+  if (finished_ || !started_ || !out_of_data()) return;
+  if (bytes_in_flight_ > 0) return;
+  finished_ = true;
+  pacing_timer_.cancel();
+  quantum_timer_.cancel();
+  loss_timer_.cancel();
+  pto_timer_.cancel();
+  if (finished_cb_) finished_cb_(sim_.now());
 }
 
 Time SenderEndpoint::loss_time_threshold() const {
@@ -388,7 +403,7 @@ std::optional<Time> SenderEndpoint::pacing_interval(Bytes wire, Bytes cwnd) {
 }
 
 void SenderEndpoint::maybe_send() {
-  if (!started_) return;
+  if (!started_ || out_of_data()) return;
   if (profile_.send_quantum > 0) {
     // Batched send loop: wake only on quantum boundaries.
     if (!quantum_timer_.armed()) {
@@ -402,6 +417,7 @@ void SenderEndpoint::maybe_send() {
 void SenderEndpoint::do_send_loop() {
   const Bytes wire = profile_.mss + profile_.header_overhead;
   for (;;) {
+    if (out_of_data()) break;
     const Bytes cwnd = cca_->cwnd();
     if (bytes_in_flight_ + wire > cwnd) break;
     if (profile_.flow_control_window > 0 &&
@@ -435,6 +451,8 @@ void SenderEndpoint::send_one(bool is_probe) {
     ++stats_.retransmissions;
   } else if (is_probe) {
     ++stats_.retransmissions;
+  } else {
+    new_data_bytes_ += profile_.mss;
   }
 
   const std::uint64_t pn = log_.push(now, static_cast<std::uint32_t>(wire),

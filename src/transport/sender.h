@@ -47,6 +47,17 @@ class SenderEndpoint : public netsim::PacketSink {
   // Begin transmitting at absolute simulation time `at`.
   void start(Time at);
 
+  // Cap the stream at `limit` payload bytes of new data (retransmissions
+  // and probes do not count); <= 0 keeps the default unbounded stream.
+  // Must be set before start(). Once the cap is reached and every sent
+  // packet has been resolved, the flow finishes: all timers stop and the
+  // finished callback (if any) fires. An unlimited sender takes none of
+  // these branches, so its event sequence is bit-identical to builds
+  // without the cap.
+  void set_data_limit(Bytes limit) { data_limit_ = limit; }
+  bool finished() const { return finished_; }
+  Bytes new_data_bytes() const { return new_data_bytes_; }
+
   // ACK arrival from the network.
   void deliver(netsim::Packet p) override;
 
@@ -71,6 +82,9 @@ class SenderEndpoint : public netsim::PacketSink {
                                             LossTimerEvent event, Time expiry)>;
   using PtoCallback = util::InlineFn<void(Time now, int pto_count)>;
   using SpuriousLossCallback = util::InlineFn<void(Time now, std::uint64_t pn)>;
+  // Fires once, when a data-limited flow has sent its full limit and the
+  // last outstanding packet resolved (flow departure, for churn studies).
+  using FinishedCallback = util::InlineFn<void(Time now)>;
   void set_rtt_callback(RttCallback cb) { rtt_cb_ = std::move(cb); }
   void set_cwnd_callback(CwndCallback cb) { cwnd_cb_ = std::move(cb); }
   void set_packet_sent_callback(PacketSentCallback cb) {
@@ -86,6 +100,9 @@ class SenderEndpoint : public netsim::PacketSink {
   void set_pto_callback(PtoCallback cb) { pto_cb_ = std::move(cb); }
   void set_spurious_loss_callback(SpuriousLossCallback cb) {
     spurious_cb_ = std::move(cb);
+  }
+  void set_finished_callback(FinishedCallback cb) {
+    finished_cb_ = std::move(cb);
   }
 
   const SenderStats& stats() const { return stats_; }
@@ -115,6 +132,13 @@ class SenderEndpoint : public netsim::PacketSink {
   void maybe_send();
   void do_send_loop();
   void send_one(bool is_probe);
+  // True once a data-limited flow has packetized its whole limit and has
+  // no retransmissions pending. Always false for unlimited flows.
+  bool out_of_data() const {
+    return data_limit_ > 0 && new_data_bytes_ >= data_limit_ &&
+           pending_retx_bytes_ <= 0;
+  }
+  void maybe_finish();
   Time loss_time_threshold() const;
   std::optional<Time> pacing_interval(Bytes wire, Bytes cwnd);
 
@@ -126,6 +150,9 @@ class SenderEndpoint : public netsim::PacketSink {
   Rng rng_;
 
   bool started_ = false;
+  bool finished_ = false;
+  Bytes data_limit_ = 0;      // <= 0: unbounded stream
+  Bytes new_data_bytes_ = 0;  // payload bytes of new (non-retx) data sent
   // Packet scoreboard: SoA metadata ring plus the intrusive unresolved
   // list (unacked or lost-but-within-grace pns below the largest
   // processed ack), kept small so per-ack work stays O(gaps).
@@ -170,6 +197,7 @@ class SenderEndpoint : public netsim::PacketSink {
   TimerCallback timer_cb_;
   PtoCallback pto_cb_;
   SpuriousLossCallback spurious_cb_;
+  FinishedCallback finished_cb_;
 
   // Grace period during which a lost-marked packet is retained so a late
   // ack can be recognised as spurious.

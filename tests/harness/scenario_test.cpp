@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/scenario.h"
+
+namespace quicbench::harness {
+namespace {
+
+using stacks::CcaType;
+using stacks::Registry;
+
+ScenarioConfig small_scenario(int n_flows, Time duration = time::sec(10)) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ScenarioConfig sc;
+  sc.duration = duration;
+  sc.trials = 1;
+  for (int i = 0; i < n_flows; ++i) {
+    FlowSpec f;
+    f.impl = ref;
+    f.role = i == 0 ? FlowRole::kTest : FlowRole::kReference;
+    sc.flows.push_back(f);
+  }
+  return sc;
+}
+
+TEST(ToDumbbellConfig, TranslatesEveryField) {
+  NetworkConfig net;
+  net.bandwidth = rate::mbps(40);
+  net.base_rtt = time::ms(30);
+  net.buffer_bdp = 2.0;
+  net.base_jitter = time::us(100);
+  net.path_jitter = time::us(700);
+  net.jitter_reorder = true;
+  net.trace_opportunities = {time::ms(1), time::ms(2)};
+  net.trace_period = time::ms(2);
+  net.impairment.loss_rate = 0.01;
+
+  const netsim::DumbbellConfig dc = to_dumbbell_config(net);
+  EXPECT_EQ(dc.bandwidth, rate::mbps(40));
+  EXPECT_EQ(dc.base_rtt, time::ms(30));
+  EXPECT_EQ(dc.buffer_bytes, net.buffer_bytes());
+  EXPECT_EQ(dc.path_jitter, time::us(700));
+  EXPECT_TRUE(dc.jitter_allows_reorder);
+  EXPECT_EQ(dc.trace_opportunities, net.trace_opportunities);
+  EXPECT_EQ(dc.trace_period, time::ms(2));
+  EXPECT_EQ(dc.impairment.loss_rate, 0.01);
+}
+
+TEST(ToDumbbellConfig, BaseJitterIsTheJitterFloor) {
+  NetworkConfig net;
+  net.base_jitter = time::us(250);
+  net.path_jitter = 0;  // "in the wild" extra off
+  EXPECT_EQ(to_dumbbell_config(net).path_jitter, time::us(250));
+  net.path_jitter = time::us(100);  // below the floor
+  EXPECT_EQ(to_dumbbell_config(net).path_jitter, time::us(250));
+}
+
+TEST(ScenarioValidate, AcceptsASingleUnlimitedFlow) {
+  EXPECT_NO_THROW(small_scenario(1).validate());
+}
+
+void expect_rejects(ScenarioConfig cfg, const std::string& needle) {
+  try {
+    cfg.validate();
+    FAIL() << "expected invalid_argument mentioning \"" << needle << "\"";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioValidate, RejectsEmptyFlowSet) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.flows.clear();
+  expect_rejects(cfg, "flows must not be empty");
+}
+
+TEST(ScenarioValidate, RejectsNegativeArrivalRate) {
+  ScenarioConfig cfg = small_scenario(2);
+  cfg.flows[1].arrival_rate = -0.5;
+  expect_rejects(cfg, "flows[1].arrival_rate must be >= 0");
+}
+
+TEST(ScenarioValidate, RejectsZeroSizeFiniteFlow) {
+  ScenarioConfig cfg = small_scenario(2);
+  cfg.flows[0].flow_size = 0;
+  expect_rejects(cfg,
+                 "flows[0].flow_size must not be 0: a zero-size finite "
+                 "flow never sends; use FlowSpec::kUnlimited");
+}
+
+TEST(ScenarioValidate, RejectsOtherNegativeSizes) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.flows[0].flow_size = -7;
+  expect_rejects(cfg, "flow_size must be positive or FlowSpec::kUnlimited");
+}
+
+TEST(ScenarioValidate, RejectsSampledSizeWithoutDistribution) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.flows[0].sample_size = true;
+  expect_rejects(cfg, "size_dist is disabled");
+}
+
+TEST(ScenarioValidate, RejectsInvertedSizeDistBounds) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.flows[0].sample_size = true;
+  cfg.size_dist.min_bytes = 1000;
+  cfg.size_dist.max_bytes = 10;
+  expect_rejects(cfg, "size_dist.max_bytes must be >= size_dist.min_bytes");
+}
+
+TEST(ScenarioValidate, RejectsNegativeFairnessWindow) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.fairness_window = -time::sec(1);
+  expect_rejects(cfg, "fairness_window must be >= 0");
+}
+
+TEST(ScenarioValidate, SharedNetworkChecksApply) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.net.bandwidth = 0;
+  expect_rejects(cfg, "ScenarioConfig: net.bandwidth must be positive");
+}
+
+TEST(TestFlowIndex, FirstTestRoleWins) {
+  ScenarioConfig cfg = small_scenario(3);
+  cfg.flows[0].role = FlowRole::kBackground;
+  cfg.flows[2].role = FlowRole::kTest;
+  EXPECT_EQ(test_flow_index(cfg), 2u);
+  cfg.flows[2].role = FlowRole::kReference;
+  EXPECT_EQ(test_flow_index(cfg), 0u);  // no kTest: fall back to flow 0
+}
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0}), 0.5);
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RunScenarioTrial, FiniteFlowCompletesAndDeparts) {
+  ScenarioConfig cfg = small_scenario(2, time::sec(20));
+  cfg.flows[1].flow_size = 2'000'000;  // ~0.8 s of the 20 Mbps bottleneck
+  const ScenarioTrialResult tr = run_scenario_trial(cfg, 0);
+  ASSERT_EQ(tr.flows.size(), 2u);
+  EXPECT_GE(tr.flows[1].finish, 0);
+  EXPECT_LT(tr.flows[1].finish, cfg.duration);
+  EXPECT_GE(tr.flows[1].bytes_delivered, tr.flows[1].target_size);
+  EXPECT_EQ(tr.flows[0].finish, -1);  // the unlimited flow never departs
+  EXPECT_EQ(tr.churn.arrivals, 2);
+  EXPECT_EQ(tr.churn.departures, 1);
+  EXPECT_GT(tr.churn.mean_completion_sec, 0.0);
+  // After the finite flow departs the survivor takes the whole link, so
+  // its delivered bytes dominate.
+  EXPECT_GT(tr.flows[0].bytes_delivered, tr.flows[1].bytes_delivered);
+}
+
+TEST(RunScenario, ManyFlowsShareTheBottleneck) {
+  ScenarioConfig cfg = small_scenario(4, time::sec(15));
+  cfg.fairness_window = time::sec(5);
+  const ScenarioResult sr = run_scenario(cfg);
+  ASSERT_EQ(sr.flows.size(), 4u);
+  double share_sum = 0;
+  for (const auto& f : sr.flows) {
+    EXPECT_GT(f.tput_mbps, 0.5);
+    share_sum += f.share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  // Four identical kernel-CUBIC flows started together: decently fair.
+  EXPECT_GT(sr.jain_overall, 0.7);
+  EXPECT_LE(sr.jain_overall, 1.0 + 1e-12);
+  EXPECT_EQ(sr.jain_windows.size(), 3u);  // 15 s tiled into 5 s windows
+  EXPECT_EQ(sr.churn.peak_concurrent, 4);
+}
+
+TEST(RunScenario, PoissonChurnArrivesAndDeparts) {
+  ScenarioConfig cfg = small_scenario(8, time::sec(20));
+  cfg.size_dist.min_bytes = 500'000;
+  cfg.size_dist.max_bytes = 4'000'000;
+  for (std::size_t i = 1; i < cfg.flows.size(); ++i) {
+    cfg.flows[i].role = FlowRole::kBackground;
+    cfg.flows[i].arrival_rate = 7.0 / 12.0;  // last arrival ~60% in
+    cfg.flows[i].sample_size = true;
+  }
+  const ScenarioResult sr = run_scenario(cfg);
+  EXPECT_GT(sr.churn.arrivals, 1.0);
+  EXPECT_GT(sr.churn.departures, 0.0);
+  EXPECT_GE(sr.churn.peak_concurrent, 2);
+  EXPECT_GT(sr.churn.mean_completion_sec, 0.0);
+  // Departed background flows free the link again for the test flow.
+  EXPECT_GT(sr.flows[0].tput_mbps, 1.0);
+}
+
+void expect_scenario_trials_identical(const ScenarioTrialResult& a,
+                                      const ScenarioTrialResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].start, b.flows[i].start) << "flow " << i;
+    EXPECT_EQ(a.flows[i].finish, b.flows[i].finish) << "flow " << i;
+    EXPECT_EQ(a.flows[i].target_size, b.flows[i].target_size) << "flow " << i;
+    EXPECT_EQ(a.flows[i].bytes_delivered, b.flows[i].bytes_delivered)
+        << "flow " << i;
+    EXPECT_EQ(a.flows[i].result.sender_stats.packets_sent,
+              b.flows[i].result.sender_stats.packets_sent)
+        << "flow " << i;
+  }
+  EXPECT_EQ(a.bottleneck.bytes_out, b.bottleneck.bytes_out);
+  EXPECT_EQ(a.bottleneck.drops, b.bottleneck.drops);
+  EXPECT_EQ(a.churn.arrivals, b.churn.arrivals);
+  EXPECT_EQ(a.churn.departures, b.churn.departures);
+  EXPECT_EQ(a.churn.peak_concurrent, b.churn.peak_concurrent);
+}
+
+// The churn determinism gate: a 64-flow Poisson-churn scenario re-run
+// with the same seed reproduces event counts and per-flow byte totals
+// exactly (the invariant checker is on by default throughout).
+TEST(RunScenarioTrial, SixtyFourFlowChurnIsDeterministic) {
+  ScenarioConfig cfg = small_scenario(64, time::sec(10));
+  cfg.size_dist.min_bytes = 200'000;
+  cfg.size_dist.max_bytes = 2'000'000;
+  for (std::size_t i = 1; i < cfg.flows.size(); ++i) {
+    cfg.flows[i].role = FlowRole::kBackground;
+    cfg.flows[i].arrival_rate = 63.0 / 6.0;
+    cfg.flows[i].sample_size = true;
+  }
+  const ScenarioTrialResult a = run_scenario_trial(cfg, 0);
+  const ScenarioTrialResult b = run_scenario_trial(cfg, 0);
+  EXPECT_GT(a.churn.departures, 0);
+  expect_scenario_trials_identical(a, b);
+  // A different trial index must not reproduce the same run.
+  const ScenarioTrialResult c = run_scenario_trial(cfg, 1);
+  EXPECT_NE(a.sim_events, c.sim_events);
+}
+
+// Many-flow smoke (also exercised under ASan/UBSan in CI): 256 churning
+// flows through one bottleneck, invariants live, must complete cleanly.
+TEST(RunScenarioTrial, TwoHundredFiftySixFlowChurnSmoke) {
+  ScenarioConfig cfg = small_scenario(256, time::sec(5));
+  cfg.size_dist.min_bytes = 100'000;
+  cfg.size_dist.max_bytes = 1'000'000;
+  for (std::size_t i = 1; i < cfg.flows.size(); ++i) {
+    cfg.flows[i].role = FlowRole::kBackground;
+    cfg.flows[i].arrival_rate = 255.0 / 3.0;
+    cfg.flows[i].sample_size = true;
+  }
+  const ScenarioTrialResult tr = run_scenario_trial(cfg, 0);
+  ASSERT_EQ(tr.flows.size(), 256u);
+  EXPECT_GT(tr.churn.arrivals, 64);
+  EXPECT_GT(tr.churn.departures, 0);
+  EXPECT_GT(tr.bottleneck.bytes_out, 0);
+}
+
+TEST(RunScenario, AdapterMatchesPairHarness) {
+  // The 2-flow adapter and the scenario engine are the same machinery:
+  // to_scenario_config + run_scenario_trial reproduces run_trial exactly.
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig pcfg;
+  pcfg.duration = time::sec(10);
+  const TrialResult tr = run_trial(ref, ref, pcfg, 3);
+  const ScenarioTrialResult str =
+      run_scenario_trial(to_scenario_config(ref, ref, pcfg), 3);
+  ASSERT_EQ(str.flows.size(), 2u);
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_EQ(tr.flow[f].sender_stats.packets_sent,
+              str.flows[f].result.sender_stats.packets_sent);
+    EXPECT_EQ(tr.flow[f].points.size(), str.flows[f].result.points.size());
+    EXPECT_EQ(tr.flow[f].avg_throughput,
+              str.flows[f].result.avg_throughput);
+  }
+  EXPECT_EQ(tr.sim_events, str.sim_events);
+  EXPECT_EQ(tr.bottleneck.bytes_out, str.bottleneck.bytes_out);
+}
+
+TEST(RunScenario, ValidatesAtEntry) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.flows[0].flow_size = 0;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace quicbench::harness

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "netsim/topology.h"
 
 namespace quicbench::netsim {
@@ -57,6 +59,58 @@ TEST(FlowDemux, UnknownFlowDropped) {
   demux.deliver(data_packet(7));
   demux.deliver(data_packet(-1));  // cross traffic sentinel
   EXPECT_EQ(r0.count, 0);
+}
+
+TEST(FlowDemux, SparseIdsRouteCorrectly) {
+  // Flow ids need not be registered densely or in order; the table must
+  // grow to the highest id and route around the holes.
+  Simulator sim;
+  Recorder r2(sim), r9(sim);
+  FlowDemux demux;
+  demux.register_flow(9, &r9);
+  demux.register_flow(2, &r2);
+  demux.deliver(data_packet(9));
+  demux.deliver(data_packet(2));
+  demux.deliver(data_packet(5));  // a hole: silently dropped
+  EXPECT_EQ(r2.count, 1);
+  EXPECT_EQ(r9.count, 1);
+}
+
+TEST(FlowDemux, RejectsDuplicateRegistration) {
+  Simulator sim;
+  Recorder r0(sim), r1(sim);
+  FlowDemux demux;
+  demux.register_flow(0, &r0);
+  EXPECT_THROW(demux.register_flow(0, &r1), std::logic_error);
+}
+
+TEST(FlowDemux, RejectsNegativeFlowAndNullSink) {
+  Simulator sim;
+  Recorder r0(sim);
+  FlowDemux demux;
+  EXPECT_THROW(demux.register_flow(-1, &r0), std::logic_error);
+  EXPECT_THROW(demux.register_flow(0, nullptr), std::logic_error);
+}
+
+TEST(FlowDemux, CapacityBoundsRegistration) {
+  Simulator sim;
+  Recorder r0(sim);
+  FlowDemux demux;
+  demux.set_capacity(2);
+  EXPECT_NO_THROW(demux.register_flow(1, &r0));
+  EXPECT_THROW(demux.register_flow(2, &r0), std::logic_error);
+}
+
+TEST(Dumbbell, RejectsNonPositiveFlowCount) {
+  Simulator sim;
+  EXPECT_THROW(Dumbbell(sim, basic_config(), 0), std::invalid_argument);
+}
+
+TEST(Dumbbell, RejectsOutOfRangeEndpointRegistration) {
+  Simulator sim;
+  Recorder r(sim);
+  Dumbbell db(sim, basic_config(), 2);
+  EXPECT_THROW(db.attach_receiver(2, &r), std::logic_error);
 }
 
 TEST(Dumbbell, ForwardPathDeliversToReceiver) {

@@ -162,6 +162,97 @@ TEST(Fingerprint, PeConfigFieldsPerturb) {
   EXPECT_EQ(fps.size(), variants.size() + 1);
 }
 
+harness::ScenarioConfig base_scenario() {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  harness::ScenarioConfig sc;
+  sc.duration = time::sec(10);
+  sc.trials = 2;
+  harness::FlowSpec f;
+  f.impl = ref;
+  f.role = harness::FlowRole::kTest;
+  sc.flows.push_back(f);
+  f.role = harness::FlowRole::kReference;
+  sc.flows.push_back(f);
+  return sc;
+}
+
+TEST(Fingerprint, ScenarioStableAcrossCalls) {
+  const auto sc = base_scenario();
+  EXPECT_EQ(scenario_fingerprint(sc), scenario_fingerprint(sc));
+  EXPECT_EQ(scenario_conformance_fingerprint(sc, sc, {}),
+            scenario_conformance_fingerprint(sc, sc, {}));
+}
+
+// Every ScenarioConfig field — including every per-FlowSpec field and the
+// size distribution — must perturb the scenario fingerprint.
+TEST(Fingerprint, EveryScenarioConfigFieldPerturbs) {
+  const auto sc = base_scenario();
+  const std::string base = scenario_fingerprint(sc);
+
+  std::vector<harness::ScenarioConfig> variants;
+  const auto vary = [&](auto&& mutate) {
+    harness::ScenarioConfig v = sc;
+    mutate(v);
+    variants.push_back(v);
+  };
+  vary([](auto& v) { v.net.bandwidth = rate::mbps(21); });
+  vary([](auto& v) { v.duration = time::sec(11); });
+  vary([](auto& v) { v.trials = 3; });
+  vary([](auto& v) { v.seed = 43; });
+  vary([](auto& v) { v.sampling.truncate_fraction = 0.2; });
+  vary([](auto& v) { v.sampling.rtts_per_sample = 5; });
+  vary([](auto& v) { v.record_cwnd = true; });
+  vary([](auto& v) { v.flows.push_back(v.flows.back()); });
+  vary([](auto& v) { v.flows.pop_back(); });
+  vary([](auto& v) {
+    v.flows[1].impl = Registry::instance().reference(CcaType::kBbr);
+  });
+  vary([](auto& v) { v.flows[1].role = harness::FlowRole::kBackground; });
+  vary([](auto& v) { v.flows[1].start_at = time::sec(1); });
+  vary([](auto& v) { v.flows[1].start_spread = time::ms(40); });
+  vary([](auto& v) { v.flows[1].arrival_rate = 0.5; });
+  vary([](auto& v) { v.flows[1].flow_size = 1'000'000; });
+  vary([](auto& v) { v.flows[1].sample_size = true; });
+  vary([](auto& v) { v.size_dist.shape = 1.5; });
+  vary([](auto& v) { v.size_dist.min_bytes = 100'000; });
+  vary([](auto& v) { v.size_dist.max_bytes = 900'000; });
+  vary([](auto& v) { v.fairness_window = time::sec(5); });
+
+  std::set<std::string> fps{base};
+  for (const auto& v : variants) {
+    const std::string fp = scenario_fingerprint(v);
+    EXPECT_NE(fp, base);
+    fps.insert(fp);
+  }
+  EXPECT_EQ(fps.size(), variants.size() + 1);
+}
+
+TEST(Fingerprint, ScenarioFlowOrderSensitive) {
+  auto sc = base_scenario();
+  sc.flows[1].impl = Registry::instance().reference(CcaType::kBbr);
+  auto swapped = sc;
+  std::swap(swapped.flows[0].impl, swapped.flows[1].impl);
+  EXPECT_NE(scenario_fingerprint(sc), scenario_fingerprint(swapped));
+}
+
+TEST(Fingerprint, ScenarioFingerprintIgnoresPeConfig) {
+  // As with pair_fingerprint: the simulated ScenarioResult does not
+  // depend on PE extraction settings, but the cell fingerprint must.
+  const auto sc = base_scenario();
+  conformance::PeConfig pe;
+  pe.max_k = 4;
+  EXPECT_NE(scenario_conformance_fingerprint(sc, sc, {}),
+            scenario_conformance_fingerprint(sc, sc, pe));
+}
+
+TEST(Fingerprint, ScenarioConformanceDistinguishesTestAndRef) {
+  const auto test_sc = base_scenario();
+  auto ref_sc = base_scenario();
+  ref_sc.flows[0].impl = Registry::instance().reference(CcaType::kBbr);
+  EXPECT_NE(scenario_conformance_fingerprint(test_sc, ref_sc, {}),
+            scenario_conformance_fingerprint(ref_sc, test_sc, {}));
+}
+
 TEST(Fingerprint, ImplementationTweaksPerturb) {
   const auto& reg = Registry::instance();
   const auto cfg = base_cfg();

@@ -215,7 +215,7 @@ TEST(Sweep, ManifestReportsSchemaAndCounts) {
   std::stringstream ss;
   ss << f.rdbuf();
   const std::string body = ss.str();
-  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v4\""),
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v5\""),
             std::string::npos);
   EXPECT_NE(body.find("\"finalize_sec\""), std::string::npos);
   EXPECT_NE(body.find("\"impairment\": \"none\""), std::string::npos);
@@ -378,6 +378,159 @@ TEST(Sweep, FlightRecorderKeepsResultsBitIdentical) {
   recorded.run();
 
   expect_bit_identical(plain.pair_result(p_id), recorded.pair_result(r_id));
+}
+
+harness::ScenarioConfig quick_scenario(int n_flows, bool churn) {
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  harness::ScenarioConfig sc;
+  sc.duration = time::sec(3);
+  sc.trials = 2;
+  for (int i = 0; i < n_flows; ++i) {
+    harness::FlowSpec f;
+    f.impl = ref;
+    f.role = i == 0 ? harness::FlowRole::kTest
+                    : harness::FlowRole::kReference;
+    if (churn && i > 0) {
+      f.role = harness::FlowRole::kBackground;
+      f.arrival_rate = static_cast<double>(n_flows - 1) / 1.8;
+      f.sample_size = true;
+    }
+    sc.flows.push_back(f);
+  }
+  if (churn) {
+    sc.size_dist.min_bytes = 100'000;
+    sc.size_dist.max_bytes = 500'000;
+  }
+  return sc;
+}
+
+void expect_scenarios_identical(const harness::ScenarioResult& a,
+                                const harness::ScenarioResult& b) {
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].points, b.flows[i].points) << "flow " << i;
+    EXPECT_EQ(bits(a.flows[i].tput_mbps), bits(b.flows[i].tput_mbps));
+    EXPECT_EQ(bits(a.flows[i].share), bits(b.flows[i].share));
+    EXPECT_EQ(bits(a.flows[i].completed_frac),
+              bits(b.flows[i].completed_frac));
+  }
+  EXPECT_EQ(bits(a.jain_overall), bits(b.jain_overall));
+  EXPECT_EQ(bits(a.churn.arrivals), bits(b.churn.arrivals));
+  EXPECT_EQ(bits(a.churn.departures), bits(b.churn.departures));
+  EXPECT_EQ(a.churn.peak_concurrent, b.churn.peak_concurrent);
+  EXPECT_EQ(a.queue_hwm_bytes, b.queue_hwm_bytes);
+  EXPECT_EQ(a.bottleneck_drops, b.bottleneck_drops);
+}
+
+TEST(Sweep, ScenarioMatchesDirectRunScenario) {
+  const auto sc = quick_scenario(4, false);
+  Sweep sweep("scen_direct", no_cache_opts());
+  const auto id = sweep.add_scenario(sc);
+  sweep.run();
+  EXPECT_EQ(sweep.stats().unique_scenarios, 1);
+  EXPECT_EQ(sweep.stats().simulations_executed,
+            static_cast<long long>(sc.trials));
+  expect_scenarios_identical(sweep.scenario_result(id),
+                             harness::run_scenario(sc));
+}
+
+// The sweep-level half of the churn-determinism gate: the same churning
+// scenario run at 1 worker and at 4 reproduces per-flow byte totals and
+// fairness bit for bit.
+TEST(Sweep, ChurnScenarioDeterministicAcrossThreadCounts) {
+  const auto sc = quick_scenario(8, true);
+  Sweep serial("scen_t1", no_cache_opts(1));
+  Sweep parallel4("scen_t4", no_cache_opts(4));
+  const auto s1 = serial.add_scenario(sc);
+  const auto c1 = serial.add_scenario_conformance(sc, sc);
+  const auto s4 = parallel4.add_scenario(sc);
+  const auto c4 = parallel4.add_scenario_conformance(sc, sc);
+  serial.run();
+  parallel4.run();
+  expect_scenarios_identical(serial.scenario_result(s1),
+                             parallel4.scenario_result(s4));
+  EXPECT_EQ(serial.conformance_result(c1).conformance,
+            parallel4.conformance_result(c4).conformance);
+}
+
+TEST(Sweep, DeduplicatesSharedScenarios) {
+  // Two conformance cells against the same reference scenario: 3 unique
+  // scenarios, not 4 — and a raw cell for one of them adds nothing.
+  const auto& reg = Registry::instance();
+  auto test_a = quick_scenario(3, false);
+  test_a.flows[0].impl = *reg.find("quiche", CcaType::kCubic);
+  auto test_b = quick_scenario(3, false);
+  test_b.flows[0].impl = reg.reference(CcaType::kBbr);
+  const auto ref_sc = quick_scenario(3, false);
+  Sweep sweep("scen_dedup", no_cache_opts());
+  sweep.add_scenario_conformance(test_a, ref_sc);
+  sweep.add_scenario_conformance(test_b, ref_sc);
+  sweep.add_scenario(ref_sc);
+  sweep.run();
+  EXPECT_EQ(sweep.stats().cells, 3);
+  EXPECT_EQ(sweep.stats().unique_scenarios, 3);
+  EXPECT_EQ(sweep.stats().unique_pairs, 0);
+}
+
+TEST(Sweep, ScenarioLifecycleAndKindErrors) {
+  const auto sc = quick_scenario(2, false);
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  Sweep sweep("scen_kinds", no_cache_opts());
+  const auto scen_id = sweep.add_scenario(sc);
+  const auto pair_id = sweep.add_pair(ref, ref, quick_cfg());
+  EXPECT_THROW(sweep.scenario_result(scen_id), std::logic_error);
+  sweep.run();
+  EXPECT_THROW(sweep.add_scenario(sc), std::logic_error);
+  EXPECT_THROW(sweep.pair_result(scen_id), std::logic_error);
+  EXPECT_THROW(sweep.scenario_result(pair_id), std::logic_error);
+  EXPECT_THROW(sweep.conformance_result(scen_id), std::logic_error);
+}
+
+TEST(Sweep, RejectsInvalidScenarioAtAdd) {
+  auto sc = quick_scenario(2, false);
+  sc.flows.clear();
+  Sweep sweep("scen_invalid", no_cache_opts());
+  EXPECT_THROW(sweep.add_scenario(sc), std::invalid_argument);
+  auto sc2 = quick_scenario(2, false);
+  sc2.flows[1].flow_size = 0;
+  EXPECT_THROW(sweep.add_scenario_conformance(sc2, quick_scenario(2, false)),
+               std::invalid_argument);
+}
+
+TEST(Sweep, ManifestCarriesScenarioSections) {
+  const auto sc = quick_scenario(4, true);
+  Sweep sweep("scen_manifest", no_cache_opts());
+  sweep.add_scenario_conformance(sc, sc);
+  sweep.run();
+
+  std::string err;
+  const auto doc = json_parse(slurp(sweep.write_manifest()), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* scenarios = doc->find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->array.size(), 1u);  // test == ref: deduplicated
+  const JsonValue& s = scenarios->array[0];
+  EXPECT_EQ(s.find("n_flows")->number, 4.0);
+  EXPECT_EQ(s.find("roles")->find("test")->number, 1.0);
+  EXPECT_EQ(s.find("roles")->find("background")->number, 3.0);
+  const JsonValue* result = s.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->find("jain_overall")->number, 0.0);
+  EXPECT_NE(result->find("churn")->find("peak_concurrent"), nullptr);
+
+  const JsonValue* cells = doc->find("cells");
+  ASSERT_EQ(cells->array.size(), 1u);
+  const JsonValue& c = cells->array[0];
+  EXPECT_EQ(c.find("kind")->string, "scenario_conformance");
+  EXPECT_EQ(c.find("n_flows")->number, 4.0);
+  ASSERT_NE(c.find("scenario_fingerprints"), nullptr);
+  ASSERT_NE(c.find("fairness"), nullptr);
+  EXPECT_GT(c.find("fairness")->find("test_jain")->number, 0.0);
 }
 
 TEST(RefPairCache, MemoizesAndSharesViaDisk) {
