@@ -1,0 +1,188 @@
+// Hot-path attribution probe: where do the cycles of a canonical
+// conformance trial go, per CCA?
+//
+// Runs one canonical trial (kernel reference vs itself, paper-default
+// 1 BDP network) for Reno, CUBIC and BBR under the obs/attrib.h scope
+// instrumentation and reports the per-scope cycle breakdown — the tool
+// for answering "why is trial_bbr 3x slower than trial_cubic" with a
+// subsystem name and a per-event cost instead of a guess.
+//
+// Requires a build configured with -DQB_ATTRIB=ON (the instrumentation
+// sites compile away otherwise); exits 1 with a pointer at the CMake
+// option when run from a default build. Honors QB_FAST=1 (30 s trials).
+//
+// Cycles are raw read_timestamp() ticks (TSC on x86-64); each trial's
+// root cycles are calibrated against its wall-clock time, so the JSON
+// carries both tick counts and derived seconds. Unlike the BENCH_engine
+// numbers this is not a regression-gated throughput probe — wall time
+// here includes the instrumentation overhead by construction.
+//
+// Output: a per-CCA table on stdout and bench_out/BENCH_attrib.json
+// (schema quicbench.bench.attrib/v1, summarized by
+// scripts/summarize_attrib.py).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "obs/attrib.h"
+#include "obs/run_options.h"
+#include "runner/env.h"
+#include "stacks/registry.h"
+#include "util/json.h"
+#include "util/units.h"
+
+namespace quicbench {
+namespace {
+
+struct AttribTrial {
+  std::string name;
+  std::string cca;
+  std::uint64_t events = 0;
+  double wall_sec = 0;
+  obs::attrib::Report report;
+};
+
+AttribTrial run_attributed_trial(const std::string& name,
+                                 stacks::CcaType cca) {
+  const auto& ref = stacks::Registry::instance().reference(cca);
+  harness::ExperimentConfig cfg = runner::default_config(1.0);
+  cfg.duration = runner::fast_mode() ? time::sec(30) : time::sec(120);
+  cfg.trials = 1;
+
+  AttribTrial t;
+  t.name = name;
+  t.cca = ref.make_cca()->name();
+
+  obs::attrib::reset_thread();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    obs::attrib::ScopeTimer root(obs::attrib::Scope::kTrial);
+    const harness::TrialResult r = harness::run_trial(ref, ref, cfg, 0);
+    t.events = r.sim_events;
+  }
+  t.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  t.report = obs::attrib::thread_report();
+  return t;
+}
+
+void print_trial(const AttribTrial& t) {
+  const double total = static_cast<double>(t.report.total_cycles());
+  std::printf("\n%s (%s): %llu events in %.2fs, coverage %.1f%%\n",
+              t.name.c_str(), t.cca.c_str(),
+              static_cast<unsigned long long>(t.events), t.wall_sec,
+              100 * t.report.coverage());
+  std::printf("  %-16s %14s %12s %8s %12s\n", "scope", "calls",
+              "excl_ms", "excl_%", "ns/call");
+  const double sec_per_cycle = total > 0 ? t.wall_sec / total : 0;
+  for (std::size_t s = 0; s < obs::attrib::kScopeCount; ++s) {
+    const obs::attrib::Report::Row& row = t.report.rows[s];
+    if (row.calls == 0) continue;
+    const double excl_sec =
+        static_cast<double>(row.exclusive_cycles()) * sec_per_cycle;
+    const double incl_sec =
+        static_cast<double>(row.cycles) * sec_per_cycle;
+    std::printf(
+        "  %-16s %14llu %12.1f %8.1f %12.1f\n",
+        std::string(obs::attrib::scope_name(
+                        static_cast<obs::attrib::Scope>(s)))
+            .c_str(),
+        static_cast<unsigned long long>(row.calls), excl_sec * 1e3,
+        total > 0 ? 100 * static_cast<double>(row.exclusive_cycles()) /
+                        total
+                  : 0,
+        incl_sec * 1e9 / static_cast<double>(row.calls));
+  }
+}
+
+void write_json(const std::vector<AttribTrial>& trials,
+                const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.kv("schema", "quicbench.bench.attrib/v1");
+  j.kv("compiled_in", obs::attrib::compiled_in());
+  j.kv("timer", std::string(obs::attrib::timer_kind()));
+  j.key("trials").begin_array();
+  for (const AttribTrial& t : trials) {
+    const double total = static_cast<double>(t.report.total_cycles());
+    const double cycles_per_sec = t.wall_sec > 0 ? total / t.wall_sec : 0;
+    j.begin_object();
+    j.kv("name", t.name);
+    j.kv("cca", t.cca);
+    j.kv("events", static_cast<std::uint64_t>(t.events));
+    j.kv("wall_sec", t.wall_sec);
+    j.kv("events_per_sec",
+         t.wall_sec > 0 ? static_cast<double>(t.events) / t.wall_sec : 0);
+    j.kv("cycles_per_sec", cycles_per_sec);
+    j.kv("coverage", t.report.coverage());
+    j.key("scopes").begin_array();
+    for (std::size_t s = 0; s < obs::attrib::kScopeCount; ++s) {
+      const obs::attrib::Report::Row& row = t.report.rows[s];
+      if (row.calls == 0) continue;
+      const double excl = static_cast<double>(row.exclusive_cycles());
+      j.begin_object();
+      j.kv("scope", std::string(obs::attrib::scope_name(
+                        static_cast<obs::attrib::Scope>(s))));
+      j.kv("calls", row.calls);
+      j.kv("cycles", row.cycles);
+      j.kv("excl_cycles", row.exclusive_cycles());
+      j.kv("excl_sec", cycles_per_sec > 0 ? excl / cycles_per_sec : 0);
+      j.kv("excl_frac", total > 0 ? excl / total : 0);
+      // Inclusive cost per entry into the scope, in nanoseconds.
+      j.kv("ns_per_call",
+           cycles_per_sec > 0
+               ? static_cast<double>(row.cycles) / cycles_per_sec * 1e9 /
+                     static_cast<double>(row.calls)
+               : 0);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::ofstream out(path, std::ios::trunc);
+  out << j.str() << '\n';
+}
+
+} // namespace
+} // namespace quicbench
+
+int main() {
+  using namespace quicbench;
+
+  if (!obs::attrib::compiled_in()) {
+    std::fprintf(stderr,
+                 "bench_attrib: this build carries no attribution "
+                 "instrumentation; reconfigure with -DQB_ATTRIB=ON\n");
+    return 1;
+  }
+
+  // Measure the datapath, not the invariant checker; force the runtime
+  // attribution gate on regardless of the QB_ATTRIB env override.
+  obs::RunOptions opts = obs::RunOptions::from_env();
+  opts.invariants = false;
+  opts.attrib = true;
+  obs::RunOptions::set_current(opts);
+
+  std::vector<AttribTrial> trials;
+  trials.push_back(run_attributed_trial("trial_reno", stacks::CcaType::kReno));
+  trials.push_back(
+      run_attributed_trial("trial_cubic", stacks::CcaType::kCubic));
+  trials.push_back(run_attributed_trial("trial_bbr", stacks::CcaType::kBbr));
+
+  std::printf("bench_attrib: hot-path cycle attribution (%s)\n",
+              std::string(obs::attrib::timer_kind()).c_str());
+  for (const AttribTrial& t : trials) print_trial(t);
+
+  const std::string path = runner::out_dir() + "/BENCH_attrib.json";
+  write_json(trials, path);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "netsim/event.h"
+#include "obs/run_options.h"
 #include "runner/env.h"
 #include "stacks/registry.h"
 #include "util/units.h"
@@ -148,7 +149,9 @@ int main() {
   // The committed events/sec baseline predates the invariant checker and
   // CI gates on a 30% margin; keep the perf probes measuring the engine,
   // not the checker. (The checker is on everywhere else by default.)
-  setenv("QB_INVARIANTS", "0", 1);
+  obs::RunOptions opts = obs::RunOptions::from_env();
+  opts.invariants = false;
+  obs::RunOptions::set_current(opts);
 
   std::vector<BenchResult> results;
   results.push_back(timed("engine_timer_chain", run_timer_chain, 3));

@@ -31,6 +31,7 @@
 #include "cca/cubic.h"
 #include "netsim/event.h"
 #include "netsim/packet.h"
+#include "obs/run_options.h"
 #include "runner/env.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
@@ -142,7 +143,10 @@ std::uint64_t run_scenario(const Scenario& sc) {
 int main() {
   using namespace quicbench;
 
-  setenv("QB_INVARIANTS", "0", 1);  // measure the datapath, not the checker
+  // Measure the datapath, not the checker.
+  obs::RunOptions opts = obs::RunOptions::from_env();
+  opts.invariants = false;
+  obs::RunOptions::set_current(opts);
 
   std::vector<BenchResult> results;
   results.push_back(timed(

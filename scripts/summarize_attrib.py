@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Summarize a bench_attrib run (quicbench.bench.attrib/v1): where the
+cycles of each canonical trial go, and what makes one CCA's trial slower
+than another's.
+
+Per trial, a table of scopes sorted by exclusive share (the cycles a
+subsystem spent itself, not in nested scopes), with wall-clock seconds
+derived from the trial's cycle calibration and an inclusive ns/call cost
+per scope entry. Then a cross-CCA comparison against the baseline trial
+(trial_cubic unless --vs says otherwise): per-scope per-event costs side
+by side with the scope contributing most of the slowdown called out —
+"which subsystem, what per-event cost" instead of "BBR is 3x slower".
+
+Usage:
+    python3 scripts/summarize_attrib.py bench_out/BENCH_attrib.json
+    python3 scripts/summarize_attrib.py BENCH_attrib.json --check \
+        --min-coverage 0.90
+
+--check validates the schema and, with --min-coverage, fails (exit 1)
+when any trial's instrumentation explains less of its wall time than the
+threshold — the CI gate that keeps the attribution honest.
+
+Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "quicbench.bench.attrib/v1":
+        print(
+            f"error: {path}: expected quicbench.bench.attrib/v1, got "
+            f"{doc.get('schema')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return doc
+
+
+def check_schema(doc, path):
+    """Structural validation for --check: required keys, sane types."""
+    problems = []
+    if not isinstance(doc.get("compiled_in"), bool):
+        problems.append("missing/invalid 'compiled_in'")
+    if doc.get("timer") not in ("rdtsc", "steady_clock"):
+        problems.append(f"unknown timer {doc.get('timer')!r}")
+    trials = doc.get("trials")
+    if not isinstance(trials, list) or not trials:
+        problems.append("missing/empty 'trials'")
+        trials = []
+    for t in trials:
+        name = t.get("name", "?")
+        for key in ("cca", "events", "wall_sec", "events_per_sec",
+                    "cycles_per_sec", "coverage", "scopes"):
+            if key not in t:
+                problems.append(f"trial {name}: missing '{key}'")
+        if not t.get("scopes"):
+            problems.append(f"trial {name}: no scopes recorded")
+        for s in t.get("scopes", []):
+            for key in ("scope", "calls", "cycles", "excl_cycles",
+                        "excl_sec", "excl_frac", "ns_per_call"):
+                if key not in s:
+                    problems.append(
+                        f"trial {name}: scope "
+                        f"{s.get('scope', '?')}: missing '{key}'")
+        if not any(s.get("scope") == "trial" for s in t.get("scopes", [])):
+            problems.append(f"trial {name}: no root 'trial' scope")
+    for p in problems:
+        print(f"check: {path}: {p}", file=sys.stderr)
+    return not problems
+
+
+def per_event_ns(trial):
+    """Exclusive nanoseconds per simulator event, per scope."""
+    events = float(trial.get("events", 0)) or 1.0
+    return {
+        s["scope"]: 1e9 * float(s.get("excl_sec", 0)) / events
+        for s in trial.get("scopes", [])
+    }
+
+
+def print_trial(t):
+    print(
+        f"\n{t['name']} ({t['cca']}): {t['events']} events in "
+        f"{t['wall_sec']:.2f}s ({t['events_per_sec'] / 1e6:.2f}M ev/s), "
+        f"coverage {100 * t['coverage']:.1f}%"
+    )
+    print(f"  {'scope':<17}{'calls':>14}{'excl_ms':>10}{'excl%':>8}"
+          f"{'ns/call':>10}")
+    scopes = sorted(t["scopes"], key=lambda s: -s["excl_frac"])
+    for s in scopes:
+        print(
+            f"  {s['scope']:<17}{s['calls']:>14}"
+            f"{1e3 * s['excl_sec']:>10.1f}{100 * s['excl_frac']:>7.1f}%"
+            f"{s['ns_per_call']:>10.1f}"
+        )
+
+
+def print_comparison(trials, base_name):
+    base = next((t for t in trials if t["name"] == base_name), None)
+    others = [t for t in trials if t["name"] != base_name]
+    if base is None or not others:
+        return
+    base_ns = per_event_ns(base)
+    base_total = 1e9 * base["wall_sec"] / (float(base["events"]) or 1.0)
+    for t in others:
+        t_ns = per_event_ns(t)
+        t_total = 1e9 * t["wall_sec"] / (float(t["events"]) or 1.0)
+        print(
+            f"\n== {t['name']} vs {base_name}: "
+            f"{t_total:.0f} vs {base_total:.0f} ns/event "
+            f"({t_total / base_total:.2f}x) =="
+        )
+        print(f"  {'scope':<17}{t['name']:>14}{base_name:>14}{'delta':>10}"
+              "   (excl ns/event)")
+        rows = []
+        for scope in sorted(set(t_ns) | set(base_ns)):
+            if scope == "trial":
+                continue
+            a, b = t_ns.get(scope, 0.0), base_ns.get(scope, 0.0)
+            rows.append((a - b, scope, a, b))
+        rows.sort(reverse=True)
+        for delta, scope, a, b in rows:
+            print(f"  {scope:<17}{a:>14.1f}{b:>14.1f}{delta:>+10.1f}")
+        if rows and rows[0][0] > 0:
+            delta, scope, a, b = rows[0]
+            gap = t_total - base_total
+            print(
+                f"  dominant cost: {scope} (+{delta:.0f} ns/event, "
+                f"{100 * delta / gap:.0f}% of the "
+                f"{gap:.0f} ns/event gap)" if gap > 0 else
+                f"  dominant cost: {scope} (+{delta:.0f} ns/event)"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("result", help="bench_out/BENCH_attrib.json")
+    ap.add_argument("--vs", default="trial_cubic",
+                    help="baseline trial for the per-event comparison "
+                         "(default: trial_cubic)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the schema; exit 1 on problems")
+    ap.add_argument("--min-coverage", type=float, default=None,
+                    help="with --check: fail if any trial's coverage is "
+                         "below this fraction (e.g. 0.90)")
+    args = ap.parse_args()
+
+    doc = load(args.result)
+    ok = True
+    if args.check:
+        ok = check_schema(doc, args.result)
+
+    trials = doc.get("trials", [])
+    print(f"bench_attrib summary ({doc.get('timer')} timer)")
+    for t in trials:
+        print_trial(t)
+    print_comparison(trials, args.vs)
+
+    if args.check and args.min_coverage is not None:
+        for t in trials:
+            cov = float(t.get("coverage", 0))
+            if cov < args.min_coverage:
+                print(
+                    f"check: {t.get('name')}: coverage {cov:.3f} below "
+                    f"--min-coverage {args.min_coverage}",
+                    file=sys.stderr,
+                )
+                ok = False
+    if args.check:
+        print(f"\ncheck: {'OK' if ok else 'FAILED'}")
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

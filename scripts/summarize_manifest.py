@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Summarize a sweep run manifest (quicbench.sweep.manifest/v5) as a
+"""Summarize a sweep run manifest (quicbench.sweep.manifest/v6) as a
 per-pair table: transport (simulation) wall time, finalize time
 (aggregation + cache store), cache status, simulator throughput
 (events/sec), engine sizing peaks, loss rate, bottleneck queue
@@ -51,8 +51,8 @@ def summarize(path):
 
     schema = m.get("schema", "?")
     print(f"== {m.get('sweep', path)} ({schema}) ==")
-    if not schema.endswith("/v5"):
-        print(f"  warning: expected quicbench.sweep.manifest/v5, got {schema}")
+    if not schema.endswith("/v6"):
+        print(f"  warning: expected quicbench.sweep.manifest/v6, got {schema}")
     cache = m.get("cache", {})
     print(
         f"  wall {m.get('wall_sec', 0):.2f}s on {m.get('threads', '?')} threads"

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/attrib.h"
+
 namespace quicbench::cluster {
 
 using geom::Point;
@@ -140,6 +142,7 @@ KMeansResult lloyd(std::span<const Point> pts, std::vector<Point> centroids,
 
 KMeansResult kmeans(std::span<const Point> pts, int k, Rng& rng,
                     const KMeansConfig& cfg) {
+  QB_ATTRIB_SCOPE(kEvalKmeans);
   KMeansResult best;
   if (pts.empty() || k <= 0) return best;
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/attrib.h"
+
 namespace quicbench::conformance {
 
 using cluster::KMeansResult;
@@ -260,6 +262,7 @@ void build_per_trial(std::span<const TrialPoints> trials, int k,
 
 PerformanceEnvelope build_pe_fixed_k(std::span<const TrialPoints> trials,
                                      int k, const PeConfig& cfg) {
+  QB_ATTRIB_SCOPE(kEvalPe);
   PerformanceEnvelope pe;
   pe.all_points = pool(trials);
   if (pe.all_points.empty() || trials.empty()) return pe;

@@ -63,6 +63,7 @@ TrialResult run_trial(const Implementation& a, const Implementation& b,
   ScenarioObservers sobs;
   sobs.qlog = {observers.qlog[0], observers.qlog[1]};
   sobs.metrics = observers.metrics;
+  sobs.flight = {observers.flight[0], observers.flight[1]};
   ScenarioTrialResult str =
       run_scenario_trial(to_scenario_config(a, b, cfg), trial_index, sobs);
 

@@ -73,6 +73,8 @@ struct TrialObservers {
   // Metrics registry populated by the link and transport instruments;
   // null means the shared noop registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Per-flow time-series samplers (flow 0 = a, flow 1 = b); null to skip.
+  obs::FlowSampler* flight[2] = {nullptr, nullptr};
 };
 
 // One trial: implementation `a` (flow 0) vs `b` (flow 1).

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/attrib.h"
 #include "obs/invariants.h"
 #include "transport/receiver.h"
 
@@ -282,6 +283,8 @@ ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
 
     trace::QlogWriter* ql =
         i < observers.qlog.size() ? observers.qlog[i] : nullptr;
+    obs::FlowSampler* fs =
+        i < observers.flight.size() ? observers.flight[i] : nullptr;
     transport::SenderEndpoint* snd = sender.get();
     obs::InvariantChecker* chk = checkers[i].get();
     const std::string fp = "flow" + std::to_string(i);
@@ -300,10 +303,27 @@ ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
       tr.deliveries.reserve(est);
       tr.rtt_samples.reserve(est / 2 + 1);
     }
-    receiver->set_delivery_callback(
-        [&tr](Time now, Bytes payload, Time) {
-          tr.record_delivery(now, payload);
-        });
+    if (fs == nullptr) {
+      receiver->set_delivery_callback(
+          [&tr](Time now, Bytes payload, Time) {
+            tr.record_delivery(now, payload);
+          });
+    } else {
+      // Flight recorder piggybacks on deliveries: when the sampling
+      // interval has elapsed, snapshot the sender's state (reads only),
+      // then account this delivery toward the next sample's rate window.
+      receiver->set_delivery_callback(
+          [&tr, fs, snd](Time now, Bytes payload, Time) {
+            tr.record_delivery(now, payload);
+            if (fs->due(now)) {
+              fs->record(now, snd->controller().cwnd(),
+                         snd->bytes_in_flight(), snd->rtt().smoothed(),
+                         snd->controller().pacing_rate(),
+                         snd->controller().phase());
+            }
+            fs->on_delivery(now, payload);
+          });
+    }
     obs::Histogram* rtt_hist =
         reg.enabled() ? &reg.histogram(fp + ".rtt_ms") : nullptr;
     sender->set_rtt_callback([&tr, rtt_hist, chk](Time now, Time rtt) {
@@ -466,6 +486,10 @@ ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
   }
 
   sim.run_until(cfg.duration);
+
+  // Post-run collection: series sampling, fairness, telemetry, final
+  // invariant checks. One attribution scope for the whole block.
+  QB_ATTRIB_SCOPE(kHarnessCollect);
 
   for (std::size_t i = 0; i < n; ++i) {
     FlowResult& fr = result.flows[i].result;

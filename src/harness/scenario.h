@@ -33,6 +33,7 @@
 #include "netsim/event.h"
 #include "netsim/impairment.h"
 #include "netsim/topology.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "stacks/registry.h"
 #include "trace/qlog.h"
@@ -203,6 +204,10 @@ struct ScenarioObservers {
   // Metrics registry populated by the link and transport instruments;
   // null means the shared noop registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Per-flow time-series samplers, indexed like `qlog`. Fed from the
+  // receiver's delivery callback (never from scheduled events, so event
+  // counts are unchanged); null entries skip those flows.
+  std::vector<obs::FlowSampler*> flight;
 };
 
 ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/attrib.h"
+
 namespace quicbench::netsim {
 
 Simulator::Simulator(std::size_t hint) {
@@ -113,6 +115,7 @@ Time Simulator::next_entry_time() {
 }
 
 EventId Simulator::schedule(Time t, EventFn fn) {
+  QB_ATTRIB_SCOPE(kEngineSchedule);
   assert(t >= now_ && "cannot schedule into the past");
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -160,6 +163,7 @@ void Simulator::cancel(EventId id) {
 }
 
 bool Simulator::reschedule(EventId id, Time t) {
+  QB_ATTRIB_SCOPE(kEngineSchedule);
   assert(t >= now_ && "cannot reschedule into the past");
   std::uint32_t slot;
   if (!decode_live(id, &slot)) return false;
@@ -185,6 +189,7 @@ bool Simulator::dispatch_wheel() {
   // (new events land in future buckets or the heap, never in active_),
   // so the common wheel path skips the Entry move; spent entries are
   // reclaimed wholesale at the next activation.
+  QB_ATTRIB_SCOPE(kEngineWheel);
   Entry& e = active_[active_pos_++];
   std::uint32_t slot;
   if (!decode_live(e.id, &slot)) return false;  // cancelled entry
@@ -205,6 +210,7 @@ bool Simulator::dispatch_wheel() {
 }
 
 bool Simulator::dispatch_heap() {
+  QB_ATTRIB_SCOPE(kEngineHeap);
   Entry e = heap_pop();
   std::uint32_t slot;
   if (!decode_live(e.id, &slot)) return false;  // cancelled entry
@@ -242,6 +248,10 @@ void Simulator::run_until(Time end) {
   // bound is checked against the first candidate of each fire — exactly
   // where next_entry_time() sampled it — and, as before, not re-checked
   // while skipping cancelled or postponed entries.
+  // Attribution: kEngineRun's exclusive time is the selection machinery
+  // (bucket activation, wheel/heap merge); dispatch + callbacks land in
+  // the kEngineWheel/kEngineHeap children.
+  QB_ATTRIB_SCOPE(kEngineRun);
   bool check = true;
   for (;;) {
     Entry* w = wheel_front();

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/attrib.h"
 #include "obs/metrics.h"
 
 namespace quicbench::netsim {
@@ -172,6 +173,7 @@ void ImpairmentStage::forward(Packet p) {
 }
 
 void ImpairmentStage::deliver(Packet p) {
+  QB_ATTRIB_SCOPE(kImpairment);
   ++stats_.packets_in;
 
   if (roll_loss()) {

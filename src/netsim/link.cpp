@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/attrib.h"
 #include "obs/metrics.h"
 
 namespace quicbench::netsim {
@@ -29,6 +30,7 @@ void Link::attach_metrics(obs::MetricsRegistry& reg,
 }
 
 void Link::deliver(Packet p) {
+  QB_ATTRIB_SCOPE(kLink);
   ++stats_.packets_in;
   if (queued_bytes_ + p.size > buffer_bytes_) {
     ++stats_.packets_dropped;
@@ -60,6 +62,7 @@ void Link::start_transmission() {
 }
 
 void Link::on_transmit_done() {
+  QB_ATTRIB_SCOPE(kLink);
   ++stats_.packets_out;
   stats_.bytes_out += tx_packet_.size;
   const Time arrival = sim_.now() + prop_delay_;
@@ -69,6 +72,7 @@ void Link::on_transmit_done() {
 }
 
 void Link::on_prop_deliver() {
+  QB_ATTRIB_SCOPE(kLink);
   Packet p = std::move(prop_.front().second);
   prop_.pop_front();
   if (!prop_.empty()) prop_timer_.rearm(prop_.front().first);
@@ -76,6 +80,7 @@ void Link::on_prop_deliver() {
 }
 
 void DelayLine::deliver(Packet p) {
+  QB_ATTRIB_SCOPE(kLink);
   Time release = sim_.now() + delay_;
   if (jitter_ > 0 && uniform01_) {
     release += static_cast<Time>(uniform01_() * static_cast<double>(jitter_));
@@ -96,6 +101,7 @@ void DelayLine::deliver(Packet p) {
 }
 
 void DelayLine::on_release() {
+  QB_ATTRIB_SCOPE(kLink);
   const Time now = sim_.now();
   // Deliver everything due; FIFO order (equal-keyed multimap entries
   // preserve insertion order too).

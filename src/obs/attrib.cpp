@@ -1,0 +1,106 @@
+#include "obs/attrib.h"
+
+#include "obs/run_options.h"
+
+namespace quicbench::obs::attrib {
+
+namespace {
+
+constexpr std::string_view kScopeNames[kScopeCount] = {
+    "trial",           // kTrial
+    "engine.run",      // kEngineRun
+    "engine.wheel",    // kEngineWheel
+    "engine.heap",     // kEngineHeap
+    "engine.schedule", // kEngineSchedule
+    "sender.ack",      // kSenderAck
+    "sender.loss",     // kSenderLoss
+    "sender.compact",  // kSenderCompact
+    "sender.send",     // kSenderSend
+    "sender.pacer",    // kSenderPacer
+    "cca.on_ack",      // kCcaOnAck
+    "cca.on_loss",     // kCcaOnLoss
+    "cca.on_sent",     // kCcaOnSent
+    "link",            // kLink
+    "receiver",        // kReceiver
+    "impairment",      // kImpairment
+    "harness.collect", // kHarnessCollect
+    "eval.kmeans",     // kEvalKmeans
+    "eval.pe",         // kEvalPe
+};
+
+} // namespace
+
+std::string_view scope_name(Scope s) {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kScopeCount ? kScopeNames[i] : std::string_view("?");
+}
+
+Scope scope_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kScopeCount; ++i) {
+    if (kScopeNames[i] == name) return static_cast<Scope>(i);
+  }
+  return Scope::kCount;
+}
+
+Report& Report::operator+=(const Report& other) {
+  for (std::size_t i = 0; i < kScopeCount; ++i) {
+    rows[i].calls += other.rows[i].calls;
+    rows[i].cycles += other.rows[i].cycles;
+    rows[i].child_cycles += other.rows[i].child_cycles;
+  }
+  return *this;
+}
+
+Report Report::operator-(const Report& other) const {
+  auto sat = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : std::uint64_t{0};
+  };
+  Report out;
+  for (std::size_t i = 0; i < kScopeCount; ++i) {
+    out.rows[i].calls = sat(rows[i].calls, other.rows[i].calls);
+    out.rows[i].cycles = sat(rows[i].cycles, other.rows[i].cycles);
+    out.rows[i].child_cycles =
+        sat(rows[i].child_cycles, other.rows[i].child_cycles);
+  }
+  return out;
+}
+
+double Report::coverage() const {
+  const Row& root = row(Scope::kTrial);
+  if (root.cycles == 0) return 0.0;
+  return 1.0 - static_cast<double>(root.exclusive_cycles()) /
+                   static_cast<double>(root.cycles);
+}
+
+bool Report::empty() const {
+  for (const Row& r : rows) {
+    if (r.calls != 0 || r.cycles != 0) return false;
+  }
+  return true;
+}
+
+namespace detail {
+
+Table::Table() : enabled(RunOptions::current().attrib) {}
+
+Table& table() {
+  thread_local Table t;
+  return t;
+}
+
+} // namespace detail
+
+void reset_thread() {
+  detail::Table& t = detail::table();
+  t.enabled = RunOptions::current().attrib;
+  t.current = Scope::kCount;
+  t.rows = {};
+}
+
+Report thread_report() {
+  Report r;
+  r.rows = detail::table().rows;
+  return r;
+}
+
+} // namespace quicbench::obs::attrib

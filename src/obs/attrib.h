@@ -1,0 +1,204 @@
+#pragma once
+// Hot-path performance attribution: where do the cycles of a trial go?
+//
+// A fixed enum of named subsystem scopes (timer-wheel dispatch, ACK
+// scoreboard pass, CCA on_ack, pacer, eval kernels, ...) is timed with
+// thread-local, zero-allocation cycle-and-call accumulators. A scope is
+// opened with the RAII ScopeTimer (usually via the QB_ATTRIB_SCOPE
+// macro); on close it adds the elapsed timestamp delta to its own
+// inclusive total and to its dynamic parent's child total, so
+//
+//   exclusive(scope) = cycles(scope) - child_cycles(scope)
+//
+// partitions the root's inclusive time: every cycle is attributed to
+// exactly one scope, and coverage() = 1 - root_exclusive/root_inclusive
+// says how much of the trial the instrumentation explains.
+//
+// Two gates:
+//  * Compile time: the QB_ATTRIB_SCOPE macro expands to nothing unless
+//    the build was configured with -DQB_ATTRIB=ON (which defines
+//    QB_ATTRIB_ENABLED). Default builds carry zero instrumentation in
+//    the hot path — the bit-identity and perf baselines are untouched.
+//    The machinery itself (ScopeTimer, Report) always compiles so tests
+//    can exercise it in any build.
+//  * Run time: RunOptions::current().attrib (env QB_ATTRIB, default on)
+//    is latched into each thread's table; when off, ScopeTimer is a
+//    single branch. reset_thread() re-reads the gate.
+//
+// Timestamps are raw TSC ticks on x86-64 (__rdtsc — monotone and
+// constant-rate on every machine we target) and steady_clock nanoseconds
+// elsewhere; convert to seconds by calibrating root cycles against a
+// wall-clock measurement of the same region (bench_attrib and the sweep
+// manifests do this per trial).
+//
+// Accumulators are per-thread: snapshot with thread_report() before and
+// after a region run on this thread and subtract (Report::operator-) to
+// get that region's delta. A whole trial runs on one worker thread, so
+// per-trial attribution needs no cross-thread merge; merge per-task
+// deltas with operator+= under the task's lock.
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace quicbench::obs::attrib {
+
+enum class Scope : std::uint8_t {
+  kTrial = 0,       // root: one whole harness trial (wrapped by the runner)
+  kEngineRun,       // Simulator::run_until loop: event selection machinery
+  kEngineWheel,     // timer-wheel dispatch, inclusive of fired callbacks
+  kEngineHeap,      // fallback-heap dispatch, inclusive of fired callbacks
+  kEngineSchedule,  // Simulator::schedule/reschedule inserts
+  kSenderAck,       // SenderEndpoint::on_ack_frame scoreboard ACK pass
+  kSenderLoss,      // detect_losses time-threshold scan
+  kSenderCompact,   // SentLog compaction
+  kSenderSend,      // do_send_loop: packet build + egress + pacing rearm
+  kSenderPacer,     // pacing_interval: rate lookup / window-pacing cache
+  kCcaOnAck,        // CongestionController::on_ack
+  kCcaOnLoss,       // CongestionController::on_loss
+  kCcaOnSent,       // CongestionController::on_packet_sent
+  kLink,            // Link enqueue + transmit/propagation completions
+  kReceiver,        // ReceiverEndpoint::deliver (+ ACK build)
+  kImpairment,      // ImpairmentStage::deliver
+  kHarnessCollect,  // post-run series/fairness/telemetry collection
+  kEvalKmeans,      // cluster::kmeans
+  kEvalPe,          // conformance::build_pe
+  kCount
+};
+
+inline constexpr std::size_t kScopeCount =
+    static_cast<std::size_t>(Scope::kCount);
+
+// Stable dotted name ("engine.wheel", "cca.on_ack", ...) used in JSON
+// output; scope_from_name is the inverse (Scope::kCount when unknown).
+std::string_view scope_name(Scope s);
+Scope scope_from_name(std::string_view name);
+
+// True when this binary was configured with -DQB_ATTRIB=ON, i.e. the
+// QB_ATTRIB_SCOPE instrumentation sites are live.
+constexpr bool compiled_in() {
+#if defined(QB_ATTRIB_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// "rdtsc" or "steady_clock" — which timestamp source read_timestamp uses.
+constexpr std::string_view timer_kind() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "rdtsc";
+#else
+  return "steady_clock";
+#endif
+}
+
+inline std::uint64_t read_timestamp() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+struct Report {
+  struct Row {
+    std::uint64_t calls = 0;
+    std::uint64_t cycles = 0;        // inclusive
+    std::uint64_t child_cycles = 0;  // spent inside nested scopes
+    std::uint64_t exclusive_cycles() const {
+      return cycles >= child_cycles ? cycles - child_cycles : 0;
+    }
+  };
+
+  std::array<Row, kScopeCount> rows{};
+
+  const Row& row(Scope s) const {
+    return rows[static_cast<std::size_t>(s)];
+  }
+
+  Report& operator+=(const Report& other);
+  // Counter delta (counters are monotone within a thread); saturates at 0.
+  Report operator-(const Report& other) const;
+
+  // Root (kTrial) inclusive cycles; 0 when no root scope was timed.
+  std::uint64_t total_cycles() const { return row(Scope::kTrial).cycles; }
+  // Fraction of root time spent inside some named child scope.
+  double coverage() const;
+  bool empty() const;
+};
+
+namespace detail {
+
+struct Table {
+  bool enabled;                  // latched runtime gate
+  Scope current = Scope::kCount; // kCount = no scope open
+  std::array<Report::Row, kScopeCount> rows{};
+  Table();
+};
+
+Table& table();  // this thread's accumulators
+
+} // namespace detail
+
+// Runtime gate as latched by this thread's table (compile gate excluded:
+// tests drive ScopeTimer directly in default builds).
+inline bool enabled() { return detail::table().enabled; }
+
+// Zero this thread's accumulators and re-latch the runtime gate from
+// RunOptions::current().
+void reset_thread();
+
+// Snapshot of this thread's accumulators since the last reset_thread().
+Report thread_report();
+
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Scope s) : t_(detail::table()) {
+    if (!t_.enabled) return;
+    scope_ = s;
+    parent_ = t_.current;
+    t_.current = s;
+    start_ = read_timestamp();
+  }
+  ~ScopeTimer() {
+    if (scope_ == Scope::kCount) return;
+    const std::uint64_t dt = read_timestamp() - start_;
+    Report::Row& r = t_.rows[static_cast<std::size_t>(scope_)];
+    ++r.calls;
+    r.cycles += dt;
+    if (parent_ != Scope::kCount) {
+      t_.rows[static_cast<std::size_t>(parent_)].child_cycles += dt;
+    }
+    t_.current = parent_;
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  detail::Table& t_;
+  Scope scope_ = Scope::kCount;  // kCount = constructed while disabled
+  Scope parent_ = Scope::kCount;
+  std::uint64_t start_ = 0;
+};
+
+} // namespace quicbench::obs::attrib
+
+// Instrumentation-site macro: opens a scope for the rest of the
+// enclosing block. Compiles away entirely unless -DQB_ATTRIB=ON.
+#if defined(QB_ATTRIB_ENABLED)
+#define QB_ATTRIB_CONCAT_INNER(a, b) a##b
+#define QB_ATTRIB_CONCAT(a, b) QB_ATTRIB_CONCAT_INNER(a, b)
+#define QB_ATTRIB_SCOPE(s)                              \
+  ::quicbench::obs::attrib::ScopeTimer QB_ATTRIB_CONCAT( \
+      qb_attrib_scope_, __LINE__)(::quicbench::obs::attrib::Scope::s)
+#else
+#define QB_ATTRIB_SCOPE(s) ((void)0)
+#endif

@@ -1,0 +1,142 @@
+#include "obs/flight.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/json.h"
+
+namespace quicbench::obs {
+
+FlowSampler::FlowSampler(Time interval, std::size_t capacity)
+    : interval_(interval) {
+  if (capacity == 0) capacity = 1;
+  if (interval_ > 0) ring_.resize(capacity);
+}
+
+void FlowSampler::record(Time now, Bytes cwnd, Bytes bytes_in_flight,
+                         Time srtt, std::optional<Rate> pacing,
+                         std::string_view phase) {
+  if (interval_ <= 0) return;
+  Sample s;
+  s.t = now;
+  s.cwnd = cwnd;
+  s.bytes_in_flight = bytes_in_flight;
+  s.srtt = srtt;
+  s.pacing_mbps = pacing.has_value() ? rate::to_mbps(*pacing) : -1.0;
+  // Delivery rate over the window since the previous sample (or since
+  // t=0 for the first one): bytes fed by on_delivery() before this
+  // record() call.
+  const Time window = now - last_t_;
+  s.delivery_mbps = window > 0 ? rate::to_mbps(rate_of(delivered_, window))
+                               : -1.0;
+  s.phase = intern(phase);
+  ring_[total_ % ring_.size()] = s;
+  ++total_;
+  delivered_ = 0;
+  last_t_ = now;
+  // Grid-aligned advance: skip whole intervals with no delivery rather
+  // than bunching catch-up samples.
+  next_ = now + interval_ - now % interval_;
+}
+
+int FlowSampler::intern(std::string_view phase) {
+  if (phase.empty()) return -1;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i] == phase) return static_cast<int>(i);
+  }
+  phases_.emplace_back(phase);
+  return static_cast<int>(phases_.size()) - 1;
+}
+
+std::vector<FlowSampler::Sample> FlowSampler::samples() const {
+  std::vector<Sample> out;
+  if (ring_.empty() || total_ == 0) return out;
+  const std::size_t n = total_ < ring_.size() ? total_ : ring_.size();
+  out.reserve(n);
+  const std::size_t start = total_ < ring_.size() ? 0 : total_ % ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+bool FlowSampler::write_csv(const std::string& path,
+                            std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "flight: cannot open " + path + " for writing (" +
+               std::strerror(errno) + ")";
+    }
+    return false;
+  }
+  out << "t_ms,cwnd_bytes,bytes_in_flight,srtt_ms,pacing_mbps,"
+         "delivery_mbps,phase\n";
+  char buf[160];
+  for (const Sample& s : samples()) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%lld,%lld,%.6f,%.6f,%.6f,",
+                  time::to_ms(s.t), static_cast<long long>(s.cwnd),
+                  static_cast<long long>(s.bytes_in_flight),
+                  time::to_ms(s.srtt), s.pacing_mbps, s.delivery_mbps);
+    out << buf << phase_name(s.phase) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "flight: short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool FlowSampler::write_qlog(const std::string& path, const std::string& title,
+                             const std::string& cca_name,
+                             std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "flight: cannot open " + path + " for writing (" +
+               std::strerror(errno) + ")";
+    }
+    return false;
+  }
+  // Same document shape as trace::QlogWriter, so qvis and the existing
+  // validation tooling accept flight-recorder output unchanged.
+  out << "{\"qlog_version\":\"0.3\",\"title\":\"" << json_escape(title)
+      << "\",\"traces\":[{\"common_fields\":{\"time_format\":"
+         "\"relative\",\"reference_time\":0},\"vantage_point\":{\"type\":"
+         "\"server\"},\"configuration\":{\"congestion_control\":\""
+      << json_escape(cca_name) << "\"},\"events\":[";
+  bool first = true;
+  for (const Sample& s : samples()) {
+    if (!first) out << ',';
+    first = false;
+    out << "[" << json_number(time::to_ms(s.t))
+        << ",\"recovery\",\"metrics_updated\",{"
+        << "\"congestion_window\":" << s.cwnd
+        << ",\"bytes_in_flight\":" << s.bytes_in_flight
+        << ",\"smoothed_rtt\":" << json_number(time::to_ms(s.srtt));
+    if (s.pacing_mbps >= 0) {
+      out << ",\"pacing_rate\":"
+          << json_number(s.pacing_mbps * 1e6);  // bits/sec, per qlog spec
+    }
+    if (s.delivery_mbps >= 0) {
+      out << ",\"delivery_rate\":" << json_number(s.delivery_mbps * 1e6);
+    }
+    if (s.phase >= 0) {
+      out << ",\"congestion_state\":\"" << json_escape(phase_name(s.phase))
+          << "\"";
+    }
+    out << "}]";
+  }
+  out << "]}]}";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "flight: short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace quicbench::obs

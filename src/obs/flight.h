@@ -1,0 +1,92 @@
+#pragma once
+// Per-flow time-series flight recorder.
+//
+// A FlowSampler turns one flow's run into a periodic time series of
+// cwnd, bytes-in-flight, smoothed RTT, pacing rate, delivery rate and
+// CCA phase — the signals where pacing burstiness, BBR phase dynamics
+// and churn response actually live, and which the end-of-run aggregates
+// throw away.
+//
+// Passivity is the design constraint: the sampler must never perturb the
+// simulation (the on/off runs have to be bit-identical, including event
+// counts), so it schedules nothing. Instead the harness piggybacks on
+// the receiver's delivery callback: each delivery accumulates bytes via
+// on_delivery(), and when due(now) says the sampling interval has
+// elapsed the harness reads the sender's current state and calls
+// record(). Sample spacing is therefore "at least `interval`, at the
+// next delivery" — exact grid alignment is not promised (nor needed;
+// intervals are ~100 ms against sub-ms packet spacing).
+//
+// Samples land in a preallocated ring buffer keeping the last `capacity`
+// entries (total_samples() counts everything observed); phase strings
+// are interned so the steady state allocates nothing. Export as CSV or
+// as a qlog document of `metrics_updated`-style events (qvis-compatible,
+// same shape QlogWriter uses).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace quicbench::obs {
+
+class FlowSampler {
+ public:
+  // interval <= 0 disables: due() is never true.
+  explicit FlowSampler(Time interval, std::size_t capacity = 4096);
+
+  struct Sample {
+    Time t = 0;
+    Bytes cwnd = 0;
+    Bytes bytes_in_flight = 0;
+    Time srtt = 0;
+    double pacing_mbps = -1.0;    // -1 = CCA exposes no pacing rate
+    double delivery_mbps = -1.0;  // -1 = no delivery window yet
+    int phase = -1;               // index into phase_names(), -1 = unknown
+  };
+
+  Time interval() const { return interval_; }
+
+  // Bytes delivered to the receiver; feeds the delivery-rate estimate.
+  void on_delivery(Time /*now*/, Bytes payload) { delivered_ += payload; }
+
+  // True when the next periodic sample is due at `now`.
+  bool due(Time now) const { return interval_ > 0 && now >= next_; }
+
+  // Record one sample (caller checked due()). `pacing` is the CCA's
+  // pacing_rate(), `phase` its current phase name.
+  void record(Time now, Bytes cwnd, Bytes bytes_in_flight, Time srtt,
+              std::optional<Rate> pacing, std::string_view phase);
+
+  std::size_t total_samples() const { return total_; }
+  // Retained samples, oldest first (at most `capacity`).
+  std::vector<Sample> samples() const;
+  const std::vector<std::string>& phase_names() const { return phases_; }
+  std::string_view phase_name(int idx) const {
+    return idx >= 0 && static_cast<std::size_t>(idx) < phases_.size()
+               ? std::string_view(phases_[static_cast<std::size_t>(idx)])
+               : std::string_view("");
+  }
+
+  // t_ms,cwnd_bytes,bytes_in_flight,srtt_ms,pacing_mbps,delivery_mbps,phase
+  bool write_csv(const std::string& path, std::string* error = nullptr) const;
+  // qlog document of metrics_updated events (one per sample).
+  bool write_qlog(const std::string& path, const std::string& title,
+                  const std::string& cca_name,
+                  std::string* error = nullptr) const;
+
+ private:
+  int intern(std::string_view phase);
+
+  Time interval_;
+  Time next_ = 0;     // earliest time the next sample is due
+  Time last_t_ = 0;   // previous sample time (delivery-rate window start)
+  Bytes delivered_ = 0;
+  std::vector<Sample> ring_;
+  std::size_t total_ = 0;
+  std::vector<std::string> phases_;
+};
+
+} // namespace quicbench::obs

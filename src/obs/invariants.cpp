@@ -1,20 +1,14 @@
 #include "obs/invariants.h"
 
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/run_options.h"
 #include "transport/sender.h"
 
 namespace quicbench::obs {
 
-bool invariants_enabled() {
-  static const bool on = [] {
-    const char* v = std::getenv("QB_INVARIANTS");
-    return v == nullptr || v[0] != '0';
-  }();
-  return on;
-}
+bool invariants_enabled() { return RunOptions::current().invariants; }
 
 InvariantChecker::PnState InvariantChecker::state(std::uint64_t pn) const {
   return pn < pn_state_.size() ? pn_state_[pn] : PnState::kUnknown;

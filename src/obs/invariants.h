@@ -39,7 +39,9 @@ struct SenderStats;
 
 namespace quicbench::obs {
 
-// Process-wide switch, read once: QB_INVARIANTS unset or != "0" => on.
+// Shorthand for RunOptions::current().invariants (env QB_INVARIANTS
+// unset or != "0" => on; override with RunOptions::set_current, see
+// obs/run_options.h).
 bool invariants_enabled();
 
 class InvariantChecker {

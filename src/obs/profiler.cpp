@@ -1,15 +1,82 @@
 #include "obs/profiler.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <utility>
 
 #include "util/json.h"
 
 namespace quicbench::obs {
 
+namespace {
+
+// Armed-profiler registry for the abnormal-exit flush. Lives behind a
+// function-local static so handler registration order cannot race static
+// destruction of the registry itself; profilers must disarm before they
+// are destroyed (the TraceProfiler destructor does).
+struct ExitFlushRegistry {
+  std::mutex mu;
+  std::vector<std::pair<TraceProfiler*, std::string>> armed;
+  std::terminate_handler previous_terminate = nullptr;
+  bool handlers_installed = false;
+};
+
+ExitFlushRegistry& exit_registry() {
+  static ExitFlushRegistry r;
+  return r;
+}
+
+[[noreturn]] void flush_then_terminate() {
+  TraceProfiler::flush_armed();
+  std::terminate_handler prev = exit_registry().previous_terminate;
+  if (prev != nullptr) prev();
+  std::abort();
+}
+
+} // namespace
+
 TraceProfiler::TraceProfiler(std::string process_name)
     : process_name_(std::move(process_name)),
       epoch_(std::chrono::steady_clock::now()) {}
+
+TraceProfiler::~TraceProfiler() { disarm_exit_flush(); }
+
+void TraceProfiler::arm_exit_flush(const std::string& path) {
+  ExitFlushRegistry& r = exit_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [p, armed_path] : r.armed) {
+    if (p == this) {
+      armed_path = path;
+      return;
+    }
+  }
+  r.armed.emplace_back(this, path);
+  if (!r.handlers_installed) {
+    r.handlers_installed = true;
+    std::atexit([] { TraceProfiler::flush_armed(); });
+    r.previous_terminate = std::set_terminate(flush_then_terminate);
+  }
+}
+
+void TraceProfiler::disarm_exit_flush() {
+  ExitFlushRegistry& r = exit_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::erase_if(r.armed, [this](const auto& e) { return e.first == this; });
+}
+
+void TraceProfiler::flush_armed() {
+  ExitFlushRegistry& r = exit_registry();
+  std::vector<std::pair<TraceProfiler*, std::string>> to_flush;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    to_flush.swap(r.armed);
+  }
+  for (const auto& [p, path] : to_flush) {
+    p->write_file(path);  // best effort; nowhere to report at exit
+  }
+}
 
 std::int64_t TraceProfiler::now_us() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(

@@ -21,6 +21,7 @@ namespace quicbench::obs {
 class TraceProfiler {
  public:
   explicit TraceProfiler(std::string process_name);
+  ~TraceProfiler();
 
   // Microseconds since an arbitrary steady epoch; pair with
   // record_complete's ts/dur.
@@ -36,6 +37,17 @@ class TraceProfiler {
   // failing path reported through `error` when provided.
   bool write_file(const std::string& path, std::string* error = nullptr) const;
   std::string to_json_string() const;
+
+  // Abnormal-exit safety net: register this profiler to be serialised to
+  // `path` by an atexit/terminate handler, so a crashed or aborted run
+  // (invariant violation, uncaught exception, plain exit() mid-sweep)
+  // still leaves a valid partial profile on disk. Disarm after a
+  // successful write_file — or let the destructor do it. flush_armed()
+  // is the handler body, exposed for tests; it writes every armed
+  // profiler once and disarms them.
+  void arm_exit_flush(const std::string& path);
+  void disarm_exit_flush();
+  static void flush_armed();
 
  private:
   struct Span {

@@ -1,0 +1,45 @@
+#include "obs/run_options.h"
+
+#include <cstdlib>
+
+namespace quicbench::obs {
+
+namespace {
+
+// "Off" means an explicit leading '0'; unset or anything else is on.
+// Matches the historical QB_INVARIANTS contract.
+bool env_on(const char* name, bool dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return dflt;
+  return v[0] != '0';
+}
+
+RunOptions& mutable_current() {
+  static RunOptions opts = RunOptions::from_env();
+  return opts;
+}
+
+} // namespace
+
+RunOptions RunOptions::from_env() {
+  RunOptions o;
+  o.invariants = env_on("QB_INVARIANTS", true);
+  o.attrib = env_on("QB_ATTRIB", true);
+  if (const char* v = std::getenv("QB_FLIGHT_MS")) {
+    o.flight_interval_ms = std::atof(v);
+  }
+  if (const char* v = std::getenv("QB_QLOG_DIR")) {
+    o.qlog_dir = v;
+  }
+  const char* p = std::getenv("QB_PROFILE");
+  o.profile = p != nullptr && p[0] == '1';
+  return o;
+}
+
+const RunOptions& RunOptions::current() { return mutable_current(); }
+
+void RunOptions::set_current(const RunOptions& opts) {
+  mutable_current() = opts;
+}
+
+} // namespace quicbench::obs

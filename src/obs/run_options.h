@@ -1,0 +1,48 @@
+#pragma once
+// The one switchboard for observability opt-ins/opt-outs.
+//
+// Every runtime toggle for the passive observer layers — invariant
+// checking, hot-path performance attribution, the per-flow flight
+// recorder, qlog export, Chrome-trace profiling — is a field here, read
+// once from the QB_* environment at first use. Code that needs a knob
+// asks RunOptions::current(); code that wants to override one (e.g. a
+// perf benchmark protecting its baseline from invariant-checker cost)
+// builds a RunOptions and installs it with set_current() instead of
+// calling setenv() behind the runtime's back.
+//
+// Environment mapping (all optional):
+//   QB_INVARIANTS=0   disable the runtime invariant checker (default on)
+//   QB_ATTRIB=0       disable perf attribution at runtime (default on;
+//                     only meaningful in builds configured with
+//                     -DQB_ATTRIB=ON, see obs/attrib.h)
+//   QB_FLIGHT_MS=<ms> flight-recorder sampling interval in milliseconds
+//                     (default 100; <= 0 disables the sampler)
+//   QB_QLOG_DIR=<dir> emit per-flow qlog + flight-recorder files for
+//                     every simulated trial under this directory
+//   QB_PROFILE=1      write a Chrome-trace-event profile of each sweep
+//
+// set_current() swaps the whole struct and is NOT synchronized: install
+// overrides before spawning sweep workers (the bench mains do this in
+// main() before any trial runs).
+
+#include <string>
+
+namespace quicbench::obs {
+
+struct RunOptions {
+  bool invariants = true;
+  bool attrib = true;
+  double flight_interval_ms = 100.0;
+  std::string qlog_dir;  // empty = no qlog / flight-recorder export
+  bool profile = false;
+
+  // One struct populated from the QB_* environment (defaults above when
+  // a variable is unset).
+  static RunOptions from_env();
+
+  // The active options. First call initializes from from_env().
+  static const RunOptions& current();
+  static void set_current(const RunOptions& opts);
+};
+
+} // namespace quicbench::obs

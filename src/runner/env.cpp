@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/run_options.h"
+
 namespace quicbench::runner {
 
 namespace {
@@ -25,12 +27,9 @@ int env_threads() {
   return n > 0 ? n : 0;
 }
 
-std::string qlog_dir() {
-  const char* v = std::getenv("QB_QLOG_DIR");
-  return v != nullptr ? v : "";
-}
+std::string qlog_dir() { return obs::RunOptions::current().qlog_dir; }
 
-bool profile_enabled() { return env_flag("QB_PROFILE"); }
+bool profile_enabled() { return obs::RunOptions::current().profile; }
 
 harness::ExperimentConfig default_config(double buffer_bdp, Rate bw,
                                          Time rtt) {

@@ -10,10 +10,12 @@
 //   QB_NO_CACHE=1  disable the persistent result cache entirely
 //   QB_CACHE_DIR   cache directory (default bench_out/cache)
 //   QB_THREADS     worker count for sweeps (default: hardware)
-//   QB_QLOG_DIR    emit per-flow qlog files for every simulated trial
-//                  under this directory (flight recorder; off when unset)
-//   QB_PROFILE=1   write a Chrome-trace-event profile of the sweep to
-//                  bench_out/profile/<name>.trace.json
+//
+// Observability switches (QB_QLOG_DIR, QB_PROFILE, QB_INVARIANTS,
+// QB_ATTRIB, QB_FLIGHT_MS) live on obs::RunOptions (obs/run_options.h) —
+// the one switchboard for observer opt-ins/opt-outs. qlog_dir() and
+// profile_enabled() below are thin shims over RunOptions::current() kept
+// for call-site convenience.
 
 #include <string>
 
@@ -24,8 +26,8 @@ namespace quicbench::runner {
 bool fast_mode();         // QB_FAST=1
 bool progress_enabled();  // QB_PROGRESS=1
 int env_threads();        // QB_THREADS, 0 when unset/invalid
-std::string qlog_dir();   // QB_QLOG_DIR, "" when unset
-bool profile_enabled();   // QB_PROFILE=1
+std::string qlog_dir();   // RunOptions::current().qlog_dir
+bool profile_enabled();   // RunOptions::current().profile
 
 // The paper's default network (§4: representative plots use 10 ms RTT,
 // 20 Mbps; fairness experiments use 50 ms RTT). Paper-fidelity duration

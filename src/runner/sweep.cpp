@@ -10,7 +10,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/attrib.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/run_options.h"
 #include "runner/env.h"
 #include "runner/fingerprint.h"
 #include "trace/qlog.h"
@@ -80,6 +83,50 @@ std::string iso_utc_now() {
   return buf;
 }
 
+// Run one trial under the kTrial attribution root and leave the
+// thread-local cycle delta it produced in *delta (untouched when
+// attribution is compiled out or runtime-disabled — a single TLS read
+// per trial).
+template <typename Fn>
+auto run_attributed(obs::attrib::Report* delta, Fn&& fn) {
+  if (!obs::attrib::compiled_in() || !obs::attrib::enabled()) {
+    return fn();
+  }
+  const obs::attrib::Report before = obs::attrib::thread_report();
+  auto result = [&] {
+    obs::attrib::ScopeTimer root(obs::attrib::Scope::kTrial);
+    return fn();
+  }();
+  *delta = obs::attrib::thread_report() - before;
+  return result;
+}
+
+// Per-task hot-path attribution for the manifest ("attrib" key):
+// coverage, a cycles->seconds calibration against the task's wall time,
+// and per-scope call/cycle counts (scopes never entered are omitted).
+void write_attrib(JsonWriter& j, const obs::attrib::Report& r,
+                  double wall_sec) {
+  j.begin_object();
+  j.kv("coverage", r.coverage());
+  j.kv("cycles_per_sec",
+       wall_sec > 0 ? static_cast<double>(r.total_cycles()) / wall_sec
+                    : 0.0);
+  j.key("scopes").begin_object();
+  for (std::size_t s = 0; s < obs::attrib::kScopeCount; ++s) {
+    const obs::attrib::Report::Row& row = r.rows[s];
+    if (row.calls == 0) continue;
+    j.key(std::string(
+         obs::attrib::scope_name(static_cast<obs::attrib::Scope>(s))))
+        .begin_object();
+    j.kv("calls", row.calls);
+    j.kv("cycles", row.cycles);
+    j.kv("excl_cycles", row.exclusive_cycles());
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+}
+
 } // namespace
 
 struct Sweep::PairTask {
@@ -97,6 +144,8 @@ struct Sweep::PairTask {
   std::uint64_t events = 0;
   // Engine sizing maxima across this pair's trials.
   netsim::Simulator::Stats engine;
+  // Summed per-trial cycle attribution (empty unless QB_ATTRIB builds).
+  obs::attrib::Report attrib;
 };
 
 // An N-flow scenario shared by one or more cells. Mirrors PairTask but is
@@ -117,6 +166,8 @@ struct Sweep::ScenarioTask {
   std::uint64_t events = 0;
   // Engine sizing maxima across this scenario's trials.
   netsim::Simulator::Stats engine;
+  // Summed per-trial cycle attribution (empty unless QB_ATTRIB builds).
+  obs::attrib::Report attrib;
 };
 
 struct Sweep::Cell {
@@ -154,6 +205,14 @@ Sweep::Sweep(std::string name, SweepOptions opts)
   if (opts_.profile || profile_enabled()) {
     profiler_ =
         std::make_unique<obs::TraceProfiler>("qb-sweep " + name_);
+    // Arm the abnormal-exit flush now (the handler cannot mkdir, so the
+    // directory must exist before a crash): an aborted sweep — invariant
+    // violation, uncaught exception — still leaves a valid partial
+    // profile. Disarmed by the successful write at the end of run().
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.profile_dir, ec);
+    profiler_->arm_exit_flush(opts_.profile_dir + "/" + name_ +
+                              ".trace.json");
   }
 }
 
@@ -337,14 +396,27 @@ void Sweep::finalize_pair(PairTask& pair, double* busy_sec, int worker_id) {
   }
   const int done = tasks_done_.fetch_add(1) + 1;
   if (progress_) {
+    // Health counters alongside progress: simulator throughput and the
+    // sim-time rate (simulated seconds per busy second) expose a trial
+    // that is running but crawling, long before the sweep total does.
+    const double evps =
+        pair.wall_sec > 0
+            ? static_cast<double>(pair.events) / pair.wall_sec
+            : 0;
+    const double sim_rate =
+        pair.wall_sec > 0 ? time::to_sec(pair.cfg.duration) *
+                                static_cast<double>(pair.cfg.trials) /
+                                pair.wall_sec
+                          : 0;
     std::lock_guard<std::mutex> lock(progress_mu_);
     std::fprintf(stderr,
                  "[qb-sweep %s] task %d/%d done: %s vs %s (%.2fs, %llu "
-                 "events)\n",
+                 "events, %.2fM ev/s, %.0fx real-time)\n",
                  name_.c_str(), done, tasks_to_simulate_,
                  pair.a.display.c_str(), pair.b.display.c_str(),
                  pair.wall_sec,
-                 static_cast<unsigned long long>(pair.events));
+                 static_cast<unsigned long long>(pair.events),
+                 evps / 1e6, sim_rate);
   }
   publish_unblocked_cells(pair.dependent_cells);
 }
@@ -366,13 +438,30 @@ void Sweep::finalize_scenario(ScenarioTask& scen, double* busy_sec,
   }
   const int done = tasks_done_.fetch_add(1) + 1;
   if (progress_) {
+    // Scenario health counters: simulator throughput, sim-time rate, and
+    // flow churn (arrivals / completed departures, peak concurrency) —
+    // the signals that tell a stalled 256-flow study from a slow one.
+    const double evps =
+        scen.wall_sec > 0
+            ? static_cast<double>(scen.events) / scen.wall_sec
+            : 0;
+    const double sim_rate =
+        scen.wall_sec > 0 ? time::to_sec(scen.cfg.duration) *
+                                static_cast<double>(scen.cfg.trials) /
+                                scen.wall_sec
+                          : 0;
     std::lock_guard<std::mutex> lock(progress_mu_);
     std::fprintf(stderr,
                  "[qb-sweep %s] task %d/%d done: scenario with %zu flows "
-                 "(%.2fs, %llu events)\n",
+                 "(%.2fs, %llu events, %.2fM ev/s, %.0fx real-time, "
+                 "%lld arrived / %lld completed, peak %lld concurrent)\n",
                  name_.c_str(), done, tasks_to_simulate_, n_flows,
                  scen.wall_sec,
-                 static_cast<unsigned long long>(scen.events));
+                 static_cast<unsigned long long>(scen.events),
+                 evps / 1e6, sim_rate,
+                 static_cast<long long>(scen.result.churn.arrivals),
+                 static_cast<long long>(scen.result.churn.departures),
+                 static_cast<long long>(scen.result.churn.peak_concurrent));
   }
   publish_unblocked_cells(scen.dependent_cells);
 }
@@ -433,11 +522,22 @@ harness::TrialResult Sweep::run_observed_trial(PairTask& pair, int pair_idx,
   trace::QlogWriter qlog_a(title + ", flow 0", pair.a.make_cca()->name());
   trace::QlogWriter qlog_b(title + ", flow 1", pair.b.make_cca()->name());
   obs::MetricsRegistry metrics;
+  // Per-flow time-series samplers (QB_FLIGHT_MS, default 100 ms; <= 0
+  // disables them while keeping the qlog/metrics recorders).
+  const double flight_ms = obs::RunOptions::current().flight_interval_ms;
+  const Time flight_interval =
+      flight_ms > 0 ? time::from_ms(flight_ms) : 0;
+  obs::FlowSampler flight_a(flight_interval);
+  obs::FlowSampler flight_b(flight_interval);
 
   harness::TrialObservers observers;
   observers.qlog[0] = &qlog_a;
   observers.qlog[1] = &qlog_b;
   observers.metrics = &metrics;
+  if (flight_interval > 0) {
+    observers.flight[0] = &flight_a;
+    observers.flight[1] = &flight_b;
+  }
   harness::TrialResult tr =
       harness::run_trial(pair.a, pair.b, pair.cfg,
                          static_cast<std::uint64_t>(trial), observers);
@@ -458,6 +558,25 @@ harness::TrialResult Sweep::run_observed_trial(PairTask& pair, int pair_idx,
   if (!mf) {
     std::fprintf(stderr, "[qb-sweep %s] metrics write failed: %s\n",
                  name_.c_str(), metrics_path.c_str());
+  }
+  if (flight_interval > 0) {
+    const obs::FlowSampler* flights[2] = {&flight_a, &flight_b};
+    const stacks::Implementation* impls[2] = {&pair.a, &pair.b};
+    for (int f = 0; f < 2; ++f) {
+      const std::string fstem =
+          stem + "_flow" + std::to_string(f) + "_flight";
+      if (!flights[f]->write_csv(fstem + ".csv", &err)) {
+        std::fprintf(stderr, "[qb-sweep %s] flight csv write failed: %s\n",
+                     name_.c_str(), err.c_str());
+      }
+      if (!flights[f]->write_qlog(fstem + ".qlog",
+                                  title + ", flow " + std::to_string(f),
+                                  impls[f]->make_cca()->name(), &err)) {
+        std::fprintf(stderr,
+                     "[qb-sweep %s] flight qlog write failed: %s\n",
+                     name_.c_str(), err.c_str());
+      }
+    }
   }
   return tr;
 }
@@ -569,8 +688,11 @@ void Sweep::run() {
         const auto ts = Clock::now();
         const double ts_us =
             profiler_ != nullptr ? profiler_->now_us() : 0;
-        harness::ScenarioTrialResult tr = harness::run_scenario_trial(
-            s.cfg, static_cast<std::uint64_t>(items[i].trial));
+        obs::attrib::Report adelta;
+        harness::ScenarioTrialResult tr = run_attributed(&adelta, [&] {
+          return harness::run_scenario_trial(
+              s.cfg, static_cast<std::uint64_t>(items[i].trial));
+        });
         const double dt = seconds_since(ts);
         if (profiler_ != nullptr) {
           profiler_->record_complete(
@@ -589,6 +711,7 @@ void Sweep::run() {
                                          tr.engine.wheel_peak);
           s.engine.slot_count = std::max(s.engine.slot_count,
                                          tr.engine.slot_count);
+          s.attrib += adelta;
         }
         s.trial_results[static_cast<std::size_t>(items[i].trial)] =
             std::move(tr);
@@ -600,12 +723,14 @@ void Sweep::run() {
       PairTask& p = *pairs_[static_cast<std::size_t>(items[i].task)];
       const auto ts = Clock::now();
       const double ts_us = profiler_ != nullptr ? profiler_->now_us() : 0;
-      harness::TrialResult tr =
-          !qlog_dir_.empty()
-              ? run_observed_trial(p, items[i].task, items[i].trial)
-              : harness::run_trial(p.a, p.b, p.cfg,
-                                   static_cast<std::uint64_t>(
-                                       items[i].trial));
+      obs::attrib::Report adelta;
+      harness::TrialResult tr = run_attributed(&adelta, [&] {
+        return !qlog_dir_.empty()
+                   ? run_observed_trial(p, items[i].task, items[i].trial)
+                   : harness::run_trial(p.a, p.b, p.cfg,
+                                        static_cast<std::uint64_t>(
+                                            items[i].trial));
+      });
       const double dt = seconds_since(ts);
       if (profiler_ != nullptr) {
         profiler_->record_complete(p.a.display + " vs " + p.b.display +
@@ -623,6 +748,7 @@ void Sweep::run() {
                                        tr.engine.wheel_peak);
         p.engine.slot_count = std::max(p.engine.slot_count,
                                        tr.engine.slot_count);
+        p.attrib += adelta;
       }
       p.trial_results[static_cast<std::size_t>(items[i].trial)] =
           std::move(tr);
@@ -669,6 +795,7 @@ void Sweep::run() {
     std::string err;
     if (profiler_->write_file(path, &err)) {
       profile_path_ = path;
+      profiler_->disarm_exit_flush();
     } else {
       std::fprintf(stderr, "[qb-sweep %s] profile write failed: %s\n",
                    name_.c_str(), err.c_str());
@@ -724,7 +851,7 @@ std::string Sweep::write_manifest() const {
   if (!ran_) throw std::logic_error("Sweep: write_manifest before run()");
   JsonWriter j;
   j.begin_object();
-  j.kv("schema", "quicbench.sweep.manifest/v5");
+  j.kv("schema", "quicbench.sweep.manifest/v6");
   j.kv("code_schema_version",
        static_cast<std::uint64_t>(kSchemaVersion));
   j.kv("sweep", name_);
@@ -746,10 +873,15 @@ std::string Sweep::write_manifest() const {
   j.end_object();
 
   // Where the flight recorder wrote, if it was on ("" = off / not
-  // written).
+  // written), plus which observers were live this run.
   j.key("observability").begin_object();
   j.kv("qlog_dir", qlog_dir_);
   j.kv("profile", profile_path_);
+  j.kv("flight_interval_ms",
+       qlog_dir_.empty() ? 0.0
+                         : obs::RunOptions::current().flight_interval_ms);
+  j.kv("attrib", obs::attrib::compiled_in() && obs::attrib::enabled());
+  j.kv("attrib_timer", std::string(obs::attrib::timer_kind()));
   j.end_object();
 
   j.key("pairs").begin_array();
@@ -777,6 +909,10 @@ std::string Sweep::write_manifest() const {
     j.kv("wheel_peak", static_cast<std::uint64_t>(p->engine.wheel_peak));
     j.kv("slot_count", static_cast<std::uint64_t>(p->engine.slot_count));
     j.end_object();
+    if (!p->attrib.empty()) {
+      j.key("attrib");
+      write_attrib(j, p->attrib, p->wall_sec);
+    }
     j.key("diagnostics");
     write_diagnostics(j, p->result.diagnostics);
     j.end_object();
@@ -821,6 +957,10 @@ std::string Sweep::write_manifest() const {
     j.kv("wheel_peak", static_cast<std::uint64_t>(s->engine.wheel_peak));
     j.kv("slot_count", static_cast<std::uint64_t>(s->engine.slot_count));
     j.end_object();
+    if (!s->attrib.empty()) {
+      j.key("attrib");
+      write_attrib(j, s->attrib, s->wall_sec);
+    }
     j.key("result").begin_object();
     j.kv("jain_overall", r.jain_overall);
     j.key("jain_windows").begin_array();

@@ -70,7 +70,9 @@ void QlogWriter::write_to(std::ostream& os) const {
   for (const auto& e : events_) {
     if (!first) os << ',';
     first = false;
-    const double ms = time::to_ms(e.time);
+    // Round-trip precision: `os << double` keeps only 6 significant
+    // digits, which drops sub-ms resolution once timestamps pass 100 s.
+    const std::string ms = json_number(time::to_ms(e.time));
     switch (e.kind) {
       case 0:
         os << "[" << ms << ",\"transport\",\"packet_sent\",{\"header\":{"
@@ -91,7 +93,8 @@ void QlogWriter::write_to(std::ostream& os) const {
         os << "[" << ms << ",\"recovery\",\"metrics_updated\",{"
            << "\"congestion_window\":" << e.cwnd
            << ",\"bytes_in_flight\":" << e.in_flight
-           << ",\"smoothed_rtt\":" << time::to_ms(e.srtt) << "}]";
+           << ",\"smoothed_rtt\":" << json_number(time::to_ms(e.srtt))
+           << "}]";
         break;
       case 4:
         os << "[" << ms << ",\"recovery\",\"congestion_state_updated\",{"
@@ -114,7 +117,7 @@ void QlogWriter::write_to(std::ostream& os) const {
            << "\"timer_type\":\"" << timer_type << "\",\"event_type\":\""
            << event_type << "\"";
         if (e.b == static_cast<int>(TimerEvent::kSet)) {
-          os << ",\"delta\":" << time::to_ms(e.expiry - e.time);
+          os << ",\"delta\":" << json_number(time::to_ms(e.expiry - e.time));
         }
         os << "}]";
         break;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attrib.h"
+
 namespace quicbench::transport {
 
 using netsim::AckRange;
@@ -49,6 +51,7 @@ void ReceiverEndpoint::note_received(std::uint64_t pn) {
 
 void ReceiverEndpoint::deliver(Packet p) {
   if (p.kind != PacketKind::kData || p.flow != flow_) return;
+  QB_ATTRIB_SCOPE(kReceiver);
   const Time now = sim_.now();
 
   ++stats_.packets_received;

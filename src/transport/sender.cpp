@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attrib.h"
+
 namespace quicbench::transport {
 
 using netsim::AckRange;
@@ -86,6 +88,7 @@ void SenderEndpoint::start(Time at) {
 }
 
 void SenderEndpoint::compact_sent_log() {
+  QB_ATTRIB_SCOPE(kSenderCompact);
   log_.compact(sim_.now(), kSpuriousGrace);
 }
 
@@ -95,6 +98,7 @@ void SenderEndpoint::deliver(Packet p) {
 }
 
 void SenderEndpoint::on_ack_frame(const Packet& ack) {
+  QB_ATTRIB_SCOPE(kSenderAck);
   const Time now = sim_.now();
 
   AckRange segs[Packet::kMaxAckRanges];
@@ -206,7 +210,10 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
       ev.delivery_rate =
           rate_of(delivered_bytes_ - cold.delivered_at_send, interval);
     }
-    cca_->on_ack(ev);
+    {
+      QB_ATTRIB_SCOPE(kCcaOnAck);
+      cca_->on_ack(ev);
+    }
     if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
 
     pto_count_ = 0;
@@ -244,6 +251,7 @@ Time SenderEndpoint::loss_time_threshold() const {
 
 void SenderEndpoint::detect_losses() {
   if (!any_acked_) return;
+  QB_ATTRIB_SCOPE(kSenderLoss);
   const Time now = sim_.now();
   const Time threshold = loss_time_threshold();
 
@@ -297,7 +305,10 @@ void SenderEndpoint::detect_losses() {
     ev.largest_lost_pn = largest_lost;
     ev.largest_lost_sent_time = largest_lost_sent;
     ev.is_persistent_congestion = false;
-    cca_->on_loss(ev);
+    {
+      QB_ATTRIB_SCOPE(kCcaOnLoss);
+      cca_->on_loss(ev);
+    }
     if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
   }
 
@@ -375,7 +386,10 @@ void SenderEndpoint::declare_persistent_congestion() {
   ev.largest_lost_pn = largest_lost;
   ev.largest_lost_sent_time = largest_lost_sent;
   ev.is_persistent_congestion = true;
-  cca_->on_loss(ev);
+  {
+    QB_ATTRIB_SCOPE(kCcaOnLoss);
+    cca_->on_loss(ev);
+  }
   if (cwnd_cb_) cwnd_cb_(now, cca_->cwnd(), bytes_in_flight_);
   pto_count_ = 0;
 }
@@ -386,6 +400,7 @@ std::optional<Time> SenderEndpoint::pacing_interval(Bytes wire, Bytes cwnd) {
   // (cwnd, srtt), which only move during ack/loss processing — cache the
   // derived interval so the send loop's per-packet re-evaluation skips
   // the divide chain.
+  QB_ATTRIB_SCOPE(kSenderPacer);
   if (const auto r = cca_->pacing_rate(); r.has_value()) {
     return serialization_time(wire, *r);
   }
@@ -415,6 +430,7 @@ void SenderEndpoint::maybe_send() {
 }
 
 void SenderEndpoint::do_send_loop() {
+  QB_ATTRIB_SCOPE(kSenderSend);
   const Bytes wire = profile_.mss + profile_.header_overhead;
   for (;;) {
     if (out_of_data()) break;
@@ -468,7 +484,10 @@ void SenderEndpoint::send_one(bool is_probe) {
   ev.size = wire;
   ev.bytes_in_flight = bytes_in_flight_;
   ev.is_retransmission = is_retx;
-  cca_->on_packet_sent(ev);
+  {
+    QB_ATTRIB_SCOPE(kCcaOnSent);
+    cca_->on_packet_sent(ev);
+  }
   if (sent_cb_) sent_cb_(now, pn, wire, is_retx);
 
   Packet p;

@@ -30,6 +30,13 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 void JsonWriter::newline_indent() {
   out_ += '\n';
   out_.append(2 * stack_.size(), ' ');
@@ -99,9 +106,7 @@ JsonWriter& JsonWriter::value(std::string_view v) {
 JsonWriter& JsonWriter::value(double v) {
   if (!std::isfinite(v)) return null();
   before_value();
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out_ += buf;
+  out_ += json_number(v);
   return *this;
 }
 

@@ -22,6 +22,13 @@ namespace quicbench {
 
 std::string json_escape(std::string_view s);
 
+// A double as a JSON number token: round-trip precision (%.17g), "null"
+// for non-finite values (JSON has no NaN/Inf). For hand-rolled emitters
+// (qlog, flight recorder) that bypass JsonWriter — `os << d` truncates
+// to 6 significant digits, which loses sub-ms timestamp resolution past
+// 100 s and round-trips nothing.
+std::string json_number(double v);
+
 class JsonWriter {
  public:
   JsonWriter& begin_object();

@@ -266,6 +266,48 @@ TEST(RunTrial, BottleneckTelemetryPopulated) {
   EXPECT_LE(tr.bottleneck.utilization, 1.05);
 }
 
+TEST(RunTrial, FlightSamplerIsStrictlyPassive) {
+  // The per-flow flight recorder must be invisible to the simulation:
+  // sampled and unsampled runs of the same trial are bit-identical,
+  // including the executed event count, while the sampler itself fills
+  // with periodic samples.
+  const auto& ref = Registry::instance().reference(CcaType::kCubic);
+  ExperimentConfig cfg;
+  cfg.duration = time::sec(10);
+  cfg.trials = 1;
+  const TrialResult plain = run_trial(ref, ref, cfg, 0);
+
+  obs::FlowSampler fs0(time::ms(100));
+  obs::FlowSampler fs1(time::ms(100));
+  TrialObservers observers;
+  observers.flight[0] = &fs0;
+  observers.flight[1] = &fs1;
+  const TrialResult sampled = run_trial(ref, ref, cfg, 0, observers);
+
+  EXPECT_EQ(plain.sim_events, sampled.sim_events);
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_EQ(plain.flow[f].avg_throughput,
+              sampled.flow[f].avg_throughput);
+    EXPECT_EQ(plain.flow[f].sender_stats.packets_sent,
+              sampled.flow[f].sender_stats.packets_sent);
+    ASSERT_EQ(plain.flow[f].points.size(), sampled.flow[f].points.size());
+    for (std::size_t i = 0; i < plain.flow[f].points.size(); ++i) {
+      EXPECT_EQ(plain.flow[f].points[i].delay_ms,
+                sampled.flow[f].points[i].delay_ms);
+      EXPECT_EQ(plain.flow[f].points[i].tput_mbps,
+                sampled.flow[f].points[i].tput_mbps);
+    }
+  }
+  // ~100 samples in 10 s at 100 ms spacing (delivery-gated, so allow
+  // slack); every sample carries a live cwnd and a phase label.
+  EXPECT_GT(fs0.total_samples(), 50u);
+  EXPECT_GT(fs1.total_samples(), 50u);
+  for (const auto& s : fs0.samples()) {
+    EXPECT_GT(s.cwnd, 0);
+    EXPECT_GE(s.phase, 0);
+  }
+}
+
 TEST(MeasureConformance, SelfConformanceReasonable) {
   const auto& ref = Registry::instance().reference(CcaType::kCubic);
   ExperimentConfig cfg;

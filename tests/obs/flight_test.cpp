@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight.h"
+#include "util/json.h"
+
+namespace quicbench::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& stem) {
+  const std::string p = "/tmp/qb_flight_" + stem;
+  std::remove(p.c_str());
+  return p;
+}
+
+TEST(FlowSampler, ThrottlesToGridAlignedIntervals) {
+  FlowSampler fs(time::ms(100));
+  // Due immediately; after a sample at t the next one is due at the next
+  // multiple of the interval, not t + interval (no catch-up bunching).
+  EXPECT_TRUE(fs.due(0));
+  fs.record(time::ms(5), 10000, 5000, time::ms(10), std::nullopt, "ss");
+  EXPECT_FALSE(fs.due(time::ms(99)));
+  EXPECT_TRUE(fs.due(time::ms(100)));
+  fs.record(time::ms(237), 10000, 5000, time::ms(10), std::nullopt, "ss");
+  EXPECT_FALSE(fs.due(time::ms(299)));
+  EXPECT_TRUE(fs.due(time::ms(300)));
+  EXPECT_EQ(fs.total_samples(), 2u);
+}
+
+TEST(FlowSampler, DeliveryRateOverWindow) {
+  FlowSampler fs(time::ms(100));
+  // First sample at t=0 has no window: rate unknown (-1).
+  fs.record(0, 1, 1, 0, std::nullopt, "");
+  // 12500 bytes over the next 10 ms = 10 Mbps.
+  fs.on_delivery(time::ms(4), 10000);
+  fs.on_delivery(time::ms(9), 2500);
+  fs.record(time::ms(10), 1, 1, 0, std::nullopt, "");
+  // The accumulator resets at each sample: an empty follow-up window
+  // reports zero, not the stale rate.
+  fs.record(time::ms(110), 1, 1, 0, std::nullopt, "");
+  const auto samples = fs.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].delivery_mbps, -1.0);
+  EXPECT_DOUBLE_EQ(samples[1].delivery_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(samples[2].delivery_mbps, 0.0);
+}
+
+TEST(FlowSampler, RingKeepsMostRecentSamples) {
+  FlowSampler fs(time::ms(1), 4);
+  for (int i = 0; i < 10; ++i) {
+    fs.record(time::ms(i), i, 0, 0, std::nullopt, "");
+  }
+  EXPECT_EQ(fs.total_samples(), 10u);
+  const auto samples = fs.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().cwnd, 6);  // oldest retained
+  EXPECT_EQ(samples.back().cwnd, 9);   // newest
+}
+
+TEST(FlowSampler, InternsPhaseNames) {
+  FlowSampler fs(time::ms(1));
+  fs.record(0, 0, 0, 0, std::nullopt, "slow_start");
+  fs.record(time::ms(1), 0, 0, 0, std::nullopt, "avoidance");
+  fs.record(time::ms(2), 0, 0, 0, std::nullopt, "slow_start");
+  EXPECT_EQ(fs.phase_names().size(), 2u);
+  const auto samples = fs.samples();
+  EXPECT_EQ(samples[0].phase, samples[2].phase);
+  EXPECT_EQ(fs.phase_name(samples[1].phase), "avoidance");
+  // Empty phase = unknown, not interned.
+  fs.record(time::ms(3), 0, 0, 0, std::nullopt, "");
+  EXPECT_EQ(fs.samples().back().phase, -1);
+  EXPECT_EQ(fs.phase_name(-1), "");
+}
+
+TEST(FlowSampler, DisabledSamplerIsInert) {
+  FlowSampler fs(0);
+  EXPECT_FALSE(fs.due(time::sec(100)));
+  fs.on_delivery(0, 1000);
+  fs.record(time::ms(5), 1, 1, 0, std::nullopt, "x");
+  EXPECT_EQ(fs.total_samples(), 0u);
+  EXPECT_TRUE(fs.samples().empty());
+}
+
+TEST(FlowSampler, CsvExport) {
+  FlowSampler fs(time::ms(100));
+  fs.record(0, 12000, 6000, time::ms(10), rate::mbps(20), "startup");
+  fs.on_delivery(time::ms(50), 12500);
+  fs.record(time::ms(100), 24000, 9000, time::ms(12), std::nullopt,
+            "drain");
+  const std::string path = temp_path("export.csv");
+  std::string err;
+  ASSERT_TRUE(fs.write_csv(path, &err)) << err;
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("t_ms,cwnd_bytes,bytes_in_flight,srtt_ms,"
+                      "pacing_mbps,delivery_mbps,phase"),
+            std::string::npos);
+  EXPECT_NE(body.find("0.000000,12000,6000,10.000000,20.000000,"
+                      "-1.000000,startup"),
+            std::string::npos);
+  EXPECT_NE(body.find(",drain"), std::string::npos);
+}
+
+TEST(FlowSampler, QlogExportParsesAndCarriesMetrics) {
+  FlowSampler fs(time::ms(100));
+  fs.record(0, 12000, 6000, time::ms(10), rate::mbps(20), "startup");
+  fs.on_delivery(time::ms(40), 12500);
+  fs.record(time::ms(100), 24000, 9000, time::ms(12), std::nullopt, "");
+  const std::string path = temp_path("export.qlog");
+  std::string err;
+  ASSERT_TRUE(fs.write_qlog(path, "flight \"test\"", "bbr", &err)) << err;
+
+  const std::string body = slurp(path);
+  const auto doc = json_parse(body, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_NE(body.find("\"metrics_updated\""), std::string::npos);
+  EXPECT_NE(body.find("\"congestion_window\":12000"), std::string::npos);
+  // Pacing rate in bits/sec per the qlog spec; omitted when the CCA
+  // exposes none (the second sample).
+  EXPECT_NE(body.find("\"pacing_rate\":20000000"), std::string::npos);
+  EXPECT_EQ(body.find("\"pacing_rate\":-"), std::string::npos);
+  EXPECT_NE(body.find("\"congestion_state\":\"startup\""),
+            std::string::npos);
+  // Title with a quote survives escaping (the doc parsed above).
+  EXPECT_NE(body.find("flight \\\"test\\\""), std::string::npos);
+}
+
+} // namespace
+} // namespace quicbench::obs

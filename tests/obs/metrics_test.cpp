@@ -49,6 +49,26 @@ TEST(Histogram, Log2Buckets) {
   EXPECT_EQ(h.buckets()[2], 2);
 }
 
+TEST(Histogram, BucketEdgesAndOverflowClamp) {
+  Histogram h;
+  h.observe(0.0);     // bucket 0: everything below 1
+  h.observe(0.999);   // still bucket 0
+  h.observe(1.0);     // exactly 1 -> bucket 1: [1, 2)
+  h.observe(4.0);     // power of two lands at the bottom of [4, 8)
+  const double two62 = 4611686018427387904.0;  // 2^62 -> bucket 63
+  h.observe(two62);
+  h.observe(1e308);   // far past the top bucket -> clamped to 63
+  ASSERT_EQ(h.buckets().size(),
+            static_cast<std::size_t>(Histogram::kBuckets));
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[3], 1);   // 4.0: ilogb = 2, bucket 3 = [4, 8)
+  EXPECT_EQ(h.buckets()[63], 2);  // 2^62 and the overflow clamp
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e308);
+}
+
 TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
   MetricsRegistry reg;
   EXPECT_TRUE(reg.enabled());

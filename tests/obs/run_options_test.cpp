@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/invariants.h"
+#include "obs/run_options.h"
+
+namespace quicbench::obs {
+namespace {
+
+// Save/restore one environment variable around a test body.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+TEST(RunOptions, DefaultsWithEmptyEnvironment) {
+  ScopedEnv e1("QB_INVARIANTS", nullptr);
+  ScopedEnv e2("QB_ATTRIB", nullptr);
+  ScopedEnv e3("QB_FLIGHT_MS", nullptr);
+  ScopedEnv e4("QB_QLOG_DIR", nullptr);
+  ScopedEnv e5("QB_PROFILE", nullptr);
+  const RunOptions o = RunOptions::from_env();
+  EXPECT_TRUE(o.invariants);
+  EXPECT_TRUE(o.attrib);
+  EXPECT_EQ(o.flight_interval_ms, 100.0);
+  EXPECT_EQ(o.qlog_dir, "");
+  EXPECT_FALSE(o.profile);
+}
+
+TEST(RunOptions, EnvOverridesParse) {
+  ScopedEnv e1("QB_INVARIANTS", "0");
+  ScopedEnv e2("QB_ATTRIB", "0");
+  ScopedEnv e3("QB_FLIGHT_MS", "250.5");
+  ScopedEnv e4("QB_QLOG_DIR", "/tmp/qb_ro_qlog");
+  ScopedEnv e5("QB_PROFILE", "1");
+  const RunOptions o = RunOptions::from_env();
+  EXPECT_FALSE(o.invariants);
+  EXPECT_FALSE(o.attrib);
+  EXPECT_EQ(o.flight_interval_ms, 250.5);
+  EXPECT_EQ(o.qlog_dir, "/tmp/qb_ro_qlog");
+  EXPECT_TRUE(o.profile);
+}
+
+TEST(RunOptions, NonPositiveFlightIntervalDisables) {
+  ScopedEnv e("QB_FLIGHT_MS", "0");
+  EXPECT_LE(RunOptions::from_env().flight_interval_ms, 0.0);
+  ScopedEnv e2("QB_FLIGHT_MS", "-5");
+  EXPECT_LE(RunOptions::from_env().flight_interval_ms, 0.0);
+}
+
+TEST(RunOptions, SetCurrentRoutesTheInvariantSwitch) {
+  // invariants_enabled() must follow the installed options dynamically —
+  // this is the switchboard benches use instead of setenv().
+  const RunOptions saved = RunOptions::current();
+  RunOptions off = saved;
+  off.invariants = false;
+  RunOptions::set_current(off);
+  EXPECT_FALSE(invariants_enabled());
+  RunOptions on = saved;
+  on.invariants = true;
+  RunOptions::set_current(on);
+  EXPECT_TRUE(invariants_enabled());
+  RunOptions::set_current(saved);
+}
+
+} // namespace
+} // namespace quicbench::obs

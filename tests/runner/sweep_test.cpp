@@ -215,7 +215,7 @@ TEST(Sweep, ManifestReportsSchemaAndCounts) {
   std::stringstream ss;
   ss << f.rdbuf();
   const std::string body = ss.str();
-  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v5\""),
+  EXPECT_NE(body.find("\"schema\": \"quicbench.sweep.manifest/v6\""),
             std::string::npos);
   EXPECT_NE(body.find("\"finalize_sec\""), std::string::npos);
   EXPECT_NE(body.find("\"impairment\": \"none\""), std::string::npos);
@@ -321,22 +321,40 @@ TEST(Sweep, FlightRecorderEmitsQlogAndProfile) {
   sweep.add_pair(ref, ref, cfg);
   sweep.run();
 
-  // One qlog per flow per trial, each parseable and carrying phase
-  // transitions.
-  int qlogs = 0;
+  // Per flow per trial: one event qlog carrying phase transitions, one
+  // flight-recorder qlog of periodic metrics_updated samples, and one
+  // flight-recorder CSV — all parseable.
+  int qlogs = 0, flight_qlogs = 0, flight_csvs = 0;
   for (const auto& entry : std::filesystem::recursive_directory_iterator(
            sweep.qlog_dir_used())) {
+    const std::string path = entry.path().string();
+    const bool flight =
+        path.find("_flight.") != std::string::npos;
+    if (entry.path().extension() == ".csv") {
+      if (!flight) continue;
+      ++flight_csvs;
+      EXPECT_NE(slurp(path).find("t_ms,cwnd_bytes"), std::string::npos)
+          << path;
+      continue;
+    }
     if (entry.path().extension() != ".qlog") continue;
-    ++qlogs;
     std::string err;
-    const auto doc = json_parse(slurp(entry.path().string()), &err);
-    ASSERT_TRUE(doc.has_value()) << entry.path() << ": " << err;
-    EXPECT_NE(slurp(entry.path().string())
-                  .find("congestion_state_updated"),
-              std::string::npos)
-        << entry.path();
+    const auto doc = json_parse(slurp(path), &err);
+    ASSERT_TRUE(doc.has_value()) << path << ": " << err;
+    if (flight) {
+      ++flight_qlogs;
+      EXPECT_NE(slurp(path).find("metrics_updated"), std::string::npos)
+          << path;
+    } else {
+      ++qlogs;
+      EXPECT_NE(slurp(path).find("congestion_state_updated"),
+                std::string::npos)
+          << path;
+    }
   }
   EXPECT_EQ(qlogs, 2 * cfg.trials);
+  EXPECT_EQ(flight_qlogs, 2 * cfg.trials);
+  EXPECT_EQ(flight_csvs, 2 * cfg.trials);
 
   // The profile has one "trial" span per simulation executed.
   ASSERT_FALSE(sweep.profile_path().empty());
