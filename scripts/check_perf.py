@@ -14,10 +14,20 @@ baseline is checked two ways with very different strictness:
               --min-ratio (default 0.70, i.e. fail on a >30% drop) of
               the baseline on any benchmark. Wall time itself is only
               reported, never gated: CI machines vary.
+  * floors    HARD: a baseline may carry a top-level "floors" object
+              mapping benchmark name -> absolute minimum events/sec
+              (a ratchet: committed after a datapath speedup so the
+              benchmark can never drift back toward its old cost, even
+              across many baseline refreshes). Repeatable
+              --floor name=ev_per_sec flags override/extend it.
+              Floors are set well below the measured value so ordinary
+              machine variance passes; only a structural regression
+              (e.g. the batched ack path degrading to scalar work)
+              trips them.
 
 Usage:
   scripts/check_perf.py RESULT.json [--baseline bench/perf/BENCH_engine.baseline.json]
-                        [--min-ratio 0.70]
+                        [--min-ratio 0.70] [--floor trial_bbr=5.0e6]
 
 Exit status: 0 ok, 1 regression/mismatch, 2 bad input.
 """
@@ -40,7 +50,8 @@ def load(path):
         print(f"error: {path}: unexpected schema {schema!r}",
               file=sys.stderr)
         sys.exit(2)
-    return schema, {b["name"]: b for b in doc.get("benchmarks", [])}
+    return schema, {b["name"]: b for b in doc.get("benchmarks", [])}, \
+        doc.get("floors", {})
 
 
 def main():
@@ -53,10 +64,26 @@ def main():
     ap.add_argument("--min-ratio", type=float,
                     default=float(os.environ.get("QB_PERF_MIN_RATIO", 0.70)),
                     help="minimum events/sec vs baseline (default 0.70)")
+    ap.add_argument("--floor", action="append", default=[],
+                    metavar="NAME=EV_PER_SEC",
+                    help="absolute events/sec floor for one benchmark "
+                         "(hard ratchet; repeatable; overrides the "
+                         "baseline's committed floors)")
     args = ap.parse_args()
 
-    result_schema, result = load(args.result)
-    baseline_schema, baseline = load(args.baseline)
+    result_schema, result, _ = load(args.result)
+    baseline_schema, baseline, floors = load(args.baseline)
+    for spec in args.floor:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            print(f"error: bad --floor {spec!r} (want NAME=EV_PER_SEC)",
+                  file=sys.stderr)
+            return 2
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            print(f"error: bad --floor value {value!r}", file=sys.stderr)
+            return 2
     if result_schema != baseline_schema:
         print(f"error: schema mismatch: result {result_schema!r} vs "
               f"baseline {baseline_schema!r}", file=sys.stderr)
@@ -84,6 +111,17 @@ def main():
                 f"{name}: events/sec ratio {ratio:.2f} below "
                 f"{args.min_ratio:.2f} "
                 f"({run['events_per_sec']:.0f} vs {base['events_per_sec']:.0f})")
+    for name, floor in sorted(floors.items()):
+        run = result.get(name)
+        if run is None:
+            failures.append(f"{name}: floored benchmark missing from result")
+            continue
+        if run["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: events/sec {run['events_per_sec']:.0f} below hard "
+                f"floor {floor:.0f} (ratchet)")
+        else:
+            print(f"floor: {name} {run['events_per_sec']:.0f} >= {floor:.0f}")
     for name in result:
         if name not in baseline:
             print(f"note: {name} not in baseline (new benchmark, not gated)")

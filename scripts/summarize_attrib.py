@@ -15,10 +15,28 @@ Usage:
     python3 scripts/summarize_attrib.py bench_out/BENCH_attrib.json
     python3 scripts/summarize_attrib.py BENCH_attrib.json --check \
         --min-coverage 0.90
+    python3 scripts/summarize_attrib.py BENCH_attrib.json \
+        --diff bench/perf/BENCH_attrib.baseline.json
+    python3 scripts/summarize_attrib.py BENCH_attrib.json \
+        --max-share 'trial_bbr:sender.ack+sender.ack_range+sender.ack_merge+sender.loss:0.30'
 
 --check validates the schema and, with --min-coverage, fails (exit 1)
 when any trial's instrumentation explains less of its wall time than the
 threshold — the CI gate that keeps the attribution honest.
+
+--diff prints, for every trial present in both files, the per-scope
+exclusive ns/event deltas against a baseline attrib JSON. The
+normalization is per simulator event, so a QB_FAST run diffs cleanly
+against the committed full-length baseline (trial lengths differ, per-
+event costs should not); machine-speed skew still shows up as a uniform
+scale factor, so deltas are a triage log, not a gate.
+
+--max-share TRIAL:SCOPE[+SCOPE...]:FRAC (repeatable) is the gate: fail
+(exit 1) when the summed exclusive share of the named scopes in TRIAL
+exceeds FRAC. This pins structural wins — e.g. the batched ack datapath
+keeps sender.ack+sender.ack_range+sender.ack_merge+sender.loss below
+30% of a BBR trial, where the scalar path spent 45% — with a bound
+robust to machine speed (shares, not nanoseconds).
 
 Stdlib only.
 """
@@ -140,6 +158,84 @@ def print_comparison(trials, base_name):
             )
 
 
+def print_diff(trials, baseline_doc, baseline_path):
+    """Per-scope exclusive ns/event deltas: this run vs a baseline JSON."""
+    base_trials = {t["name"]: t for t in baseline_doc.get("trials", [])}
+    for t in trials:
+        base = base_trials.get(t["name"])
+        if base is None:
+            print(f"\ndiff: {t['name']}: not in baseline, skipped")
+            continue
+        t_ns, b_ns = per_event_ns(t), per_event_ns(base)
+        t_total = 1e9 * t["wall_sec"] / (float(t["events"]) or 1.0)
+        b_total = 1e9 * base["wall_sec"] / (float(base["events"]) or 1.0)
+        print(
+            f"\n== diff {t['name']} vs {baseline_path}: "
+            f"{t_total:.0f} vs {b_total:.0f} ns/event "
+            f"({t_total / b_total:.2f}x) =="
+        )
+        print(f"  {'scope':<17}{'run':>12}{'baseline':>12}{'delta':>10}"
+              "   (excl ns/event)")
+        rows = []
+        for scope in sorted(set(t_ns) | set(b_ns)):
+            if scope == "trial":
+                continue
+            a, b = t_ns.get(scope, 0.0), b_ns.get(scope, 0.0)
+            rows.append((a - b, scope, a, b))
+        rows.sort(reverse=True)
+        for delta, scope, a, b in rows:
+            tag = ""
+            if scope not in b_ns:
+                tag = "   (new scope)"
+            elif scope not in t_ns:
+                tag = "   (gone)"
+            print(f"  {scope:<17}{a:>12.1f}{b:>12.1f}{delta:>+10.1f}{tag}")
+
+
+def check_max_shares(trials, specs):
+    """Gate summed exclusive shares: TRIAL:SCOPE[+SCOPE...]:FRAC."""
+    by_name = {t["name"]: t for t in trials}
+    ok = True
+    for spec in specs:
+        parts = spec.rsplit(":", 1)
+        head = parts[0].split(":", 1)
+        if len(parts) != 2 or len(head) != 2:
+            print(f"max-share: bad spec {spec!r} "
+                  "(want TRIAL:SCOPE[+SCOPE...]:FRAC)", file=sys.stderr)
+            ok = False
+            continue
+        trial_name, scope_expr = head
+        try:
+            bound = float(parts[1])
+        except ValueError:
+            print(f"max-share: bad bound in {spec!r}", file=sys.stderr)
+            ok = False
+            continue
+        trial = by_name.get(trial_name)
+        if trial is None:
+            print(f"max-share: trial {trial_name!r} not in result",
+                  file=sys.stderr)
+            ok = False
+            continue
+        fracs = {s["scope"]: float(s.get("excl_frac", 0))
+                 for s in trial.get("scopes", [])}
+        # A scope absent from the profile costs nothing; only a typo that
+        # matches *no* recorded scope at all is an error.
+        scopes = scope_expr.split("+")
+        if not any(s in fracs for s in scopes):
+            print(f"max-share: none of {scopes} recorded in {trial_name}",
+                  file=sys.stderr)
+            ok = False
+            continue
+        share = sum(fracs.get(s, 0.0) for s in scopes)
+        verdict = "OK" if share <= bound else "FAIL"
+        print(f"max-share: {trial_name}: {scope_expr} = "
+              f"{100 * share:.1f}% (bound {100 * bound:.1f}%) {verdict}")
+        if share > bound:
+            ok = False
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("result", help="bench_out/BENCH_attrib.json")
@@ -151,6 +247,13 @@ def main():
     ap.add_argument("--min-coverage", type=float, default=None,
                     help="with --check: fail if any trial's coverage is "
                          "below this fraction (e.g. 0.90)")
+    ap.add_argument("--diff", metavar="BASELINE.json", default=None,
+                    help="print per-scope exclusive ns/event deltas "
+                         "against a baseline attrib JSON")
+    ap.add_argument("--max-share", action="append", default=[],
+                    metavar="TRIAL:SCOPE[+SCOPE...]:FRAC",
+                    help="fail if the summed exclusive share of the "
+                         "named scopes exceeds FRAC (repeatable)")
     args = ap.parse_args()
 
     doc = load(args.result)
@@ -163,6 +266,10 @@ def main():
     for t in trials:
         print_trial(t)
     print_comparison(trials, args.vs)
+    if args.diff:
+        print_diff(trials, load(args.diff), args.diff)
+    if args.max_share:
+        ok = check_max_shares(trials, args.max_share) and ok
 
     if args.check and args.min_coverage is not None:
         for t in trials:
@@ -174,7 +281,7 @@ def main():
                     file=sys.stderr,
                 )
                 ok = False
-    if args.check:
+    if args.check or args.max_share:
         print(f"\ncheck: {'OK' if ok else 'FAILED'}")
     sys.exit(0 if ok else 1)
 

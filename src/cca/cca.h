@@ -44,6 +44,15 @@ struct AckEvent {
   bool rate_valid = false;
   Rate delivery_rate = 0;
   bool rate_app_limited = false;
+
+  // Size of the same-tick ACK train this event represents. Same-tick
+  // duplicate frames coalesce without reprocessing (see
+  // SenderEndpoint::set_coalesce_same_tick_acks); the dups absorbed
+  // since the previous frame ride along on this one, so a CCA can see
+  // the duplication pressure without the transport re-walking the
+  // scoreboard. Current controllers ignore it (the train's delivery
+  // sample is by construction identical to this frame's).
+  std::int32_t train_frames = 1;
 };
 
 struct LossEvent {

@@ -280,6 +280,10 @@ ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
     auto sender = std::make_unique<transport::SenderEndpoint>(
         sim, fi, impl.profile.sender, impl.make_cca(), db.forward_in(),
         master.fork(static_cast<std::uint64_t>(10 + i)));
+    // Duplicate same-tick ACK deliveries (duplication impairment) are
+    // absorbed without reprocessing; provably a no-op, and the sender
+    // disarms itself whenever a loss-timer observer (qlog) is attached.
+    sender->set_coalesce_same_tick_acks(true);
 
     trace::QlogWriter* ql =
         i < observers.qlog.size() ? observers.qlog[i] : nullptr;

@@ -97,6 +97,23 @@ class Simulator {
 
   std::size_t pending_events() const { return pending_; }
 
+  // Whether at least one stored entry is due at the current time, i.e.
+  // the tick now() has not drained yet. O(1), non-mutating: whenever a
+  // callback is running, run_next has already activated the earliest
+  // non-empty wheel bucket, so entries due at now() can only sit in the
+  // active bucket or the fallback heap (same-tick schedules made from
+  // inside a callback land in the heap — their bucket is never ahead of
+  // the cursor). Cancelled or postponed entries are counted, like every
+  // other queue-front peek, so the answer is a conservative hint:
+  // endpoints use it to decide whether coalescing same-tick deliveries
+  // is still worth arming, and a false positive only costs a stash.
+  bool has_pending_event_at_now() const {
+    if (active_pos_ < active_.size() && active_[active_pos_].time == now_) {
+      return true;
+    }
+    return !heap_.empty() && heap_.front().time == now_;
+  }
+
   // Lifetime counters (never reset): how many events this simulator has
   // accepted (reschedules count — each replaces a cancel+schedule pair)
   // and how many callbacks actually ran (cancelled entries are skipped).

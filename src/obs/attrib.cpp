@@ -12,7 +12,9 @@ constexpr std::string_view kScopeNames[kScopeCount] = {
     "engine.wheel",    // kEngineWheel
     "engine.heap",     // kEngineHeap
     "engine.schedule", // kEngineSchedule
-    "sender.ack",      // kSenderAck
+    "sender.ack",       // kSenderAck
+    "sender.ack_range", // kSenderAckRange
+    "sender.ack_merge", // kSenderAckMerge
     "sender.loss",     // kSenderLoss
     "sender.compact",  // kSenderCompact
     "sender.send",     // kSenderSend

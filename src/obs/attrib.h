@@ -56,6 +56,8 @@ enum class Scope : std::uint8_t {
   kEngineHeap,      // fallback-heap dispatch, inclusive of fired callbacks
   kEngineSchedule,  // Simulator::schedule/reschedule inserts
   kSenderAck,       // SenderEndpoint::on_ack_frame scoreboard ACK pass
+  kSenderAckRange,  // batched range ops over the SoA arrays (child of ack)
+  kSenderAckMerge,  // step-2 straggler/spurious three-way merge (child)
   kSenderLoss,      // detect_losses time-threshold scan
   kSenderCompact,   // SentLog compaction
   kSenderSend,      // do_send_loop: packet build + egress + pacing rearm

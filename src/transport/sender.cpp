@@ -61,8 +61,15 @@ SenderEndpoint::SenderEndpoint(
       pto_timer_(sim),
       quantum_timer_(sim) {
   assert(cca_ && network_);
-  pacing_timer_.set([this] { do_send_loop(); });
+  // Every timer fire may mutate sender state, which invalidates the
+  // stashed same-tick ACK frame (the no-op proof assumes no intervening
+  // sender activity).
+  pacing_timer_.set([this] {
+    ack_stash_valid_ = false;
+    do_send_loop();
+  });
   loss_timer_.set([this] {
+    ack_stash_valid_ = false;
     if (timer_cb_) {
       timer_cb_(sim_.now(), LossTimerKind::kLossDetection,
                 LossTimerEvent::kExpired, 0);
@@ -73,6 +80,7 @@ SenderEndpoint::SenderEndpoint(
   });
   pto_timer_.set([this] { on_pto(); });
   quantum_timer_.set([this] {
+    ack_stash_valid_ = false;
     do_send_loop();
     if (started_ && !out_of_data()) maybe_send();  // keep ticking
   });
@@ -92,9 +100,80 @@ void SenderEndpoint::compact_sent_log() {
   log_.compact(sim_.now(), kSpuriousGrace);
 }
 
+namespace {
+
+// Byte-identical ACK frames are the provably-commutative coalescing
+// class: the second copy cannot resolve anything the first did not.
+bool same_ack_frame(const Packet& a, const Packet& b) {
+  if (a.pn != b.pn || a.largest_acked != b.largest_acked ||
+      a.ack_delay != b.ack_delay || a.n_ranges != b.n_ranges) {
+    return false;
+  }
+  for (int i = 0; i < a.n_ranges; ++i) {
+    const netsim::AckRange ra = a.range(i);
+    const netsim::AckRange rb = b.range(i);
+    if (ra.first != rb.first || ra.last != rb.last) return false;
+  }
+  return true;
+}
+
+} // namespace
+
 void SenderEndpoint::deliver(Packet p) {
   if (p.kind != PacketKind::kAck || p.flow != flow_) return;
+  if (coalesce_acks_) {
+    const Time now = sim_.now();
+    if (ack_stash_valid_ && ack_stash_time_ == now &&
+        same_ack_frame(ack_stash_, p)) {
+      // Same tick, same bytes, no sender activity in between: the
+      // repeat is a pure no-op (see assert_duplicate_is_noop).
+      assert_duplicate_is_noop(p);
+      ++stats_.acks_coalesced;
+      ++train_extra_;
+      return;
+    }
+    on_ack_frame(p);
+    // Stash only while the tick can still deliver a duplicate, and only
+    // when no loss-timer observer would miss its redundant re-set
+    // notification.
+    if (!timer_cb_ && sim_.has_pending_event_at_now()) {
+      ack_stash_ = p;
+      ack_stash_time_ = now;
+      ack_stash_valid_ = true;
+    } else {
+      ack_stash_valid_ = false;
+    }
+    return;
+  }
   on_ack_frame(p);
+}
+
+// Debug re-proof of the coalescing claim: a stash-identical same-tick
+// frame must not advance the ack frontier and must not cover any live
+// unresolved or outstanding-lost pn — everything below the frontier it
+// covers was already resolved by the first copy, so reprocessing would
+// ack nothing, fire no callback, and send nothing.
+void SenderEndpoint::assert_duplicate_is_noop(const Packet& dup) {
+#ifdef NDEBUG
+  (void)dup;
+#else
+  assert(any_acked_ && dup.largest_acked <= largest_acked_);
+  AckRange segs[Packet::kMaxAckRanges];
+  const int n_segs = normalize_ranges(dup, segs);
+  const auto covered = [&](std::uint64_t pn) {
+    for (int s = 0; s < n_segs; ++s) {
+      if (pn >= segs[s].first && pn <= segs[s].last) return true;
+    }
+    return false;
+  };
+  for (std::uint64_t pn = log_.unres_head(); pn != SentLog::kNone;
+       pn = log_.unres_next(pn)) {
+    assert(!covered(pn));
+  }
+  for (std::size_t i = 0; i < log_.lost_size(); ++i) {
+    assert(!covered(log_.lost_at(i)));
+  }
+#endif
 }
 
 void SenderEndpoint::on_ack_frame(const Packet& ack) {
@@ -108,6 +187,11 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
   std::uint64_t largest_newly = 0;
   bool have_newly = false;
 
+  // Scalar resolution of one pn: the reference path. Contiguous runs
+  // above the frontier go through the batched range ops below instead;
+  // stragglers and spurious acks from the step-2 merge, and any run a
+  // per-pn observer or persistent-congestion leftover disqualifies,
+  // still land here so the callback and CCA sequencing never changes.
   const auto ack_pn = [&](std::uint64_t pn) {
     if (!log_.contains(pn)) return;
     const std::size_t s = log_.slot(pn);
@@ -116,9 +200,8 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     const Bytes wire = log_.wire_size_at(s);
     if (f & kSentLost) {
       // Late ack for a packet we declared lost: spurious loss.
-      log_.add_flags_at(s, kSentAcked);
+      log_.note_spurious_ack(pn);
       ++stats_.spurious_losses;
-      log_.unlink_unresolved(pn);  // lost pns are always linked
       if (profile_.adapt_reorder_threshold &&
           reorder_threshold_ < profile_.max_packet_reorder_threshold) {
         ++reorder_threshold_;  // RACK-style reo_wnd widening
@@ -140,13 +223,44 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     if (f & kSentUnres) log_.unlink_unresolved(pn);
   };
 
-  // Marks pn as an unresolved gap if it is live (sent, neither acked nor
-  // lost yet).
-  const auto note_gap = [&](std::uint64_t pn) {
-    if (!log_.contains(pn)) return;
-    if (!(log_.flags(pn) & (kSentAcked | kSentLost))) {
-      log_.link_unresolved(pn);
+  // Batched resolution of the in-segment run [first, last] (clipped to
+  // the log): one vectorizable pass over the SoA arrays when no per-pn
+  // ack observer is installed and no lost-marked pn can sit in the run
+  // (only persistent congestion puts losses above the old frontier).
+  // Short runs — the ack-every-couple-packets steady state — take the
+  // scalar loop directly: the range op's fixed costs (clipping, the
+  // lost-set probe, the two flag passes) only pay for themselves on
+  // bursts, and ack_pn handles every per-pn case on its own.
+  constexpr std::uint64_t kAckRunCutoff = 8;
+  const auto ack_run = [&](std::uint64_t first, std::uint64_t last) {
+    first = std::max(first, log_.base_pn());
+    if (log_.next_pn() == 0) return;
+    last = std::min(last, log_.next_pn() - 1);
+    if (first > last) return;
+    if (acked_cb_ || last - first + 1 < kAckRunCutoff ||
+        log_.lost_intersects(first, last)) {
+      for (std::uint64_t pn = first; pn <= last; ++pn) ack_pn(pn);
+      return;
     }
+    QB_ATTRIB_SCOPE(kSenderAckRange);
+    const Bytes bytes = log_.ack_clean_range(first, last);
+    bytes_in_flight_ -= bytes;
+    delivered_bytes_ += bytes;
+    delivered_time_ = now;
+    newly_acked_bytes += bytes;
+    largest_newly = last;  // runs ascend within a frame
+    have_newly = true;
+  };
+
+  // Batched gap-noting for [first, last] (clipped to the log): every pn
+  // above the frontier is either live (tail-append link) or a
+  // persistent-congestion leftover (skipped), matching note_gap.
+  const auto gap_run = [&](std::uint64_t first, std::uint64_t last) {
+    first = std::max(first, log_.base_pn());
+    if (log_.next_pn() == 0) return;
+    last = std::min(last, log_.next_pn() - 1);
+    if (first > last) return;
+    log_.link_gap_run(first, last);
   };
 
   // 1. Walk the window of pns this frame may newly resolve, segment by
@@ -160,27 +274,63 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     for (int s = 0; s < n_segs && pn <= ack.largest_acked; ++s) {
       if (segs[s].last < pn) continue;
       const std::uint64_t seg_first = std::max(segs[s].first, pn);
-      for (; pn < seg_first && pn <= ack.largest_acked; ++pn) note_gap(pn);
+      if (pn < seg_first) {
+        gap_run(pn, std::min(seg_first - 1, ack.largest_acked));
+        pn = seg_first;
+      }
+      if (pn > ack.largest_acked) break;
       const std::uint64_t seg_last = std::min(segs[s].last, ack.largest_acked);
-      for (; pn <= seg_last; ++pn) ack_pn(pn);
+      ack_run(pn, seg_last);
+      pn = seg_last + 1;
     }
-    for (; pn <= ack.largest_acked; ++pn) note_gap(pn);
+    if (pn <= ack.largest_acked) gap_run(pn, ack.largest_acked);
     largest_acked_ = ack.largest_acked;
     any_acked_ = true;
   }
 
-  // 2. Revisit old gaps: stragglers and spurious losses. Both the
-  // unresolved list and the segments ascend, so one merge-style pass
-  // finds every covered pn; the walk stops as soon as the segments are
-  // exhausted. The next link is read before ack_pn, which may unlink pn.
-  {
-    int s = 0;
+  // 2. Revisit old gaps and graced losses: stragglers and spurious
+  // acks. Segment-driven: the live unresolved list (short — gaps turn
+  // into losses within a reorder window) is walked with a cursor, and
+  // the lost set (large under loss-heavy CCAs: everything inside the
+  // spurious grace window) is entered by one binary search at the
+  // frame's span start, so the lost entries below every segment — the
+  // bulk of the set — are never visited. Hits inside one segment are
+  // merged by pn, which — segments ascending, both sets ascending —
+  // reproduces exactly the globally ascending resolution order of a
+  // full-list walk. The next link is read before ack_pn, which may
+  // unlink pn; a spurious ack erases the lost entry in place, so index
+  // li then already names its successor.
+  if (log_.unres_head() != SentLog::kNone || !log_.lost_empty()) {
+    QB_ATTRIB_SCOPE(kSenderAckMerge);
     std::uint64_t pn = log_.unres_head();
-    while (pn != SentLog::kNone && s < n_segs) {
-      const std::uint64_t next = log_.unres_next(pn);
-      while (s < n_segs && segs[s].last < pn) ++s;
-      if (s < n_segs && pn >= segs[s].first) ack_pn(pn);
-      pn = next;
+    // One binary search per frame positions the lost cursor at the first
+    // entry the frame's span can cover; segments ascend, so from there
+    // both cursors only ever step forward.
+    std::size_t li =
+        log_.lost_empty() ? 0 : log_.lost_lower_bound(segs[0].first);
+    for (int s = 0; s < n_segs; ++s) {
+      if (pn == SentLog::kNone && li >= log_.lost_size()) break;
+      while (pn != SentLog::kNone && pn < segs[s].first) {
+        pn = log_.unres_next(pn);
+      }
+      while (li < log_.lost_size() && log_.lost_at(li) < segs[s].first) {
+        ++li;
+      }
+      for (;;) {
+        const bool live_in = pn != SentLog::kNone && pn <= segs[s].last;
+        const bool lost_in =
+            li < log_.lost_size() && log_.lost_at(li) <= segs[s].last;
+        if (!live_in && !lost_in) break;
+        if (live_in && (!lost_in || pn < log_.lost_at(li))) {
+          const std::uint64_t next = log_.unres_next(pn);
+          ack_pn(pn);
+          pn = next;
+        } else {
+          const std::size_t before = log_.lost_size();
+          ack_pn(log_.lost_at(li));  // spurious ack: erases entry li
+          if (log_.lost_size() == before) ++li;  // not erased: step over
+        }
+      }
     }
   }
 
@@ -203,6 +353,10 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     ev.largest_newly_acked = largest_newly;
     ev.largest_newly_acked_sent_time = log_.sent_time(largest_newly);
     ev.largest_sent_pn = log_.next_pn() == 0 ? 0 : log_.next_pn() - 1;
+    ev.train_frames = 1 + train_extra_;
+    // The cold arrays are only touched here, after the frame is known
+    // to have newly acked something: pure-duplicate frames resolve
+    // nothing above and never reach this load.
     const SentCold& cold = log_.cold(largest_newly);
     const Time interval = now - cold.delivered_time_at_send;
     if (interval > 0) {
@@ -219,6 +373,7 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
     pto_count_ = 0;
     arm_pto();
   }
+  train_extra_ = 0;
 
   detect_losses();
   compact_sent_log();
@@ -255,30 +410,49 @@ void SenderEndpoint::detect_losses() {
   const Time now = sim_.now();
   const Time threshold = loss_time_threshold();
 
+  // Lazy scan: the walk below stops at the first live entry failing
+  // both thresholds, so its entire outcome is a pure function of the
+  // list head and these four inputs. While none of them move and the
+  // armed deadline has not arrived, the scan would terminate at the
+  // same head entry having declared nothing — skip it and replay the
+  // identical timer tail (the rearm is an in-place no-op and the
+  // observer, if any, sees the same redundant set notification the
+  // full scan would have emitted).
+  if (loss_scan_valid_ && log_.unres_head() == loss_scan_head_ &&
+      largest_acked_ == loss_scan_largest_ &&
+      threshold == loss_scan_threshold_ &&
+      reorder_threshold_ == loss_scan_reorder_ && now < loss_scan_next_) {
+    if (loss_scan_next_ != time::kInfinite) {
+      loss_timer_.rearm(loss_scan_next_);
+      if (timer_cb_) {
+        timer_cb_(now, LossTimerKind::kLossDetection, LossTimerEvent::kSet,
+                  loss_scan_next_);
+      }
+    }
+    return;
+  }
+
   Bytes lost_bytes = 0;
   std::uint64_t largest_lost = 0;
   Time largest_lost_sent = 0;
   Time next_loss_time = time::kInfinite;
 
-  // The unresolved list ascends in pn and therefore in sent_time, so
-  // both loss thresholds are monotone along the walk: the first live
-  // entry that fails both is the earliest future loss, and every entry
-  // after it fails both too — stop there.
+  // The unresolved list holds only live gaps and ascends in pn and
+  // therefore in sent_time, so both loss thresholds are monotone along
+  // the walk: the first entry that fails both is the earliest future
+  // loss, and every entry after it fails both too — stop there.
   std::uint64_t pn = log_.unres_head();
   while (pn != SentLog::kNone) {
     const std::size_t s = log_.slot(pn);
     const std::uint64_t nxt = log_.next_at(s);
-    if (log_.flags_at(s) & (kSentAcked | kSentLost)) {
-      pn = nxt;
-      continue;
-    }
+    assert(!(log_.flags_at(s) & (kSentAcked | kSentLost)));
     if (pn >= largest_acked_) break;  // ascending: nothing below remains
     const Time sent = log_.sent_time_at(s);
     const bool pkt_thresh =
         largest_acked_ >= pn + static_cast<std::uint64_t>(reorder_threshold_);
     const bool time_thresh = sent + threshold <= now;
     if (pkt_thresh || time_thresh) {
-      log_.add_flags_at(s, kSentLost);  // stays on the unresolved list
+      log_.mark_lost(pn);  // unlinks; parks in the lost set for grace
       const Bytes wire = log_.wire_size_at(s);
       bytes_in_flight_ -= wire;
       lost_bytes += wire;
@@ -326,6 +500,13 @@ void SenderEndpoint::detect_losses() {
                 0);
     }
   }
+
+  loss_scan_valid_ = true;
+  loss_scan_head_ = log_.unres_head();
+  loss_scan_largest_ = largest_acked_;
+  loss_scan_threshold_ = threshold;
+  loss_scan_reorder_ = reorder_threshold_;
+  loss_scan_next_ = next_loss_time;
 }
 
 void SenderEndpoint::arm_pto() {
@@ -347,6 +528,7 @@ void SenderEndpoint::arm_pto() {
 }
 
 void SenderEndpoint::on_pto() {
+  ack_stash_valid_ = false;
   ++stats_.ptos_fired;
   ++pto_count_;
   if (timer_cb_) {
@@ -367,12 +549,11 @@ void SenderEndpoint::declare_persistent_congestion() {
   Time largest_lost_sent = 0;
   for (std::uint64_t pn = log_.base_pn(); pn < log_.next_pn(); ++pn) {
     if (log_.flags(pn) & (kSentAcked | kSentLost)) continue;
-    log_.add_flags(pn, kSentLost);
+    log_.mark_lost(pn);
     const Bytes wire = log_.wire_size(pn);
     bytes_in_flight_ -= wire;
     lost_bytes += wire;
     pending_retx_bytes_ += profile_.mss;
-    log_.link_unresolved(pn);
     if (lost_cb_) lost_cb_(now, pn);
     largest_lost = pn;
     largest_lost_sent = log_.sent_time(pn);

@@ -36,6 +36,10 @@ struct SenderStats {
   std::int64_t spurious_losses = 0;
   std::int64_t ptos_fired = 0;
   std::int64_t persistent_congestion_events = 0;
+  // Same-tick duplicate ACK frames absorbed without reprocessing (only
+  // moves when same-tick coalescing is opted in; see
+  // set_coalesce_same_tick_acks).
+  std::int64_t acks_coalesced = 0;
 };
 
 class SenderEndpoint : public netsim::PacketSink {
@@ -60,6 +64,19 @@ class SenderEndpoint : public netsim::PacketSink {
 
   // ACK arrival from the network.
   void deliver(netsim::Packet p) override;
+
+  // Opt-in same-tick ACK coalescing: when the network delivers the same
+  // ACK frame again at the same simulation time with no intervening
+  // sender activity (duplication impairment does exactly this), the
+  // repeat is provably a no-op — everything it covers was resolved by
+  // the first copy — so it is absorbed without re-walking the
+  // scoreboard. Only byte-identical frames coalesce, the decision is a
+  // pure function of simulator state (deterministic), and a debug
+  // assert re-proves the no-op claim on every skip. Disabled whenever a
+  // loss-timer observer is installed: reprocessing a duplicate re-emits
+  // a (redundant) timer-set notification that qlog traces record, and
+  // coalescing must not change any observer's byte stream.
+  void set_coalesce_same_tick_acks(bool on) { coalesce_acks_ = on; }
 
   // Observability hooks for the trace module.
   using RttCallback = util::InlineFn<void(Time now, Time rtt)>;
@@ -118,11 +135,15 @@ class SenderEndpoint : public netsim::PacketSink {
   const ScoreboardCounters& scoreboard_counters() const {
     return log_.counters();
   }
+  // Read-only scoreboard view (equivalence tests compare per-pn flags
+  // between the batched and scalar ack paths).
+  const SentLog& sent_log() const { return log_; }
 
  private:
   void compact_sent_log();
 
   void on_ack_frame(const netsim::Packet& ack);
+  void assert_duplicate_is_noop(const netsim::Packet& dup);
   void detect_losses();
   void arm_loss_timer();
   void arm_pto();
@@ -154,11 +175,33 @@ class SenderEndpoint : public netsim::PacketSink {
   Bytes data_limit_ = 0;      // <= 0: unbounded stream
   Bytes new_data_bytes_ = 0;  // payload bytes of new (non-retx) data sent
   // Packet scoreboard: SoA metadata ring plus the intrusive unresolved
-  // list (unacked or lost-but-within-grace pns below the largest
-  // processed ack), kept small so per-ack work stays O(gaps).
+  // list of live gaps below the largest processed ack; lost-but-within-
+  // grace pns sit in the log's sorted lost set instead, so per-ack work
+  // stays O(live gaps + covered losses).
   SentLog log_;
   std::uint64_t largest_acked_ = 0;
   bool any_acked_ = false;
+
+  // Loss-scan cache (lazy detect_losses): a full scan stops at the
+  // first live entry failing both thresholds, so its outcome is a pure
+  // function of these five inputs. While none move and the armed
+  // deadline has not arrived, the scan is skipped and the timer tail
+  // replayed verbatim.
+  bool loss_scan_valid_ = false;
+  std::uint64_t loss_scan_head_ = 0;
+  std::uint64_t loss_scan_largest_ = 0;
+  Time loss_scan_threshold_ = 0;
+  int loss_scan_reorder_ = 0;
+  Time loss_scan_next_ = 0;
+
+  // Same-tick ACK coalescing (see set_coalesce_same_tick_acks): the
+  // last processed frame is stashed while more events are due at the
+  // current tick; any sender-side activity in between invalidates it.
+  bool coalesce_acks_ = false;
+  bool ack_stash_valid_ = false;
+  Time ack_stash_time_ = 0;
+  netsim::Packet ack_stash_;
+  std::int32_t train_extra_ = 0;  // coalesced dups reported on next AckEvent
 
   Bytes bytes_in_flight_ = 0;
   Bytes delivered_bytes_ = 0;

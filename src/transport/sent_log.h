@@ -18,12 +18,28 @@
 // iteration for loss detection — with no rb-tree nodes to allocate,
 // rebalance, or miss cache on.
 //
+// The unresolved list holds only LIVE gaps (sent, neither acked nor
+// lost). Lost-marked packets move to `lost_`, a sorted vector of pns
+// kept for the spurious-ack grace window: they no longer ride along in
+// every ACK-frame merge walk and loss scan (under loss-heavy CCAs like
+// BBR, thousands of graced lost entries used to dominate both), and the
+// spurious-ack check becomes a binary search per ACK segment. Losses
+// are declared in ascending pn order on every path (the loss scan takes
+// a prefix of the ascending live list; persistent congestion drains it
+// entirely, and later flights use strictly larger pns), so the append
+// is O(1) with a rare sorted-insert fallback.
+//
+// Contiguous ACK segments resolve through range operations
+// (`ack_clean_range`, `link_gap_run`): tight loops over the SoA arrays
+// that the compiler can vectorize, replacing per-pn lambda dispatch.
+//
 // Storage follows util::FifoVec's compaction policy: pop_front advances
 // a head index; the buffer is recycled outright when the log drains and
 // the dead prefix is erased once it dominates, so total compaction work
 // is O(packets pushed) regardless of how many ACK frames arrive
 // (ScoreboardCounters make that testable).
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -113,7 +129,106 @@ class SentLog {
   std::uint32_t wire_size_at(std::size_t s) const { return wire_size_[s]; }
   std::uint64_t next_at(std::size_t s) const { return next_[s]; }
 
-  // --- unresolved list (ascending pn order) ---
+  // --- range operations (batched ACK processing) ---
+
+  // Bulk-acks the in-log pn run [first, last] and returns its summed
+  // wire bytes. Caller guarantees every pn in the run is clean: sent but
+  // neither acked, lost, nor linked as unresolved (true for any segment
+  // above the previous ack frontier unless persistent congestion marked
+  // packets there — the caller falls back to the scalar path then).
+  // Split into two passes over the SoA arrays so both vectorize.
+  Bytes ack_clean_range(std::uint64_t first, std::uint64_t last) {
+    const std::size_t a = idx(first);
+    const std::size_t b = idx(last);
+    Bytes sum = 0;
+    for (std::size_t s = a; s <= b; ++s) {
+      assert(!(flags_[s] & (kSentAcked | kSentLost | kSentUnres)));
+      sum += wire_size_[s];
+    }
+    for (std::size_t s = a; s <= b; ++s) flags_[s] |= kSentAcked;
+    return sum;
+  }
+
+  // Bulk gap-noting for the in-log pn run [first, last]: links every
+  // live pn as unresolved. The run sits above the previous ack frontier,
+  // so every linkable pn exceeds the current list tail and inserts are
+  // pure tail appends; persistent-congestion leftovers carry kSentLost
+  // and are skipped, exactly like the scalar note_gap path.
+  void link_gap_run(std::uint64_t first, std::uint64_t last) {
+    for (std::uint64_t pn = first; pn <= last; ++pn) {
+      const std::size_t i = idx(pn);
+      const std::uint8_t f = flags_[i];
+      if (f & (kSentAcked | kSentLost)) continue;
+      assert(!(f & kSentUnres));
+      assert(unres_tail_ == kNone || unres_tail_ < pn);
+      ++counters_.link_inserts;
+      flags_[i] = f | kSentUnres;
+      next_[i] = kNone;
+      prev_[i] = unres_tail_;
+      if (unres_tail_ == kNone) {
+        unres_head_ = pn;
+      } else {
+        next_[idx(unres_tail_)] = pn;
+      }
+      unres_tail_ = pn;
+    }
+  }
+
+  // --- lost set (outstanding lost-marked pns, ascending) ---
+
+  // Declares pn lost: unlinks it from the live unresolved list and
+  // parks it in the lost set for the spurious-ack grace window.
+  void mark_lost(std::uint64_t pn) {
+    const std::size_t i = idx(pn);
+    assert(!(flags_[i] & (kSentAcked | kSentLost)));
+    if (flags_[i] & kSentUnres) unlink_unresolved(pn);
+    flags_[idx(pn)] |= kSentLost;
+    if (lost_.empty() || lost_.back() < pn) {
+      lost_.push_back(pn);
+    } else {
+      // Persistent congestion can interleave new losses below earlier
+      // ones; rare enough that a sorted insert is fine.
+      lost_.insert(
+          std::upper_bound(lost_.begin() +
+                               static_cast<std::ptrdiff_t>(lost_head_),
+                           lost_.end(), pn),
+          pn);
+    }
+  }
+
+  // Records a late ack for a lost-marked pn (spurious loss): the pn
+  // gains kSentAcked and leaves the lost set, so neither ACK merges nor
+  // compaction grace checks ever revisit it.
+  void note_spurious_ack(std::uint64_t pn) {
+    assert((flags(pn) & (kSentAcked | kSentLost)) == kSentLost);
+    add_flags(pn, kSentAcked);
+    const auto it = std::lower_bound(
+        lost_.begin() + static_cast<std::ptrdiff_t>(lost_head_), lost_.end(),
+        pn);
+    assert(it != lost_.end() && *it == pn);
+    lost_.erase(it);
+  }
+
+  bool lost_empty() const { return lost_head_ == lost_.size(); }
+  std::size_t lost_size() const { return lost_.size() - lost_head_; }
+  // i-th outstanding lost pn (ascending). Stable under note_spurious_ack
+  // of the element at i: the successor slides into its place.
+  std::uint64_t lost_at(std::size_t i) const { return lost_[lost_head_ + i]; }
+  // Largest outstanding lost pn; callers must check lost_empty() first.
+  std::uint64_t max_lost_pn() const { return lost_.back(); }
+  // Index (for lost_at) of the first outstanding lost pn >= pn.
+  std::size_t lost_lower_bound(std::uint64_t pn) const {
+    const auto begin = lost_.begin() + static_cast<std::ptrdiff_t>(lost_head_);
+    return static_cast<std::size_t>(
+        std::lower_bound(begin, lost_.end(), pn) - begin);
+  }
+  // Whether any outstanding lost pn falls inside [first, last].
+  bool lost_intersects(std::uint64_t first, std::uint64_t last) const {
+    const std::size_t i = lost_lower_bound(first);
+    return i < lost_size() && lost_[lost_head_ + i] <= last;
+  }
+
+  // --- unresolved list (live gaps only, ascending pn order) ---
 
   std::uint64_t unres_head() const { return unres_head_; }
   std::uint64_t unres_next(std::uint64_t pn) const { return next_[idx(pn)]; }
@@ -177,11 +292,24 @@ class SentLog {
       if (f & kSentAcked) {
         pop_front();
       } else if ((f & kSentLost) && sent_time_[head_] + grace < now) {
-        unlink_unresolved(base_pn_);
         pop_front();
       } else {
         break;
       }
+    }
+    // Retire lost-set entries that fell off the ring (graced lost pops
+    // above; spurious-acked pns were erased at ack time).
+    while (lost_head_ < lost_.size() && lost_[lost_head_] < base_pn_) {
+      ++lost_head_;
+    }
+    if (lost_head_ == lost_.size()) {
+      lost_.clear();
+      lost_head_ = 0;
+    } else if (lost_head_ >= kCompactThreshold &&
+               lost_head_ >= lost_.size() - lost_head_) {
+      lost_.erase(lost_.begin(),
+                  lost_.begin() + static_cast<std::ptrdiff_t>(lost_head_));
+      lost_head_ = 0;
     }
     if (head_ == flags_.size()) {
       // Capacity retained: the common drain-to-empty case.
@@ -238,6 +366,12 @@ class SentLog {
   std::uint64_t next_pn_ = 0;
   std::uint64_t unres_head_ = kNone;
   std::uint64_t unres_tail_ = kNone;
+
+  // Outstanding lost-marked pns awaiting the spurious-ack grace window,
+  // ascending; lost_head_ is the retired prefix (same compaction policy
+  // as the ring).
+  std::vector<std::uint64_t> lost_;
+  std::size_t lost_head_ = 0;
 
   ScoreboardCounters counters_;
 };

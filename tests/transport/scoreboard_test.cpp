@@ -79,14 +79,90 @@ TEST(SentLogScoreboard, CompactRetiresGracedLostEntries) {
   SentLog log;
   log.push(time::ms(0), 1500, false, 0, 0);  // pn 0: lost, grace expires
   log.push(time::ms(0), 1500, false, 0, 0);  // pn 1: still unresolved
-  log.add_flags(0, kSentLost);
   log.link_unresolved(0);
   log.link_unresolved(1);
+  log.mark_lost(0);  // unlinks from the live list, parks in the lost set
+  EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{1}));
+  ASSERT_EQ(log.lost_size(), 1u);
+  EXPECT_EQ(log.lost_at(0), 0u);
   log.compact(time::ms(1), time::sec(2));
   EXPECT_EQ(log.base_pn(), 0u) << "grace period not yet over";
+  EXPECT_EQ(log.lost_size(), 1u);
   log.compact(time::sec(3), time::sec(2));
   EXPECT_EQ(log.base_pn(), 1u);
+  EXPECT_TRUE(log.lost_empty()) << "graced lost pn left the lost set";
   EXPECT_EQ(unresolved_pns(log), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(SentLogScoreboard, SpuriousAckLeavesLostSet) {
+  SentLog log;
+  for (int i = 0; i < 4; ++i) log.push(time::ms(i), 1500, false, 0, 0);
+  log.link_unresolved(1);
+  log.link_unresolved(2);
+  log.mark_lost(1);
+  log.mark_lost(2);
+  ASSERT_EQ(log.lost_size(), 2u);
+  log.note_spurious_ack(1);
+  ASSERT_EQ(log.lost_size(), 1u);
+  EXPECT_EQ(log.lost_at(0), 2u);
+  EXPECT_EQ(log.flags(1) & (kSentAcked | kSentLost), kSentAcked | kSentLost);
+  // The spurious-acked pn retires through the acked branch; the graced
+  // one through the lost branch. Both leave the ring and the lost set.
+  log.push(time::sec(10), 1500, false, 0, 0);
+  log.add_flags(0, kSentAcked);
+  log.add_flags(3, kSentAcked);
+  log.compact(time::sec(10), time::sec(2));
+  EXPECT_EQ(log.base_pn(), 4u);
+  EXPECT_TRUE(log.lost_empty());
+}
+
+TEST(SentLogScoreboard, MarkLostKeepsLostSetSortedUnderInterleave) {
+  // Persistent congestion can declare losses below an earlier loss;
+  // the sorted-insert fallback must keep the set ascending.
+  SentLog log;
+  for (int i = 0; i < 6; ++i) log.push(time::ms(i), 1500, false, 0, 0);
+  log.mark_lost(2);
+  log.mark_lost(4);
+  log.mark_lost(1);  // below both: sorted insert
+  log.mark_lost(5);  // above all: append
+  ASSERT_EQ(log.lost_size(), 4u);
+  EXPECT_EQ(log.lost_at(0), 1u);
+  EXPECT_EQ(log.lost_at(1), 2u);
+  EXPECT_EQ(log.lost_at(2), 4u);
+  EXPECT_EQ(log.lost_at(3), 5u);
+  EXPECT_EQ(log.max_lost_pn(), 5u);
+}
+
+TEST(SentLogScoreboard, RangeOpsMatchScalarResolution) {
+  // ack_clean_range/link_gap_run over a window == per-pn flags/link
+  // calls: summed bytes, flags, and the live list all agree.
+  SentLog a;
+  SentLog b;
+  for (int i = 0; i < 32; ++i) {
+    a.push(time::ms(i), 1200 + i, false, 0, 0);
+    b.push(time::ms(i), 1200 + i, false, 0, 0);
+  }
+  // Segment [8, 19] acked, [4, 7] and [20, 23] noted as gaps.
+  Bytes scalar_sum = 0;
+  for (std::uint64_t pn = 8; pn <= 19; ++pn) {
+    scalar_sum += a.wire_size(pn);
+    a.add_flags(pn, kSentAcked);
+  }
+  for (std::uint64_t pn = 4; pn <= 7; ++pn) a.link_unresolved(pn);
+  for (std::uint64_t pn = 20; pn <= 23; ++pn) a.link_unresolved(pn);
+
+  b.link_gap_run(4, 7);
+  const Bytes batched_sum = b.ack_clean_range(8, 19);
+  b.link_gap_run(20, 23);
+
+  EXPECT_EQ(batched_sum, scalar_sum);
+  for (std::uint64_t pn = 0; pn < 32; ++pn) {
+    EXPECT_EQ(a.flags(pn) & ~kSentUnres, b.flags(pn) & ~kSentUnres) << pn;
+  }
+  EXPECT_EQ(unresolved_pns(b),
+            (std::vector<std::uint64_t>{4, 5, 6, 7, 20, 21, 22, 23}));
+  EXPECT_EQ(a.counters().link_inserts, b.counters().link_inserts);
+  EXPECT_EQ(a.counters().link_walk_steps, b.counters().link_walk_steps);
 }
 
 TEST(SentLogScoreboard, CompactionWorkBoundedByPushes) {
