@@ -68,6 +68,9 @@ int main() {
   const std::vector<const stacks::Implementation*> tests{
       reg.find("quiche", stacks::CcaType::kCubic),
       reg.find("mvfst", stacks::CcaType::kBbr),
+      // The most deviant BBRv2 profile (no cruise headroom, 5% loss
+      // threshold): does its 1-vs-1 score survive a crowd?
+      reg.find("xquic", stacks::CcaType::kBbr2),
   };
   std::vector<int> ks{1, 4, 16, 64, 256};
   if (fast_mode()) ks = {1, 4, 16};

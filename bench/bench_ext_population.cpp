@@ -1,0 +1,77 @@
+// Extension: the Figure 6 conformance matrix re-run over the ENLARGED
+// CCA population — BBRv2 and CUBIC+RACK-TLP rows alongside the original
+// CUBIC/BBR/Reno columns. A separate binary from bench_fig06 so the
+// committed fig06 artifact stays bit-identical; the sweep here covers
+// every non-reference (stack, CCA) cell at 1 BDP and 5 BDP against its
+// kernel reference.
+//
+// Expected shape: the documented BBRv2 deviations separate cleanly —
+// mvfst's 1.2x pacing scale and xquic's headroom-0 / 5% loss-threshold
+// profile land as low-conformance cells while chromium bbr2 tracks the
+// reference; cubic-rack stays conformant with plain cubic rows (RACK
+// changes loss detection timing, not the control law).
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace quicbench;
+using namespace quicbench::bench;
+
+int main() {
+  const auto& reg = stacks::Registry::instance();
+  const std::vector<stacks::CcaType> ccas{
+      stacks::CcaType::kCubic, stacks::CcaType::kBbr, stacks::CcaType::kReno,
+      stacks::CcaType::kBbr2, stacks::CcaType::kCubicRack};
+
+  struct Cell {
+    const stacks::Implementation* impl;
+    double buffer_bdp;
+    runner::CellId id = -1;
+  };
+  std::vector<Cell> cells;
+  for (const double buf : {5.0, 1.0}) {
+    for (const auto cca : ccas) {
+      for (const auto* impl : reg.with_cca(cca, /*include_reference=*/false)) {
+        cells.push_back({impl, buf});
+      }
+    }
+  }
+
+  runner::Sweep sweep("ext_population");
+  for (auto& cell : cells) {
+    cell.id = sweep.add_conformance(*cell.impl, reg.reference(cell.impl->cca),
+                                    default_config(cell.buffer_bdp));
+  }
+  sweep.run();
+
+  CsvWriter csv(csv_path("ext_population"),
+                {"stack", "cca", "buffer_bdp", "conformance"});
+  for (const double buf : {5.0, 1.0}) {
+    std::vector<std::string> row_labels;
+    std::vector<std::vector<double>> values;
+    for (const auto cca : ccas) {
+      for (const auto* impl : reg.with_cca(cca, false)) {
+        double conf = -1;
+        for (const auto& cell : cells) {
+          if (cell.impl == impl && cell.buffer_bdp == buf) {
+            conf = sweep.conformance_result(cell.id).conformance;
+          }
+        }
+        row_labels.push_back(impl->display);
+        values.push_back({conf});
+        csv.row(std::vector<std::string>{impl->stack,
+                                         stacks::to_string(cca),
+                                         fmt(buf, 1), fmt(conf, 4)});
+      }
+    }
+    std::cout << harness::render_heatmap(
+        "Population conformance, " + fmt(buf, 1) +
+            " BDP buffer (10 ms RTT, 20 Mbps; incl. bbr2 + cubic-rack)",
+        row_labels, {"conf"}, values);
+    std::cout << '\n';
+  }
+  std::cout << "CSV: " << csv.path() << "\n";
+  std::cout << "manifest: " << sweep.write_manifest() << "\n";
+  return 0;
+}

@@ -176,6 +176,8 @@ int main() {
   trials.push_back(
       run_attributed_trial("trial_cubic", stacks::CcaType::kCubic));
   trials.push_back(run_attributed_trial("trial_bbr", stacks::CcaType::kBbr));
+  trials.push_back(
+      run_attributed_trial("trial_bbr2", stacks::CcaType::kBbr2));
 
   std::printf("bench_attrib: hot-path cycle attribution (%s)\n",
               std::string(obs::attrib::timer_kind()).c_str());

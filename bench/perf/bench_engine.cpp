@@ -162,6 +162,7 @@ int main() {
   results.push_back(
       run_canonical_trial("trial_cubic", stacks::CcaType::kCubic));
   results.push_back(run_canonical_trial("trial_bbr", stacks::CcaType::kBbr));
+  results.push_back(run_canonical_trial("trial_bbr2", stacks::CcaType::kBbr2));
 
   benchutil::print_table("Event-engine microbenchmarks", results);
 

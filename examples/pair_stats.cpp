@@ -16,9 +16,7 @@ using namespace quicbench;
 namespace {
 
 stacks::CcaType parse_cca(const std::string& s) {
-  if (s == "cubic") return stacks::CcaType::kCubic;
-  if (s == "bbr") return stacks::CcaType::kBbr;
-  if (s == "reno") return stacks::CcaType::kReno;
+  if (const auto t = stacks::parse_cca(s); t.has_value()) return *t;
   std::cerr << "unknown cca " << s << "\n";
   std::exit(1);
 }

@@ -25,9 +25,13 @@ int main(int argc, char** argv) {
   const std::string out = argc > 3 ? argv[3] : "flow.qlog";
   const int secs = argc > 4 ? std::atoi(argv[4]) : 20;
 
-  stacks::CcaType type = stacks::CcaType::kCubic;
-  if (cca_name == "bbr") type = stacks::CcaType::kBbr;
-  else if (cca_name == "reno") type = stacks::CcaType::kReno;
+  const auto parsed = stacks::parse_cca(cca_name);
+  if (!parsed.has_value()) {
+    std::cerr << "unknown CCA '" << cca_name
+              << "' (cubic|bbr|reno|bbr2|cubic-rack)\n";
+    return 1;
+  }
+  const stacks::CcaType type = *parsed;
 
   const auto& reg = stacks::Registry::instance();
   const auto* impl = reg.find(stack, type);

@@ -41,10 +41,7 @@ struct Options {
 };
 
 std::optional<stacks::CcaType> parse_cca(const std::string& s) {
-  if (s == "cubic") return stacks::CcaType::kCubic;
-  if (s == "bbr") return stacks::CcaType::kBbr;
-  if (s == "reno") return stacks::CcaType::kReno;
-  return std::nullopt;
+  return stacks::parse_cca(s);
 }
 
 Options parse_options(const std::vector<std::string>& args,

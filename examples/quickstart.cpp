@@ -21,17 +21,13 @@ int main(int argc, char** argv) {
   const int duration_sec = argc > 4 ? std::atoi(argv[4]) : 60;
   const int trials = argc > 5 ? std::atoi(argv[5]) : 5;
 
-  stacks::CcaType type;
-  if (cca_name == "cubic") {
-    type = stacks::CcaType::kCubic;
-  } else if (cca_name == "bbr") {
-    type = stacks::CcaType::kBbr;
-  } else if (cca_name == "reno") {
-    type = stacks::CcaType::kReno;
-  } else {
-    std::cerr << "unknown CCA '" << cca_name << "' (cubic|bbr|reno)\n";
+  const auto parsed = stacks::parse_cca(cca_name);
+  if (!parsed.has_value()) {
+    std::cerr << "unknown CCA '" << cca_name
+              << "' (cubic|bbr|reno|bbr2|cubic-rack)\n";
     return 1;
   }
+  const stacks::CcaType type = *parsed;
 
   const auto& registry = stacks::Registry::instance();
   // "fixed:<stack>" selects the Table 4 fixed variant.

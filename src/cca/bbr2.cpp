@@ -1,0 +1,332 @@
+#include "cca/bbr2.h"
+
+#include <algorithm>
+
+namespace quicbench::cca {
+
+Bbr2::Bbr2(Bbr2Config cfg)
+    : cfg_(cfg),
+      pacing_gain_(cfg.startup_pacing_gain),
+      cwnd_gain_(cfg.startup_cwnd_gain),
+      max_bw_filter_(cfg.bw_filter_window_cycles),
+      cwnd_(cfg.mss * cfg.initial_cwnd_packets) {}
+
+Rate Bbr2::max_bw() const {
+  return max_bw_filter_.empty() ? 0.0 : max_bw_filter_.get();
+}
+
+Rate Bbr2::bw() const {
+  const Rate mb = max_bw();
+  return bw_lo_ > 0 ? std::min(mb, bw_lo_) : mb;
+}
+
+std::string_view Bbr2::phase() const {
+  switch (mode_) {
+    case Mode::kStartup: return "startup";
+    case Mode::kDrain: return "drain";
+    case Mode::kProbeRtt: return "probe_rtt";
+    case Mode::kProbeBw: break;
+  }
+  switch (cycle_) {
+    case CyclePhase::kDown: return "probe_bw_down";
+    case CyclePhase::kCruise: return "probe_bw_cruise";
+    case CyclePhase::kRefill: return "probe_bw_refill";
+    case CyclePhase::kUp: break;
+  }
+  return "probe_bw_up";
+}
+
+Bytes Bbr2::bdp_bytes_est(double gain) const {
+  if (max_bw_filter_.empty() || rt_prop_ == time::kInfinite) {
+    return cfg_.mss * cfg_.initial_cwnd_packets;
+  }
+  const double bdp = bw() / 8.0 * time::to_sec(rt_prop_);
+  return static_cast<Bytes>(gain * bdp);
+}
+
+Bytes Bbr2::inflight_with_headroom() const {
+  if (inflight_hi_ == kInfBytes) return bdp_bytes_est(1.0);
+  const Bytes headroom =
+      static_cast<Bytes>(cfg_.inflight_headroom *
+                         static_cast<double>(inflight_hi_));
+  return std::max(inflight_hi_ - headroom, min_cwnd_bytes());
+}
+
+Bytes Bbr2::probe_rtt_cwnd() const {
+  return std::max(bdp_bytes_est(cfg_.probe_rtt_cwnd_gain), min_cwnd_bytes());
+}
+
+double Bbr2::round_loss_rate() const {
+  const Bytes total = bytes_acked_round_ + bytes_lost_round_;
+  if (total <= 0) return 0.0;
+  return static_cast<double>(bytes_lost_round_) / static_cast<double>(total);
+}
+
+void Bbr2::update_round(const AckEvent& ev) {
+  new_round_ = false;
+  bytes_acked_round_ += ev.bytes_acked;
+  if (!round_started_ || ev.largest_newly_acked >= round_end_pn_) {
+    round_end_pn_ = ev.largest_sent_pn;
+    round_started_ = true;
+    new_round_ = true;
+    on_round_start(ev);
+  }
+}
+
+void Bbr2::on_round_start(const AckEvent&) {
+  // Startup loss exit: count consecutive rounds whose loss rate crossed
+  // the threshold; `startup_loss_rounds` of them mean the pipe is full
+  // and further exponential growth only feeds the queue.
+  if (mode_ == Mode::kStartup) {
+    if (bytes_lost_round_ > 0 && round_loss_rate() > cfg_.loss_thresh) {
+      ++lossy_round_count_;
+    } else {
+      lossy_round_count_ = 0;
+    }
+  }
+  // Advance the bw-filter epoch once per round until ProbeBW's cycle
+  // structure takes over (then enter_down advances it per cycle).
+  if (mode_ == Mode::kStartup || mode_ == Mode::kDrain) {
+    ++bw_epoch_;
+  }
+  bytes_acked_round_ = 0;
+  bytes_lost_round_ = 0;
+  loss_round_applied_ = false;
+}
+
+void Bbr2::update_max_bw(const AckEvent& ev) {
+  // ProbeRTT's throttled delivery says nothing about the bottleneck.
+  if (mode_ != Mode::kProbeRtt && ev.rate_valid &&
+      (!ev.rate_app_limited || ev.delivery_rate > max_bw())) {
+    max_bw_filter_.update(bw_epoch_, ev.delivery_rate);
+    max_bw_filter_.set_window(cfg_.bw_filter_window_cycles);
+    max_bw_filter_.expire(bw_epoch_);
+  }
+}
+
+void Bbr2::update_min_rtt(const AckEvent& ev) {
+  if (ev.rtt <= 0) return;
+  rt_prop_expired_ = ev.now > rt_prop_stamp_ + cfg_.probe_rtt_interval;
+  if (ev.rtt <= rt_prop_ || rt_prop_expired_) {
+    rt_prop_ = ev.rtt;
+    rt_prop_stamp_ = ev.now;
+  }
+}
+
+void Bbr2::check_startup(const AckEvent& ev) {
+  if (mode_ != Mode::kStartup || filled_pipe_) return;
+  if (new_round_) {
+    if (max_bw() >= full_bw_ * 1.25) {
+      full_bw_ = max_bw();
+      full_bw_count_ = 0;
+    } else if (++full_bw_count_ >= cfg_.full_bw_rounds) {
+      filled_pipe_ = true;
+    }
+    if (!filled_pipe_ && lossy_round_count_ >= cfg_.startup_loss_rounds) {
+      // Loss-based exit: the pipe is full even though the bw plateau has
+      // not registered yet. Cap in-flight at what the path sustained.
+      filled_pipe_ = true;
+      inflight_hi_ = std::max(
+          std::max(ev.bytes_in_flight, bdp_bytes_est(1.0)), min_cwnd_bytes());
+    }
+  }
+}
+
+void Bbr2::check_drain(const AckEvent& ev) {
+  if (mode_ == Mode::kStartup && filled_pipe_) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = cfg_.drain_pacing_gain;
+    cwnd_gain_ = cfg_.startup_cwnd_gain;
+  }
+  if (mode_ == Mode::kDrain && ev.bytes_in_flight <= bdp_bytes_est(1.0)) {
+    mode_ = Mode::kProbeBw;
+    cwnd_gain_ = cfg_.cwnd_gain;
+    enter_down(ev.now);
+  }
+}
+
+void Bbr2::enter_down(Time now) {
+  cycle_ = CyclePhase::kDown;
+  pacing_gain_ = cfg_.probe_down_pacing_gain;
+  cycle_stamp_ = now;
+  // One probe cycle completed: advance the max-bw filter window and start
+  // the clock on the next probe.
+  ++bw_epoch_;
+  max_bw_filter_.expire(bw_epoch_);
+  probe_wait_deadline_ = now + cfg_.bw_probe_wait;
+}
+
+void Bbr2::enter_cruise() {
+  cycle_ = CyclePhase::kCruise;
+  pacing_gain_ = 1.0;
+}
+
+void Bbr2::enter_refill(const AckEvent& ev) {
+  cycle_ = CyclePhase::kRefill;
+  pacing_gain_ = 1.0;
+  // The short-term loss bounds expire with the new probe: the point of
+  // Refill is to re-fill the pipe to the long-term estimate before Up
+  // pushes beyond it.
+  bw_lo_ = 0;
+  inflight_lo_ = kInfBytes;
+  // Exit to Up after one full round of refilling.
+  refill_end_pn_ = ev.largest_sent_pn;
+}
+
+void Bbr2::enter_up(Time now) {
+  cycle_ = CyclePhase::kUp;
+  pacing_gain_ = cfg_.probe_up_pacing_gain;
+  cycle_stamp_ = now;
+}
+
+void Bbr2::update_probe_bw_cycle(const AckEvent& ev) {
+  if (mode_ != Mode::kProbeBw) return;
+  switch (cycle_) {
+    case CyclePhase::kDown:
+      if (ev.bytes_in_flight <= inflight_with_headroom()) enter_cruise();
+      break;
+    case CyclePhase::kCruise:
+      if (ev.now >= probe_wait_deadline_) enter_refill(ev);
+      break;
+    case CyclePhase::kRefill:
+      if (ev.largest_newly_acked >= refill_end_pn_) enter_up(ev.now);
+      break;
+    case CyclePhase::kUp: {
+      // Raise the long-term bound while the path absorbs the probe.
+      if (inflight_hi_ != kInfBytes && ev.bytes_in_flight > inflight_hi_) {
+        inflight_hi_ = ev.bytes_in_flight;
+      }
+      const bool probe_filled =
+          ev.now - cycle_stamp_ > rt_prop_ &&
+          ev.bytes_in_flight >= bdp_bytes_est(cfg_.probe_up_pacing_gain);
+      const bool loss_ended =
+          bytes_lost_round_ > 0 && round_loss_rate() > cfg_.loss_thresh;
+      if (probe_filled || loss_ended) enter_down(ev.now);
+      break;
+    }
+  }
+}
+
+void Bbr2::check_probe_rtt(const AckEvent& ev) {
+  if (mode_ != Mode::kProbeRtt && rt_prop_expired_ && filled_pipe_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_ = cwnd_;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_stamp_ = -1;
+  }
+  if (mode_ != Mode::kProbeRtt) return;
+  const Bytes probe_cwnd = probe_rtt_cwnd();
+  if (probe_rtt_done_stamp_ < 0 && ev.bytes_in_flight <= probe_cwnd) {
+    probe_rtt_done_stamp_ = ev.now + cfg_.probe_rtt_duration;
+    probe_rtt_round_done_ = false;
+    probe_rtt_round_end_ = ev.largest_sent_pn;
+  }
+  if (probe_rtt_done_stamp_ < 0) return;
+  if (ev.largest_newly_acked >= probe_rtt_round_end_) {
+    probe_rtt_round_done_ = true;
+  }
+  if (probe_rtt_round_done_ && ev.now >= probe_rtt_done_stamp_) {
+    rt_prop_stamp_ = ev.now;
+    cwnd_ = std::max(cwnd_, prior_cwnd_);
+    if (filled_pipe_) {
+      mode_ = Mode::kProbeBw;
+      cwnd_gain_ = cfg_.cwnd_gain;
+      enter_down(ev.now);
+    } else {
+      mode_ = Mode::kStartup;
+      pacing_gain_ = cfg_.startup_pacing_gain;
+      cwnd_gain_ = cfg_.startup_cwnd_gain;
+    }
+  }
+}
+
+void Bbr2::update_cwnd(const AckEvent& ev) {
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_ = probe_rtt_cwnd();
+    return;
+  }
+  const Bytes target = bdp_bytes_est(cwnd_gain_);
+  if (filled_pipe_) {
+    cwnd_ = std::min(cwnd_ + ev.bytes_acked, target);
+  } else {
+    // Startup: grow unconditionally (slow-start-like).
+    cwnd_ += ev.bytes_acked;
+  }
+  // Volume-model bounds. inflight_lo is the short-term post-loss bound;
+  // inflight_hi the long-term probe-discovered bound, shaved by the
+  // cruise headroom when not actively probing.
+  Bytes cap = kInfBytes;
+  if (inflight_hi_ != kInfBytes) {
+    cap = (mode_ == Mode::kProbeBw && cycle_ == CyclePhase::kCruise)
+              ? inflight_with_headroom()
+              : inflight_hi_;
+  }
+  if (inflight_lo_ != kInfBytes) cap = std::min(cap, inflight_lo_);
+  cwnd_ = std::min(cwnd_, cap);
+  cwnd_ = std::max(cwnd_, min_cwnd_bytes());
+}
+
+void Bbr2::on_ack(const AckEvent& ev) {
+  update_round(ev);
+  update_max_bw(ev);
+  update_min_rtt(ev);
+  check_startup(ev);
+  check_drain(ev);
+  update_probe_bw_cycle(ev);
+  check_probe_rtt(ev);
+  update_cwnd(ev);
+  sync_phase(ev.now);
+}
+
+void Bbr2::on_loss(const LossEvent& ev) {
+  bytes_lost_round_ += ev.bytes_lost;
+
+  // Short-term bounds: one multiplicative decrease per round.
+  if (!loss_round_applied_) {
+    loss_round_applied_ = true;
+    const Rate base_bw = bw_lo_ > 0 ? bw_lo_ : max_bw();
+    if (base_bw > 0) bw_lo_ = cfg_.beta * base_bw;
+    const Bytes base_inflight =
+        inflight_lo_ != kInfBytes ? inflight_lo_ : cwnd_;
+    inflight_lo_ = std::max(
+        static_cast<Bytes>(cfg_.beta * static_cast<double>(base_inflight)),
+        min_cwnd_bytes());
+  }
+
+  // A bandwidth probe that ran into excessive loss caps inflight_hi at
+  // what the path actually carried.
+  if (mode_ == Mode::kProbeBw && cycle_ == CyclePhase::kUp &&
+      round_loss_rate() > cfg_.loss_thresh) {
+    inflight_hi_ = std::max(ev.bytes_in_flight, min_cwnd_bytes());
+    enter_down(ev.now);
+  }
+
+  if (ev.is_persistent_congestion) {
+    cwnd_ = min_cwnd_bytes();
+    bw_lo_ = 0;
+    inflight_lo_ = kInfBytes;
+  }
+  cwnd_ = std::min(cwnd_, std::max(inflight_lo_, min_cwnd_bytes()));
+  cwnd_ = std::max(cwnd_, min_cwnd_bytes());
+  sync_phase(ev.now);
+}
+
+void Bbr2::on_spurious_loss(const SpuriousLossEvent& ev) {
+  // The loss was noise, not congestion: drop the short-term bounds so the
+  // model returns to the long-term estimates.
+  bw_lo_ = 0;
+  inflight_lo_ = kInfBytes;
+  sync_phase(ev.now);
+}
+
+Bytes Bbr2::cwnd() const { return cwnd_; }
+
+std::optional<Rate> Bbr2::pacing_rate() const {
+  if (max_bw_filter_.empty() || rt_prop_ == time::kInfinite) {
+    // No estimates yet: stay window-limited (burst out the initial cwnd).
+    return std::nullopt;
+  }
+  return pacing_gain_ * bw() * cfg_.pacing_rate_scale;
+}
+
+} // namespace quicbench::cca

@@ -1,0 +1,162 @@
+#pragma once
+// BBR v2 (draft-cardwell-iccrg-bbr-congestion-control-02 structure): the
+// Startup / Drain / ProbeBW / ProbeRTT machine of v1, with ProbeBW split
+// into the Down -> Cruise -> Refill -> Up cycle and an explicit loss
+// model ("An Evaluation of BBR and its variants", PAPERS.md):
+//
+//  - inflight_hi: long-term upper bound on data in flight, raised while
+//    bandwidth probes survive and clamped when a probe's per-round loss
+//    rate crosses `loss_thresh` (the ECN-less loss signal);
+//  - bw_lo / inflight_lo: short-term per-round bounds after loss
+//    (multiplicative decrease by `beta`), reset when the next probe
+//    begins (Refill);
+//  - Cruise keeps `inflight_headroom` of free space below inflight_hi so
+//    coexisting flows can be discovered;
+//  - ProbeRTT arrives every `probe_rtt_interval` (5 s, down from v1's
+//    10 s) and sinks cwnd to a 0.5x BDP floor instead of 4 packets.
+//
+// Variant knobs mirror the per-stack deviations the registry documents
+// (`pacing_rate_scale`, `loss_thresh`, `inflight_headroom`, `cwnd_gain`).
+// The controller is deterministic: where the draft randomises the
+// bw-probe wait time, a fixed `bw_probe_wait` dwell is used, so seeded
+// trials reproduce bit-identically.
+
+#include "cca/cca.h"
+#include "util/stats.h"
+
+namespace quicbench::cca {
+
+struct Bbr2Config {
+  Bytes mss = 1448;
+  int initial_cwnd_packets = 10;
+  int min_cwnd_packets = 4;
+
+  // Gains. Startup paces at 4ln2 (reaches full pipe in ~2 RTTs but
+  // overshoots less than v1's 2/ln2); ProbeBW probes up at 1.25x and
+  // drains at 0.9x.
+  double startup_pacing_gain = 2.773;
+  double startup_cwnd_gain = 2.885;
+  double drain_pacing_gain = 1.0 / 2.773;
+  double cwnd_gain = 2.0;
+  double probe_up_pacing_gain = 1.25;
+  double probe_down_pacing_gain = 0.9;
+  double pacing_rate_scale = 1.0;  // stack-level scaling of the final rate
+
+  // Loss model.
+  double beta = 0.7;               // bw_lo / inflight_lo multiplicative decrease
+  double loss_thresh = 0.02;       // per-round loss rate that ends a bw probe
+  double inflight_headroom = 0.15; // cruise headroom below inflight_hi
+
+  // Probing cadence: wall-clock dwell between bandwidth probes, measured
+  // from the start of Down. Deterministic stand-in for the draft's
+  // randomised 2-3 s wait.
+  Time bw_probe_wait = time::ms(2500);
+  int bw_filter_window_cycles = 2;  // max-bw filter length, in probe cycles
+
+  // ProbeRTT.
+  Time probe_rtt_interval = time::sec(5);
+  Time probe_rtt_duration = time::ms(200);
+  double probe_rtt_cwnd_gain = 0.5;  // cwnd floor = 0.5 x estimated BDP
+
+  // Startup exit: bandwidth plateau (v1-style) or sustained loss.
+  int full_bw_rounds = 3;
+  int startup_loss_rounds = 3;  // consecutive lossy rounds ending startup
+};
+
+class Bbr2 : public CongestionController {
+ public:
+  explicit Bbr2(Bbr2Config cfg);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_spurious_loss(const SpuriousLossEvent& ev) override;
+  Bytes cwnd() const override;
+  std::optional<Rate> pacing_rate() const override;
+  bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  std::string name() const override { return "bbr2"; }
+  std::string_view phase() const override;
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  enum class CyclePhase { kDown, kCruise, kRefill, kUp };
+  Mode mode() const { return mode_; }
+  CyclePhase cycle_phase() const { return cycle_; }
+  Rate max_bw() const;
+  Rate bw() const;  // min(max_bw, bw_lo)
+  Time rt_prop() const { return rt_prop_; }
+  bool filled_pipe() const { return filled_pipe_; }
+  Bytes inflight_hi() const { return inflight_hi_; }  // kInfBytes = unset
+  Bytes inflight_lo() const { return inflight_lo_; }  // kInfBytes = unset
+
+  static constexpr Bytes kInfBytes = static_cast<Bytes>(1) << 60;
+
+ private:
+  Bytes min_cwnd_bytes() const { return cfg_.mss * cfg_.min_cwnd_packets; }
+  Bytes bdp_bytes_est(double gain) const;
+  Bytes inflight_with_headroom() const;
+  Bytes probe_rtt_cwnd() const;
+  void update_round(const AckEvent& ev);
+  void on_round_start(const AckEvent& ev);
+  void update_max_bw(const AckEvent& ev);
+  void update_min_rtt(const AckEvent& ev);
+  void check_startup(const AckEvent& ev);
+  void check_drain(const AckEvent& ev);
+  void enter_down(Time now);
+  void enter_cruise();
+  void enter_refill(const AckEvent& ev);
+  void enter_up(Time now);
+  void update_probe_bw_cycle(const AckEvent& ev);
+  void check_probe_rtt(const AckEvent& ev);
+  void update_cwnd(const AckEvent& ev);
+  double round_loss_rate() const;
+
+  Bbr2Config cfg_;
+  Mode mode_ = Mode::kStartup;
+  CyclePhase cycle_ = CyclePhase::kDown;
+
+  double pacing_gain_;
+  double cwnd_gain_;
+
+  // Max-bandwidth filter, windowed by probe cycle (epoch advances once
+  // per round in Startup/Drain, once per completed ProbeBW cycle after).
+  stats::WindowedMax<double> max_bw_filter_;
+  long long bw_epoch_ = 0;
+
+  Rate bw_lo_ = 0;             // 0 = unset (no bound)
+  Bytes inflight_lo_ = kInfBytes;
+  Bytes inflight_hi_ = kInfBytes;
+
+  Time rt_prop_ = time::kInfinite;
+  Time rt_prop_stamp_ = 0;
+  bool rt_prop_expired_ = false;
+
+  // Round counting via packet numbers (as in v1).
+  std::uint64_t round_end_pn_ = 0;
+  bool round_started_ = false;
+  bool new_round_ = false;
+
+  // Per-round loss accounting.
+  Bytes bytes_acked_round_ = 0;
+  Bytes bytes_lost_round_ = 0;
+  bool loss_round_applied_ = false;  // lower bounds move once per round
+
+  // Startup exit detection.
+  bool filled_pipe_ = false;
+  Rate full_bw_ = 0;
+  int full_bw_count_ = 0;
+  int lossy_round_count_ = 0;
+
+  // ProbeBW cycle timing.
+  Time cycle_stamp_ = 0;
+  Time probe_wait_deadline_ = 0;
+  std::uint64_t refill_end_pn_ = 0;
+
+  // ProbeRTT.
+  Time probe_rtt_done_stamp_ = -1;
+  bool probe_rtt_round_done_ = false;
+  std::uint64_t probe_rtt_round_end_ = 0;
+
+  Bytes cwnd_;
+  Bytes prior_cwnd_ = 0;
+};
+
+} // namespace quicbench::cca

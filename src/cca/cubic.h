@@ -135,4 +135,18 @@ class Cubic : public CongestionController {
   static constexpr int kCssGrowthDivisor = 4;
 };
 
+// CUBIC paired with RACK-TLP time-based loss detection (the modern-kernel
+// reference: Linux enables RACK by default since 4.18). The control law is
+// byte-for-byte CUBIC — RACK lives in the transport's loss-detection axis
+// (`SenderProfile::loss_detection`) — but the pairing is a distinct member
+// of the CCA population: its loss *inputs* differ (reordering tolerance as
+// a time window instead of a packet count, tail-loss probes instead of a
+// full PTO for the first missing tail), so its trace and conformance cell
+// are its own.
+class CubicRack : public Cubic {
+ public:
+  using Cubic::Cubic;
+  std::string name() const override { return "cubic_rack"; }
+};
+
 } // namespace quicbench::cca

@@ -15,11 +15,15 @@ void hash_sender_profile(StableHasher& h,
   h.b(s.pace_window_ccas);
   h.f64(s.window_pacing_factor);
   h.i64(s.pacing_burst_packets);
+  h.i64(static_cast<std::int64_t>(s.loss_detection));
   h.i64(s.packet_reorder_threshold);
   h.f64(s.time_reorder_fraction);
   h.i64(static_cast<std::int64_t>(s.time_threshold_base));
   h.b(s.adapt_reorder_threshold);
   h.i64(s.max_packet_reorder_threshold);
+  h.f64(s.rack_reo_wnd_fraction);
+  h.i64(s.rack_max_reo_wnd_mult);
+  h.f64(s.tlp_srtt_factor);
   h.i64(s.max_ack_delay_assumed);
   h.i64(s.persistent_congestion_ptos);
   h.i64(s.flow_control_window);
@@ -65,6 +69,30 @@ void hash_bbr(StableHasher& h, const cca::BbrConfig& c) {
   h.i64(c.probe_rtt_duration);
   h.i64(c.min_rtt_window);
   h.i64(c.btlbw_window_rounds);
+}
+
+void hash_bbr2(StableHasher& h, const cca::Bbr2Config& c) {
+  h.str("bbr2");
+  h.i64(c.mss);
+  h.i64(c.initial_cwnd_packets);
+  h.i64(c.min_cwnd_packets);
+  h.f64(c.startup_pacing_gain);
+  h.f64(c.startup_cwnd_gain);
+  h.f64(c.drain_pacing_gain);
+  h.f64(c.cwnd_gain);
+  h.f64(c.probe_up_pacing_gain);
+  h.f64(c.probe_down_pacing_gain);
+  h.f64(c.pacing_rate_scale);
+  h.f64(c.beta);
+  h.f64(c.loss_thresh);
+  h.f64(c.inflight_headroom);
+  h.i64(c.bw_probe_wait);
+  h.i64(c.bw_filter_window_cycles);
+  h.i64(c.probe_rtt_interval);
+  h.i64(c.probe_rtt_duration);
+  h.f64(c.probe_rtt_cwnd_gain);
+  h.i64(c.full_bw_rounds);
+  h.i64(c.startup_loss_rounds);
 }
 
 void hash_reno(StableHasher& h, const cca::RenoConfig& c) {
@@ -120,10 +148,11 @@ void hash_implementation(StableHasher& h,
   h.b(impl.is_reference);
   hash_sender_profile(h, impl.profile.sender);
   hash_receiver_profile(h, impl.profile.receiver);
-  // All three CCA configs are hashed even though only impl.cca's is
+  // All CCA configs are hashed even though only impl.cca's is
   // active: cheaper than special-casing and safe against future reuse.
   hash_cubic(h, impl.cubic);
   hash_bbr(h, impl.bbr);
+  hash_bbr2(h, impl.bbr2);
   hash_reno(h, impl.reno);
 }
 

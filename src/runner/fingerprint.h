@@ -23,7 +23,9 @@ namespace quicbench::runner {
 // entry and every manifest comparison across versions.
 // v4: N-flow scenario engine (pair results unchanged, but the harness
 // core and the scenario cell kinds are new).
-inline constexpr std::uint32_t kSchemaVersion = 4;
+// v5: BBRv2 + cubic-rack population growth (Bbr2Config hashed, RACK-TLP
+// loss-detection knobs added to the sender profile hash).
+inline constexpr std::uint32_t kSchemaVersion = 5;
 
 // Field-by-field feeds, composable into larger keys.
 void hash_implementation(StableHasher& h, const stacks::Implementation& impl);

@@ -11,8 +11,19 @@ std::string to_string(CcaType t) {
     case CcaType::kCubic: return "cubic";
     case CcaType::kBbr: return "bbr";
     case CcaType::kReno: return "reno";
+    case CcaType::kBbr2: return "bbr2";
+    case CcaType::kCubicRack: return "cubic-rack";
   }
   return "?";
+}
+
+std::optional<CcaType> parse_cca(const std::string& s) {
+  if (s == "cubic") return CcaType::kCubic;
+  if (s == "bbr") return CcaType::kBbr;
+  if (s == "reno") return CcaType::kReno;
+  if (s == "bbr2") return CcaType::kBbr2;
+  if (s == "cubic-rack") return CcaType::kCubicRack;
+  return std::nullopt;
 }
 
 std::unique_ptr<cca::CongestionController> Implementation::make_cca() const {
@@ -34,6 +45,18 @@ std::unique_ptr<cca::CongestionController> Implementation::make_cca() const {
       c.mss = profile.sender.mss;
       c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
       return std::make_unique<cca::Reno>(c);
+    }
+    case CcaType::kBbr2: {
+      cca::Bbr2Config c = bbr2;
+      c.mss = profile.sender.mss;
+      c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
+      return std::make_unique<cca::Bbr2>(c);
+    }
+    case CcaType::kCubicRack: {
+      cca::CubicConfig c = cubic;
+      c.mss = profile.sender.mss;
+      c.initial_cwnd_packets = profile.sender.initial_cwnd_packets;
+      return std::make_unique<cca::CubicRack>(c);
     }
   }
   throw std::logic_error("unknown CCA type");
@@ -65,6 +88,19 @@ Registry::Registry() {
     impls_.push_back(std::move(cub));
     impls_.push_back(make("tcp", CcaType::kBbr, tcp, true));
     impls_.push_back(make("tcp", CcaType::kReno, tcp, true));
+    // BBRv2 reference: the kernel's bbr2 branch with draft defaults.
+    impls_.push_back(make("tcp", CcaType::kBbr2, tcp, true));
+    // Modern-kernel reference: CUBIC with RACK-TLP loss detection (the
+    // kernel default since 4.18 — the paper's 5.13 reference actually
+    // ships this; the plain kCubic reference keeps the RFC 9002-style
+    // packet-threshold path for comparability with the QUIC stacks).
+    {
+      StackProfile rack = tcp;
+      rack.sender.loss_detection = transport::LossDetection::kRackTlp;
+      Implementation cr = make("tcp", CcaType::kCubicRack, rack, true);
+      cr.cubic.classic_hystart = true;
+      impls_.push_back(std::move(cr));
+    }
   }
 
   // --- mvfst (Facebook): CUBIC, BBR, Reno. BBR overdrives its pacer. ---
@@ -75,6 +111,11 @@ Registry::Registry() {
                                       // by 120%" (§3.3, Table 4)
     impls_.push_back(std::move(bbr));
     impls_.push_back(make("mvfst", CcaType::kReno, quic));
+    // mvfst's BBR2 port keeps the stack-level 1.2x pacer overdrive its
+    // BBRv1 ships — the deviation follows the stack, not the algorithm.
+    Implementation bbr2 = make("mvfst", CcaType::kBbr2, quic);
+    bbr2.bbr2.pacing_rate_scale = 1.2;
+    impls_.push_back(std::move(bbr2));
   }
 
   // --- chromium (Google): CUBIC, BBR. CUBIC emulates 2 flows. ---
@@ -83,10 +124,19 @@ Registry::Registry() {
     cub.cubic.emulated_flows = 2;  // cubic_bytes.cc default (Table 4)
     impls_.push_back(std::move(cub));
     impls_.push_back(make("chromium", CcaType::kBbr, quic));
+    // chromium's BBRv2 (tcp_bbr2.c port in QUICHE): draft-faithful.
+    impls_.push_back(make("chromium", CcaType::kBbr2, quic));
   }
 
-  // --- msquic (Microsoft): CUBIC only. Conformant. ---
+  // --- msquic (Microsoft): CUBIC only. Conformant. msquic's loss
+  //     detection is RACK-style (time-based, RFC 8985 semantics), so its
+  //     kernel-reference pairing is cubic-rack. ---
   impls_.push_back(make("msquic", CcaType::kCubic, quic));
+  {
+    StackProfile p = quic;
+    p.sender.loss_detection = transport::LossDetection::kRackTlp;
+    impls_.push_back(make("msquic", CcaType::kCubicRack, p));
+  }
 
   // --- quiche (Cloudflare): CUBIC, Reno. CUBIC implements the RFC
   //     8312bis spurious-congestion rollback that the kernel does not
@@ -145,6 +195,14 @@ Registry::Registry() {
     bbr.bbr.cwnd_gain = 2.5;
     impls_.push_back(std::move(bbr));
     impls_.push_back(make("xquic", CcaType::kReno, loss_based));
+    // xquic's BBRv2 keeps the stack's aggressive streak: no cruise
+    // headroom (never leaves room for coexisting flows) and a loss
+    // threshold of 5% instead of the draft's 2% (probes shrug off loss
+    // rates that should end them) — a separable low-conformance cell.
+    Implementation bbr2 = make("xquic", CcaType::kBbr2, p);
+    bbr2.bbr2.inflight_headroom = 0.0;
+    bbr2.bbr2.loss_thresh = 0.05;
+    impls_.push_back(std::move(bbr2));
   }
 
   // --- neqo (Mozilla): CUBIC, Reno. CCA verified compliant; the stack's
@@ -206,6 +264,15 @@ std::optional<Implementation> fixed_variant(const Implementation& impl) {
   }
   if (impl.stack == "quiche" && impl.cca == CcaType::kCubic) {
     fixed.cubic.spurious_loss_rollback = false;  // "Disabled RFC8312"
+    return fixed;
+  }
+  if (impl.stack == "mvfst" && impl.cca == CcaType::kBbr2) {
+    fixed.bbr2.pacing_rate_scale = 1.0;  // drop the stack pacer overdrive
+    return fixed;
+  }
+  if (impl.stack == "xquic" && impl.cca == CcaType::kBbr2) {
+    fixed.bbr2.inflight_headroom = 0.15;  // restore draft defaults
+    fixed.bbr2.loss_thresh = 0.02;
     return fixed;
   }
   return std::nullopt;

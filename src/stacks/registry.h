@@ -12,6 +12,9 @@
 //   lsquic  stack   ack-clocked (no pacing), like the kernel
 //   xquic   stack   send-loop batching + conservative pacing (artifact)
 //   neqo    stack   connection flow-control cap (artifact)
+//   mvfst   BBR2    inherits the stack's 1.2x pacer overdrive
+//   xquic   BBR2    no cruise headroom, 5% loss threshold
+//   msquic  stack   RACK-style time-based loss detection (cubic-rack)
 //
 // plus the Table 4 "fixed" variants and the HyStart-disabled kernel
 // reference used to diagnose xquic CUBIC.
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "cca/bbr.h"
+#include "cca/bbr2.h"
 #include "cca/cca.h"
 #include "cca/cubic.h"
 #include "cca/reno.h"
@@ -29,9 +33,17 @@
 
 namespace quicbench::stacks {
 
-enum class CcaType { kCubic, kBbr, kReno };
+// kCubicRack is kernel CUBIC paired with RACK-TLP loss detection (the
+// transport-level `LossDetection` axis) — same control law, different
+// loss inputs, its own population member.
+enum class CcaType { kCubic, kBbr, kReno, kBbr2, kCubicRack };
 
 std::string to_string(CcaType t);
+
+// Inverse of to_string ("cubic", "bbr", "reno", "bbr2", "cubic-rack");
+// the one parser the CLI surfaces share, so growing the population here
+// grows it everywhere.
+std::optional<CcaType> parse_cca(const std::string& s);
 
 struct Implementation {
   std::string stack;    // "tcp", "mvfst", "chromium", ...
@@ -42,6 +54,7 @@ struct Implementation {
   transport::StackProfile profile;
   cca::CubicConfig cubic;
   cca::BbrConfig bbr;
+  cca::Bbr2Config bbr2;
   cca::RenoConfig reno;
 
   std::unique_ptr<cca::CongestionController> make_cca() const;

@@ -18,6 +18,18 @@ enum class TimeThresholdBase {
   kMinRtt,            // aggressive: min_rtt (misfires when queues build)
 };
 
+enum class LossDetection {
+  // RFC 9002: packet threshold (kPacketThreshold=3) OR time threshold
+  // (9/8 x max(srtt, latest)), whichever fires first.
+  kRfc9002,
+  // RACK-TLP (RFC 8985): purely time-based — a packet is lost once one
+  // sent after it is delivered and a reordering window (a fraction of
+  // min_rtt, widened on observed reordering) has elapsed past its send
+  // time. The packet-count threshold is disabled entirely, and the first
+  // retransmission probe is a TLP (2*srtt) instead of a full PTO.
+  kRackTlp,
+};
+
 struct SenderProfile {
   // Packetization. TCP: 1448-byte MSS + 52B headers. QUIC: smaller UDP
   // payload + UDP/IP/QUIC overhead.
@@ -36,6 +48,7 @@ struct SenderProfile {
   int pacing_burst_packets = 2;
 
   // Loss detection (RFC 9002 defaults).
+  LossDetection loss_detection = LossDetection::kRfc9002;
   int packet_reorder_threshold = 3;
   double time_reorder_fraction = 9.0 / 8.0;
   TimeThresholdBase time_threshold_base = TimeThresholdBase::kSmoothedOrLatest;
@@ -44,6 +57,13 @@ struct SenderProfile {
   // triggering false losses.
   bool adapt_reorder_threshold = true;
   int max_packet_reorder_threshold = 16;
+  // RACK-TLP knobs (used when loss_detection == kRackTlp). The reordering
+  // window starts at `rack_reo_wnd_fraction * min_rtt` and doubles per
+  // observed spurious loss up to `rack_max_reo_wnd_mult` multiples; the
+  // first tail probe fires after `tlp_srtt_factor * srtt + max_ack_delay`.
+  double rack_reo_wnd_fraction = 0.25;
+  int rack_max_reo_wnd_mult = 16;
+  double tlp_srtt_factor = 2.0;
 
   // PTO
   Time max_ack_delay_assumed = time::ms(25);

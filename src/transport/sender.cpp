@@ -202,8 +202,15 @@ void SenderEndpoint::on_ack_frame(const Packet& ack) {
       // Late ack for a packet we declared lost: spurious loss.
       log_.note_spurious_ack(pn);
       ++stats_.spurious_losses;
-      if (profile_.adapt_reorder_threshold &&
-          reorder_threshold_ < profile_.max_packet_reorder_threshold) {
+      if (profile_.loss_detection == LossDetection::kRackTlp) {
+        // RFC 8985 §6.2: every detected spurious retransmission widens
+        // the reordering window multiplicatively, up to the cap.
+        if (rack_reo_mult_ < profile_.rack_max_reo_wnd_mult) {
+          rack_reo_mult_ = std::min(rack_reo_mult_ * 2,
+                                    profile_.rack_max_reo_wnd_mult);
+        }
+      } else if (profile_.adapt_reorder_threshold &&
+                 reorder_threshold_ < profile_.max_packet_reorder_threshold) {
         ++reorder_threshold_;  // RACK-style reo_wnd widening
       }
       cca_->on_spurious_loss({now, pn, wire, log_.sent_time_at(s)});
@@ -396,6 +403,19 @@ void SenderEndpoint::maybe_finish() {
 }
 
 Time SenderEndpoint::loss_time_threshold() const {
+  if (profile_.loss_detection == LossDetection::kRackTlp) {
+    // RACK (RFC 8985): a packet is lost once an RTT plus the reordering
+    // window has elapsed since it was sent. The window starts at a
+    // fraction of min_rtt, doubles on observed spurious losses
+    // (rack_reo_mult_), and is capped at one smoothed RTT.
+    const Time rtt = std::max(rtt_.smoothed(), rtt_.latest());
+    const Time reo_wnd = std::min(
+        static_cast<Time>(profile_.rack_reo_wnd_fraction *
+                          static_cast<double>(rtt_.min_rtt()) *
+                          static_cast<double>(rack_reo_mult_)),
+        rtt_.smoothed());
+    return rtt + reo_wnd;
+  }
   const Time base =
       profile_.time_threshold_base == TimeThresholdBase::kMinRtt
           ? rtt_.min_rtt()
@@ -441,6 +461,10 @@ void SenderEndpoint::detect_losses() {
   // therefore in sent_time, so both loss thresholds are monotone along
   // the walk: the first entry that fails both is the earliest future
   // loss, and every entry after it fails both too — stop there.
+  // RACK disables the packet-count threshold entirely: loss is declared
+  // by time alone (this flag is constant per sender, so the loss-scan
+  // cache above stays sound — the time threshold is already an input).
+  const bool time_only = profile_.loss_detection == LossDetection::kRackTlp;
   std::uint64_t pn = log_.unres_head();
   while (pn != SentLog::kNone) {
     const std::size_t s = log_.slot(pn);
@@ -449,6 +473,7 @@ void SenderEndpoint::detect_losses() {
     if (pn >= largest_acked_) break;  // ascending: nothing below remains
     const Time sent = log_.sent_time_at(s);
     const bool pkt_thresh =
+        !time_only &&
         largest_acked_ >= pn + static_cast<std::uint64_t>(reorder_threshold_);
     const bool time_thresh = sent + threshold <= now;
     if (pkt_thresh || time_thresh) {
@@ -518,8 +543,18 @@ void SenderEndpoint::arm_pto() {
     }
     return;
   }
-  const Time interval = rtt_.pto_interval(profile_.max_ack_delay_assumed)
-                        << std::min(pto_count_, 6);
+  Time interval = rtt_.pto_interval(profile_.max_ack_delay_assumed)
+                  << std::min(pto_count_, 6);
+  if (profile_.loss_detection == LossDetection::kRackTlp &&
+      pto_count_ == 0 && rtt_.has_sample()) {
+    // TLP (RFC 8985 §7): the first probe after silence fires at
+    // 2*srtt + max_ack_delay rather than the full PTO, so a dropped
+    // tail is repaired in roughly two round trips. Subsequent probes
+    // fall back to the exponential PTO schedule.
+    interval = static_cast<Time>(profile_.tlp_srtt_factor *
+                                 static_cast<double>(rtt_.smoothed())) +
+               profile_.max_ack_delay_assumed;
+  }
   pto_timer_.rearm_in(interval);
   if (timer_cb_) {
     timer_cb_(sim_.now(), LossTimerKind::kPto, LossTimerEvent::kSet,

@@ -131,6 +131,8 @@ class SenderEndpoint : public netsim::PacketSink {
   // Current RACK-style packet-reorder threshold (adapts upward on
   // spurious losses when the profile allows it).
   int reorder_threshold() const { return reorder_threshold_; }
+  // Current RACK reordering-window multiplier (kRackTlp profiles only).
+  int rack_reo_mult() const { return rack_reo_mult_; }
   // Scoreboard work counters (amortization tests).
   const ScoreboardCounters& scoreboard_counters() const {
     return log_.counters();
@@ -210,6 +212,9 @@ class SenderEndpoint : public netsim::PacketSink {
 
   RttEstimator rtt_;
   int reorder_threshold_ = 3;  // adapts upward on spurious losses
+  // RACK reordering-window multiplier (kRackTlp only): doubles per
+  // detected spurious loss, capped at profile.rack_max_reo_wnd_mult.
+  int rack_reo_mult_ = 1;
 
   netsim::Timer pacing_timer_;
   netsim::Timer loss_timer_;

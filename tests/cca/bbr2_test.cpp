@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cca/bbr2.h"
+
+namespace quicbench::cca {
+namespace {
+
+constexpr Bytes kMss = 1448;
+
+Bbr2Config config() {
+  Bbr2Config cfg;
+  cfg.mss = kMss;
+  cfg.initial_cwnd_packets = 10;
+  return cfg;
+}
+
+// Drives a Bbr2 instance with a synthetic steady link: delivery rate
+// `rate_bps`, round-trip `rtt`. Mirrors BbrDriver in bbr_test.cpp.
+class Bbr2Driver {
+ public:
+  explicit Bbr2Driver(Bbr2& bbr) : bbr_(bbr) {}
+
+  void run_rounds(int rounds, Rate rate_bps, Time rtt, Bytes in_flight = 0,
+                  Bytes lost_per_round = 0) {
+    for (int r = 0; r < rounds; ++r) {
+      const std::uint64_t round_end = pn_ + 10;
+      for (int i = 0; i < 10; ++i) {
+        AckEvent ev;
+        now_ += rtt / 10;
+        ev.now = now_;
+        ev.bytes_acked = 2 * kMss;
+        ev.bytes_in_flight =
+            in_flight > 0 ? in_flight
+                          : static_cast<Bytes>(rate_bps / 8.0 *
+                                               time::to_sec(rtt));
+        ev.rtt = rtt;
+        ev.smoothed_rtt = rtt;
+        ev.min_rtt = rtt;
+        ev.largest_newly_acked = ++pn_;
+        ev.largest_sent_pn = round_end + 10;
+        ev.rate_valid = true;
+        ev.delivery_rate = rate_bps;
+        bbr_.on_ack(ev);
+      }
+      if (lost_per_round > 0) {
+        LossEvent lev;
+        lev.now = now_;
+        lev.bytes_lost = lost_per_round;
+        lev.bytes_in_flight = in_flight;
+        lev.largest_lost_sent_time = now_ - rtt;
+        bbr_.on_loss(lev);
+      }
+    }
+  }
+
+  Time now() const { return now_; }
+
+ private:
+  Bbr2& bbr_;
+  Time now_ = 0;
+  std::uint64_t pn_ = 0;
+};
+
+TEST(Bbr2, StartsInStartup) {
+  Bbr2 bbr(config());
+  EXPECT_EQ(bbr.mode(), Bbr2::Mode::kStartup);
+  EXPECT_TRUE(bbr.in_slow_start());
+  EXPECT_EQ(bbr.phase(), "startup");
+  EXPECT_FALSE(bbr.pacing_rate().has_value());  // no estimates yet
+  EXPECT_EQ(bbr.cwnd(), 10 * kMss);
+}
+
+TEST(Bbr2, TracksBottleneckBandwidth) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  d.run_rounds(5, rate::mbps(20), time::ms(10));
+  EXPECT_NEAR(rate::to_mbps(bbr.max_bw()), 20.0, 0.1);
+  EXPECT_EQ(bbr.rt_prop(), time::ms(10));
+}
+
+TEST(Bbr2, ExitsStartupWhenBandwidthPlateaus) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  d.run_rounds(2, rate::mbps(5), time::ms(10));
+  d.run_rounds(2, rate::mbps(10), time::ms(10));
+  EXPECT_EQ(bbr.mode(), Bbr2::Mode::kStartup);
+  d.run_rounds(6, rate::mbps(20), time::ms(10));
+  EXPECT_TRUE(bbr.filled_pipe());
+  EXPECT_NE(bbr.mode(), Bbr2::Mode::kStartup);
+}
+
+TEST(Bbr2, StartupLossExitCapsInflightHi) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  // Bandwidth keeps doubling, so the plateau detector never fires —
+  // only sustained per-round loss (1 MSS lost per ~20 acked, ~4.8%) can
+  // end startup, and that path is the one that seeds inflight_hi.
+  Rate bw = rate::mbps(2);
+  for (int r = 0; r < 8 && !bbr.filled_pipe(); ++r) {
+    d.run_rounds(1, bw, time::ms(10), /*in_flight=*/0,
+                 /*lost_per_round=*/kMss);
+    bw *= 2.0;
+  }
+  EXPECT_TRUE(bbr.filled_pipe());
+  EXPECT_NE(bbr.inflight_hi(), Bbr2::kInfBytes);
+}
+
+TEST(Bbr2, ReachesProbeBwAndPacesAtEstimate) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  d.run_rounds(12, rate::mbps(20), time::ms(10),
+               /*in_flight=*/bdp_bytes(rate::mbps(20), time::ms(10)) / 2);
+  EXPECT_EQ(bbr.mode(), Bbr2::Mode::kProbeBw);
+  ASSERT_TRUE(bbr.pacing_rate().has_value());
+  // Pacing rate = gain x bw with gain in [0.9, 1.25].
+  const double mbps = rate::to_mbps(*bbr.pacing_rate());
+  EXPECT_GE(mbps, 0.89 * 20);
+  EXPECT_LE(mbps, 1.26 * 20);
+}
+
+TEST(Bbr2, CyclesThroughDownCruiseRefillUp) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(12, rate::mbps(20), time::ms(10), bdp / 2);
+  ASSERT_EQ(bbr.mode(), Bbr2::Mode::kProbeBw);
+  // Track in-flight to the phase the cycle asks for: drain below the
+  // headroom line in Down/Cruise, fill past the probe target in
+  // Refill/Up. 400 rounds = 4 s, beyond the 2.5 s bw_probe_wait.
+  std::set<std::string> phases;
+  for (int i = 0; i < 400; ++i) {
+    const bool filling = bbr.cycle_phase() == Bbr2::CyclePhase::kRefill ||
+                         bbr.cycle_phase() == Bbr2::CyclePhase::kUp;
+    d.run_rounds(1, rate::mbps(20), time::ms(10),
+                 filling ? bdp * 13 / 10 : bdp * 7 / 10);
+    phases.insert(std::string(bbr.phase()));
+  }
+  EXPECT_TRUE(phases.count("probe_bw_down"));
+  EXPECT_TRUE(phases.count("probe_bw_cruise"));
+  EXPECT_TRUE(phases.count("probe_bw_refill"));
+  EXPECT_TRUE(phases.count("probe_bw_up"));
+}
+
+TEST(Bbr2, CwndTracksGainTimesBdp) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(30, rate::mbps(20), time::ms(10), bdp);
+  // cwnd converges to cwnd_gain x BDP (2.0), modulo the volume bounds.
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()), 2.0 * static_cast<double>(bdp),
+              static_cast<double>(bdp) * 0.3);
+}
+
+TEST(Bbr2, PacingRateScaleMultiplier) {
+  Bbr2Config fast = config();
+  fast.pacing_rate_scale = 1.2;
+  Bbr2 def(config()), mod(fast);
+  Bbr2Driver d1(def), d2(mod);
+  d1.run_rounds(30, rate::mbps(20), time::ms(10));
+  d2.run_rounds(30, rate::mbps(20), time::ms(10));
+  ASSERT_TRUE(def.pacing_rate().has_value());
+  ASSERT_TRUE(mod.pacing_rate().has_value());
+  EXPECT_NEAR(*mod.pacing_rate() / *def.pacing_rate(), 1.2, 1e-9);
+}
+
+TEST(Bbr2, LossShrinksShortTermBounds) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(30, rate::mbps(20), time::ms(10), bdp);
+  const Bytes before = bbr.cwnd();
+  const Rate bw_before = bbr.bw();
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = 4 * kMss;
+  ev.bytes_in_flight = bdp;
+  ev.largest_lost_sent_time = d.now() - time::ms(5);
+  bbr.on_loss(ev);
+  // Unlike BBRv1 (loss-agnostic), v2 applies beta to the short-term
+  // bounds: cwnd is clamped to inflight_lo and bw to bw_lo.
+  EXPECT_NE(bbr.inflight_lo(), Bbr2::kInfBytes);
+  EXPECT_LT(bbr.cwnd(), before);
+  EXPECT_LT(bbr.bw(), bw_before);
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()),
+              0.7 * static_cast<double>(before),
+              static_cast<double>(kMss));
+}
+
+TEST(Bbr2, LossBoundsMoveOncePerRound) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(30, rate::mbps(20), time::ms(10), bdp);
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = kMss;
+  ev.bytes_in_flight = bdp;
+  ev.largest_lost_sent_time = d.now() - time::ms(5);
+  bbr.on_loss(ev);
+  const Bytes after_first = bbr.inflight_lo();
+  bbr.on_loss(ev);  // same round: no further decrease
+  EXPECT_EQ(bbr.inflight_lo(), after_first);
+}
+
+TEST(Bbr2, SpuriousLossRestoresBounds) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(30, rate::mbps(20), time::ms(10), bdp);
+  const Rate bw_clean = bbr.bw();
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = 4 * kMss;
+  ev.bytes_in_flight = bdp;
+  ev.largest_lost_sent_time = d.now() - time::ms(5);
+  bbr.on_loss(ev);
+  ASSERT_LT(bbr.bw(), bw_clean);
+  bbr.on_spurious_loss({d.now(), 1, kMss, d.now() - time::ms(5)});
+  EXPECT_EQ(bbr.inflight_lo(), Bbr2::kInfBytes);
+  EXPECT_EQ(bbr.bw(), bw_clean);
+}
+
+TEST(Bbr2, ProbeUpLossClampsInflightHi) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  d.run_rounds(12, rate::mbps(20), time::ms(10), bdp / 2);
+  ASSERT_EQ(bbr.mode(), Bbr2::Mode::kProbeBw);
+  // Walk the cycle into Up.
+  for (int i = 0; i < 400 && bbr.cycle_phase() != Bbr2::CyclePhase::kUp;
+       ++i) {
+    const bool filling = bbr.cycle_phase() == Bbr2::CyclePhase::kRefill;
+    d.run_rounds(1, rate::mbps(20), time::ms(10),
+                 filling ? bdp * 13 / 10 : bdp * 7 / 10);
+  }
+  ASSERT_EQ(bbr.cycle_phase(), Bbr2::CyclePhase::kUp);
+  // The probe hits a loss burst well above loss_thresh: inflight_hi must
+  // clamp to what the path carried and the cycle must fall back to Down.
+  d.run_rounds(1, rate::mbps(20), time::ms(10), bdp * 13 / 10,
+               /*lost_per_round=*/6 * kMss);
+  EXPECT_NE(bbr.inflight_hi(), Bbr2::kInfBytes);
+  EXPECT_LE(bbr.inflight_hi(), bdp * 13 / 10);
+  EXPECT_EQ(bbr.cycle_phase(), Bbr2::CyclePhase::kDown);
+}
+
+TEST(Bbr2, PersistentCongestionCollapses) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  d.run_rounds(30, rate::mbps(20), time::ms(10));
+  LossEvent ev;
+  ev.now = d.now();
+  ev.bytes_lost = 10 * kMss;
+  ev.is_persistent_congestion = true;
+  bbr.on_loss(ev);
+  EXPECT_EQ(bbr.cwnd(), 4 * kMss);
+}
+
+TEST(Bbr2, ProbeRttAfterMinRttExpiry) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(12));
+  d.run_rounds(12, rate::mbps(20), time::ms(10), bdp);
+  ASSERT_TRUE(bbr.filled_pipe());
+  // Keep the measured RTT above the initial min for > 5 s (v2 interval).
+  bool saw_probe_rtt = false;
+  for (int i = 0; i < 600 && !saw_probe_rtt; ++i) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12), bdp);
+    if (bbr.mode() == Bbr2::Mode::kProbeRtt) saw_probe_rtt = true;
+  }
+  ASSERT_TRUE(saw_probe_rtt);
+  // v2 floor: 0.5x estimated BDP, not 4 packets.
+  EXPECT_GE(bbr.cwnd(), 4 * kMss);
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()),
+              0.5 * static_cast<double>(bdp_bytes(rate::mbps(20),
+                                                  time::ms(12))),
+              static_cast<double>(bdp) * 0.25);
+  EXPECT_LT(bbr.cwnd(), bdp);
+}
+
+TEST(Bbr2, ProbeRttExitsBackToProbeBw) {
+  Bbr2 bbr(config());
+  Bbr2Driver d(bbr);
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(12));
+  d.run_rounds(12, rate::mbps(20), time::ms(10), bdp);
+  while (bbr.mode() != Bbr2::Mode::kProbeRtt) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12), bdp);
+  }
+  const Bytes floor_cwnd = bbr.cwnd();
+  // Drain below the floor and run past the 200 ms dwell.
+  for (int i = 0; i < 100 && bbr.mode() == Bbr2::Mode::kProbeRtt; ++i) {
+    d.run_rounds(1, rate::mbps(20), time::ms(12), /*in_flight=*/2 * kMss);
+  }
+  EXPECT_EQ(bbr.mode(), Bbr2::Mode::kProbeBw);
+  // Exit lands in Down; the drained in-flight may legitimately advance
+  // the cycle to Cruise within the same ack round.
+  EXPECT_TRUE(bbr.cycle_phase() == Bbr2::CyclePhase::kDown ||
+              bbr.cycle_phase() == Bbr2::CyclePhase::kCruise);
+  EXPECT_GT(bbr.cwnd(), floor_cwnd);  // prior cwnd restored
+}
+
+TEST(Bbr2, HeadroomKnobShavesCruiseCap) {
+  // With inflight_hi pinned by a startup loss exit, the cruise-phase
+  // cwnd cap is inflight_hi less the configured headroom — the xquic
+  // deviation (headroom 0) cruises a strictly larger window. Both
+  // instances get a byte-identical drive, so they hold identical
+  // inflight_hi and walk the cycle in lockstep; only the headroom knob
+  // can separate their windows.
+  Bbr2Config tight = config();
+  tight.inflight_headroom = 0.15;
+  Bbr2Config loose = config();
+  loose.inflight_headroom = 0.0;
+  Bbr2 a(tight), b(loose);
+  Bbr2Driver da(a), db(b);
+  Rate bw = rate::mbps(2);
+  for (int r = 0; r < 8 && !a.filled_pipe(); ++r) {
+    da.run_rounds(1, bw, time::ms(10), 0, /*lost_per_round=*/kMss);
+    db.run_rounds(1, bw, time::ms(10), 0, /*lost_per_round=*/kMss);
+    bw *= 2.0;
+  }
+  ASSERT_TRUE(a.filled_pipe());
+  ASSERT_TRUE(b.filled_pipe());
+  ASSERT_EQ(a.inflight_hi(), b.inflight_hi());
+  // The startup losses left a short-term inflight_lo below both cruise
+  // caps; declare them spurious so only the long-term cap (inflight_hi
+  // shaved by headroom) binds the window.
+  a.on_spurious_loss({da.now(), 1, kMss, da.now() - time::ms(5)});
+  b.on_spurious_loss({db.now(), 1, kMss, db.now() - time::ms(5)});
+  const Bytes park = std::max<Bytes>(a.inflight_hi() / 2, 2 * kMss);
+  bool compared = false;
+  for (int i = 0; i < 60; ++i) {
+    da.run_rounds(1, rate::mbps(20), time::ms(10), park);
+    db.run_rounds(1, rate::mbps(20), time::ms(10), park);
+    if (a.phase() == "probe_bw_cruise" && b.phase() == "probe_bw_cruise" &&
+        a.cwnd() < b.cwnd()) {
+      compared = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(compared) << "headroom shave never separated the windows";
+}
+
+} // namespace
+} // namespace quicbench::cca

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "cca/bbr.h"
+#include "cca/bbr2.h"
 #include "cca/cubic.h"
 #include "cca/reno.h"
 
@@ -114,6 +116,72 @@ TEST_P(BbrGainSweep, SteadyWindowProportionalToGain) {
 INSTANTIATE_TEST_SUITE_P(Gains, BbrGainSweep,
                          ::testing::Values(1.5, 2.0, 2.5, 3.0, 4.0));
 
+// --- BBRv2 beta sweep: short-term bound backoff matches beta ---
+
+class Bbr2BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Bbr2BetaSweep, LossBoundMatchesBeta) {
+  const double beta = GetParam();
+  Bbr2Config cfg;
+  cfg.mss = kMss;
+  cfg.beta = beta;
+  Bbr2 bbr(cfg);
+  // One valid sample so the volume model has estimates, then a loss.
+  AckEvent ev = ack(time::ms(1), 20 * kMss);
+  ev.bytes_in_flight = 30 * kMss;
+  ev.largest_newly_acked = 1;
+  ev.largest_sent_pn = 20;
+  ev.rate_valid = true;
+  ev.delivery_rate = rate::mbps(20);
+  bbr.on_ack(ev);
+  const Bytes before = bbr.cwnd();
+  bbr.on_loss(loss(time::ms(20), time::ms(15)));
+  // inflight_lo = beta x cwnd (floored at min_cwnd), and cwnd is clamped
+  // to it.
+  const Bytes expect =
+      std::max(static_cast<Bytes>(beta * static_cast<double>(before)),
+               static_cast<Bytes>(cfg.min_cwnd_packets * kMss));
+  EXPECT_EQ(bbr.inflight_lo(), expect);
+  EXPECT_LE(bbr.cwnd(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, Bbr2BetaSweep,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9));
+
+// --- BBRv2 cwnd gain sweep: steady window scales with the gain ---
+
+class Bbr2GainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Bbr2GainSweep, SteadyWindowProportionalToGain) {
+  const double gain = GetParam();
+  Bbr2Config cfg;
+  cfg.mss = kMss;
+  cfg.cwnd_gain = gain;
+  Bbr2 bbr(cfg);
+  Time now = 0;
+  std::uint64_t pn = 0;
+  const Bytes bdp = bdp_bytes(rate::mbps(20), time::ms(10));
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t round_end = pn + 10;
+    for (int i = 0; i < 10; ++i) {
+      AckEvent ev = ack(now += time::ms(1), 2 * kMss);
+      ev.bytes_in_flight = bdp;
+      ev.largest_newly_acked = ++pn;
+      ev.largest_sent_pn = round_end + 10;
+      ev.rate_valid = true;
+      ev.delivery_rate = rate::mbps(20);
+      bbr.on_ack(ev);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(bbr.cwnd()),
+              gain * static_cast<double>(bdp),
+              0.25 * static_cast<double>(bdp))
+      << "gain=" << gain;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, Bbr2GainSweep,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
 // --- Reno beta sweep ---
 
 class RenoBetaSweep : public ::testing::TestWithParam<double> {};
@@ -142,7 +210,8 @@ TEST_P(AnyCcaConfig, WindowAlwaysPositiveUnderLossStorm) {
   switch (GetParam()) {
     case 0: cca = std::make_unique<Reno>(RenoConfig{}); break;
     case 1: cca = std::make_unique<Cubic>(CubicConfig{}); break;
-    default: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+    case 2: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+    default: cca = std::make_unique<Bbr2>(Bbr2Config{}); break;
   }
   Time now = time::ms(1);
   for (int i = 0; i < 200; ++i) {
@@ -164,7 +233,8 @@ TEST_P(AnyCcaConfig, SpuriousEventsNeverCrash) {
       cca = std::make_unique<Cubic>(cfg);
       break;
     }
-    default: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+    case 2: cca = std::make_unique<Bbr>(BbrConfig{}); break;
+    default: cca = std::make_unique<Bbr2>(Bbr2Config{}); break;
   }
   // Spurious events with no preceding loss must be harmless.
   cca->on_spurious_loss({time::ms(5), 1, kMss, time::ms(1)});
@@ -172,7 +242,8 @@ TEST_P(AnyCcaConfig, SpuriousEventsNeverCrash) {
   EXPECT_GT(cca->cwnd(), 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllCcas, AnyCcaConfig, ::testing::Values(0, 1, 2));
+INSTANTIATE_TEST_SUITE_P(AllCcas, AnyCcaConfig,
+                         ::testing::Values(0, 1, 2, 3));
 
 } // namespace
 } // namespace quicbench::cca

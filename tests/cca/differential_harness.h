@@ -1,0 +1,335 @@
+#pragma once
+// Differential CCA test harness: the shared property suite every
+// registered (stack, CCA) implementation must satisfy, parameterized
+// over impairment seeds. Adding a CCA to the population means
+// "implement + satisfy this harness", not "implement + hope".
+//
+// Each property is a pure predicate over one observed solo trial (the
+// implementation competing with itself on the paper-default dumbbell,
+// flight-recorded at a fine interval):
+//
+//   cwnd_bounds          cwnd > 0 everywhere, bounded by the profile's
+//                        flow-control cap (in-flight) and an absolute
+//                        sanity ceiling
+//   pacing_tracks_rate   the median pacing rate stays within the CCA
+//                        gain envelope of the median delivery rate
+//   probe_rtt            rate-based CCAs visit probe_rtt periodically
+//                        (within interval + slack) and dwell there
+//   recovery_exit        a loss backoff is not undone within its own
+//                        recovery span (skipped for implementations
+//                        that deliberately roll back, e.g. quiche)
+//   replay_determinism   the same seeded impaired trial replayed twice
+//                        produces bit-identical stats and cwnd series
+//
+// The negative control in differential_test.cpp feeds a seeded mutant
+// (a bbr2 config that skips probe_rtt) through the same predicates and
+// asserts the harness rejects it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "obs/flight.h"
+#include "stacks/registry.h"
+
+namespace quicbench::difftest {
+
+// One impairment point of the (implementation x impairment) grid.
+struct ImpairmentCase {
+  const char* name;
+  std::uint64_t seed;
+  bool impaired;  // seeded loss + reordering + duplication + ACK loss
+};
+
+inline const std::vector<ImpairmentCase>& impairment_cases() {
+  static const std::vector<ImpairmentCase> cases = {
+      {"clean", 3, false},
+      {"impaired_a", 11, true},
+      {"impaired_b", 23, true},
+  };
+  return cases;
+}
+
+inline harness::ExperimentConfig diff_config(const ImpairmentCase& c,
+                                             Time duration) {
+  harness::ExperimentConfig cfg;  // paper-default dumbbell
+  cfg.duration = duration;
+  cfg.trials = 1;
+  cfg.seed = c.seed;
+  if (c.impaired) {
+    netsim::ImpairmentConfig& imp = cfg.net.impairment;
+    imp.loss_rate = 0.01;
+    imp.reorder_rate = 0.02;
+    imp.reorder_gap = 3;
+    imp.duplicate_rate = 0.005;
+    imp.ack_loss_rate = 0.01;
+  }
+  return cfg;
+}
+
+// One observed solo trial: results plus the fine-grained flight series.
+struct DiffRun {
+  harness::TrialResult trial;
+  std::vector<obs::FlowSampler::Sample> samples;
+  std::vector<std::string> phase_names;
+};
+
+inline DiffRun run_solo(const stacks::Implementation& impl,
+                        const harness::ExperimentConfig& cfg) {
+  obs::FlowSampler sampler(time::ms(25), /*capacity=*/65536);
+  harness::TrialObservers obs;
+  obs.flight[0] = &sampler;
+  DiffRun run;
+  run.trial = harness::run_trial(impl, impl, cfg, 0, obs);
+  run.samples = sampler.samples();
+  run.phase_names = sampler.phase_names();
+  return run;
+}
+
+inline std::string_view phase_of(const DiffRun& run,
+                                 const obs::FlowSampler::Sample& s) {
+  if (s.phase < 0 ||
+      static_cast<std::size_t>(s.phase) >= run.phase_names.size()) {
+    return "";
+  }
+  return run.phase_names[static_cast<std::size_t>(s.phase)];
+}
+
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+// --- Property: cwnd positive and bounded -------------------------------
+
+inline ::testing::AssertionResult check_cwnd_bounds(
+    const stacks::Implementation& impl, const DiffRun& run) {
+  // Absolute sanity ceiling: the dumbbell's BDP is ~25 KB; no sane
+  // window on this path approaches 4 MiB.
+  constexpr Bytes kCeiling = 4 * 1024 * 1024;
+  const Bytes fc = impl.profile.sender.flow_control_window;
+  const Bytes slack = impl.profile.sender.mss +
+                      impl.profile.sender.header_overhead;
+  for (const auto& s : run.samples) {
+    if (s.cwnd <= 0) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": cwnd " << s.cwnd << " <= 0 at t="
+             << time::to_sec(s.t) << "s";
+    }
+    // Bound the EFFECTIVE window: flow-control-limited stacks (e.g.
+    // xquic, neqo) let the raw cwnd counter drift upward while fc caps
+    // what is actually sent — only min(cwnd, fc) governs the path.
+    const Bytes effective = fc > 0 ? std::min(s.cwnd, fc) : s.cwnd;
+    if (effective > kCeiling) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": effective window " << effective
+             << " exceeds the sanity ceiling at t=" << time::to_sec(s.t)
+             << "s";
+    }
+    if (fc > 0 && s.bytes_in_flight > fc + slack) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": in-flight " << s.bytes_in_flight
+             << " exceeds the flow-control cap " << fc << " at t="
+             << time::to_sec(s.t) << "s";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Property: pacing rate tracks delivery rate ------------------------
+
+inline ::testing::AssertionResult check_pacing_tracks_delivery(
+    const stacks::Implementation& impl, const DiffRun& run) {
+  // Steady-state samples only (skip startup's intentional overshoot).
+  std::vector<double> pacing, delivery;
+  const Time cutoff = run.samples.empty() ? 0 : run.samples.back().t / 4;
+  for (const auto& s : run.samples) {
+    if (s.t < cutoff) continue;
+    if (s.pacing_mbps >= 0) pacing.push_back(s.pacing_mbps);
+    if (s.delivery_mbps >= 0) delivery.push_back(s.delivery_mbps);
+  }
+  if (pacing.empty()) {
+    // Ack-clocked implementation (no pacing rate exposed): vacuous.
+    return ::testing::AssertionSuccess();
+  }
+  if (delivery.size() < 8) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": too few delivery samples ("
+           << delivery.size() << ") to judge pacing";
+  }
+  const double p = median(pacing);
+  const double d = median(delivery);
+  // Gain envelope: the largest steady gain in the population is BBR's
+  // startup 2.773 x a 1.2 stack scale; the smallest sustained gain is
+  // ProbeRTT / drain throttling. Median-over-steady-state keeps the
+  // bound tight enough to catch a runaway pacer while tolerating the
+  // cycle's excursions.
+  if (p < 0.4 * d || p > 3.6 * d) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": median pacing " << p
+           << " Mbps outside the gain envelope of median delivery " << d
+           << " Mbps";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Property: probe_rtt periodicity and residency ---------------------
+
+inline bool is_rate_based(const stacks::Implementation& impl) {
+  return impl.cca == stacks::CcaType::kBbr ||
+         impl.cca == stacks::CcaType::kBbr2;
+}
+
+inline Time probe_rtt_interval_of(const stacks::Implementation& impl) {
+  return impl.cca == stacks::CcaType::kBbr2 ? impl.bbr2.probe_rtt_interval
+                                            : impl.bbr.probe_rtt_interval;
+}
+
+// `expected_interval` overrides the implementation's own configured
+// interval (0 = use the config). The override exists for the negative
+// control: a mutant that skips probe_rtt is judged against the cadence
+// its algorithm claims, not whatever its broken state machine delivers.
+inline ::testing::AssertionResult check_probe_rtt(
+    const stacks::Implementation& impl, const DiffRun& run,
+    Time expected_interval = 0) {
+  if (!is_rate_based(impl)) return ::testing::AssertionSuccess();
+  // Visit = maximal sample span whose phase is probe_rtt.
+  std::vector<std::pair<Time, Time>> visits;  // [start, end]
+  bool in_visit = false;
+  for (const auto& s : run.samples) {
+    const bool probing = phase_of(run, s) == "probe_rtt";
+    if (probing && !in_visit) {
+      visits.emplace_back(s.t, s.t);
+      in_visit = true;
+    } else if (probing) {
+      visits.back().second = s.t;
+    } else {
+      in_visit = false;
+    }
+  }
+  const Time interval = expected_interval > 0 ? expected_interval
+                                              : probe_rtt_interval_of(impl);
+  const Time duration = run.samples.empty() ? 0 : run.samples.back().t;
+  // Entry slack: a min_rtt refresh just after a visit restarts the
+  // expiry clock, so consecutive visits can sit one refresh past the
+  // interval apart, plus the dwell + drain of the visit itself.
+  const Time slack = time::sec(8);
+  if (duration < interval + slack) return ::testing::AssertionSuccess();
+  if (visits.empty()) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": no probe_rtt visit in "
+           << time::to_sec(duration) << "s (interval "
+           << time::to_sec(interval) << "s)";
+  }
+  // Periodicity: no gap between consecutive visit starts (or from trial
+  // start to the first visit) may exceed interval + slack.
+  Time prev = 0;
+  for (const auto& v : visits) {
+    if (v.first - prev > interval + slack) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": " << time::to_sec(v.first - prev)
+             << "s between probe_rtt visits exceeds interval + slack";
+    }
+    prev = v.first;
+  }
+  if (duration - prev > interval + slack) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": last " << time::to_sec(duration - prev)
+           << "s of the trial have no probe_rtt visit";
+  }
+  // Residency: at least one visit must span the configured dwell (the
+  // 25 ms sampling grid resolves the 200 ms probe_rtt_duration).
+  const Time dwell = impl.cca == stacks::CcaType::kBbr2
+                         ? impl.bbr2.probe_rtt_duration
+                         : impl.bbr.probe_rtt_duration;
+  Time longest = 0;
+  for (const auto& v : visits) longest = std::max(longest, v.second - v.first);
+  if (longest + time::ms(50) < dwell) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": longest probe_rtt visit "
+           << time::to_sec(longest) << "s never covers the "
+           << time::to_sec(dwell) << "s dwell";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Property: recovery exits do not undo the backoff ------------------
+
+inline ::testing::AssertionResult check_recovery_exit(
+    const stacks::Implementation& impl, const DiffRun& run) {
+  if (impl.cubic.spurious_loss_rollback) {
+    // quiche CUBIC rolls its backoffs back by design (the Fig 15
+    // deviation); the property intentionally does not apply.
+    return ::testing::AssertionSuccess();
+  }
+  const Bytes slack = impl.profile.sender.mss * 2;
+  for (std::size_t i = 0; i < run.samples.size();) {
+    if (phase_of(run, run.samples[i]) != "recovery" || i == 0) {
+      ++i;
+      continue;
+    }
+    // Monotonicity within the span: cwnd must not climb back above the
+    // (already backed-off) level it entered recovery with. A pre-span
+    // sample is unusable as the baseline — during slow start the window
+    // grows a burst between samples, so the backoff target is computed
+    // from a larger cwnd than the last sample recorded.
+    const Bytes entry = run.samples[i].cwnd;
+    std::size_t j = i;
+    while (j < run.samples.size() &&
+           phase_of(run, run.samples[j]) == "recovery") {
+      ++j;
+    }
+    const Bytes exit_cwnd = run.samples[j - 1].cwnd;
+    if (exit_cwnd > entry + slack) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": recovery span ending at t="
+             << time::to_sec(run.samples[j - 1].t) << "s exits with cwnd "
+             << exit_cwnd << " above its entry level " << entry;
+    }
+    i = j;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Property: seeded impaired replay is bit-identical -----------------
+
+inline ::testing::AssertionResult check_replay_determinism(
+    const stacks::Implementation& impl,
+    const harness::ExperimentConfig& cfg) {
+  const DiffRun a = run_solo(impl, cfg);
+  const DiffRun b = run_solo(impl, cfg);
+  const auto& sa = a.trial.flow[0].sender_stats;
+  const auto& sb = b.trial.flow[0].sender_stats;
+  if (sa.packets_sent != sb.packets_sent ||
+      sa.retransmissions != sb.retransmissions ||
+      sa.losses_detected != sb.losses_detected ||
+      sa.spurious_losses != sb.spurious_losses ||
+      sa.ptos_fired != sb.ptos_fired ||
+      a.trial.sim_events != b.trial.sim_events ||
+      a.trial.flow[0].avg_throughput != b.trial.flow[0].avg_throughput) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": replay diverged (stats/events)";
+  }
+  if (a.samples.size() != b.samples.size()) {
+    return ::testing::AssertionFailure()
+           << impl.display << ": replay diverged (sample counts "
+           << a.samples.size() << " vs " << b.samples.size() << ")";
+  }
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (a.samples[i].cwnd != b.samples[i].cwnd ||
+        a.samples[i].t != b.samples[i].t ||
+        a.samples[i].bytes_in_flight != b.samples[i].bytes_in_flight) {
+      return ::testing::AssertionFailure()
+             << impl.display << ": replay diverged at sample " << i;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace quicbench::difftest

@@ -1,0 +1,199 @@
+// Differential CCA suite: every registered implementation, across
+// impairment seeds, must satisfy the shared property set in
+// differential_harness.h. A seeded mutant (probe_rtt skipped, runaway
+// pacer) must FAIL the harness — the negative control that proves the
+// properties have teeth. Finally, randomized cross-CCA scenarios fuzz
+// the whole population together with the runtime invariant checker
+// live (violations throw at trial end).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "differential_harness.h"
+#include "harness/scenario.h"
+#include "util/rng.h"
+
+namespace quicbench::difftest {
+namespace {
+
+using stacks::Implementation;
+using stacks::Registry;
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == ' ' || c == '-' || c == '(' || c == ')' || c == '.') c = '_';
+  }
+  return s;
+}
+
+// --- Property suite over (implementation x impairment seed) ------------
+
+class EveryImplProperties
+    : public ::testing::TestWithParam<
+          std::tuple<const Implementation*, std::size_t>> {};
+
+TEST_P(EveryImplProperties, SatisfiesSharedInvariants) {
+  const Implementation& impl = *std::get<0>(GetParam());
+  const ImpairmentCase& c = impairment_cases()[std::get<1>(GetParam())];
+  const DiffRun run = run_solo(impl, diff_config(c, time::sec(15)));
+  ASSERT_GT(run.samples.size(), 50u) << impl.display << " under-sampled";
+  EXPECT_TRUE(check_cwnd_bounds(impl, run));
+  EXPECT_TRUE(check_pacing_tracks_delivery(impl, run));
+  EXPECT_TRUE(check_recovery_exit(impl, run));
+}
+
+std::vector<std::tuple<const Implementation*, std::size_t>> property_grid() {
+  std::vector<std::tuple<const Implementation*, std::size_t>> grid;
+  for (const auto& impl : Registry::instance().all()) {
+    for (std::size_t ci = 0; ci < impairment_cases().size(); ++ci) {
+      grid.emplace_back(&impl, ci);
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Population, EveryImplProperties, ::testing::ValuesIn(property_grid()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<const Implementation*, std::size_t>>& info) {
+      return sanitize(std::get<0>(info.param)->display) + "_" +
+             impairment_cases()[std::get<1>(info.param)].name;
+    });
+
+// --- probe_rtt cadence: rate-based implementations, longer clean run ---
+
+class RateBasedProbeRtt
+    : public ::testing::TestWithParam<const Implementation*> {};
+
+TEST_P(RateBasedProbeRtt, VisitsProbeRttPeriodically) {
+  const Implementation& impl = *GetParam();
+  const DiffRun run =
+      run_solo(impl, diff_config(impairment_cases()[0], time::sec(30)));
+  EXPECT_TRUE(check_probe_rtt(impl, run));
+}
+
+std::vector<const Implementation*> rate_based_impls() {
+  std::vector<const Implementation*> out;
+  for (const auto& impl : Registry::instance().all()) {
+    if (is_rate_based(impl)) out.push_back(&impl);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Population, RateBasedProbeRtt, ::testing::ValuesIn(rate_based_impls()),
+    [](const ::testing::TestParamInfo<const Implementation*>& info) {
+      return sanitize(info.param->display);
+    });
+
+// --- spurious-loss replay: seeded impaired trials are deterministic ----
+
+class EveryImplReplay
+    : public ::testing::TestWithParam<const Implementation*> {};
+
+TEST_P(EveryImplReplay, ImpairedReplayIsBitIdentical) {
+  const Implementation& impl = *GetParam();
+  // Reorder-heavy impairment: maximizes spurious-loss traffic, the
+  // history-dependent path most likely to diverge on replay.
+  harness::ExperimentConfig cfg =
+      diff_config(impairment_cases()[1], time::sec(5));
+  cfg.net.impairment.reorder_rate = 0.05;
+  EXPECT_TRUE(check_replay_determinism(impl, cfg));
+}
+
+std::vector<const Implementation*> all_impls() {
+  std::vector<const Implementation*> out;
+  for (const auto& impl : Registry::instance().all()) out.push_back(&impl);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Population, EveryImplReplay, ::testing::ValuesIn(all_impls()),
+    [](const ::testing::TestParamInfo<const Implementation*>& info) {
+      return sanitize(info.param->display);
+    });
+
+// --- Negative controls: seeded mutants must fail the harness -----------
+
+TEST(DifferentialMutant, ProbeRttSkippedIsCaught) {
+  // Mutant: a "bbr2" whose state machine never reaches probe_rtt
+  // (emulated by pushing the interval past the trial horizon). Judged
+  // against the cadence the reference config claims, the periodicity
+  // property must reject it — proof the harness detects this class of
+  // implementation bug.
+  const Implementation& ref = Registry::instance().reference(
+      stacks::CcaType::kBbr2);
+  Implementation mutant = ref;
+  mutant.display = "tcp bbr2 (mutant: probe_rtt skipped)";
+  mutant.bbr2.probe_rtt_interval = time::sec(1000);
+  const DiffRun run =
+      run_solo(mutant, diff_config(impairment_cases()[0], time::sec(30)));
+  EXPECT_FALSE(
+      check_probe_rtt(mutant, run, ref.bbr2.probe_rtt_interval));
+  // The unmutated reference passes the identical check.
+  const DiffRun ok =
+      run_solo(ref, diff_config(impairment_cases()[0], time::sec(30)));
+  EXPECT_TRUE(check_probe_rtt(ref, ok, ref.bbr2.probe_rtt_interval));
+}
+
+TEST(DifferentialMutant, RunawayPacerIsCaught) {
+  // Mutant: a pacer scaled 10x past its delivery rate (a unit-slip bug).
+  const Implementation& ref =
+      Registry::instance().reference(stacks::CcaType::kBbr2);
+  Implementation mutant = ref;
+  mutant.display = "tcp bbr2 (mutant: runaway pacer)";
+  mutant.bbr2.pacing_rate_scale = 10.0;
+  const DiffRun run =
+      run_solo(mutant, diff_config(impairment_cases()[0], time::sec(15)));
+  EXPECT_FALSE(check_pacing_tracks_delivery(mutant, run));
+}
+
+// --- Randomized cross-CCA scenario fuzz --------------------------------
+
+class CrossCcaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossCcaFuzz, InvariantCheckerStaysClean) {
+  // 3-5 flows drawn across the whole population (every CcaType can land
+  // in the mix), random starts and impairments. The runtime invariant
+  // checkers attached to every flow throw at trial end on any ledger,
+  // conservation or RTT-floor violation — completing the trial IS the
+  // assertion.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 17);
+  const auto& impls = Registry::instance().all();
+  harness::ScenarioConfig cfg;
+  cfg.duration = time::sec(6);
+  cfg.trials = 1;
+  cfg.seed = seed;
+  if (rng.uniform() < 0.5) {
+    cfg.net.impairment.loss_rate = rng.uniform(0.0, 0.02);
+    cfg.net.impairment.reorder_rate = rng.uniform(0.0, 0.03);
+    cfg.net.impairment.reorder_gap = 3;
+    cfg.net.impairment.duplicate_rate = rng.uniform(0.0, 0.01);
+    cfg.net.impairment.ack_loss_rate = rng.uniform(0.0, 0.01);
+  }
+  const int flows = 3 + static_cast<int>(rng.uniform_int(3));
+  for (int i = 0; i < flows; ++i) {
+    harness::FlowSpec spec;
+    spec.impl = impls[rng.uniform_int(impls.size())];
+    spec.role = i == 0 ? harness::FlowRole::kTest
+                       : harness::FlowRole::kBackground;
+    spec.start_at = static_cast<Time>(rng.uniform_int(time::sec(2)));
+    cfg.flows.push_back(std::move(spec));
+  }
+  const harness::ScenarioTrialResult tr =
+      harness::run_scenario_trial(cfg, 0);
+  // Liveness floor on top of the invariants: the scenario moved data.
+  Bytes delivered = 0;
+  for (const auto& f : tr.flows) delivered += f.bytes_delivered;
+  EXPECT_GT(delivered, 0) << "seed " << seed << " moved no data";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCcaFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace
+} // namespace quicbench::difftest

@@ -188,6 +188,18 @@ TEST(GoldenTrace, CubicImpaired) {
 TEST(GoldenTrace, BbrImpaired) {
   run_scenario({"bbr_impaired", stacks::CcaType::kBbr, true});
 }
+TEST(GoldenTrace, Bbr2Canonical) {
+  run_scenario({"bbr2_canonical", stacks::CcaType::kBbr2, false});
+}
+TEST(GoldenTrace, Bbr2Impaired) {
+  run_scenario({"bbr2_impaired", stacks::CcaType::kBbr2, true});
+}
+TEST(GoldenTrace, CubicRackCanonical) {
+  run_scenario({"cubic_rack_canonical", stacks::CcaType::kCubicRack, false});
+}
+TEST(GoldenTrace, CubicRackImpaired) {
+  run_scenario({"cubic_rack_impaired", stacks::CcaType::kCubicRack, true});
+}
 
 } // namespace
 } // namespace quicbench

@@ -75,6 +75,9 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const Implementation*>& info) {
       std::string name = info.param->stack + "_" +
                          stacks::to_string(info.param->cca);
+      for (char& c : name) {
+        if (c == '-') c = '_';  // gtest names reject '-' (cubic-rack)
+      }
       return name;
     });
 

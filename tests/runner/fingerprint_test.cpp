@@ -271,5 +271,45 @@ TEST(Fingerprint, ImplementationTweaksPerturb) {
   EXPECT_EQ(fps.size(), 4u);
 }
 
+TEST(Fingerprint, Bbr2AndRackFieldsPerturb) {
+  const auto& reg = Registry::instance();
+  const auto cfg = base_cfg();
+
+  // Bbr2Config knobs the registry's deviation rows actually vary.
+  const auto& b2 = reg.reference(CcaType::kBbr2);
+  const std::string b2_base = fingerprint(b2, cfg);
+  std::set<std::string> fps{b2_base};
+  const auto vary_b2 = [&](auto&& mutate) {
+    stacks::Implementation v = b2;
+    mutate(v.bbr2);
+    const std::string fp = fingerprint(v, cfg);
+    EXPECT_NE(fp, b2_base);
+    fps.insert(fp);
+  };
+  vary_b2([](auto& c) { c.pacing_rate_scale = 1.2; });
+  vary_b2([](auto& c) { c.inflight_headroom = 0.0; });
+  vary_b2([](auto& c) { c.loss_thresh = 0.05; });
+  vary_b2([](auto& c) { c.beta = 0.8; });
+  vary_b2([](auto& c) { c.bw_probe_wait = time::sec(3); });
+  vary_b2([](auto& c) { c.probe_rtt_interval = time::sec(10); });
+  vary_b2([](auto& c) { c.probe_rtt_cwnd_gain = 0.75; });
+  EXPECT_EQ(fps.size(), 8u);
+
+  // The loss-detection axis: cubic-rack must not collide with plain
+  // cubic on the same stack, and each RACK knob must perturb.
+  const auto& rack = reg.reference(CcaType::kCubicRack);
+  const auto& cubic = reg.reference(CcaType::kCubic);
+  EXPECT_NE(fingerprint(rack, cfg), fingerprint(cubic, cfg));
+  const std::string rack_base = fingerprint(rack, cfg);
+  const auto vary_rack = [&](auto&& mutate) {
+    stacks::Implementation v = rack;
+    mutate(v.profile.sender);
+    EXPECT_NE(fingerprint(v, cfg), rack_base);
+  };
+  vary_rack([](auto& s) { s.rack_reo_wnd_fraction = 0.5; });
+  vary_rack([](auto& s) { s.rack_max_reo_wnd_mult = 8; });
+  vary_rack([](auto& s) { s.tlp_srtt_factor = 1.5; });
+}
+
 } // namespace
 } // namespace quicbench::runner

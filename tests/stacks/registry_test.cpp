@@ -10,17 +10,23 @@ namespace {
 
 TEST(Registry, Table1Population) {
   const auto& reg = Registry::instance();
-  // 11 QUIC stacks (22 implementations) + 3 kernel references = 25.
-  EXPECT_EQ(reg.all().size(), 25u);
-  // Table 1 CCA columns.
+  // 11 QUIC stacks (26 implementations) + 5 kernel references = 31.
+  EXPECT_EQ(reg.all().size(), 31u);
+  // Table 1 CCA columns (extended population).
   EXPECT_EQ(reg.with_cca(CcaType::kCubic, false).size(), 11u);
   EXPECT_EQ(reg.with_cca(CcaType::kBbr, false).size(), 4u);
   EXPECT_EQ(reg.with_cca(CcaType::kReno, false).size(), 7u);
+  EXPECT_EQ(reg.with_cca(CcaType::kBbr2, false).size(), 3u);
+  EXPECT_EQ(reg.with_cca(CcaType::kCubicRack, false).size(), 1u);
+  // include_reference adds exactly the kernel row.
+  EXPECT_EQ(reg.with_cca(CcaType::kBbr2, true).size(), 4u);
+  EXPECT_EQ(reg.with_cca(CcaType::kCubicRack, true).size(), 2u);
 }
 
 TEST(Registry, ReferencesAreKernel) {
   const auto& reg = Registry::instance();
-  for (CcaType t : {CcaType::kCubic, CcaType::kBbr, CcaType::kReno}) {
+  for (CcaType t : {CcaType::kCubic, CcaType::kBbr, CcaType::kReno,
+                    CcaType::kBbr2, CcaType::kCubicRack}) {
     const Implementation& ref = reg.reference(t);
     EXPECT_EQ(ref.stack, "tcp");
     EXPECT_TRUE(ref.is_reference);
@@ -38,6 +44,19 @@ TEST(Registry, Table1Gaps) {
   EXPECT_EQ(reg.find("quiche", CcaType::kBbr), nullptr);
   EXPECT_NE(reg.find("xquic", CcaType::kBbr), nullptr);
   EXPECT_NE(reg.find("lsquic", CcaType::kBbr), nullptr);
+  // New columns: only mvfst/chromium/xquic ported BBRv2; only msquic runs
+  // RACK-style loss detection under CUBIC. Everything else is a gap.
+  EXPECT_NE(reg.find("mvfst", CcaType::kBbr2), nullptr);
+  EXPECT_NE(reg.find("chromium", CcaType::kBbr2), nullptr);
+  EXPECT_NE(reg.find("xquic", CcaType::kBbr2), nullptr);
+  EXPECT_EQ(reg.find("quiche", CcaType::kBbr2), nullptr);
+  EXPECT_EQ(reg.find("lsquic", CcaType::kBbr2), nullptr);
+  EXPECT_EQ(reg.find("neqo", CcaType::kBbr2), nullptr);
+  EXPECT_NE(reg.find("msquic", CcaType::kCubicRack), nullptr);
+  EXPECT_EQ(reg.find("chromium", CcaType::kCubicRack), nullptr);
+  EXPECT_EQ(reg.find("quicgo", CcaType::kCubicRack), nullptr);
+  // find() on an unknown stack name is also a gap, not a throw.
+  EXPECT_EQ(reg.find("nosuchstack", CcaType::kBbr2), nullptr);
 }
 
 TEST(Registry, DocumentedDeviationsEncoded) {
@@ -63,6 +82,26 @@ TEST(Registry, DocumentedDeviationsEncoded) {
   // Kernel CUBIC uses classic HyStart; QUIC stacks use HyStart++.
   EXPECT_TRUE(reg.reference(CcaType::kCubic).cubic.classic_hystart);
   EXPECT_FALSE(reg.find("msquic", CcaType::kCubic)->cubic.classic_hystart);
+  // BBRv2 deviations: mvfst keeps its 1.2x pacer overdrive, xquic drops
+  // the cruise headroom and relaxes the loss threshold to 5%.
+  EXPECT_DOUBLE_EQ(reg.find("mvfst", CcaType::kBbr2)->bbr2.pacing_rate_scale,
+                   1.2);
+  EXPECT_DOUBLE_EQ(reg.find("xquic", CcaType::kBbr2)->bbr2.inflight_headroom,
+                   0.0);
+  EXPECT_DOUBLE_EQ(reg.find("xquic", CcaType::kBbr2)->bbr2.loss_thresh, 0.05);
+  EXPECT_DOUBLE_EQ(reg.find("chromium", CcaType::kBbr2)->bbr2.loss_thresh,
+                   0.02);
+  // RACK-TLP rides the loss-detection axis, not the CCA config.
+  EXPECT_EQ(reg.reference(CcaType::kCubicRack).profile.sender.loss_detection,
+            transport::LossDetection::kRackTlp);
+  EXPECT_EQ(reg.find("msquic", CcaType::kCubicRack)
+                ->profile.sender.loss_detection,
+            transport::LossDetection::kRackTlp);
+  // The plain references keep RFC 9002 loss detection.
+  EXPECT_EQ(reg.reference(CcaType::kCubic).profile.sender.loss_detection,
+            transport::LossDetection::kRfc9002);
+  EXPECT_EQ(reg.reference(CcaType::kBbr2).profile.sender.loss_detection,
+            transport::LossDetection::kRfc9002);
 }
 
 TEST(Registry, ConformantStacksUseDefaults) {
@@ -85,6 +124,10 @@ TEST(Registry, MakeCcaProducesRightAlgorithm) {
   EXPECT_EQ(bbr->name(), "bbr");
   auto reno = reg.find("quinn", CcaType::kReno)->make_cca();
   EXPECT_EQ(reno->name(), "reno");
+  auto bbr2 = reg.find("chromium", CcaType::kBbr2)->make_cca();
+  EXPECT_EQ(bbr2->name(), "bbr2");
+  auto cubic_rack = reg.find("msquic", CcaType::kCubicRack)->make_cca();
+  EXPECT_EQ(cubic_rack->name(), "cubic_rack");
 }
 
 TEST(Registry, MakeCcaUsesProfileMss) {
@@ -112,6 +155,15 @@ TEST(FixedVariant, KnownFixes) {
   const auto quiche = fixed_variant(*reg.find("quiche", CcaType::kCubic));
   ASSERT_TRUE(quiche.has_value());
   EXPECT_FALSE(quiche->cubic.spurious_loss_rollback);
+
+  const auto mvfst2 = fixed_variant(*reg.find("mvfst", CcaType::kBbr2));
+  ASSERT_TRUE(mvfst2.has_value());
+  EXPECT_DOUBLE_EQ(mvfst2->bbr2.pacing_rate_scale, 1.0);
+
+  const auto xquic2 = fixed_variant(*reg.find("xquic", CcaType::kBbr2));
+  ASSERT_TRUE(xquic2.has_value());
+  EXPECT_DOUBLE_EQ(xquic2->bbr2.inflight_headroom, 0.15);
+  EXPECT_DOUBLE_EQ(xquic2->bbr2.loss_thresh, 0.02);
 }
 
 TEST(FixedVariant, NoFixForConformantImpl) {
@@ -136,6 +188,10 @@ TEST(Registry, DisplayNames) {
   const auto& reg = Registry::instance();
   EXPECT_EQ(reg.find("quiche", CcaType::kCubic)->display, "quiche cubic");
   EXPECT_EQ(to_string(CcaType::kBbr), "bbr");
+  EXPECT_EQ(to_string(CcaType::kBbr2), "bbr2");
+  EXPECT_EQ(to_string(CcaType::kCubicRack), "cubic-rack");
+  EXPECT_EQ(reg.find("tcp", CcaType::kCubicRack)->display, "tcp cubic-rack");
+  EXPECT_EQ(reg.find("xquic", CcaType::kBbr2)->display, "xquic bbr2");
 }
 
 } // namespace

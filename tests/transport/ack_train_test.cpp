@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cca/bbr.h"
+#include "cca/bbr2.h"
 #include "cca/cubic.h"
 #include "cca/reno.h"
 #include "netsim/event.h"
@@ -62,10 +63,22 @@ std::unique_ptr<cca::CongestionController> make_cca(int kind, Bytes mss) {
       c.mss = mss;
       return std::make_unique<cca::Cubic>(c);
     }
-    default: {
+    case 2: {
       cca::BbrConfig c;
       c.mss = mss;
       return std::make_unique<cca::Bbr>(c);
+    }
+    case 3: {
+      cca::Bbr2Config c;
+      c.mss = mss;
+      return std::make_unique<cca::Bbr2>(c);
+    }
+    default: {
+      // Kind 4: CUBIC over RACK-TLP loss detection (the loss-detection
+      // axis is a sender-profile property, see World's constructor).
+      cca::CubicConfig c;
+      c.mss = mss;
+      return std::make_unique<cca::Cubic>(c);
     }
   }
 }
@@ -82,6 +95,7 @@ struct World {
 
   World(bool batched, int cca_kind, std::uint64_t seed) {
     SenderProfile profile = default_quic_profile().sender;
+    if (cca_kind == 4) profile.loss_detection = LossDetection::kRackTlp;
     sender = std::make_unique<SenderEndpoint>(
         sim, 0, profile, make_cca(cca_kind, profile.mss), &net, Rng(seed));
     if (!batched) {
@@ -142,6 +156,8 @@ void expect_worlds_equal(const World& a, const World& b, int step) {
   EXPECT_EQ(a.sender->bytes_in_flight(), b.sender->bytes_in_flight())
       << "step " << step;
   EXPECT_EQ(a.sender->reorder_threshold(), b.sender->reorder_threshold())
+      << "step " << step;
+  EXPECT_EQ(a.sender->rack_reo_mult(), b.sender->rack_reo_mult())
       << "step " << step;
   EXPECT_EQ(a.sender->controller().cwnd(), b.sender->controller().cwnd())
       << "step " << step;
@@ -295,12 +311,14 @@ TEST_P(AckTrainEquivalence, BatchedMatchesScalarAcrossSeeds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCcas, AckTrainEquivalence,
-                         ::testing::Values(0, 1, 2),
+                         ::testing::Values(0, 1, 2, 3, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
                            switch (info.param) {
                              case 0: return "reno";
                              case 1: return "cubic";
-                             default: return "bbr";
+                             case 2: return "bbr";
+                             case 3: return "bbr2";
+                             default: return "cubic_rack";
                            }
                          });
 

@@ -163,6 +163,72 @@ TEST(LossDetection, DuplicateAckFramesAreIdempotent) {
   EXPECT_EQ(f.sender->bytes_in_flight(), inflight);
 }
 
+// --- RACK-TLP (profile loss_detection = kRackTlp) ---
+
+SenderProfile rack_profile() {
+  SenderProfile p = kernel_tcp_profile().sender;
+  p.loss_detection = LossDetection::kRackTlp;
+  return p;
+}
+
+TEST(RackTlp, PacketThresholdSuppressedTimeStillFires) {
+  // RACK is purely time-based: a 3-packet gap alone declares nothing;
+  // only age beyond srtt + reo_wnd does.
+  Fixture f(rack_profile());
+  f.advance(time::ms(10));
+  f.ack_ranges({{0, 1}, {3, 6}});  // would be an instant loss under RFC 9002
+  EXPECT_EQ(f.sender->stats().losses_detected, 0);
+  // Once pn 2 outlives the reordering window the loss timer fires.
+  f.advance(time::ms(100));
+  EXPECT_GE(f.sender->stats().losses_detected, 1);
+}
+
+TEST(RackTlp, SpuriousLossWidensReorderWindow) {
+  Fixture f(rack_profile());
+  EXPECT_EQ(f.sender->rack_reo_mult(), 1);
+  f.advance(time::ms(10));
+  f.ack_ranges({{0, 1}, {3, 6}});
+  f.advance(time::ms(100));  // time-based loss of pn 2
+  ASSERT_GE(f.sender->stats().losses_detected, 1);
+  f.ack_ranges({{0, 6}});  // the "lost" packet's ack arrives late
+  ASSERT_GE(f.sender->stats().spurious_losses, 1);
+  // RACK adapts by doubling the reo_wnd multiplier, not the (suppressed)
+  // packet threshold.
+  EXPECT_EQ(f.sender->rack_reo_mult(), 2);
+  EXPECT_EQ(f.sender->reorder_threshold(),
+            rack_profile().packet_reorder_threshold);
+}
+
+TEST(RackTlp, ReorderWindowMultiplierIsCapped) {
+  SenderProfile p = rack_profile();
+  p.rack_max_reo_wnd_mult = 4;
+  Fixture f(p);
+  std::uint64_t lo = 0;
+  for (int round = 0; round < 5; ++round) {
+    // Manufacture one spurious loss per round: gap, age-out, late ack.
+    f.advance(time::ms(10));
+    const std::uint64_t hi = f.net.sent.back().pn;
+    if (hi < lo + 3) continue;
+    f.ack_ranges({{0, lo}, {lo + 2, hi}});
+    f.advance(time::ms(400));
+    f.ack_ranges({{0, hi}});
+    lo = hi;
+  }
+  EXPECT_GT(f.sender->stats().spurious_losses, 2);
+  EXPECT_EQ(f.sender->rack_reo_mult(), 4);  // capped, not 8 or 16
+}
+
+TEST(RackTlp, TailLossProbeFiresAfterSilence) {
+  Fixture f(rack_profile());
+  f.advance(time::ms(10));
+  const std::uint64_t hi = f.net.sent.back().pn;
+  f.ack_ranges({{0, hi}});  // RTT sample establishes the TLP interval
+  // Silence: the 2 x srtt tail probe must fire well before an RFC 9002
+  // PTO backoff series would give up.
+  f.advance(time::sec(1));
+  EXPECT_GE(f.sender->stats().ptos_fired, 1);
+}
+
 TEST(LossDetection, MinRttTimeBaseIsMoreAggressive) {
   // With the min-RTT time base, queued packets are declared lost while
   // smoothed-RTT-based detection stays quiet. We simulate RTT inflation by
