@@ -27,6 +27,7 @@
 #include "netsim/event.h"
 #include "obs/run_options.h"
 #include "runner/env.h"
+#include "runner/sweep.h"
 #include "stacks/registry.h"
 #include "util/units.h"
 
@@ -140,6 +141,37 @@ BenchResult run_canonical_trial(const std::string& name,
       3);
 }
 
+// Miniature full-sweep aggregate: pair-conformance cells across the CCA
+// population plus a raw 2-flow contention scenario, run through
+// runner::Sweep with caching off and one pinned worker. The metric is
+// the simulator events executed, so this probe's events/sec is the
+// end-to-end sweep throughput — simulation plus PE evaluation plus
+// scheduling overhead — that the committed floor in the baseline
+// ratchets (the number the paper-figure sweeps are built out of).
+std::uint64_t run_sweep_mixed() {
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  runner::Sweep sweep("bench_sweep_mixed", opts);
+  const auto& reg = stacks::Registry::instance();
+  harness::ExperimentConfig cfg = runner::default_config(1.0);
+  cfg.duration = time::sec(60);
+  cfg.trials = 1;
+  for (const auto cca : {stacks::CcaType::kReno, stacks::CcaType::kCubic,
+                         stacks::CcaType::kBbr, stacks::CcaType::kBbr2}) {
+    const auto& ref = reg.reference(cca);
+    sweep.add_conformance(ref, ref, cfg);
+  }
+  harness::ScenarioConfig sc = harness::to_scenario_config(
+      reg.reference(stacks::CcaType::kCubic),
+      reg.reference(stacks::CcaType::kBbr), cfg);
+  sc.flows.push_back(sc.flows.back());
+  sc.flows.back().start_at = time::sec(5);
+  sweep.add_scenario(sc);
+  sweep.run();
+  return sweep.stats().events_executed;
+}
+
 } // namespace
 } // namespace quicbench
 
@@ -163,6 +195,7 @@ int main() {
       run_canonical_trial("trial_cubic", stacks::CcaType::kCubic));
   results.push_back(run_canonical_trial("trial_bbr", stacks::CcaType::kBbr));
   results.push_back(run_canonical_trial("trial_bbr2", stacks::CcaType::kBbr2));
+  results.push_back(timed("sweep_mixed", run_sweep_mixed, 3));
 
   benchutil::print_table("Event-engine microbenchmarks", results);
 

@@ -144,6 +144,27 @@ int main() {
       3));
 
   results.push_back(timed(
+      "eval_contain",
+      [&ref_trials, &pooled] {
+        // Isolates the batched point-in-convex kernel: one PE build,
+        // then repeated count_in_any scans of the pooled cloud against
+        // the prepared hulls (the inner loop of every conformance
+        // score). The scan loop dominates the build by design.
+        conformance::PeConfig cfg;
+        cfg.seed = 7;
+        const auto pe = conformance::build_pe(ref_trials, cfg);
+        std::vector<geom::PreparedConvex> prep;
+        prep.reserve(pe.hulls.size());
+        for (const auto& h : pe.hulls) prep.emplace_back(h);
+        std::uint64_t acc = 0;
+        for (int rep = 0; rep < 500; ++rep) {
+          acc += geom::count_in_any(prep, pooled);
+        }
+        return acc;
+      },
+      3));
+
+  results.push_back(timed(
       "eval_conformance",
       [&ref_trials, &test_trials] {
         std::uint64_t acc = 0;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/attrib.h"
+#include "util/simd.h"
 
 namespace quicbench::cluster {
 
@@ -19,21 +20,44 @@ double sqdist(const Point& a, const Point& b) {
   return dx * dx + dy * dy;
 }
 
-// `d2` is caller-owned scratch so restarts reuse one buffer. d2[i] is
+// SoA mirror of the input cloud plus per-point scratch, shared across
+// seeding, restarts, and Lloyd iterations so the vector kernels run over
+// contiguous doubles without per-call allocation.
+struct KMeansScratch {
+  std::vector<double> px, py;   // the cloud, split once per kmeans() call
+  std::vector<double> d2;       // seeding: running min distance
+  std::vector<double> bestd;    // assignment: best distance so far
+  std::vector<std::int32_t> best;  // assignment: best centroid index
+
+  void split(std::span<const Point> pts) {
+    const std::size_t n = pts.size();
+    px.resize(n);
+    py.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      px[i] = pts[i].x;
+      py[i] = pts[i].y;
+    }
+  }
+};
+
+// `scr` is caller-owned so restarts reuse one set of buffers. d2[i] is
 // maintained incrementally as min over the centroids chosen so far:
-// folding the newest centroid into the running min applies std::min in
+// folding the newest centroid into the running min applies the min in
 // the same order as the full per-round rescan did, so the values (and
 // the ascending-i total, summed in the same order) are bit-identical
-// while the per-round cost drops from O(n*k) to O(n).
+// while the per-round cost drops from O(n*k) to O(n). The init and
+// min-fold passes are per-lane-independent vector kernels; the total
+// and the weighted pick stay scalar (order-dependent FP accumulation).
 std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng,
-                                 std::vector<double>& d2) {
+                                 KMeansScratch& scr) {
   std::vector<Point> centroids;
   centroids.reserve(static_cast<std::size_t>(k));
   centroids.push_back(pts[rng.uniform_int(pts.size())]);
-  d2.resize(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    d2[i] = sqdist(pts[i], centroids[0]);
-  }
+  const std::size_t n = pts.size();
+  std::vector<double>& d2 = scr.d2;
+  d2.resize(n);
+  util::simd::sqdist_init(scr.px.data(), scr.py.data(), n, centroids[0].x,
+                          centroids[0].y, d2.data());
   while (static_cast<int>(centroids.size()) < k) {
     double total = 0;
     for (const double d : d2) total += d;
@@ -44,8 +68,8 @@ std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng,
       continue;
     }
     double r = rng.uniform() * total;
-    std::size_t pick = pts.size() - 1;
-    for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
       r -= d2[i];
       if (r <= 0) {
         pick = i;
@@ -54,47 +78,48 @@ std::vector<Point> kmeanspp_seed(std::span<const Point> pts, int k, Rng& rng,
     }
     centroids.push_back(pts[pick]);
     const Point c = centroids.back();
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      d2[i] = std::min(d2[i], sqdist(pts[i], c));
-    }
+    util::simd::sqdist_fold_min(scr.px.data(), scr.py.data(), n, c.x, c.y,
+                                d2.data());
   }
   return centroids;
 }
 
 KMeansResult lloyd(std::span<const Point> pts, std::vector<Point> centroids,
-                   int max_iters) {
+                   int max_iters, KMeansScratch& scr) {
   const std::size_t n = pts.size();
   const int k = static_cast<int>(centroids.size());
   KMeansResult res;
   res.assignment.assign(n, 0);
   std::vector<Point> sums(static_cast<std::size_t>(k));
   std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  std::vector<double>& bestd = scr.bestd;
+  std::vector<std::int32_t>& best = scr.best;
+  bestd.resize(n);
+  best.resize(n);
 
   for (int iter = 0; iter < max_iters; ++iter) {
     bool changed = false;
-    // Assignment step.
-    for (std::size_t i = 0; i < n; ++i) {
-      const Point p = pts[i];
-      int best = 0;
-      double bestd = sqdist(p, centroids[0]);
+    // Assignment step, vectorized across points: one distance-init pass
+    // against centroid 0, then a fold-best pass per remaining centroid.
+    // The scalar loop's x-axis reject (`if (dx*dx >= bestd) continue;`
+    // — exact under round-to-nearest, see util/simd.h) only ever skips
+    // updates the full evaluation also rejects, so the branchless fold
+    // assigns every point to the identical centroid with the identical
+    // bestd bits.
+    {
+      QB_ATTRIB_SCOPE(kEvalKmeansAssign);
+      util::simd::sqdist_init(scr.px.data(), scr.py.data(), n,
+                              centroids[0].x, centroids[0].y, bestd.data());
+      std::fill(best.begin(), best.end(), 0);
       for (int c = 1; c < k; ++c) {
         const Point cc = centroids[static_cast<std::size_t>(c)];
-        // x-axis reject: d = fl(fl(dx*dx) + fl(dy*dy)) >= fl(dx*dx)
-        // under round-to-nearest (the addend is non-negative and
-        // rounding is monotone), so dx*dx >= bestd already rules out
-        // d < bestd — skipping is exact, not an approximation.
-        const double dx = p.x - cc.x;
-        const double ddx = dx * dx;
-        if (ddx >= bestd) continue;
-        const double dy = p.y - cc.y;
-        const double d = ddx + dy * dy;
-        if (d < bestd) {
-          bestd = d;
-          best = c;
-        }
+        util::simd::assign_fold_best(scr.px.data(), scr.py.data(), n, cc.x,
+                                     cc.y, c, bestd.data(), best.data());
       }
-      if (res.assignment[i] != best) {
-        res.assignment[i] = best;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (res.assignment[i] != best[i]) {
+        res.assignment[i] = best[i];
         changed = true;
       }
     }
@@ -163,10 +188,11 @@ KMeansResult kmeans(std::span<const Point> pts, int k, Rng& rng,
   if (k <= 0) return best;
 
   best.inertia = std::numeric_limits<double>::max();
-  std::vector<double> d2;  // seeding scratch, shared across restarts
+  KMeansScratch scr;  // SoA cloud + per-point scratch, shared by restarts
+  scr.split(pts);
   for (int r = 0; r < std::max(cfg.restarts, 1); ++r) {
     KMeansResult cand =
-        lloyd(pts, kmeanspp_seed(pts, k, rng, d2), cfg.max_iters);
+        lloyd(pts, kmeanspp_seed(pts, k, rng, scr), cfg.max_iters, scr);
     if (cand.inertia < best.inertia) best = std::move(cand);
   }
   return best;

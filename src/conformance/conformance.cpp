@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "obs/attrib.h"
 
 namespace quicbench::conformance {
 
@@ -14,6 +17,11 @@ namespace {
 // point-in-polygon test; the quorum regions can make PEs hold dozens of
 // polygons. PreparedConvex::contains_boxed keeps the historical BoxedPe
 // semantics (strict box filter in front of the eps-relaxed edge tests).
+// Deliberately scalar: most queried points are outside most hulls, so
+// the 4-compare box reject + first-failing-edge exit beats the batched
+// mask kernels here even with lane compaction (measured 2.4x on
+// bench_eval's eval_conformance — see DESIGN.md, vectorization
+// discipline).
 struct BoxedPe {
   std::vector<geom::PreparedConvex> hulls;
 
@@ -34,6 +42,7 @@ struct BoxedPe {
 
 double conformance(const PerformanceEnvelope& ref,
                    const PerformanceEnvelope& test) {
+  QB_ATTRIB_SCOPE(kEvalContain);
   const std::size_t total = ref.all_points.size() + test.all_points.size();
   if (total == 0) return 0;
   const BoxedPe bref(ref), btest(test);
@@ -67,6 +76,8 @@ namespace {
 // Evaluate conformance with `test` translated by (dx, dy), on point
 // subsets chosen by `stride` (1 = exact). Membership of each side's own
 // points in its own (untranslated) envelope is precomputed by the caller.
+// Scalar for the same reason BoxedPe is: translated points mostly miss
+// the other side's hulls, and the early exits win there.
 double conformance_translated(const BoxedPe& ref, const BoxedPe& test,
                               std::span<const Point> ref_pts_in_ref,
                               std::span<const Point> test_pts_in_test,
@@ -109,6 +120,7 @@ TranslationResult best_translation(const PerformanceEnvelope& ref,
                                    const PerformanceEnvelope& test,
                                    const TranslationSearchConfig& cfg) {
   TranslationResult best;
+  QB_ATTRIB_SCOPE(kEvalContain);
 
   const BoxedPe bref(ref), btest(test);
   const std::size_t total = ref.all_points.size() + test.all_points.size();

@@ -238,6 +238,11 @@ void build_per_trial(std::span<const TrialPoints> trials, int k,
     std::vector<geom::PreparedConvex> prep;
     prep.reserve(regions.size());
     for (const auto& r : regions) prep.emplace_back(r);
+    // Scalar on purpose: most pooled points lie outside each candidate
+    // region, so the first-failing-edge exit in contains() beats the
+    // batched mask kernels (measured 1.7x on bench_eval's eval_build_pe
+    // even with lane compaction — see DESIGN.md, vectorization
+    // discipline).
     std::size_t inside = 0;
     for (const auto& p : pe.all_points) {
       for (const auto& r : prep) {

@@ -36,7 +36,10 @@ struct PerformanceEnvelope {
 
   // Bulk variant of contains(): prepares each hull once, then scans the
   // pooled cloud. Same hull order, same per-edge arithmetic — the count
-  // matches a contains() loop exactly.
+  // matches a contains() loop exactly. Scalar on purpose: the iou site
+  // is dominated by points outside most hulls, where the
+  // first-failing-edge exit beats geom::count_in_any's mask passes
+  // (see DESIGN.md, vectorization discipline).
   std::size_t points_inside() const {
     std::vector<geom::PreparedConvex> prep;
     prep.reserve(hulls.size());

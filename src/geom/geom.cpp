@@ -109,12 +109,128 @@ PreparedConvex::PreparedConvex(const Polygon& poly) {
   }
   const std::size_t n = poly.size();
   if (n < 3) return;
-  edges_.reserve(n);
+  ax_.reserve(n);
+  ay_.reserve(n);
+  ex_.reserve(n);
+  ey_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Point& a = poly[i];
     const Point& b = poly[(i + 1) % n];
-    edges_.push_back({a.x, a.y, b.x - a.x, b.y - a.y});
+    ax_.push_back(a.x);
+    ay_.push_back(a.y);
+    ex_.push_back(b.x - a.x);
+    ey_.push_back(b.y - a.y);
   }
+}
+
+namespace {
+
+// Reusable lane-compaction scratch for the batch containment paths.
+// Thread-local: the sweep runner calls these from every worker.
+struct MaskScratch {
+  std::vector<std::uint32_t> idx;
+  std::vector<double> cx, cy;
+  std::vector<std::uint8_t> m;
+};
+
+MaskScratch& mask_scratch() {
+  thread_local MaskScratch s;
+  return s;
+}
+
+// Edges per pass between compactions: an outside point is usually
+// rejected by its first failing edge, so small blocks keep the total
+// edge work near the scalar early-exit's while each pass stays a
+// vectorizable contiguous loop.
+constexpr std::size_t kEdgeBlock = 4;
+
+} // namespace
+
+void PreparedConvex::mask_and_contains(const double* px, const double* py,
+                                       std::size_t n, std::uint8_t* mask,
+                                       double eps) const {
+  const std::size_t m = ax_.size();
+  if (m == 0) {
+    for (std::size_t i = 0; i < n; ++i) mask[i] = 0;
+    return;
+  }
+  if (m <= kEdgeBlock || n < 16) {
+    // Few edges or a tiny cloud: compaction overhead exceeds the work
+    // it can skip; run the plain passes over every lane.
+    for (std::size_t e = 0; e < m; ++e) {
+      util::simd::mask_halfplane(px, py, n, ax_[e], ay_[e], ex_[e], ey_[e],
+                                 eps, mask);
+    }
+    return;
+  }
+  MaskScratch& s = mask_scratch();
+  s.idx.resize(n);
+  s.cx.resize(n);
+  s.cy.resize(n);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) {
+      s.idx[live] = static_cast<std::uint32_t>(i);
+      s.cx[live] = px[i];
+      s.cy[live] = py[i];
+      ++live;
+    }
+  }
+  for (std::size_t e0 = 0; e0 < m && live != 0; e0 += kEdgeBlock) {
+    const std::size_t e1 = std::min(e0 + kEdgeBlock, m);
+    s.m.assign(live, 1);
+    for (std::size_t e = e0; e < e1; ++e) {
+      util::simd::mask_halfplane(s.cx.data(), s.cy.data(), live, ax_[e],
+                                 ay_[e], ex_[e], ey_[e], eps, s.m.data());
+    }
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < live; ++j) {
+      if (s.m[j] != 0) {
+        s.idx[w] = s.idx[j];
+        s.cx[w] = s.cx[j];
+        s.cy[w] = s.cy[j];
+        ++w;
+      } else {
+        mask[s.idx[j]] = 0;
+      }
+    }
+    live = w;
+  }
+  // Lanes still live passed every edge; their mask entries are already 1.
+}
+
+std::size_t count_in_any(std::span<const PreparedConvex> hulls,
+                         std::span<const Point> pts, double eps) {
+  const std::size_t n = pts.size();
+  if (n == 0 || hulls.empty()) return 0;
+  // Cross-hull compaction: each hull only tests the points no earlier
+  // hull accepted, mirroring the scalar any_of loop's first-hit exit —
+  // total work does not scale with the hull count for inside points.
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = pts[i].x;
+    ys[i] = pts[i].y;
+  }
+  std::vector<std::uint8_t> m;
+  std::size_t accepted = 0;
+  std::size_t live = n;
+  for (const PreparedConvex& h : hulls) {
+    if (live == 0) break;
+    m.assign(live, 1);
+    h.mask_and_contains(xs.data(), ys.data(), live, m.data(), eps);
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < live; ++j) {
+      if (m[j] != 0) {
+        ++accepted;
+      } else {
+        xs[w] = xs[j];
+        ys[w] = ys[j];
+        ++w;
+      }
+    }
+    live = w;
+  }
+  return accepted;
 }
 
 namespace {

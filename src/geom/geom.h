@@ -7,8 +7,12 @@
 // vertex. A polygon with fewer than 3 vertices is degenerate (area 0); all
 // operations handle degenerate inputs by returning empty/false/0 results.
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/simd.h"
 
 namespace quicbench::geom {
 
@@ -42,12 +46,13 @@ Point points_centroid(std::span<const Point> points);
 bool point_in_convex(const Polygon& poly, const Point& p, double eps = 1e-9);
 
 // A convex CCW polygon preprocessed for repeated containment queries:
-// edge origins and direction vectors are laid out flat (no modular
-// successor lookup per edge) together with the bounding box for an
-// optional cheap reject. Each per-edge test evaluates exactly the
-// expression point_in_convex evaluates — the edge vector (b - a) is the
-// same subtraction, just performed once at build time — so contains()
-// agrees with point_in_convex bit for bit.
+// edge origins and direction vectors are laid out as structure-of-arrays
+// (no modular successor lookup per edge, vectorizable half-plane scans)
+// together with the bounding box for an optional cheap reject. Each
+// per-edge test evaluates exactly the expression point_in_convex
+// evaluates — the edge vector (b - a) is the same subtraction, just
+// performed once at build time — so contains() agrees with
+// point_in_convex bit for bit.
 class PreparedConvex {
  public:
   PreparedConvex() = default;
@@ -55,9 +60,12 @@ class PreparedConvex {
 
   // Identical to point_in_convex(poly, p, eps).
   bool contains(const Point& p, double eps = 1e-9) const {
-    if (edges_.empty()) return false;  // degenerate: contains nothing
-    for (const Edge& e : edges_) {
-      if (e.ex * (p.y - e.ay) - e.ey * (p.x - e.ax) < -eps) return false;
+    const std::size_t m = ax_.size();
+    if (m == 0) return false;  // degenerate: contains nothing
+    for (std::size_t e = 0; e < m; ++e) {
+      if (ex_[e] * (p.y - ay_[e]) - ey_[e] * (p.x - ax_[e]) < -eps) {
+        return false;
+      }
     }
     return true;
   }
@@ -73,17 +81,59 @@ class PreparedConvex {
     return contains(p, eps);
   }
 
-  bool degenerate() const { return edges_.empty(); }
+  // Batch forms over a SoA cloud: mask[i] &= contains({px[i], py[i]}).
+  // Vectorized half-plane passes (util::simd) with gather-compaction
+  // between blocks of edges: the scalar loop's first-failing-edge early
+  // exit is mirrored by dropping rejected lanes from the live set, so
+  // an outside point costs ~one edge block, not the full edge count.
+  // Lanes whose incoming mask is already 0 are skipped entirely.
+  // Compaction only skips work, never changes a boolean — the mask
+  // matches a per-point contains() loop exactly.
+  void mask_and_contains(const double* px, const double* py, std::size_t n,
+                         std::uint8_t* mask, double eps = 1e-9) const;
+
+  // mask[i] &= contains_boxed({px[i], py[i]}): the strict box pre-reject
+  // runs as its own vector pass; box-rejected lanes are dead on entry to
+  // the edge passes, which the compaction then never touches.
+  void mask_and_contains_boxed(const double* px, const double* py,
+                               std::size_t n, std::uint8_t* mask,
+                               double eps = 1e-9) const {
+    util::simd::mask_box(px, py, n, min_x_, min_y_, max_x_, max_y_, mask);
+    mask_and_contains(px, py, n, mask, eps);
+  }
+
+  bool degenerate() const { return ax_.empty(); }
 
  private:
-  struct Edge {
-    double ax, ay;  // edge origin
-    double ex, ey;  // edge vector (b - a)
-  };
-  std::vector<Edge> edges_;
+  // Edge origins (ax, ay) and vectors (ex, ey) = (b - a), SoA.
+  std::vector<double> ax_, ay_, ex_, ey_;
   double min_x_ = 1e300, max_x_ = -1e300;
   double min_y_ = 1e300, max_y_ = -1e300;
 };
+
+// A point cloud split into SoA coordinate arrays for the batch
+// containment kernels; reusable scratch (assign() never shrinks
+// capacity).
+struct BatchPoints {
+  std::vector<double> xs, ys;
+
+  void assign(std::span<const Point> pts) {
+    xs.resize(pts.size());
+    ys.resize(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      xs[i] = pts[i].x;
+      ys[i] = pts[i].y;
+    }
+  }
+  std::size_t size() const { return xs.size(); }
+};
+
+// Number of points contained in at least one of the prepared hulls
+// (semantics of a per-point `any_of(contains)` loop, evaluated as one
+// vectorized mask pass per hull edge). Convenience form that owns its
+// scratch; for hot loops use the mask_and_* members directly.
+std::size_t count_in_any(std::span<const PreparedConvex> hulls,
+                         std::span<const Point> pts, double eps = 1e-9);
 
 // Intersection of two convex polygons (Sutherland–Hodgman, clipping
 // `subject` against `clip`). Result is convex CCW; empty when disjoint or

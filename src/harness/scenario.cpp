@@ -65,6 +65,10 @@ netsim::DumbbellConfig to_dumbbell_config(const NetworkConfig& net) {
   dc.trace_opportunities = net.trace_opportunities;
   dc.trace_period = net.trace_period;
   dc.impairment = net.impairment;
+  // Same-tick bottleneck delivery batching: order-identical (no in-tree
+  // sink schedules same-tick events — every downstream delay and flush
+  // window is positive), fewer timer events.
+  dc.batch_same_tick_delivery = true;
   return dc;
 }
 
@@ -284,6 +288,9 @@ ScenarioTrialResult run_scenario_trial(const ScenarioConfig& cfg,
     // absorbed without reprocessing; provably a no-op, and the sender
     // disarms itself whenever a loss-timer observer (qlog) is attached.
     sender->set_coalesce_same_tick_acks(true);
+    // Receiver-side mirror: a same-tick duplicate of the packet just
+    // immediate-acked replays the stashed ACK frame byte-for-byte.
+    receiver->set_coalesce_same_tick_dups(true);
 
     trace::QlogWriter* ql =
         i < observers.qlog.size() ? observers.qlog[i] : nullptr;

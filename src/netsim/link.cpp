@@ -75,6 +75,26 @@ void Link::on_prop_deliver() {
   QB_ATTRIB_SCOPE(kLink);
   Packet p = std::move(prop_.front().second);
   prop_.pop_front();
+  if (batch_same_tick_ && !prop_.empty() &&
+      prop_.front().first <= sim_.now() && !sim_.has_pending_event_at_now()) {
+    // Same-tick drain (see set_batch_same_tick_delivery): the probe says
+    // no foreign event is pending at this tick, so the unbatched path
+    // would spend one rearm-to-now timer fire per remaining due packet
+    // with nothing able to interleave except events our own deliveries
+    // spawn — and those (the delay-line release that coalesces this
+    // tick's arrivals, ack departures behind positive reverse delays)
+    // observe the same per-component delivery order either way. Deliver
+    // the whole due run from this one fire.
+    dst_->deliver(std::move(p));
+    do {
+      ++stats_.same_tick_batched;
+      Packet q = std::move(prop_.front().second);
+      prop_.pop_front();
+      dst_->deliver(std::move(q));
+    } while (!prop_.empty() && prop_.front().first <= sim_.now());
+    if (!prop_.empty()) prop_timer_.rearm(prop_.front().first);
+    return;
+  }
   if (!prop_.empty()) prop_timer_.rearm(prop_.front().first);
   dst_->deliver(std::move(p));
 }

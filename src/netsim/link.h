@@ -32,6 +32,9 @@ struct LinkStats {
   std::int64_t packets_dropped = 0;
   Bytes bytes_out = 0;
   Bytes max_queue_bytes = 0;
+  // Propagation deliveries absorbed into a prior same-tick timer fire
+  // (see set_batch_same_tick_delivery); each one saves a timer event.
+  std::int64_t same_tick_batched = 0;
 };
 
 class Link : public PacketSink {
@@ -69,6 +72,25 @@ class Link : public PacketSink {
   // observes only — it never changes link behaviour.
   void attach_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
 
+  // Opt-in same-tick delivery batching: when the propagation timer fires
+  // and further packets in `prop_` are also due now, deliver the whole
+  // due run inline from the same fire instead of re-arming a timer per
+  // packet. The drain is gated on the engine's has_pending_event_at_now
+  // probe at entry: with no foreign event pending at this tick, the
+  // unbatched path could only interleave events spawned by the drained
+  // deliveries themselves between the per-packet fires. Every in-tree
+  // delivery chain routes those through elements that preserve the
+  // equivalence — synchronous pass-throughs (demux, duplication), stages
+  // that defer through strictly positive delays (ack paths, reorder
+  // flush windows), and the delay-0 forward-tail DelayLine, whose single
+  // release event coalesces this tick's arrivals either way — so every
+  // per-component delivery order (the only cross-world observable) is
+  // unchanged and only timer-event counts shrink. With a foreign event
+  // pending the fire falls back to the byte-identical unbatched path.
+  // Off by default; when off, event counts are exactly the historical
+  // ones.
+  void set_batch_same_tick_delivery(bool on) { batch_same_tick_ = on; }
+
  private:
   void start_transmission();
   void on_transmit_done();
@@ -90,6 +112,7 @@ class Link : public PacketSink {
   util::FifoVec<std::pair<Time, Packet>> prop_;
   Timer tx_timer_;
   Timer prop_timer_;
+  bool batch_same_tick_ = false;
 
   LinkStats stats_;
   DropCallback drop_cb_;
@@ -102,6 +125,10 @@ class Link : public PacketSink {
 // Pure propagation element with no bandwidth constraint: used for the
 // reverse (ACK) path and access links. Optional per-packet jitter models a
 // noisy Internet path; order is preserved unless `allow_reorder`.
+//
+// Same-tick deliveries are always batched here: one release fire drains
+// every entry due at the current tick (see on_release), so a burst of
+// same-tick arrivals costs one timer event, not one per packet.
 class DelayLine : public PacketSink {
  public:
   DelayLine(Simulator& sim, Time delay, PacketSink* dst)

@@ -70,6 +70,7 @@ Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& cfg, int n_flows,
     bottleneck_ =
         std::make_unique<Link>(sim, cfg.bandwidth, forward_prop,
                                cfg.buffer_bytes, forward_tail_.get());
+    bottleneck_->set_batch_same_tick_delivery(cfg.batch_same_tick_delivery);
   }
 
   reverse_.reserve(static_cast<std::size_t>(n_flows));

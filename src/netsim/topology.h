@@ -62,6 +62,10 @@ struct DumbbellConfig {
   // and consumes no RNG state, so it is bit-identical to the field not
   // existing at all. Requires a jitter_rng when enabled.
   ImpairmentConfig impairment;
+  // Same-tick delivery batching on the fixed-rate bottleneck (see
+  // Link::set_batch_same_tick_delivery): delivery order is unchanged,
+  // timer-event counts shrink. No effect on trace bottlenecks.
+  bool batch_same_tick_delivery = false;
 };
 
 class Dumbbell {

@@ -28,6 +28,8 @@ constexpr std::string_view kScopeNames[kScopeCount] = {
     "harness.collect", // kHarnessCollect
     "eval.kmeans",     // kEvalKmeans
     "eval.pe",         // kEvalPe
+    "eval.kmeans_assign", // kEvalKmeansAssign
+    "eval.contain",    // kEvalContain
 };
 
 } // namespace

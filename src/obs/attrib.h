@@ -71,6 +71,8 @@ enum class Scope : std::uint8_t {
   kHarnessCollect,  // post-run series/fairness/telemetry collection
   kEvalKmeans,      // cluster::kmeans
   kEvalPe,          // conformance::build_pe
+  kEvalKmeansAssign,  // Lloyd assignment step (vector distance kernels)
+  kEvalContain,     // batched point-in-convex containment scans
   kCount
 };
 

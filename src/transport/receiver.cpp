@@ -1,6 +1,7 @@
 #include "transport/receiver.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "obs/attrib.h"
 
@@ -22,6 +23,23 @@ ReceiverEndpoint::ReceiverEndpoint(netsim::Simulator& sim, int flow,
 }
 
 void ReceiverEndpoint::note_received(std::uint64_t pn) {
+  // O(1) fast paths against the newest range: the in-order append (the
+  // overwhelmingly common case) and the duplicate-of-recent case. Both
+  // produce exactly the state the general path below would: for
+  // pn == back.last + 1 the lower_bound lands at end() and only
+  // extends_prev holds; for pn inside the back range the search finds
+  // it and counts a duplicate.
+  if (!ranges_.empty()) {
+    AckRange& back = ranges_.back();
+    if (pn == back.last + 1) {
+      back.last = pn;
+      return;
+    }
+    if (pn >= back.first && pn <= back.last) {
+      ++stats_.duplicate_packets;
+      return;
+    }
+  }
   // Find insertion point: ranges_ ascending by first.
   auto it = std::lower_bound(
       ranges_.begin(), ranges_.end(), pn,
@@ -54,6 +72,53 @@ void ReceiverEndpoint::deliver(Packet p) {
   QB_ATTRIB_SCOPE(kReceiver);
   const Time now = sim_.now();
 
+  if (dup_stash_valid_ && now == dup_stash_time_ && p.pn == dup_stash_pn_) {
+    // Same-tick duplicate of the packet whose immediate ACK we just
+    // sent: receiver state cannot change (the pn is covered by the
+    // newest range, which eviction never drops, and pn <= largest), and
+    // the full path would rebuild the exact ACK frame we stashed (same
+    // tick, same ranges, same largest_recv_time). Replay it.
+#ifndef NDEBUG
+    {
+      // Re-prove the no-op: the pn really is a duplicate and the frame
+      // the full path would build matches the stash byte for byte.
+      const auto it = std::lower_bound(
+          ranges_.begin(), ranges_.end(), p.pn,
+          [](const AckRange& r, std::uint64_t v) { return r.last < v; });
+      assert(it != ranges_.end() && p.pn >= it->first && p.pn <= it->last);
+      assert(p.pn <= largest_pn_ && any_received_);
+      const Packet again = build_ack();
+      assert(again.largest_acked == dup_stash_ack_.largest_acked);
+      assert(again.ack_delay == dup_stash_ack_.ack_delay);
+      assert(again.largest_recv_time == dup_stash_ack_.largest_recv_time);
+      assert(again.n_ranges == dup_stash_ack_.n_ranges);
+      for (int i = 0; i < again.n_ranges; ++i) {
+        assert(again.range(i).first == dup_stash_ack_.range(i).first);
+        assert(again.range(i).last == dup_stash_ack_.range(i).last);
+      }
+    }
+#endif
+    ++stats_.packets_received;
+    stats_.bytes_received += p.payload;
+    ++stats_.duplicate_packets;
+    ++stats_.dups_coalesced;
+    if (delivery_cb_) delivery_cb_(now, p.payload, now - p.sent_time);
+    if (packet_cb_) packet_cb_(now, p.pn, p.size);
+    // The full path would take the immediate-ack branch (a duplicate is
+    // always out of order, and the stash exists only under ack_on_gap):
+    // cancel (already idle), reset the unacked count, resend.
+    ack_delay_timer_.cancel();
+    unacked_data_packets_ = 0;
+    ++stats_.acks_sent;
+    Packet ack = dup_stash_ack_;
+    reverse_->deliver(std::move(ack));
+    // State is unchanged; the stash stays good while same-tick work
+    // remains pending.
+    dup_stash_valid_ = sim_.has_pending_event_at_now();
+    return;
+  }
+  dup_stash_valid_ = false;
+
   ++stats_.packets_received;
   stats_.bytes_received += p.payload;
   // RFC 9000 §13.2.1: ack immediately for any out-of-order packet — one
@@ -75,16 +140,24 @@ void ReceiverEndpoint::deliver(Packet p) {
       (profile_.ack_on_gap && (has_gap() || out_of_order));
   if (immediate) {
     send_ack();
+    // Arm the duplicate stash: only for the current largest pn (always
+    // inside the newest tracked range, which eviction never touches),
+    // only when a same-tick re-delivery would itself immediate-ack
+    // (ack_on_gap — a duplicate is always out of order), and only while
+    // the engine still has same-tick work pending.
+    if (coalesce_same_tick_dups_ && profile_.ack_on_gap &&
+        p.pn == largest_pn_ && sim_.has_pending_event_at_now()) {
+      dup_stash_valid_ = true;
+      dup_stash_pn_ = p.pn;
+      dup_stash_time_ = now;
+      dup_stash_ack_ = last_ack_;
+    }
   } else if (!ack_delay_timer_.armed()) {
     ack_delay_timer_.rearm_in(profile_.max_ack_delay);
   }
 }
 
-void ReceiverEndpoint::send_ack() {
-  if (!any_received_) return;
-  ack_delay_timer_.cancel();
-  unacked_data_packets_ = 0;
-
+Packet ReceiverEndpoint::build_ack() const {
   Packet ack;
   ack.kind = PacketKind::kAck;
   ack.flow = static_cast<std::int16_t>(flow_);
@@ -99,7 +172,15 @@ void ReceiverEndpoint::send_ack() {
     ack.set_range(n++, it->first, it->last);
   }
   ack.n_ranges = static_cast<std::uint8_t>(n);
+  return ack;
+}
 
+void ReceiverEndpoint::send_ack() {
+  if (!any_received_) return;
+  ack_delay_timer_.cancel();
+  unacked_data_packets_ = 0;
+  Packet ack = build_ack();
+  if (coalesce_same_tick_dups_) last_ack_ = ack;
   ++stats_.acks_sent;
   reverse_->deliver(std::move(ack));
 }

@@ -18,6 +18,9 @@ struct ReceiverStats {
   Bytes bytes_received = 0;
   std::int64_t acks_sent = 0;
   std::int64_t duplicate_packets = 0;
+  // Duplicates absorbed by the same-tick stash: counted in
+  // duplicate_packets as well, like any other duplicate.
+  std::int64_t dups_coalesced = 0;
 };
 
 class ReceiverEndpoint : public netsim::PacketSink {
@@ -42,9 +45,24 @@ class ReceiverEndpoint : public netsim::PacketSink {
 
   const ReceiverStats& stats() const { return stats_; }
 
+  // Opt-in mirror of the sender's same-tick ACK coalescing (PR 8): when
+  // the duplication impairment re-delivers the packet the receiver just
+  // immediate-acked within the same tick, the receiver replays the
+  // byte-identical ACK it stashed instead of re-running the range search
+  // and frame build. Gated on the engine's has_pending_event_at_now
+  // probe (a stash is only kept while a same-tick follower can exist)
+  // and re-proved as a no-op by a debug assert. Off by default; every
+  // observable (stats, callbacks, the emitted packet bytes, timer state)
+  // is identical either way, so event counts do not change.
+  void set_coalesce_same_tick_dups(bool on) {
+    coalesce_same_tick_dups_ = on;
+    if (!on) dup_stash_valid_ = false;
+  }
+
  private:
   void note_received(std::uint64_t pn);
   bool has_gap() const { return ranges_.size() > 1; }
+  netsim::Packet build_ack() const;
   void send_ack();
 
   netsim::Simulator& sim_;
@@ -64,6 +82,18 @@ class ReceiverEndpoint : public netsim::PacketSink {
   ReceiverStats stats_;
   DeliveryCallback delivery_cb_;
   PacketCallback packet_cb_;
+
+  // Same-tick duplicate stash (see set_coalesce_same_tick_dups). Valid
+  // only when the last full-path delivery immediate-acked the current
+  // largest pn at dup_stash_time_ with more same-tick work pending.
+  bool coalesce_same_tick_dups_ = false;
+  bool dup_stash_valid_ = false;
+  std::uint64_t dup_stash_pn_ = 0;
+  Time dup_stash_time_ = 0;
+  netsim::Packet dup_stash_ack_;
+  // Copy of the most recent ACK frame (maintained only while coalescing
+  // is on; the stash arms from it after an immediate ack).
+  netsim::Packet last_ack_;
 
   static constexpr std::size_t kMaxTrackedRanges = 64;
   static constexpr Bytes kAckWireSize = 80;

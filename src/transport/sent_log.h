@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/simd.h"
 #include "util/units.h"
 
 namespace quicbench::transport {
@@ -136,16 +137,18 @@ class SentLog {
   // neither acked, lost, nor linked as unresolved (true for any segment
   // above the previous ack frontier unless persistent congestion marked
   // packets there — the caller falls back to the scalar path then).
-  // Split into two passes over the SoA arrays so both vectorize.
+  // Split into two passes over the SoA arrays — a u32 byte sum and a
+  // flag OR-fill, both explicitly vectorized (util::simd; integer
+  // reductions are exact under any association, so the result is
+  // bit-identical to the scalar loop).
   Bytes ack_clean_range(std::uint64_t first, std::uint64_t last) {
     const std::size_t a = idx(first);
-    const std::size_t b = idx(last);
-    Bytes sum = 0;
-    for (std::size_t s = a; s <= b; ++s) {
-      assert(!(flags_[s] & (kSentAcked | kSentLost | kSentUnres)));
-      sum += wire_size_[s];
-    }
-    for (std::size_t s = a; s <= b; ++s) flags_[s] |= kSentAcked;
+    const std::size_t n = idx(last) - a + 1;
+    assert(!(util::simd::or_u8(flags_.data() + a, n) &
+             (kSentAcked | kSentLost | kSentUnres)));
+    const Bytes sum =
+        static_cast<Bytes>(util::simd::sum_u32(wire_size_.data() + a, n));
+    util::simd::or_assign_u8(flags_.data() + a, n, kSentAcked);
     return sum;
   }
 
@@ -155,6 +158,30 @@ class SentLog {
   // pure tail appends; persistent-congestion leftovers carry kSentLost
   // and are skipped, exactly like the scalar note_gap path.
   void link_gap_run(std::uint64_t first, std::uint64_t last) {
+    const std::size_t a = idx(first);
+    const std::size_t n = idx(last) - a + 1;
+    if (!(util::simd::or_u8(flags_.data() + a, n) &
+          (kSentAcked | kSentLost))) {
+      // Whole run live: every pn links, and because links are stored as
+      // pns they are affine in the slot index — a pure vector fill plus
+      // O(1) splice onto the list tail. Produces exactly the state the
+      // scalar loop below would.
+      assert(!(util::simd::or_u8(flags_.data() + a, n) & kSentUnres));
+      assert(unres_tail_ == kNone || unres_tail_ < first);
+      counters_.link_inserts += n;
+      util::simd::or_assign_u8(flags_.data() + a, n, kSentUnres);
+      util::simd::fill_affine_u64(next_.data() + a, n, first + 1);
+      util::simd::fill_affine_u64(prev_.data() + a, n, first - 1);
+      next_[a + n - 1] = kNone;
+      prev_[a] = unres_tail_;
+      if (unres_tail_ == kNone) {
+        unres_head_ = first;
+      } else {
+        next_[idx(unres_tail_)] = first;
+      }
+      unres_tail_ = last;
+      return;
+    }
     for (std::uint64_t pn = first; pn <= last; ++pn) {
       const std::size_t i = idx(pn);
       const std::uint8_t f = flags_[i];

@@ -1,0 +1,290 @@
+// Explicitly vectorized inner-loop kernels for the datapath hot spots:
+// the SoA sent-log range ops, the kmeans assignment/seeding distance
+// loops, and the point-in-convex containment scans.
+//
+// Discipline (see DESIGN.md "Vectorization discipline"):
+//
+//   * Every kernel has a `*_scalar` twin compiled unconditionally; the
+//     unsuffixed entry point is the vector variant unless the build
+//     forces the fallback with -DQB_NO_SIMD=ON, in which case it is an
+//     alias for the scalar twin. Randomized tests compare the two at
+//     runtime for exact (bitwise) equality in every build mode.
+//   * Vectorization is expressed portably with `#pragma omp simd`
+//     (honored under -fopenmp-simd with no OpenMP runtime); there are
+//     no intrinsics, so the scalar fallback is always available.
+//   * Bit-identical FP policy: only loops whose lanes are independent
+//     (one result per element, no cross-lane FP accumulation) or whose
+//     reductions are exact under reassociation (integer sums, bitwise
+//     OR, per-lane min of identically computed values) may carry a simd
+//     pragma. Order-dependent FP reductions (kmeans inertia/centroid
+//     sums, seeding totals) stay scalar in fixed accumulation order at
+//     the call sites — they are deliberately absent here.
+//
+// `#pragma omp simd` does not relax IEEE semantics per lane (that would
+// require an explicit fp-model switch we never pass), so each lane of a
+// vectorized loop performs literally the same double ops as the scalar
+// twin and produces the same bits.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(QB_NO_SIMD)
+#define QB_PRAGMA(x) _Pragma(#x)
+#define QB_SIMD QB_PRAGMA(omp simd)
+#define QB_SIMD_REDUCE(clause) QB_PRAGMA(omp simd reduction(clause))
+#else
+#define QB_SIMD
+#define QB_SIMD_REDUCE(clause)
+#endif
+
+namespace quicbench::util::simd {
+
+// True when the vector variants are compiled with simd pragmas; false
+// when -DQB_NO_SIMD forces the scalar fallback. Tests use this only for
+// reporting — equality between the paths is asserted either way.
+#if !defined(QB_NO_SIMD)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+// ---------------------------------------------------------------------------
+// Integer range kernels (sent-log SoA passes). Integer + bitwise
+// reductions are exact under any association, so these may reduce.
+
+inline std::uint64_t sum_u32_scalar(const std::uint32_t* v, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+inline std::uint64_t sum_u32(const std::uint32_t* v, std::size_t n) {
+  std::uint64_t sum = 0;
+  QB_SIMD_REDUCE(+ : sum)
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+inline std::uint8_t or_u8_scalar(const std::uint8_t* v, std::size_t n) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= v[i];
+  return acc;
+}
+
+inline std::uint8_t or_u8(const std::uint8_t* v, std::size_t n) {
+  std::uint8_t acc = 0;
+  QB_SIMD_REDUCE(| : acc)
+  for (std::size_t i = 0; i < n; ++i) acc |= v[i];
+  return acc;
+}
+
+inline void or_assign_u8_scalar(std::uint8_t* v, std::size_t n,
+                                std::uint8_t bits) {
+  for (std::size_t i = 0; i < n; ++i) v[i] |= bits;
+}
+
+inline void or_assign_u8(std::uint8_t* v, std::size_t n, std::uint8_t bits) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) v[i] |= bits;
+}
+
+// v[i] = start + i — the intrusive-list link fill for an all-live
+// gap run (next_/prev_ hold packet numbers, which are affine in the
+// slot index across a contiguous run).
+inline void fill_affine_u64_scalar(std::uint64_t* v, std::size_t n,
+                                   std::uint64_t start) {
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + i;
+}
+
+inline void fill_affine_u64(std::uint64_t* v, std::size_t n,
+                            std::uint64_t start) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + i;
+}
+
+// ---------------------------------------------------------------------------
+// kmeans distance kernels. All lanes are independent: one double out
+// per point, computed with the exact op sequence of the scalar twin.
+
+// d2[i] = (px[i]-cx)^2 + (py[i]-cy)^2
+inline void sqdist_init_scalar(const double* px, const double* py,
+                               std::size_t n, double cx, double cy,
+                               double* d2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    d2[i] = dx * dx + dy * dy;
+  }
+}
+
+inline void sqdist_init(const double* px, const double* py, std::size_t n,
+                        double cx, double cy, double* d2) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    d2[i] = dx * dx + dy * dy;
+  }
+}
+
+// d2[i] = min(d2[i], sqdist(p[i], c)) — the kmeans++ seeding update.
+// Exact: each lane takes the min of two identically computed values.
+inline void sqdist_fold_min_scalar(const double* px, const double* py,
+                                   std::size_t n, double cx, double cy,
+                                   double* d2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < d2[i]) d2[i] = d;
+  }
+}
+
+inline void sqdist_fold_min(const double* px, const double* py, std::size_t n,
+                            double cx, double cy, double* d2) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < d2[i]) d2[i] = d;
+  }
+}
+
+// The Lloyd assignment fold: against centroid (cx, cy) with index c,
+// update each point's (bestd, best) pair. The scalar assignment loop's
+// x-axis early exit (`if (dx*dx >= bestd) continue;`) is provably
+// equivalent to this branchless full evaluation: under round-to-nearest
+// fl(fl(dx*dx) + fl(dy*dy)) >= fl(dx*dx), so whenever the scalar path
+// skips, the full distance also fails `d < bestd` and the lane is
+// unchanged. Ties keep the lower centroid index in both paths (strict
+// `<`), so assignments — and everything downstream — are bit-identical.
+inline void assign_fold_best_scalar(const double* px, const double* py,
+                                    std::size_t n, double cx, double cy,
+                                    std::int32_t c, double* bestd,
+                                    std::int32_t* best) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < bestd[i]) {
+      bestd[i] = d;
+      best[i] = c;
+    }
+  }
+}
+
+inline void assign_fold_best(const double* px, const double* py,
+                             std::size_t n, double cx, double cy,
+                             std::int32_t c, double* bestd,
+                             std::int32_t* best) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - cx;
+    const double dy = py[i] - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < bestd[i]) {
+      bestd[i] = d;
+      best[i] = c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Containment kernels (point-in-convex batch tests). One byte mask per
+// point; each lane evaluates the same half-plane test as the scalar
+// `PreparedConvex::contains` edge loop, so the boolean results match
+// exactly (the scalar path's early exit only skips work, never changes
+// the outcome).
+
+// mask[i] &= (ex*(py[i]-ay) - ey*(px[i]-ax) >= -eps)
+inline void mask_halfplane_scalar(const double* px, const double* py,
+                                  std::size_t n, double ax, double ay,
+                                  double ex, double ey, double eps,
+                                  std::uint8_t* mask) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cr = ex * (py[i] - ay) - ey * (px[i] - ax);
+    if (cr < -eps) mask[i] = 0;
+  }
+}
+
+inline void mask_halfplane(const double* px, const double* py, std::size_t n,
+                           double ax, double ay, double ex, double ey,
+                           double eps, std::uint8_t* mask) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cr = ex * (py[i] - ay) - ey * (px[i] - ax);
+    if (cr < -eps) mask[i] = 0;
+  }
+}
+
+// mask[i] &= point i inside the closed box [minx,maxx]x[miny,maxy].
+// Matches PreparedConvex::contains_boxed's strict pre-reject.
+inline void mask_box_scalar(const double* px, const double* py, std::size_t n,
+                            double minx, double miny, double maxx, double maxy,
+                            std::uint8_t* mask) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in = px[i] >= minx && px[i] <= maxx && py[i] >= miny &&
+                    py[i] <= maxy;
+    if (!in) mask[i] = 0;
+  }
+}
+
+inline void mask_box(const double* px, const double* py, std::size_t n,
+                     double minx, double miny, double maxx, double maxy,
+                     std::uint8_t* mask) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in = px[i] >= minx && px[i] <= maxx && py[i] >= miny &&
+                    py[i] <= maxy;
+    if (!in) mask[i] = 0;
+  }
+}
+
+// dst[i] |= src[i] — folds one hull's mask into the "inside any" mask.
+inline void or_arrays_u8_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+inline void or_arrays_u8(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t n) {
+  QB_SIMD
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+// count of i where both masks are set (conformance overlap count).
+inline std::size_t count_and_mask_scalar(const std::uint8_t* a,
+                                         const std::uint8_t* b,
+                                         std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += (a[i] & b[i]) != 0;
+  return c;
+}
+
+inline std::size_t count_and_mask(const std::uint8_t* a, const std::uint8_t* b,
+                                  std::size_t n) {
+  std::size_t c = 0;
+  QB_SIMD_REDUCE(+ : c)
+  for (std::size_t i = 0; i < n; ++i) c += (a[i] & b[i]) != 0;
+  return c;
+}
+
+// popcount of a byte mask (0/1 values after the passes above).
+inline std::size_t count_mask_scalar(const std::uint8_t* mask,
+                                     std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += mask[i] != 0;
+  return c;
+}
+
+inline std::size_t count_mask(const std::uint8_t* mask, std::size_t n) {
+  std::size_t c = 0;
+  QB_SIMD_REDUCE(+ : c)
+  for (std::size_t i = 0; i < n; ++i) c += mask[i] != 0;
+  return c;
+}
+
+} // namespace quicbench::util::simd

@@ -1,0 +1,190 @@
+// Two-world equivalence for the vectorized kmeans: a plain scalar
+// reference implementation of the full pipeline (kmeans++ seeding,
+// restarts, Lloyd with nearest-centroid assignment) is run against
+// cluster::kmeans on randomized clouds with identically seeded RNGs.
+// Assignments, centroids, and inertia must match exactly — bitwise for
+// the doubles — because the vector kernels perform the same IEEE ops
+// per lane and all order-dependent accumulations stay scalar.
+
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace quicbench::cluster {
+namespace {
+
+using geom::Point;
+
+double ref_sqdist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::vector<Point> ref_seed(std::span<const Point> pts, int k, Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.push_back(pts[rng.uniform_int(pts.size())]);
+  const std::size_t n = pts.size();
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d2[i] = ref_sqdist(pts[i], centroids[0]);
+  }
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0;
+    for (const double d : d2) total += d;
+    if (total <= 0) {
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      r -= d2[i];
+      if (r <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(pts[pick]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = ref_sqdist(pts[i], centroids.back());
+      if (d < d2[i]) d2[i] = d;
+    }
+  }
+  return centroids;
+}
+
+KMeansResult ref_lloyd(std::span<const Point> pts,
+                       std::vector<Point> centroids, int max_iters) {
+  const std::size_t n = pts.size();
+  const int k = static_cast<int>(centroids.size());
+  KMeansResult res;
+  res.assignment.assign(n, 0);
+  std::vector<Point> sums(static_cast<std::size_t>(k));
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double bd = std::numeric_limits<double>::max();
+      int b = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = ref_sqdist(pts[i], centroids[static_cast<std::size_t>(c)]);
+        if (d < bd) {
+          bd = d;
+          b = c;
+        }
+      }
+      if (res.assignment[i] != b) {
+        res.assignment[i] = b;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::fill(sums.begin(), sums.end(), Point{});
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(res.assignment[i]);
+      sums[c].x += pts[i].x;
+      sums[c].y += pts[i].y;
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (counts[ci] == 0) {
+        std::size_t far = 0;
+        double fard = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = ref_sqdist(
+              pts[i], centroids[static_cast<std::size_t>(res.assignment[i])]);
+          if (d > fard) {
+            fard = d;
+            far = i;
+          }
+        }
+        centroids[ci] = pts[far];
+      } else {
+        centroids[ci] = {sums[ci].x / counts[ci], sums[ci].y / counts[ci]};
+      }
+    }
+  }
+
+  res.inertia = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    res.inertia += ref_sqdist(
+        pts[i], centroids[static_cast<std::size_t>(res.assignment[i])]);
+  }
+  res.centroids = std::move(centroids);
+  return res;
+}
+
+KMeansResult ref_kmeans(std::span<const Point> pts, int k, Rng& rng,
+                        const KMeansConfig& cfg = {}) {
+  KMeansResult best;
+  if (pts.empty() || k <= 0) return best;
+  {
+    std::vector<Point> seen;
+    for (const Point& p : pts) {
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+        if (static_cast<int>(seen.size()) >= k) break;
+      }
+    }
+    k = std::min<int>(k, static_cast<int>(seen.size()));
+  }
+  if (k <= 0) return best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(cfg.restarts, 1); ++r) {
+    KMeansResult cand = ref_lloyd(pts, ref_seed(pts, k, rng), cfg.max_iters);
+    if (cand.inertia < best.inertia) best = std::move(cand);
+  }
+  return best;
+}
+
+std::vector<Point> make_cloud(Rng& rng, int n) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Three loose blobs plus a few exact repeats (tie coverage).
+    const int blob = static_cast<int>(rng.uniform_int(3));
+    const double cx = 10.0 * blob;
+    const double cy = 5.0 * blob;
+    pts.push_back({rng.normal(cx, 2.0), rng.normal(cy, 1.5)});
+    if (i % 17 == 0 && !pts.empty()) pts.push_back(pts.front());
+  }
+  return pts;
+}
+
+TEST(KMeansEquivalence, MatchesScalarReferenceExactly) {
+  Rng meta(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 30 + static_cast<int>(meta.uniform_int(400));
+    const int k = 1 + static_cast<int>(meta.uniform_int(6));
+    const std::uint64_t seed = meta.next_u64();
+    Rng cloud_rng(seed);
+    const std::vector<Point> pts = make_cloud(cloud_rng, n);
+
+    Rng ra(seed ^ 0x9e3779b97f4a7c15ull);
+    Rng rb(seed ^ 0x9e3779b97f4a7c15ull);
+    const KMeansResult got = kmeans(pts, k, ra);
+    const KMeansResult want = ref_kmeans(pts, k, rb);
+
+    ASSERT_EQ(got.assignment, want.assignment)
+        << "trial " << trial << " n=" << n << " k=" << k;
+    ASSERT_EQ(got.centroids.size(), want.centroids.size());
+    for (std::size_t c = 0; c < got.centroids.size(); ++c) {
+      EXPECT_EQ(got.centroids[c].x, want.centroids[c].x);
+      EXPECT_EQ(got.centroids[c].y, want.centroids[c].y);
+    }
+    EXPECT_EQ(got.inertia, want.inertia);
+  }
+}
+
+} // namespace
+} // namespace quicbench::cluster

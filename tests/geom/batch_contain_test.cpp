@@ -1,0 +1,119 @@
+// Batched point-in-convex scans vs the scalar contains() loops: the
+// mask kernels must agree point-for-point with PreparedConvex::contains
+// and contains_boxed on randomized hulls and clouds — including points
+// constructed exactly on hull edges and just inside/outside the eps
+// band, where any reordering of the half-plane tests would show up.
+
+#include "geom/geom.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace quicbench::geom {
+namespace {
+
+Polygon random_hull(Rng& rng, int n_pts) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n_pts));
+  for (int i = 0; i < n_pts; ++i) {
+    pts.push_back({rng.uniform(-5.0, 5.0), rng.uniform(-4.0, 4.0)});
+  }
+  return convex_hull(std::move(pts));
+}
+
+// Random cloud plus adversarial points: hull vertices, edge midpoints
+// (exactly on the boundary), and slight eps-band perturbations of them.
+std::vector<Point> make_queries(Rng& rng, const Polygon& hull, int n_random) {
+  std::vector<Point> q;
+  for (int i = 0; i < n_random; ++i) {
+    q.push_back({rng.uniform(-7.0, 7.0), rng.uniform(-6.0, 6.0)});
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point a = hull[i];
+    const Point b = hull[(i + 1) % hull.size()];
+    const Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+    q.push_back(a);
+    q.push_back(mid);
+    q.push_back({mid.x + 5e-10, mid.y - 5e-10});
+    q.push_back({mid.x - 2e-9, mid.y + 2e-9});
+  }
+  return q;
+}
+
+TEST(BatchContain, MasksMatchScalarContains) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Polygon hull = random_hull(rng, 3 + static_cast<int>(rng.uniform_int(12)));
+    if (hull.size() < 3) continue;
+    const PreparedConvex prep(hull);
+    const std::vector<Point> q = make_queries(rng, hull, 200);
+    BatchPoints soa;
+    soa.assign(q);
+
+    std::vector<std::uint8_t> mask(q.size(), 1);
+    prep.mask_and_contains(soa.xs.data(), soa.ys.data(), q.size(),
+                           mask.data());
+    std::vector<std::uint8_t> boxed(q.size(), 1);
+    prep.mask_and_contains_boxed(soa.xs.data(), soa.ys.data(), q.size(),
+                                 boxed.data());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_EQ(mask[i] != 0, prep.contains(q[i])) << "point " << i;
+      EXPECT_EQ(boxed[i] != 0, prep.contains_boxed(q[i])) << "point " << i;
+    }
+  }
+}
+
+TEST(BatchContain, CountInAnyMatchesScalarLoop) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Polygon> hulls;
+    std::vector<PreparedConvex> prep;
+    for (int h = 0; h < 4; ++h) {
+      Polygon hull = random_hull(rng, 4 + static_cast<int>(rng.uniform_int(10)));
+      if (hull.size() < 3) continue;
+      prep.emplace_back(hull);
+      hulls.push_back(std::move(hull));
+    }
+    if (prep.empty()) continue;
+    std::vector<Point> q = make_queries(rng, hulls[0], 500);
+    for (std::size_t h = 1; h < hulls.size(); ++h) {
+      const auto extra = make_queries(rng, hulls[h], 0);
+      q.insert(q.end(), extra.begin(), extra.end());
+    }
+
+    std::size_t want = 0;
+    for (const Point& p : q) {
+      for (const PreparedConvex& pc : prep) {
+        if (pc.contains(p)) {
+          ++want;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(count_in_any(prep, q), want);
+  }
+}
+
+TEST(BatchContain, DegenerateAndEmptyInputs) {
+  const PreparedConvex empty{Polygon{}};
+  EXPECT_EQ(count_in_any(std::vector<PreparedConvex>{}, std::vector<Point>{{0, 0}}), 0u);
+  std::vector<PreparedConvex> hs;
+  hs.push_back(empty);
+  const std::vector<Point> pts{{0, 0}, {1, 1}};
+  EXPECT_EQ(count_in_any(hs, pts), 0u);
+  EXPECT_EQ(count_in_any(hs, std::vector<Point>{}), 0u);
+
+  BatchPoints soa;
+  soa.assign(pts);
+  std::vector<std::uint8_t> mask(pts.size(), 1);
+  empty.mask_and_contains(soa.xs.data(), soa.ys.data(), pts.size(),
+                          mask.data());
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{0, 0}));
+}
+
+} // namespace
+} // namespace quicbench::geom

@@ -1,0 +1,118 @@
+// Two-world equivalence for the vectorized kernels in util/simd.h:
+// every kernel must produce results bitwise-identical to its `_scalar`
+// twin on randomized inputs, in every build mode (with -DQB_NO_SIMD the
+// unsuffixed entry IS the scalar loop, so the test degenerates to a
+// self-check — asserted equality either way keeps the harness honest).
+
+#include "util/simd.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace quicbench::util::simd {
+namespace {
+
+// Odd lengths on purpose: remainders after any vector width must match.
+constexpr std::size_t kLens[] = {0, 1, 2, 3, 7, 17, 64, 129, 1000, 4099};
+
+TEST(SimdKernels, IntegerRangeKernelsMatchScalar) {
+  Rng rng(1234);
+  for (const std::size_t n : kLens) {
+    std::vector<std::uint32_t> w(n);
+    std::vector<std::uint8_t> f(n);
+    for (auto& v : w) v = static_cast<std::uint32_t>(rng.next_u64() >> 32);
+    for (auto& v : f) v = static_cast<std::uint8_t>(rng.next_u64() & 0x3f);
+
+    EXPECT_EQ(sum_u32(w.data(), n), sum_u32_scalar(w.data(), n));
+    EXPECT_EQ(or_u8(f.data(), n), or_u8_scalar(f.data(), n));
+
+    std::vector<std::uint8_t> a = f, b = f;
+    or_assign_u8(a.data(), n, 0x21);
+    or_assign_u8_scalar(b.data(), n, 0x21);
+    EXPECT_EQ(a, b);
+
+    std::vector<std::uint64_t> u(n), v(n);
+    const std::uint64_t start = rng.next_u64();
+    fill_affine_u64(u.data(), n, start);
+    fill_affine_u64_scalar(v.data(), n, start);
+    EXPECT_EQ(u, v);
+  }
+}
+
+// Bitwise equality of doubles: NaN-free inputs here, so == is exact.
+void expect_doubles_identical(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+TEST(SimdKernels, DistanceKernelsMatchScalarBitwise) {
+  Rng rng(99);
+  for (const std::size_t n : kLens) {
+    std::vector<double> px(n), py(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      px[i] = rng.normal(20.0, 15.0);
+      py[i] = rng.normal(10.0, 8.0);
+    }
+    const double cx = rng.normal(20.0, 10.0);
+    const double cy = rng.normal(10.0, 5.0);
+
+    std::vector<double> d2v(n), d2s(n);
+    sqdist_init(px.data(), py.data(), n, cx, cy, d2v.data());
+    sqdist_init_scalar(px.data(), py.data(), n, cx, cy, d2s.data());
+    expect_doubles_identical(d2v, d2s);
+
+    sqdist_fold_min(px.data(), py.data(), n, cy, cx, d2v.data());
+    sqdist_fold_min_scalar(px.data(), py.data(), n, cy, cx, d2s.data());
+    expect_doubles_identical(d2v, d2s);
+
+    std::vector<std::int32_t> bv(n, 0), bs(n, 0);
+    std::vector<double> bdv = d2v, bds = d2s;
+    assign_fold_best(px.data(), py.data(), n, cx + 1.0, cy - 2.0, 3,
+                     bdv.data(), bv.data());
+    assign_fold_best_scalar(px.data(), py.data(), n, cx + 1.0, cy - 2.0, 3,
+                            bds.data(), bs.data());
+    expect_doubles_identical(bdv, bds);
+    EXPECT_EQ(bv, bs);
+  }
+}
+
+TEST(SimdKernels, MaskKernelsMatchScalar) {
+  Rng rng(7);
+  for (const std::size_t n : kLens) {
+    std::vector<double> px(n), py(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      px[i] = rng.normal(0.0, 2.0);
+      py[i] = rng.normal(0.0, 2.0);
+    }
+    std::vector<std::uint8_t> mv(n, 1), ms(n, 1);
+    mask_halfplane(px.data(), py.data(), n, 0.1, -0.2, 1.5, 0.7, 1e-9,
+                   mv.data());
+    mask_halfplane_scalar(px.data(), py.data(), n, 0.1, -0.2, 1.5, 0.7, 1e-9,
+                          ms.data());
+    EXPECT_EQ(mv, ms);
+
+    mask_box(px.data(), py.data(), n, -1.0, -1.5, 1.0, 1.5, mv.data());
+    mask_box_scalar(px.data(), py.data(), n, -1.0, -1.5, 1.0, 1.5, ms.data());
+    EXPECT_EQ(mv, ms);
+
+    std::vector<std::uint8_t> ov(n), os(n);
+    for (std::size_t i = 0; i < n; ++i) ov[i] = os[i] = (rng.next_u64() & 1);
+    std::vector<std::uint8_t> src(n);
+    for (auto& v : src) v = (rng.next_u64() & 1);
+    or_arrays_u8(ov.data(), src.data(), n);
+    or_arrays_u8_scalar(os.data(), src.data(), n);
+    EXPECT_EQ(ov, os);
+
+    EXPECT_EQ(count_and_mask(mv.data(), ov.data(), n),
+              count_and_mask_scalar(ms.data(), os.data(), n));
+    EXPECT_EQ(count_mask(mv.data(), n), count_mask_scalar(ms.data(), n));
+  }
+}
+
+} // namespace
+} // namespace quicbench::util::simd
